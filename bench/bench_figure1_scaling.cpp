@@ -1,0 +1,57 @@
+// Reproduces Figure 1: exhaustive simulation time and number of
+// computations vs adder length N — exponential growth — contrasted with
+// the proposed analytical method, which stays microsecond-flat.
+#include <iostream>
+
+#include "sealpaa/adders/builtin.hpp"
+#include "sealpaa/analysis/costs.hpp"
+#include "sealpaa/analysis/recursive.hpp"
+#include "sealpaa/sim/exhaustive.hpp"
+#include "sealpaa/util/cli.hpp"
+#include "sealpaa/util/format.hpp"
+#include "sealpaa/util/table.hpp"
+#include "sealpaa/util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sealpaa;
+  const util::CliArgs args(argc, argv);
+  const std::size_t max_bits =
+      static_cast<std::size_t>(args.get_int("max-bits", 12));
+
+  std::cout << util::banner(
+      "Figure 1: exhaustive simulation vs the proposed analytical method");
+  util::TextTable table({"N", "Sim cases 2^(2N+1)", "Sim bit-ops",
+                         "Sim time", "Analytical ops", "Analytical time"});
+  for (std::size_t c = 1; c <= 5; ++c) table.set_align(c, util::Align::Right);
+
+  for (std::size_t bits = 2; bits <= max_bits; ++bits) {
+    const auto chain =
+        multibit::AdderChain::homogeneous(adders::lpaa(1), bits);
+    const auto report = sim::ExhaustiveSimulator::run(chain, max_bits);
+
+    const auto profile = multibit::InputProfile::uniform(bits, 0.5);
+    util::WallTimer timer;
+    // Repeat the O(N) analysis enough times to get a measurable duration,
+    // then report the per-run time.
+    constexpr int kRepeats = 2000;
+    double sink = 0.0;
+    for (int r = 0; r < kRepeats; ++r) {
+      sink += analysis::RecursiveAnalyzer::analyze(chain, profile).p_error;
+    }
+    const double analytical_seconds = timer.elapsed_seconds() / kRepeats;
+    const auto model = analysis::implementation_model(adders::lpaa(1), bits);
+
+    table.add_row({std::to_string(bits),
+                   util::with_commas((1ULL << (2 * bits)) * 2),
+                   util::with_commas(report.bit_operations),
+                   util::duration(report.seconds),
+                   util::with_commas(model.total_arithmetic()),
+                   util::duration(analytical_seconds)});
+    (void)sink;
+  }
+  std::cout << table;
+  std::cout << "\nSimulation cost quadruples per added bit (exponential, as "
+               "in Figure 1); the analytical method is linear in N and runs "
+               "in well under 1 ms at any practical width (paper 5).\n";
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Reproduces Figure 5: probability of success and error for every LPAA
+// versus adder width, in the paper's three input regimes:
+//   (a) equally probable operands (p = 0.5),
+//   (b) low input probability (p = 0.1),
+//   (c) high input probability (p = 0.9).
+// The paper's qualitative findings are checked in-line: LPAA7 wins at
+// low p, LPAA1 is strong at high p, LPAA6 is good everywhere ("four
+// season adder"), and at p = 0.5 no cell remains useful beyond ~10 bits.
+#include <algorithm>
+#include <iostream>
+
+#include "sealpaa/adders/builtin.hpp"
+#include "sealpaa/analysis/recursive.hpp"
+#include "sealpaa/explore/robustness.hpp"
+#include "sealpaa/util/cli.hpp"
+#include "sealpaa/util/format.hpp"
+#include "sealpaa/util/table.hpp"
+
+#include "sealpaa/util/csv.hpp"
+
+namespace {
+
+void sweep(const char* label, double p, std::size_t max_bits,
+           const std::string& csv_dir) {
+  using namespace sealpaa;
+  std::cout << util::banner(std::string("Figure 5") + label +
+                            ": P(Error) vs adder width, p = " +
+                            util::fixed(p, 1));
+  std::vector<std::string> header = {"Bits"};
+  for (int cell = 1; cell <= 7; ++cell) {
+    header.push_back("LPAA" + std::to_string(cell));
+  }
+  util::TextTable table(header);
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    table.set_align(c, util::Align::Right);
+  }
+  for (std::size_t bits = 2; bits <= max_bits; bits += 2) {
+    const auto profile = multibit::InputProfile::uniform(bits, p);
+    std::vector<std::string> row = {std::to_string(bits)};
+    for (int cell = 1; cell <= 7; ++cell) {
+      row.push_back(util::fixed(
+          analysis::RecursiveAnalyzer::error_probability(
+              adders::lpaa(cell), profile),
+          5));
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << table << "\n";
+
+  if (!csv_dir.empty()) {
+    util::CsvWriter csv(csv_dir + "/figure5" + label + ".csv");
+    std::vector<std::string> csv_header = {"bits"};
+    for (int cell = 1; cell <= 7; ++cell) {
+      csv_header.push_back("LPAA" + std::to_string(cell));
+    }
+    csv.write_row(csv_header);
+    for (std::size_t bits = 2; bits <= max_bits; bits += 2) {
+      const auto profile = multibit::InputProfile::uniform(bits, p);
+      std::vector<std::string> row = {std::to_string(bits)};
+      for (int cell = 1; cell <= 7; ++cell) {
+        row.push_back(util::sig(
+            analysis::RecursiveAnalyzer::error_probability(
+                adders::lpaa(cell), profile),
+            10));
+      }
+      csv.write_row(row);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sealpaa;
+  const util::CliArgs args(argc, argv);
+  const std::size_t max_bits =
+      static_cast<std::size_t>(args.get_int("max-bits", 16));
+  const std::string csv_dir = args.get("csv", "");
+
+  sweep("(a)", 0.5, max_bits, csv_dir);
+  sweep("(b)", 0.1, max_bits, csv_dir);
+  sweep("(c)", 0.9, max_bits, csv_dir);
+  if (!csv_dir.empty()) {
+    std::cout << "CSV series written to " << csv_dir << "/figure5(*).csv\n";
+  }
+
+  // Qualitative checks from the paper's discussion.
+  const auto error_at = [](int cell, double p, std::size_t bits) {
+    return analysis::RecursiveAnalyzer::error_probability(
+        adders::lpaa(cell), multibit::InputProfile::uniform(bits, p));
+  };
+
+  std::cout << util::banner("Qualitative checks (paper 5)");
+  const bool lpaa7_wins_low = error_at(7, 0.1, 8) < error_at(1, 0.1, 8);
+  std::cout << "LPAA7 beats LPAA1 at low p (0.1, 8 bits):  "
+            << (lpaa7_wins_low ? "yes" : "NO") << "  ("
+            << util::fixed(error_at(7, 0.1, 8), 5) << " vs "
+            << util::fixed(error_at(1, 0.1, 8), 5) << ")\n";
+  const bool lpaa1_wins_high = error_at(1, 0.9, 8) < error_at(7, 0.9, 8);
+  std::cout << "LPAA1 beats LPAA7 at high p (0.9, 8 bits): "
+            << (lpaa1_wins_high ? "yes" : "NO") << "  ("
+            << util::fixed(error_at(1, 0.9, 8), 5) << " vs "
+            << util::fixed(error_at(7, 0.9, 8), 5) << ")\n";
+
+  double worst_best_cell = 1.0;
+  for (int cell = 1; cell <= 7; ++cell) {
+    worst_best_cell = std::min(worst_best_cell, error_at(cell, 0.5, 12));
+  }
+  std::cout << "Best achievable P(E) at p = 0.5, 12 bits: "
+            << util::fixed(worst_best_cell, 5)
+            << "  (paper: none useful beyond ~10 bits of cascading)\n";
+
+  const auto ranking = explore::four_season_ranking(8);
+  std::cout << "Four-season ranking by worst-case P(E) over p-grid: ";
+  for (const auto& score : ranking) {
+    std::cout << score.cell_name << "("
+              << util::fixed(score.worst_error, 3) << ") ";
+  }
+  std::cout << "\n(The paper crowns LPAA6 the 'Four Season Adder'.)\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Reproduces Table 2: error cases / power / area of the LPAA cells, and
+// extends it with the per-cell error probability at p = 0.5 (8-bit chain)
+// plus the resulting power-error Pareto front.
+#include <iostream>
+
+#include "sealpaa/adders/builtin.hpp"
+#include "sealpaa/adders/characteristics.hpp"
+#include "sealpaa/explore/pareto.hpp"
+#include "sealpaa/multibit/input_profile.hpp"
+#include "sealpaa/util/format.hpp"
+#include "sealpaa/util/table.hpp"
+
+int main() {
+  using namespace sealpaa;
+
+  std::cout << util::banner("Table 2: Characteristics of LPAA cells [7]");
+  util::TextTable table({"LPAA Type", "Error Cases", "Power (nW)",
+                         "Area (GE)"});
+  for (std::size_t c = 1; c <= 3; ++c) table.set_align(c, util::Align::Right);
+  for (const auto& row : adders::builtin_characteristics()) {
+    table.add_row(
+        {row.cell_name, std::to_string(row.error_cases),
+         row.power_nw ? util::fixed(*row.power_nw, 0) : "n/a",
+         row.area_ge ? util::fixed(*row.area_ge, 2) : "n/a"});
+  }
+  std::cout << table;
+
+  const auto profile = multibit::InputProfile::uniform(8, 0.5);
+  const auto points = explore::homogeneous_sweep(profile);
+  std::cout << "\nExtension: 8-bit homogeneous chains at p = 0.5\n";
+  util::TextTable sweep({"Design", "P(Error)", "Power (nW)", "Area (GE)"});
+  for (std::size_t c = 1; c <= 3; ++c) sweep.set_align(c, util::Align::Right);
+  for (const auto& point : points) {
+    sweep.add_row({point.name, util::prob6(point.p_error),
+                   point.has_cost ? util::fixed(point.power_nw, 0) : "n/a",
+                   point.has_cost ? util::fixed(point.area_ge, 2) : "n/a"});
+  }
+  std::cout << sweep;
+
+  std::cout << "\nPower/area/error Pareto front: ";
+  for (const auto& point : explore::pareto_front(points)) {
+    std::cout << point.name << " ";
+  }
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces Table 3: inclusion-exclusion equation terms,
+// multiplications, additions and memory units versus the number of
+// stages — the exponential blow-up the paper's method eliminates.
+// Also *runs* the IE engine for small k as an executable witness and
+// confirms it returns the same P(Error) as the O(N) recursion.
+#include <iostream>
+
+#include "sealpaa/adders/builtin.hpp"
+#include "sealpaa/analysis/recursive.hpp"
+#include "sealpaa/baseline/inclusion_exclusion.hpp"
+#include "sealpaa/util/format.hpp"
+#include "sealpaa/util/table.hpp"
+#include "sealpaa/util/timer.hpp"
+
+int main() {
+  using namespace sealpaa;
+
+  std::cout << util::banner(
+      "Table 3: Inclusion-Exclusion cost vs number of stages (closed form)");
+  util::TextTable table({"No. of stages", "Terms", "Multiplications",
+                         "Additions", "Memory Units"});
+  for (std::size_t c = 0; c <= 4; ++c) table.set_align(c, util::Align::Right);
+  for (int k = 4; k <= 32; k += 4) {
+    const auto cost = baseline::inclusion_exclusion_cost(k);
+    table.add_row({std::to_string(k), util::engineering(cost.terms),
+                   util::engineering(cost.multiplications),
+                   util::engineering(cost.additions),
+                   util::engineering(cost.memory_units)});
+  }
+  std::cout << table;
+  std::cout << "\nNote: the paper's Terms/Additions entries for k >= 20 carry "
+               "unit typos (10^9 printed where 2^k gives 10^6-scale values); "
+               "the closed forms above match all small-k rows exactly.\n";
+
+  std::cout << "\nExecutable witness (LPAA1, p = 0.3): IE vs recursive\n";
+  util::TextTable witness({"Stages", "IE terms", "IE time", "Recursive time",
+                           "P(Error) IE", "P(Error) recursive"});
+  for (std::size_t c = 1; c <= 5; ++c) witness.set_align(c, util::Align::Right);
+  for (std::size_t k : {4u, 8u, 12u, 16u, 20u}) {
+    const auto chain =
+        multibit::AdderChain::homogeneous(adders::lpaa(1), k);
+    const auto profile = multibit::InputProfile::uniform(k, 0.3);
+    util::WallTimer ie_timer;
+    const auto ie = baseline::InclusionExclusionAnalyzer::analyze(
+        chain, profile, /*max_width=*/20);
+    const double ie_seconds = ie_timer.elapsed_seconds();
+    util::WallTimer rec_timer;
+    const auto rec = analysis::RecursiveAnalyzer::analyze(chain, profile);
+    const double rec_seconds = rec_timer.elapsed_seconds();
+    witness.add_row({std::to_string(k),
+                     util::with_commas(ie.terms_evaluated),
+                     util::duration(ie_seconds), util::duration(rec_seconds),
+                     util::prob6(ie.p_error), util::prob6(rec.p_error)});
+  }
+  std::cout << witness;
+  return 0;
+}

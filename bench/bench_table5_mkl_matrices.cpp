@@ -1,0 +1,28 @@
+// Reproduces Table 5: the M, K and L analysis matrices derived from each
+// LPAA's truth table (§4.2 steps 1-3).
+#include <iostream>
+
+#include "sealpaa/adders/builtin.hpp"
+#include "sealpaa/analysis/mkl.hpp"
+#include "sealpaa/util/table.hpp"
+
+int main() {
+  using namespace sealpaa;
+
+  std::cout << util::banner("Table 5: M, K and L matrices for LPAA 1-7");
+  util::TextTable table({"LPAA Type", "M Matrix", "K Matrix", "L Matrix"});
+  for (const adders::AdderCell& cell : adders::builtin_lpaas()) {
+    const auto mkl = analysis::MklMatrices::from_cell(cell);
+    table.add_row({cell.name(), analysis::MklMatrices::render(mkl.m),
+                   analysis::MklMatrices::render(mkl.k),
+                   analysis::MklMatrices::render(mkl.l)});
+  }
+  std::cout << table;
+
+  std::cout << "\nFor reference, the accurate cell:\n";
+  const auto accu = analysis::MklMatrices::from_cell(adders::accurate());
+  std::cout << "AccuFA  M=" << analysis::MklMatrices::render(accu.m)
+            << "  K=" << analysis::MklMatrices::render(accu.k)
+            << "  L=" << analysis::MklMatrices::render(accu.l) << "\n";
+  return 0;
+}

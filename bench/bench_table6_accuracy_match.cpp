@@ -1,0 +1,79 @@
+// Reproduces Table 6: accuracy match of the proposed method against
+// exhaustive simulation.
+//
+//  * Equally probable inputs: all 2^(2N+1) cases are enumerated; the
+//    match must be exact to double precision ("precisely up to any
+//    decimal place" in the paper).
+//  * Per-bit probabilities: the paper used 1M Monte Carlo samples and
+//    saw agreement to the 3rd decimal; we additionally check against the
+//    *exact* weighted enumeration, where the match is again full
+//    precision.
+#include <cmath>
+#include <iostream>
+
+#include "sealpaa/adders/builtin.hpp"
+#include "sealpaa/analysis/recursive.hpp"
+#include "sealpaa/baseline/weighted_exhaustive.hpp"
+#include "sealpaa/sim/exhaustive.hpp"
+#include "sealpaa/sim/montecarlo.hpp"
+#include "sealpaa/util/cli.hpp"
+#include "sealpaa/util/format.hpp"
+#include "sealpaa/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sealpaa;
+  const util::CliArgs args(argc, argv);
+  const std::size_t width =
+      static_cast<std::size_t>(args.get_int("bits", 8));
+  const std::uint64_t samples =
+      static_cast<std::uint64_t>(args.get_int("samples", 1'000'000));
+
+  std::cout << util::banner("Table 6: Accuracy match of the proposed method");
+
+  std::cout << "\nScenario 1 - equally probable inputs (p = 0.5), " << width
+            << "-bit adders, " << util::with_commas((1ULL << (2 * width)) * 2)
+            << " exhaustive cases per cell:\n";
+  util::TextTable equal({"Cell", "P(E) analytical", "P(E) exhaustive",
+                         "|difference|"});
+  for (std::size_t c = 1; c <= 3; ++c) equal.set_align(c, util::Align::Right);
+  double worst_equal = 0.0;
+  for (const adders::AdderCell& cell : adders::builtin_lpaas()) {
+    const auto chain = multibit::AdderChain::homogeneous(cell, width);
+    const double analytical = analysis::RecursiveAnalyzer::error_probability(
+        cell, multibit::InputProfile::uniform(width, 0.5));
+    const auto sim = sim::ExhaustiveSimulator::run(chain);
+    const double simulated = sim.metrics.stage_failure_rate();
+    worst_equal = std::max(worst_equal, std::fabs(analytical - simulated));
+    equal.add_row({cell.name(), util::fixed(analytical, 12),
+                   util::fixed(simulated, 12),
+                   util::sig(std::fabs(analytical - simulated), 3)});
+  }
+  std::cout << equal;
+  std::cout << "Worst deviation: " << util::sig(worst_equal, 3)
+            << "  (paper: precise to any decimal place)\n";
+
+  std::cout << "\nScenario 2 - per-bit probabilities (p = 0.1), " << width
+            << "-bit adders, " << util::with_commas(samples)
+            << " Monte Carlo samples + exact weighted enumeration:\n";
+  util::TextTable unequal({"Cell", "P(E) analytical", "P(E) Monte Carlo",
+                           "|diff| MC", "P(E) weighted-exact", "|diff| exact"});
+  for (std::size_t c = 1; c <= 5; ++c) unequal.set_align(c, util::Align::Right);
+  const auto profile = multibit::InputProfile::uniform(width, 0.1);
+  for (const adders::AdderCell& cell : adders::builtin_lpaas()) {
+    const auto chain = multibit::AdderChain::homogeneous(cell, width);
+    const double analytical =
+        analysis::RecursiveAnalyzer::error_probability(cell, profile);
+    const auto mc = sim::MonteCarloSimulator::run(chain, profile, samples);
+    const auto exact = baseline::WeightedExhaustive::analyze(chain, profile);
+    unequal.add_row(
+        {cell.name(), util::fixed(analytical, 6),
+         util::fixed(mc.metrics.stage_failure_rate(), 6),
+         util::sig(std::fabs(analytical - mc.metrics.stage_failure_rate()), 2),
+         util::fixed(1.0 - exact.p_stage_success, 6),
+         util::sig(std::fabs(analytical - (1.0 - exact.p_stage_success)), 2)});
+  }
+  std::cout << unequal;
+  std::cout << "Paper: MC matches to the 3rd decimal at 1M cases; the exact "
+               "weighted enumeration matches to machine precision.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces Table 8: resource utilisation of the proposed method, and
+// contrasts the paper's per-iteration accounting with this
+// implementation's measured (instrumented) counts.
+#include <iostream>
+
+#include "sealpaa/adders/builtin.hpp"
+#include "sealpaa/analysis/costs.hpp"
+#include "sealpaa/baseline/inclusion_exclusion.hpp"
+#include "sealpaa/util/format.hpp"
+#include "sealpaa/util/table.hpp"
+
+int main() {
+  using namespace sealpaa;
+
+  std::cout << util::banner("Table 8: Resource utilisation of the proposed method");
+  {
+    const auto equal = analysis::paper_model_equal_probabilities();
+    const auto varying = analysis::paper_model_varying_probabilities(32);
+    util::TextTable table({"", "Equal operand probabilities",
+                           "Per-bit probabilities (N = 32)"});
+    table.add_row({"Multipliers", std::to_string(equal.multipliers),
+                   std::to_string(varying.multipliers)});
+    table.add_row({"Adders", std::to_string(equal.adders),
+                   std::to_string(varying.adders)});
+    table.add_row({"Memory Units", std::to_string(equal.memory_units),
+                   std::to_string(varying.memory_units)});
+    std::cout << table;
+    std::cout << "(Paper accounting: per-iteration costs; iterations = number "
+                 "of bits.)\n";
+  }
+
+  std::cout << "\nMeasured instrumented counts of this implementation "
+               "(homogeneous LPAA1 chains):\n";
+  util::TextTable measured({"Bits", "Multiplications", "Additions",
+                            "Peak live scalars", "IE multiplications "
+                            "(Table 3 closed form)"});
+  for (std::size_t c = 1; c <= 4; ++c) measured.set_align(c, util::Align::Right);
+  for (std::size_t bits : {4u, 8u, 16u, 32u}) {
+    const auto counts = analysis::measure_recursive(
+        multibit::AdderChain::homogeneous(adders::lpaa(1), bits),
+        multibit::InputProfile::uniform(bits, 0.3));
+    const auto ie =
+        baseline::inclusion_exclusion_cost(static_cast<int>(bits));
+    measured.add_row({std::to_string(bits),
+                      util::with_commas(counts.multiplications),
+                      util::with_commas(counts.additions),
+                      util::with_commas(counts.memory_units),
+                      util::engineering(ie.multiplications)});
+  }
+  std::cout << measured;
+  std::cout << "\nThe proposed method is linear in N with O(1) live state; "
+               "the traditional method grows as k*2^(k-1).\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Extension X2 (paper §5): optimal hybrid multistage adder design.  The
+// paper: "Similar results can be obtained for multiple input bit
+// probability configurations ... to optimally design a hybrid multistage
+// low power adder using more than one type of LPAA."
+//
+// Scenario: a DSP-style operand profile — low-significance bits are
+// noise-like (p ~ 0.5), MSBs are mostly zero (p ~ 0.05) — optimised
+// exhaustively, by beam search, and greedily; then under a power budget.
+#include <iostream>
+
+#include "sealpaa/adders/builtin.hpp"
+#include "sealpaa/adders/characteristics.hpp"
+#include "sealpaa/analysis/recursive.hpp"
+#include "sealpaa/explore/hybrid.hpp"
+#include "sealpaa/util/format.hpp"
+#include "sealpaa/util/table.hpp"
+#include "sealpaa/util/timer.hpp"
+
+int main() {
+  using namespace sealpaa;
+
+  // 8-bit profile: dense (mostly-1) low bits, sparse (mostly-0) high
+  // bits — the regime where the paper expects LPAA1-like cells to win
+  // the LSBs and LPAA7-like cells the MSBs.
+  const std::vector<double> p_bits = {0.9, 0.9, 0.8, 0.6,
+                                      0.3, 0.15, 0.08, 0.05};
+  const multibit::InputProfile profile(p_bits, p_bits, 0.9);
+
+  std::cout << util::banner("X2: hybrid multistage adder design (8-bit DSP profile)");
+
+  util::TextTable table({"Method", "Chain (LSB..MSB)", "P(Error)",
+                         "P(Succ)", "Power (nW)", "Search time"});
+  table.set_align(2, util::Align::Right);
+  table.set_align(3, util::Align::Right);
+  table.set_align(4, util::Align::Right);
+
+  const auto add_design = [&](const std::string& name,
+                              const explore::HybridDesign& design,
+                              double seconds) {
+    table.add_row({name, design.chain().describe(),
+                   util::prob6(design.p_error), util::prob6(design.p_success),
+                   design.power_nw ? util::fixed(*design.power_nw, 0) : "n/a",
+                   util::duration(seconds)});
+  };
+
+  {
+    util::WallTimer timer;
+    const auto design =
+        explore::HybridOptimizer::exhaustive(profile, adders::builtin_lpaas());
+    add_design("exhaustive (7^8)", design, timer.elapsed_seconds());
+  }
+  {
+    util::WallTimer timer;
+    const auto design = explore::HybridOptimizer::beam(
+        profile, adders::builtin_lpaas(), {}, 128);
+    add_design("beam-128", design, timer.elapsed_seconds());
+  }
+  {
+    util::WallTimer timer;
+    const auto design =
+        explore::HybridOptimizer::greedy(profile, adders::builtin_lpaas());
+    add_design("greedy", design, timer.elapsed_seconds());
+  }
+
+  // Best homogeneous baselines for contrast.
+  for (int cell : {1, 6, 7}) {
+    const double p_error = analysis::RecursiveAnalyzer::error_probability(
+        adders::lpaa(cell), profile);
+    const auto power = adders::chain_power_nw(adders::lpaa(cell), 8);
+    table.add_row({"homogeneous", "8 x LPAA" + std::to_string(cell),
+                   util::prob6(p_error), util::prob6(1.0 - p_error),
+                   power ? util::fixed(*power, 0) : "n/a", "-"});
+  }
+  std::cout << table;
+
+  // Power-constrained variant over the cells with Table 2 data.
+  std::vector<adders::AdderCell> costed;
+  for (int i = 1; i <= 5; ++i) costed.push_back(adders::lpaa(i));
+  explore::DesignConstraints constraints;
+  constraints.max_power_nw = 2500.0;
+  const auto constrained = explore::HybridOptimizer::exhaustive(
+      profile, costed, constraints);
+  std::cout << "\nPower-constrained (LPAA1-5, budget 2500 nW): "
+            << constrained.chain().describe() << "  P(E) = "
+            << util::prob6(constrained.p_error) << "  power = "
+            << util::fixed(*constrained.power_nw, 0) << " nW\n";
+  return 0;
+}

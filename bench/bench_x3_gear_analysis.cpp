@@ -1,0 +1,85 @@
+// Extension X3 (paper §1.1): the recursive style of analysis also covers
+// low-latency adders (GeAr) without inclusion-exclusion.  For a range of
+// GeAr configurations this bench compares:
+//   * the exact O(N) joint-carry DP (our recursive-style analysis),
+//   * the per-block independence approximation (GeAr paper's estimate),
+//   * exhaustive simulation (ground truth at small N).
+#include <iostream>
+
+#include "sealpaa/adders/builtin.hpp"
+#include "sealpaa/gear/gear.hpp"
+#include "sealpaa/multibit/input_profile.hpp"
+#include "sealpaa/util/format.hpp"
+#include "sealpaa/util/table.hpp"
+
+int main() {
+  using namespace sealpaa;
+
+  std::cout << util::banner(
+      "X3: GeAr (LLAA) error analysis - exact DP vs independence approx vs "
+      "exhaustive (uniform p = 0.5)");
+
+  util::TextTable table({"Config", "k blocks", "L (latency)",
+                         "P(E) exact DP", "P(E) exhaustive",
+                         "P(E) indep approx", "P(E) sum-only"});
+  for (std::size_t c = 1; c <= 6; ++c) table.set_align(c, util::Align::Right);
+
+  const gear::GearConfig configs[] = {
+      {8, 2, 0}, {8, 2, 2}, {8, 2, 4}, {8, 4, 4},
+      {12, 3, 3}, {12, 2, 2}, {12, 4, 4}, {12, 6, 6},
+  };
+  for (const gear::GearConfig& config : configs) {
+    const auto profile = multibit::InputProfile::uniform(
+        static_cast<std::size_t>(config.n()), 0.5);
+    const auto analysis = gear::GearAnalyzer::analyze(config, profile);
+    const auto metrics = gear::GearAnalyzer::exhaustive(config);
+    table.add_row({config.describe(), std::to_string(config.blocks()),
+                   std::to_string(config.critical_path_bits()),
+                   util::prob6(analysis.p_error_exact_dp),
+                   util::prob6(metrics.error_rate()),
+                   util::prob6(analysis.p_error_independent_approx),
+                   util::prob6(analysis.p_error_sum_only)});
+  }
+  std::cout << table;
+
+  std::cout << "\nGeAr(16, R, P) accuracy/latency trade-off (analytical only, "
+               "instant at any N):\n";
+  util::TextTable wide({"Config", "L", "P(E) exact DP"});
+  wide.set_align(1, util::Align::Right);
+  wide.set_align(2, util::Align::Right);
+  for (const gear::GearConfig& config :
+       {gear::GearConfig(16, 2, 2), gear::GearConfig(16, 2, 4),
+        gear::GearConfig(16, 4, 4), gear::GearConfig(16, 4, 8),
+        gear::GearConfig(16, 8, 8)}) {
+    const auto analysis = gear::GearAnalyzer::analyze(
+        config, multibit::InputProfile::uniform(16, 0.5));
+    wide.add_row({config.describe(),
+                  std::to_string(config.critical_path_bits()),
+                  util::prob6(analysis.p_error_exact_dp)});
+  }
+  std::cout << wide;
+
+  std::cout << "\nDouble approximation: GeAr(12,3,3) with approximate "
+               "sub-adder cells (exact value-level DP vs exhaustive):\n";
+  util::TextTable hybrid({"Sub-adder cell", "P(E) exact DP",
+                          "P(E) exhaustive"});
+  hybrid.set_align(1, util::Align::Right);
+  hybrid.set_align(2, util::Align::Right);
+  const gear::GearConfig hybrid_config(12, 3, 3);
+  const auto hybrid_profile = multibit::InputProfile::uniform(12, 0.5);
+  for (const char* name : {"AccuFA", "LPAA1", "LPAA6", "LPAA7"}) {
+    const adders::AdderCell& cell = *adders::find_builtin(name);
+    const auto analysis = gear::GearAnalyzer::analyze_with_cell(
+        hybrid_config, cell, hybrid_profile);
+    const auto metrics =
+        gear::GearAnalyzer::exhaustive_with_cell(hybrid_config, cell);
+    hybrid.add_row({name, util::prob6(analysis.p_error_exact_dp),
+                    util::prob6(metrics.error_rate())});
+  }
+  std::cout << hybrid;
+
+  std::cout << "\nThe exact DP matches exhaustive simulation to machine "
+               "precision in every mode; the independence approximation "
+               "overestimates (block failures are positively correlated).\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Extension X4 (DESIGN.md decision 2): stage-wise success (the paper's
+// error event) vs value-level correctness (numeric output equals the
+// exact sum).  A carry-only cell error can be masked downstream, so
+//   P(value correct) >= P(all stages successful).
+// This bench quantifies the gap for every LPAA with the exact joint DP
+// and reports the exact error moments (mean / RMS error distance).
+#include <iostream>
+
+#include "sealpaa/adders/builtin.hpp"
+#include "sealpaa/analysis/joint.hpp"
+#include "sealpaa/analysis/recursive.hpp"
+#include "sealpaa/util/cli.hpp"
+#include "sealpaa/util/format.hpp"
+#include "sealpaa/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sealpaa;
+  const util::CliArgs args(argc, argv);
+  const std::size_t bits = static_cast<std::size_t>(args.get_int("bits", 8));
+  const double p = args.get_double("p", 0.5);
+
+  std::cout << util::banner(
+      "X4: stage-success vs value-level error, " + std::to_string(bits) +
+      "-bit chains, p = " + util::fixed(p, 1));
+
+  util::TextTable table({"Cell", "P(E) stage (paper)", "P(E) value-level",
+                         "masking gap", "mean error", "RMS error"});
+  for (std::size_t c = 1; c <= 5; ++c) table.set_align(c, util::Align::Right);
+
+  const auto profile = multibit::InputProfile::uniform(bits, p);
+  for (const adders::AdderCell& cell : adders::builtin_lpaas()) {
+    const auto chain = multibit::AdderChain::homogeneous(cell, bits);
+    const auto joint = analysis::JointCarryAnalyzer::analyze(chain, profile);
+    const auto moments = analysis::JointCarryAnalyzer::moments(chain, profile);
+    const double p_stage = 1.0 - joint.p_stage_success;
+    const double p_value = 1.0 - joint.p_value_correct;
+    table.add_row({cell.name(), util::prob6(p_stage), util::prob6(p_value),
+                   util::prob6(p_stage - p_value),
+                   util::fixed(moments.mean, 3),
+                   util::fixed(moments.rms(), 3)});
+  }
+  std::cout << table;
+  std::cout
+      << "\nAll homogeneous chains show a zero gap: LPAA1-5/7 because every "
+         "error row corrupts the sum bit, LPAA6 because its exact-XOR sum "
+         "imprints any carry divergence on the very next bit.  This "
+         "justifies the paper's use of the stage-success event for "
+         "homogeneous LPAA chains.\n";
+
+  // Hybrid chains CAN mask: an LPAA6 carry-only error entering an LPAA2
+  // stage at (a,b) = (1,1) reproduces the exact sum bit and re-converges
+  // the carry.
+  std::cout << "\nHybrid counter-example (alternating LPAA6|LPAA2):\n";
+  util::TextTable hybrid_table({"Chain", "P(E) stage", "P(E) value-level",
+                                "masking gap"});
+  for (std::size_t c = 1; c <= 3; ++c) {
+    hybrid_table.set_align(c, util::Align::Right);
+  }
+  std::vector<adders::AdderCell> stages;
+  for (std::size_t i = 0; i < bits; ++i) {
+    stages.push_back(i % 2 == 0 ? adders::lpaa(6) : adders::lpaa(2));
+  }
+  const multibit::AdderChain hybrid(stages);
+  const auto joint = analysis::JointCarryAnalyzer::analyze(hybrid, profile);
+  hybrid_table.add_row({hybrid.describe(),
+                        util::prob6(1.0 - joint.p_stage_success),
+                        util::prob6(1.0 - joint.p_value_correct),
+                        util::prob6(joint.p_value_correct -
+                                    joint.p_stage_success)});
+  std::cout << hybrid_table;
+  std::cout << "For hybrid designs the paper's stage-success P(E) is a "
+               "(slightly) conservative upper bound on the true value-level "
+               "error probability; the joint DP computes both exactly.\n";
+  return 0;
+}

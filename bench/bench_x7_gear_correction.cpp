@@ -1,0 +1,54 @@
+// Extension X7 (paper §1 + [11]): GeAr error detection/correction —
+// exact distribution of recovery cycles and the resulting effective
+// latency of a variable-latency corrected adder.
+#include <iostream>
+
+#include "sealpaa/gear/correction.hpp"
+#include "sealpaa/util/format.hpp"
+#include "sealpaa/util/table.hpp"
+
+int main() {
+  using namespace sealpaa;
+
+  std::cout << util::banner(
+      "X7: GeAr error correction - recovery-cycle distribution (p = 0.5)");
+
+  util::TextTable table({"Config", "P(0 cyc)", "P(1 cyc)", "P(2 cyc)",
+                         "P(>=3 cyc)", "E[recovery cycles]",
+                         "Effective latency (L + E.R)"});
+  for (std::size_t c = 1; c <= 6; ++c) table.set_align(c, util::Align::Right);
+
+  const gear::GearConfig configs[] = {
+      {8, 2, 0}, {8, 2, 2}, {12, 2, 2}, {12, 3, 3},
+      {16, 2, 2}, {16, 4, 4}, {32, 4, 4}, {32, 8, 8},
+  };
+  for (const gear::GearConfig& config : configs) {
+    const auto profile = multibit::InputProfile::uniform(
+        static_cast<std::size_t>(config.n()), 0.5);
+    const auto distribution =
+        gear::correction_cycle_distribution(config, profile);
+    const double expected =
+        gear::expected_recovery_cycles(config, profile);
+    double tail = 0.0;
+    for (std::size_t c = 3; c < distribution.size(); ++c) {
+      tail += distribution[c];
+    }
+    const auto at = [&](std::size_t c) {
+      return c < distribution.size() ? distribution[c] : 0.0;
+    };
+    // Effective latency model: L-bit carry chain per cycle, one extra
+    // cycle per failing block.
+    const double effective =
+        config.l() * (1.0 + expected);
+    table.add_row({config.describe(), util::prob6(at(0)), util::prob6(at(1)),
+                   util::prob6(at(2)), util::prob6(tail),
+                   util::fixed(expected, 4), util::fixed(effective, 2)});
+  }
+  std::cout << table;
+
+  std::cout << "\nCorrected GeAr is always numerically exact; the cost is a "
+               "stochastic latency.  Larger overlap P simultaneously cuts "
+               "the error probability (X3) and the expected recovery "
+               "cycles, at the price of a longer base carry chain.\n";
+  return 0;
+}

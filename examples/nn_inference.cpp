@@ -1,0 +1,196 @@
+// Quantized neural-network inference on an approximate MAC datapath —
+// the "deep learning networks / artificial intelligence" workload class
+// from the paper's introduction.  A tiny frozen MLP classifies synthetic
+// 2-D Gaussian clusters; every multiply-accumulate runs through an
+// approximate multiplier + accumulator, and we report how often the
+// predicted class (argmax) survives the approximation.
+//
+//   ./example_nn_inference [--samples=2000]
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "sealpaa/adders/builtin.hpp"
+#include "sealpaa/multibit/chain.hpp"
+#include "sealpaa/multiplier/array_multiplier.hpp"
+#include "sealpaa/prob/rng.hpp"
+#include "sealpaa/util/cli.hpp"
+#include "sealpaa/util/format.hpp"
+#include "sealpaa/util/table.hpp"
+
+namespace {
+
+using namespace sealpaa;
+
+constexpr int kInputs = 8;
+constexpr int kHidden = 6;
+constexpr int kClasses = 3;
+constexpr std::size_t kOperandBits = 7;  // magnitudes < 128
+constexpr std::size_t kAccumulatorBits = 22;
+
+struct Mlp {
+  int w1[kHidden][kInputs];
+  int w2[kClasses][kHidden];
+};
+
+// Frozen pseudo-random weights in [-20, 20].
+Mlp make_network(prob::Xoshiro256StarStar& rng) {
+  Mlp net{};
+  for (auto& row : net.w1) {
+    for (int& w : row) w = static_cast<int>(rng.next() % 41) - 20;
+  }
+  for (auto& row : net.w2) {
+    for (int& w : row) w = static_cast<int>(rng.next() % 41) - 20;
+  }
+  return net;
+}
+
+// One synthetic sample: cluster center per class + noise, quantized to
+// [0, 127].
+std::vector<std::int64_t> make_sample(int true_class,
+                                      prob::Xoshiro256StarStar& rng) {
+  std::vector<std::int64_t> x(kInputs);
+  for (int i = 0; i < kInputs; ++i) {
+    const double center = 30.0 + 30.0 * ((true_class + i) % kClasses);
+    const double noise = 24.0 * (rng.uniform01() - 0.5);
+    x[static_cast<std::size_t>(i)] = static_cast<std::int64_t>(
+        std::clamp(center + noise, 0.0, 127.0));
+  }
+  return x;
+}
+
+// Signed MAC through the approximate datapath: products via the
+// multiplier (sign-magnitude), accumulation via the chain in
+// two's-complement modulo 2^W.
+std::int64_t approx_dot(const std::vector<std::int64_t>& x, const int* w,
+                        int n, const multiplier::ApproxMultiplier& mult,
+                        const multibit::AdderChain& acc) {
+  std::uint64_t sum = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::int64_t product =
+        mult.multiply_signed(x[static_cast<std::size_t>(i)], w[i]);
+    const std::uint64_t addend = multibit::mask_width(
+        static_cast<std::uint64_t>(product), kAccumulatorBits);
+    sum = acc.evaluate(sum, addend, false).sum_bits;
+  }
+  const std::uint64_t sign_bit = 1ULL << (kAccumulatorBits - 1);
+  const std::uint64_t masked = multibit::mask_width(sum, kAccumulatorBits);
+  return (masked & sign_bit) != 0
+             ? static_cast<std::int64_t>(masked) -
+                   static_cast<std::int64_t>(1ULL << kAccumulatorBits)
+             : static_cast<std::int64_t>(masked);
+}
+
+int infer(const Mlp& net, const std::vector<std::int64_t>& x,
+          const multiplier::ApproxMultiplier& mult,
+          const multibit::AdderChain& acc) {
+  std::vector<std::int64_t> hidden(kHidden);
+  for (int h = 0; h < kHidden; ++h) {
+    const std::int64_t pre = approx_dot(x, net.w1[h], kInputs, mult, acc);
+    hidden[static_cast<std::size_t>(h)] =
+        std::clamp<std::int64_t>(pre / 64, 0, 127);  // ReLU + requantize
+  }
+  std::int64_t best = 0;
+  int best_class = 0;
+  for (int c = 0; c < kClasses; ++c) {
+    const std::int64_t logit =
+        approx_dot(hidden, net.w2[c], kHidden, mult, acc);
+    if (c == 0 || logit > best) {
+      best = logit;
+      best_class = c;
+    }
+  }
+  return best_class;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const int samples = static_cast<int>(args.get_int("samples", 2000));
+
+  prob::Xoshiro256StarStar rng(0x0ee7);
+  const Mlp net = make_network(rng);
+
+  // Pre-generate the evaluation set.
+  std::vector<std::pair<int, std::vector<std::int64_t>>> dataset;
+  for (int s = 0; s < samples; ++s) {
+    const int true_class = static_cast<int>(rng.next() % kClasses);
+    dataset.emplace_back(true_class, make_sample(true_class, rng));
+  }
+
+  const multiplier::ApproxMultiplier exact_mult(kOperandBits,
+                                                adders::accurate());
+  const multibit::AdderChain exact_acc =
+      multibit::AdderChain::homogeneous(adders::accurate(), kAccumulatorBits);
+
+  // Exact-datapath predictions are the reference.
+  std::vector<int> reference;
+  reference.reserve(dataset.size());
+  for (const auto& [label, x] : dataset) {
+    reference.push_back(infer(net, x, exact_mult, exact_acc));
+  }
+
+  std::cout << "Tiny MLP (" << kInputs << "-" << kHidden << "-" << kClasses
+            << ", int8-style) on " << samples
+            << " synthetic samples; MACs on approximate datapaths:\n\n";
+
+  util::TextTable table({"Datapath", "top-1 agreement with exact"});
+  table.set_align(1, util::Align::Right);
+
+  const auto evaluate = [&](const std::string& name,
+                            const multiplier::ApproxMultiplier& mult,
+                            const multibit::AdderChain& acc) {
+    int agree = 0;
+    for (std::size_t s = 0; s < dataset.size(); ++s) {
+      if (infer(net, dataset[s].second, mult, acc) == reference[s]) ++agree;
+    }
+    table.add_row({name, util::fixed(100.0 * agree /
+                                         static_cast<double>(dataset.size()),
+                                     2) +
+                             " %"});
+  };
+
+  evaluate("exact multiplier + exact accumulator", exact_mult, exact_acc);
+
+  // Approximate the accumulator LSBs progressively.  LPAA7 errors are
+  // sum-only (bounded by the approximated bits); LPAA6 errors corrupt
+  // carries and ripple upward — the error-*magnitude* lesson of
+  // bench_x11 playing out at application level.
+  const auto lsb_chain = [&](int cell_index, std::size_t approx_bits) {
+    std::vector<adders::AdderCell> stages;
+    for (std::size_t i = 0; i < approx_bits; ++i) {
+      stages.push_back(adders::lpaa(cell_index));
+    }
+    for (std::size_t i = approx_bits; i < kAccumulatorBits; ++i) {
+      stages.push_back(adders::accurate());
+    }
+    return multibit::AdderChain(stages);
+  };
+  for (std::size_t approx_bits :
+       {std::size_t{4}, std::size_t{8}, std::size_t{12}}) {
+    evaluate("exact mult + LPAA7 on " + std::to_string(approx_bits) + "/" +
+                 std::to_string(kAccumulatorBits) + " acc LSBs",
+             exact_mult, lsb_chain(7, approx_bits));
+  }
+  evaluate("exact mult + LPAA6 on 8/" + std::to_string(kAccumulatorBits) +
+               " acc LSBs (carry-corrupting)",
+           exact_mult, lsb_chain(6, 8));
+
+  // Approximate multiplier too (double approximation).
+  const multiplier::ApproxMultiplier lpaa7_mult(kOperandBits,
+                                                adders::lpaa(7));
+  evaluate("LPAA7 multiplier + exact accumulator", lpaa7_mult, exact_acc);
+
+  std::cout << table;
+  std::cout << "\nArgmax classification absorbs bounded-magnitude error "
+               "well: LPAA7 (sum-only errors, bounded by the approximated "
+               "LSBs) degrades gracefully as the approximate region grows, "
+               "while LPAA6's carry-corrupting errors at the same position "
+               "are catastrophic - at equal P(E), error *magnitude* decides "
+               "application quality (see bench_x11).  The sweep tells a "
+               "designer which cell and how many accumulator LSBs are "
+               "safely approximable.\n";
+  return 0;
+}

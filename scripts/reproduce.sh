@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Reproduces every paper table/figure and all extension experiments.
+# Usage: scripts/reproduce.sh [output-dir]   (default: ./out)
+set -eu
+
+OUT_DIR="${1:-out}"
+mkdir -p "$OUT_DIR"
+
+cmake -B build -G Ninja
+cmake --build build
+
+echo "== tests =="
+ctest --test-dir build --output-on-failure 2>&1 | tee "$OUT_DIR/tests.txt"
+
+echo "== benches =="
+for bench in build/bench/*; do
+  [ -x "$bench" ] || continue
+  name=$(basename "$bench")
+  echo "-- $name"
+  "$bench" | tee "$OUT_DIR/$name.txt"
+done
+
+echo "== figure CSV series =="
+build/bench/bench_figure5_sweeps --csv="$OUT_DIR" > /dev/null
+
+echo "== examples =="
+for example in build/examples/example_*; do
+  [ -x "$example" ] || continue
+  name=$(basename "$example")
+  echo "-- $name"
+  "$example" --out-dir="$OUT_DIR" | tee "$OUT_DIR/$name.txt"
+done
+
+echo "All outputs written to $OUT_DIR"

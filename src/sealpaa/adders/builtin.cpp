@@ -1,0 +1,76 @@
+#include "sealpaa/adders/builtin.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace sealpaa::adders {
+
+namespace {
+
+// Truth-table columns transcribed from Table 1 of the paper; row order is
+// (A,B,Cin) = 000, 001, 010, 011, 100, 101, 110, 111.
+std::vector<AdderCell> make_builtin_cells() {
+  std::vector<AdderCell> cells;
+  cells.reserve(1 + kBuiltinLpaaCount);
+  cells.push_back(AdderCell::from_columns(
+      "AccuFA", "01101001", "00010111", "Accurate 1-bit full adder"));
+  cells.push_back(AdderCell::from_columns(
+      "LPAA1", "01000001", "00110111",
+      "Approximate mirror adder 1 of Gupta et al. [7]"));
+  cells.push_back(AdderCell::from_columns(
+      "LPAA2", "11101000", "00010111",
+      "Approximate mirror adder 2 of Gupta et al. [7] (same table as "
+      "Approximate Adder 3 of Almurib et al. [1])"));
+  cells.push_back(AdderCell::from_columns(
+      "LPAA3", "11001000", "00110111",
+      "Approximate mirror adder 3 of Gupta et al. [7]"));
+  cells.push_back(AdderCell::from_columns(
+      "LPAA4", "01010001", "00001111",
+      "Approximate mirror adder 4 of Gupta et al. [7]"));
+  cells.push_back(AdderCell::from_columns(
+      "LPAA5", "00110011", "00001111",
+      "Wire-only adder of Gupta et al. [7]: Sum = B, Cout = A (zero "
+      "transistors)"));
+  cells.push_back(AdderCell::from_columns(
+      "LPAA6", "01101001", "01010101",
+      "Inexact cell 1 of Almurib et al. [1]: exact Sum, approximate Cout"));
+  cells.push_back(AdderCell::from_columns(
+      "LPAA7", "01111101", "00010111",
+      "Inexact cell 2 of Almurib et al. [1]"));
+  return cells;
+}
+
+const std::vector<AdderCell>& builtin_cells() {
+  static const std::vector<AdderCell> cells = make_builtin_cells();
+  return cells;
+}
+
+}  // namespace
+
+const AdderCell& accurate() { return builtin_cells().front(); }
+
+const AdderCell& lpaa(int index) {
+  if (index < 1 || index > kBuiltinLpaaCount) {
+    throw std::out_of_range("lpaa: index " + std::to_string(index) +
+                            " outside [1, 7]");
+  }
+  return builtin_cells()[static_cast<std::size_t>(index)];
+}
+
+std::span<const AdderCell> builtin_lpaas() {
+  return {builtin_cells().data() + 1,
+          static_cast<std::size_t>(kBuiltinLpaaCount)};
+}
+
+std::span<const AdderCell> all_builtin_cells() {
+  return {builtin_cells().data(), builtin_cells().size()};
+}
+
+const AdderCell* find_builtin(std::string_view name) {
+  for (const AdderCell& cell : builtin_cells()) {
+    if (cell.name() == name) return &cell;
+  }
+  return nullptr;
+}
+
+}  // namespace sealpaa::adders

@@ -1,0 +1,34 @@
+// Built-in adder cells: the accurate full adder plus the seven low-power
+// approximate adders (LPAA 1-7) of the paper's Table 1.  LPAA 1-5 are the
+// approximate mirror adders of Gupta et al. [7]; LPAA 6-7 are the inexact
+// cells of Almurib et al. [1].
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "sealpaa/adders/cell.hpp"
+
+namespace sealpaa::adders {
+
+/// Number of built-in approximate cells (LPAA 1..7).
+inline constexpr int kBuiltinLpaaCount = 7;
+
+/// The accurate (exact) full adder, "AccuFA" in the paper.
+[[nodiscard]] const AdderCell& accurate();
+
+/// The paper's LPAA `index` for `index` in [1, 7].
+/// Throws std::out_of_range otherwise.
+[[nodiscard]] const AdderCell& lpaa(int index);
+
+/// All seven approximate cells, index 0 holding LPAA 1.
+[[nodiscard]] std::span<const AdderCell> builtin_lpaas();
+
+/// All built-in cells including the accurate one (index 0 = AccuFA).
+[[nodiscard]] std::span<const AdderCell> all_builtin_cells();
+
+/// Looks a built-in cell up by name ("AccuFA", "LPAA1".."LPAA7",
+/// case-sensitive); returns nullptr when unknown.
+[[nodiscard]] const AdderCell* find_builtin(std::string_view name);
+
+}  // namespace sealpaa::adders

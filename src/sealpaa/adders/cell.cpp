@@ -1,0 +1,97 @@
+#include "sealpaa/adders/cell.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace sealpaa::adders {
+
+AdderCell::AdderCell(std::string name, Rows rows, std::string description)
+    : name_(std::move(name)),
+      description_(std::move(description)),
+      rows_(rows) {}
+
+AdderCell AdderCell::from_columns(std::string name,
+                                  std::string_view sum_column,
+                                  std::string_view carry_column,
+                                  std::string description) {
+  if (sum_column.size() != kRows || carry_column.size() != kRows) {
+    throw std::invalid_argument(
+        "AdderCell::from_columns: columns must have exactly 8 characters");
+  }
+  const auto bit = [&](char c, const char* which) -> bool {
+    if (c == '0') return false;
+    if (c == '1') return true;
+    throw std::invalid_argument(std::string("AdderCell::from_columns: ") +
+                                which + " column contains '" + c +
+                                "', expected '0' or '1'");
+  };
+  Rows rows{};
+  for (std::size_t i = 0; i < kRows; ++i) {
+    rows[i].sum = bit(sum_column[i], "sum");
+    rows[i].carry = bit(carry_column[i], "carry");
+  }
+  return AdderCell(std::move(name), rows, std::move(description));
+}
+
+const AdderCell::Rows& AdderCell::accurate_rows() noexcept {
+  static const Rows rows = [] {
+    Rows r{};
+    for (std::size_t i = 0; i < kRows; ++i) {
+      const int a = static_cast<int>((i >> 2) & 1U);
+      const int b = static_cast<int>((i >> 1) & 1U);
+      const int c = static_cast<int>(i & 1U);
+      const int total = a + b + c;
+      r[i].sum = (total & 1) != 0;
+      r[i].carry = total >= 2;
+    }
+    return r;
+  }();
+  return rows;
+}
+
+bool AdderCell::row_is_success(std::size_t row) const noexcept {
+  return rows_[row] == accurate_rows()[row];
+}
+
+std::array<bool, AdderCell::kRows> AdderCell::success_mask() const noexcept {
+  std::array<bool, kRows> mask{};
+  for (std::size_t i = 0; i < kRows; ++i) mask[i] = row_is_success(i);
+  return mask;
+}
+
+int AdderCell::error_case_count() const noexcept {
+  int errors = 0;
+  for (std::size_t i = 0; i < kRows; ++i) {
+    if (!row_is_success(i)) ++errors;
+  }
+  return errors;
+}
+
+int AdderCell::sum_error_count() const noexcept {
+  int errors = 0;
+  for (std::size_t i = 0; i < kRows; ++i) {
+    if (rows_[i].sum != accurate_rows()[i].sum) ++errors;
+  }
+  return errors;
+}
+
+int AdderCell::carry_error_count() const noexcept {
+  int errors = 0;
+  for (std::size_t i = 0; i < kRows; ++i) {
+    if (rows_[i].carry != accurate_rows()[i].carry) ++errors;
+  }
+  return errors;
+}
+
+std::string AdderCell::to_string() const {
+  std::ostringstream out;
+  out << name_ << " (A B Cin -> Sum Cout)\n";
+  for (std::size_t i = 0; i < kRows; ++i) {
+    out << ((i >> 2) & 1U) << ' ' << ((i >> 1) & 1U) << ' ' << (i & 1U)
+        << "  ->  " << rows_[i].sum << ' ' << rows_[i].carry
+        << (row_is_success(i) ? "" : "   [error case]") << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace sealpaa::adders

@@ -1,0 +1,102 @@
+// Single-bit (full-adder) cell model.
+//
+// A cell is completely described by its 8-row truth table (Table 1 of the
+// paper).  Everything else in the library — the M/K/L analysis matrices,
+// simulators, error-case accounting — derives from this one artifact, so
+// adding a new approximate adder is a single table literal.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace sealpaa::adders {
+
+/// The two output bits of a full-adder cell for one input combination.
+struct BitPair {
+  bool sum = false;
+  bool carry = false;
+
+  friend constexpr bool operator==(BitPair a, BitPair b) noexcept {
+    return a.sum == b.sum && a.carry == b.carry;
+  }
+};
+
+/// An immutable single-bit adder cell described by its truth table.
+///
+/// Truth table rows are indexed by the input combination
+/// `(A << 2) | (B << 1) | Cin`, i.e. row 0 is (A=0,B=0,Cin=0) and row 7 is
+/// (1,1,1) — the same ordering the paper uses for Table 1 and for the IPM
+/// vector (Equation 10).
+class AdderCell {
+ public:
+  static constexpr std::size_t kRows = 8;
+  using Rows = std::array<BitPair, kRows>;
+
+  AdderCell(std::string name, Rows rows, std::string description = {});
+
+  /// Builds a cell from two 8-character strings of '0'/'1' listing the sum
+  /// and carry-out columns in row order.  Throws std::invalid_argument on
+  /// malformed input.  Example (accurate FA):
+  ///   AdderCell::from_columns("AccuFA", "01101001", "00010111");
+  [[nodiscard]] static AdderCell from_columns(std::string name,
+                                              std::string_view sum_column,
+                                              std::string_view carry_column,
+                                              std::string description = {});
+
+  /// Row index for a given input combination.
+  [[nodiscard]] static constexpr std::size_t row_index(bool a, bool b,
+                                                       bool cin) noexcept {
+    return (static_cast<std::size_t>(a) << 2) |
+           (static_cast<std::size_t>(b) << 1) | static_cast<std::size_t>(cin);
+  }
+
+  /// Evaluates the cell on one input combination.
+  [[nodiscard]] BitPair output(bool a, bool b, bool cin) const noexcept {
+    return rows_[row_index(a, b, cin)];
+  }
+
+  [[nodiscard]] const Rows& rows() const noexcept { return rows_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& description() const noexcept {
+    return description_;
+  }
+
+  /// The accurate full-adder truth table (row i: sum = popcount parity,
+  /// carry = majority).
+  [[nodiscard]] static const Rows& accurate_rows() noexcept;
+
+  /// True when row `row` matches the accurate full adder in both outputs.
+  [[nodiscard]] bool row_is_success(std::size_t row) const noexcept;
+
+  /// Per-row success flags; this is exactly the L matrix of the paper
+  /// (Table 5) in boolean form.
+  [[nodiscard]] std::array<bool, kRows> success_mask() const noexcept;
+
+  /// Number of erroneous truth-table rows ("Error Cases" in Table 2).
+  [[nodiscard]] int error_case_count() const noexcept;
+
+  /// True when the cell is the exact full adder.
+  [[nodiscard]] bool is_exact() const noexcept {
+    return error_case_count() == 0;
+  }
+
+  /// Number of rows whose *sum* bit is wrong / whose *carry* bit is wrong.
+  [[nodiscard]] int sum_error_count() const noexcept;
+  [[nodiscard]] int carry_error_count() const noexcept;
+
+  /// Renders the truth table like the paper's Table 1 (one line per row).
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const AdderCell& a, const AdderCell& b) noexcept {
+    return a.rows_ == b.rows_;
+  }
+
+ private:
+  std::string name_;
+  std::string description_;
+  Rows rows_{};
+};
+
+}  // namespace sealpaa::adders

@@ -1,0 +1,37 @@
+#include "sealpaa/adders/characteristics.hpp"
+
+#include "sealpaa/adders/builtin.hpp"
+
+namespace sealpaa::adders {
+
+const std::vector<CellCharacteristics>& builtin_characteristics() {
+  // Power/area per Table 2 of the paper (from [7], 65 nm).  The accurate
+  // mirror adder baseline in [7] is ~1385 nW / 5.9 GE; the paper's table
+  // lists only the approximate cells, so AccuFA carries the [7] baseline.
+  static const std::vector<CellCharacteristics> table = {
+      {"AccuFA", 0, 1385.0, 5.90},
+      {"LPAA1", 2, 771.0, 4.23},
+      {"LPAA2", 2, 294.0, 1.94},
+      {"LPAA3", 3, 198.0, 1.59},
+      {"LPAA4", 3, 416.0, 1.76},
+      {"LPAA5", 4, 0.0, 0.0},
+      {"LPAA6", 2, std::nullopt, std::nullopt},
+      {"LPAA7", 2, std::nullopt, std::nullopt},
+  };
+  return table;
+}
+
+const CellCharacteristics* find_characteristics(const AdderCell& cell) {
+  for (const CellCharacteristics& row : builtin_characteristics()) {
+    if (row.cell_name == cell.name()) return &row;
+  }
+  return nullptr;
+}
+
+std::optional<double> chain_power_nw(const AdderCell& cell, int stages) {
+  const CellCharacteristics* row = find_characteristics(cell);
+  if (row == nullptr || !row->power_nw.has_value()) return std::nullopt;
+  return *row->power_nw * stages;
+}
+
+}  // namespace sealpaa::adders

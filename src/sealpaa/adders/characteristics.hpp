@@ -1,0 +1,38 @@
+// Physical characteristics of the built-in cells (the paper's Table 2,
+// taken from Gupta et al. [7], 65 nm):  per-cell power and area.  These
+// feed the design-space-exploration layer, which trades error probability
+// against power/area when building hybrid multi-bit adders.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sealpaa/adders/cell.hpp"
+
+namespace sealpaa::adders {
+
+/// Power/area data for one cell.  LPAA 6/7 come from a different paper
+/// ([1]) that reports no comparable 65 nm numbers, hence `optional`.
+struct CellCharacteristics {
+  std::string cell_name;
+  int error_cases = 0;             // erroneous truth-table rows
+  std::optional<double> power_nw;  // dynamic power, nanowatt
+  std::optional<double> area_ge;   // area, gate equivalents
+};
+
+/// Characteristics table for the built-in cells (AccuFA + LPAA1-7).
+/// AccuFA is normalised to the conventional mirror-adder numbers used as
+/// the 1.0x baseline in [7].
+[[nodiscard]] const std::vector<CellCharacteristics>& builtin_characteristics();
+
+/// Looks up the characteristics of `cell` by name; nullptr when unknown.
+[[nodiscard]] const CellCharacteristics* find_characteristics(
+    const AdderCell& cell);
+
+/// Total power (nW) of an N-stage chain of `cell`; nullopt when the cell
+/// has no power data.
+[[nodiscard]] std::optional<double> chain_power_nw(const AdderCell& cell,
+                                                   int stages);
+
+}  // namespace sealpaa::adders

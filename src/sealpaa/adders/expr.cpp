@@ -1,0 +1,135 @@
+#include "sealpaa/adders/expr.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace sealpaa::adders {
+
+namespace {
+
+// Recursive-descent parser/evaluator over a fixed (a, b, cin) binding.
+class Parser {
+ public:
+  Parser(std::string_view text, bool a, bool b, bool cin)
+      : text_(text), a_(a), b_(b), cin_(cin) {}
+
+  bool parse() {
+    const bool value = parse_or();
+    skip_space();
+    if (pos_ != text_.size()) fail("unexpected trailing input");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::invalid_argument("expression error at position " +
+                                std::to_string(pos_) + ": " + message +
+                                " in '" + std::string(text_) + "'");
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_space();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_or() {
+    bool value = parse_xor();
+    while (consume('|')) value = parse_xor() || value;
+    return value;
+  }
+
+  bool parse_xor() {
+    bool value = parse_and();
+    while (consume('^')) value = parse_and() != value;
+    return value;
+  }
+
+  bool parse_and() {
+    bool value = parse_unary();
+    while (consume('&')) {
+      const bool rhs = parse_unary();
+      value = value && rhs;
+    }
+    return value;
+  }
+
+  bool parse_unary() {
+    if (consume('~') || consume('!')) return !parse_unary();
+    return parse_primary();
+  }
+
+  bool parse_primary() {
+    skip_space();
+    if (pos_ >= text_.size()) fail("expected operand");
+    const char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      const bool value = parse_or();
+      if (!consume(')')) fail("expected ')'");
+      return value;
+    }
+    if (c == '0' || c == '1') {
+      ++pos_;
+      return c == '1';
+    }
+    if (c == 'a' || c == 'A') {
+      ++pos_;
+      return a_;
+    }
+    if (c == 'b' || c == 'B') {
+      ++pos_;
+      return b_;
+    }
+    if (c == 'c' || c == 'C') {
+      ++pos_;
+      // Accept both 'c' and 'cin'.
+      if (pos_ + 1 < text_.size() &&
+          (text_[pos_] == 'i' || text_[pos_] == 'I') &&
+          (text_[pos_ + 1] == 'n' || text_[pos_ + 1] == 'N')) {
+        pos_ += 2;
+      }
+      return cin_;
+    }
+    fail(std::string("unexpected character '") + c + "'");
+  }
+
+  std::string_view text_;
+  bool a_;
+  bool b_;
+  bool cin_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool evaluate_expression(std::string_view expression, bool a, bool b,
+                         bool cin) {
+  return Parser(expression, a, b, cin).parse();
+}
+
+AdderCell cell_from_expressions(std::string name, std::string_view sum_expr,
+                                std::string_view cout_expr,
+                                std::string description) {
+  AdderCell::Rows rows{};
+  for (std::size_t row = 0; row < AdderCell::kRows; ++row) {
+    const bool a = (row & 4U) != 0;
+    const bool b = (row & 2U) != 0;
+    const bool cin = (row & 1U) != 0;
+    rows[row].sum = evaluate_expression(sum_expr, a, b, cin);
+    rows[row].carry = evaluate_expression(cout_expr, a, b, cin);
+  }
+  return AdderCell(std::move(name), rows, std::move(description));
+}
+
+}  // namespace sealpaa::adders

@@ -1,0 +1,35 @@
+// Boolean-expression front end for defining custom cells.
+//
+// Downstream users rarely have truth tables at hand; they have logic
+// equations from a paper or a netlist.  This parser turns expressions
+// over the inputs a, b, cin into an AdderCell by evaluating all eight
+// input combinations, e.g.
+//
+//   cell_from_expressions("MyAdder",
+//                         "a ^ b ^ cin",
+//                         "(a & b) | (cin & (a ^ b))");
+//
+// Grammar (precedence low to high): '|'  '^'  '&'  '~'; parentheses;
+// literals 0/1; variables a, b, c/cin.  Throws std::invalid_argument
+// with a character position on malformed input.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "sealpaa/adders/cell.hpp"
+
+namespace sealpaa::adders {
+
+/// Builds a cell by evaluating the two expressions on every input row.
+[[nodiscard]] AdderCell cell_from_expressions(std::string name,
+                                              std::string_view sum_expr,
+                                              std::string_view cout_expr,
+                                              std::string description = {});
+
+/// Evaluates one boolean expression for given input values (exposed for
+/// testing and for ad-hoc probes).
+[[nodiscard]] bool evaluate_expression(std::string_view expression, bool a,
+                                       bool b, bool cin);
+
+}  // namespace sealpaa::adders

@@ -1,0 +1,34 @@
+// Design-bound queries built on the recursion.
+//
+// The paper's §5 observes that "none of the LPAA is useful beyond
+// 10-bits cascading" at p = 0.5.  These helpers turn that observation
+// into an API: given an application's error tolerance, how many stages
+// of a cell can be cascaded, and how many LSBs of an N-bit adder may be
+// approximated?  Both exploit the monotonicity of the error probability
+// in the number of approximate stages (a property test in
+// tests/test_property_sweeps.cpp).
+#pragma once
+
+#include <cstddef>
+
+#include "sealpaa/adders/cell.hpp"
+#include "sealpaa/multibit/input_profile.hpp"
+
+namespace sealpaa::analysis {
+
+/// Largest width N <= cap such that an N-bit homogeneous chain of `cell`
+/// with uniform input probability `p` has P(Error) <= epsilon.  Returns
+/// 0 when even a single stage exceeds the tolerance.
+[[nodiscard]] int max_cascadable_width(const adders::AdderCell& cell,
+                                       double p, double epsilon,
+                                       int cap = 63);
+
+/// Largest k such that the hybrid N-bit chain with `cell` on the k LSBs
+/// and exact adders above has P(Error) <= epsilon under uniform input
+/// probability `p` (the LSB-only approximation pattern used in
+/// image/DSP datapaths).  Returns 0 when no stage may be approximated.
+[[nodiscard]] int max_approximate_lsbs(const adders::AdderCell& cell,
+                                       std::size_t width, double p,
+                                       double epsilon);
+
+}  // namespace sealpaa::analysis

@@ -1,0 +1,61 @@
+#include "sealpaa/analysis/correlated.hpp"
+
+#include <stdexcept>
+
+#include "sealpaa/prob/probability.hpp"
+
+namespace sealpaa::analysis {
+
+AnalysisResult CorrelatedAnalyzer::analyze(
+    const multibit::AdderChain& chain,
+    const multibit::JointInputProfile& profile,
+    const AnalyzeOptions& options) {
+  if (chain.width() != profile.width()) {
+    throw std::invalid_argument(
+        "CorrelatedAnalyzer: chain and profile widths differ");
+  }
+  const std::size_t n = chain.width();
+  CarryState carry{1.0 - profile.p_cin(), profile.p_cin()};
+  if (options.counter != nullptr) options.counter->note_live(3);
+
+  AnalysisResult result;
+  if (options.record_trace) result.trace.reserve(n);
+
+  MklMatrices cached = MklMatrices::from_cell(chain.stage(0));
+  const adders::AdderCell* cached_for = &chain.stage(0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const adders::AdderCell& cell = chain.stage(i);
+    if (&cell != cached_for && !(cell == *cached_for)) {
+      cached = MklMatrices::from_cell(cell);
+      cached_for = &cell;
+    }
+    const Vector8 ipm =
+        joint_input_probability_matrix(profile.joint(i), carry);
+    if (options.counter != nullptr) options.counter->count_mul(8);
+
+    if (i + 1 == n) {
+      result.p_success = prob::require_probability(
+          dot(ipm, cached.l), "CorrelatedAnalyzer P(Succ)");
+    }
+    const CarryState next{dot(ipm, cached.k), dot(ipm, cached.m)};
+    if (options.record_trace) {
+      result.trace.push_back(StageTrace{profile.marginal_a(i),
+                                        profile.marginal_b(i), carry, next});
+    }
+    carry = next;
+  }
+  result.final_carry = carry;
+  result.p_error = 1.0 - result.p_success;
+  return result;
+}
+
+double CorrelatedAnalyzer::error_probability(
+    const adders::AdderCell& cell,
+    const multibit::JointInputProfile& profile) {
+  return analyze(multibit::AdderChain::homogeneous(cell, profile.width()),
+                 profile)
+      .p_error;
+}
+
+}  // namespace sealpaa::analysis

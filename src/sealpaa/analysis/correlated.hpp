@@ -1,0 +1,42 @@
+// Correlated-operand generalization of the paper's recursion.
+//
+// Equation 10 factors the IPM entries as P(A).P(B).P(C ∩ Succ) using the
+// independence assumption of §4.  The recursion only actually requires
+// per-stage joint operand probabilities, so substituting
+// P(A_i = a, B_i = b) for the product lifts the assumption at zero
+// asymptotic cost — the carry pair remains the sufficient statistic.
+#pragma once
+
+#include "sealpaa/analysis/recursive.hpp"
+#include "sealpaa/multibit/joint_profile.hpp"
+
+namespace sealpaa::analysis {
+
+/// Recursive analyzer over a correlated-operand profile.  Reduces to
+/// RecursiveAnalyzer when the profile is a product distribution.
+class CorrelatedAnalyzer {
+ public:
+  [[nodiscard]] static AnalysisResult analyze(
+      const multibit::AdderChain& chain,
+      const multibit::JointInputProfile& profile,
+      const AnalyzeOptions& options = {});
+
+  [[nodiscard]] static double error_probability(
+      const adders::AdderCell& cell,
+      const multibit::JointInputProfile& profile);
+};
+
+/// IPM for one stage from a joint operand distribution (generalizes
+/// input_probability_matrix).
+[[nodiscard]] constexpr Vector8 joint_input_probability_matrix(
+    const multibit::JointBitDistribution& joint,
+    const CarryState& carry) noexcept {
+  Vector8 ipm{};
+  for (std::size_t ab = 0; ab < 4; ++ab) {
+    ipm[2 * ab] = joint[ab] * carry.c0;
+    ipm[2 * ab + 1] = joint[ab] * carry.c1;
+  }
+  return ipm;
+}
+
+}  // namespace sealpaa::analysis

@@ -1,0 +1,52 @@
+#include "sealpaa/analysis/costs.hpp"
+
+#include "sealpaa/analysis/recursive.hpp"
+
+namespace sealpaa::analysis {
+
+ResourceCounts paper_model_equal_probabilities() {
+  return ResourceCounts{32, 21, 3};
+}
+
+ResourceCounts paper_model_varying_probabilities(int n_bits) {
+  return ResourceCounts{48, 21, static_cast<std::uint64_t>(n_bits) + 1};
+}
+
+util::OpCounts implementation_model(const adders::AdderCell& cell,
+                                    std::size_t n_bits) {
+  const MklMatrices mkl = MklMatrices::from_cell(cell);
+  const auto ones = [](const Vector8& v) {
+    std::uint64_t count = 0;
+    for (double x : v) count += (x != 0.0) ? 1U : 0U;
+    return count;
+  };
+  const std::uint64_t ones_m = ones(mkl.m);
+  const std::uint64_t ones_k = ones(mkl.k);
+  const std::uint64_t ones_l = ones(mkl.l);
+
+  util::OpCounts counts;
+  const std::uint64_t advanced = n_bits > 0 ? n_bits - 1 : 0;
+  // Per advanced stage: IPM (12 mul + 2 sub) and two selective dots.
+  counts.multiplications = 12 * advanced;
+  counts.additions = 2 * advanced;
+  counts.additions += advanced * ((ones_m > 1 ? ones_m - 1 : 0) +
+                                  (ones_k > 1 ? ones_k - 1 : 0));
+  // Final stage: IPM + dot with L.
+  if (n_bits > 0) {
+    counts.multiplications += 12;
+    counts.additions += 2 + (ones_l > 1 ? ones_l - 1 : 0);
+  }
+  counts.memory_units = 3;
+  return counts;
+}
+
+util::OpCounts measure_recursive(const multibit::AdderChain& chain,
+                                 const multibit::InputProfile& profile) {
+  util::OpCounter counter;
+  AnalyzeOptions options;
+  options.counter = &counter;
+  (void)RecursiveAnalyzer::analyze(chain, profile, options);
+  return counter.counts();
+}
+
+}  // namespace sealpaa::analysis

@@ -1,0 +1,47 @@
+// Resource accounting of the proposed method (paper Table 8) and the
+// closed-form cost of this implementation, for comparison against the
+// measured counts of an instrumented run and against the traditional
+// inclusion-exclusion blow-up (Table 3, in sealpaa/baseline).
+#pragma once
+
+#include <cstdint>
+
+#include "sealpaa/analysis/mkl.hpp"
+#include "sealpaa/multibit/chain.hpp"
+#include "sealpaa/multibit/input_profile.hpp"
+#include "sealpaa/util/counters.hpp"
+
+namespace sealpaa::analysis {
+
+/// Scalar-resource counts in the paper's accounting style.
+struct ResourceCounts {
+  std::uint64_t multipliers = 0;
+  std::uint64_t adders = 0;
+  std::uint64_t memory_units = 0;
+};
+
+/// Table 8 left column: operand bits equally probable.  The paper counts
+/// 32 multipliers / 21 adders per iteration with 3 memory units (the two
+/// carry-state scalars plus the success mass), one iteration per bit.
+[[nodiscard]] ResourceCounts paper_model_equal_probabilities();
+
+/// Table 8 right column: per-bit operand probabilities.  48 multipliers /
+/// 21 adders per iteration; memory holds the per-bit inputs, hence
+/// N + 1 units.
+[[nodiscard]] ResourceCounts paper_model_varying_probabilities(int n_bits);
+
+/// Closed-form cost of *this* implementation for an N-bit homogeneous
+/// chain of `cell`: per advanced stage 12 multiplications + 2 complement
+/// subtractions + (ones(M)-1)+(ones(K)-1) additions; the final stage
+/// costs 12 multiplications + 2 subtractions + (ones(L)-1) additions.
+[[nodiscard]] util::OpCounts implementation_model(const adders::AdderCell& cell,
+                                                  std::size_t n_bits);
+
+/// Runs the recursion with instrumentation and returns the measured
+/// counts (must equal `implementation_model` for homogeneous chains —
+/// checked in tests).
+[[nodiscard]] util::OpCounts measure_recursive(
+    const multibit::AdderChain& chain,
+    const multibit::InputProfile& profile);
+
+}  // namespace sealpaa::analysis

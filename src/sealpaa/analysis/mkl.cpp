@@ -1,0 +1,30 @@
+#include "sealpaa/analysis/mkl.hpp"
+
+#include <sstream>
+
+namespace sealpaa::analysis {
+
+MklMatrices MklMatrices::from_cell(const adders::AdderCell& cell) {
+  MklMatrices out;
+  for (std::size_t row = 0; row < adders::AdderCell::kRows; ++row) {
+    const bool success = cell.row_is_success(row);
+    const bool carry = cell.rows()[row].carry;
+    out.m[row] = (success && carry) ? 1.0 : 0.0;
+    out.k[row] = (success && !carry) ? 1.0 : 0.0;
+    out.l[row] = success ? 1.0 : 0.0;
+  }
+  return out;
+}
+
+std::string MklMatrices::render(const Vector8& v) {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) out << ',';
+    out << (v[i] != 0.0 ? '1' : '0');
+  }
+  out << ']';
+  return out.str();
+}
+
+}  // namespace sealpaa::analysis

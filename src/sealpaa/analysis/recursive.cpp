@@ -1,0 +1,139 @@
+#include "sealpaa/analysis/recursive.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "sealpaa/prob/probability.hpp"
+
+namespace sealpaa::analysis {
+
+namespace {
+
+// Counts the arithmetic of building one IPM: two complements (subtract),
+// 4 operand products + 8 carry products = 12 multiplications.
+void count_ipm(util::OpCounter* counter) {
+  if (counter == nullptr) return;
+  counter->count_add(2);   // 1-P(A), 1-P(B)
+  counter->count_mul(12);  // 4 a*b products, then x c0/c1 for 8 entries
+}
+
+// Counts a selective dot product with a 0/1 vector holding `ones` ones.
+void count_dot(util::OpCounter* counter, int ones) {
+  if (counter == nullptr) return;
+  if (ones > 1) counter->count_add(static_cast<std::uint64_t>(ones - 1));
+}
+
+int count_ones(const Vector8& v) {
+  int ones = 0;
+  for (double x : v) ones += (x != 0.0) ? 1 : 0;
+  return ones;
+}
+
+}  // namespace
+
+CarryState advance_stage(const MklMatrices& mkl, double p_a, double p_b,
+                         const CarryState& carry, util::OpCounter* counter) {
+  const Vector8 ipm = input_probability_matrix(p_a, p_b, carry);
+  count_ipm(counter);
+  CarryState next;
+  next.c1 = dot(ipm, mkl.m);
+  next.c0 = dot(ipm, mkl.k);
+  count_dot(counter, count_ones(mkl.m));
+  count_dot(counter, count_ones(mkl.k));
+  if (counter != nullptr) {
+    // Live scalars: the carry pair plus the running success mass.
+    counter->note_live(3);
+  }
+  // Discarding error rows can only shrink the success mass.
+  assert(next.success_mass() <= carry.success_mass() + prob::kProbabilitySlack);
+  return next;
+}
+
+double final_success(const MklMatrices& mkl, double p_a, double p_b,
+                     const CarryState& carry, util::OpCounter* counter) {
+  const Vector8 ipm = input_probability_matrix(p_a, p_b, carry);
+  count_ipm(counter);
+  count_dot(counter, count_ones(mkl.l));
+  return dot(ipm, mkl.l);
+}
+
+AnalysisResult RecursiveAnalyzer::analyze(const multibit::AdderChain& chain,
+                                          const multibit::InputProfile& profile,
+                                          const AnalyzeOptions& options) {
+  if (chain.width() != profile.width()) {
+    throw std::invalid_argument(
+        "RecursiveAnalyzer: chain width " + std::to_string(chain.width()) +
+        " does not match profile width " + std::to_string(profile.width()));
+  }
+  const std::size_t n = chain.width();
+
+  // Initial state (Equation 5): the input carry is always "successful".
+  CarryState carry{1.0 - profile.p_cin(), profile.p_cin()};
+  if (options.counter != nullptr) options.counter->note_live(3);
+
+  AnalysisResult result;
+  if (options.record_trace) result.trace.reserve(n);
+
+  // Cache M/K/L per distinct cell; for homogeneous chains this derives
+  // the matrices exactly once.
+  MklMatrices cached = MklMatrices::from_cell(chain.stage(0));
+  const adders::AdderCell* cached_for = &chain.stage(0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const adders::AdderCell& cell = chain.stage(i);
+    if (&cell != cached_for && !(cell == *cached_for)) {
+      cached = MklMatrices::from_cell(cell);
+      cached_for = &cell;
+    }
+    const double p_a = profile.p_a(i);
+    const double p_b = profile.p_b(i);
+
+    if (i + 1 == n) {
+      result.p_success = prob::require_probability(
+          final_success(cached, p_a, p_b, carry, options.counter),
+          "RecursiveAnalyzer P(Succ)");
+    }
+    // The carry advance of the last stage is "NR" for P(Succ) (paper
+    // Table 4) but we still compute it: it is what composition into a
+    // wider chain would consume, and the trace reports it.
+    const CarryState next =
+        advance_stage(cached, p_a, p_b, carry,
+                      i + 1 == n ? nullptr : options.counter);
+    if (options.record_trace) {
+      result.trace.push_back(StageTrace{p_a, p_b, carry, next});
+    }
+    carry = next;
+  }
+
+  result.final_carry = carry;
+  result.p_error = 1.0 - result.p_success;
+  return result;
+}
+
+AnalysisResult RecursiveAnalyzer::analyze(const adders::AdderCell& cell,
+                                          const multibit::InputProfile& profile,
+                                          const AnalyzeOptions& options) {
+  return analyze(multibit::AdderChain::homogeneous(cell, profile.width()),
+                 profile, options);
+}
+
+double RecursiveAnalyzer::error_probability(
+    const adders::AdderCell& cell, const multibit::InputProfile& profile) {
+  return analyze(cell, profile).p_error;
+}
+
+std::vector<double> stage_loss_report(const AnalysisResult& result) {
+  if (result.trace.empty()) {
+    throw std::invalid_argument(
+        "stage_loss_report: analyze with record_trace = true first");
+  }
+  std::vector<double> losses;
+  losses.reserve(result.trace.size());
+  for (const StageTrace& stage : result.trace) {
+    losses.push_back(stage.carry_in.success_mass() -
+                     stage.carry_out.success_mass());
+  }
+  return losses;
+}
+
+}  // namespace sealpaa::analysis

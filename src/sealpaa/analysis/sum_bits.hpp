@@ -1,0 +1,55 @@
+// Per-sum-bit probability analysis.
+//
+// The paper notes (§4.1/§4.2) that "the probability of the output sum
+// bits can also be evaluated using a similar matrices based approach".
+// This module provides that, in two flavours:
+//
+//  * success-filtered: P(sum_i = 1 ∩ all stages up to i successful) and
+//    the running prefix-success mass — the direct analogue of the carry
+//    recursion using per-row sum/success selection vectors;
+//  * unconditional signal probabilities: P(sum_i = 1) and P(carry = 1)
+//    with no success filtering — the quantities needed for switching-
+//    activity (dynamic power) estimation of the approximate datapath.
+#pragma once
+
+#include <vector>
+
+#include "sealpaa/analysis/mkl.hpp"
+#include "sealpaa/multibit/chain.hpp"
+#include "sealpaa/multibit/input_profile.hpp"
+
+namespace sealpaa::analysis {
+
+/// Per-bit probability report; all vectors have the chain width.
+struct SumBitReport {
+  /// P(sum_i = 1 ∩ stages 0..i all successful).
+  std::vector<double> p_sum_one_and_success;
+  /// P(stages 0..i all successful) — monotone non-increasing.
+  std::vector<double> p_prefix_success;
+  /// Unconditional P(sum_i = 1) of the approximate chain.
+  std::vector<double> p_sum_one;
+  /// Unconditional P(carry out of stage i = 1) of the approximate chain.
+  std::vector<double> p_carry_one;
+  /// P(sum_i = 1) for an exact adder under the same inputs (reference
+  /// for bias inspection).
+  std::vector<double> p_sum_one_exact;
+};
+
+/// Selection vectors for sum-bit analysis, derived per cell.
+struct SumVectors {
+  Vector8 sum_one{};              // row sum bit (unconditional)
+  Vector8 sum_one_and_success{};  // row sum bit AND row success
+  Vector8 carry_one{};            // row carry bit (unconditional)
+
+  [[nodiscard]] static SumVectors from_cell(const adders::AdderCell& cell);
+};
+
+class SumBitAnalyzer {
+ public:
+  /// Analyzes every sum bit of `chain` under `profile`.
+  [[nodiscard]] static SumBitReport analyze(
+      const multibit::AdderChain& chain,
+      const multibit::InputProfile& profile);
+};
+
+}  // namespace sealpaa::analysis

@@ -1,0 +1,101 @@
+#include "sealpaa/apps/fir.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+namespace sealpaa::apps {
+
+FirFilter::FirFilter(std::vector<int> coefficients, std::size_t width)
+    : coefficients_(std::move(coefficients)), width_(width) {
+  if (coefficients_.empty()) {
+    throw std::invalid_argument("FirFilter: need at least one tap");
+  }
+  if (width_ < 2 || width_ > 62) {
+    throw std::invalid_argument("FirFilter: width must be in [2, 62]");
+  }
+}
+
+std::int64_t FirFilter::to_signed(std::uint64_t value) const noexcept {
+  const std::uint64_t sign_bit = 1ULL << (width_ - 1);
+  const std::uint64_t masked = multibit::mask_width(value, width_);
+  if ((masked & sign_bit) != 0) {
+    return static_cast<std::int64_t>(masked) -
+           static_cast<std::int64_t>(1ULL << width_);
+  }
+  return static_cast<std::int64_t>(masked);
+}
+
+std::vector<std::int64_t> FirFilter::run_exact(
+    const std::vector<std::int64_t>& signal) const {
+  std::vector<std::int64_t> out(signal.size(), 0);
+  for (std::size_t n = 0; n < signal.size(); ++n) {
+    std::uint64_t acc = 0;
+    for (std::size_t k = 0; k < coefficients_.size() && k <= n; ++k) {
+      const std::int64_t product =
+          static_cast<std::int64_t>(coefficients_[k]) * signal[n - k];
+      acc = multibit::mask_width(acc + static_cast<std::uint64_t>(product),
+                                 width_);
+    }
+    out[n] = to_signed(acc);
+  }
+  return out;
+}
+
+std::vector<std::int64_t> FirFilter::run_approx(
+    const std::vector<std::int64_t>& signal,
+    const multibit::AdderChain& chain) const {
+  if (chain.width() != width_) {
+    throw std::invalid_argument(
+        "FirFilter::run_approx: chain width must match the datapath width");
+  }
+  std::vector<std::int64_t> out(signal.size(), 0);
+  for (std::size_t n = 0; n < signal.size(); ++n) {
+    std::uint64_t acc = 0;
+    for (std::size_t k = 0; k < coefficients_.size() && k <= n; ++k) {
+      const std::int64_t product =
+          static_cast<std::int64_t>(coefficients_[k]) * signal[n - k];
+      const std::uint64_t addend = multibit::mask_width(
+          static_cast<std::uint64_t>(product), width_);
+      acc = chain.evaluate(acc, addend, false).sum_bits;  // mod 2^W
+    }
+    out[n] = to_signed(acc);
+  }
+  return out;
+}
+
+std::vector<std::int64_t> make_sine_signal(std::size_t samples,
+                                           double amplitude, double frequency,
+                                           double noise_amplitude,
+                                           prob::Xoshiro256StarStar& rng) {
+  std::vector<std::int64_t> signal(samples, 0);
+  for (std::size_t n = 0; n < samples; ++n) {
+    const double phase =
+        2.0 * std::numbers::pi * frequency * static_cast<double>(n);
+    double value = amplitude * std::sin(phase);
+    value += noise_amplitude * (2.0 * rng.uniform01() - 1.0);
+    signal[n] = static_cast<std::int64_t>(std::llround(value));
+  }
+  return signal;
+}
+
+double snr_db(const std::vector<std::int64_t>& ref,
+              const std::vector<std::int64_t>& test) {
+  if (ref.size() != test.size()) {
+    throw std::invalid_argument("snr_db: size mismatch");
+  }
+  double signal_power = 0.0;
+  double noise_power = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const double s = static_cast<double>(ref[i]);
+    const double d = s - static_cast<double>(test[i]);
+    signal_power += s * s;
+    noise_power += d * d;
+  }
+  if (noise_power == 0.0) return std::numeric_limits<double>::infinity();
+  if (signal_power == 0.0) return -std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(signal_power / noise_power);
+}
+
+}  // namespace sealpaa::apps

@@ -1,0 +1,54 @@
+// Fixed-point FIR filtering with approximate accumulation — the DSP
+// use-case from the paper's introduction ("building blocks of digital
+// signal processors").  Multiplications stay exact (the paper studies
+// adders); every accumulation runs through a configurable adder chain in
+// W-bit two's-complement arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sealpaa/multibit/chain.hpp"
+#include "sealpaa/prob/rng.hpp"
+
+namespace sealpaa::apps {
+
+/// A direct-form FIR filter over W-bit two's-complement samples.
+class FirFilter {
+ public:
+  /// `coefficients` are integer taps; `width` is the datapath width in
+  /// bits (accumulations wrap modulo 2^width, like the hardware would).
+  FirFilter(std::vector<int> coefficients, std::size_t width);
+
+  /// Runs the filter with exact accumulation.
+  [[nodiscard]] std::vector<std::int64_t> run_exact(
+      const std::vector<std::int64_t>& signal) const;
+
+  /// Runs the filter accumulating through `chain` (width must match).
+  [[nodiscard]] std::vector<std::int64_t> run_approx(
+      const std::vector<std::int64_t>& signal,
+      const multibit::AdderChain& chain) const;
+
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  [[nodiscard]] const std::vector<int>& coefficients() const noexcept {
+    return coefficients_;
+  }
+
+ private:
+  [[nodiscard]] std::int64_t to_signed(std::uint64_t value) const noexcept;
+
+  std::vector<int> coefficients_;
+  std::size_t width_;
+};
+
+/// Quantized sine test signal with optional additive uniform noise.
+[[nodiscard]] std::vector<std::int64_t> make_sine_signal(
+    std::size_t samples, double amplitude, double frequency,
+    double noise_amplitude, prob::Xoshiro256StarStar& rng);
+
+/// Signal-to-noise ratio (dB) of `test` against reference `ref`
+/// (infinite when identical).
+[[nodiscard]] double snr_db(const std::vector<std::int64_t>& ref,
+                            const std::vector<std::int64_t>& test);
+
+}  // namespace sealpaa::apps

@@ -1,0 +1,136 @@
+#include "sealpaa/apps/image.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+namespace sealpaa::apps {
+
+Image::Image(std::size_t width, std::size_t height)
+    : width_(width), height_(height), pixels_(width * height, 0) {
+  if (width == 0 || height == 0) {
+    throw std::invalid_argument("Image: dimensions must be nonzero");
+  }
+}
+
+std::uint8_t Image::at(std::size_t x, std::size_t y) const {
+  return pixels_.at(y * width_ + x);
+}
+
+void Image::set(std::size_t x, std::size_t y, std::uint8_t value) {
+  pixels_.at(y * width_ + x) = value;
+}
+
+Image Image::gradient(std::size_t width, std::size_t height) {
+  Image image(width, height);
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      image.set(x, y, static_cast<std::uint8_t>(255 * x / (width - 1 + (width == 1))));
+    }
+  }
+  return image;
+}
+
+Image Image::checkerboard(std::size_t width, std::size_t height,
+                          std::size_t cell) {
+  if (cell == 0) throw std::invalid_argument("checkerboard: cell size 0");
+  Image image(width, height);
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      const bool on = ((x / cell) + (y / cell)) % 2 == 0;
+      image.set(x, y, on ? 220 : 35);
+    }
+  }
+  return image;
+}
+
+Image Image::blobs(std::size_t width, std::size_t height, int count,
+                   prob::Xoshiro256StarStar& rng) {
+  Image image(width, height);
+  std::vector<double> field(width * height, 0.0);
+  for (int blob = 0; blob < count; ++blob) {
+    const double cx = rng.uniform01() * static_cast<double>(width);
+    const double cy = rng.uniform01() * static_cast<double>(height);
+    const double sigma =
+        (0.05 + 0.15 * rng.uniform01()) * static_cast<double>(width);
+    const double amplitude = 60.0 + 195.0 * rng.uniform01();
+    for (std::size_t y = 0; y < height; ++y) {
+      for (std::size_t x = 0; x < width; ++x) {
+        const double dx = static_cast<double>(x) - cx;
+        const double dy = static_cast<double>(y) - cy;
+        field[y * width + x] +=
+            amplitude * std::exp(-(dx * dx + dy * dy) / (2.0 * sigma * sigma));
+      }
+    }
+  }
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    image.pixels_[i] = static_cast<std::uint8_t>(
+        std::min(255.0, std::max(0.0, field[i])));
+  }
+  return image;
+}
+
+void Image::write_pgm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_pgm: cannot open " + path);
+  out << "P5\n" << width_ << ' ' << height_ << "\n255\n";
+  out.write(reinterpret_cast<const char*>(pixels_.data()),
+            static_cast<std::streamsize>(pixels_.size()));
+  if (!out) throw std::runtime_error("write_pgm: write failed for " + path);
+}
+
+double image_mse(const Image& a, const Image& b) {
+  if (a.width() != b.width() || a.height() != b.height()) {
+    throw std::invalid_argument("image_mse: size mismatch");
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.pixels().size(); ++i) {
+    const double d = static_cast<double>(a.pixels()[i]) -
+                     static_cast<double>(b.pixels()[i]);
+    total += d * d;
+  }
+  return total / static_cast<double>(a.pixels().size());
+}
+
+double image_psnr(const Image& a, const Image& b) {
+  const double mse = image_mse(a, b);
+  if (mse == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+Image approx_blend(const Image& a, const Image& b,
+                   const multibit::AdderChain& chain) {
+  if (chain.width() != 8) {
+    throw std::invalid_argument("approx_blend: chain width must be 8");
+  }
+  if (a.width() != b.width() || a.height() != b.height()) {
+    throw std::invalid_argument("approx_blend: size mismatch");
+  }
+  Image out(a.width(), a.height());
+  for (std::size_t y = 0; y < a.height(); ++y) {
+    for (std::size_t x = 0; x < a.width(); ++x) {
+      const multibit::AddResult sum =
+          chain.evaluate(a.at(x, y), b.at(x, y), false);
+      out.set(x, y, static_cast<std::uint8_t>(sum.value(8) >> 1));
+    }
+  }
+  return out;
+}
+
+Image exact_blend(const Image& a, const Image& b) {
+  if (a.width() != b.width() || a.height() != b.height()) {
+    throw std::invalid_argument("exact_blend: size mismatch");
+  }
+  Image out(a.width(), a.height());
+  for (std::size_t y = 0; y < a.height(); ++y) {
+    for (std::size_t x = 0; x < a.width(); ++x) {
+      const unsigned total =
+          static_cast<unsigned>(a.at(x, y)) + static_cast<unsigned>(b.at(x, y));
+      out.set(x, y, static_cast<std::uint8_t>(total >> 1));
+    }
+  }
+  return out;
+}
+
+}  // namespace sealpaa::apps

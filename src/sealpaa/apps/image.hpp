@@ -1,0 +1,69 @@
+// Synthetic grayscale-image substrate for the image-processing use-case
+// the paper's introduction motivates (error-resilient media workloads).
+//
+// The paper's domain (and the authors' original release) has no bundled
+// image data, so images are generated procedurally (gradients, checker
+// patterns, seeded noise blobs); quality of approximate pixel arithmetic
+// is then measured with the standard PSNR metric.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sealpaa/multibit/chain.hpp"
+#include "sealpaa/prob/rng.hpp"
+
+namespace sealpaa::apps {
+
+/// An 8-bit grayscale image.
+class Image {
+ public:
+  Image(std::size_t width, std::size_t height);
+
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t height() const noexcept { return height_; }
+
+  [[nodiscard]] std::uint8_t at(std::size_t x, std::size_t y) const;
+  void set(std::size_t x, std::size_t y, std::uint8_t value);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& pixels() const noexcept {
+    return pixels_;
+  }
+
+  /// Horizontal luminance ramp.
+  [[nodiscard]] static Image gradient(std::size_t width, std::size_t height);
+  /// Checkerboard with `cell`-pixel squares.
+  [[nodiscard]] static Image checkerboard(std::size_t width,
+                                          std::size_t height,
+                                          std::size_t cell);
+  /// Smooth random blobs (sum of seeded Gaussian bumps).
+  [[nodiscard]] static Image blobs(std::size_t width, std::size_t height,
+                                   int count, prob::Xoshiro256StarStar& rng);
+
+  /// Writes a binary PGM (P5).  Throws std::runtime_error on I/O failure.
+  void write_pgm(const std::string& path) const;
+
+ private:
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<std::uint8_t> pixels_;
+};
+
+/// Mean squared pixel error between equally sized images.
+[[nodiscard]] double image_mse(const Image& a, const Image& b);
+
+/// Peak signal-to-noise ratio in dB (infinity when identical).
+[[nodiscard]] double image_psnr(const Image& a, const Image& b);
+
+/// Blends two images as (a + b) / 2 where the 8-bit addition runs on the
+/// given adder chain (chain width must be 8); the 9th bit comes from the
+/// chain's carry-out.  This is the classic image-addition kernel used to
+/// demo approximate adders.
+[[nodiscard]] Image approx_blend(const Image& a, const Image& b,
+                                 const multibit::AdderChain& chain);
+
+/// Exact reference blend.
+[[nodiscard]] Image exact_blend(const Image& a, const Image& b);
+
+}  // namespace sealpaa::apps

@@ -1,0 +1,68 @@
+#include "sealpaa/apps/sobel.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace sealpaa::apps {
+
+namespace {
+
+// Sobel gradients at (x, y); zero on the 1-pixel border.
+struct Gradients {
+  int gx = 0;
+  int gy = 0;
+};
+
+Gradients gradients_at(const Image& image, std::size_t x, std::size_t y) {
+  if (x == 0 || y == 0 || x + 1 >= image.width() || y + 1 >= image.height()) {
+    return {};
+  }
+  const auto p = [&](std::size_t dx, std::size_t dy) {
+    return static_cast<int>(image.at(x + dx - 1, y + dy - 1));
+  };
+  Gradients g;
+  g.gx = (p(2, 0) + 2 * p(2, 1) + p(2, 2)) -
+         (p(0, 0) + 2 * p(0, 1) + p(0, 2));
+  g.gy = (p(0, 2) + 2 * p(1, 2) + p(2, 2)) -
+         (p(0, 0) + 2 * p(1, 0) + p(2, 0));
+  return g;
+}
+
+std::uint8_t clamp255(std::uint64_t value) {
+  return static_cast<std::uint8_t>(value > 255 ? 255 : value);
+}
+
+}  // namespace
+
+Image sobel_magnitude_exact(const Image& image) {
+  Image out(image.width(), image.height());
+  for (std::size_t y = 0; y < image.height(); ++y) {
+    for (std::size_t x = 0; x < image.width(); ++x) {
+      const Gradients g = gradients_at(image, x, y);
+      const std::uint64_t magnitude = static_cast<std::uint64_t>(
+          std::abs(g.gx) + std::abs(g.gy));
+      out.set(x, y, clamp255(magnitude));
+    }
+  }
+  return out;
+}
+
+Image sobel_magnitude(const Image& image, const multibit::AdderChain& chain) {
+  if (chain.width() != 12) {
+    throw std::invalid_argument("sobel_magnitude: chain width must be 12");
+  }
+  Image out(image.width(), image.height());
+  for (std::size_t y = 0; y < image.height(); ++y) {
+    for (std::size_t x = 0; x < image.width(); ++x) {
+      const Gradients g = gradients_at(image, x, y);
+      const std::uint64_t ax = static_cast<std::uint64_t>(std::abs(g.gx));
+      const std::uint64_t ay = static_cast<std::uint64_t>(std::abs(g.gy));
+      const std::uint64_t magnitude = chain.evaluate(ax, ay, false).value(12);
+      out.set(x, y, clamp255(magnitude));
+    }
+  }
+  return out;
+}
+
+}  // namespace sealpaa::apps

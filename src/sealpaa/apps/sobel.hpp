@@ -1,0 +1,22 @@
+// Sobel edge detection with approximate addition — a second
+// image-processing kernel (beyond blending) for the error-resilience
+// story: gradient magnitudes tolerate LSB noise well.
+#pragma once
+
+#include "sealpaa/apps/image.hpp"
+#include "sealpaa/multibit/chain.hpp"
+
+namespace sealpaa::apps {
+
+/// Exact Sobel gradient magnitude, |Gx| + |Gy| clamped to 255.
+[[nodiscard]] Image sobel_magnitude_exact(const Image& image);
+
+/// Sobel gradient magnitude where the final |Gx| + |Gy| addition runs on
+/// `chain` (width must be 12: |Gx|, |Gy| <= 1020 each, so the sum needs
+/// 11 bits plus headroom).  The convolutions themselves stay exact — the
+/// kernel's adds-of-interest are the magnitude accumulation, matching
+/// how approximate adders are deployed in gradient hardware.
+[[nodiscard]] Image sobel_magnitude(const Image& image,
+                                    const multibit::AdderChain& chain);
+
+}  // namespace sealpaa::apps

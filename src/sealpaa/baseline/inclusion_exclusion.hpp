@@ -1,0 +1,52 @@
+// The traditional analytical baseline (paper §3): error probability via
+// the principle of inclusion-exclusion over per-stage error events,
+//   P(∪ E_i) = Σ_{∅≠S⊆stages} (-1)^{|S|+1} P(∩_{i∈S} E_i),
+// plus the closed-form cost model behind the paper's Table 3.
+//
+// Each joint probability P(∩ E_i) is computed by a carry-distribution
+// sweep with "must fail" row filters at the stages in S, so a full run
+// enumerates all 2^k - 1 subsets — the exponential blow-up the paper's
+// recursion eliminates.  Kept as an executable witness of that blow-up
+// and as an independent oracle (1 - P(∪E_i) must equal the recursive
+// P(Succ)).
+#pragma once
+
+#include <cstdint>
+
+#include "sealpaa/multibit/chain.hpp"
+#include "sealpaa/multibit/input_profile.hpp"
+#include "sealpaa/util/counters.hpp"
+
+namespace sealpaa::baseline {
+
+/// Closed-form cost model of the traditional analysis (Table 3).
+/// Small-k rows of the paper's table match these exactly; the paper's
+/// large-k rows for Terms/Additions carry unit typos (10^9 printed where
+/// the formulas give 10^6) — see EXPERIMENTS.md.
+struct InclusionExclusionCost {
+  double terms = 0.0;            // 2^k - 1 nonempty subsets
+  double multiplications = 0.0;  // k*2^(k-1) - k  (Σ_{s>=2} s*C(k,s))
+  double additions = 0.0;        // 2^k - 2 (combining all terms)
+  double memory_units = 0.0;     // 2^(k+1) - 1 (Σ_{i=1..k} 2^i terms + partials)
+};
+[[nodiscard]] InclusionExclusionCost inclusion_exclusion_cost(int stages);
+
+/// Result of actually running the inclusion-exclusion analysis.
+struct InclusionExclusionResult {
+  double p_error = 0.0;
+  double p_success = 0.0;
+  std::uint64_t terms_evaluated = 0;
+};
+
+class InclusionExclusionAnalyzer {
+ public:
+  /// Evaluates P(error) over all 2^k - 1 subsets.  Guarded by
+  /// `max_width` (default 20 ≈ one million subsets).  Optionally counts
+  /// arithmetic into `counter`.
+  [[nodiscard]] static InclusionExclusionResult analyze(
+      const multibit::AdderChain& chain,
+      const multibit::InputProfile& profile, std::size_t max_width = 20,
+      util::OpCounter* counter = nullptr);
+};
+
+}  // namespace sealpaa::baseline

@@ -1,0 +1,174 @@
+#include "sealpaa/baseline/weighted_exhaustive.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sealpaa/prob/kahan.hpp"
+
+namespace sealpaa::baseline {
+
+ExhaustiveReport WeightedExhaustive::analyze(
+    const multibit::AdderChain& chain, const multibit::InputProfile& profile,
+    std::size_t max_width) {
+  if (chain.width() != profile.width()) {
+    throw std::invalid_argument(
+        "WeightedExhaustive: chain and profile widths differ");
+  }
+  const std::size_t n = chain.width();
+  if (n > max_width) {
+    throw std::invalid_argument(
+        "WeightedExhaustive: width " + std::to_string(n) +
+        " exceeds the enumeration guard (" + std::to_string(max_width) + ")");
+  }
+
+  // Precompute per-bit probabilities in both polarities so the inner loop
+  // is multiply-only.
+  std::vector<double> pa1(n);
+  std::vector<double> pa0(n);
+  std::vector<double> pb1(n);
+  std::vector<double> pb0(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pa1[i] = profile.p_a(i);
+    pa0[i] = 1.0 - pa1[i];
+    pb1[i] = profile.p_b(i);
+    pb0[i] = 1.0 - pb1[i];
+  }
+
+  ExhaustiveReport report;
+  const std::uint64_t limit = 1ULL << n;
+  report.assignments = limit * limit * 2;
+
+  prob::KahanSum stage_success;
+  prob::KahanSum value_correct;
+  prob::KahanSum sum_bits_correct;
+  prob::KahanSum mean_error;
+  prob::KahanSum mean_abs;
+  prob::KahanSum mean_sq;
+
+  for (std::uint64_t a = 0; a < limit; ++a) {
+    double weight_a = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      weight_a *= ((a >> i) & 1ULL) != 0 ? pa1[i] : pa0[i];
+    }
+    if (weight_a == 0.0) continue;
+    for (std::uint64_t b = 0; b < limit; ++b) {
+      double weight_ab = weight_a;
+      for (std::size_t i = 0; i < n; ++i) {
+        weight_ab *= ((b >> i) & 1ULL) != 0 ? pb1[i] : pb0[i];
+      }
+      if (weight_ab == 0.0) continue;
+      for (int cin = 0; cin < 2; ++cin) {
+        const double weight =
+            weight_ab * (cin != 0 ? profile.p_cin() : 1.0 - profile.p_cin());
+        if (weight == 0.0) continue;
+
+        const multibit::TracedAddResult traced =
+            chain.evaluate_traced(a, b, cin != 0);
+        const multibit::AddResult exact =
+            multibit::exact_add(a, b, cin != 0, n);
+
+        if (traced.all_stages_success) stage_success.add(weight);
+        const std::uint64_t approx_value = traced.outputs.value(n);
+        const std::uint64_t exact_value = exact.value(n);
+        if (approx_value == exact_value) value_correct.add(weight);
+        if (traced.outputs.sum_bits == exact.sum_bits) {
+          sum_bits_correct.add(weight);
+        }
+
+        const std::int64_t error = static_cast<std::int64_t>(approx_value) -
+                                   static_cast<std::int64_t>(exact_value);
+        mean_error.add(weight * static_cast<double>(error));
+        mean_abs.add(weight * std::abs(static_cast<double>(error)));
+        mean_sq.add(weight * static_cast<double>(error) *
+                    static_cast<double>(error));
+        if (std::llabs(error) > std::llabs(report.worst_case_error)) {
+          report.worst_case_error = error;
+        }
+        report.error_distribution[error] += weight;
+      }
+    }
+  }
+
+  report.p_stage_success = stage_success.value();
+  report.p_value_correct = value_correct.value();
+  report.p_sum_bits_correct = sum_bits_correct.value();
+  report.mean_error = mean_error.value();
+  report.mean_abs_error = mean_abs.value();
+  report.mean_squared_error = mean_sq.value();
+  return report;
+}
+
+ExhaustiveReport WeightedExhaustive::analyze_joint(
+    const multibit::AdderChain& chain,
+    const multibit::JointInputProfile& profile, std::size_t max_width) {
+  if (chain.width() != profile.width()) {
+    throw std::invalid_argument(
+        "WeightedExhaustive::analyze_joint: widths differ");
+  }
+  const std::size_t n = chain.width();
+  if (n > max_width) {
+    throw std::invalid_argument(
+        "WeightedExhaustive::analyze_joint: width exceeds the guard");
+  }
+
+  ExhaustiveReport report;
+  const std::uint64_t limit = 1ULL << n;
+  report.assignments = limit * limit * 2;
+
+  prob::KahanSum stage_success;
+  prob::KahanSum value_correct;
+  prob::KahanSum sum_bits_correct;
+  prob::KahanSum mean_error;
+  prob::KahanSum mean_abs;
+  prob::KahanSum mean_sq;
+
+  for (std::uint64_t a = 0; a < limit; ++a) {
+    for (std::uint64_t b = 0; b < limit; ++b) {
+      double weight_ab = 1.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t idx =
+            (((a >> i) & 1ULL) << 1) | ((b >> i) & 1ULL);
+        weight_ab *= profile.joint(i)[idx];
+      }
+      if (weight_ab == 0.0) continue;
+      for (int cin = 0; cin < 2; ++cin) {
+        const double weight =
+            weight_ab * (cin != 0 ? profile.p_cin() : 1.0 - profile.p_cin());
+        if (weight == 0.0) continue;
+
+        const multibit::TracedAddResult traced =
+            chain.evaluate_traced(a, b, cin != 0);
+        const multibit::AddResult exact =
+            multibit::exact_add(a, b, cin != 0, n);
+
+        if (traced.all_stages_success) stage_success.add(weight);
+        const std::uint64_t approx_value = traced.outputs.value(n);
+        const std::uint64_t exact_value = exact.value(n);
+        if (approx_value == exact_value) value_correct.add(weight);
+        if (traced.outputs.sum_bits == exact.sum_bits) {
+          sum_bits_correct.add(weight);
+        }
+        const std::int64_t error = static_cast<std::int64_t>(approx_value) -
+                                   static_cast<std::int64_t>(exact_value);
+        mean_error.add(weight * static_cast<double>(error));
+        mean_abs.add(weight * std::abs(static_cast<double>(error)));
+        mean_sq.add(weight * static_cast<double>(error) *
+                    static_cast<double>(error));
+        if (std::llabs(error) > std::llabs(report.worst_case_error)) {
+          report.worst_case_error = error;
+        }
+        report.error_distribution[error] += weight;
+      }
+    }
+  }
+
+  report.p_stage_success = stage_success.value();
+  report.p_value_correct = value_correct.value();
+  report.p_sum_bits_correct = sum_bits_correct.value();
+  report.mean_error = mean_error.value();
+  report.mean_abs_error = mean_abs.value();
+  report.mean_squared_error = mean_sq.value();
+  return report;
+}
+
+}  // namespace sealpaa::baseline

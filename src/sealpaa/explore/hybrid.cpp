@@ -1,0 +1,239 @@
+#include "sealpaa/explore/hybrid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sealpaa/adders/characteristics.hpp"
+#include "sealpaa/analysis/recursive.hpp"
+
+namespace sealpaa::explore {
+
+namespace {
+
+struct CellCost {
+  std::optional<double> power;
+  std::optional<double> area;
+};
+
+CellCost cost_of(const adders::AdderCell& cell) {
+  const adders::CellCharacteristics* row =
+      adders::find_characteristics(cell);
+  if (row == nullptr) return {};
+  return {row->power_nw, row->area_ge};
+}
+
+// A candidate is usable under `constraints` if every constrained
+// dimension has data for it.
+bool usable(const CellCost& cost, const DesignConstraints& constraints) {
+  if (constraints.max_power_nw && !cost.power) return false;
+  if (constraints.max_area_ge && !cost.area) return false;
+  return true;
+}
+
+HybridDesign finalize(std::vector<adders::AdderCell> stages,
+                      const multibit::InputProfile& profile) {
+  HybridDesign design;
+  design.stages = std::move(stages);
+  const analysis::AnalysisResult result = analysis::RecursiveAnalyzer::analyze(
+      multibit::AdderChain(design.stages), profile);
+  design.p_success = result.p_success;
+  design.p_error = result.p_error;
+  double power = 0.0;
+  double area = 0.0;
+  bool have_power = true;
+  bool have_area = true;
+  for (const adders::AdderCell& cell : design.stages) {
+    const CellCost cost = cost_of(cell);
+    if (cost.power) {
+      power += *cost.power;
+    } else {
+      have_power = false;
+    }
+    if (cost.area) {
+      area += *cost.area;
+    } else {
+      have_area = false;
+    }
+  }
+  if (have_power) design.power_nw = power;
+  if (have_area) design.area_ge = area;
+  return design;
+}
+
+void require_candidates(std::span<const adders::AdderCell> candidates) {
+  if (candidates.empty()) {
+    throw std::invalid_argument("HybridOptimizer: no candidate cells");
+  }
+}
+
+}  // namespace
+
+HybridDesign HybridOptimizer::exhaustive(
+    const multibit::InputProfile& profile,
+    std::span<const adders::AdderCell> candidates,
+    const DesignConstraints& constraints, std::uint64_t max_combinations) {
+  require_candidates(candidates);
+  const std::size_t n = profile.width();
+  const double combos =
+      std::pow(static_cast<double>(candidates.size()), static_cast<double>(n));
+  if (combos > static_cast<double>(max_combinations)) {
+    throw std::invalid_argument(
+        "HybridOptimizer::exhaustive: search space too large; use beam()");
+  }
+
+  std::vector<CellCost> costs;
+  costs.reserve(candidates.size());
+  for (const adders::AdderCell& cell : candidates) costs.push_back(cost_of(cell));
+
+  std::vector<std::size_t> choice(n, 0);
+  std::vector<std::size_t> best_choice;
+  double best_success = -1.0;
+
+  const auto evaluate_current = [&] {
+    double power = 0.0;
+    double area = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const CellCost& cost = costs[choice[i]];
+      if (!usable(cost, constraints)) return;
+      if (constraints.max_power_nw) power += *cost.power;
+      if (constraints.max_area_ge) area += *cost.area;
+    }
+    if (constraints.max_power_nw && power > *constraints.max_power_nw) return;
+    if (constraints.max_area_ge && area > *constraints.max_area_ge) return;
+
+    analysis::CarryState carry{1.0 - profile.p_cin(), profile.p_cin()};
+    double p_success = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const analysis::MklMatrices mkl =
+          analysis::MklMatrices::from_cell(candidates[choice[i]]);
+      if (i + 1 == n) {
+        p_success = analysis::final_success(mkl, profile.p_a(i),
+                                            profile.p_b(i), carry);
+      } else {
+        carry = analysis::advance_stage(mkl, profile.p_a(i), profile.p_b(i),
+                                        carry);
+      }
+    }
+    if (p_success > best_success) {
+      best_success = p_success;
+      best_choice = choice;
+    }
+  };
+
+  // Odometer enumeration of all candidate assignments.
+  while (true) {
+    evaluate_current();
+    std::size_t pos = 0;
+    while (pos < n) {
+      if (++choice[pos] < candidates.size()) break;
+      choice[pos] = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+  }
+
+  if (best_choice.empty()) {
+    throw std::runtime_error(
+        "HybridOptimizer::exhaustive: no design satisfies the constraints");
+  }
+  std::vector<adders::AdderCell> stages;
+  stages.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) stages.push_back(candidates[best_choice[i]]);
+  return finalize(std::move(stages), profile);
+}
+
+HybridDesign HybridOptimizer::beam(const multibit::InputProfile& profile,
+                                   std::span<const adders::AdderCell> candidates,
+                                   const DesignConstraints& constraints,
+                                   std::size_t beam_width) {
+  require_candidates(candidates);
+  if (beam_width == 0) {
+    throw std::invalid_argument("HybridOptimizer::beam: beam width 0");
+  }
+  const std::size_t n = profile.width();
+
+  std::vector<CellCost> costs;
+  std::vector<analysis::MklMatrices> mkls;
+  costs.reserve(candidates.size());
+  mkls.reserve(candidates.size());
+  for (const adders::AdderCell& cell : candidates) {
+    costs.push_back(cost_of(cell));
+    mkls.push_back(analysis::MklMatrices::from_cell(cell));
+  }
+
+  struct Partial {
+    std::vector<std::size_t> choice;
+    analysis::CarryState carry;
+    double power = 0.0;
+    double area = 0.0;
+  };
+
+  std::vector<Partial> beam_set{
+      Partial{{}, {1.0 - profile.p_cin(), profile.p_cin()}, 0.0, 0.0}};
+
+  double best_success = -1.0;
+  std::vector<std::size_t> best_choice;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<Partial> expanded;
+    expanded.reserve(beam_set.size() * candidates.size());
+    for (const Partial& partial : beam_set) {
+      for (std::size_t c = 0; c < candidates.size(); ++c) {
+        if (!usable(costs[c], constraints)) continue;
+        Partial next = partial;
+        if (constraints.max_power_nw) {
+          next.power += *costs[c].power;
+          if (next.power > *constraints.max_power_nw) continue;
+        }
+        if (constraints.max_area_ge) {
+          next.area += *costs[c].area;
+          if (next.area > *constraints.max_area_ge) continue;
+        }
+        next.choice.push_back(c);
+        if (i + 1 == n) {
+          const double p_success = analysis::final_success(
+              mkls[c], profile.p_a(i), profile.p_b(i), partial.carry);
+          if (p_success > best_success) {
+            best_success = p_success;
+            best_choice = next.choice;
+          }
+        } else {
+          next.carry = analysis::advance_stage(mkls[c], profile.p_a(i),
+                                               profile.p_b(i), partial.carry);
+          expanded.push_back(std::move(next));
+        }
+      }
+    }
+    if (i + 1 == n) break;
+    if (expanded.empty()) {
+      throw std::runtime_error(
+          "HybridOptimizer::beam: constraints eliminated every design");
+    }
+    const std::size_t keep = std::min(beam_width, expanded.size());
+    std::partial_sort(expanded.begin(),
+                      expanded.begin() + static_cast<std::ptrdiff_t>(keep),
+                      expanded.end(), [](const Partial& a, const Partial& b) {
+                        return a.carry.success_mass() > b.carry.success_mass();
+                      });
+    expanded.resize(keep);
+    beam_set = std::move(expanded);
+  }
+
+  if (best_choice.empty()) {
+    throw std::runtime_error(
+        "HybridOptimizer::beam: no design satisfies the constraints");
+  }
+  std::vector<adders::AdderCell> stages;
+  stages.reserve(n);
+  for (std::size_t c : best_choice) stages.push_back(candidates[c]);
+  return finalize(std::move(stages), profile);
+}
+
+HybridDesign HybridOptimizer::greedy(const multibit::InputProfile& profile,
+                                     std::span<const adders::AdderCell> candidates,
+                                     const DesignConstraints& constraints) {
+  return beam(profile, candidates, constraints, 1);
+}
+
+}  // namespace sealpaa::explore

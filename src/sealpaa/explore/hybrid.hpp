@@ -1,0 +1,69 @@
+// Hybrid multi-stage adder design-space exploration.
+//
+// The paper (§5) observes that different LPAAs win in different input-
+// probability regimes (LPAA7 for mostly-0 bits, LPAA1 for mostly-1 bits,
+// LPAA6 everywhere) and proposes using its fast analysis to pick a
+// per-stage mix — "an optimal design of a multistage hybrid adder ...
+// based on more than one type of LPAA".  This module implements that
+// search: exhaustive (exact optimum, small widths), beam search (wide
+// adders) and a greedy per-stage heuristic, optionally under power/area
+// budgets built from the Table 2 characteristics.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sealpaa/adders/cell.hpp"
+#include "sealpaa/multibit/chain.hpp"
+#include "sealpaa/multibit/input_profile.hpp"
+
+namespace sealpaa::explore {
+
+/// Optional resource budgets for the search.  A candidate cell without
+/// power (resp. area) data is rejected whenever the corresponding budget
+/// is set.
+struct DesignConstraints {
+  std::optional<double> max_power_nw;
+  std::optional<double> max_area_ge;
+};
+
+/// A fully evaluated hybrid design.
+struct HybridDesign {
+  std::vector<adders::AdderCell> stages;
+  double p_error = 1.0;
+  double p_success = 0.0;
+  std::optional<double> power_nw;  // nullopt when any stage lacks data
+  std::optional<double> area_ge;
+
+  [[nodiscard]] multibit::AdderChain chain() const {
+    return multibit::AdderChain(stages);
+  }
+};
+
+class HybridOptimizer {
+ public:
+  /// Exact optimum by enumerating all |candidates|^N chains.  Guarded by
+  /// `max_combinations` (std::invalid_argument beyond it).
+  [[nodiscard]] static HybridDesign exhaustive(
+      const multibit::InputProfile& profile,
+      std::span<const adders::AdderCell> candidates,
+      const DesignConstraints& constraints = {},
+      std::uint64_t max_combinations = 50'000'000);
+
+  /// Beam search keeping the `beam_width` best (carry-state, budget)
+  /// partial designs per stage, scored by remaining success mass.
+  [[nodiscard]] static HybridDesign beam(
+      const multibit::InputProfile& profile,
+      std::span<const adders::AdderCell> candidates,
+      const DesignConstraints& constraints = {}, std::size_t beam_width = 64);
+
+  /// Greedy: each stage picks the cell maximising the post-stage success
+  /// mass.  Fast baseline for the ablation bench.
+  [[nodiscard]] static HybridDesign greedy(
+      const multibit::InputProfile& profile,
+      std::span<const adders::AdderCell> candidates,
+      const DesignConstraints& constraints = {});
+};
+
+}  // namespace sealpaa::explore

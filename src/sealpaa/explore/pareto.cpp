@@ -1,0 +1,63 @@
+#include "sealpaa/explore/pareto.hpp"
+
+#include "sealpaa/adders/builtin.hpp"
+#include "sealpaa/adders/characteristics.hpp"
+#include "sealpaa/analysis/recursive.hpp"
+
+namespace sealpaa::explore {
+
+namespace {
+
+bool dominates(const DesignPoint& a, const DesignPoint& b, bool use_area) {
+  if (a.p_error > b.p_error) return false;
+  if (a.power_nw > b.power_nw) return false;
+  if (use_area && a.area_ge > b.area_ge) return false;
+  const bool strictly =
+      a.p_error < b.p_error || a.power_nw < b.power_nw ||
+      (use_area && a.area_ge < b.area_ge);
+  return strictly;
+}
+
+}  // namespace
+
+std::vector<DesignPoint> pareto_front(std::vector<DesignPoint> points,
+                                      bool use_area) {
+  std::vector<DesignPoint> front;
+  for (const DesignPoint& candidate : points) {
+    if (!candidate.has_cost) continue;
+    bool dominated = false;
+    for (const DesignPoint& other : points) {
+      if (!other.has_cost) continue;
+      if (&other != &candidate && dominates(other, candidate, use_area)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(candidate);
+  }
+  return front;
+}
+
+std::vector<DesignPoint> homogeneous_sweep(
+    const multibit::InputProfile& profile) {
+  std::vector<DesignPoint> points;
+  const double n = static_cast<double>(profile.width());
+  for (const adders::AdderCell& cell : adders::all_builtin_cells()) {
+    DesignPoint point;
+    point.name = cell.name();
+    point.p_error =
+        analysis::RecursiveAnalyzer::error_probability(cell, profile);
+    const adders::CellCharacteristics* row =
+        adders::find_characteristics(cell);
+    if (row != nullptr && row->power_nw && row->area_ge) {
+      point.power_nw = *row->power_nw * n;
+      point.area_ge = *row->area_ge * n;
+    } else {
+      point.has_cost = false;
+    }
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+}  // namespace sealpaa::explore

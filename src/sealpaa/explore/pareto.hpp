@@ -1,0 +1,35 @@
+// Pareto analysis over (error probability, power, area) for homogeneous
+// and hybrid multi-bit adder designs, combining the paper's Table 2
+// characteristics with the recursive error analysis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sealpaa/multibit/input_profile.hpp"
+
+namespace sealpaa::explore {
+
+/// One evaluated design in the exploration space.
+struct DesignPoint {
+  std::string name;
+  double p_error = 0.0;
+  double power_nw = 0.0;
+  double area_ge = 0.0;
+  bool has_cost = true;  // false when the cell lacks Table 2 data
+};
+
+/// Non-dominated subset: a point dominates another when it is no worse
+/// in every compared dimension (error, power and — when `use_area` —
+/// area) and strictly better in at least one.  Points without cost data
+/// never enter the front when costs are compared.
+[[nodiscard]] std::vector<DesignPoint> pareto_front(
+    std::vector<DesignPoint> points, bool use_area = true);
+
+/// Evaluates every built-in cell as an N-bit homogeneous chain under
+/// `profile` and returns the design points (error from the recursive
+/// analyzer, power/area scaled from Table 2).
+[[nodiscard]] std::vector<DesignPoint> homogeneous_sweep(
+    const multibit::InputProfile& profile);
+
+}  // namespace sealpaa::explore

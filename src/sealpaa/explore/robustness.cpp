@@ -1,0 +1,40 @@
+#include "sealpaa/explore/robustness.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "sealpaa/adders/builtin.hpp"
+#include "sealpaa/analysis/recursive.hpp"
+#include "sealpaa/multibit/input_profile.hpp"
+
+namespace sealpaa::explore {
+
+std::vector<RobustnessScore> four_season_ranking(std::size_t width,
+                                                 double step) {
+  std::vector<RobustnessScore> scores;
+  for (const adders::AdderCell& cell : adders::builtin_lpaas()) {
+    RobustnessScore score;
+    score.cell_name = cell.name();
+    score.worst_error = 0.0;
+    score.best_error = std::numeric_limits<double>::infinity();
+    double total = 0.0;
+    int samples = 0;
+    for (double p = step; p < 1.0 - step / 2.0; p += step) {
+      const double error = analysis::RecursiveAnalyzer::error_probability(
+          cell, multibit::InputProfile::uniform(width, p));
+      score.worst_error = std::max(score.worst_error, error);
+      score.best_error = std::min(score.best_error, error);
+      total += error;
+      ++samples;
+    }
+    score.mean_error = samples > 0 ? total / samples : 0.0;
+    scores.push_back(std::move(score));
+  }
+  std::sort(scores.begin(), scores.end(),
+            [](const RobustnessScore& a, const RobustnessScore& b) {
+              return a.worst_error < b.worst_error;
+            });
+  return scores;
+}
+
+}  // namespace sealpaa::explore

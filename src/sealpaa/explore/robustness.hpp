@@ -1,0 +1,25 @@
+// "Four season adder" analysis (paper §5): how robust is each cell's
+// error probability across the whole input-probability range?  The paper
+// eyeballs Figure 5(a,b,c) and crowns LPAA6; this module scores it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sealpaa::explore {
+
+/// Aggregate error statistics of one cell over a probability grid.
+struct RobustnessScore {
+  std::string cell_name;
+  double worst_error = 0.0;  // max P(Error) over the grid
+  double mean_error = 0.0;   // average P(Error) over the grid
+  double best_error = 0.0;   // min P(Error) over the grid
+};
+
+/// Evaluates every built-in LPAA as an N-bit homogeneous chain across a
+/// uniform grid of input probabilities p in {step, 2*step, ..., 1-step}
+/// (operands and carry all at p) and ranks by worst-case error.
+[[nodiscard]] std::vector<RobustnessScore> four_season_ranking(
+    std::size_t width, double step = 0.05);
+
+}  // namespace sealpaa::explore

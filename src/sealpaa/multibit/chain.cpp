@@ -1,0 +1,99 @@
+#include "sealpaa/multibit/chain.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace sealpaa::multibit {
+
+AdderChain::AdderChain(std::vector<adders::AdderCell> stages)
+    : stages_(std::move(stages)) {
+  if (stages_.empty()) {
+    throw std::invalid_argument("AdderChain: at least one stage required");
+  }
+  if (stages_.size() > 63) {
+    throw std::invalid_argument(
+        "AdderChain: widths above 63 bits are not supported");
+  }
+}
+
+AdderChain AdderChain::homogeneous(const adders::AdderCell& cell,
+                                   std::size_t width) {
+  return AdderChain(std::vector<adders::AdderCell>(width, cell));
+}
+
+bool AdderChain::is_homogeneous() const noexcept {
+  for (const adders::AdderCell& cell : stages_) {
+    if (!(cell == stages_.front())) return false;
+  }
+  return true;
+}
+
+bool AdderChain::is_exact() const noexcept {
+  for (const adders::AdderCell& cell : stages_) {
+    if (!cell.is_exact()) return false;
+  }
+  return true;
+}
+
+std::string AdderChain::describe() const {
+  if (is_homogeneous()) {
+    std::ostringstream out;
+    out << width() << " x " << stages_.front().name();
+    return out.str();
+  }
+  std::ostringstream out;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (i != 0) out << '|';
+    out << stages_[i].name();
+  }
+  return out.str();
+}
+
+AddResult AdderChain::evaluate(std::uint64_t a, std::uint64_t b,
+                               bool cin) const noexcept {
+  AddResult result;
+  bool carry = cin;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const bool a_bit = ((a >> i) & 1ULL) != 0;
+    const bool b_bit = ((b >> i) & 1ULL) != 0;
+    const adders::BitPair out = stages_[i].output(a_bit, b_bit, carry);
+    result.sum_bits |= static_cast<std::uint64_t>(out.sum) << i;
+    carry = out.carry;
+  }
+  result.carry_out = carry;
+  return result;
+}
+
+TracedAddResult AdderChain::evaluate_traced(std::uint64_t a, std::uint64_t b,
+                                            bool cin) const noexcept {
+  TracedAddResult traced;
+  bool carry = cin;
+  const adders::AdderCell::Rows& exact_rows =
+      adders::AdderCell::accurate_rows();
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const bool a_bit = ((a >> i) & 1ULL) != 0;
+    const bool b_bit = ((b >> i) & 1ULL) != 0;
+    const std::size_t row = adders::AdderCell::row_index(a_bit, b_bit, carry);
+    const adders::BitPair out = stages_[i].rows()[row];
+    if (traced.all_stages_success && !(out == exact_rows[row])) {
+      traced.all_stages_success = false;
+      traced.first_failed_stage = static_cast<int>(i);
+    }
+    traced.outputs.sum_bits |= static_cast<std::uint64_t>(out.sum) << i;
+    carry = out.carry;
+  }
+  traced.outputs.carry_out = carry;
+  return traced;
+}
+
+AddResult exact_add(std::uint64_t a, std::uint64_t b, bool cin,
+                    std::size_t width) noexcept {
+  const std::uint64_t total =
+      mask_width(a, width) + mask_width(b, width) + (cin ? 1ULL : 0ULL);
+  AddResult result;
+  result.sum_bits = mask_width(total, width);
+  result.carry_out = ((total >> width) & 1ULL) != 0;
+  return result;
+}
+
+}  // namespace sealpaa::multibit

@@ -1,0 +1,88 @@
+// Multi-bit ripple adder built from single-bit cells (Figure 3 of the
+// paper).  A chain may be homogeneous (one cell type for every stage) or
+// hybrid (per-stage cell choice, the design style the paper's §5
+// recommends for exploiting per-bit input statistics).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sealpaa/adders/cell.hpp"
+
+namespace sealpaa::multibit {
+
+/// Result of evaluating a chain on concrete operands.
+struct AddResult {
+  std::uint64_t sum_bits = 0;  // the N sum bits
+  bool carry_out = false;      // final carry-out
+
+  /// Full numeric value including the carry-out as bit N.
+  [[nodiscard]] std::uint64_t value(std::size_t width) const noexcept {
+    return sum_bits | (static_cast<std::uint64_t>(carry_out) << width);
+  }
+};
+
+/// Evaluation that additionally tracks the paper's per-stage success
+/// event: stage i succeeds iff its (sum, carry) match the accurate full
+/// adder *on the stage's actual inputs* (which include the possibly
+/// corrupted incoming carry).
+struct TracedAddResult {
+  AddResult outputs;
+  bool all_stages_success = true;
+  int first_failed_stage = -1;  // -1 when fully successful
+};
+
+/// An N-stage ripple chain of adder cells (least significant stage first).
+class AdderChain {
+ public:
+  /// Hybrid chain: one cell per stage.  Throws when `stages` is empty or
+  /// wider than 63 bits (the bit-packed evaluator limit).
+  explicit AdderChain(std::vector<adders::AdderCell> stages);
+
+  /// Homogeneous chain of `width` copies of `cell`.
+  [[nodiscard]] static AdderChain homogeneous(const adders::AdderCell& cell,
+                                              std::size_t width);
+
+  [[nodiscard]] std::size_t width() const noexcept { return stages_.size(); }
+  [[nodiscard]] const adders::AdderCell& stage(std::size_t i) const {
+    return stages_.at(i);
+  }
+  [[nodiscard]] const std::vector<adders::AdderCell>& stages() const noexcept {
+    return stages_;
+  }
+
+  /// True when every stage uses the same truth table.
+  [[nodiscard]] bool is_homogeneous() const noexcept;
+
+  /// True when every stage is the accurate full adder.
+  [[nodiscard]] bool is_exact() const noexcept;
+
+  /// Short description, e.g. "8 x LPAA1" or "LPAA1|LPAA6|LPAA6|LPAA7".
+  [[nodiscard]] std::string describe() const;
+
+  /// Evaluates the chain on concrete operands (bits above `width()` are
+  /// ignored).
+  [[nodiscard]] AddResult evaluate(std::uint64_t a, std::uint64_t b,
+                                   bool cin) const noexcept;
+
+  /// Evaluates while tracking the per-stage success event (paper §4).
+  [[nodiscard]] TracedAddResult evaluate_traced(std::uint64_t a,
+                                                std::uint64_t b,
+                                                bool cin) const noexcept;
+
+ private:
+  std::vector<adders::AdderCell> stages_;
+};
+
+/// Exact N-bit addition in the same output format (reference model).
+[[nodiscard]] AddResult exact_add(std::uint64_t a, std::uint64_t b, bool cin,
+                                  std::size_t width) noexcept;
+
+/// Masks `value` down to `width` bits.
+[[nodiscard]] constexpr std::uint64_t mask_width(std::uint64_t value,
+                                                 std::size_t width) noexcept {
+  return width >= 64 ? value : value & ((1ULL << width) - 1ULL);
+}
+
+}  // namespace sealpaa::multibit

@@ -1,0 +1,57 @@
+#include "sealpaa/multibit/csa.hpp"
+
+#include "sealpaa/adders/builtin.hpp"
+
+namespace sealpaa::multibit {
+
+CsaPair compress_3_2(std::uint64_t x, std::uint64_t y, std::uint64_t z,
+                     const adders::AdderCell& cell,
+                     std::size_t width) noexcept {
+  CsaPair out;
+  for (std::size_t i = 0; i < width; ++i) {
+    const bool xb = ((x >> i) & 1ULL) != 0;
+    const bool yb = ((y >> i) & 1ULL) != 0;
+    const bool zb = ((z >> i) & 1ULL) != 0;
+    const adders::BitPair bits = cell.output(xb, yb, zb);
+    out.sum |= static_cast<std::uint64_t>(bits.sum) << i;
+    if (i + 1 < width) {
+      out.carry |= static_cast<std::uint64_t>(bits.carry) << (i + 1);
+    }
+  }
+  return out;
+}
+
+CarrySaveAdder::CarrySaveAdder(adders::AdderCell compressor, AdderChain merge)
+    : compressor_(std::move(compressor)), merge_(std::move(merge)) {}
+
+CarrySaveAdder CarrySaveAdder::with_exact_compressors(AdderChain merge) {
+  return CarrySaveAdder(adders::accurate(), std::move(merge));
+}
+
+std::uint64_t CarrySaveAdder::accumulate(
+    const std::vector<std::uint64_t>& operands) const {
+  const std::size_t w = width();
+  std::vector<std::uint64_t> pending;
+  pending.reserve(operands.size());
+  for (std::uint64_t value : operands) pending.push_back(mask_width(value, w));
+
+  while (pending.size() > 2) {
+    std::vector<std::uint64_t> next;
+    next.reserve(pending.size() * 2 / 3 + 2);
+    std::size_t i = 0;
+    for (; i + 2 < pending.size(); i += 3) {
+      const CsaPair pair = compress_3_2(pending[i], pending[i + 1],
+                                        pending[i + 2], compressor_, w);
+      next.push_back(pair.sum);
+      next.push_back(pair.carry);
+    }
+    for (; i < pending.size(); ++i) next.push_back(pending[i]);
+    pending = std::move(next);
+  }
+
+  if (pending.empty()) return 0;
+  if (pending.size() == 1) return pending.front();
+  return mask_width(merge_.evaluate(pending[0], pending[1], false).sum_bits, w);
+}
+
+}  // namespace sealpaa::multibit

@@ -1,0 +1,58 @@
+// Carry-save multi-operand addition (the CSA topology the paper's
+// introduction names as a building block of DSP datapaths).
+//
+// A 3:2 compressor layer applies one adder cell per bit position with no
+// carry propagation; layers are stacked until two vectors remain, which a
+// ripple `AdderChain` then merges.  Using approximate cells in the
+// compressors and/or the final chain models an approximate accumulation
+// datapath (see examples/fir_filter.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sealpaa/adders/cell.hpp"
+#include "sealpaa/multibit/chain.hpp"
+
+namespace sealpaa::multibit {
+
+/// One 3:2 compression: returns {sum_vector, carry_vector} where
+/// carry_vector is already shifted left by one position.  All vectors are
+/// truncated to `width` bits (modular arithmetic).
+struct CsaPair {
+  std::uint64_t sum = 0;
+  std::uint64_t carry = 0;
+};
+[[nodiscard]] CsaPair compress_3_2(std::uint64_t x, std::uint64_t y,
+                                   std::uint64_t z,
+                                   const adders::AdderCell& cell,
+                                   std::size_t width) noexcept;
+
+/// A multi-operand adder: CSA tree of `compressor` cells followed by a
+/// final carry-propagate `merge` chain.
+class CarrySaveAdder {
+ public:
+  CarrySaveAdder(adders::AdderCell compressor, AdderChain merge);
+
+  /// Convenience: exact compressors with the given final merge chain.
+  [[nodiscard]] static CarrySaveAdder with_exact_compressors(AdderChain merge);
+
+  /// Sums all operands modulo 2^width (width = merge chain width).
+  /// Zero operands sum to 0; one operand passes through truncated.
+  [[nodiscard]] std::uint64_t accumulate(
+      const std::vector<std::uint64_t>& operands) const;
+
+  [[nodiscard]] std::size_t width() const noexcept { return merge_.width(); }
+  [[nodiscard]] const adders::AdderCell& compressor() const noexcept {
+    return compressor_;
+  }
+  [[nodiscard]] const AdderChain& merge_chain() const noexcept {
+    return merge_;
+  }
+
+ private:
+  adders::AdderCell compressor_;
+  AdderChain merge_;
+};
+
+}  // namespace sealpaa::multibit

@@ -1,0 +1,78 @@
+#include "sealpaa/multibit/input_profile.hpp"
+
+#include <stdexcept>
+
+namespace sealpaa::multibit {
+
+InputProfile::InputProfile(std::vector<double> p_a, std::vector<double> p_b,
+                           double p_cin)
+    : p_a_(std::move(p_a)), p_b_(std::move(p_b)) {
+  if (p_a_.empty() || p_a_.size() != p_b_.size()) {
+    throw std::invalid_argument(
+        "InputProfile: operand probability vectors must be nonempty and of "
+        "equal size");
+  }
+  if (p_a_.size() > 63) {
+    throw std::invalid_argument(
+        "InputProfile: widths above 63 bits are not supported by the "
+        "bit-packed evaluators");
+  }
+  for (double& p : p_a_) p = prob::require_probability(p, "InputProfile P(A)");
+  for (double& p : p_b_) p = prob::require_probability(p, "InputProfile P(B)");
+  p_cin_ = prob::require_probability(p_cin, "InputProfile P(Cin)");
+}
+
+InputProfile InputProfile::uniform(std::size_t width, double p) {
+  return uniform_with_cin(width, p, p);
+}
+
+InputProfile InputProfile::uniform_with_cin(std::size_t width,
+                                            double p_operands, double p_cin) {
+  return InputProfile(std::vector<double>(width, p_operands),
+                      std::vector<double>(width, p_operands), p_cin);
+}
+
+InputProfile InputProfile::random(std::size_t width,
+                                  prob::Xoshiro256StarStar& rng, double lo,
+                                  double hi) {
+  const auto draw = [&] { return lo + (hi - lo) * rng.uniform01(); };
+  std::vector<double> a(width);
+  std::vector<double> b(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    a[i] = draw();
+    b[i] = draw();
+  }
+  return InputProfile(std::move(a), std::move(b), draw());
+}
+
+bool InputProfile::is_uniform(double p) const noexcept {
+  if (p_cin_ != p) return false;
+  for (std::size_t i = 0; i < width(); ++i) {
+    if (p_a_[i] != p || p_b_[i] != p) return false;
+  }
+  return true;
+}
+
+double InputProfile::assignment_probability(std::uint64_t a, std::uint64_t b,
+                                            bool cin) const {
+  double probability = cin ? p_cin_ : 1.0 - p_cin_;
+  for (std::size_t i = 0; i < width(); ++i) {
+    const bool a_bit = ((a >> i) & 1ULL) != 0;
+    const bool b_bit = ((b >> i) & 1ULL) != 0;
+    probability *= a_bit ? p_a_[i] : 1.0 - p_a_[i];
+    probability *= b_bit ? p_b_[i] : 1.0 - p_b_[i];
+  }
+  return probability;
+}
+
+InputProfile::Sample InputProfile::sample(prob::Xoshiro256StarStar& rng) const {
+  Sample s;
+  for (std::size_t i = 0; i < width(); ++i) {
+    if (rng.bernoulli(p_a_[i])) s.a |= 1ULL << i;
+    if (rng.bernoulli(p_b_[i])) s.b |= 1ULL << i;
+  }
+  s.cin = rng.bernoulli(p_cin_);
+  return s;
+}
+
+}  // namespace sealpaa::multibit

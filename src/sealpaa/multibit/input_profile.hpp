@@ -1,0 +1,73 @@
+// Per-bit input probability profile of a multi-bit adder.
+//
+// The paper's method takes P(A_i), P(B_i) for every operand bit and
+// P(Cin) for the first stage, all statistically independent (paper §4).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sealpaa/prob/probability.hpp"
+#include "sealpaa/prob/rng.hpp"
+
+namespace sealpaa::multibit {
+
+/// Probabilities that each operand bit / the input carry equals 1.
+class InputProfile {
+ public:
+  /// Builds a profile from explicit per-bit probabilities.  Both vectors
+  /// must have the same nonzero size; all values validated into [0,1].
+  InputProfile(std::vector<double> p_a, std::vector<double> p_b,
+               double p_cin);
+
+  /// All operand bits and the carry share one probability `p`
+  /// ("equally probable" scenarios of the paper).
+  [[nodiscard]] static InputProfile uniform(std::size_t width, double p);
+
+  /// Uniform operands with a distinct carry-in probability.
+  [[nodiscard]] static InputProfile uniform_with_cin(std::size_t width,
+                                                     double p_operands,
+                                                     double p_cin);
+
+  /// Random profile (each probability uniform in (lo, hi)); used by
+  /// property tests to cross-validate engines.
+  [[nodiscard]] static InputProfile random(std::size_t width,
+                                           prob::Xoshiro256StarStar& rng,
+                                           double lo = 0.0, double hi = 1.0);
+
+  [[nodiscard]] std::size_t width() const noexcept { return p_a_.size(); }
+  [[nodiscard]] double p_a(std::size_t i) const { return p_a_.at(i); }
+  [[nodiscard]] double p_b(std::size_t i) const { return p_b_.at(i); }
+  [[nodiscard]] double p_cin() const noexcept { return p_cin_; }
+
+  [[nodiscard]] const std::vector<double>& all_p_a() const noexcept {
+    return p_a_;
+  }
+  [[nodiscard]] const std::vector<double>& all_p_b() const noexcept {
+    return p_b_;
+  }
+
+  /// True when every operand bit and the carry have probability exactly `p`.
+  [[nodiscard]] bool is_uniform(double p) const noexcept;
+
+  /// Probability of a *specific* full input assignment (operands `a`, `b`
+  /// and carry `cin` as bit vectors / flag), assuming independence.
+  /// Used by the weighted-exhaustive ground-truth engine.
+  [[nodiscard]] double assignment_probability(std::uint64_t a, std::uint64_t b,
+                                              bool cin) const;
+
+  /// Draws a random input assignment for Monte Carlo simulation.
+  struct Sample {
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    bool cin = false;
+  };
+  [[nodiscard]] Sample sample(prob::Xoshiro256StarStar& rng) const;
+
+ private:
+  std::vector<double> p_a_;
+  std::vector<double> p_b_;
+  double p_cin_ = 0.0;
+};
+
+}  // namespace sealpaa::multibit

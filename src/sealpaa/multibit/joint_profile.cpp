@@ -1,0 +1,117 @@
+#include "sealpaa/multibit/joint_profile.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sealpaa::multibit {
+
+namespace {
+
+constexpr double kSlack = 1e-9;
+
+JointBitDistribution validate(JointBitDistribution joint, std::size_t bit) {
+  double total = 0.0;
+  for (double& p : joint) {
+    if (std::isnan(p) || p < -kSlack || p > 1.0 + kSlack) {
+      throw std::domain_error(
+          "JointInputProfile: bit " + std::to_string(bit) +
+          " has an entry outside [0, 1]");
+    }
+    p = std::min(1.0, std::max(0.0, p));
+    total += p;
+  }
+  if (std::fabs(total - 1.0) > 1e-6) {
+    throw std::domain_error("JointInputProfile: bit " + std::to_string(bit) +
+                            " distribution sums to " + std::to_string(total));
+  }
+  // Renormalise the residual rounding error.
+  for (double& p : joint) p /= total;
+  return joint;
+}
+
+}  // namespace
+
+JointInputProfile::JointInputProfile(std::vector<JointBitDistribution> bits,
+                                     double p_cin)
+    : bits_(std::move(bits)) {
+  if (bits_.empty() || bits_.size() > 63) {
+    throw std::invalid_argument(
+        "JointInputProfile: width must be in [1, 63]");
+  }
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    bits_[i] = validate(bits_[i], i);
+  }
+  p_cin_ = prob::require_probability(p_cin, "JointInputProfile P(Cin)");
+}
+
+JointInputProfile JointInputProfile::independent(const InputProfile& profile) {
+  std::vector<JointBitDistribution> bits(profile.width());
+  for (std::size_t i = 0; i < profile.width(); ++i) {
+    const double pa = profile.p_a(i);
+    const double pb = profile.p_b(i);
+    bits[i] = {(1 - pa) * (1 - pb), (1 - pa) * pb, pa * (1 - pb), pa * pb};
+  }
+  return JointInputProfile(std::move(bits), profile.p_cin());
+}
+
+JointInputProfile JointInputProfile::correlated(const InputProfile& profile,
+                                                double rho) {
+  std::vector<JointBitDistribution> bits(profile.width());
+  for (std::size_t i = 0; i < profile.width(); ++i) {
+    const double pa = profile.p_a(i);
+    const double pb = profile.p_b(i);
+    const double cov =
+        rho * std::sqrt(pa * (1 - pa) * pb * (1 - pb));
+    const double p11 = pa * pb + cov;
+    const double p10 = pa - p11;
+    const double p01 = pb - p11;
+    const double p00 = 1.0 - p11 - p10 - p01;
+    // validate() rejects infeasible rho for these marginals.
+    bits[i] = {p00, p01, p10, p11};
+  }
+  return JointInputProfile(std::move(bits), profile.p_cin());
+}
+
+double JointInputProfile::marginal_a(std::size_t i) const {
+  const JointBitDistribution& j = bits_.at(i);
+  return j[2] + j[3];
+}
+
+double JointInputProfile::marginal_b(std::size_t i) const {
+  const JointBitDistribution& j = bits_.at(i);
+  return j[1] + j[3];
+}
+
+double JointInputProfile::assignment_probability(std::uint64_t a,
+                                                 std::uint64_t b,
+                                                 bool cin) const {
+  double probability = cin ? p_cin_ : 1.0 - p_cin_;
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    const std::size_t idx = (((a >> i) & 1ULL) << 1) | ((b >> i) & 1ULL);
+    probability *= bits_[i][idx];
+  }
+  return probability;
+}
+
+InputProfile::Sample JointInputProfile::sample(
+    prob::Xoshiro256StarStar& rng) const {
+  InputProfile::Sample s;
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    const double u = rng.uniform01();
+    double cumulative = 0.0;
+    std::size_t pick = 3;
+    for (std::size_t idx = 0; idx < 4; ++idx) {
+      cumulative += bits_[i][idx];
+      if (u < cumulative) {
+        pick = idx;
+        break;
+      }
+    }
+    if (((pick >> 1) & 1U) != 0) s.a |= 1ULL << i;
+    if ((pick & 1U) != 0) s.b |= 1ULL << i;
+  }
+  s.cin = rng.bernoulli(p_cin_);
+  return s;
+}
+
+}  // namespace sealpaa::multibit

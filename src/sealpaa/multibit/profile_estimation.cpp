@@ -1,0 +1,85 @@
+#include "sealpaa/multibit/profile_estimation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sealpaa::multibit {
+
+namespace {
+
+void require_trace(const std::vector<OperandSample>& trace,
+                   std::size_t width) {
+  if (trace.empty()) {
+    throw std::invalid_argument("profile estimation: empty trace");
+  }
+  if (width < 1 || width > 63) {
+    throw std::invalid_argument(
+        "profile estimation: width must be in [1, 63]");
+  }
+}
+
+}  // namespace
+
+InputProfile estimate_profile(const std::vector<OperandSample>& trace,
+                              std::size_t width, double p_cin) {
+  require_trace(trace, width);
+  std::vector<double> p_a(width, 0.0);
+  std::vector<double> p_b(width, 0.0);
+  for (const OperandSample& sample : trace) {
+    for (std::size_t i = 0; i < width; ++i) {
+      p_a[i] += static_cast<double>((sample.a >> i) & 1ULL);
+      p_b[i] += static_cast<double>((sample.b >> i) & 1ULL);
+    }
+  }
+  const double n = static_cast<double>(trace.size());
+  for (std::size_t i = 0; i < width; ++i) {
+    p_a[i] /= n;
+    p_b[i] /= n;
+  }
+  return InputProfile(std::move(p_a), std::move(p_b), p_cin);
+}
+
+JointInputProfile estimate_joint_profile(
+    const std::vector<OperandSample>& trace, std::size_t width, double p_cin,
+    double laplace_smoothing) {
+  require_trace(trace, width);
+  if (laplace_smoothing < 0.0) {
+    throw std::invalid_argument(
+        "estimate_joint_profile: smoothing must be non-negative");
+  }
+  std::vector<JointBitDistribution> bits(
+      width, JointBitDistribution{laplace_smoothing, laplace_smoothing,
+                                  laplace_smoothing, laplace_smoothing});
+  for (const OperandSample& sample : trace) {
+    for (std::size_t i = 0; i < width; ++i) {
+      const std::size_t idx =
+          (((sample.a >> i) & 1ULL) << 1) | ((sample.b >> i) & 1ULL);
+      bits[i][idx] += 1.0;
+    }
+  }
+  const double n =
+      static_cast<double>(trace.size()) + 4.0 * laplace_smoothing;
+  for (JointBitDistribution& joint : bits) {
+    for (double& p : joint) p /= n;
+  }
+  return JointInputProfile(std::move(bits), p_cin);
+}
+
+std::vector<double> operand_correlation(
+    const std::vector<OperandSample>& trace, std::size_t width) {
+  require_trace(trace, width);
+  const JointInputProfile joint = estimate_joint_profile(trace, width);
+  std::vector<double> rho(width, 0.0);
+  for (std::size_t i = 0; i < width; ++i) {
+    const double pa = joint.marginal_a(i);
+    const double pb = joint.marginal_b(i);
+    const double denominator =
+        std::sqrt(pa * (1 - pa) * pb * (1 - pb));
+    if (denominator == 0.0) continue;
+    const double p11 = joint.joint(i)[3];
+    rho[i] = (p11 - pa * pb) / denominator;
+  }
+  return rho;
+}
+
+}  // namespace sealpaa::multibit

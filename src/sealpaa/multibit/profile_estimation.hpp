@@ -1,0 +1,48 @@
+// Workload-driven input-profile estimation.
+//
+// The paper's method takes per-bit probabilities as given ("for a
+// predetermined probability of input bits", abstract).  In practice
+// those probabilities come from measuring a representative operand
+// trace of the target application.  This module estimates both the
+// independent (marginal) profile and the correlated (per-bit joint)
+// profile from a trace of operand pairs, closing the loop:
+//   workload trace -> profile -> analytical P(E) -> compare with the
+//   error rate measured on the same trace.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sealpaa/multibit/input_profile.hpp"
+#include "sealpaa/multibit/joint_profile.hpp"
+
+namespace sealpaa::multibit {
+
+/// One observed operand pair of a workload trace.
+struct OperandSample {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+/// Estimates per-bit marginals P(A_i = 1), P(B_i = 1) from the trace
+/// (carry-in probability supplied separately — traces rarely carry it).
+/// Throws std::invalid_argument on an empty trace.
+[[nodiscard]] InputProfile estimate_profile(
+    const std::vector<OperandSample>& trace, std::size_t width,
+    double p_cin = 0.0);
+
+/// Estimates the per-bit joint distribution P(A_i, B_i) from the trace,
+/// capturing operand correlation the marginal profile discards.  With
+/// `laplace_smoothing` > 0 each of the four cells per bit starts with
+/// that pseudo-count (avoids hard zeros from short traces).
+[[nodiscard]] JointInputProfile estimate_joint_profile(
+    const std::vector<OperandSample>& trace, std::size_t width,
+    double p_cin = 0.0, double laplace_smoothing = 0.0);
+
+/// Empirical per-bit Pearson correlation between A_i and B_i (0 when a
+/// bit is constant in the trace).  Diagnostic for deciding whether the
+/// correlated analysis is warranted.
+[[nodiscard]] std::vector<double> operand_correlation(
+    const std::vector<OperandSample>& trace, std::size_t width);
+
+}  // namespace sealpaa::multibit

@@ -1,0 +1,132 @@
+#include "sealpaa/multiplier/array_multiplier.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "sealpaa/multibit/csa.hpp"
+
+namespace sealpaa::multiplier {
+
+ApproxMultiplier::ApproxMultiplier(std::size_t operand_width,
+                                   adders::AdderCell cell, ReductionMode mode)
+    : width_(operand_width),
+      cell_(std::move(cell)),
+      mode_(mode),
+      accumulator_(multibit::AdderChain::homogeneous(
+          cell_, 2 * (operand_width == 0 ? 1 : operand_width))) {
+  if (operand_width < 1 || operand_width > 31) {
+    throw std::invalid_argument(
+        "ApproxMultiplier: operand width must be in [1, 31]");
+  }
+}
+
+std::uint64_t ApproxMultiplier::multiply(std::uint64_t a,
+                                         std::uint64_t b) const {
+  const std::size_t pw = product_width();
+  a = multibit::mask_width(a, width_);
+  b = multibit::mask_width(b, width_);
+
+  // Hardware-faithful array: all W partial products (pp_i = (a AND b_i)
+  // << i) flow through the accumulation adders, zero rows included — an
+  // approximate array really does "compute" its zeros, which is why
+  // 0 * x can come out nonzero for aggressive cells.
+  std::vector<std::uint64_t> partials;
+  partials.reserve(width_);
+  for (std::size_t i = 0; i < width_; ++i) {
+    partials.push_back(((b >> i) & 1ULL) != 0 ? (a << i) : 0ULL);
+  }
+
+  if (mode_ == ReductionMode::RippleAccumulate) {
+    std::uint64_t acc = partials.front();
+    for (std::size_t i = 1; i < partials.size(); ++i) {
+      acc = accumulator_.evaluate(acc, partials[i], false).sum_bits;
+    }
+    return multibit::mask_width(acc, pw);
+  }
+
+  const multibit::CarrySaveAdder csa{cell_, accumulator_};
+  return csa.accumulate(partials);
+}
+
+std::int64_t ApproxMultiplier::multiply_signed(std::int64_t a,
+                                               std::int64_t b) const {
+  const std::uint64_t limit = 1ULL << width_;
+  const std::uint64_t mag_a =
+      static_cast<std::uint64_t>(a < 0 ? -a : a);
+  const std::uint64_t mag_b =
+      static_cast<std::uint64_t>(b < 0 ? -b : b);
+  if (mag_a >= limit || mag_b >= limit) {
+    throw std::domain_error(
+        "ApproxMultiplier::multiply_signed: magnitude exceeds operand "
+        "width");
+  }
+  const std::int64_t product =
+      static_cast<std::int64_t>(multiply(mag_a, mag_b));
+  return (a < 0) != (b < 0) ? -product : product;
+}
+
+double MultiplierReport::normalized_med() const noexcept {
+  if (max_product == 0) return 0.0;
+  return metrics.mean_abs_error() / static_cast<double>(max_product);
+}
+
+MultiplierReport measure_multiplier(const ApproxMultiplier& multiplier,
+                                    std::uint64_t samples,
+                                    std::uint64_t seed) {
+  MultiplierReport report;
+  report.samples = samples;
+  const std::size_t w = multiplier.operand_width();
+  const std::uint64_t mask = (1ULL << w) - 1ULL;
+  report.max_product = mask * mask;
+  prob::Xoshiro256StarStar rng(seed);
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    const std::uint64_t a = rng.next() & mask;
+    const std::uint64_t b = rng.next() & mask;
+    const std::uint64_t approx = multiplier.multiply(a, b);
+    const std::uint64_t exact = a * b;
+    report.metrics.add(approx, exact, approx == exact);
+  }
+  return report;
+}
+
+MultiplierReport exhaustive_multiplier(const ApproxMultiplier& multiplier,
+                                       std::size_t max_width) {
+  const std::size_t w = multiplier.operand_width();
+  if (w > max_width) {
+    throw std::invalid_argument(
+        "exhaustive_multiplier: width exceeds the sweep guard");
+  }
+  MultiplierReport report;
+  const std::uint64_t limit = 1ULL << w;
+  report.max_product = (limit - 1) * (limit - 1);
+  report.samples = limit * limit;
+  for (std::uint64_t a = 0; a < limit; ++a) {
+    for (std::uint64_t b = 0; b < limit; ++b) {
+      const std::uint64_t approx = multiplier.multiply(a, b);
+      const std::uint64_t exact = a * b;
+      report.metrics.add(approx, exact, approx == exact);
+    }
+  }
+  return report;
+}
+
+std::uint64_t approx_dot_product(const std::vector<std::uint64_t>& values,
+                                 const std::vector<std::uint64_t>& weights,
+                                 const ApproxMultiplier& multiplier,
+                                 const multibit::AdderChain& accumulator) {
+  if (values.size() != weights.size()) {
+    throw std::invalid_argument("approx_dot_product: size mismatch");
+  }
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const std::uint64_t product = multiplier.multiply(values[i], weights[i]);
+    acc = accumulator
+              .evaluate(acc, multibit::mask_width(product,
+                                                  accumulator.width()),
+                        false)
+              .sum_bits;
+  }
+  return acc;
+}
+
+}  // namespace sealpaa::multiplier

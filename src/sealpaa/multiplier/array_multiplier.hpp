@@ -1,0 +1,92 @@
+// Approximate array multiplication built from adder cells — the
+// accelerator-datapath scenario of the paper's §1.1 ("the analysis
+// complexity will further aggravate when these adders form an
+// accelerator data path") and the architectural-space exploration of
+// multipliers it cites ([16]).
+//
+// A WxW multiplier forms W partial products and accumulates them with
+// 2W-bit adders; the accumulation adders are where the approximate cells
+// live.  Two reduction topologies are provided: sequential ripple
+// accumulation and a carry-save tree with a final ripple merge.
+#pragma once
+
+#include <cstdint>
+
+#include "sealpaa/adders/cell.hpp"
+#include "sealpaa/multibit/chain.hpp"
+#include "sealpaa/prob/rng.hpp"
+#include "sealpaa/sim/metrics.hpp"
+
+namespace sealpaa::multiplier {
+
+/// Partial-product reduction topology.
+enum class ReductionMode {
+  RippleAccumulate,  // fold partial products one by one through a chain
+  CarrySaveTree,     // 3:2 compressor tree, then one final merge chain
+};
+
+/// A WxW -> 2W-bit unsigned multiplier with configurable accumulation
+/// cells.
+class ApproxMultiplier {
+ public:
+  /// `operand_width` in [1, 31] (product must fit 62 bits).  All
+  /// accumulation adders use `cell`; pass adders::accurate() for an
+  /// exact reference.
+  ApproxMultiplier(std::size_t operand_width, adders::AdderCell cell,
+                   ReductionMode mode = ReductionMode::RippleAccumulate);
+
+  [[nodiscard]] std::uint64_t multiply(std::uint64_t a,
+                                       std::uint64_t b) const;
+
+  /// Signed multiply in sign-magnitude style: the approximate array
+  /// multiplies the magnitudes, the sign is applied exactly afterwards.
+  /// Throws std::domain_error when |a| or |b| does not fit the operand
+  /// width.
+  [[nodiscard]] std::int64_t multiply_signed(std::int64_t a,
+                                             std::int64_t b) const;
+
+  [[nodiscard]] std::size_t operand_width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t product_width() const noexcept {
+    return 2 * width_;
+  }
+  [[nodiscard]] const adders::AdderCell& cell() const noexcept {
+    return cell_;
+  }
+  [[nodiscard]] ReductionMode mode() const noexcept { return mode_; }
+
+ private:
+  std::size_t width_;
+  adders::AdderCell cell_;
+  ReductionMode mode_;
+  multibit::AdderChain accumulator_;
+};
+
+/// Monte Carlo quality report for a multiplier against exact products.
+struct MultiplierReport {
+  sim::ErrorMetrics metrics;
+  std::uint64_t samples = 0;
+  /// Normalised mean error distance: MED / max exact product.
+  [[nodiscard]] double normalized_med() const noexcept;
+  std::uint64_t max_product = 0;
+};
+
+/// Samples uniformly random operand pairs and compares against exact
+/// multiplication.  Deterministic for a given seed.
+[[nodiscard]] MultiplierReport measure_multiplier(
+    const ApproxMultiplier& multiplier, std::uint64_t samples,
+    std::uint64_t seed = 0x5ea1'0123ULL);
+
+/// Exhaustive sweep over all operand pairs (guarded to small widths).
+[[nodiscard]] MultiplierReport exhaustive_multiplier(
+    const ApproxMultiplier& multiplier, std::size_t max_width = 8);
+
+/// Accelerator MAC: dot product of `values` and `weights` where every
+/// multiply uses `multiplier` and every accumulation the `accumulator`
+/// chain (modulo 2^accumulator-width).
+[[nodiscard]] std::uint64_t approx_dot_product(
+    const std::vector<std::uint64_t>& values,
+    const std::vector<std::uint64_t>& weights,
+    const ApproxMultiplier& multiplier,
+    const multibit::AdderChain& accumulator);
+
+}  // namespace sealpaa::multiplier

@@ -1,0 +1,47 @@
+// Compensated (Kahan-Neumaier) summation.
+//
+// The recursion itself is numerically benign, but exhaustive weighted
+// enumeration sums up to 2^(2N+1) tiny products; compensation keeps the
+// exact-ground-truth engines honest to the last ulp.
+#pragma once
+
+#include <cmath>
+
+namespace sealpaa::prob {
+
+/// Neumaier variant of Kahan summation: accurate even when the addend is
+/// larger than the running sum.
+class KahanSum {
+ public:
+  constexpr KahanSum() noexcept = default;
+
+  constexpr void add(double x) noexcept {
+    const double t = sum_ + x;
+    if (std::abs(sum_) >= std::abs(x)) {
+      compensation_ += (sum_ - t) + x;
+    } else {
+      compensation_ += (x - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  constexpr KahanSum& operator+=(double x) noexcept {
+    add(x);
+    return *this;
+  }
+
+  [[nodiscard]] constexpr double value() const noexcept {
+    return sum_ + compensation_;
+  }
+
+  constexpr void reset() noexcept {
+    sum_ = 0.0;
+    compensation_ = 0.0;
+  }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+}  // namespace sealpaa::prob

@@ -1,0 +1,21 @@
+#include "sealpaa/prob/probability.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sealpaa::prob {
+
+double require_probability(double value, const std::string& what) {
+  if (std::isnan(value) || value < -kProbabilitySlack ||
+      value > 1.0 + kProbabilitySlack) {
+    throw std::domain_error(what + ": value " + std::to_string(value) +
+                            " is not a probability in [0, 1]");
+  }
+  return std::clamp(value, 0.0, 1.0);
+}
+
+double Probability::validate(double value) {
+  return require_probability(value, "Probability");
+}
+
+}  // namespace sealpaa::prob

@@ -1,0 +1,82 @@
+// A validated probability value type.
+//
+// The whole analysis manipulates probabilities; using a strong type with
+// range validation at construction catches sign/complement mistakes at
+// the API boundary while compiling down to a bare double in Release.
+#pragma once
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace sealpaa::prob {
+
+/// A probability in [0, 1].  Construction from a raw double validates the
+/// range (throwing std::domain_error), so downstream arithmetic can rely
+/// on the invariant.  Interior arithmetic that is provably range-safe
+/// uses `Probability::unchecked` to avoid per-op validation.
+class Probability {
+ public:
+  /// Default is probability zero.
+  constexpr Probability() noexcept = default;
+
+  /// Validating constructor; values outside [0,1] by more than `kSlack`
+  /// (tolerance for accumulated rounding) throw std::domain_error.
+  /// Values inside the slack band are clamped.
+  explicit Probability(double value) : value_(validate(value)) {}
+
+  /// Constructs without validation.  Caller guarantees value in [0,1].
+  [[nodiscard]] static constexpr Probability unchecked(double value) noexcept {
+    Probability p;
+    p.value_ = value;
+    return p;
+  }
+
+  [[nodiscard]] constexpr double value() const noexcept { return value_; }
+
+  /// Complement 1 - p.
+  [[nodiscard]] constexpr Probability complement() const noexcept {
+    return unchecked(1.0 - value_);
+  }
+
+  /// Product of independent-event probabilities (always stays in range).
+  [[nodiscard]] constexpr Probability operator*(Probability other) const noexcept {
+    return unchecked(value_ * other.value_);
+  }
+
+  friend constexpr bool operator==(Probability a, Probability b) noexcept {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator<(Probability a, Probability b) noexcept {
+    return a.value_ < b.value_;
+  }
+  friend constexpr bool operator<=(Probability a, Probability b) noexcept {
+    return a.value_ <= b.value_;
+  }
+
+  /// Half / fair-coin probability.
+  [[nodiscard]] static constexpr Probability half() noexcept {
+    return unchecked(0.5);
+  }
+  [[nodiscard]] static constexpr Probability zero() noexcept {
+    return unchecked(0.0);
+  }
+  [[nodiscard]] static constexpr Probability one() noexcept {
+    return unchecked(1.0);
+  }
+
+ private:
+  static double validate(double value);
+
+  double value_ = 0.0;
+};
+
+/// Tolerance band outside [0,1] that is clamped instead of rejected;
+/// compensates for accumulated floating-point rounding in long chains.
+inline constexpr double kProbabilitySlack = 1.0e-9;
+
+/// Throws std::domain_error with a contextual message when `value` is not
+/// a probability (beyond the slack band); otherwise returns it clamped.
+[[nodiscard]] double require_probability(double value, const std::string& what);
+
+}  // namespace sealpaa::prob

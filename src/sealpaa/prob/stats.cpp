@@ -1,0 +1,47 @@
+#include "sealpaa/prob/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sealpaa::prob {
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+Interval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                         double z) {
+  if (trials == 0) return {0.0, 1.0};
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double margin =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - margin), std::min(1.0, center + margin)};
+}
+
+double binomial_stderr(double p_hat, std::uint64_t trials) {
+  if (trials == 0) return 1.0;
+  return std::sqrt(p_hat * (1.0 - p_hat) / static_cast<double>(trials));
+}
+
+}  // namespace sealpaa::prob

@@ -1,0 +1,48 @@
+// Streaming statistics and binomial confidence intervals used to validate
+// Monte Carlo estimates against the analytical method (Tables 6 and 7).
+#pragma once
+
+#include <cstdint>
+
+namespace sealpaa::prob {
+
+/// Welford's online algorithm for mean and (sample) variance.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A two-sided confidence interval [low, high].
+struct Interval {
+  double low = 0.0;
+  double high = 0.0;
+  [[nodiscard]] bool contains(double x) const noexcept {
+    return low <= x && x <= high;
+  }
+  [[nodiscard]] double width() const noexcept { return high - low; }
+};
+
+/// Wilson score interval for a binomial proportion with `successes` out of
+/// `trials`, at normal quantile `z` (1.96 for ~95%, 3.29 for ~99.9%).
+[[nodiscard]] Interval wilson_interval(std::uint64_t successes,
+                                       std::uint64_t trials, double z);
+
+/// Standard error of a binomial proportion estimate p̂ over n trials.
+[[nodiscard]] double binomial_stderr(double p_hat, std::uint64_t trials);
+
+}  // namespace sealpaa::prob

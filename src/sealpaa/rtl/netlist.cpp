@@ -1,0 +1,200 @@
+#include "sealpaa/rtl/netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sealpaa::rtl {
+
+void Netlist::check_net(int net) const {
+  if (net < 0 || net >= static_cast<int>(gates_.size())) {
+    throw std::out_of_range("Netlist: net index " + std::to_string(net) +
+                            " out of range");
+  }
+}
+
+int Netlist::add_input(std::string name) {
+  gates_.push_back(Gate{GateKind::Input, -1, -1, std::move(name)});
+  const int net = static_cast<int>(gates_.size()) - 1;
+  inputs_.push_back(net);
+  return net;
+}
+
+int Netlist::add_const(bool value) {
+  gates_.push_back(
+      Gate{value ? GateKind::Const1 : GateKind::Const0, -1, -1, {}});
+  return static_cast<int>(gates_.size()) - 1;
+}
+
+int Netlist::add_unary(GateKind kind, int a) {
+  if (kind != GateKind::Not && kind != GateKind::Buf) {
+    throw std::invalid_argument("Netlist::add_unary: kind must be Not/Buf");
+  }
+  check_net(a);
+  gates_.push_back(Gate{kind, a, -1, {}});
+  return static_cast<int>(gates_.size()) - 1;
+}
+
+int Netlist::add_binary(GateKind kind, int a, int b) {
+  if (kind != GateKind::And && kind != GateKind::Or &&
+      kind != GateKind::Xor) {
+    throw std::invalid_argument(
+        "Netlist::add_binary: kind must be And/Or/Xor");
+  }
+  check_net(a);
+  check_net(b);
+  gates_.push_back(Gate{kind, a, b, {}});
+  return static_cast<int>(gates_.size()) - 1;
+}
+
+void Netlist::set_output(std::string name, int net) {
+  check_net(net);
+  outputs_.push_back(OutputPort{std::move(name), net});
+}
+
+std::size_t Netlist::logic_gate_count() const noexcept {
+  std::size_t count = 0;
+  for (const Gate& gate : gates_) {
+    switch (gate.kind) {
+      case GateKind::Not:
+      case GateKind::And:
+      case GateKind::Or:
+      case GateKind::Xor:
+        ++count;
+        break;
+      default:
+        break;
+    }
+  }
+  return count;
+}
+
+int Netlist::depth() const {
+  std::vector<int> level(gates_.size(), 0);
+  int deepest = 0;
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& gate = gates_[i];
+    int in_level = 0;
+    if (gate.a >= 0) in_level = level[static_cast<std::size_t>(gate.a)];
+    if (gate.b >= 0) {
+      in_level = std::max(in_level, level[static_cast<std::size_t>(gate.b)]);
+    }
+    const bool is_logic =
+        gate.kind == GateKind::Not || gate.kind == GateKind::And ||
+        gate.kind == GateKind::Or || gate.kind == GateKind::Xor;
+    level[i] = in_level + (is_logic ? 1 : 0);
+    deepest = std::max(deepest, level[i]);
+  }
+  return deepest;
+}
+
+std::vector<bool> Netlist::evaluate(
+    const std::vector<bool>& input_values) const {
+  if (input_values.size() != inputs_.size()) {
+    throw std::invalid_argument("Netlist::evaluate: expected " +
+                                std::to_string(inputs_.size()) + " inputs");
+  }
+  std::vector<char> value(gates_.size(), 0);
+  std::size_t next_input = 0;
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& gate = gates_[i];
+    switch (gate.kind) {
+      case GateKind::Input:
+        value[i] = input_values[next_input++] ? 1 : 0;
+        break;
+      case GateKind::Const0:
+        value[i] = 0;
+        break;
+      case GateKind::Const1:
+        value[i] = 1;
+        break;
+      case GateKind::Not:
+        value[i] = value[static_cast<std::size_t>(gate.a)] ? 0 : 1;
+        break;
+      case GateKind::Buf:
+        value[i] = value[static_cast<std::size_t>(gate.a)];
+        break;
+      case GateKind::And:
+        value[i] = (value[static_cast<std::size_t>(gate.a)] &&
+                    value[static_cast<std::size_t>(gate.b)])
+                       ? 1
+                       : 0;
+        break;
+      case GateKind::Or:
+        value[i] = (value[static_cast<std::size_t>(gate.a)] ||
+                    value[static_cast<std::size_t>(gate.b)])
+                       ? 1
+                       : 0;
+        break;
+      case GateKind::Xor:
+        value[i] = (value[static_cast<std::size_t>(gate.a)] !=
+                    value[static_cast<std::size_t>(gate.b)])
+                       ? 1
+                       : 0;
+        break;
+    }
+  }
+  std::vector<bool> out;
+  out.reserve(outputs_.size());
+  for (const OutputPort& port : outputs_) {
+    out.push_back(value[static_cast<std::size_t>(port.net)] != 0);
+  }
+  return out;
+}
+
+std::vector<double> Netlist::signal_probabilities(
+    const std::vector<double>& input_probabilities) const {
+  if (input_probabilities.size() != inputs_.size()) {
+    throw std::invalid_argument(
+        "Netlist::signal_probabilities: expected " +
+        std::to_string(inputs_.size()) + " input probabilities");
+  }
+  std::vector<double> p(gates_.size(), 0.0);
+  std::size_t next_input = 0;
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& gate = gates_[i];
+    const auto pa = [&] { return p[static_cast<std::size_t>(gate.a)]; };
+    const auto pb = [&] { return p[static_cast<std::size_t>(gate.b)]; };
+    switch (gate.kind) {
+      case GateKind::Input:
+        p[i] = input_probabilities[next_input++];
+        break;
+      case GateKind::Const0:
+        p[i] = 0.0;
+        break;
+      case GateKind::Const1:
+        p[i] = 1.0;
+        break;
+      case GateKind::Not:
+        p[i] = 1.0 - pa();
+        break;
+      case GateKind::Buf:
+        p[i] = pa();
+        break;
+      case GateKind::And:
+        p[i] = pa() * pb();
+        break;
+      case GateKind::Or:
+        p[i] = pa() + pb() - pa() * pb();
+        break;
+      case GateKind::Xor:
+        p[i] = pa() + pb() - 2.0 * pa() * pb();
+        break;
+    }
+  }
+  return p;
+}
+
+double Netlist::switching_activity(
+    const std::vector<double>& input_probabilities) const {
+  const std::vector<double> p = signal_probabilities(input_probabilities);
+  double activity = 0.0;
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const GateKind kind = gates_[i].kind;
+    const bool is_logic = kind == GateKind::Not || kind == GateKind::And ||
+                          kind == GateKind::Or || kind == GateKind::Xor;
+    if (is_logic) activity += 2.0 * p[i] * (1.0 - p[i]);
+  }
+  return activity;
+}
+
+}  // namespace sealpaa::rtl

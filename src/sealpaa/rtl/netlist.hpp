@@ -1,0 +1,102 @@
+// A minimal combinational gate-level netlist.
+//
+// The paper pitches its library at "design automation of complex
+// approximate computing processors, and high-level synthesis" (§1.2).
+// This substrate closes that loop: adder cells synthesize to gates,
+// multi-bit topologies compose structurally, the result exports to
+// Verilog, and the statistical machinery (signal probabilities from the
+// analysis layer) drives switching-activity/power estimation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sealpaa::rtl {
+
+/// Supported gate kinds (two-input except Not/Buf; Input/Const are
+/// sources).
+enum class GateKind : std::uint8_t {
+  Input,
+  Const0,
+  Const1,
+  Not,
+  Buf,
+  And,
+  Or,
+  Xor,
+};
+
+/// One node of the netlist.  `a`/`b` are indices of fan-in nets
+/// (-1 when unused).
+struct Gate {
+  GateKind kind = GateKind::Const0;
+  int a = -1;
+  int b = -1;
+  std::string name;  // non-empty for inputs (port name)
+};
+
+/// A named primary output.
+struct OutputPort {
+  std::string name;
+  int net = -1;
+};
+
+/// Combinational netlist in topological order (fan-ins always precede a
+/// gate), with named primary inputs/outputs.
+class Netlist {
+ public:
+  /// Adds a primary input; returns its net index.
+  int add_input(std::string name);
+  /// Adds a constant net.
+  int add_const(bool value);
+  /// Adds a unary gate (Not/Buf).
+  int add_unary(GateKind kind, int a);
+  /// Adds a binary gate (And/Or/Xor).
+  int add_binary(GateKind kind, int a, int b);
+  /// Registers net `net` as primary output `name`.
+  void set_output(std::string name, int net);
+
+  [[nodiscard]] std::size_t gate_count() const noexcept {
+    return gates_.size();
+  }
+  /// Number of two-input logic gates (excludes inputs/constants/buffers).
+  [[nodiscard]] std::size_t logic_gate_count() const noexcept;
+  [[nodiscard]] const std::vector<Gate>& gates() const noexcept {
+    return gates_;
+  }
+  [[nodiscard]] const std::vector<OutputPort>& outputs() const noexcept {
+    return outputs_;
+  }
+  [[nodiscard]] const std::vector<int>& inputs() const noexcept {
+    return inputs_;
+  }
+
+  /// Logic depth: longest input-to-output path counted in logic gates.
+  [[nodiscard]] int depth() const;
+
+  /// Evaluates the netlist; `input_values` in input-registration order.
+  /// Returns outputs in output-registration order.
+  [[nodiscard]] std::vector<bool> evaluate(
+      const std::vector<bool>& input_values) const;
+
+  /// Per-net signal probabilities P(net = 1) under the standard
+  /// spatial-independence approximation, given per-input probabilities.
+  [[nodiscard]] std::vector<double> signal_probabilities(
+      const std::vector<double>& input_probabilities) const;
+
+  /// Switching-activity proxy: sum over all logic nets of 2*p*(1-p)
+  /// (expected toggle probability per random input change).  A relative
+  /// dynamic-power indicator for comparing cells/topologies.
+  [[nodiscard]] double switching_activity(
+      const std::vector<double>& input_probabilities) const;
+
+ private:
+  void check_net(int net) const;
+
+  std::vector<Gate> gates_;
+  std::vector<int> inputs_;
+  std::vector<OutputPort> outputs_;
+};
+
+}  // namespace sealpaa::rtl

@@ -1,0 +1,167 @@
+#include "sealpaa/rtl/optimize.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <vector>
+
+namespace sealpaa::rtl {
+
+namespace {
+
+Netlist optimize_once(const Netlist& netlist);
+
+}  // namespace
+
+Netlist optimize(const Netlist& netlist) {
+  // Folding can orphan intermediate gates (e.g. the inner NOT of a
+  // double negation), so iterate to a fixed point; two or three passes
+  // suffice in practice, the loop is bounded by the shrinking count.
+  Netlist current = optimize_once(netlist);
+  while (true) {
+    Netlist next = optimize_once(current);
+    if (next.gate_count() >= current.gate_count()) return current;
+    current = std::move(next);
+  }
+}
+
+namespace {
+
+// Classification of a rebuilt net for folding decisions.
+enum class NetKind { Const0, Const1, Other };
+
+struct Rebuilder {
+  Netlist out;
+  std::map<std::tuple<GateKind, int, int>, int> cse;
+  int const0 = -1;
+  int const1 = -1;
+
+  NetKind classify(int net) const {
+    const Gate& gate = out.gates()[static_cast<std::size_t>(net)];
+    if (gate.kind == GateKind::Const0) return NetKind::Const0;
+    if (gate.kind == GateKind::Const1) return NetKind::Const1;
+    return NetKind::Other;
+  }
+
+  int constant(bool value) {
+    int& cached = value ? const1 : const0;
+    if (cached < 0) cached = out.add_const(value);
+    return cached;
+  }
+
+  int make_not(int a) {
+    const NetKind kind = classify(a);
+    if (kind == NetKind::Const0) return constant(true);
+    if (kind == NetKind::Const1) return constant(false);
+    const Gate& gate = out.gates()[static_cast<std::size_t>(a)];
+    if (gate.kind == GateKind::Not) return gate.a;  // double negation
+    const auto key = std::make_tuple(GateKind::Not, a, -1);
+    const auto it = cse.find(key);
+    if (it != cse.end()) return it->second;
+    const int net = out.add_unary(GateKind::Not, a);
+    cse.emplace(key, net);
+    return net;
+  }
+
+  int make_binary(GateKind kind, int a, int b) {
+    const NetKind ka = classify(a);
+    const NetKind kb = classify(b);
+    // Constant folding and identities.
+    switch (kind) {
+      case GateKind::And:
+        if (ka == NetKind::Const0 || kb == NetKind::Const0) {
+          return constant(false);
+        }
+        if (ka == NetKind::Const1) return b;
+        if (kb == NetKind::Const1) return a;
+        if (a == b) return a;
+        break;
+      case GateKind::Or:
+        if (ka == NetKind::Const1 || kb == NetKind::Const1) {
+          return constant(true);
+        }
+        if (ka == NetKind::Const0) return b;
+        if (kb == NetKind::Const0) return a;
+        if (a == b) return a;
+        break;
+      case GateKind::Xor:
+        if (ka == NetKind::Const0) return b;
+        if (kb == NetKind::Const0) return a;
+        if (ka == NetKind::Const1) return make_not(b);
+        if (kb == NetKind::Const1) return make_not(a);
+        if (a == b) return constant(false);
+        break;
+      default:
+        break;
+    }
+    // Commutative CSE key.
+    const auto key =
+        std::make_tuple(kind, std::min(a, b), std::max(a, b));
+    const auto it = cse.find(key);
+    if (it != cse.end()) return it->second;
+    const int net = out.add_binary(kind, a, b);
+    cse.emplace(key, net);
+    return net;
+  }
+};
+
+Netlist optimize_once(const Netlist& netlist) {
+  const std::vector<Gate>& gates = netlist.gates();
+
+  // Liveness: outputs and everything they transitively read.  Primary
+  // inputs are ports and always live.
+  std::vector<char> live(gates.size(), 0);
+  for (const OutputPort& port : netlist.outputs()) {
+    live[static_cast<std::size_t>(port.net)] = 1;
+  }
+  for (std::size_t i = gates.size(); i-- > 0;) {
+    if (!live[i]) continue;
+    const Gate& gate = gates[i];
+    if (gate.a >= 0) live[static_cast<std::size_t>(gate.a)] = 1;
+    if (gate.b >= 0) live[static_cast<std::size_t>(gate.b)] = 1;
+  }
+
+  Rebuilder rebuilder;
+  std::vector<int> remap(gates.size(), -1);
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const Gate& gate = gates[i];
+    if (gate.kind == GateKind::Input) {
+      remap[i] = rebuilder.out.add_input(gate.name);
+      continue;
+    }
+    if (!live[i]) continue;
+    switch (gate.kind) {
+      case GateKind::Const0:
+        remap[i] = rebuilder.constant(false);
+        break;
+      case GateKind::Const1:
+        remap[i] = rebuilder.constant(true);
+        break;
+      case GateKind::Buf:
+        remap[i] = remap[static_cast<std::size_t>(gate.a)];
+        break;
+      case GateKind::Not:
+        remap[i] = rebuilder.make_not(remap[static_cast<std::size_t>(gate.a)]);
+        break;
+      case GateKind::And:
+      case GateKind::Or:
+      case GateKind::Xor:
+        remap[i] = rebuilder.make_binary(
+            gate.kind, remap[static_cast<std::size_t>(gate.a)],
+            remap[static_cast<std::size_t>(gate.b)]);
+        break;
+      case GateKind::Input:
+        break;  // handled above
+    }
+  }
+
+  for (const OutputPort& port : netlist.outputs()) {
+    rebuilder.out.set_output(port.name,
+                             remap[static_cast<std::size_t>(port.net)]);
+  }
+  return rebuilder.out;
+}
+
+}  // namespace
+
+}  // namespace sealpaa::rtl

@@ -1,0 +1,18 @@
+// Structural netlist optimization: dead-gate elimination, constant
+// folding, identity/idempotence simplification, double-negation
+// elimination and common-subexpression sharing.  Output-equivalent by
+// construction (property-tested on random vectors); gate count never
+// increases.  Applied before Verilog export and before gate-count /
+// switching-activity reporting to keep the SOP synthesis honest.
+#pragma once
+
+#include "sealpaa/rtl/netlist.hpp"
+
+namespace sealpaa::rtl {
+
+/// Returns an optimized, functionally equivalent netlist.  Primary
+/// inputs are preserved in order (ports are part of the interface, even
+/// when unused); primary outputs keep their names and order.
+[[nodiscard]] Netlist optimize(const Netlist& netlist);
+
+}  // namespace sealpaa::rtl

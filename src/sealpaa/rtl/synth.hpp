@@ -1,0 +1,43 @@
+// Structural synthesis of adder cells and multi-bit topologies into
+// gate-level netlists.
+//
+// Cells synthesize as two-level sum-of-minterms logic derived from their
+// truth tables (with trivial constant/absorption simplifications), so
+// ANY cell — including user-defined ones — flows to RTL without a
+// hand-written netlist.  Multi-bit chains and GeAr adders compose the
+// per-cell logic structurally, mirroring Figures 2 and 3 of the paper.
+#pragma once
+
+#include "sealpaa/adders/cell.hpp"
+#include "sealpaa/gear/gear.hpp"
+#include "sealpaa/multibit/chain.hpp"
+#include "sealpaa/rtl/netlist.hpp"
+
+namespace sealpaa::rtl {
+
+/// Synthesizes one cell: inputs a, b, cin; outputs sum, cout.
+[[nodiscard]] Netlist synthesize_cell(const adders::AdderCell& cell);
+
+/// Synthesizes a ripple chain (Figure 3): inputs a[0..N-1], b[0..N-1],
+/// cin; outputs sum[0..N-1], cout.
+[[nodiscard]] Netlist synthesize_chain(const multibit::AdderChain& chain);
+
+/// Synthesizes a GeAr adder (Figure 2) with exact sub-adders: inputs
+/// a[0..N-1], b[0..N-1]; outputs sum[0..N-1], cout.
+[[nodiscard]] Netlist synthesize_gear(const gear::GearConfig& config);
+
+namespace detail {
+
+/// Builds the (sum, cout) nets of `cell` on the given input nets inside
+/// an existing netlist; returns {sum_net, cout_net}.
+struct CellNets {
+  int sum = -1;
+  int cout = -1;
+};
+[[nodiscard]] CellNets instantiate_cell(Netlist& netlist,
+                                        const adders::AdderCell& cell, int a,
+                                        int b, int cin);
+
+}  // namespace detail
+
+}  // namespace sealpaa::rtl

@@ -1,0 +1,27 @@
+// Verilog-2001 export of synthesized netlists — the hand-off point from
+// the statistical library to a conventional EDA flow.
+#pragma once
+
+#include <string>
+
+#include "sealpaa/rtl/netlist.hpp"
+
+namespace sealpaa::rtl {
+
+/// Renders `netlist` as a synthesizable Verilog module: one port per
+/// primary input/output, one `assign` per gate.
+[[nodiscard]] std::string to_verilog(const Netlist& netlist,
+                                     const std::string& module_name);
+
+/// Emits a self-checking Verilog testbench for the module produced by
+/// `to_verilog`: expected outputs come from evaluating the netlist with
+/// this library (the golden model).  Exhaustive when the input count is
+/// <= `exhaustive_limit` bits; otherwise `sample_count` pseudo-random
+/// vectors (deterministic seed).  Runs under any Verilog simulator
+/// (iverilog/verilator): prints FAIL lines on mismatch and a final
+/// SEALPAA_TB_PASS marker.
+[[nodiscard]] std::string to_verilog_testbench(
+    const Netlist& netlist, const std::string& module_name,
+    std::size_t exhaustive_limit = 14, std::size_t sample_count = 1000);
+
+}  // namespace sealpaa::rtl

@@ -1,0 +1,38 @@
+#include "sealpaa/sim/exhaustive.hpp"
+
+#include <stdexcept>
+
+#include "sealpaa/util/timer.hpp"
+
+namespace sealpaa::sim {
+
+ExhaustiveSimReport ExhaustiveSimulator::run(const multibit::AdderChain& chain,
+                                             std::size_t max_width) {
+  const std::size_t n = chain.width();
+  if (n > max_width) {
+    throw std::invalid_argument(
+        "ExhaustiveSimulator: width " + std::to_string(n) +
+        " exceeds the sweep guard (" + std::to_string(max_width) + ")");
+  }
+
+  ExhaustiveSimReport report;
+  util::WallTimer timer;
+  const std::uint64_t limit = 1ULL << n;
+  for (std::uint64_t a = 0; a < limit; ++a) {
+    for (std::uint64_t b = 0; b < limit; ++b) {
+      for (int cin = 0; cin < 2; ++cin) {
+        const multibit::TracedAddResult traced =
+            chain.evaluate_traced(a, b, cin != 0);
+        const multibit::AddResult exact =
+            multibit::exact_add(a, b, cin != 0, n);
+        report.metrics.add(traced.outputs.value(n), exact.value(n),
+                           traced.all_stages_success);
+        report.bit_operations += n;
+      }
+    }
+  }
+  report.seconds = timer.elapsed_seconds();
+  return report;
+}
+
+}  // namespace sealpaa::sim

@@ -1,0 +1,29 @@
+// Exhaustive simulation over all 2^(2N+1) input cases with equally
+// probable inputs — the paper's validation oracle for the "Equally
+// Probable / Finite" row of Table 6 and the exploding curve of Figure 1.
+#pragma once
+
+#include <cstdint>
+
+#include "sealpaa/multibit/chain.hpp"
+#include "sealpaa/sim/metrics.hpp"
+
+namespace sealpaa::sim {
+
+/// Outcome of an exhaustive sweep.  With uniform inputs each case has
+/// probability 2^-(2N+1), so rates are exact probabilities.
+struct ExhaustiveSimReport {
+  ErrorMetrics metrics;
+  double seconds = 0.0;               // wall-clock of the sweep
+  std::uint64_t bit_operations = 0;   // single-bit adder evaluations
+};
+
+class ExhaustiveSimulator {
+ public:
+  /// Sweeps every (a, b, cin) combination.  Guarded by `max_width`
+  /// (default 13: 2^27 ≈ 134M cases).
+  [[nodiscard]] static ExhaustiveSimReport run(
+      const multibit::AdderChain& chain, std::size_t max_width = 13);
+};
+
+}  // namespace sealpaa::sim

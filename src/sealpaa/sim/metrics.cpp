@@ -1,0 +1,58 @@
+#include "sealpaa/sim/metrics.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace sealpaa::sim {
+
+void ErrorMetrics::add(std::uint64_t approx_value, std::uint64_t exact_value,
+                       bool stage_success) noexcept {
+  ++cases_;
+  if (!stage_success) ++stage_failures_;
+  const std::int64_t error = static_cast<std::int64_t>(approx_value) -
+                             static_cast<std::int64_t>(exact_value);
+  if (error != 0) ++value_errors_;
+  const double e = static_cast<double>(error);
+  sum_error_ += e;
+  sum_abs_error_ += std::fabs(e);
+  sum_sq_error_ += e * e;
+  if (std::llabs(error) > std::llabs(worst_case_)) worst_case_ = error;
+}
+
+double ErrorMetrics::error_rate() const noexcept {
+  return cases_ == 0 ? 0.0
+                     : static_cast<double>(value_errors_) /
+                           static_cast<double>(cases_);
+}
+
+double ErrorMetrics::stage_failure_rate() const noexcept {
+  return cases_ == 0 ? 0.0
+                     : static_cast<double>(stage_failures_) /
+                           static_cast<double>(cases_);
+}
+
+double ErrorMetrics::mean_error() const noexcept {
+  return cases_ == 0 ? 0.0 : sum_error_ / static_cast<double>(cases_);
+}
+
+double ErrorMetrics::mean_abs_error() const noexcept {
+  return cases_ == 0 ? 0.0 : sum_abs_error_ / static_cast<double>(cases_);
+}
+
+double ErrorMetrics::mean_squared_error() const noexcept {
+  return cases_ == 0 ? 0.0 : sum_sq_error_ / static_cast<double>(cases_);
+}
+
+void ErrorMetrics::merge(const ErrorMetrics& other) noexcept {
+  cases_ += other.cases_;
+  value_errors_ += other.value_errors_;
+  stage_failures_ += other.stage_failures_;
+  sum_error_ += other.sum_error_;
+  sum_abs_error_ += other.sum_abs_error_;
+  sum_sq_error_ += other.sum_sq_error_;
+  if (std::llabs(other.worst_case_) > std::llabs(worst_case_)) {
+    worst_case_ = other.worst_case_;
+  }
+}
+
+}  // namespace sealpaa::sim

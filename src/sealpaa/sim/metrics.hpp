@@ -1,0 +1,55 @@
+// Error-quality metrics shared by the exhaustive and Monte Carlo
+// simulators: error rate, mean error distance (MED), mean squared error,
+// worst-case error — the standard approximate-computing quality measures.
+#pragma once
+
+#include <cstdint>
+
+namespace sealpaa::sim {
+
+/// Streaming accumulator over (approximate, exact) result pairs.
+class ErrorMetrics {
+ public:
+  /// Records one evaluated case.  `stage_success` is the paper's
+  /// per-stage success event for the same case.
+  void add(std::uint64_t approx_value, std::uint64_t exact_value,
+           bool stage_success) noexcept;
+
+  [[nodiscard]] std::uint64_t cases() const noexcept { return cases_; }
+  [[nodiscard]] std::uint64_t value_errors() const noexcept {
+    return value_errors_;
+  }
+  [[nodiscard]] std::uint64_t stage_failures() const noexcept {
+    return stage_failures_;
+  }
+
+  /// Fraction of cases whose numeric output differed from exact.
+  [[nodiscard]] double error_rate() const noexcept;
+  /// Fraction of cases where some stage deviated from the accurate FA
+  /// (the paper's P(Error)).
+  [[nodiscard]] double stage_failure_rate() const noexcept;
+  /// Mean signed error E[approx - exact].
+  [[nodiscard]] double mean_error() const noexcept;
+  /// Mean error distance E[|approx - exact|].
+  [[nodiscard]] double mean_abs_error() const noexcept;
+  /// Mean squared error E[(approx - exact)^2].
+  [[nodiscard]] double mean_squared_error() const noexcept;
+  /// Largest |approx - exact| seen (signed value preserved).
+  [[nodiscard]] std::int64_t worst_case_error() const noexcept {
+    return worst_case_;
+  }
+
+  /// Merges another accumulator (for sharded simulation).
+  void merge(const ErrorMetrics& other) noexcept;
+
+ private:
+  std::uint64_t cases_ = 0;
+  std::uint64_t value_errors_ = 0;
+  std::uint64_t stage_failures_ = 0;
+  double sum_error_ = 0.0;
+  double sum_abs_error_ = 0.0;
+  double sum_sq_error_ = 0.0;
+  std::int64_t worst_case_ = 0;
+};
+
+}  // namespace sealpaa::sim

@@ -1,0 +1,46 @@
+// Monte Carlo simulation with per-bit input probabilities — the paper's
+// oracle for the "Not Equally Probable / Infinite" row of Table 6 and the
+// Sim. columns of Table 7 (1 million cases per configuration).
+#pragma once
+
+#include <cstdint>
+
+#include "sealpaa/multibit/chain.hpp"
+#include "sealpaa/multibit/input_profile.hpp"
+#include "sealpaa/prob/stats.hpp"
+#include "sealpaa/sim/metrics.hpp"
+
+namespace sealpaa::sim {
+
+/// Monte Carlo outcome with sampling-uncertainty quantification.
+struct MonteCarloReport {
+  ErrorMetrics metrics;
+  std::uint64_t samples = 0;
+  double seconds = 0.0;
+
+  /// Wilson 95% interval for the stage-failure rate (the paper's P(E)).
+  prob::Interval stage_failure_ci;
+  /// Wilson 95% interval for the value-level error rate.
+  prob::Interval value_error_ci;
+};
+
+class MonteCarloSimulator {
+ public:
+  /// Draws `samples` independent input assignments from `profile` and
+  /// evaluates `chain` against the exact adder.  Deterministic for a
+  /// given `seed`.
+  [[nodiscard]] static MonteCarloReport run(
+      const multibit::AdderChain& chain,
+      const multibit::InputProfile& profile, std::uint64_t samples,
+      std::uint64_t seed = 0x5ea1'c0de'2017'dacULL);
+
+  /// Sharded variant: splits the samples over `threads` workers, each on
+  /// an independent Xoshiro stream (jump() guarantees disjointness), and
+  /// merges the metrics.  Deterministic for a given (seed, threads) pair.
+  [[nodiscard]] static MonteCarloReport run_parallel(
+      const multibit::AdderChain& chain,
+      const multibit::InputProfile& profile, std::uint64_t samples,
+      unsigned threads, std::uint64_t seed = 0x5ea1'c0de'2017'dacULL);
+};
+
+}  // namespace sealpaa::sim

@@ -1,0 +1,49 @@
+// Arithmetic-operation accounting used to reproduce the paper's resource
+// tables: Table 3 (inclusion-exclusion blow-up), Table 8 (proposed
+// method) and the computation counts of Figure 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sealpaa::util {
+
+/// Counts of primitive operations performed by an analysis/simulation run.
+/// "Memory units" follows the paper's convention: the peak number of
+/// scalar values that must be kept live simultaneously.
+struct OpCounts {
+  std::uint64_t multiplications = 0;
+  std::uint64_t additions = 0;
+  std::uint64_t comparisons = 0;
+  std::uint64_t memory_units = 0;  // peak live scalars
+
+  OpCounts& operator+=(const OpCounts& other) noexcept;
+  [[nodiscard]] std::uint64_t total_arithmetic() const noexcept {
+    return multiplications + additions + comparisons;
+  }
+  [[nodiscard]] std::string summary() const;
+};
+
+[[nodiscard]] OpCounts operator+(OpCounts lhs, const OpCounts& rhs) noexcept;
+
+/// Scoped counter sink.  Engines that support instrumentation accept an
+/// optional `OpCounter*`; a null pointer disables accounting at zero cost.
+class OpCounter {
+ public:
+  void count_mul(std::uint64_t n = 1) noexcept { counts_.multiplications += n; }
+  void count_add(std::uint64_t n = 1) noexcept { counts_.additions += n; }
+  void count_cmp(std::uint64_t n = 1) noexcept { counts_.comparisons += n; }
+
+  /// Records that `n` scalars are live right now; keeps the maximum.
+  void note_live(std::uint64_t n) noexcept {
+    if (n > counts_.memory_units) counts_.memory_units = n;
+  }
+
+  void reset() noexcept { counts_ = OpCounts{}; }
+  [[nodiscard]] const OpCounts& counts() const noexcept { return counts_; }
+
+ private:
+  OpCounts counts_;
+};
+
+}  // namespace sealpaa::util

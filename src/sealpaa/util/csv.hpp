@@ -1,0 +1,29 @@
+// Minimal CSV writer so bench output can be post-processed/plotted.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace sealpaa::util {
+
+/// Writes RFC-4180-ish CSV (quotes fields containing comma/quote/newline).
+/// Throws std::runtime_error if the file cannot be opened.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes one row; fields are escaped as needed.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Flushes and closes; further writes are invalid.
+  void close();
+
+  [[nodiscard]] bool is_open() const { return out_.is_open(); }
+
+ private:
+  static std::string escape(const std::string& field);
+  std::ofstream out_;
+};
+
+}  // namespace sealpaa::util

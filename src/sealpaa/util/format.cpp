@@ -1,0 +1,62 @@
+#include "sealpaa/util/format.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace sealpaa::util {
+
+std::string fixed(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+std::string sig(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*g", digits, value);
+  return buffer;
+}
+
+std::string engineering(double value) {
+  if (!std::isfinite(value)) return "inf";
+  const double magnitude = std::fabs(value);
+  if (magnitude < 1.0e6) {
+    // Small enough to print exactly.
+    if (magnitude == std::floor(magnitude)) {
+      return with_commas(static_cast<std::uint64_t>(magnitude));
+    }
+    return sig(value, 6);
+  }
+  // Engineering notation: exponent snapped down to a multiple of 3, the
+  // style the paper's tables use (e.g. 68.7x10^9).
+  int exponent = static_cast<int>(std::floor(std::log10(magnitude)));
+  exponent -= ((exponent % 3) + 3) % 3;
+  const double mantissa = value / std::pow(10.0, exponent);
+  std::ostringstream out;
+  out << sig(mantissa, 3) << "x10^" << exponent;
+  return out.str();
+}
+
+std::string with_commas(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t first_group = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first_group) % 3 == 0 && i >= first_group) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+std::string prob6(double value) { return fixed(value, 6); }
+
+std::string duration(double seconds) {
+  if (seconds < 1.0e-6) return fixed(seconds * 1.0e9, 1) + " ns";
+  if (seconds < 1.0e-3) return fixed(seconds * 1.0e6, 1) + " us";
+  if (seconds < 1.0) return fixed(seconds * 1.0e3, 2) + " ms";
+  return fixed(seconds, 3) + " s";
+}
+
+}  // namespace sealpaa::util

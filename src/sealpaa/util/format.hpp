@@ -1,0 +1,30 @@
+// Numeric formatting helpers shared by benches and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sealpaa::util {
+
+/// Formats `value` with exactly `digits` digits after the decimal point.
+[[nodiscard]] std::string fixed(double value, int digits);
+
+/// Formats `value` with `digits` significant digits (general format).
+[[nodiscard]] std::string sig(double value, int digits);
+
+/// Formats a large count in the paper's engineering style, e.g.
+/// 1.04e9 -> "1.04x10^9", 255 -> "255".
+[[nodiscard]] std::string engineering(double value);
+
+/// Formats an integer with thousands separators: 1234567 -> "1,234,567".
+[[nodiscard]] std::string with_commas(std::uint64_t value);
+
+/// Formats a probability for table display: 6 decimal places with
+/// trailing-zero trimming disabled (so columns align).
+[[nodiscard]] std::string prob6(double value);
+
+/// Formats a duration given in seconds with an adaptive unit
+/// (ns / us / ms / s).
+[[nodiscard]] std::string duration(double seconds);
+
+}  // namespace sealpaa::util

@@ -1,0 +1,107 @@
+#include "sealpaa/util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace sealpaa::util {
+
+namespace {
+
+std::string pad(const std::string& text, std::size_t width, Align align) {
+  if (text.size() >= width) return text;
+  const std::size_t total = width - text.size();
+  switch (align) {
+    case Align::Left:
+      return text + std::string(total, ' ');
+    case Align::Right:
+      return std::string(total, ' ') + text;
+    case Align::Center: {
+      const std::size_t left = total / 2;
+      return std::string(left, ' ') + text + std::string(total - left, ' ');
+    }
+  }
+  return text;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header) {
+  set_header(std::move(header));
+}
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+  aligns_.resize(header_.size(), Align::Left);
+}
+
+void TextTable::set_align(std::size_t col, Align align) {
+  if (col >= aligns_.size()) aligns_.resize(col + 1, Align::Left);
+  aligns_[col] = align;
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void TextTable::add_separator() {
+  if (!rows_.empty()) rows_.back().separator_after = true;
+}
+
+std::vector<std::size_t> TextTable::column_widths() const {
+  std::size_t columns = header_.size();
+  for (const Row& row : rows_) columns = std::max(columns, row.cells.size());
+  std::vector<std::size_t> widths(columns, 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = std::max(widths[c], header_[c].size());
+  }
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+  return widths;
+}
+
+std::string TextTable::str() const {
+  const std::vector<std::size_t> widths = column_widths();
+  std::ostringstream out;
+
+  const auto rule = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      out << '+' << std::string(widths[c] + 2, '-');
+    }
+    out << "+\n";
+  };
+
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : std::string{};
+      const Align align = c < aligns_.size() ? aligns_[c] : Align::Left;
+      out << "| " << pad(text, widths[c], align) << ' ';
+    }
+    out << "|\n";
+  };
+
+  rule();
+  if (!header_.empty()) {
+    emit(header_);
+    rule();
+  }
+  for (const Row& row : rows_) {
+    emit(row.cells);
+    if (row.separator_after) rule();
+  }
+  rule();
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table) {
+  return os << table.str();
+}
+
+std::string banner(const std::string& title) {
+  return "==== " + title + " ====\n";
+}
+
+}  // namespace sealpaa::util

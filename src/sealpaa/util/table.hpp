@@ -1,0 +1,65 @@
+// Aligned plain-text table rendering used by the benchmark harness to
+// print paper tables/figure series in a readable, diff-friendly form.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sealpaa::util {
+
+/// Horizontal alignment of one table column.
+enum class Align { Left, Right, Center };
+
+/// A simple monospaced text table with a header row, column alignment
+/// and box-drawing-free ASCII rendering.  Intended for benchmark output
+/// that mirrors the paper's tables; deliberately minimal and allocation
+/// friendly rather than feature rich.
+class TextTable {
+ public:
+  TextTable() = default;
+
+  /// Creates a table with the given header labels (left-aligned by default).
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Replaces the header row.
+  void set_header(std::vector<std::string> header);
+
+  /// Sets the alignment of column `col` (must exist in the header).
+  void set_align(std::size_t col, Align align);
+
+  /// Appends one data row.  Rows shorter than the header are padded with
+  /// empty cells; longer rows extend the column count.
+  void add_row(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator after the most recently added row.
+  void add_separator();
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders the table to a string, including a trailing newline.
+  [[nodiscard]] std::string str() const;
+
+  /// Streams the rendered table.
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_after = false;
+  };
+
+  [[nodiscard]] std::vector<std::size_t> column_widths() const;
+
+  std::vector<std::string> header_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+};
+
+/// Renders a section banner such as
+/// "==== Table 7: Analytical vs Simulation ====".
+[[nodiscard]] std::string banner(const std::string& title);
+
+}  // namespace sealpaa::util

@@ -1,0 +1,26 @@
+// Monotonic wall-clock timer for the scaling experiments (Figure 1).
+#pragma once
+
+#include <chrono>
+
+namespace sealpaa::util {
+
+/// Simple monotonic stopwatch.  Starts on construction; `elapsed_seconds`
+/// may be called repeatedly; `reset` restarts the epoch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    const auto delta = Clock::now() - start_;
+    return std::chrono::duration<double>(delta).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sealpaa::util

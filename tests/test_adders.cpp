@@ -1,0 +1,184 @@
+// Unit tests for the single-bit cell models: Table 1 truth tables,
+// Table 2 error-case counts, structural identities of the LPAA family.
+#include <gtest/gtest.h>
+
+#include "sealpaa/adders/builtin.hpp"
+#include "sealpaa/adders/cell.hpp"
+#include "sealpaa/adders/characteristics.hpp"
+
+namespace {
+
+using sealpaa::adders::accurate;
+using sealpaa::adders::AdderCell;
+using sealpaa::adders::BitPair;
+using sealpaa::adders::lpaa;
+
+TEST(AccurateCell, MatchesArithmeticOnAllRows) {
+  const AdderCell& cell = accurate();
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      for (int c = 0; c < 2; ++c) {
+        const BitPair out = cell.output(a != 0, b != 0, c != 0);
+        const int total = a + b + c;
+        EXPECT_EQ(out.sum, (total & 1) != 0) << a << b << c;
+        EXPECT_EQ(out.carry, total >= 2) << a << b << c;
+      }
+    }
+  }
+}
+
+TEST(AccurateCell, IsExactWithZeroErrorCases) {
+  EXPECT_TRUE(accurate().is_exact());
+  EXPECT_EQ(accurate().error_case_count(), 0);
+  EXPECT_EQ(accurate().sum_error_count(), 0);
+  EXPECT_EQ(accurate().carry_error_count(), 0);
+}
+
+TEST(RowIndex, MatchesPaperOrdering) {
+  // Row index must be (A << 2) | (B << 1) | Cin — the Table 1 ordering.
+  EXPECT_EQ(AdderCell::row_index(false, false, false), 0u);
+  EXPECT_EQ(AdderCell::row_index(false, false, true), 1u);
+  EXPECT_EQ(AdderCell::row_index(false, true, false), 2u);
+  EXPECT_EQ(AdderCell::row_index(false, true, true), 3u);
+  EXPECT_EQ(AdderCell::row_index(true, false, false), 4u);
+  EXPECT_EQ(AdderCell::row_index(true, false, true), 5u);
+  EXPECT_EQ(AdderCell::row_index(true, true, false), 6u);
+  EXPECT_EQ(AdderCell::row_index(true, true, true), 7u);
+}
+
+// Error-case counts from Table 2 (LPAA1-5) and derived from Table 1 for
+// LPAA6-7.
+TEST(BuiltinCells, ErrorCaseCountsMatchTable2) {
+  EXPECT_EQ(lpaa(1).error_case_count(), 2);
+  EXPECT_EQ(lpaa(2).error_case_count(), 2);
+  EXPECT_EQ(lpaa(3).error_case_count(), 3);
+  EXPECT_EQ(lpaa(4).error_case_count(), 3);
+  EXPECT_EQ(lpaa(5).error_case_count(), 4);
+  EXPECT_EQ(lpaa(6).error_case_count(), 2);
+  EXPECT_EQ(lpaa(7).error_case_count(), 2);
+}
+
+// Structural identities visible in Table 1.
+TEST(BuiltinCells, Lpaa1MatchesTable1Columns) {
+  // Transcribed row-by-row from Table 1 (Sum then Cout).
+  const AdderCell reference =
+      AdderCell::from_columns("ref", "01000001", "00110111");
+  EXPECT_TRUE(lpaa(1) == reference);
+  // Its two error rows are (0,1,0) and (1,0,0), both corrupting the sum.
+  EXPECT_FALSE(lpaa(1).row_is_success(2));
+  EXPECT_FALSE(lpaa(1).row_is_success(4));
+  for (std::size_t row : {0u, 1u, 3u, 5u, 6u, 7u}) {
+    EXPECT_TRUE(lpaa(1).row_is_success(row)) << row;
+  }
+}
+
+TEST(BuiltinCells, Lpaa5IsWireOnly) {
+  // Sum = B, Cout = A: the zero-transistor cell (power 0, area 0).
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      for (int c = 0; c < 2; ++c) {
+        const BitPair out = lpaa(5).output(a != 0, b != 0, c != 0);
+        EXPECT_EQ(out.sum, b != 0);
+        EXPECT_EQ(out.carry, a != 0);
+      }
+    }
+  }
+}
+
+TEST(BuiltinCells, Lpaa6HasExactSum) {
+  EXPECT_EQ(lpaa(6).sum_error_count(), 0);
+  EXPECT_EQ(lpaa(6).carry_error_count(), 2);
+}
+
+TEST(BuiltinCells, Lpaa7HasExactCarry) {
+  EXPECT_EQ(lpaa(7).carry_error_count(), 0);
+  EXPECT_EQ(lpaa(7).sum_error_count(), 2);
+}
+
+TEST(BuiltinCells, AllDistinctFromAccurate) {
+  for (const AdderCell& cell : sealpaa::adders::builtin_lpaas()) {
+    EXPECT_FALSE(cell == accurate()) << cell.name();
+    EXPECT_FALSE(cell.is_exact()) << cell.name();
+  }
+}
+
+TEST(BuiltinCells, NamesAndLookup) {
+  EXPECT_EQ(accurate().name(), "AccuFA");
+  EXPECT_EQ(lpaa(3).name(), "LPAA3");
+  EXPECT_EQ(sealpaa::adders::find_builtin("LPAA7"), &lpaa(7));
+  EXPECT_EQ(sealpaa::adders::find_builtin("AccuFA"), &accurate());
+  EXPECT_EQ(sealpaa::adders::find_builtin("nonsense"), nullptr);
+}
+
+TEST(BuiltinCells, IndexValidation) {
+  EXPECT_THROW((void)lpaa(0), std::out_of_range);
+  EXPECT_THROW((void)lpaa(8), std::out_of_range);
+  EXPECT_NO_THROW((void)lpaa(1));
+  EXPECT_NO_THROW((void)lpaa(7));
+}
+
+TEST(FromColumns, RejectsMalformedInput) {
+  EXPECT_THROW((void)AdderCell::from_columns("x", "0110100", "00010111"),
+               std::invalid_argument);
+  EXPECT_THROW((void)AdderCell::from_columns("x", "011010012", "00010111"),
+               std::invalid_argument);
+  EXPECT_THROW((void)AdderCell::from_columns("x", "0110100a", "00010111"),
+               std::invalid_argument);
+}
+
+TEST(FromColumns, RoundTripsAccurate) {
+  const AdderCell rebuilt =
+      AdderCell::from_columns("copy", "01101001", "00010111");
+  EXPECT_TRUE(rebuilt == accurate());
+  EXPECT_TRUE(rebuilt.is_exact());
+}
+
+TEST(SuccessMask, MatchesErrorCount) {
+  for (const AdderCell& cell : sealpaa::adders::all_builtin_cells()) {
+    const auto mask = cell.success_mask();
+    int successes = 0;
+    for (bool ok : mask) successes += ok ? 1 : 0;
+    EXPECT_EQ(successes + cell.error_case_count(), 8) << cell.name();
+  }
+}
+
+TEST(Characteristics, Table2Values) {
+  using sealpaa::adders::find_characteristics;
+  const auto* c1 = find_characteristics(lpaa(1));
+  ASSERT_NE(c1, nullptr);
+  EXPECT_DOUBLE_EQ(c1->power_nw.value(), 771.0);
+  EXPECT_DOUBLE_EQ(c1->area_ge.value(), 4.23);
+  EXPECT_EQ(c1->error_cases, 2);
+
+  const auto* c5 = find_characteristics(lpaa(5));
+  ASSERT_NE(c5, nullptr);
+  EXPECT_DOUBLE_EQ(c5->power_nw.value(), 0.0);
+  EXPECT_DOUBLE_EQ(c5->area_ge.value(), 0.0);
+
+  const auto* c6 = find_characteristics(lpaa(6));
+  ASSERT_NE(c6, nullptr);
+  EXPECT_FALSE(c6->power_nw.has_value());
+}
+
+TEST(Characteristics, ErrorCasesAgreeWithTruthTables) {
+  for (const AdderCell& cell : sealpaa::adders::all_builtin_cells()) {
+    const auto* row = sealpaa::adders::find_characteristics(cell);
+    ASSERT_NE(row, nullptr) << cell.name();
+    EXPECT_EQ(row->error_cases, cell.error_case_count()) << cell.name();
+  }
+}
+
+TEST(Characteristics, ChainPowerScalesLinearly) {
+  const auto power = sealpaa::adders::chain_power_nw(lpaa(2), 8);
+  ASSERT_TRUE(power.has_value());
+  EXPECT_DOUBLE_EQ(*power, 8 * 294.0);
+  EXPECT_FALSE(sealpaa::adders::chain_power_nw(lpaa(6), 8).has_value());
+}
+
+TEST(ToString, MarksErrorCases) {
+  const std::string text = lpaa(1).to_string();
+  EXPECT_NE(text.find("[error case]"), std::string::npos);
+  EXPECT_EQ(accurate().to_string().find("[error case]"), std::string::npos);
+}
+
+}  // namespace

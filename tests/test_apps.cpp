@@ -1,0 +1,210 @@
+// Application substrates: synthetic images + PSNR and the fixed-point
+// FIR datapath.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "sealpaa/adders/builtin.hpp"
+#include "sealpaa/apps/fir.hpp"
+#include "sealpaa/apps/image.hpp"
+#include "sealpaa/apps/sobel.hpp"
+#include "sealpaa/prob/rng.hpp"
+
+namespace {
+
+using sealpaa::adders::accurate;
+using sealpaa::adders::lpaa;
+using sealpaa::apps::exact_blend;
+using sealpaa::apps::FirFilter;
+using sealpaa::apps::Image;
+using sealpaa::apps::image_mse;
+using sealpaa::apps::image_psnr;
+using sealpaa::apps::make_sine_signal;
+using sealpaa::apps::snr_db;
+using sealpaa::multibit::AdderChain;
+
+TEST(Image, GeneratorsProduceExpectedPatterns) {
+  const Image gradient = Image::gradient(32, 8);
+  EXPECT_EQ(gradient.at(0, 0), 0);
+  EXPECT_EQ(gradient.at(31, 7), 255);
+
+  const Image checker = Image::checkerboard(16, 16, 4);
+  EXPECT_EQ(checker.at(0, 0), 220);
+  EXPECT_EQ(checker.at(4, 0), 35);
+  EXPECT_EQ(checker.at(4, 4), 220);
+
+  sealpaa::prob::Xoshiro256StarStar rng(5);
+  const Image blobs = Image::blobs(24, 24, 3, rng);
+  EXPECT_EQ(blobs.width(), 24u);
+}
+
+TEST(Image, PsnrIdentityIsInfinite) {
+  const Image image = Image::gradient(16, 16);
+  EXPECT_TRUE(std::isinf(image_psnr(image, image)));
+  EXPECT_DOUBLE_EQ(image_mse(image, image), 0.0);
+}
+
+TEST(Image, ExactChainBlendMatchesReferenceBlend) {
+  const Image a = Image::gradient(32, 32);
+  const Image b = Image::checkerboard(32, 32, 8);
+  const Image reference = exact_blend(a, b);
+  const Image approx =
+      sealpaa::apps::approx_blend(a, b, AdderChain::homogeneous(accurate(), 8));
+  EXPECT_DOUBLE_EQ(image_mse(reference, approx), 0.0);
+}
+
+TEST(Image, ApproximateBlendDegradesButStaysRecognizable) {
+  const Image a = Image::gradient(32, 32);
+  const Image b = Image::checkerboard(32, 32, 8);
+  const Image reference = exact_blend(a, b);
+  const Image approx =
+      sealpaa::apps::approx_blend(a, b, AdderChain::homogeneous(lpaa(6), 8));
+  const double psnr = image_psnr(reference, approx);
+  EXPECT_GT(psnr, 5.0);
+  EXPECT_LT(psnr, 100.0);  // it is not exact either
+}
+
+TEST(Image, HybridMsbExactBlendBeatsAllApproximate) {
+  // Approximating only the 4 LSBs must hurt much less than all 8 bits.
+  const Image a = Image::gradient(48, 48);
+  const Image b = Image::checkerboard(48, 48, 6);
+  std::vector<sealpaa::adders::AdderCell> lsb_approx;
+  for (int i = 0; i < 4; ++i) lsb_approx.push_back(lpaa(5));
+  for (int i = 0; i < 4; ++i) lsb_approx.push_back(accurate());
+  const double psnr_hybrid = image_psnr(
+      exact_blend(a, b),
+      sealpaa::apps::approx_blend(a, b, AdderChain(lsb_approx)));
+  const double psnr_full = image_psnr(
+      exact_blend(a, b),
+      sealpaa::apps::approx_blend(a, b, AdderChain::homogeneous(lpaa(5), 8)));
+  EXPECT_GT(psnr_hybrid, psnr_full + 6.0);
+}
+
+TEST(Image, PgmRoundTripHeader) {
+  const std::string path = "/tmp/sealpaa_test_image.pgm";
+  Image::gradient(8, 4).write_pgm(path);
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  in >> magic;
+  int width = 0;
+  int height = 0;
+  int maxval = 0;
+  in >> width >> height >> maxval;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(width, 8);
+  EXPECT_EQ(height, 4);
+  EXPECT_EQ(maxval, 255);
+  std::remove(path.c_str());
+}
+
+TEST(Image, Validation) {
+  EXPECT_THROW(Image(0, 4), std::invalid_argument);
+  const Image a = Image::gradient(8, 8);
+  const Image b = Image::gradient(4, 4);
+  EXPECT_THROW((void)image_mse(a, b), std::invalid_argument);
+  EXPECT_THROW(
+      (void)sealpaa::apps::approx_blend(
+          a, a, AdderChain::homogeneous(accurate(), 4)),
+      std::invalid_argument);
+}
+
+TEST(Sobel, ExactChainMatchesExactOperator) {
+  sealpaa::prob::Xoshiro256StarStar rng(23);
+  const Image scene = Image::blobs(40, 40, 4, rng);
+  const Image reference = sealpaa::apps::sobel_magnitude_exact(scene);
+  const Image via_chain = sealpaa::apps::sobel_magnitude(
+      scene, AdderChain::homogeneous(accurate(), 12));
+  EXPECT_DOUBLE_EQ(image_mse(reference, via_chain), 0.0);
+}
+
+TEST(Sobel, BorderIsZero) {
+  const Image scene = Image::checkerboard(16, 16, 4);
+  const Image edges = sealpaa::apps::sobel_magnitude_exact(scene);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(edges.at(i, 0), 0);
+    EXPECT_EQ(edges.at(0, i), 0);
+    EXPECT_EQ(edges.at(i, 15), 0);
+    EXPECT_EQ(edges.at(15, i), 0);
+  }
+}
+
+TEST(Sobel, HybridBeatsFullyApproximate) {
+  sealpaa::prob::Xoshiro256StarStar rng(29);
+  const Image scene = Image::blobs(40, 40, 5, rng);
+  const Image reference = sealpaa::apps::sobel_magnitude_exact(scene);
+  std::vector<sealpaa::adders::AdderCell> hybrid;
+  for (int i = 0; i < 4; ++i) hybrid.push_back(lpaa(6));
+  for (int i = 4; i < 12; ++i) hybrid.push_back(accurate());
+  const double psnr_hybrid = image_psnr(
+      reference, sealpaa::apps::sobel_magnitude(scene, AdderChain(hybrid)));
+  const double psnr_full = image_psnr(
+      reference, sealpaa::apps::sobel_magnitude(
+                     scene, AdderChain::homogeneous(lpaa(6), 12)));
+  EXPECT_GT(psnr_hybrid, psnr_full);
+}
+
+TEST(Sobel, RejectsWrongChainWidth) {
+  const Image scene = Image::gradient(8, 8);
+  EXPECT_THROW((void)sealpaa::apps::sobel_magnitude(
+                   scene, AdderChain::homogeneous(accurate(), 8)),
+               std::invalid_argument);
+}
+
+TEST(Fir, ExactChainMatchesExactAccumulation) {
+  FirFilter filter({1, 2, 3, 2, 1}, 16);
+  sealpaa::prob::Xoshiro256StarStar rng(17);
+  const auto signal = make_sine_signal(128, 1000.0, 0.02, 20.0, rng);
+  const auto exact = filter.run_exact(signal);
+  const auto approx =
+      filter.run_approx(signal, AdderChain::homogeneous(accurate(), 16));
+  EXPECT_EQ(exact, approx);
+}
+
+TEST(Fir, ApproximateAccumulationLosesSnrMonotonically) {
+  FirFilter filter({1, 2, 3, 2, 1}, 16);
+  sealpaa::prob::Xoshiro256StarStar rng(19);
+  const auto signal = make_sine_signal(256, 1000.0, 0.02, 0.0, rng);
+  const auto exact = filter.run_exact(signal);
+
+  // LSB-only approximation must beat full approximation in SNR.
+  std::vector<sealpaa::adders::AdderCell> lsb;
+  for (int i = 0; i < 6; ++i) lsb.push_back(lpaa(6));
+  for (int i = 0; i < 10; ++i) lsb.push_back(accurate());
+  const double snr_lsb =
+      snr_db(exact, filter.run_approx(signal, AdderChain(lsb)));
+  const double snr_full = snr_db(
+      exact, filter.run_approx(signal, AdderChain::homogeneous(lpaa(6), 16)));
+  EXPECT_GT(snr_lsb, snr_full);
+}
+
+TEST(Fir, Validation) {
+  EXPECT_THROW(FirFilter({}, 16), std::invalid_argument);
+  EXPECT_THROW(FirFilter({1}, 1), std::invalid_argument);
+  EXPECT_THROW(FirFilter({1}, 63), std::invalid_argument);
+  FirFilter filter({1, 1}, 12);
+  EXPECT_THROW(
+      (void)filter.run_approx({1, 2, 3},
+                              AdderChain::homogeneous(accurate(), 8)),
+      std::invalid_argument);
+}
+
+TEST(Fir, SnrEdgeCases) {
+  EXPECT_TRUE(std::isinf(snr_db({1, 2, 3}, {1, 2, 3})));
+  EXPECT_THROW((void)snr_db({1, 2}, {1}), std::invalid_argument);
+}
+
+TEST(Fir, NegativeSamplesHandledInTwosComplement) {
+  FirFilter filter({1, -1}, 16);
+  const std::vector<std::int64_t> signal = {100, -50, 25, -300};
+  const auto exact = filter.run_exact(signal);
+  EXPECT_EQ(exact[0], 100);
+  EXPECT_EQ(exact[1], -150);  // -50 - 100
+  EXPECT_EQ(exact[2], 75);    // 25 + 50
+  const auto approx =
+      filter.run_approx(signal, AdderChain::homogeneous(accurate(), 16));
+  EXPECT_EQ(exact, approx);
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+// The traditional baselines: inclusion-exclusion engine + Table 3 cost
+// model and the weighted-exhaustive oracle's internal consistency.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sealpaa/adders/builtin.hpp"
+#include "sealpaa/analysis/recursive.hpp"
+#include "sealpaa/baseline/inclusion_exclusion.hpp"
+#include "sealpaa/baseline/weighted_exhaustive.hpp"
+#include "sealpaa/prob/rng.hpp"
+
+namespace {
+
+using sealpaa::adders::accurate;
+using sealpaa::adders::lpaa;
+using sealpaa::analysis::RecursiveAnalyzer;
+using sealpaa::baseline::inclusion_exclusion_cost;
+using sealpaa::baseline::InclusionExclusionAnalyzer;
+using sealpaa::baseline::WeightedExhaustive;
+using sealpaa::multibit::AdderChain;
+using sealpaa::multibit::InputProfile;
+
+TEST(Table3, SmallKRowsMatchThePaperExactly) {
+  // k = 4: 15 terms, 28 multiplications, 14 additions, 31 memory units.
+  const auto c4 = inclusion_exclusion_cost(4);
+  EXPECT_DOUBLE_EQ(c4.terms, 15.0);
+  EXPECT_DOUBLE_EQ(c4.multiplications, 28.0);
+  EXPECT_DOUBLE_EQ(c4.additions, 14.0);
+  EXPECT_DOUBLE_EQ(c4.memory_units, 31.0);
+
+  const auto c8 = inclusion_exclusion_cost(8);
+  EXPECT_DOUBLE_EQ(c8.terms, 255.0);
+  EXPECT_DOUBLE_EQ(c8.multiplications, 1016.0);
+  EXPECT_DOUBLE_EQ(c8.additions, 254.0);
+  EXPECT_DOUBLE_EQ(c8.memory_units, 511.0);
+
+  const auto c12 = inclusion_exclusion_cost(12);
+  EXPECT_DOUBLE_EQ(c12.terms, 4095.0);
+  EXPECT_DOUBLE_EQ(c12.multiplications, 24564.0);
+  EXPECT_DOUBLE_EQ(c12.additions, 4094.0);
+  EXPECT_DOUBLE_EQ(c12.memory_units, 8191.0);
+}
+
+TEST(Table3, LargeKRowsMatchTheClosedForms) {
+  // k = 20 memory: 2.10x10^6; k = 32 memory: 8.5x10^9 (paper rounding).
+  EXPECT_NEAR(inclusion_exclusion_cost(20).memory_units, 2.10e6, 0.01e6);
+  EXPECT_NEAR(inclusion_exclusion_cost(32).memory_units, 8.59e9, 0.01e9);
+  // k = 20 multiplications: 10.5x10^6; k = 32: 68.7x10^9.
+  EXPECT_NEAR(inclusion_exclusion_cost(20).multiplications, 10.5e6, 0.05e6);
+  EXPECT_NEAR(inclusion_exclusion_cost(32).multiplications, 68.7e9, 0.05e9);
+}
+
+TEST(Table3, ExponentialGrowth) {
+  for (int k = 4; k <= 28; k += 4) {
+    const auto now = inclusion_exclusion_cost(k);
+    const auto next = inclusion_exclusion_cost(k + 4);
+    EXPECT_GT(next.terms, 15.0 * now.terms);  // 2^4 - 1 per 4 stages
+  }
+}
+
+TEST(InclusionExclusion, MatchesRecursiveAnalyzerExactly) {
+  // The whole point: same probability, exponentially more work.
+  sealpaa::prob::Xoshiro256StarStar rng(61);
+  for (int cell = 1; cell <= 7; ++cell) {
+    for (std::size_t width : {1u, 3u, 6u, 10u}) {
+      const InputProfile profile = InputProfile::random(width, rng);
+      const AdderChain chain = AdderChain::homogeneous(lpaa(cell), width);
+      const auto ie = InclusionExclusionAnalyzer::analyze(chain, profile);
+      const auto rec = RecursiveAnalyzer::analyze(chain, profile);
+      EXPECT_NEAR(ie.p_error, rec.p_error, 1e-10)
+          << "LPAA" << cell << " width " << width;
+      EXPECT_EQ(ie.terms_evaluated, (1ULL << width) - 1);
+    }
+  }
+}
+
+TEST(InclusionExclusion, HybridChains) {
+  const AdderChain chain({lpaa(2), lpaa(6), lpaa(7), accurate(), lpaa(5)});
+  const InputProfile profile = InputProfile::uniform(5, 0.42);
+  const auto ie = InclusionExclusionAnalyzer::analyze(chain, profile);
+  const auto rec = RecursiveAnalyzer::analyze(chain, profile);
+  EXPECT_NEAR(ie.p_error, rec.p_error, 1e-12);
+}
+
+TEST(InclusionExclusion, AccurateChainHasZeroUnion) {
+  const AdderChain chain = AdderChain::homogeneous(accurate(), 8);
+  const InputProfile profile = InputProfile::uniform(8, 0.5);
+  const auto ie = InclusionExclusionAnalyzer::analyze(chain, profile);
+  EXPECT_NEAR(ie.p_error, 0.0, 1e-12);
+}
+
+TEST(InclusionExclusion, GuardRejectsHugeWidths) {
+  const AdderChain chain = AdderChain::homogeneous(lpaa(1), 24);
+  const InputProfile profile = InputProfile::uniform(24, 0.5);
+  EXPECT_THROW((void)InclusionExclusionAnalyzer::analyze(chain, profile),
+               std::invalid_argument);
+}
+
+TEST(InclusionExclusion, CountsWorkAgainstTheCostModel) {
+  // Measured multiplication count must be within the closed-form bound
+  // (the model counts dense joint products; the engine prunes zeros).
+  sealpaa::util::OpCounter counter;
+  const AdderChain chain = AdderChain::homogeneous(lpaa(1), 8);
+  const InputProfile profile = InputProfile::uniform(8, 0.3);
+  (void)InclusionExclusionAnalyzer::analyze(chain, profile, 20, &counter);
+  EXPECT_GT(counter.counts().multiplications, 1000u);
+  EXPECT_GT(counter.counts().additions, 250u);
+}
+
+TEST(WeightedExhaustive, DistributionSumsToOne) {
+  const AdderChain chain = AdderChain::homogeneous(lpaa(3), 5);
+  const InputProfile profile = InputProfile::uniform(5, 0.25);
+  const auto report = WeightedExhaustive::analyze(chain, profile);
+  double total = 0.0;
+  for (const auto& [error, probability] : report.error_distribution) {
+    total += probability;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_EQ(report.assignments, 1ULL << 11);
+}
+
+TEST(WeightedExhaustive, MomentsConsistentWithDistribution) {
+  const AdderChain chain = AdderChain::homogeneous(lpaa(6), 4);
+  const InputProfile profile = InputProfile::uniform(4, 0.6);
+  const auto report = WeightedExhaustive::analyze(chain, profile);
+  double mean = 0.0;
+  double mean_sq = 0.0;
+  double mean_abs = 0.0;
+  for (const auto& [error, probability] : report.error_distribution) {
+    mean += probability * static_cast<double>(error);
+    mean_abs += probability * std::abs(static_cast<double>(error));
+    mean_sq +=
+        probability * static_cast<double>(error) * static_cast<double>(error);
+  }
+  EXPECT_NEAR(report.mean_error, mean, 1e-12);
+  EXPECT_NEAR(report.mean_abs_error, mean_abs, 1e-12);
+  EXPECT_NEAR(report.mean_squared_error, mean_sq, 1e-12);
+}
+
+TEST(WeightedExhaustive, DeterministicInputsCollapseTheSupport) {
+  // All probabilities 0/1: exactly one assignment has nonzero mass.
+  const InputProfile profile({1.0, 0.0, 1.0}, {1.0, 1.0, 0.0}, 0.0);
+  const AdderChain chain = AdderChain::homogeneous(lpaa(1), 3);
+  const auto report = WeightedExhaustive::analyze(chain, profile);
+  EXPECT_EQ(report.error_distribution.size(), 1u);
+  const double p = report.error_distribution.begin()->second;
+  EXPECT_NEAR(p, 1.0, 1e-12);
+}
+
+TEST(WeightedExhaustive, GuardRejectsHugeWidths) {
+  const AdderChain chain = AdderChain::homogeneous(lpaa(1), 15);
+  const InputProfile profile = InputProfile::uniform(15, 0.5);
+  EXPECT_THROW((void)WeightedExhaustive::analyze(chain, profile),
+               std::invalid_argument);
+}
+
+TEST(WeightedExhaustive, AccurateChainPerfectEverywhere) {
+  const AdderChain chain = AdderChain::homogeneous(accurate(), 6);
+  const InputProfile profile = InputProfile::uniform(6, 0.31);
+  const auto report = WeightedExhaustive::analyze(chain, profile);
+  EXPECT_NEAR(report.p_value_correct, 1.0, 1e-12);
+  EXPECT_NEAR(report.p_stage_success, 1.0, 1e-12);
+  EXPECT_EQ(report.worst_case_error, 0);
+}
+
+}  // namespace

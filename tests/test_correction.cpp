@@ -1,0 +1,142 @@
+// GeAr error detection/correction: functional corrector and the exact
+// recovery-cycle distribution DP, validated against exhaustive sweeps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "sealpaa/gear/correction.hpp"
+#include "sealpaa/multibit/input_profile.hpp"
+
+namespace {
+
+using sealpaa::gear::correction_cycle_distribution;
+using sealpaa::gear::expected_recovery_cycles;
+using sealpaa::gear::GearAdder;
+using sealpaa::gear::GearAnalyzer;
+using sealpaa::gear::GearConfig;
+using sealpaa::gear::GearCorrector;
+using sealpaa::multibit::exact_add;
+using sealpaa::multibit::InputProfile;
+
+TEST(Detection, FlagsExactlyTheMispredictedBlocks) {
+  const GearConfig config(8, 2, 2);
+  const GearCorrector corrector(config);
+  const GearAdder adder(config);
+  // Exhaustive: detection must fire iff the GeAr sum bits in that
+  // block's result region differ from the exact sum.
+  for (std::uint64_t a = 0; a < 256; ++a) {
+    for (std::uint64_t b = 0; b < 256; ++b) {
+      const auto failing = corrector.detect(a, b);
+      const auto approx = adder.evaluate(a, b);
+      const auto exact = exact_add(a, b, false, 8);
+      for (int block = 1; block < config.blocks(); ++block) {
+        const int start = config.result_start(block);
+        const int count = block == config.blocks() - 1
+                              ? config.n() - start
+                              : config.r();
+        std::uint64_t mask = ((1ULL << count) - 1ULL)
+                             << static_cast<unsigned>(start);
+        const bool wrong =
+            (approx.sum_bits & mask) != (exact.sum_bits & mask);
+        const bool flagged =
+            std::find(failing.begin(), failing.end(), block) != failing.end();
+        EXPECT_EQ(flagged, wrong)
+            << "a=" << a << " b=" << b << " block=" << block;
+      }
+    }
+  }
+}
+
+TEST(Correction, AlwaysYieldsTheExactSum) {
+  const GearCorrector corrector(GearConfig(10, 3, 1));
+  for (std::uint64_t a = 0; a < 1024; a += 7) {
+    for (std::uint64_t b = 0; b < 1024; b += 11) {
+      const auto result = corrector.evaluate(a, b);
+      const auto exact = exact_add(a, b, false, 10);
+      EXPECT_EQ(result.outputs.value(10), exact.value(10));
+      EXPECT_EQ(result.total_cycles, 1 + result.failing_blocks);
+    }
+  }
+}
+
+TEST(CycleDistribution, MatchesExhaustiveCounting) {
+  for (const GearConfig& config :
+       {GearConfig(8, 2, 2), GearConfig(8, 2, 0), GearConfig(9, 3, 3),
+        GearConfig(10, 2, 2)}) {
+    const GearCorrector corrector(config);
+    const std::size_t n = static_cast<std::size_t>(config.n());
+    std::map<int, std::uint64_t> histogram;
+    const std::uint64_t limit = 1ULL << n;
+    for (std::uint64_t a = 0; a < limit; ++a) {
+      for (std::uint64_t b = 0; b < limit; ++b) {
+        histogram[static_cast<int>(corrector.detect(a, b).size())]++;
+      }
+    }
+    const auto distribution = correction_cycle_distribution(
+        config, InputProfile::uniform(n, 0.5));
+    const double total = static_cast<double>(limit) * static_cast<double>(limit);
+    for (std::size_t c = 0; c < distribution.size(); ++c) {
+      const double expected =
+          static_cast<double>(histogram[static_cast<int>(c)]) / total;
+      EXPECT_NEAR(distribution[c], expected, 1e-12)
+          << config.describe() << " cycles=" << c;
+    }
+  }
+}
+
+TEST(CycleDistribution, SumsToOne) {
+  const auto distribution = correction_cycle_distribution(
+      GearConfig(16, 4, 4), InputProfile::uniform(16, 0.3));
+  double total = 0.0;
+  for (double p : distribution) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(CycleDistribution, ZeroFailuresMatchesGearSuccessProbability) {
+  // P(0 failing blocks) must equal GearAnalyzer's sum-only success.
+  for (const GearConfig& config :
+       {GearConfig(8, 2, 2), GearConfig(12, 3, 3), GearConfig(16, 4, 4)}) {
+    const auto profile = InputProfile::uniform(
+        static_cast<std::size_t>(config.n()), 0.5);
+    const auto distribution =
+        correction_cycle_distribution(config, profile);
+    const auto analysis = GearAnalyzer::analyze(config, profile);
+    EXPECT_NEAR(distribution[0], 1.0 - analysis.p_error_sum_only, 1e-12)
+        << config.describe();
+  }
+}
+
+TEST(ExpectedCycles, MatchesSumOfBlockFailureProbabilities) {
+  // Linearity of expectation: E[#failures] = sum_i P(B_i), regardless of
+  // the correlations between blocks.
+  const GearConfig config(12, 2, 2);
+  const auto profile = InputProfile::uniform(12, 0.5);
+  const auto analysis = GearAnalyzer::analyze(config, profile);
+  double expected = 0.0;
+  for (double f : analysis.block_failure) expected += f;
+  EXPECT_NEAR(expected_recovery_cycles(config, profile), expected, 1e-12);
+}
+
+TEST(ExpectedCycles, DecreasesWithOverlap) {
+  const auto profile = InputProfile::uniform(8, 0.5);
+  const double p0 = expected_recovery_cycles(GearConfig(8, 2, 0), profile);
+  const double p2 = expected_recovery_cycles(GearConfig(8, 2, 2), profile);
+  EXPECT_GT(p0, p2);
+}
+
+TEST(CycleDistribution, SingleBlockNeverFails) {
+  const auto distribution = correction_cycle_distribution(
+      GearConfig(8, 8, 0), InputProfile::uniform(8, 0.5));
+  ASSERT_EQ(distribution.size(), 1u);
+  EXPECT_NEAR(distribution[0], 1.0, 1e-12);
+}
+
+TEST(CycleDistribution, WidthMismatchThrows) {
+  EXPECT_THROW((void)correction_cycle_distribution(
+                   GearConfig(8, 2, 2), InputProfile::uniform(6, 0.5)),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,80 @@
+// Resource accounting (Table 8) and the instrumented implementation
+// model.
+#include <gtest/gtest.h>
+
+#include "sealpaa/adders/builtin.hpp"
+#include "sealpaa/analysis/costs.hpp"
+#include "sealpaa/baseline/inclusion_exclusion.hpp"
+
+namespace {
+
+using sealpaa::adders::lpaa;
+using sealpaa::analysis::implementation_model;
+using sealpaa::analysis::measure_recursive;
+using sealpaa::analysis::paper_model_equal_probabilities;
+using sealpaa::analysis::paper_model_varying_probabilities;
+using sealpaa::multibit::AdderChain;
+using sealpaa::multibit::InputProfile;
+
+TEST(Table8, PaperModels) {
+  const auto equal = paper_model_equal_probabilities();
+  EXPECT_EQ(equal.multipliers, 32u);
+  EXPECT_EQ(equal.adders, 21u);
+  EXPECT_EQ(equal.memory_units, 3u);
+
+  const auto varying = paper_model_varying_probabilities(16);
+  EXPECT_EQ(varying.multipliers, 48u);
+  EXPECT_EQ(varying.adders, 21u);
+  EXPECT_EQ(varying.memory_units, 17u);
+}
+
+TEST(ImplementationModel, PredictsMeasuredCountsExactly) {
+  for (int cell : {1, 2, 5, 6, 7}) {
+    for (std::size_t width : {1u, 2u, 8u, 16u, 32u}) {
+      const auto predicted = implementation_model(lpaa(cell), width);
+      const auto measured = measure_recursive(
+          AdderChain::homogeneous(lpaa(cell), width),
+          InputProfile::uniform(width, 0.3));
+      EXPECT_EQ(predicted.multiplications, measured.multiplications)
+          << "LPAA" << cell << " width " << width;
+      EXPECT_EQ(predicted.additions, measured.additions)
+          << "LPAA" << cell << " width " << width;
+      EXPECT_EQ(predicted.memory_units, measured.memory_units)
+          << "LPAA" << cell << " width " << width;
+    }
+  }
+}
+
+TEST(ImplementationModel, LinearInWidth) {
+  const auto n8 = implementation_model(lpaa(1), 8);
+  const auto n16 = implementation_model(lpaa(1), 16);
+  const auto n32 = implementation_model(lpaa(1), 32);
+  // Doubling the width roughly doubles the arithmetic...
+  EXPECT_NEAR(static_cast<double>(n16.multiplications),
+              2.0 * static_cast<double>(n8.multiplications), 13.0);
+  EXPECT_NEAR(static_cast<double>(n32.additions),
+              2.0 * static_cast<double>(n16.additions), 13.0);
+  // ...while the live state stays constant (the paper's key point).
+  EXPECT_EQ(n8.memory_units, 3u);
+  EXPECT_EQ(n32.memory_units, 3u);
+}
+
+TEST(ScalingContrast, RecursiveIsExponentiallyCheaperThanIe) {
+  // At 16 stages the IE baseline needs ~5 x 10^5 multiplications; the
+  // recursive method needs a couple of hundred.
+  const auto ie = sealpaa::baseline::inclusion_exclusion_cost(16);
+  const auto ours = implementation_model(lpaa(1), 16);
+  EXPECT_GT(ie.multiplications /
+                static_cast<double>(ours.multiplications),
+            1000.0);
+}
+
+TEST(ImplementationModel, SingleStage) {
+  // One stage: just the final IPM + L dot.
+  const auto counts = implementation_model(lpaa(1), 1);
+  EXPECT_EQ(counts.multiplications, 12u);
+  // L for LPAA1 has six ones -> 5 additions, plus 2 complements.
+  EXPECT_EQ(counts.additions, 7u);
+}
+
+}  // namespace

@@ -1,0 +1,236 @@
+// GeAr model and analysis: configuration validation, functional
+// equivalence checks, exact DP vs exhaustive simulation, and the
+// independence approximation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sealpaa/adders/builtin.hpp"
+#include "sealpaa/gear/gear.hpp"
+#include "sealpaa/multibit/input_profile.hpp"
+
+namespace {
+
+using sealpaa::gear::GearAdder;
+using sealpaa::gear::GearAnalyzer;
+using sealpaa::gear::GearConfig;
+using sealpaa::multibit::exact_add;
+using sealpaa::multibit::InputProfile;
+
+TEST(GearConfig, ValidConfigurations) {
+  const GearConfig g(8, 2, 2);
+  EXPECT_EQ(g.l(), 4);
+  EXPECT_EQ(g.blocks(), 3);
+  EXPECT_EQ(g.window_start(1), 2);
+  EXPECT_EQ(g.result_start(0), 0);
+  EXPECT_EQ(g.result_start(1), 4);
+  EXPECT_EQ(g.critical_path_bits(), 4);
+  EXPECT_NE(g.describe().find("GeAr(N=8,R=2,P=2)"), std::string::npos);
+}
+
+TEST(GearConfig, KFormulaMatchesThePaper) {
+  // k = ((N - L) / R) + 1 (paper §2.2).
+  EXPECT_EQ(GearConfig(16, 4, 4).blocks(), (16 - 8) / 4 + 1);
+  EXPECT_EQ(GearConfig(8, 2, 0).blocks(), 4);
+  EXPECT_EQ(GearConfig(12, 3, 3).blocks(), 3);
+}
+
+TEST(GearConfig, InvalidConfigurationsRejected) {
+  EXPECT_THROW(GearConfig(8, 0, 2), std::invalid_argument);   // R < 1
+  EXPECT_THROW(GearConfig(8, 2, -1), std::invalid_argument);  // P < 0
+  EXPECT_THROW(GearConfig(4, 3, 3), std::invalid_argument);   // L > N
+  EXPECT_THROW(GearConfig(9, 2, 2), std::invalid_argument);   // (N-L) % R
+  EXPECT_THROW(GearConfig(0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(GearConfig(64, 2, 2), std::invalid_argument);
+}
+
+TEST(GearAdder, SingleBlockIsExact) {
+  // R = N, P = 0: one full-width block — an exact adder.
+  const GearAdder adder{GearConfig(8, 8, 0)};
+  for (std::uint64_t a = 0; a < 256; a += 13) {
+    for (std::uint64_t b = 0; b < 256; b += 7) {
+      EXPECT_EQ(adder.evaluate(a, b).value(8),
+                exact_add(a, b, false, 8).value(8));
+    }
+  }
+}
+
+TEST(GearAdder, KnownErrorCase) {
+  // GeAr(8,2,2): block 1 covers bits [2..5] with cin 0.  A carry
+  // generated below bit 2 that must propagate through bits 2..3 is lost.
+  const GearAdder adder{GearConfig(8, 2, 2)};
+  // a = 0b00001111, b = 0b00000001: exact sum 0b00010000.  The carry out
+  // of bit 1 is 1 and bits 2,3 both propagate -> block 1 gets it wrong.
+  const auto approx = adder.evaluate(0b00001111, 0b00000001);
+  const auto exact = exact_add(0b00001111, 0b00000001, false, 8);
+  EXPECT_NE(approx.value(8), exact.value(8));
+}
+
+TEST(GearAdder, NoCarryCasesAreCorrect) {
+  // Operand pairs with no carries at all are always exact.
+  const GearAdder adder{GearConfig(12, 3, 3)};
+  EXPECT_EQ(adder.evaluate(0b101010101010, 0b010101010101).value(12),
+            exact_add(0b101010101010, 0b010101010101, false, 12).value(12));
+  EXPECT_EQ(adder.evaluate(0, 0).value(12), 0u);
+}
+
+TEST(GearAnalyzer, DpMatchesExhaustiveUniform) {
+  for (const GearConfig& config :
+       {GearConfig(8, 2, 2), GearConfig(8, 2, 0), GearConfig(8, 4, 4),
+        GearConfig(10, 3, 1), GearConfig(9, 3, 3), GearConfig(6, 1, 1)}) {
+    const auto metrics = GearAnalyzer::exhaustive(config);
+    const auto analysis = GearAnalyzer::analyze(
+        config,
+        InputProfile::uniform(static_cast<std::size_t>(config.n()), 0.5));
+    EXPECT_NEAR(analysis.p_error_exact_dp, metrics.error_rate(), 1e-12)
+        << config.describe();
+  }
+}
+
+TEST(GearAnalyzer, DpMatchesExhaustiveWeighted) {
+  // Non-uniform inputs: weight the exhaustive sweep by hand.
+  const GearConfig config(8, 2, 2);
+  const InputProfile profile = InputProfile::uniform_with_cin(8, 0.3, 0.0);
+  const GearAdder adder{config};
+  double p_error = 0.0;
+  for (std::uint64_t a = 0; a < 256; ++a) {
+    for (std::uint64_t b = 0; b < 256; ++b) {
+      const double weight = profile.assignment_probability(a, b, false) /
+                            (1.0 - 0.0);  // cin fixed 0
+      if (adder.evaluate(a, b).value(8) !=
+          exact_add(a, b, false, 8).value(8)) {
+        p_error += weight;
+      }
+    }
+  }
+  const auto analysis = GearAnalyzer::analyze(config, profile);
+  EXPECT_NEAR(analysis.p_error_exact_dp, p_error, 1e-12);
+}
+
+TEST(GearAnalyzer, SingleBlockHasZeroError) {
+  const auto analysis = GearAnalyzer::analyze(
+      GearConfig(8, 8, 0), InputProfile::uniform(8, 0.5));
+  EXPECT_NEAR(analysis.p_error_exact_dp, 0.0, 1e-12);
+  EXPECT_TRUE(analysis.block_failure.empty());
+}
+
+TEST(GearAnalyzer, BlockFailureClosedFormUniformHalf) {
+  // Uniform p = 0.5: P(B_i) = P(carry=1 at window start) * 2^-P, and the
+  // exact carry signal probability converges to 1/2 from below.
+  const GearConfig config(8, 2, 2);
+  const auto analysis =
+      GearAnalyzer::analyze(config, InputProfile::uniform(8, 0.5));
+  ASSERT_EQ(analysis.block_failure.size(), 2u);
+  // P(carry at bit 2) = 1/4 + 1/2 * P(carry at bit 1) = 3/8... compute:
+  // q0 = 0 (cin), q1 = 1/4, q2 = 1/4 + q1/2 = 3/8, q4 = ...
+  const double q2 = 0.375;
+  EXPECT_NEAR(analysis.block_failure[0], q2 * 0.25, 1e-12);
+}
+
+TEST(GearAnalyzer, IndependenceApproxCloseButNotExact) {
+  const GearConfig config(12, 2, 2);
+  const auto analysis =
+      GearAnalyzer::analyze(config, InputProfile::uniform(12, 0.5));
+  // The block-failure events are positively correlated, so the
+  // independence model overestimates the union — by ~3.7 pp here.
+  EXPECT_GT(analysis.p_error_independent_approx,
+            analysis.p_error_sum_only - 1e-12);
+  EXPECT_NEAR(analysis.p_error_independent_approx, analysis.p_error_sum_only,
+              0.05);
+  // ...and sum-only error is bounded by carry-inclusive error.
+  EXPECT_LE(analysis.p_error_sum_only, analysis.p_error_exact_dp + 1e-12);
+}
+
+TEST(GearAnalyzer, MoreOverlapReducesError) {
+  // Increasing P (longer overlap) strictly reduces the error probability.
+  const double e0 =
+      GearAnalyzer::analyze(GearConfig(8, 2, 0), InputProfile::uniform(8, 0.5))
+          .p_error_exact_dp;
+  const double e2 =
+      GearAnalyzer::analyze(GearConfig(8, 2, 2), InputProfile::uniform(8, 0.5))
+          .p_error_exact_dp;
+  const double e4 =
+      GearAnalyzer::analyze(GearConfig(8, 2, 4), InputProfile::uniform(8, 0.5))
+          .p_error_exact_dp;
+  EXPECT_GT(e0, e2);
+  EXPECT_GT(e2, e4);
+}
+
+TEST(GearWithCell, AccurateCellMatchesPlainGear) {
+  const GearConfig config(8, 2, 2);
+  const GearAdder plain(config);
+  const GearAdder with_cell(config, sealpaa::adders::accurate());
+  for (std::uint64_t a = 0; a < 256; a += 3) {
+    for (std::uint64_t b = 0; b < 256; b += 7) {
+      EXPECT_EQ(plain.evaluate(a, b).value(8),
+                with_cell.evaluate(a, b).value(8));
+    }
+  }
+  const auto profile = InputProfile::uniform(8, 0.5);
+  const auto plain_analysis = GearAnalyzer::analyze(config, profile);
+  const auto cell_analysis = GearAnalyzer::analyze_with_cell(
+      config, sealpaa::adders::accurate(), profile);
+  EXPECT_NEAR(plain_analysis.p_error_exact_dp,
+              cell_analysis.p_error_exact_dp, 1e-12);
+  EXPECT_NEAR(plain_analysis.p_error_sum_only,
+              cell_analysis.p_error_sum_only, 1e-12);
+}
+
+TEST(GearWithCell, ApproximateCellDpMatchesExhaustive) {
+  for (int cell_index : {1, 5, 6, 7}) {
+    for (const GearConfig& config :
+         {GearConfig(8, 2, 2), GearConfig(8, 4, 4), GearConfig(9, 3, 3)}) {
+      const auto& cell = sealpaa::adders::lpaa(cell_index);
+      const auto profile = InputProfile::uniform(
+          static_cast<std::size_t>(config.n()), 0.5);
+      const auto analysis =
+          GearAnalyzer::analyze_with_cell(config, cell, profile);
+      const auto metrics =
+          GearAnalyzer::exhaustive_with_cell(config, cell);
+      EXPECT_NEAR(analysis.p_error_exact_dp, metrics.error_rate(), 1e-12)
+          << "LPAA" << cell_index << " " << config.describe();
+    }
+  }
+}
+
+TEST(GearWithCell, DoubleApproximationIsWorseThanEither) {
+  // GeAr with LPAA6 sub-adders errs at least as often as the same GeAr
+  // with exact sub-adders (it has strictly more failure modes).
+  const GearConfig config(10, 2, 2);
+  const auto profile = InputProfile::uniform(10, 0.5);
+  const double gear_exact_cells =
+      GearAnalyzer::analyze(config, profile).p_error_exact_dp;
+  const double gear_lpaa6 =
+      GearAnalyzer::analyze_with_cell(config, sealpaa::adders::lpaa(6),
+                                      profile)
+          .p_error_exact_dp;
+  EXPECT_GT(gear_lpaa6, gear_exact_cells);
+}
+
+TEST(GearWithCell, NonUniformProfileMatchesWeightedSweep) {
+  const GearConfig config(6, 2, 2);
+  const auto& cell = sealpaa::adders::lpaa(7);
+  const InputProfile profile({0.2, 0.8, 0.4, 0.6, 0.1, 0.9},
+                             {0.7, 0.3, 0.5, 0.2, 0.9, 0.4}, 0.0);
+  const GearAdder adder(config, cell);
+  double p_error = 0.0;
+  for (std::uint64_t a = 0; a < 64; ++a) {
+    for (std::uint64_t b = 0; b < 64; ++b) {
+      if (adder.evaluate(a, b).value(6) !=
+          exact_add(a, b, false, 6).value(6)) {
+        p_error += profile.assignment_probability(a, b, false);
+      }
+    }
+  }
+  const auto analysis =
+      GearAnalyzer::analyze_with_cell(config, cell, profile);
+  EXPECT_NEAR(analysis.p_error_exact_dp, p_error, 1e-12);
+}
+
+TEST(GearAnalyzer, WidthMismatchThrows) {
+  EXPECT_THROW((void)GearAnalyzer::analyze(GearConfig(8, 2, 2),
+                                           InputProfile::uniform(6, 0.5)),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,193 @@
+// LOA (lower-part OR adder) model + exact analysis, the ACA/ETAII GeAr
+// aliases, and the design-bound helpers.
+#include <gtest/gtest.h>
+
+#include "sealpaa/adders/builtin.hpp"
+#include "sealpaa/analysis/bounds.hpp"
+#include "sealpaa/analysis/recursive.hpp"
+#include "sealpaa/gear/gear.hpp"
+#include "sealpaa/multibit/loa.hpp"
+
+namespace {
+
+using sealpaa::adders::lpaa;
+using sealpaa::analysis::max_approximate_lsbs;
+using sealpaa::analysis::max_cascadable_width;
+using sealpaa::analysis::RecursiveAnalyzer;
+using sealpaa::gear::GearConfig;
+using sealpaa::multibit::AdderChain;
+using sealpaa::multibit::analyze_loa;
+using sealpaa::multibit::exact_add;
+using sealpaa::multibit::InputProfile;
+using sealpaa::multibit::LoaAdder;
+
+// ---------------------------------------------------------------- LOA
+TEST(Loa, FullyExactWhenNoApproxBits) {
+  const LoaAdder adder(8, 0);
+  for (std::uint64_t a = 0; a < 256; a += 3) {
+    for (std::uint64_t b = 0; b < 256; b += 5) {
+      EXPECT_EQ(adder.evaluate(a, b).value(8),
+                exact_add(a, b, false, 8).value(8));
+    }
+  }
+  const auto analysis = analyze_loa(adder, InputProfile::uniform(8, 0.5));
+  EXPECT_NEAR(analysis.p_error, 0.0, 1e-12);
+}
+
+TEST(Loa, KnownApproximateBehaviour) {
+  const LoaAdder adder(8, 4);
+  // 0b1111 + 0b0001 in the low nibble: OR gives 0b1111 (exact: 0b0000
+  // with carry), prediction a3&b3 = 0 -> upper unchanged; exact sum 16.
+  const auto approx = adder.evaluate(0x0F, 0x01);
+  EXPECT_EQ(approx.sum_bits, 0x0Fu);
+  EXPECT_NE(approx.value(8), exact_add(0x0F, 0x01, false, 8).value(8));
+  // Both MSBs of the lower part set: prediction fires.
+  const auto carried = adder.evaluate(0x08, 0x08);
+  EXPECT_EQ(carried.sum_bits & 0xF0u, 0x10u);  // upper got the carry
+}
+
+TEST(Loa, AnalysisMatchesExhaustiveSweep) {
+  for (std::size_t approx_lsbs : {0u, 1u, 3u, 5u, 8u}) {
+    const LoaAdder adder(8, approx_lsbs);
+    std::uint64_t value_errors = 0;
+    std::uint64_t sum_errors = 0;
+    for (std::uint64_t a = 0; a < 256; ++a) {
+      for (std::uint64_t b = 0; b < 256; ++b) {
+        const auto approx = adder.evaluate(a, b);
+        const auto exact = exact_add(a, b, false, 8);
+        if (approx.value(8) != exact.value(8)) ++value_errors;
+        if (approx.sum_bits != exact.sum_bits) ++sum_errors;
+      }
+    }
+    const auto analysis = analyze_loa(adder, InputProfile::uniform(8, 0.5));
+    EXPECT_NEAR(analysis.p_error, static_cast<double>(value_errors) / 65536.0, 1e-12)
+        << "l=" << approx_lsbs;
+    EXPECT_NEAR(analysis.p_error_sum_only, static_cast<double>(sum_errors) / 65536.0, 1e-12)
+        << "l=" << approx_lsbs;
+  }
+}
+
+TEST(Loa, AnalysisMatchesExhaustiveNonUniform) {
+  const LoaAdder adder(6, 3);
+  const InputProfile profile({0.2, 0.7, 0.4, 0.9, 0.1, 0.6},
+                             {0.8, 0.3, 0.5, 0.2, 0.9, 0.4}, 0.0);
+  double p_error = 0.0;
+  for (std::uint64_t a = 0; a < 64; ++a) {
+    for (std::uint64_t b = 0; b < 64; ++b) {
+      if (adder.evaluate(a, b).value(6) != exact_add(a, b, false, 6).value(6)) {
+        p_error += profile.assignment_probability(a, b, false);
+      }
+    }
+  }
+  const auto analysis = analyze_loa(adder, profile);
+  EXPECT_NEAR(analysis.p_error, p_error, 1e-12);
+}
+
+TEST(Loa, ErrorGrowsWithApproximateBits) {
+  const InputProfile profile = InputProfile::uniform(12, 0.5);
+  double previous = -1.0;
+  for (std::size_t l : {1u, 3u, 6u, 9u, 12u}) {
+    const double p_error = analyze_loa(LoaAdder(12, l), profile).p_error;
+    EXPECT_GT(p_error, previous) << "l=" << l;
+    previous = p_error;
+  }
+}
+
+TEST(Loa, Validation) {
+  EXPECT_THROW(LoaAdder(0, 0), std::invalid_argument);
+  EXPECT_THROW(LoaAdder(8, 9), std::invalid_argument);
+  EXPECT_THROW(
+      (void)analyze_loa(LoaAdder(8, 2), InputProfile::uniform(6, 0.5)),
+      std::invalid_argument);
+}
+
+// ------------------------------------------------------- GeAr aliases
+TEST(GearAliases, AcaIsGearWithUnitR) {
+  const GearConfig aca = GearConfig::aca(16, 4);
+  EXPECT_EQ(aca.r(), 1);
+  EXPECT_EQ(aca.p(), 3);
+  EXPECT_EQ(aca.l(), 4);
+  EXPECT_EQ(aca.blocks(), 13);
+}
+
+TEST(GearAliases, EtaiiIsGearWithEqualRp) {
+  const GearConfig etaii = GearConfig::etaii(16, 4);
+  EXPECT_EQ(etaii.r(), 4);
+  EXPECT_EQ(etaii.p(), 4);
+  EXPECT_EQ(etaii.blocks(), 3);
+}
+
+TEST(GearAliases, InvalidAliasesRejected) {
+  EXPECT_THROW((void)GearConfig::aca(16, 0), std::invalid_argument);   // P = -1
+  EXPECT_THROW((void)GearConfig::etaii(10, 4), std::invalid_argument); // tiling
+}
+
+// ------------------------------------------------------------- bounds
+TEST(Bounds, MatchesDirectScan) {
+  for (int cell : {1, 6, 7}) {
+    for (double epsilon : {0.05, 0.2, 0.5}) {
+      const int bound = max_cascadable_width(lpaa(cell), 0.5, epsilon, 32);
+      if (bound > 0) {
+        EXPECT_LE(RecursiveAnalyzer::error_probability(
+                      lpaa(cell), InputProfile::uniform(
+                                      static_cast<std::size_t>(bound), 0.5)),
+                  epsilon + 1e-12)
+            << "LPAA" << cell;
+      }
+      if (bound < 32) {
+        EXPECT_GT(RecursiveAnalyzer::error_probability(
+                      lpaa(cell),
+                      InputProfile::uniform(
+                          static_cast<std::size_t>(bound) + 1, 0.5)),
+                  epsilon)
+            << "LPAA" << cell;
+      }
+    }
+  }
+}
+
+TEST(Bounds, PaperTenBitObservation) {
+  // "none of the LPAA is useful beyond 10-bits cascading" at p = 0.5:
+  // with any sane tolerance the best cell's bound is small.
+  int best = 0;
+  for (int cell = 1; cell <= 7; ++cell) {
+    best = std::max(best, max_cascadable_width(lpaa(cell), 0.5, 0.5, 63));
+  }
+  EXPECT_LE(best, 10);
+  EXPECT_GT(best, 0);
+}
+
+TEST(Bounds, ApproximateLsbsHybrid) {
+  const int k = max_approximate_lsbs(lpaa(6), 16, 0.5, 0.3);
+  ASSERT_GT(k, 0);
+  // Build the hybrid and verify it meets the tolerance while k+1 fails.
+  const auto build = [&](int approx) {
+    std::vector<sealpaa::adders::AdderCell> stages;
+    for (int i = 0; i < approx; ++i) stages.push_back(lpaa(6));
+    for (int i = approx; i < 16; ++i) {
+      stages.push_back(sealpaa::adders::accurate());
+    }
+    return RecursiveAnalyzer::analyze(AdderChain(stages),
+                                      InputProfile::uniform(16, 0.5))
+        .p_error;
+  };
+  EXPECT_LE(build(k), 0.3 + 1e-12);
+  EXPECT_GT(build(k + 1), 0.3);
+}
+
+TEST(Bounds, ZeroWhenEvenOneStageFails) {
+  // LPAA2 at p = 0.5 errs with probability > 0.2 from the first bit.
+  EXPECT_EQ(max_cascadable_width(lpaa(2), 0.5, 0.05), 0);
+  EXPECT_EQ(max_approximate_lsbs(lpaa(2), 8, 0.5, 0.05), 0);
+}
+
+TEST(Bounds, Validation) {
+  EXPECT_THROW((void)max_cascadable_width(lpaa(1), 1.5, 0.1),
+               std::domain_error);
+  EXPECT_THROW((void)max_cascadable_width(lpaa(1), 0.5, 0.1, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)max_approximate_lsbs(lpaa(1), 0, 0.5, 0.1),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,176 @@
+// Unit tests for the multi-bit substrate: profiles, chains, traced
+// evaluation, exact reference and carry-save composition.
+#include <gtest/gtest.h>
+
+#include "sealpaa/adders/builtin.hpp"
+#include "sealpaa/multibit/chain.hpp"
+#include "sealpaa/multibit/csa.hpp"
+#include "sealpaa/multibit/input_profile.hpp"
+#include "sealpaa/prob/rng.hpp"
+
+namespace {
+
+using sealpaa::adders::accurate;
+using sealpaa::adders::lpaa;
+using sealpaa::multibit::AdderChain;
+using sealpaa::multibit::AddResult;
+using sealpaa::multibit::CarrySaveAdder;
+using sealpaa::multibit::exact_add;
+using sealpaa::multibit::InputProfile;
+
+TEST(InputProfile, Validation) {
+  EXPECT_THROW(InputProfile({}, {}, 0.5), std::invalid_argument);
+  EXPECT_THROW(InputProfile({0.5}, {0.5, 0.5}, 0.5), std::invalid_argument);
+  EXPECT_THROW(InputProfile({1.5}, {0.5}, 0.5), std::domain_error);
+  EXPECT_THROW(InputProfile({0.5}, {0.5}, -0.5), std::domain_error);
+  EXPECT_THROW(InputProfile(std::vector<double>(64, 0.5),
+                            std::vector<double>(64, 0.5), 0.5),
+               std::invalid_argument);
+}
+
+TEST(InputProfile, UniformAndAccessors) {
+  const InputProfile profile = InputProfile::uniform(4, 0.3);
+  EXPECT_EQ(profile.width(), 4u);
+  EXPECT_TRUE(profile.is_uniform(0.3));
+  EXPECT_FALSE(profile.is_uniform(0.5));
+  EXPECT_DOUBLE_EQ(profile.p_a(2), 0.3);
+  EXPECT_DOUBLE_EQ(profile.p_cin(), 0.3);
+
+  const InputProfile mixed = InputProfile::uniform_with_cin(4, 0.3, 0.0);
+  EXPECT_FALSE(mixed.is_uniform(0.3));
+  EXPECT_DOUBLE_EQ(mixed.p_cin(), 0.0);
+}
+
+TEST(InputProfile, AssignmentProbabilitiesSumToOne) {
+  const InputProfile profile({0.2, 0.8}, {0.5, 0.9}, 0.4);
+  double total = 0.0;
+  for (std::uint64_t a = 0; a < 4; ++a) {
+    for (std::uint64_t b = 0; b < 4; ++b) {
+      total += profile.assignment_probability(a, b, false);
+      total += profile.assignment_probability(a, b, true);
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-14);
+}
+
+TEST(InputProfile, SampleFrequenciesMatchProbabilities) {
+  const InputProfile profile({0.2, 0.9}, {0.5, 0.1}, 0.7);
+  sealpaa::prob::Xoshiro256StarStar rng(31);
+  const int trials = 200000;
+  int a0 = 0;
+  int b1 = 0;
+  int cin = 0;
+  for (int i = 0; i < trials; ++i) {
+    const auto sample = profile.sample(rng);
+    a0 += (sample.a & 1ULL) != 0 ? 1 : 0;
+    b1 += (sample.b & 2ULL) != 0 ? 1 : 0;
+    cin += sample.cin ? 1 : 0;
+  }
+  EXPECT_NEAR(a0 / static_cast<double>(trials), 0.2, 0.01);
+  EXPECT_NEAR(b1 / static_cast<double>(trials), 0.1, 0.01);
+  EXPECT_NEAR(cin / static_cast<double>(trials), 0.7, 0.01);
+}
+
+TEST(AdderChain, AccurateChainAddsExactly) {
+  const AdderChain chain = AdderChain::homogeneous(accurate(), 8);
+  for (std::uint64_t a : {0ULL, 1ULL, 37ULL, 200ULL, 255ULL}) {
+    for (std::uint64_t b : {0ULL, 5ULL, 128ULL, 255ULL}) {
+      for (bool cin : {false, true}) {
+        const AddResult result = chain.evaluate(a, b, cin);
+        const AddResult reference = exact_add(a, b, cin, 8);
+        EXPECT_EQ(result.value(8), reference.value(8))
+            << a << "+" << b << "+" << cin;
+      }
+    }
+  }
+}
+
+TEST(AdderChain, ExactAddIncludesCarryOut) {
+  const AddResult result = exact_add(255, 1, false, 8);
+  EXPECT_EQ(result.sum_bits, 0u);
+  EXPECT_TRUE(result.carry_out);
+  EXPECT_EQ(result.value(8), 256u);
+}
+
+TEST(AdderChain, TracedDetectsFirstFailingStage) {
+  // LPAA1 errs on rows (0,1,0) and (1,0,0).  a=0b010, b=0b000, cin=0:
+  // stage 0 row (0,0,0) fine, stage 1 row (1,0,0)... build explicitly:
+  const AdderChain chain = AdderChain::homogeneous(lpaa(1), 3);
+  // Pick stage 1 inputs a=0,b=1,carry(from stage0)=0 -> row 2 (error).
+  const auto traced = chain.evaluate_traced(0b000, 0b010, false);
+  EXPECT_FALSE(traced.all_stages_success);
+  EXPECT_EQ(traced.first_failed_stage, 1);
+}
+
+TEST(AdderChain, TracedSuccessOnExactChain) {
+  const AdderChain chain = AdderChain::homogeneous(accurate(), 6);
+  for (std::uint64_t a = 0; a < 64; a += 7) {
+    const auto traced = chain.evaluate_traced(a, 63 - a, true);
+    EXPECT_TRUE(traced.all_stages_success);
+    EXPECT_EQ(traced.first_failed_stage, -1);
+  }
+}
+
+TEST(AdderChain, DescribeFormats) {
+  EXPECT_EQ(AdderChain::homogeneous(lpaa(2), 4).describe(), "4 x LPAA2");
+  const AdderChain hybrid({lpaa(1), lpaa(6), accurate()});
+  EXPECT_EQ(hybrid.describe(), "LPAA1|LPAA6|AccuFA");
+  EXPECT_FALSE(hybrid.is_homogeneous());
+  EXPECT_FALSE(hybrid.is_exact());
+  EXPECT_TRUE(AdderChain::homogeneous(accurate(), 3).is_exact());
+}
+
+TEST(AdderChain, Validation) {
+  EXPECT_THROW(AdderChain({}), std::invalid_argument);
+  EXPECT_THROW(AdderChain::homogeneous(accurate(), 64),
+               std::invalid_argument);
+}
+
+TEST(AdderChain, UpperBitsIgnored) {
+  const AdderChain chain = AdderChain::homogeneous(accurate(), 4);
+  EXPECT_EQ(chain.evaluate(0xF3, 0x01, false).value(4),
+            chain.evaluate(0x03, 0x01, false).value(4));
+}
+
+TEST(Csa, ExactCompressorsSumExactly) {
+  const CarrySaveAdder csa = CarrySaveAdder::with_exact_compressors(
+      AdderChain::homogeneous(accurate(), 10));
+  const std::vector<std::uint64_t> operands = {13, 250, 7, 400, 999, 1};
+  std::uint64_t expected = 0;
+  for (std::uint64_t x : operands) expected = (expected + x) & 0x3FF;
+  EXPECT_EQ(csa.accumulate(operands), expected);
+}
+
+TEST(Csa, DegenerateOperandCounts) {
+  const CarrySaveAdder csa = CarrySaveAdder::with_exact_compressors(
+      AdderChain::homogeneous(accurate(), 8));
+  EXPECT_EQ(csa.accumulate({}), 0u);
+  EXPECT_EQ(csa.accumulate({300}), 300u & 0xFF);
+  EXPECT_EQ(csa.accumulate({100, 200}), (100u + 200u) & 0xFF);
+}
+
+TEST(Csa, ApproximateCompressorDegradesGracefully) {
+  // With LPAA5 compressors the result is wrong for most inputs but the
+  // accumulation must still terminate and stay in range.
+  const CarrySaveAdder csa{lpaa(5),
+                           AdderChain::homogeneous(accurate(), 8)};
+  const std::uint64_t result = csa.accumulate({10, 20, 30, 40});
+  EXPECT_LT(result, 256u);
+}
+
+TEST(Csa, SingleLayerMatchesManualCompression) {
+  using sealpaa::multibit::compress_3_2;
+  const auto pair = compress_3_2(0b1011, 0b0110, 0b0001, accurate(), 4);
+  // Bitwise: sum = x^y^z, carry = majority << 1 (within 4 bits).
+  EXPECT_EQ(pair.sum, (0b1011ULL ^ 0b0110ULL ^ 0b0001ULL) & 0xFULL);
+  std::uint64_t carry = 0;
+  for (int i = 0; i + 1 < 4; ++i) {
+    const int x = (0b1011 >> i) & 1;
+    const int y = (0b0110 >> i) & 1;
+    const int z = (0b0001 >> i) & 1;
+    if (x + y + z >= 2) carry |= 1ULL << (i + 1);
+  }
+  EXPECT_EQ(pair.carry, carry);
+}
+
+}  // namespace

@@ -1,0 +1,203 @@
+// Approximate array multiplier and the accelerator MAC datapath.
+#include <gtest/gtest.h>
+
+#include "sealpaa/adders/builtin.hpp"
+#include "sealpaa/multiplier/array_multiplier.hpp"
+#include "sealpaa/prob/rng.hpp"
+
+namespace {
+
+using sealpaa::adders::accurate;
+using sealpaa::adders::lpaa;
+using sealpaa::multibit::AdderChain;
+using sealpaa::multiplier::approx_dot_product;
+using sealpaa::multiplier::ApproxMultiplier;
+using sealpaa::multiplier::exhaustive_multiplier;
+using sealpaa::multiplier::measure_multiplier;
+using sealpaa::multiplier::ReductionMode;
+
+TEST(Multiplier, ExactCellsGiveExactProductsRipple) {
+  const ApproxMultiplier mult(8, accurate(), ReductionMode::RippleAccumulate);
+  sealpaa::prob::Xoshiro256StarStar rng(301);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::uint64_t a = rng.next() & 0xFF;
+    const std::uint64_t b = rng.next() & 0xFF;
+    EXPECT_EQ(mult.multiply(a, b), a * b) << a << " * " << b;
+  }
+}
+
+TEST(Multiplier, ExactCellsGiveExactProductsCarrySave) {
+  const ApproxMultiplier mult(8, accurate(), ReductionMode::CarrySaveTree);
+  sealpaa::prob::Xoshiro256StarStar rng(307);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::uint64_t a = rng.next() & 0xFF;
+    const std::uint64_t b = rng.next() & 0xFF;
+    EXPECT_EQ(mult.multiply(a, b), a * b) << a << " * " << b;
+  }
+}
+
+TEST(Multiplier, EdgeOperandsExactCell) {
+  const ApproxMultiplier mult(6, accurate());
+  EXPECT_EQ(mult.multiply(0, 63), 0u);
+  EXPECT_EQ(mult.multiply(63, 0), 0u);
+  EXPECT_EQ(mult.multiply(21, 1), 21u);
+  EXPECT_EQ(mult.multiply(21, 32), 21u * 32u);
+  EXPECT_EQ(mult.multiply(63, 63), 63u * 63u);
+}
+
+TEST(Multiplier, ApproximateArrayComputesItsZeros) {
+  // Hardware-faithful behaviour: the zero partial products still flow
+  // through the (approximate) accumulation adders, so 0 * x need not be
+  // 0.  LPAA3 maps the all-zero row to sum = 1, yielding all-ones.
+  const ApproxMultiplier mult(6, lpaa(3));
+  EXPECT_EQ(mult.multiply(0, 63), 0xFFFu);
+  EXPECT_LT(mult.multiply(63, 63), 1ULL << 12);
+}
+
+TEST(Multiplier, SignedMultiplySignMagnitude) {
+  const ApproxMultiplier exact_mult(8, accurate());
+  EXPECT_EQ(exact_mult.multiply_signed(-7, 9), -63);
+  EXPECT_EQ(exact_mult.multiply_signed(-7, -9), 63);
+  EXPECT_EQ(exact_mult.multiply_signed(7, -9), -63);
+  EXPECT_EQ(exact_mult.multiply_signed(0, -9), 0);
+  EXPECT_THROW((void)exact_mult.multiply_signed(-256, 1), std::domain_error);
+
+  // Approximate cell: sign symmetry must hold regardless of the error.
+  const ApproxMultiplier approx_mult(8, lpaa(6));
+  const std::int64_t pp = approx_mult.multiply_signed(113, 57);
+  EXPECT_EQ(approx_mult.multiply_signed(-113, 57), -pp);
+  EXPECT_EQ(approx_mult.multiply_signed(-113, -57), pp);
+}
+
+TEST(Multiplier, OperandsAboveWidthAreMasked) {
+  const ApproxMultiplier mult(4, accurate());
+  EXPECT_EQ(mult.multiply(0xFF, 0x11), (0xFULL) * (0x1ULL));
+}
+
+TEST(Multiplier, Validation) {
+  EXPECT_THROW(ApproxMultiplier(0, accurate()), std::invalid_argument);
+  EXPECT_THROW(ApproxMultiplier(40, accurate()), std::invalid_argument);
+}
+
+TEST(Multiplier, ApproximateCellsDegradeMonotonicallyWithErrorCases) {
+  // More truth-table error cases should not make the multiplier better.
+  const auto report_for = [](int cell) {
+    const ApproxMultiplier mult(6, lpaa(cell));
+    return exhaustive_multiplier(mult).metrics.error_rate();
+  };
+  const double lpaa7_rate = report_for(7);  // 2 error cases, exact carry
+  const double lpaa5_rate = report_for(5);  // 4 error cases
+  EXPECT_LT(lpaa7_rate, lpaa5_rate);
+  EXPECT_GT(lpaa7_rate, 0.0);
+}
+
+TEST(Multiplier, ExhaustiveAndMonteCarloAgree) {
+  const ApproxMultiplier mult(5, lpaa(6));
+  const auto exhaustive = exhaustive_multiplier(mult);
+  const auto sampled = measure_multiplier(mult, 200000);
+  EXPECT_NEAR(exhaustive.metrics.error_rate(), sampled.metrics.error_rate(),
+              0.01);
+  EXPECT_EQ(exhaustive.samples, 1024u);
+}
+
+TEST(Multiplier, NormalizedMedIsSmallFraction) {
+  const ApproxMultiplier mult(8, lpaa(6));
+  const auto report = measure_multiplier(mult, 50000);
+  EXPECT_GT(report.normalized_med(), 0.0);
+  EXPECT_LT(report.normalized_med(), 0.5);
+}
+
+TEST(Multiplier, GuardOnExhaustiveWidth) {
+  const ApproxMultiplier mult(12, accurate());
+  EXPECT_THROW((void)exhaustive_multiplier(mult), std::invalid_argument);
+}
+
+// Parameterized sweep: (cell x reduction mode x width), each validated
+// exhaustively for the exact cell and sanity-bounded for approximate
+// ones.
+class MultiplierSweep
+    : public ::testing::TestWithParam<
+          std::tuple<int, ReductionMode, std::size_t>> {};
+
+TEST_P(MultiplierSweep, ExhaustiveMetricsAreConsistent) {
+  const auto [cell_index, mode, width] = GetParam();
+  const ApproxMultiplier mult(
+      width, cell_index == 0 ? accurate() : lpaa(cell_index), mode);
+  const auto report = exhaustive_multiplier(mult);
+  EXPECT_EQ(report.samples, 1ULL << (2 * width));
+  if (cell_index == 0) {
+    EXPECT_EQ(report.metrics.value_errors(), 0u);
+    EXPECT_EQ(report.metrics.worst_case_error(), 0);
+  } else {
+    // Approximate multipliers stay within the representable range.
+    EXPECT_LE(static_cast<std::uint64_t>(
+                  std::llabs(report.metrics.worst_case_error())),
+              (1ULL << (2 * width)) - 1);
+    EXPECT_GE(report.metrics.mean_squared_error(),
+              report.metrics.mean_error() * report.metrics.mean_error() -
+                  1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MultiplierSweep,
+    ::testing::Combine(::testing::Values(0, 1, 5, 6, 7),
+                       ::testing::Values(ReductionMode::RippleAccumulate,
+                                         ReductionMode::CarrySaveTree),
+                       ::testing::Values(std::size_t{3}, std::size_t{5})),
+    [](const auto& param_info) {
+      const int cell = std::get<0>(param_info.param);
+      return std::string(cell == 0 ? "AccuFA" : "LPAA" + std::to_string(cell)) +
+             (std::get<1>(param_info.param) ==
+                      ReductionMode::RippleAccumulate
+                  ? "_ripple"
+                  : "_csa") +
+             "_w" + std::to_string(std::get<2>(param_info.param));
+    });
+
+TEST(DotProduct, ExactPathMatchesReference) {
+  const ApproxMultiplier mult(8, accurate());
+  const AdderChain acc = AdderChain::homogeneous(accurate(), 24);
+  const std::vector<std::uint64_t> values = {12, 250, 3, 99, 180};
+  const std::vector<std::uint64_t> weights = {7, 2, 255, 31, 64};
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    expected = (expected + values[i] * weights[i]) & ((1ULL << 24) - 1);
+  }
+  EXPECT_EQ(approx_dot_product(values, weights, mult, acc), expected);
+}
+
+TEST(DotProduct, SizeMismatchThrows) {
+  const ApproxMultiplier mult(8, accurate());
+  const AdderChain acc = AdderChain::homogeneous(accurate(), 24);
+  EXPECT_THROW((void)approx_dot_product({1, 2}, {1}, mult, acc),
+               std::invalid_argument);
+}
+
+TEST(DotProduct, ApproximateAccumulatorStaysClose) {
+  const ApproxMultiplier mult(8, accurate());
+  // Approximate only the accumulator's low byte.
+  std::vector<sealpaa::adders::AdderCell> stages;
+  for (int i = 0; i < 8; ++i) stages.push_back(lpaa(6));
+  for (int i = 8; i < 24; ++i) stages.push_back(accurate());
+  const AdderChain acc(stages);
+  const AdderChain exact_acc = AdderChain::homogeneous(accurate(), 24);
+
+  sealpaa::prob::Xoshiro256StarStar rng(311);
+  std::vector<std::uint64_t> values(16);
+  std::vector<std::uint64_t> weights(16);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = rng.next() & 0xFF;
+    weights[i] = rng.next() & 0xFF;
+  }
+  const std::uint64_t approx = approx_dot_product(values, weights, mult, acc);
+  const std::uint64_t exact =
+      approx_dot_product(values, weights, mult, exact_acc);
+  const auto diff = static_cast<std::int64_t>(approx) -
+                    static_cast<std::int64_t>(exact);
+  // 16 accumulations, each off by at most +-511 in the approximate low
+  // byte (sum bits plus the carry into bit 8): well under 2^14.
+  EXPECT_LT(std::llabs(diff), 1LL << 14);
+}
+
+}  // namespace

@@ -1,0 +1,265 @@
+// Parameterized property sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P):
+// systematic cross-engine validation over the (cell x width x
+// probability) grid, plus randomized-cell fuzzing — the recursion must
+// agree with ground truth for ANY 8-row truth table, not just the seven
+// published ones.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "sealpaa/adders/builtin.hpp"
+#include "sealpaa/analysis/joint.hpp"
+#include "sealpaa/analysis/recursive.hpp"
+#include "sealpaa/analysis/correlated.hpp"
+#include "sealpaa/baseline/inclusion_exclusion.hpp"
+#include "sealpaa/baseline/weighted_exhaustive.hpp"
+#include "sealpaa/multibit/chain.hpp"
+#include "sealpaa/multibit/input_profile.hpp"
+#include "sealpaa/multibit/loa.hpp"
+#include "sealpaa/prob/rng.hpp"
+#include "sealpaa/sim/exhaustive.hpp"
+
+namespace {
+
+using sealpaa::adders::AdderCell;
+using sealpaa::adders::lpaa;
+using sealpaa::analysis::JointCarryAnalyzer;
+using sealpaa::analysis::RecursiveAnalyzer;
+using sealpaa::baseline::InclusionExclusionAnalyzer;
+using sealpaa::baseline::WeightedExhaustive;
+using sealpaa::multibit::AdderChain;
+using sealpaa::multibit::InputProfile;
+
+// ---------------------------------------------------------------------
+// Sweep 1: every builtin cell x width x uniform probability.
+// ---------------------------------------------------------------------
+class CellWidthProbability
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t, double>> {
+};
+
+TEST_P(CellWidthProbability, RecursiveMatchesWeightedExhaustive) {
+  const auto [cell_index, width, p] = GetParam();
+  const AdderChain chain = AdderChain::homogeneous(lpaa(cell_index), width);
+  const InputProfile profile = InputProfile::uniform(width, p);
+  const double analytical =
+      RecursiveAnalyzer::analyze(chain, profile).p_success;
+  const double oracle =
+      WeightedExhaustive::analyze(chain, profile).p_stage_success;
+  EXPECT_NEAR(analytical, oracle, 1e-12);
+}
+
+TEST_P(CellWidthProbability, JointDpAgreesOnStageSuccess) {
+  const auto [cell_index, width, p] = GetParam();
+  const AdderChain chain = AdderChain::homogeneous(lpaa(cell_index), width);
+  const InputProfile profile = InputProfile::uniform(width, p);
+  EXPECT_NEAR(JointCarryAnalyzer::analyze(chain, profile).p_stage_success,
+              RecursiveAnalyzer::analyze(chain, profile).p_success, 1e-12);
+}
+
+TEST_P(CellWidthProbability, ErrorProbabilityIsMonotoneInWidth) {
+  // Appending a stage can only discard more success mass.
+  const auto [cell_index, width, p] = GetParam();
+  const double shorter = RecursiveAnalyzer::error_probability(
+      lpaa(cell_index), InputProfile::uniform(width, p));
+  const double longer = RecursiveAnalyzer::error_probability(
+      lpaa(cell_index), InputProfile::uniform(width + 1, p));
+  EXPECT_GE(longer, shorter - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, CellWidthProbability,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6, 7),
+                       ::testing::Values(std::size_t{2}, std::size_t{5},
+                                         std::size_t{9}),
+                       ::testing::Values(0.1, 0.5, 0.85)),
+    [](const auto& param_info) {
+      return "LPAA" + std::to_string(std::get<0>(param_info.param)) + "_w" +
+             std::to_string(std::get<1>(param_info.param)) + "_p" +
+             std::to_string(static_cast<int>(std::get<2>(param_info.param) * 100));
+    });
+
+// ---------------------------------------------------------------------
+// Sweep 2: randomized truth tables ("fuzzing" the analysis machinery).
+// ---------------------------------------------------------------------
+class RandomCell : public ::testing::TestWithParam<int> {};
+
+AdderCell make_random_cell(std::uint64_t seed) {
+  sealpaa::prob::Xoshiro256StarStar rng(seed);
+  AdderCell::Rows rows{};
+  for (auto& row : rows) {
+    row.sum = rng.bernoulli(0.5);
+    row.carry = rng.bernoulli(0.5);
+  }
+  return AdderCell("fuzz" + std::to_string(seed), rows);
+}
+
+TEST_P(RandomCell, RecursiveMatchesGroundTruthOnRandomTable) {
+  const AdderCell cell = make_random_cell(static_cast<std::uint64_t>(
+      1000 + GetParam()));
+  sealpaa::prob::Xoshiro256StarStar rng(static_cast<std::uint64_t>(
+      2000 + GetParam()));
+  const std::size_t width = 2 + static_cast<std::size_t>(GetParam()) % 6;
+  const InputProfile profile = InputProfile::random(width, rng);
+  const AdderChain chain = AdderChain::homogeneous(cell, width);
+  const double analytical =
+      RecursiveAnalyzer::analyze(chain, profile).p_success;
+  const double oracle =
+      WeightedExhaustive::analyze(chain, profile).p_stage_success;
+  EXPECT_NEAR(analytical, oracle, 1e-12) << cell.to_string();
+}
+
+TEST_P(RandomCell, InclusionExclusionMatchesRecursionOnRandomTable) {
+  const AdderCell cell = make_random_cell(static_cast<std::uint64_t>(
+      3000 + GetParam()));
+  const std::size_t width = 2 + static_cast<std::size_t>(GetParam()) % 5;
+  const InputProfile profile = InputProfile::uniform(width, 0.35);
+  const AdderChain chain = AdderChain::homogeneous(cell, width);
+  EXPECT_NEAR(InclusionExclusionAnalyzer::analyze(chain, profile).p_error,
+              RecursiveAnalyzer::analyze(chain, profile).p_error, 1e-10);
+}
+
+TEST_P(RandomCell, MomentsMatchGroundTruthOnRandomTable) {
+  const AdderCell cell = make_random_cell(static_cast<std::uint64_t>(
+      4000 + GetParam()));
+  const std::size_t width = 2 + static_cast<std::size_t>(GetParam()) % 4;
+  const InputProfile profile = InputProfile::uniform(width, 0.45);
+  const AdderChain chain = AdderChain::homogeneous(cell, width);
+  const auto moments = JointCarryAnalyzer::moments(chain, profile);
+  const auto oracle = WeightedExhaustive::analyze(chain, profile);
+  EXPECT_NEAR(moments.mean, oracle.mean_error, 1e-9);
+  EXPECT_NEAR(moments.second_moment, oracle.mean_squared_error,
+              1e-7 * (1.0 + oracle.mean_squared_error));
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, RandomCell, ::testing::Range(0, 24));
+
+// ---------------------------------------------------------------------
+// Sweep 3: random hybrid chains.
+// ---------------------------------------------------------------------
+class RandomHybrid : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomHybrid, AllEnginesAgree) {
+  sealpaa::prob::Xoshiro256StarStar rng(static_cast<std::uint64_t>(
+      5000 + GetParam()));
+  const std::size_t width = 2 + static_cast<std::size_t>(GetParam()) % 6;
+  std::vector<AdderCell> stages;
+  for (std::size_t i = 0; i < width; ++i) {
+    stages.push_back(lpaa(1 + static_cast<int>(rng.next() % 7)));
+  }
+  const AdderChain chain(stages);
+  const InputProfile profile = InputProfile::random(width, rng);
+
+  const double recursive =
+      RecursiveAnalyzer::analyze(chain, profile).p_success;
+  const double oracle =
+      WeightedExhaustive::analyze(chain, profile).p_stage_success;
+  const double ie =
+      InclusionExclusionAnalyzer::analyze(chain, profile).p_success;
+  const double joint =
+      JointCarryAnalyzer::analyze(chain, profile).p_stage_success;
+  EXPECT_NEAR(recursive, oracle, 1e-12);
+  EXPECT_NEAR(ie, oracle, 1e-10);
+  EXPECT_NEAR(joint, oracle, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, RandomHybrid, ::testing::Range(0, 16));
+
+// ---------------------------------------------------------------------
+// Sweep 4: exhaustive-simulation agreement at p = 0.5 for every cell and
+// several widths (the Table 6 "equally probable" scenario as a grid).
+// ---------------------------------------------------------------------
+class ExhaustiveAgreement
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(ExhaustiveAgreement, SimulationEqualsAnalysisExactly) {
+  const auto [cell_index, width] = GetParam();
+  const AdderChain chain = AdderChain::homogeneous(lpaa(cell_index), width);
+  const auto sim = sealpaa::sim::ExhaustiveSimulator::run(chain);
+  const double analytical = RecursiveAnalyzer::error_probability(
+      lpaa(cell_index), InputProfile::uniform(width, 0.5));
+  EXPECT_NEAR(sim.metrics.stage_failure_rate(), analytical, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ExhaustiveAgreement,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6, 7),
+                       ::testing::Values(std::size_t{3}, std::size_t{7})),
+    [](const auto& param_info) {
+      return "LPAA" + std::to_string(std::get<0>(param_info.param)) + "_w" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Sweep 5: LOA (width x approximate-LSB count x probability) against a
+// direct weighted enumeration.
+// ---------------------------------------------------------------------
+class LoaSweep : public ::testing::TestWithParam<
+                     std::tuple<std::size_t, std::size_t, double>> {};
+
+TEST_P(LoaSweep, AnalysisMatchesEnumeration) {
+  const auto [width, approx_lsbs, p] = GetParam();
+  if (approx_lsbs > width) GTEST_SKIP();
+  const sealpaa::multibit::LoaAdder adder(width, approx_lsbs);
+  const InputProfile profile = InputProfile::uniform_with_cin(width, p, 0.0);
+  double p_error = 0.0;
+  const std::uint64_t limit = 1ULL << width;
+  for (std::uint64_t a = 0; a < limit; ++a) {
+    for (std::uint64_t b = 0; b < limit; ++b) {
+      if (adder.evaluate(a, b).value(width) !=
+          sealpaa::multibit::exact_add(a, b, false, width).value(width)) {
+        p_error += profile.assignment_probability(a, b, false);
+      }
+    }
+  }
+  const auto analysis = sealpaa::multibit::analyze_loa(adder, profile);
+  EXPECT_NEAR(analysis.p_error, p_error, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LoaSweep,
+    ::testing::Combine(::testing::Values(std::size_t{4}, std::size_t{6},
+                                         std::size_t{8}),
+                       ::testing::Values(std::size_t{0}, std::size_t{2},
+                                         std::size_t{4}, std::size_t{6},
+                                         std::size_t{8}),
+                       ::testing::Values(0.2, 0.5, 0.8)),
+    [](const auto& param_info) {
+      return "w" + std::to_string(std::get<0>(param_info.param)) + "_l" +
+             std::to_string(std::get<1>(param_info.param)) + "_p" +
+             std::to_string(static_cast<int>(std::get<2>(param_info.param) * 100));
+    });
+
+// ---------------------------------------------------------------------
+// Sweep 6: correlated-operand recursion over a rho grid vs the joint
+// enumeration oracle.
+// ---------------------------------------------------------------------
+class CorrelatedSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CorrelatedSweep, GeneralizedRecursionMatchesJointOracle) {
+  const auto [cell_index, rho_percent] = GetParam();
+  const double rho = rho_percent / 100.0;
+  const InputProfile marginals = InputProfile::uniform(6, 0.5);
+  const auto joint =
+      sealpaa::multibit::JointInputProfile::correlated(marginals, rho);
+  const AdderChain chain = AdderChain::homogeneous(lpaa(cell_index), 6);
+  const double analytical =
+      sealpaa::analysis::CorrelatedAnalyzer::analyze(chain, joint).p_success;
+  const double oracle =
+      WeightedExhaustive::analyze_joint(chain, joint).p_stage_success;
+  EXPECT_NEAR(analytical, oracle, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CorrelatedSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6, 7),
+                       ::testing::Values(-100, -50, 0, 50, 100)),
+    [](const auto& param_info) {
+      const int rho = std::get<1>(param_info.param);
+      return "LPAA" + std::to_string(std::get<0>(param_info.param)) +
+             (rho < 0 ? "_rho_m" + std::to_string(-rho)
+                      : "_rho_p" + std::to_string(rho));
+    });
+
+}  // namespace

@@ -1,0 +1,293 @@
+// RTL substrate: netlist construction/evaluation, synthesis equivalence
+// with the behavioural models, signal probabilities and Verilog export.
+#include <gtest/gtest.h>
+
+#include "sealpaa/adders/builtin.hpp"
+#include "sealpaa/gear/gear.hpp"
+#include "sealpaa/multibit/chain.hpp"
+#include "sealpaa/prob/rng.hpp"
+#include "sealpaa/rtl/netlist.hpp"
+#include "sealpaa/rtl/synth.hpp"
+#include "sealpaa/rtl/verilog.hpp"
+
+namespace {
+
+using sealpaa::adders::accurate;
+using sealpaa::adders::lpaa;
+using sealpaa::multibit::AdderChain;
+using sealpaa::rtl::GateKind;
+using sealpaa::rtl::Netlist;
+using sealpaa::rtl::synthesize_cell;
+using sealpaa::rtl::synthesize_chain;
+using sealpaa::rtl::synthesize_gear;
+
+TEST(Netlist, BasicGatesEvaluate) {
+  Netlist netlist;
+  const int a = netlist.add_input("a");
+  const int b = netlist.add_input("b");
+  const int and_net = netlist.add_binary(GateKind::And, a, b);
+  const int or_net = netlist.add_binary(GateKind::Or, a, b);
+  const int xor_net = netlist.add_binary(GateKind::Xor, a, b);
+  const int not_net = netlist.add_unary(GateKind::Not, a);
+  netlist.set_output("and", and_net);
+  netlist.set_output("or", or_net);
+  netlist.set_output("xor", xor_net);
+  netlist.set_output("not", not_net);
+
+  const auto out = netlist.evaluate({true, false});
+  EXPECT_FALSE(out[0]);
+  EXPECT_TRUE(out[1]);
+  EXPECT_TRUE(out[2]);
+  EXPECT_FALSE(out[3]);
+}
+
+TEST(Netlist, Validation) {
+  Netlist netlist;
+  const int a = netlist.add_input("a");
+  EXPECT_THROW((void)netlist.add_binary(GateKind::And, a, 99),
+               std::out_of_range);
+  EXPECT_THROW((void)netlist.add_binary(GateKind::Not, a, a),
+               std::invalid_argument);
+  EXPECT_THROW((void)netlist.add_unary(GateKind::And, a),
+               std::invalid_argument);
+  EXPECT_THROW((void)netlist.evaluate({}), std::invalid_argument);
+  EXPECT_THROW((void)netlist.signal_probabilities({0.5, 0.5}),
+               std::invalid_argument);
+}
+
+TEST(Netlist, DepthCountsLogicLevels) {
+  Netlist netlist;
+  const int a = netlist.add_input("a");
+  const int b = netlist.add_input("b");
+  const int x1 = netlist.add_binary(GateKind::And, a, b);
+  const int x2 = netlist.add_binary(GateKind::Or, x1, b);
+  const int x3 = netlist.add_unary(GateKind::Not, x2);
+  netlist.set_output("y", x3);
+  EXPECT_EQ(netlist.depth(), 3);
+  EXPECT_EQ(netlist.logic_gate_count(), 3u);
+}
+
+TEST(SynthCell, EveryBuiltinCellMatchesItsTruthTable) {
+  for (const auto& cell : sealpaa::adders::all_builtin_cells()) {
+    const Netlist netlist = synthesize_cell(cell);
+    for (std::size_t row = 0; row < 8; ++row) {
+      const bool a = (row & 4U) != 0;
+      const bool b = (row & 2U) != 0;
+      const bool c = (row & 1U) != 0;
+      const auto out = netlist.evaluate({a, b, c});
+      EXPECT_EQ(out[0], cell.rows()[row].sum)
+          << cell.name() << " sum, row " << row;
+      EXPECT_EQ(out[1], cell.rows()[row].carry)
+          << cell.name() << " carry, row " << row;
+    }
+  }
+}
+
+TEST(SynthCell, AccurateCellUsesCompactStructure) {
+  const Netlist netlist = synthesize_cell(accurate());
+  EXPECT_EQ(netlist.logic_gate_count(), 5u);  // 2 XOR + 2 AND + 1 OR
+  EXPECT_EQ(netlist.depth(), 3);
+}
+
+TEST(SynthCell, WireOnlyCellSynthesizesToZeroGates) {
+  // LPAA5 (sum = B, cout = A) is pure wiring — the synthesizer's
+  // single-literal detection must produce zero logic gates, matching the
+  // cell's 0 nW / 0 GE entry in Table 2.
+  const Netlist wire = synthesize_cell(lpaa(5));
+  EXPECT_EQ(wire.logic_gate_count(), 0u);
+  EXPECT_EQ(wire.depth(), 0);
+}
+
+TEST(SynthChain, MatchesBehaviouralChainOnRandomVectors) {
+  sealpaa::prob::Xoshiro256StarStar rng(101);
+  for (int cell = 1; cell <= 7; ++cell) {
+    const AdderChain chain = AdderChain::homogeneous(lpaa(cell), 8);
+    const Netlist netlist = synthesize_chain(chain);
+    for (int trial = 0; trial < 50; ++trial) {
+      const std::uint64_t a = rng.next() & 0xFF;
+      const std::uint64_t b = rng.next() & 0xFF;
+      const bool cin = rng.bernoulli(0.5);
+      std::vector<bool> inputs;
+      for (int i = 0; i < 8; ++i) inputs.push_back(((a >> i) & 1ULL) != 0);
+      for (int i = 0; i < 8; ++i) inputs.push_back(((b >> i) & 1ULL) != 0);
+      inputs.push_back(cin);
+      const auto out = netlist.evaluate(inputs);
+      const auto expected = chain.evaluate(a, b, cin);
+      for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(out[static_cast<std::size_t>(i)],
+                  ((expected.sum_bits >> i) & 1ULL) != 0)
+            << "LPAA" << cell << " bit " << i;
+      }
+      EXPECT_EQ(out[8], expected.carry_out) << "LPAA" << cell;
+    }
+  }
+}
+
+TEST(SynthChain, HybridChain) {
+  const AdderChain chain({lpaa(7), accurate(), lpaa(5)});
+  const Netlist netlist = synthesize_chain(chain);
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    for (std::uint64_t b = 0; b < 8; ++b) {
+      std::vector<bool> inputs;
+      for (int i = 0; i < 3; ++i) inputs.push_back(((a >> i) & 1ULL) != 0);
+      for (int i = 0; i < 3; ++i) inputs.push_back(((b >> i) & 1ULL) != 0);
+      inputs.push_back(false);
+      const auto out = netlist.evaluate(inputs);
+      const auto expected = chain.evaluate(a, b, false);
+      EXPECT_EQ(out[0], ((expected.sum_bits >> 0) & 1ULL) != 0);
+      EXPECT_EQ(out[3], expected.carry_out);
+    }
+  }
+}
+
+TEST(SynthGear, MatchesBehaviouralGear) {
+  const sealpaa::gear::GearConfig config(8, 2, 2);
+  const sealpaa::gear::GearAdder adder{config};
+  const Netlist netlist = synthesize_gear(config);
+  sealpaa::prob::Xoshiro256StarStar rng(103);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t a = rng.next() & 0xFF;
+    const std::uint64_t b = rng.next() & 0xFF;
+    std::vector<bool> inputs;
+    for (int i = 0; i < 8; ++i) inputs.push_back(((a >> i) & 1ULL) != 0);
+    for (int i = 0; i < 8; ++i) inputs.push_back(((b >> i) & 1ULL) != 0);
+    const auto out = netlist.evaluate(inputs);
+    const auto expected = adder.evaluate(a, b);
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(out[static_cast<std::size_t>(i)],
+                ((expected.sum_bits >> i) & 1ULL) != 0)
+          << "bit " << i << " a=" << a << " b=" << b;
+    }
+    EXPECT_EQ(out[8], expected.carry_out);
+  }
+}
+
+TEST(SignalProbabilities, ExactOnTreeCircuits) {
+  // For fan-out-free circuits the independence assumption is exact.
+  Netlist netlist;
+  const int a = netlist.add_input("a");
+  const int b = netlist.add_input("b");
+  const int c = netlist.add_input("c");
+  const int ab = netlist.add_binary(GateKind::And, a, b);
+  const int y = netlist.add_binary(GateKind::Xor, ab, c);
+  netlist.set_output("y", y);
+  const auto p = netlist.signal_probabilities({0.3, 0.6, 0.2});
+  EXPECT_NEAR(p[static_cast<std::size_t>(ab)], 0.18, 1e-12);
+  EXPECT_NEAR(p[static_cast<std::size_t>(y)],
+              0.18 + 0.2 - 2 * 0.18 * 0.2, 1e-12);
+}
+
+TEST(SwitchingActivity, ZeroForConstantInputs) {
+  const Netlist netlist = synthesize_cell(accurate());
+  EXPECT_NEAR(netlist.switching_activity({1.0, 1.0, 1.0}), 0.0, 1e-12);
+  EXPECT_GT(netlist.switching_activity({0.5, 0.5, 0.5}), 0.0);
+}
+
+TEST(SwitchingActivity, SimplerCellsToggleLess) {
+  // Gate-level switching activity should rank LPAA3 (smallest cell in
+  // Table 2) below AccuFA, consistent with its lower dynamic power.
+  const double accu =
+      synthesize_cell(accurate()).switching_activity({0.5, 0.5, 0.5});
+  const double cheap =
+      synthesize_cell(lpaa(5)).switching_activity({0.5, 0.5, 0.5});
+  EXPECT_LT(cheap, accu);
+}
+
+TEST(Verilog, ConstantNetsEmitLiterals) {
+  Netlist netlist;
+  (void)netlist.add_input("a");
+  const int zero = netlist.add_const(false);
+  const int one = netlist.add_const(true);
+  netlist.set_output("z", zero);
+  netlist.set_output("o", one);
+  const std::string text = sealpaa::rtl::to_verilog(netlist, "consts");
+  EXPECT_NE(text.find("= 1'b0;"), std::string::npos);
+  EXPECT_NE(text.find("= 1'b1;"), std::string::npos);
+  const auto out = netlist.evaluate({false});
+  EXPECT_FALSE(out[0]);
+  EXPECT_TRUE(out[1]);
+}
+
+TEST(Verilog, BufferGatesPassThrough) {
+  Netlist netlist;
+  const int a = netlist.add_input("a");
+  const int buf = netlist.add_unary(sealpaa::rtl::GateKind::Buf, a);
+  netlist.set_output("y", buf);
+  const std::string text = sealpaa::rtl::to_verilog(netlist, "bufm");
+  EXPECT_NE(text.find("assign n1 = a;"), std::string::npos);
+  EXPECT_TRUE(netlist.evaluate({true})[0]);
+  EXPECT_EQ(netlist.logic_gate_count(), 0u);  // Buf is not logic
+}
+
+TEST(Verilog, StructureOfEmittedModule) {
+  const std::string text =
+      sealpaa::rtl::to_verilog(synthesize_cell(lpaa(1)), "lpaa1_cell");
+  EXPECT_NE(text.find("module lpaa1_cell ("), std::string::npos);
+  EXPECT_NE(text.find("input  wire a"), std::string::npos);
+  EXPECT_NE(text.find("input  wire cin"), std::string::npos);
+  EXPECT_NE(text.find("output wire sum"), std::string::npos);
+  EXPECT_NE(text.find("output wire cout"), std::string::npos);
+  EXPECT_NE(text.find("endmodule"), std::string::npos);
+  EXPECT_NE(text.find("assign"), std::string::npos);
+}
+
+TEST(VerilogTestbench, ExhaustiveVectorsForSmallModules) {
+  const Netlist netlist = synthesize_cell(lpaa(1));
+  const std::string tb =
+      sealpaa::rtl::to_verilog_testbench(netlist, "lpaa1_cell");
+  EXPECT_NE(tb.find("module lpaa1_cell_tb;"), std::string::npos);
+  EXPECT_NE(tb.find("SEALPAA_TB_PASS"), std::string::npos);
+  EXPECT_NE(tb.find("$finish"), std::string::npos);
+  // 3 inputs -> 8 exhaustive checks.
+  std::size_t checks = 0;
+  std::size_t pos = 0;
+  while ((pos = tb.find("check(", pos)) != std::string::npos) {
+    ++checks;
+    pos += 6;
+  }
+  EXPECT_EQ(checks, 8u + 1u);  // 8 calls + the task declaration mention
+}
+
+TEST(VerilogTestbench, GoldenVectorsMatchTruthTable) {
+  // Spot-check the encoded expected values: vector (a=1,b=1,cin=0) for
+  // LPAA6 must expect sum=0, cout=0 (its error row 6).
+  const Netlist netlist = synthesize_cell(lpaa(6));
+  const std::string tb =
+      sealpaa::rtl::to_verilog_testbench(netlist, "lpaa6_cell");
+  // Input order: a=bit0, b=bit1, cin=bit2 -> vec 3'b011 means a=1,b=1.
+  EXPECT_NE(tb.find("check(3'b011, 2'b00);"), std::string::npos) << tb;
+  // (a=1,b=1,cin=1) -> sum=1, cout=1 -> out_vec bits (cout,sum) = 11.
+  EXPECT_NE(tb.find("check(3'b111, 2'b11);"), std::string::npos);
+}
+
+TEST(VerilogTestbench, SamplesLargeModules) {
+  const Netlist netlist =
+      synthesize_chain(AdderChain::homogeneous(accurate(), 10));  // 21 inputs
+  const std::string tb = sealpaa::rtl::to_verilog_testbench(
+      netlist, "rca10", /*exhaustive_limit=*/14, /*sample_count=*/50);
+  std::size_t checks = 0;
+  std::size_t pos = 0;
+  while ((pos = tb.find("      check(", pos)) != std::string::npos) {
+    ++checks;
+    pos += 10;
+  }
+  EXPECT_EQ(checks, 50u);
+}
+
+TEST(Verilog, EveryNetDeclaredBeforeUse) {
+  const std::string text = sealpaa::rtl::to_verilog(
+      synthesize_chain(AdderChain::homogeneous(lpaa(2), 4)), "chain4");
+  // Each assigned net must have a wire declaration.
+  std::size_t pos = 0;
+  int assigns = 0;
+  while ((pos = text.find("assign n", pos)) != std::string::npos) {
+    const std::size_t end = text.find(' ', pos + 7);
+    const std::string net = text.substr(pos + 7, end - pos - 7);
+    EXPECT_NE(text.find("wire " + net + ";"), std::string::npos) << net;
+    pos = end;
+    ++assigns;
+  }
+  EXPECT_GT(assigns, 10);
+}
+
+}  // namespace

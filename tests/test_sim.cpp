@@ -1,0 +1,199 @@
+// Simulator tests: exhaustive sweep vs analytical, Monte Carlo
+// convergence and the metrics accumulator.
+#include <gtest/gtest.h>
+
+#include "sealpaa/adders/builtin.hpp"
+#include "sealpaa/analysis/recursive.hpp"
+#include "sealpaa/multibit/input_profile.hpp"
+#include "sealpaa/sim/exhaustive.hpp"
+#include "sealpaa/sim/metrics.hpp"
+#include "sealpaa/sim/montecarlo.hpp"
+
+namespace {
+
+using sealpaa::adders::accurate;
+using sealpaa::adders::lpaa;
+using sealpaa::analysis::RecursiveAnalyzer;
+using sealpaa::multibit::AdderChain;
+using sealpaa::multibit::InputProfile;
+using sealpaa::sim::ErrorMetrics;
+using sealpaa::sim::ExhaustiveSimulator;
+using sealpaa::sim::MonteCarloSimulator;
+
+TEST(Metrics, BasicAccumulation) {
+  ErrorMetrics metrics;
+  metrics.add(10, 10, true);    // exact
+  metrics.add(12, 10, false);   // +2 error
+  metrics.add(7, 10, false);    // -3 error
+  EXPECT_EQ(metrics.cases(), 3u);
+  EXPECT_EQ(metrics.value_errors(), 2u);
+  EXPECT_EQ(metrics.stage_failures(), 2u);
+  EXPECT_NEAR(metrics.error_rate(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(metrics.mean_error(), (2.0 - 3.0) / 3.0, 1e-12);
+  EXPECT_NEAR(metrics.mean_abs_error(), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(metrics.mean_squared_error(), 13.0 / 3.0, 1e-12);
+  EXPECT_EQ(metrics.worst_case_error(), -3);
+}
+
+TEST(Metrics, MergeCombinesShards) {
+  ErrorMetrics a;
+  a.add(5, 5, true);
+  a.add(9, 5, false);
+  ErrorMetrics b;
+  b.add(0, 10, false);
+  a.merge(b);
+  EXPECT_EQ(a.cases(), 3u);
+  EXPECT_EQ(a.value_errors(), 2u);
+  EXPECT_EQ(a.worst_case_error(), -10);
+}
+
+TEST(Metrics, EmptyIsZero) {
+  const ErrorMetrics metrics;
+  EXPECT_DOUBLE_EQ(metrics.error_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.mean_squared_error(), 0.0);
+}
+
+TEST(ExhaustiveSim, StageFailureRateMatchesAnalyticalAtHalf) {
+  // With equally probable inputs the exhaustive rate is the exact
+  // probability; it must equal the recursive analyzer to double
+  // precision (the paper's "100 percent match", Table 6 row 1).
+  for (int cell = 1; cell <= 7; ++cell) {
+    const AdderChain chain = AdderChain::homogeneous(lpaa(cell), 6);
+    const auto report = ExhaustiveSimulator::run(chain);
+    const double analytical = RecursiveAnalyzer::error_probability(
+        lpaa(cell), InputProfile::uniform(6, 0.5));
+    EXPECT_NEAR(report.metrics.stage_failure_rate(), analytical, 1e-12)
+        << "LPAA" << cell;
+  }
+}
+
+TEST(ExhaustiveSim, AccurateChainHasNoErrors) {
+  const auto report =
+      ExhaustiveSimulator::run(AdderChain::homogeneous(accurate(), 7));
+  EXPECT_EQ(report.metrics.value_errors(), 0u);
+  EXPECT_EQ(report.metrics.stage_failures(), 0u);
+  EXPECT_EQ(report.metrics.cases(), 1ULL << 15);
+}
+
+TEST(ExhaustiveSim, CountsCasesAndOps) {
+  const auto report =
+      ExhaustiveSimulator::run(AdderChain::homogeneous(lpaa(1), 4));
+  EXPECT_EQ(report.metrics.cases(), 1ULL << 9);
+  EXPECT_EQ(report.bit_operations, (1ULL << 9) * 4);
+  EXPECT_GE(report.seconds, 0.0);
+}
+
+TEST(ExhaustiveSim, GuardRejectsHugeWidths) {
+  EXPECT_THROW(
+      (void)ExhaustiveSimulator::run(AdderChain::homogeneous(lpaa(1), 20)),
+      std::invalid_argument);
+}
+
+TEST(MonteCarlo, ConvergesToAnalyticalWithinCi) {
+  const std::size_t width = 8;
+  const InputProfile profile = InputProfile::uniform(width, 0.1);
+  for (int cell : {1, 5, 7}) {
+    const AdderChain chain = AdderChain::homogeneous(lpaa(cell), width);
+    const auto report = MonteCarloSimulator::run(chain, profile, 200000);
+    const double analytical =
+        RecursiveAnalyzer::error_probability(lpaa(cell), profile);
+    EXPECT_TRUE(report.stage_failure_ci.contains(analytical) ||
+                std::abs(report.metrics.stage_failure_rate() - analytical) <
+                    0.005)
+        << "LPAA" << cell << ": MC " << report.metrics.stage_failure_rate()
+        << " vs analytical " << analytical;
+  }
+}
+
+TEST(MonteCarlo, DeterministicForSeed) {
+  const InputProfile profile = InputProfile::uniform(6, 0.3);
+  const AdderChain chain = AdderChain::homogeneous(lpaa(4), 6);
+  const auto a = MonteCarloSimulator::run(chain, profile, 10000, 77);
+  const auto b = MonteCarloSimulator::run(chain, profile, 10000, 77);
+  EXPECT_EQ(a.metrics.stage_failures(), b.metrics.stage_failures());
+  EXPECT_EQ(a.metrics.value_errors(), b.metrics.value_errors());
+}
+
+TEST(MonteCarlo, DifferentSeedsGiveDifferentButCloseEstimates) {
+  const InputProfile profile = InputProfile::uniform(6, 0.3);
+  const AdderChain chain = AdderChain::homogeneous(lpaa(4), 6);
+  const auto a = MonteCarloSimulator::run(chain, profile, 50000, 1);
+  const auto b = MonteCarloSimulator::run(chain, profile, 50000, 2);
+  EXPECT_NE(a.metrics.stage_failures(), b.metrics.stage_failures());
+  EXPECT_NEAR(a.metrics.stage_failure_rate(), b.metrics.stage_failure_rate(),
+              0.02);
+}
+
+TEST(MonteCarlo, CiWidthShrinksWithSamples) {
+  const InputProfile profile = InputProfile::uniform(6, 0.5);
+  const AdderChain chain = AdderChain::homogeneous(lpaa(2), 6);
+  const auto small = MonteCarloSimulator::run(chain, profile, 1000);
+  const auto large = MonteCarloSimulator::run(chain, profile, 100000);
+  EXPECT_LT(large.stage_failure_ci.width(), small.stage_failure_ci.width());
+}
+
+TEST(MonteCarlo, WidthMismatchThrows) {
+  const InputProfile profile = InputProfile::uniform(4, 0.5);
+  const AdderChain chain = AdderChain::homogeneous(lpaa(1), 5);
+  EXPECT_THROW((void)MonteCarloSimulator::run(chain, profile, 10),
+               std::invalid_argument);
+}
+
+TEST(MonteCarloParallel, DeterministicForSeedAndThreadCount) {
+  const InputProfile profile = InputProfile::uniform(8, 0.25);
+  const AdderChain chain = AdderChain::homogeneous(lpaa(3), 8);
+  const auto a = MonteCarloSimulator::run_parallel(chain, profile, 40000, 4, 9);
+  const auto b = MonteCarloSimulator::run_parallel(chain, profile, 40000, 4, 9);
+  EXPECT_EQ(a.metrics.stage_failures(), b.metrics.stage_failures());
+  EXPECT_EQ(a.metrics.value_errors(), b.metrics.value_errors());
+  EXPECT_EQ(a.metrics.cases(), 40000u);
+}
+
+TEST(MonteCarloParallel, AgreesWithSerialWithinNoise) {
+  const InputProfile profile = InputProfile::uniform(8, 0.1);
+  const AdderChain chain = AdderChain::homogeneous(lpaa(6), 8);
+  const auto serial = MonteCarloSimulator::run(chain, profile, 100000);
+  const auto parallel =
+      MonteCarloSimulator::run_parallel(chain, profile, 100000, 3);
+  EXPECT_NEAR(serial.metrics.stage_failure_rate(),
+              parallel.metrics.stage_failure_rate(), 0.01);
+}
+
+TEST(MonteCarloParallel, SingleThreadEqualsSerial) {
+  const InputProfile profile = InputProfile::uniform(6, 0.4);
+  const AdderChain chain = AdderChain::homogeneous(lpaa(1), 6);
+  const auto serial = MonteCarloSimulator::run(chain, profile, 20000, 5);
+  const auto parallel =
+      MonteCarloSimulator::run_parallel(chain, profile, 20000, 1, 5);
+  EXPECT_EQ(serial.metrics.stage_failures(),
+            parallel.metrics.stage_failures());
+}
+
+TEST(MonteCarloParallel, OddSampleCountsFullyAccounted) {
+  const InputProfile profile = InputProfile::uniform(4, 0.5);
+  const AdderChain chain = AdderChain::homogeneous(lpaa(2), 4);
+  const auto report =
+      MonteCarloSimulator::run_parallel(chain, profile, 10007, 4);
+  EXPECT_EQ(report.metrics.cases(), 10007u);
+}
+
+TEST(MonteCarloParallel, Validation) {
+  const InputProfile profile = InputProfile::uniform(4, 0.5);
+  const AdderChain chain = AdderChain::homogeneous(lpaa(2), 4);
+  EXPECT_THROW(
+      (void)MonteCarloSimulator::run_parallel(chain, profile, 100, 0),
+      std::invalid_argument);
+}
+
+TEST(MonteCarlo, ValueErrorsNeverExceedStageFailures) {
+  // A value error requires some stage to have deviated.
+  const InputProfile profile = InputProfile::uniform(10, 0.4);
+  for (int cell = 1; cell <= 7; ++cell) {
+    const AdderChain chain = AdderChain::homogeneous(lpaa(cell), 10);
+    const auto report = MonteCarloSimulator::run(chain, profile, 20000);
+    EXPECT_LE(report.metrics.value_errors(), report.metrics.stage_failures())
+        << "LPAA" << cell;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+// Sum-bit probability analysis vs direct enumeration.
+#include <gtest/gtest.h>
+
+#include "sealpaa/adders/builtin.hpp"
+#include "sealpaa/analysis/sum_bits.hpp"
+#include "sealpaa/multibit/chain.hpp"
+#include "sealpaa/multibit/input_profile.hpp"
+#include "sealpaa/prob/rng.hpp"
+
+namespace {
+
+using sealpaa::adders::accurate;
+using sealpaa::adders::lpaa;
+using sealpaa::analysis::SumBitAnalyzer;
+using sealpaa::analysis::SumVectors;
+using sealpaa::multibit::AdderChain;
+using sealpaa::multibit::InputProfile;
+
+// Enumerates all weighted assignments and accumulates per-bit events.
+struct Enumerated {
+  std::vector<double> p_sum_one;
+  std::vector<double> p_sum_one_and_success;
+  std::vector<double> p_carry_one;
+};
+
+Enumerated enumerate(const AdderChain& chain, const InputProfile& profile) {
+  const std::size_t n = chain.width();
+  Enumerated out;
+  out.p_sum_one.assign(n, 0.0);
+  out.p_sum_one_and_success.assign(n, 0.0);
+  out.p_carry_one.assign(n, 0.0);
+  const std::uint64_t limit = 1ULL << n;
+  for (std::uint64_t a = 0; a < limit; ++a) {
+    for (std::uint64_t b = 0; b < limit; ++b) {
+      for (int cin = 0; cin < 2; ++cin) {
+        const double weight = profile.assignment_probability(a, b, cin != 0);
+        if (weight == 0.0) continue;
+        bool carry = cin != 0;
+        bool success = true;
+        for (std::size_t i = 0; i < n; ++i) {
+          const bool ab = ((a >> i) & 1ULL) != 0;
+          const bool bb = ((b >> i) & 1ULL) != 0;
+          const std::size_t row =
+              sealpaa::adders::AdderCell::row_index(ab, bb, carry);
+          const auto bits = chain.stage(i).rows()[row];
+          success = success && chain.stage(i).row_is_success(row);
+          if (bits.sum) out.p_sum_one[i] += weight;
+          if (bits.sum && success) out.p_sum_one_and_success[i] += weight;
+          carry = bits.carry;
+          if (carry) out.p_carry_one[i] += weight;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TEST(SumVectors, DerivedFromTruthTable) {
+  const SumVectors v = SumVectors::from_cell(lpaa(7));
+  // LPAA7 sum column: 0,1,1,1,1,1,0,1.
+  const double expected_sum[8] = {0, 1, 1, 1, 1, 1, 0, 1};
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(v.sum_one[i], expected_sum[i]) << i;
+  }
+  // Success rows of LPAA7 are all but 3 and 5 (sum errors).
+  EXPECT_DOUBLE_EQ(v.sum_one_and_success[3], 0.0);
+  EXPECT_DOUBLE_EQ(v.sum_one_and_success[5], 0.0);
+  EXPECT_DOUBLE_EQ(v.sum_one_and_success[1], 1.0);
+}
+
+TEST(SumBits, MatchEnumerationOnRandomProfiles) {
+  sealpaa::prob::Xoshiro256StarStar rng(71);
+  for (int cell : {1, 3, 5, 6, 7}) {
+    const std::size_t width = 6;
+    const InputProfile profile = InputProfile::random(width, rng);
+    const AdderChain chain = AdderChain::homogeneous(lpaa(cell), width);
+    const auto report = SumBitAnalyzer::analyze(chain, profile);
+    const Enumerated expected = enumerate(chain, profile);
+    for (std::size_t i = 0; i < width; ++i) {
+      EXPECT_NEAR(report.p_sum_one[i], expected.p_sum_one[i], 1e-12)
+          << "LPAA" << cell << " bit " << i;
+      EXPECT_NEAR(report.p_sum_one_and_success[i],
+                  expected.p_sum_one_and_success[i], 1e-12)
+          << "LPAA" << cell << " bit " << i;
+      EXPECT_NEAR(report.p_carry_one[i], expected.p_carry_one[i], 1e-12)
+          << "LPAA" << cell << " bit " << i;
+    }
+  }
+}
+
+TEST(SumBits, PrefixSuccessIsMonotone) {
+  const InputProfile profile = InputProfile::uniform(12, 0.35);
+  const AdderChain chain = AdderChain::homogeneous(lpaa(2), 12);
+  const auto report = SumBitAnalyzer::analyze(chain, profile);
+  double previous = 1.0;
+  for (double mass : report.p_prefix_success) {
+    EXPECT_LE(mass, previous + 1e-12);
+    previous = mass;
+  }
+}
+
+TEST(SumBits, ExactReferenceMatchesAccurateChainSignals) {
+  // For an exact chain the approximate signal probabilities must equal
+  // the exact-adder reference column.
+  const InputProfile profile = InputProfile::uniform(8, 0.7);
+  const AdderChain chain = AdderChain::homogeneous(accurate(), 8);
+  const auto report = SumBitAnalyzer::analyze(chain, profile);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(report.p_sum_one[i], report.p_sum_one_exact[i], 1e-12) << i;
+  }
+}
+
+TEST(SumBits, UniformHalfInputsGiveHalfSignals) {
+  // With p = 0.5 everywhere the exact adder's sum bits are unbiased.
+  const InputProfile profile = InputProfile::uniform(10, 0.5);
+  const AdderChain chain = AdderChain::homogeneous(accurate(), 10);
+  const auto report = SumBitAnalyzer::analyze(chain, profile);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(report.p_sum_one[i], 0.5, 1e-12) << i;
+    EXPECT_NEAR(report.p_carry_one[i], 0.5, 1e-12) << i;
+  }
+}
+
+TEST(SumBits, WidthMismatchThrows) {
+  const InputProfile profile = InputProfile::uniform(4, 0.5);
+  const AdderChain chain = AdderChain::homogeneous(lpaa(1), 5);
+  EXPECT_THROW((void)SumBitAnalyzer::analyze(chain, profile),
+               std::invalid_argument);
+}
+
+}  // namespace

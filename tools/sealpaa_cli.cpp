@@ -1,0 +1,246 @@
+// sealpaa — the consolidated command-line front end of the library,
+// the "rapid adoption" deliverable the paper's §1.2 motivates.
+//
+//   sealpaa_cli cells
+//   sealpaa_cli analyze --cell=LPAA6 --bits=8 --p=0.5 [--trace] [--rho=0.3]
+//   sealpaa_cli sweep   --cell=LPAA1 --p=0.1 --max-bits=16
+//   sealpaa_cli bounds  --cell=LPAA6 --p=0.5 --epsilon=0.1 [--bits=16]
+//   sealpaa_cli hybrid  --bits=8 [--profile=0.9,...] [--budget-nw=2500]
+//   sealpaa_cli gear    --n=16 --r=4 --p=4 [--p-input=0.5]
+//   sealpaa_cli synth   --kind=cell|chain|gear --cell=... --bits=... [--out=f.v]
+#include <iostream>
+#include <sstream>
+
+#include "sealpaa/sealpaa.hpp"
+
+namespace {
+
+using namespace sealpaa;
+
+int usage() {
+  std::cout <<
+      "sealpaa - statistical error analysis for low power approximate "
+      "adders (DAC'17)\n\n"
+      "commands:\n"
+      "  cells                       list built-in cells + characteristics\n"
+      "  analyze  --cell --bits --p  error probability of a homogeneous chain\n"
+      "           [--trace] [--rho]  (--rho adds operand correlation)\n"
+      "  sweep    --cell --p         P(E) vs width table\n"
+      "           [--max-bits]\n"
+      "  bounds   --cell --p         max cascadable width / approximable LSBs\n"
+      "           --epsilon [--bits]\n"
+      "  hybrid   --bits [--profile] best per-stage cell mix (beam search)\n"
+      "           [--budget-nw]\n"
+      "  gear     --n --r --p        GeAr exact error + correction stats\n"
+      "           [--p-input]\n"
+      "  synth    --kind --cell      emit Verilog (cell|chain|gear)\n"
+      "           [--bits|--n --r --p] [--out]\n";
+  return 2;
+}
+
+const adders::AdderCell& cell_arg(const util::CliArgs& args) {
+  const std::string name = args.get("cell", "LPAA1");
+  const adders::AdderCell* cell = adders::find_builtin(name);
+  if (cell == nullptr) {
+    std::cerr << "unknown cell '" << name << "' (try: sealpaa_cli cells)\n";
+    std::exit(2);
+  }
+  return *cell;
+}
+
+int cmd_cells() {
+  util::TextTable table({"Cell", "Error cases", "Power (nW)", "Area (GE)",
+                         "Description"});
+  for (const adders::AdderCell& cell : adders::all_builtin_cells()) {
+    const auto* row = adders::find_characteristics(cell);
+    table.add_row({cell.name(), std::to_string(cell.error_case_count()),
+                   row != nullptr && row->power_nw
+                       ? util::fixed(*row->power_nw, 0)
+                       : "n/a",
+                   row != nullptr && row->area_ge
+                       ? util::fixed(*row->area_ge, 2)
+                       : "n/a",
+                   cell.description()});
+  }
+  std::cout << table;
+  return 0;
+}
+
+int cmd_analyze(const util::CliArgs& args) {
+  const adders::AdderCell& cell = cell_arg(args);
+  const std::size_t bits = static_cast<std::size_t>(args.get_int("bits", 8));
+  const double p = args.get_double("p", 0.5);
+  const multibit::InputProfile marginals =
+      multibit::InputProfile::uniform(bits, p);
+  const auto chain = multibit::AdderChain::homogeneous(cell, bits);
+
+  analysis::AnalysisResult result;
+  if (args.has("rho")) {
+    const double rho = args.get_double("rho", 0.0);
+    const auto joint = multibit::JointInputProfile::correlated(marginals, rho);
+    analysis::AnalyzeOptions options;
+    options.record_trace = args.get_bool("trace", false);
+    result = analysis::CorrelatedAnalyzer::analyze(chain, joint, options);
+    std::cout << chain.describe() << "  p=" << util::fixed(p, 3)
+              << "  rho=" << util::fixed(rho, 2) << "\n";
+  } else {
+    analysis::AnalyzeOptions options;
+    options.record_trace = args.get_bool("trace", false);
+    result = analysis::RecursiveAnalyzer::analyze(chain, marginals, options);
+    std::cout << chain.describe() << "  p=" << util::fixed(p, 3) << "\n";
+  }
+  std::cout << "P(Success) = " << util::prob6(result.p_success)
+            << "\nP(Error)   = " << util::prob6(result.p_error) << "\n";
+  if (!result.trace.empty()) {
+    util::TextTable table({"stage", "P(!C & Succ)", "P(C & Succ)"});
+    table.set_align(1, util::Align::Right);
+    table.set_align(2, util::Align::Right);
+    for (std::size_t i = 0; i < result.trace.size(); ++i) {
+      table.add_row({std::to_string(i),
+                     util::prob6(result.trace[i].carry_out.c0),
+                     util::prob6(result.trace[i].carry_out.c1)});
+    }
+    std::cout << table;
+  }
+  return 0;
+}
+
+int cmd_sweep(const util::CliArgs& args) {
+  const adders::AdderCell& cell = cell_arg(args);
+  const double p = args.get_double("p", 0.5);
+  const std::size_t max_bits =
+      static_cast<std::size_t>(args.get_int("max-bits", 16));
+  util::TextTable table({"bits", "P(Error)"});
+  table.set_align(0, util::Align::Right);
+  table.set_align(1, util::Align::Right);
+  for (std::size_t bits = 1; bits <= max_bits; ++bits) {
+    table.add_row({std::to_string(bits),
+                   util::prob6(analysis::RecursiveAnalyzer::error_probability(
+                       cell, multibit::InputProfile::uniform(bits, p)))});
+  }
+  std::cout << table;
+  return 0;
+}
+
+int cmd_bounds(const util::CliArgs& args) {
+  const adders::AdderCell& cell = cell_arg(args);
+  const double p = args.get_double("p", 0.5);
+  const double epsilon = args.get_double("epsilon", 0.1);
+  const std::size_t bits = static_cast<std::size_t>(args.get_int("bits", 16));
+  std::cout << "tolerance epsilon = " << util::fixed(epsilon, 4) << ", p = "
+            << util::fixed(p, 3) << "\n";
+  std::cout << "max cascadable width of " << cell.name() << ": "
+            << analysis::max_cascadable_width(cell, p, epsilon) << " bits\n";
+  std::cout << "max approximate LSBs in a " << bits << "-bit hybrid: "
+            << analysis::max_approximate_lsbs(cell, bits, p, epsilon)
+            << "\n";
+  return 0;
+}
+
+int cmd_hybrid(const util::CliArgs& args) {
+  const std::size_t bits = static_cast<std::size_t>(args.get_int("bits", 8));
+  std::vector<double> p_bits;
+  const std::string profile_csv = args.get("profile", "");
+  if (profile_csv.empty()) {
+    p_bits.assign(bits, 0.5);
+  } else {
+    std::stringstream stream(profile_csv);
+    std::string token;
+    while (std::getline(stream, token, ',')) p_bits.push_back(std::stod(token));
+    if (p_bits.size() != bits) {
+      std::cerr << "profile must list exactly " << bits << " values\n";
+      return 2;
+    }
+  }
+  const multibit::InputProfile profile(p_bits, p_bits, p_bits.front());
+  explore::DesignConstraints constraints;
+  std::vector<adders::AdderCell> candidates(adders::builtin_lpaas().begin(),
+                                            adders::builtin_lpaas().end());
+  if (args.has("budget-nw")) {
+    constraints.max_power_nw = args.get_double("budget-nw", 3000.0);
+    candidates.clear();
+    for (int i = 1; i <= 5; ++i) candidates.push_back(adders::lpaa(i));
+    candidates.push_back(adders::accurate());
+  }
+  const auto design =
+      explore::HybridOptimizer::beam(profile, candidates, constraints, 512);
+  std::cout << "best hybrid: " << design.chain().describe() << "\n"
+            << "P(Error) = " << util::prob6(design.p_error) << "\n";
+  if (design.power_nw) {
+    std::cout << "power = " << util::fixed(*design.power_nw, 0) << " nW\n";
+  }
+  return 0;
+}
+
+int cmd_gear(const util::CliArgs& args) {
+  const gear::GearConfig config(static_cast<int>(args.get_int("n", 16)),
+                                static_cast<int>(args.get_int("r", 4)),
+                                static_cast<int>(args.get_int("p", 4)));
+  const double p_input = args.get_double("p-input", 0.5);
+  const auto profile = multibit::InputProfile::uniform(
+      static_cast<std::size_t>(config.n()), p_input);
+  const auto analysis = gear::GearAnalyzer::analyze(config, profile);
+  std::cout << config.describe() << "  p = " << util::fixed(p_input, 3)
+            << "\n";
+  std::cout << "P(Error) exact        = "
+            << util::prob6(analysis.p_error_exact_dp) << "\n";
+  std::cout << "P(Error) indep approx = "
+            << util::prob6(analysis.p_error_independent_approx) << "\n";
+  std::cout << "E[recovery cycles]    = "
+            << util::fixed(gear::expected_recovery_cycles(config, profile), 4)
+            << "\n";
+  return 0;
+}
+
+int cmd_synth(const util::CliArgs& args) {
+  const std::string kind = args.get("kind", "cell");
+  rtl::Netlist netlist;
+  std::string module_name;
+  if (kind == "cell") {
+    const adders::AdderCell& cell = cell_arg(args);
+    netlist = rtl::synthesize_cell(cell);
+    module_name = cell.name() + "_cell";
+  } else if (kind == "chain") {
+    const adders::AdderCell& cell = cell_arg(args);
+    const std::size_t bits = static_cast<std::size_t>(args.get_int("bits", 8));
+    netlist =
+        rtl::synthesize_chain(multibit::AdderChain::homogeneous(cell, bits));
+    module_name = cell.name() + "_rca" + std::to_string(bits);
+  } else if (kind == "gear") {
+    const gear::GearConfig config(static_cast<int>(args.get_int("n", 8)),
+                                  static_cast<int>(args.get_int("r", 2)),
+                                  static_cast<int>(args.get_int("p", 2)));
+    netlist = rtl::synthesize_gear(config);
+    module_name = "gear_n" + std::to_string(config.n());
+  } else {
+    std::cerr << "unknown --kind=" << kind << "\n";
+    return 2;
+  }
+  netlist = rtl::optimize(netlist);
+  std::cout << rtl::to_verilog(netlist, module_name);
+  if (args.get_bool("tb", false)) {
+    std::cout << "\n" << rtl::to_verilog_testbench(netlist, module_name);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  if (args.positional().empty()) return usage();
+  const std::string command = args.positional().front();
+  try {
+    if (command == "cells") return cmd_cells();
+    if (command == "analyze") return cmd_analyze(args);
+    if (command == "sweep") return cmd_sweep(args);
+    if (command == "bounds") return cmd_bounds(args);
+    if (command == "hybrid") return cmd_hybrid(args);
+    if (command == "gear") return cmd_gear(args);
+    if (command == "synth") return cmd_synth(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
