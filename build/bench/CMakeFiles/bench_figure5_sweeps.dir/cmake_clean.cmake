@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure5_sweeps.dir/bench_figure5_sweeps.cpp.o"
+  "CMakeFiles/bench_figure5_sweeps.dir/bench_figure5_sweeps.cpp.o.d"
+  "bench_figure5_sweeps"
+  "bench_figure5_sweeps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure5_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_analyzer.dir/bench_perf_analyzer.cpp.o"
+  "CMakeFiles/bench_perf_analyzer.dir/bench_perf_analyzer.cpp.o.d"
+  "bench_perf_analyzer"
+  "bench_perf_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

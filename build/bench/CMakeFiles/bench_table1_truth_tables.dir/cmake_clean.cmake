@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_truth_tables.dir/bench_table1_truth_tables.cpp.o"
+  "CMakeFiles/bench_table1_truth_tables.dir/bench_table1_truth_tables.cpp.o.d"
+  "bench_table1_truth_tables"
+  "bench_table1_truth_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_truth_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

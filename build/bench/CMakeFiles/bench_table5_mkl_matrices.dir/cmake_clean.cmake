@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_mkl_matrices.dir/bench_table5_mkl_matrices.cpp.o"
+  "CMakeFiles/bench_table5_mkl_matrices.dir/bench_table5_mkl_matrices.cpp.o.d"
+  "bench_table5_mkl_matrices"
+  "bench_table5_mkl_matrices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_mkl_matrices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

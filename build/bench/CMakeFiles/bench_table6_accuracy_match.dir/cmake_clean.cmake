@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_accuracy_match.dir/bench_table6_accuracy_match.cpp.o"
+  "CMakeFiles/bench_table6_accuracy_match.dir/bench_table6_accuracy_match.cpp.o.d"
+  "bench_table6_accuracy_match"
+  "bench_table6_accuracy_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_accuracy_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x10_workload_profiles.dir/bench_x10_workload_profiles.cpp.o"
+  "CMakeFiles/bench_x10_workload_profiles.dir/bench_x10_workload_profiles.cpp.o.d"
+  "bench_x10_workload_profiles"
+  "bench_x10_workload_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x10_workload_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x1_sum_bits.dir/bench_x1_sum_bits.cpp.o"
+  "CMakeFiles/bench_x1_sum_bits.dir/bench_x1_sum_bits.cpp.o.d"
+  "bench_x1_sum_bits"
+  "bench_x1_sum_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x1_sum_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

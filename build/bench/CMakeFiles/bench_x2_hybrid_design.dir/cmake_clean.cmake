@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x2_hybrid_design.dir/bench_x2_hybrid_design.cpp.o"
+  "CMakeFiles/bench_x2_hybrid_design.dir/bench_x2_hybrid_design.cpp.o.d"
+  "bench_x2_hybrid_design"
+  "bench_x2_hybrid_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x2_hybrid_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_x2_hybrid_design.
+# This may be replaced when dependencies are built.

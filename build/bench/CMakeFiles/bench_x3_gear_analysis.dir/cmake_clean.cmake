@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x3_gear_analysis.dir/bench_x3_gear_analysis.cpp.o"
+  "CMakeFiles/bench_x3_gear_analysis.dir/bench_x3_gear_analysis.cpp.o.d"
+  "bench_x3_gear_analysis"
+  "bench_x3_gear_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x3_gear_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x4_masking_gap.dir/bench_x4_masking_gap.cpp.o"
+  "CMakeFiles/bench_x4_masking_gap.dir/bench_x4_masking_gap.cpp.o.d"
+  "bench_x4_masking_gap"
+  "bench_x4_masking_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x4_masking_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

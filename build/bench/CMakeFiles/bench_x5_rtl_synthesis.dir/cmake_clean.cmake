@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x5_rtl_synthesis.dir/bench_x5_rtl_synthesis.cpp.o"
+  "CMakeFiles/bench_x5_rtl_synthesis.dir/bench_x5_rtl_synthesis.cpp.o.d"
+  "bench_x5_rtl_synthesis"
+  "bench_x5_rtl_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x5_rtl_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

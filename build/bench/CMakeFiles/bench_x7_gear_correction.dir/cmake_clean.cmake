@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x7_gear_correction.dir/bench_x7_gear_correction.cpp.o"
+  "CMakeFiles/bench_x7_gear_correction.dir/bench_x7_gear_correction.cpp.o.d"
+  "bench_x7_gear_correction"
+  "bench_x7_gear_correction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x7_gear_correction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_x7_gear_correction.
+# This may be replaced when dependencies are built.

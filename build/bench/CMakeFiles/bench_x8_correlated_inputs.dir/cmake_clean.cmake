@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x8_correlated_inputs.dir/bench_x8_correlated_inputs.cpp.o"
+  "CMakeFiles/bench_x8_correlated_inputs.dir/bench_x8_correlated_inputs.cpp.o.d"
+  "bench_x8_correlated_inputs"
+  "bench_x8_correlated_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x8_correlated_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x9_segmented_adders.dir/bench_x9_segmented_adders.cpp.o"
+  "CMakeFiles/bench_x9_segmented_adders.dir/bench_x9_segmented_adders.cpp.o.d"
+  "bench_x9_segmented_adders"
+  "bench_x9_segmented_adders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x9_segmented_adders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_edge_detect.dir/edge_detect.cpp.o"
+  "CMakeFiles/example_edge_detect.dir/edge_detect.cpp.o.d"
+  "example_edge_detect"
+  "example_edge_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_edge_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fir_filter.dir/fir_filter.cpp.o"
+  "CMakeFiles/example_fir_filter.dir/fir_filter.cpp.o.d"
+  "example_fir_filter"
+  "example_fir_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fir_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

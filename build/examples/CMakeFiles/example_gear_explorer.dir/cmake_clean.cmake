@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_gear_explorer.dir/gear_explorer.cpp.o"
+  "CMakeFiles/example_gear_explorer.dir/gear_explorer.cpp.o.d"
+  "example_gear_explorer"
+  "example_gear_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_gear_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hybrid_designer.dir/hybrid_designer.cpp.o"
+  "CMakeFiles/example_hybrid_designer.dir/hybrid_designer.cpp.o.d"
+  "example_hybrid_designer"
+  "example_hybrid_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hybrid_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_image_blend.dir/image_blend.cpp.o"
+  "CMakeFiles/example_image_blend.dir/image_blend.cpp.o.d"
+  "example_image_blend"
+  "example_image_blend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_image_blend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_nn_inference.dir/nn_inference.cpp.o"
+  "CMakeFiles/example_nn_inference.dir/nn_inference.cpp.o.d"
+  "example_nn_inference"
+  "example_nn_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_nn_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_verilog_export.dir/verilog_export.cpp.o"
+  "CMakeFiles/example_verilog_export.dir/verilog_export.cpp.o.d"
+  "example_verilog_export"
+  "example_verilog_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_verilog_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

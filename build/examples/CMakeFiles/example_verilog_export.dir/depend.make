@@ -1,0 +1,2 @@
+# Empty dependencies file for example_verilog_export.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sealpaa/adders/builtin.cpp" "src/CMakeFiles/sealpaa_adders.dir/sealpaa/adders/builtin.cpp.o" "gcc" "src/CMakeFiles/sealpaa_adders.dir/sealpaa/adders/builtin.cpp.o.d"
+  "/root/repo/src/sealpaa/adders/cell.cpp" "src/CMakeFiles/sealpaa_adders.dir/sealpaa/adders/cell.cpp.o" "gcc" "src/CMakeFiles/sealpaa_adders.dir/sealpaa/adders/cell.cpp.o.d"
+  "/root/repo/src/sealpaa/adders/characteristics.cpp" "src/CMakeFiles/sealpaa_adders.dir/sealpaa/adders/characteristics.cpp.o" "gcc" "src/CMakeFiles/sealpaa_adders.dir/sealpaa/adders/characteristics.cpp.o.d"
+  "/root/repo/src/sealpaa/adders/expr.cpp" "src/CMakeFiles/sealpaa_adders.dir/sealpaa/adders/expr.cpp.o" "gcc" "src/CMakeFiles/sealpaa_adders.dir/sealpaa/adders/expr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sealpaa_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sealpaa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sealpaa_adders.dir/sealpaa/adders/builtin.cpp.o"
+  "CMakeFiles/sealpaa_adders.dir/sealpaa/adders/builtin.cpp.o.d"
+  "CMakeFiles/sealpaa_adders.dir/sealpaa/adders/cell.cpp.o"
+  "CMakeFiles/sealpaa_adders.dir/sealpaa/adders/cell.cpp.o.d"
+  "CMakeFiles/sealpaa_adders.dir/sealpaa/adders/characteristics.cpp.o"
+  "CMakeFiles/sealpaa_adders.dir/sealpaa/adders/characteristics.cpp.o.d"
+  "CMakeFiles/sealpaa_adders.dir/sealpaa/adders/expr.cpp.o"
+  "CMakeFiles/sealpaa_adders.dir/sealpaa/adders/expr.cpp.o.d"
+  "libsealpaa_adders.a"
+  "libsealpaa_adders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sealpaa_adders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

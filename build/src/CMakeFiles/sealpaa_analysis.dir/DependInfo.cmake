@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sealpaa/analysis/bounds.cpp" "src/CMakeFiles/sealpaa_analysis.dir/sealpaa/analysis/bounds.cpp.o" "gcc" "src/CMakeFiles/sealpaa_analysis.dir/sealpaa/analysis/bounds.cpp.o.d"
+  "/root/repo/src/sealpaa/analysis/correlated.cpp" "src/CMakeFiles/sealpaa_analysis.dir/sealpaa/analysis/correlated.cpp.o" "gcc" "src/CMakeFiles/sealpaa_analysis.dir/sealpaa/analysis/correlated.cpp.o.d"
+  "/root/repo/src/sealpaa/analysis/costs.cpp" "src/CMakeFiles/sealpaa_analysis.dir/sealpaa/analysis/costs.cpp.o" "gcc" "src/CMakeFiles/sealpaa_analysis.dir/sealpaa/analysis/costs.cpp.o.d"
+  "/root/repo/src/sealpaa/analysis/joint.cpp" "src/CMakeFiles/sealpaa_analysis.dir/sealpaa/analysis/joint.cpp.o" "gcc" "src/CMakeFiles/sealpaa_analysis.dir/sealpaa/analysis/joint.cpp.o.d"
+  "/root/repo/src/sealpaa/analysis/mkl.cpp" "src/CMakeFiles/sealpaa_analysis.dir/sealpaa/analysis/mkl.cpp.o" "gcc" "src/CMakeFiles/sealpaa_analysis.dir/sealpaa/analysis/mkl.cpp.o.d"
+  "/root/repo/src/sealpaa/analysis/recursive.cpp" "src/CMakeFiles/sealpaa_analysis.dir/sealpaa/analysis/recursive.cpp.o" "gcc" "src/CMakeFiles/sealpaa_analysis.dir/sealpaa/analysis/recursive.cpp.o.d"
+  "/root/repo/src/sealpaa/analysis/sum_bits.cpp" "src/CMakeFiles/sealpaa_analysis.dir/sealpaa/analysis/sum_bits.cpp.o" "gcc" "src/CMakeFiles/sealpaa_analysis.dir/sealpaa/analysis/sum_bits.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sealpaa_multibit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sealpaa_adders.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sealpaa_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sealpaa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

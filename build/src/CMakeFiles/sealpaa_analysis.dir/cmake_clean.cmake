@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sealpaa_analysis.dir/sealpaa/analysis/bounds.cpp.o"
+  "CMakeFiles/sealpaa_analysis.dir/sealpaa/analysis/bounds.cpp.o.d"
+  "CMakeFiles/sealpaa_analysis.dir/sealpaa/analysis/correlated.cpp.o"
+  "CMakeFiles/sealpaa_analysis.dir/sealpaa/analysis/correlated.cpp.o.d"
+  "CMakeFiles/sealpaa_analysis.dir/sealpaa/analysis/costs.cpp.o"
+  "CMakeFiles/sealpaa_analysis.dir/sealpaa/analysis/costs.cpp.o.d"
+  "CMakeFiles/sealpaa_analysis.dir/sealpaa/analysis/joint.cpp.o"
+  "CMakeFiles/sealpaa_analysis.dir/sealpaa/analysis/joint.cpp.o.d"
+  "CMakeFiles/sealpaa_analysis.dir/sealpaa/analysis/mkl.cpp.o"
+  "CMakeFiles/sealpaa_analysis.dir/sealpaa/analysis/mkl.cpp.o.d"
+  "CMakeFiles/sealpaa_analysis.dir/sealpaa/analysis/recursive.cpp.o"
+  "CMakeFiles/sealpaa_analysis.dir/sealpaa/analysis/recursive.cpp.o.d"
+  "CMakeFiles/sealpaa_analysis.dir/sealpaa/analysis/sum_bits.cpp.o"
+  "CMakeFiles/sealpaa_analysis.dir/sealpaa/analysis/sum_bits.cpp.o.d"
+  "libsealpaa_analysis.a"
+  "libsealpaa_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sealpaa_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

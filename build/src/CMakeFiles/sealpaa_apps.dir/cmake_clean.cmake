@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sealpaa_apps.dir/sealpaa/apps/fir.cpp.o"
+  "CMakeFiles/sealpaa_apps.dir/sealpaa/apps/fir.cpp.o.d"
+  "CMakeFiles/sealpaa_apps.dir/sealpaa/apps/image.cpp.o"
+  "CMakeFiles/sealpaa_apps.dir/sealpaa/apps/image.cpp.o.d"
+  "CMakeFiles/sealpaa_apps.dir/sealpaa/apps/sobel.cpp.o"
+  "CMakeFiles/sealpaa_apps.dir/sealpaa/apps/sobel.cpp.o.d"
+  "libsealpaa_apps.a"
+  "libsealpaa_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sealpaa_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

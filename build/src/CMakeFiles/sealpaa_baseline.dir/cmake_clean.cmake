@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sealpaa_baseline.dir/sealpaa/baseline/inclusion_exclusion.cpp.o"
+  "CMakeFiles/sealpaa_baseline.dir/sealpaa/baseline/inclusion_exclusion.cpp.o.d"
+  "CMakeFiles/sealpaa_baseline.dir/sealpaa/baseline/weighted_exhaustive.cpp.o"
+  "CMakeFiles/sealpaa_baseline.dir/sealpaa/baseline/weighted_exhaustive.cpp.o.d"
+  "libsealpaa_baseline.a"
+  "libsealpaa_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sealpaa_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

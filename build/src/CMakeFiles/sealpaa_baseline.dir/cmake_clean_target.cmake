@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsealpaa_baseline.a"
+)

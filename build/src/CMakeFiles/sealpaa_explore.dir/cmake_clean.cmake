@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sealpaa_explore.dir/sealpaa/explore/hybrid.cpp.o"
+  "CMakeFiles/sealpaa_explore.dir/sealpaa/explore/hybrid.cpp.o.d"
+  "CMakeFiles/sealpaa_explore.dir/sealpaa/explore/pareto.cpp.o"
+  "CMakeFiles/sealpaa_explore.dir/sealpaa/explore/pareto.cpp.o.d"
+  "CMakeFiles/sealpaa_explore.dir/sealpaa/explore/robustness.cpp.o"
+  "CMakeFiles/sealpaa_explore.dir/sealpaa/explore/robustness.cpp.o.d"
+  "libsealpaa_explore.a"
+  "libsealpaa_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sealpaa_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

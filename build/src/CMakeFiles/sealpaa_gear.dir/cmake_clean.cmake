@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sealpaa_gear.dir/sealpaa/gear/correction.cpp.o"
+  "CMakeFiles/sealpaa_gear.dir/sealpaa/gear/correction.cpp.o.d"
+  "CMakeFiles/sealpaa_gear.dir/sealpaa/gear/gear.cpp.o"
+  "CMakeFiles/sealpaa_gear.dir/sealpaa/gear/gear.cpp.o.d"
+  "libsealpaa_gear.a"
+  "libsealpaa_gear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sealpaa_gear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

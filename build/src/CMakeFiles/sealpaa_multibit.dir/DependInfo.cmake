@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sealpaa/multibit/chain.cpp" "src/CMakeFiles/sealpaa_multibit.dir/sealpaa/multibit/chain.cpp.o" "gcc" "src/CMakeFiles/sealpaa_multibit.dir/sealpaa/multibit/chain.cpp.o.d"
+  "/root/repo/src/sealpaa/multibit/csa.cpp" "src/CMakeFiles/sealpaa_multibit.dir/sealpaa/multibit/csa.cpp.o" "gcc" "src/CMakeFiles/sealpaa_multibit.dir/sealpaa/multibit/csa.cpp.o.d"
+  "/root/repo/src/sealpaa/multibit/input_profile.cpp" "src/CMakeFiles/sealpaa_multibit.dir/sealpaa/multibit/input_profile.cpp.o" "gcc" "src/CMakeFiles/sealpaa_multibit.dir/sealpaa/multibit/input_profile.cpp.o.d"
+  "/root/repo/src/sealpaa/multibit/joint_profile.cpp" "src/CMakeFiles/sealpaa_multibit.dir/sealpaa/multibit/joint_profile.cpp.o" "gcc" "src/CMakeFiles/sealpaa_multibit.dir/sealpaa/multibit/joint_profile.cpp.o.d"
+  "/root/repo/src/sealpaa/multibit/loa.cpp" "src/CMakeFiles/sealpaa_multibit.dir/sealpaa/multibit/loa.cpp.o" "gcc" "src/CMakeFiles/sealpaa_multibit.dir/sealpaa/multibit/loa.cpp.o.d"
+  "/root/repo/src/sealpaa/multibit/profile_estimation.cpp" "src/CMakeFiles/sealpaa_multibit.dir/sealpaa/multibit/profile_estimation.cpp.o" "gcc" "src/CMakeFiles/sealpaa_multibit.dir/sealpaa/multibit/profile_estimation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sealpaa_adders.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sealpaa_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sealpaa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sealpaa_multibit.dir/sealpaa/multibit/chain.cpp.o"
+  "CMakeFiles/sealpaa_multibit.dir/sealpaa/multibit/chain.cpp.o.d"
+  "CMakeFiles/sealpaa_multibit.dir/sealpaa/multibit/csa.cpp.o"
+  "CMakeFiles/sealpaa_multibit.dir/sealpaa/multibit/csa.cpp.o.d"
+  "CMakeFiles/sealpaa_multibit.dir/sealpaa/multibit/input_profile.cpp.o"
+  "CMakeFiles/sealpaa_multibit.dir/sealpaa/multibit/input_profile.cpp.o.d"
+  "CMakeFiles/sealpaa_multibit.dir/sealpaa/multibit/joint_profile.cpp.o"
+  "CMakeFiles/sealpaa_multibit.dir/sealpaa/multibit/joint_profile.cpp.o.d"
+  "CMakeFiles/sealpaa_multibit.dir/sealpaa/multibit/loa.cpp.o"
+  "CMakeFiles/sealpaa_multibit.dir/sealpaa/multibit/loa.cpp.o.d"
+  "CMakeFiles/sealpaa_multibit.dir/sealpaa/multibit/profile_estimation.cpp.o"
+  "CMakeFiles/sealpaa_multibit.dir/sealpaa/multibit/profile_estimation.cpp.o.d"
+  "libsealpaa_multibit.a"
+  "libsealpaa_multibit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sealpaa_multibit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sealpaa_multiplier.dir/sealpaa/multiplier/array_multiplier.cpp.o"
+  "CMakeFiles/sealpaa_multiplier.dir/sealpaa/multiplier/array_multiplier.cpp.o.d"
+  "libsealpaa_multiplier.a"
+  "libsealpaa_multiplier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sealpaa_multiplier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sealpaa/prob/probability.cpp" "src/CMakeFiles/sealpaa_prob.dir/sealpaa/prob/probability.cpp.o" "gcc" "src/CMakeFiles/sealpaa_prob.dir/sealpaa/prob/probability.cpp.o.d"
+  "/root/repo/src/sealpaa/prob/rng.cpp" "src/CMakeFiles/sealpaa_prob.dir/sealpaa/prob/rng.cpp.o" "gcc" "src/CMakeFiles/sealpaa_prob.dir/sealpaa/prob/rng.cpp.o.d"
+  "/root/repo/src/sealpaa/prob/stats.cpp" "src/CMakeFiles/sealpaa_prob.dir/sealpaa/prob/stats.cpp.o" "gcc" "src/CMakeFiles/sealpaa_prob.dir/sealpaa/prob/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sealpaa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sealpaa_prob.dir/sealpaa/prob/probability.cpp.o"
+  "CMakeFiles/sealpaa_prob.dir/sealpaa/prob/probability.cpp.o.d"
+  "CMakeFiles/sealpaa_prob.dir/sealpaa/prob/rng.cpp.o"
+  "CMakeFiles/sealpaa_prob.dir/sealpaa/prob/rng.cpp.o.d"
+  "CMakeFiles/sealpaa_prob.dir/sealpaa/prob/stats.cpp.o"
+  "CMakeFiles/sealpaa_prob.dir/sealpaa/prob/stats.cpp.o.d"
+  "libsealpaa_prob.a"
+  "libsealpaa_prob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sealpaa_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

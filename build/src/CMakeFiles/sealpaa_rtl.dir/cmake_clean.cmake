@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sealpaa_rtl.dir/sealpaa/rtl/netlist.cpp.o"
+  "CMakeFiles/sealpaa_rtl.dir/sealpaa/rtl/netlist.cpp.o.d"
+  "CMakeFiles/sealpaa_rtl.dir/sealpaa/rtl/optimize.cpp.o"
+  "CMakeFiles/sealpaa_rtl.dir/sealpaa/rtl/optimize.cpp.o.d"
+  "CMakeFiles/sealpaa_rtl.dir/sealpaa/rtl/synth.cpp.o"
+  "CMakeFiles/sealpaa_rtl.dir/sealpaa/rtl/synth.cpp.o.d"
+  "CMakeFiles/sealpaa_rtl.dir/sealpaa/rtl/verilog.cpp.o"
+  "CMakeFiles/sealpaa_rtl.dir/sealpaa/rtl/verilog.cpp.o.d"
+  "libsealpaa_rtl.a"
+  "libsealpaa_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sealpaa_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sealpaa_sim.dir/sealpaa/sim/exhaustive.cpp.o"
+  "CMakeFiles/sealpaa_sim.dir/sealpaa/sim/exhaustive.cpp.o.d"
+  "CMakeFiles/sealpaa_sim.dir/sealpaa/sim/metrics.cpp.o"
+  "CMakeFiles/sealpaa_sim.dir/sealpaa/sim/metrics.cpp.o.d"
+  "CMakeFiles/sealpaa_sim.dir/sealpaa/sim/montecarlo.cpp.o"
+  "CMakeFiles/sealpaa_sim.dir/sealpaa/sim/montecarlo.cpp.o.d"
+  "libsealpaa_sim.a"
+  "libsealpaa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sealpaa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sealpaa/util/cli.cpp" "src/CMakeFiles/sealpaa_util.dir/sealpaa/util/cli.cpp.o" "gcc" "src/CMakeFiles/sealpaa_util.dir/sealpaa/util/cli.cpp.o.d"
+  "/root/repo/src/sealpaa/util/counters.cpp" "src/CMakeFiles/sealpaa_util.dir/sealpaa/util/counters.cpp.o" "gcc" "src/CMakeFiles/sealpaa_util.dir/sealpaa/util/counters.cpp.o.d"
+  "/root/repo/src/sealpaa/util/csv.cpp" "src/CMakeFiles/sealpaa_util.dir/sealpaa/util/csv.cpp.o" "gcc" "src/CMakeFiles/sealpaa_util.dir/sealpaa/util/csv.cpp.o.d"
+  "/root/repo/src/sealpaa/util/format.cpp" "src/CMakeFiles/sealpaa_util.dir/sealpaa/util/format.cpp.o" "gcc" "src/CMakeFiles/sealpaa_util.dir/sealpaa/util/format.cpp.o.d"
+  "/root/repo/src/sealpaa/util/table.cpp" "src/CMakeFiles/sealpaa_util.dir/sealpaa/util/table.cpp.o" "gcc" "src/CMakeFiles/sealpaa_util.dir/sealpaa/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sealpaa_util.dir/sealpaa/util/cli.cpp.o"
+  "CMakeFiles/sealpaa_util.dir/sealpaa/util/cli.cpp.o.d"
+  "CMakeFiles/sealpaa_util.dir/sealpaa/util/counters.cpp.o"
+  "CMakeFiles/sealpaa_util.dir/sealpaa/util/counters.cpp.o.d"
+  "CMakeFiles/sealpaa_util.dir/sealpaa/util/csv.cpp.o"
+  "CMakeFiles/sealpaa_util.dir/sealpaa/util/csv.cpp.o.d"
+  "CMakeFiles/sealpaa_util.dir/sealpaa/util/format.cpp.o"
+  "CMakeFiles/sealpaa_util.dir/sealpaa/util/format.cpp.o.d"
+  "CMakeFiles/sealpaa_util.dir/sealpaa/util/table.cpp.o"
+  "CMakeFiles/sealpaa_util.dir/sealpaa/util/table.cpp.o.d"
+  "libsealpaa_util.a"
+  "libsealpaa_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sealpaa_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

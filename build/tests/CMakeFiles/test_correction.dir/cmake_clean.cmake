@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_correction.dir/test_correction.cpp.o"
+  "CMakeFiles/test_correction.dir/test_correction.cpp.o.d"
+  "test_correction"
+  "test_correction.pdb"
+  "test_correction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_correction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

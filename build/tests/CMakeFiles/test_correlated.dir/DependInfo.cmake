@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_correlated.cpp" "tests/CMakeFiles/test_correlated.dir/test_correlated.cpp.o" "gcc" "tests/CMakeFiles/test_correlated.dir/test_correlated.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sealpaa_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sealpaa_explore.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sealpaa_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sealpaa_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sealpaa_gear.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sealpaa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sealpaa_multiplier.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sealpaa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sealpaa_multibit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sealpaa_adders.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sealpaa_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sealpaa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

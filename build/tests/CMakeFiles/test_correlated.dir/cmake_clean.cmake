@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_correlated.dir/test_correlated.cpp.o"
+  "CMakeFiles/test_correlated.dir/test_correlated.cpp.o.d"
+  "test_correlated"
+  "test_correlated.pdb"
+  "test_correlated[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_correlated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gear.dir/test_gear.cpp.o"
+  "CMakeFiles/test_gear.dir/test_gear.cpp.o.d"
+  "test_gear"
+  "test_gear.pdb"
+  "test_gear[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

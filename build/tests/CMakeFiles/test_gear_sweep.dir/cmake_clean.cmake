@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gear_sweep.dir/test_gear_sweep.cpp.o"
+  "CMakeFiles/test_gear_sweep.dir/test_gear_sweep.cpp.o.d"
+  "test_gear_sweep"
+  "test_gear_sweep.pdb"
+  "test_gear_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gear_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

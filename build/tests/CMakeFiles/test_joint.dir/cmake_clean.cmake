@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_joint.dir/test_joint.cpp.o"
+  "CMakeFiles/test_joint.dir/test_joint.cpp.o.d"
+  "test_joint"
+  "test_joint.pdb"
+  "test_joint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_joint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

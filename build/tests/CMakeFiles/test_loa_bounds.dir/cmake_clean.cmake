@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loa_bounds.dir/test_loa_bounds.cpp.o"
+  "CMakeFiles/test_loa_bounds.dir/test_loa_bounds.cpp.o.d"
+  "test_loa_bounds"
+  "test_loa_bounds.pdb"
+  "test_loa_bounds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loa_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mkl.dir/test_mkl.cpp.o"
+  "CMakeFiles/test_mkl.dir/test_mkl.cpp.o.d"
+  "test_mkl"
+  "test_mkl.pdb"
+  "test_mkl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mkl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

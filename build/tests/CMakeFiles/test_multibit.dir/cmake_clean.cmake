@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multibit.dir/test_multibit.cpp.o"
+  "CMakeFiles/test_multibit.dir/test_multibit.cpp.o.d"
+  "test_multibit"
+  "test_multibit.pdb"
+  "test_multibit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multibit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

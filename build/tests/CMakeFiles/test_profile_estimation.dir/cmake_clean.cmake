@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profile_estimation.dir/test_profile_estimation.cpp.o"
+  "CMakeFiles/test_profile_estimation.dir/test_profile_estimation.cpp.o.d"
+  "test_profile_estimation"
+  "test_profile_estimation.pdb"
+  "test_profile_estimation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profile_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

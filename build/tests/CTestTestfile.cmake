@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_adders[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline[1]_include.cmake")
+include("/root/repo/build/tests/test_correction[1]_include.cmake")
+include("/root/repo/build/tests/test_correlated[1]_include.cmake")
+include("/root/repo/build/tests/test_costs[1]_include.cmake")
+include("/root/repo/build/tests/test_explore[1]_include.cmake")
+include("/root/repo/build/tests/test_expr[1]_include.cmake")
+include("/root/repo/build/tests/test_gear[1]_include.cmake")
+include("/root/repo/build/tests/test_gear_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_joint[1]_include.cmake")
+include("/root/repo/build/tests/test_loa_bounds[1]_include.cmake")
+include("/root/repo/build/tests/test_mkl[1]_include.cmake")
+include("/root/repo/build/tests/test_multibit[1]_include.cmake")
+include("/root/repo/build/tests/test_multiplier[1]_include.cmake")
+include("/root/repo/build/tests/test_prob[1]_include.cmake")
+include("/root/repo/build/tests/test_profile_estimation[1]_include.cmake")
+include("/root/repo/build/tests/test_property_sweeps[1]_include.cmake")
+include("/root/repo/build/tests/test_recursive[1]_include.cmake")
+include("/root/repo/build/tests/test_rtl[1]_include.cmake")
+include("/root/repo/build/tests/test_rtl_optimize[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_sum_bits[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sealpaa_cli.dir/sealpaa_cli.cpp.o"
+  "CMakeFiles/sealpaa_cli.dir/sealpaa_cli.cpp.o.d"
+  "sealpaa_cli"
+  "sealpaa_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sealpaa_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

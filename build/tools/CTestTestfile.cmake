@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_usage "/root/repo/build/tools/sealpaa_cli")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_cells "/root/repo/build/tools/sealpaa_cli" "cells")
+set_tests_properties(cli_cells PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_analyze "/root/repo/build/tools/sealpaa_cli" "analyze" "--cell=LPAA6" "--bits=8" "--p=0.5" "--trace")
+set_tests_properties(cli_analyze PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_analyze_rho "/root/repo/build/tools/sealpaa_cli" "analyze" "--cell=LPAA1" "--bits=8" "--p=0.5" "--rho=0.5")
+set_tests_properties(cli_analyze_rho PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sweep "/root/repo/build/tools/sealpaa_cli" "sweep" "--cell=LPAA7" "--p=0.1" "--max-bits=12")
+set_tests_properties(cli_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bounds "/root/repo/build/tools/sealpaa_cli" "bounds" "--cell=LPAA7" "--p=0.1" "--epsilon=0.05")
+set_tests_properties(cli_bounds PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_hybrid "/root/repo/build/tools/sealpaa_cli" "hybrid" "--bits=6")
+set_tests_properties(cli_hybrid PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_hybrid_budget "/root/repo/build/tools/sealpaa_cli" "hybrid" "--bits=6" "--budget-nw=4000")
+set_tests_properties(cli_hybrid_budget PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_gear "/root/repo/build/tools/sealpaa_cli" "gear" "--n=16" "--r=4" "--p=4")
+set_tests_properties(cli_gear PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_synth "/root/repo/build/tools/sealpaa_cli" "synth" "--kind=chain" "--cell=LPAA2" "--bits=4")
+set_tests_properties(cli_synth PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_cell "/root/repo/build/tools/sealpaa_cli" "analyze" "--cell=NOPE")
+set_tests_properties(cli_bad_cell PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_gear "/root/repo/build/tools/sealpaa_cli" "gear" "--n=9" "--r=2" "--p=2")
+set_tests_properties(cli_bad_gear PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_analyze_value "/root/repo/build/tools/sealpaa_cli" "analyze" "--cell=LPAA6" "--bits=8" "--p=0.5")
+set_tests_properties(cli_analyze_value PROPERTIES  PASS_REGULAR_EXPRESSION "P\\(Error\\)   = 0\\.899887" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;28;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_synth_module "/root/repo/build/tools/sealpaa_cli" "synth" "--kind=cell" "--cell=LPAA5")
+set_tests_properties(cli_synth_module PROPERTIES  PASS_REGULAR_EXPRESSION "module LPAA5_cell" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;32;add_test;/root/repo/tools/CMakeLists.txt;0;")
