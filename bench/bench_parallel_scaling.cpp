@@ -1,0 +1,88 @@
+// Thread-scaling of the parallel execution core: exhaustive simulation,
+// weighted enumeration, Monte Carlo and the hybrid DSE sharded over 1–8
+// workers.  Real time is the comparison axis (CPU time sums over
+// workers); on an 8-core host the 12-bit exhaustive sweep should show
+// >= 3x speedup at 8 threads with bit-identical metrics throughout.
+#include <benchmark/benchmark.h>
+
+#include "sealpaa/adders/builtin.hpp"
+#include "sealpaa/baseline/weighted_exhaustive.hpp"
+#include "sealpaa/explore/hybrid.hpp"
+#include "sealpaa/multibit/input_profile.hpp"
+#include "sealpaa/sim/exhaustive.hpp"
+#include "sealpaa/sim/montecarlo.hpp"
+
+namespace {
+
+using sealpaa::adders::builtin_lpaas;
+using sealpaa::adders::lpaa;
+using sealpaa::multibit::AdderChain;
+using sealpaa::multibit::InputProfile;
+
+void BM_ExhaustiveSim12BitThreads(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  const AdderChain chain = AdderChain::homogeneous(lpaa(6), 12);
+  double check = 0.0;
+  for (auto _ : state) {
+    const auto report = sealpaa::sim::ExhaustiveSimulator::run(chain, 13,
+                                                               threads);
+    check = report.metrics.stage_failure_rate();
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["p_error"] = check;  // must match across thread counts
+}
+BENCHMARK(BM_ExhaustiveSim12BitThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WeightedExhaustive10BitThreads(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  const AdderChain chain = AdderChain::homogeneous(lpaa(1), 10);
+  const InputProfile profile = InputProfile::uniform(10, 0.3);
+  double check = 0.0;
+  for (auto _ : state) {
+    const auto report = sealpaa::baseline::WeightedExhaustive::analyze(
+        chain, profile, 14, threads);
+    check = report.p_stage_success;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["p_success"] = check;
+}
+BENCHMARK(BM_WeightedExhaustive10BitThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MonteCarlo1MThreads(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  const AdderChain chain = AdderChain::homogeneous(lpaa(5), 16);
+  const InputProfile profile = InputProfile::uniform(16, 0.2);
+  for (auto _ : state) {
+    const auto report = sealpaa::sim::MonteCarloSimulator::run_parallel(
+        chain, profile, 1'000'000, threads);
+    benchmark::DoNotOptimize(report.metrics.stage_failure_rate());
+  }
+}
+BENCHMARK(BM_MonteCarlo1MThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HybridExhaustive7x7Threads(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  const InputProfile profile = InputProfile::uniform(7, 0.35);
+  for (auto _ : state) {
+    const auto design = sealpaa::explore::HybridOptimizer::exhaustive(
+        profile, builtin_lpaas(), {}, 50'000'000, threads);
+    benchmark::DoNotOptimize(design.p_error);
+  }
+}
+BENCHMARK(BM_HybridExhaustive7x7Threads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,15 +1,116 @@
 #include "sealpaa/baseline/weighted_exhaustive.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 #include "sealpaa/prob/kahan.hpp"
+#include "sealpaa/util/parallel.hpp"
 
 namespace sealpaa::baseline {
 
+namespace {
+
+// Partial sums of one shard of the enumeration.  Kahan compensation is
+// kept per shard; the ordered reduction then folds the compensated shard
+// values with a second Kahan pass, so the totals stay honest to the last
+// ulp and are bit-identical for every thread count.
+struct EnumerationShard {
+  prob::KahanSum stage_success;
+  prob::KahanSum value_correct;
+  prob::KahanSum sum_bits_correct;
+  prob::KahanSum mean_error;
+  prob::KahanSum mean_abs;
+  prob::KahanSum mean_sq;
+  std::int64_t worst_case_error = 0;
+  std::map<std::int64_t, double> error_distribution;
+};
+
+struct EnumerationTotals {
+  prob::KahanSum stage_success;
+  prob::KahanSum value_correct;
+  prob::KahanSum sum_bits_correct;
+  prob::KahanSum mean_error;
+  prob::KahanSum mean_abs;
+  prob::KahanSum mean_sq;
+  std::int64_t worst_case_error = 0;
+  std::map<std::int64_t, double> error_distribution;
+};
+
+// Scores one weighted (a, b, cin) case into `shard`.
+void accumulate_case(const multibit::AdderChain& chain, std::uint64_t a,
+                     std::uint64_t b, bool cin, double weight, std::size_t n,
+                     EnumerationShard& shard) {
+  const multibit::TracedAddResult traced = chain.evaluate_traced(a, b, cin);
+  const multibit::AddResult exact = multibit::exact_add(a, b, cin, n);
+
+  if (traced.all_stages_success) shard.stage_success.add(weight);
+  const std::uint64_t approx_value = traced.outputs.value(n);
+  const std::uint64_t exact_value = exact.value(n);
+  if (approx_value == exact_value) shard.value_correct.add(weight);
+  if (traced.outputs.sum_bits == exact.sum_bits) {
+    shard.sum_bits_correct.add(weight);
+  }
+
+  const std::int64_t error = static_cast<std::int64_t>(approx_value) -
+                             static_cast<std::int64_t>(exact_value);
+  shard.mean_error.add(weight * static_cast<double>(error));
+  shard.mean_abs.add(weight * std::abs(static_cast<double>(error)));
+  shard.mean_sq.add(weight * static_cast<double>(error) *
+                    static_cast<double>(error));
+  if (std::llabs(error) > std::llabs(shard.worst_case_error)) {
+    shard.worst_case_error = error;
+  }
+  shard.error_distribution[error] += weight;
+}
+
+// Ordered merge: shards arrive in ascending `a`-range order, so ties in
+// the worst-case comparison and the per-key distribution additions
+// resolve exactly as in a sequential sweep.
+void merge_shard(EnumerationTotals& totals, EnumerationShard&& shard) {
+  totals.stage_success.add(shard.stage_success.value());
+  totals.value_correct.add(shard.value_correct.value());
+  totals.sum_bits_correct.add(shard.sum_bits_correct.value());
+  totals.mean_error.add(shard.mean_error.value());
+  totals.mean_abs.add(shard.mean_abs.value());
+  totals.mean_sq.add(shard.mean_sq.value());
+  if (std::llabs(shard.worst_case_error) >
+      std::llabs(totals.worst_case_error)) {
+    totals.worst_case_error = shard.worst_case_error;
+  }
+  for (const auto& [error, weight] : shard.error_distribution) {
+    totals.error_distribution[error] += weight;
+  }
+}
+
+ExhaustiveReport report_from(EnumerationTotals&& totals,
+                             std::uint64_t assignments,
+                             util::ShardTimings&& timings) {
+  ExhaustiveReport report;
+  report.assignments = assignments;
+  report.p_stage_success = totals.stage_success.value();
+  report.p_value_correct = totals.value_correct.value();
+  report.p_sum_bits_correct = totals.sum_bits_correct.value();
+  report.mean_error = totals.mean_error.value();
+  report.mean_abs_error = totals.mean_abs.value();
+  report.mean_squared_error = totals.mean_sq.value();
+  report.worst_case_error = totals.worst_case_error;
+  report.error_distribution = std::move(totals.error_distribution);
+  report.shard_timings = std::move(timings);
+  return report;
+}
+
+// Shard grain along the `a` operand; a function of the width only so the
+// enumeration is bit-stable across thread counts.
+std::uint64_t enumeration_grain(std::uint64_t limit) {
+  return std::max<std::uint64_t>(1, limit / 64);
+}
+
+}  // namespace
+
 ExhaustiveReport WeightedExhaustive::analyze(
     const multibit::AdderChain& chain, const multibit::InputProfile& profile,
-    std::size_t max_width) {
+    std::size_t max_width, unsigned threads) {
   if (chain.width() != profile.width()) {
     throw std::invalid_argument(
         "WeightedExhaustive: chain and profile widths differ");
@@ -34,73 +135,50 @@ ExhaustiveReport WeightedExhaustive::analyze(
     pb0[i] = 1.0 - pb1[i];
   }
 
-  ExhaustiveReport report;
   const std::uint64_t limit = 1ULL << n;
-  report.assignments = limit * limit * 2;
+  util::ShardTimings timings;
+  EnumerationTotals totals = util::with_pool(threads, [&](util::ThreadPool&
+                                                              pool) {
+    return util::parallel_map_reduce(
+        pool, 0, limit, enumeration_grain(limit), EnumerationTotals{},
+        [&](std::uint64_t a_begin, std::uint64_t a_end) {
+          EnumerationShard shard;
+          for (std::uint64_t a = a_begin; a < a_end; ++a) {
+            double weight_a = 1.0;
+            for (std::size_t i = 0; i < n; ++i) {
+              weight_a *= ((a >> i) & 1ULL) != 0 ? pa1[i] : pa0[i];
+            }
+            if (weight_a == 0.0) continue;
+            for (std::uint64_t b = 0; b < limit; ++b) {
+              double weight_ab = weight_a;
+              for (std::size_t i = 0; i < n; ++i) {
+                weight_ab *= ((b >> i) & 1ULL) != 0 ? pb1[i] : pb0[i];
+              }
+              if (weight_ab == 0.0) continue;
+              for (int cin = 0; cin < 2; ++cin) {
+                const double weight =
+                    weight_ab *
+                    (cin != 0 ? profile.p_cin() : 1.0 - profile.p_cin());
+                if (weight == 0.0) continue;
+                accumulate_case(chain, a, b, cin != 0, weight, n, shard);
+              }
+            }
+          }
+          return shard;
+        },
+        [](EnumerationTotals& acc, EnumerationShard&& shard) {
+          merge_shard(acc, std::move(shard));
+        },
+        &timings);
+  });
 
-  prob::KahanSum stage_success;
-  prob::KahanSum value_correct;
-  prob::KahanSum sum_bits_correct;
-  prob::KahanSum mean_error;
-  prob::KahanSum mean_abs;
-  prob::KahanSum mean_sq;
-
-  for (std::uint64_t a = 0; a < limit; ++a) {
-    double weight_a = 1.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      weight_a *= ((a >> i) & 1ULL) != 0 ? pa1[i] : pa0[i];
-    }
-    if (weight_a == 0.0) continue;
-    for (std::uint64_t b = 0; b < limit; ++b) {
-      double weight_ab = weight_a;
-      for (std::size_t i = 0; i < n; ++i) {
-        weight_ab *= ((b >> i) & 1ULL) != 0 ? pb1[i] : pb0[i];
-      }
-      if (weight_ab == 0.0) continue;
-      for (int cin = 0; cin < 2; ++cin) {
-        const double weight =
-            weight_ab * (cin != 0 ? profile.p_cin() : 1.0 - profile.p_cin());
-        if (weight == 0.0) continue;
-
-        const multibit::TracedAddResult traced =
-            chain.evaluate_traced(a, b, cin != 0);
-        const multibit::AddResult exact =
-            multibit::exact_add(a, b, cin != 0, n);
-
-        if (traced.all_stages_success) stage_success.add(weight);
-        const std::uint64_t approx_value = traced.outputs.value(n);
-        const std::uint64_t exact_value = exact.value(n);
-        if (approx_value == exact_value) value_correct.add(weight);
-        if (traced.outputs.sum_bits == exact.sum_bits) {
-          sum_bits_correct.add(weight);
-        }
-
-        const std::int64_t error = static_cast<std::int64_t>(approx_value) -
-                                   static_cast<std::int64_t>(exact_value);
-        mean_error.add(weight * static_cast<double>(error));
-        mean_abs.add(weight * std::abs(static_cast<double>(error)));
-        mean_sq.add(weight * static_cast<double>(error) *
-                    static_cast<double>(error));
-        if (std::llabs(error) > std::llabs(report.worst_case_error)) {
-          report.worst_case_error = error;
-        }
-        report.error_distribution[error] += weight;
-      }
-    }
-  }
-
-  report.p_stage_success = stage_success.value();
-  report.p_value_correct = value_correct.value();
-  report.p_sum_bits_correct = sum_bits_correct.value();
-  report.mean_error = mean_error.value();
-  report.mean_abs_error = mean_abs.value();
-  report.mean_squared_error = mean_sq.value();
-  return report;
+  return report_from(std::move(totals), limit * limit * 2, std::move(timings));
 }
 
 ExhaustiveReport WeightedExhaustive::analyze_joint(
     const multibit::AdderChain& chain,
-    const multibit::JointInputProfile& profile, std::size_t max_width) {
+    const multibit::JointInputProfile& profile, std::size_t max_width,
+    unsigned threads) {
   if (chain.width() != profile.width()) {
     throw std::invalid_argument(
         "WeightedExhaustive::analyze_joint: widths differ");
@@ -111,64 +189,41 @@ ExhaustiveReport WeightedExhaustive::analyze_joint(
         "WeightedExhaustive::analyze_joint: width exceeds the guard");
   }
 
-  ExhaustiveReport report;
   const std::uint64_t limit = 1ULL << n;
-  report.assignments = limit * limit * 2;
+  util::ShardTimings timings;
+  EnumerationTotals totals = util::with_pool(threads, [&](util::ThreadPool&
+                                                              pool) {
+    return util::parallel_map_reduce(
+        pool, 0, limit, enumeration_grain(limit), EnumerationTotals{},
+        [&](std::uint64_t a_begin, std::uint64_t a_end) {
+          EnumerationShard shard;
+          for (std::uint64_t a = a_begin; a < a_end; ++a) {
+            for (std::uint64_t b = 0; b < limit; ++b) {
+              double weight_ab = 1.0;
+              for (std::size_t i = 0; i < n; ++i) {
+                const std::size_t idx =
+                    (((a >> i) & 1ULL) << 1) | ((b >> i) & 1ULL);
+                weight_ab *= profile.joint(i)[idx];
+              }
+              if (weight_ab == 0.0) continue;
+              for (int cin = 0; cin < 2; ++cin) {
+                const double weight =
+                    weight_ab *
+                    (cin != 0 ? profile.p_cin() : 1.0 - profile.p_cin());
+                if (weight == 0.0) continue;
+                accumulate_case(chain, a, b, cin != 0, weight, n, shard);
+              }
+            }
+          }
+          return shard;
+        },
+        [](EnumerationTotals& acc, EnumerationShard&& shard) {
+          merge_shard(acc, std::move(shard));
+        },
+        &timings);
+  });
 
-  prob::KahanSum stage_success;
-  prob::KahanSum value_correct;
-  prob::KahanSum sum_bits_correct;
-  prob::KahanSum mean_error;
-  prob::KahanSum mean_abs;
-  prob::KahanSum mean_sq;
-
-  for (std::uint64_t a = 0; a < limit; ++a) {
-    for (std::uint64_t b = 0; b < limit; ++b) {
-      double weight_ab = 1.0;
-      for (std::size_t i = 0; i < n; ++i) {
-        const std::size_t idx =
-            (((a >> i) & 1ULL) << 1) | ((b >> i) & 1ULL);
-        weight_ab *= profile.joint(i)[idx];
-      }
-      if (weight_ab == 0.0) continue;
-      for (int cin = 0; cin < 2; ++cin) {
-        const double weight =
-            weight_ab * (cin != 0 ? profile.p_cin() : 1.0 - profile.p_cin());
-        if (weight == 0.0) continue;
-
-        const multibit::TracedAddResult traced =
-            chain.evaluate_traced(a, b, cin != 0);
-        const multibit::AddResult exact =
-            multibit::exact_add(a, b, cin != 0, n);
-
-        if (traced.all_stages_success) stage_success.add(weight);
-        const std::uint64_t approx_value = traced.outputs.value(n);
-        const std::uint64_t exact_value = exact.value(n);
-        if (approx_value == exact_value) value_correct.add(weight);
-        if (traced.outputs.sum_bits == exact.sum_bits) {
-          sum_bits_correct.add(weight);
-        }
-        const std::int64_t error = static_cast<std::int64_t>(approx_value) -
-                                   static_cast<std::int64_t>(exact_value);
-        mean_error.add(weight * static_cast<double>(error));
-        mean_abs.add(weight * std::abs(static_cast<double>(error)));
-        mean_sq.add(weight * static_cast<double>(error) *
-                    static_cast<double>(error));
-        if (std::llabs(error) > std::llabs(report.worst_case_error)) {
-          report.worst_case_error = error;
-        }
-        report.error_distribution[error] += weight;
-      }
-    }
-  }
-
-  report.p_stage_success = stage_success.value();
-  report.p_value_correct = value_correct.value();
-  report.p_sum_bits_correct = sum_bits_correct.value();
-  report.mean_error = mean_error.value();
-  report.mean_abs_error = mean_abs.value();
-  report.mean_squared_error = mean_sq.value();
-  return report;
+  return report_from(std::move(totals), limit * limit * 2, std::move(timings));
 }
 
 }  // namespace sealpaa::baseline

@@ -14,6 +14,7 @@
 #include "sealpaa/multibit/chain.hpp"
 #include "sealpaa/multibit/input_profile.hpp"
 #include "sealpaa/multibit/joint_profile.hpp"
+#include "sealpaa/util/counters.hpp"
 
 namespace sealpaa::baseline {
 
@@ -29,23 +30,29 @@ struct ExhaustiveReport {
   std::int64_t worst_case_error = 0;  // max |approx - exact| over support
   /// Full signed-error distribution: error value -> probability.
   std::map<std::int64_t, double> error_distribution;
+  util::ShardTimings shard_timings;   // per-shard breakdown
 };
 
 class WeightedExhaustive {
  public:
-  /// Enumerates all assignments.  Throws std::invalid_argument when the
-  /// widths mismatch or the width exceeds `max_width` (guard against
-  /// accidentally requesting a 2^41-case enumeration).
+  /// Enumerates all assignments, sharded along the `a` operand over a
+  /// thread pool (`threads == 0` → the shared pool).  Shard boundaries
+  /// and the ordered Kahan reduction depend only on the width, so every
+  /// thread count produces a bit-identical report.  Throws
+  /// std::invalid_argument when the widths mismatch or the width exceeds
+  /// `max_width` (guard against accidentally requesting a 2^41-case
+  /// enumeration).
   [[nodiscard]] static ExhaustiveReport analyze(
       const multibit::AdderChain& chain,
-      const multibit::InputProfile& profile, std::size_t max_width = 14);
+      const multibit::InputProfile& profile, std::size_t max_width = 14,
+      unsigned threads = 0);
 
   /// Ground truth for correlated-operand profiles (validates
-  /// analysis::CorrelatedAnalyzer).
+  /// analysis::CorrelatedAnalyzer).  Same sharding contract as analyze().
   [[nodiscard]] static ExhaustiveReport analyze_joint(
       const multibit::AdderChain& chain,
       const multibit::JointInputProfile& profile,
-      std::size_t max_width = 14);
+      std::size_t max_width = 14, unsigned threads = 0);
 };
 
 }  // namespace sealpaa::baseline

@@ -6,6 +6,7 @@
 
 #include "sealpaa/adders/characteristics.hpp"
 #include "sealpaa/analysis/recursive.hpp"
+#include "sealpaa/util/parallel.hpp"
 
 namespace sealpaa::explore {
 
@@ -72,74 +73,114 @@ void require_candidates(std::span<const adders::AdderCell> candidates) {
 HybridDesign HybridOptimizer::exhaustive(
     const multibit::InputProfile& profile,
     std::span<const adders::AdderCell> candidates,
-    const DesignConstraints& constraints, std::uint64_t max_combinations) {
+    const DesignConstraints& constraints, std::uint64_t max_combinations,
+    unsigned threads) {
   require_candidates(candidates);
   const std::size_t n = profile.width();
+  const std::uint64_t k = candidates.size();
   const double combos =
-      std::pow(static_cast<double>(candidates.size()), static_cast<double>(n));
+      std::pow(static_cast<double>(k), static_cast<double>(n));
   if (combos > static_cast<double>(max_combinations)) {
     throw std::invalid_argument(
         "HybridOptimizer::exhaustive: search space too large; use beam()");
   }
+  std::uint64_t total = 1;
+  for (std::size_t i = 0; i < n; ++i) total *= k;
 
   std::vector<CellCost> costs;
+  std::vector<analysis::MklMatrices> mkls;
   costs.reserve(candidates.size());
-  for (const adders::AdderCell& cell : candidates) costs.push_back(cost_of(cell));
-
-  std::vector<std::size_t> choice(n, 0);
-  std::vector<std::size_t> best_choice;
-  double best_success = -1.0;
-
-  const auto evaluate_current = [&] {
-    double power = 0.0;
-    double area = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const CellCost& cost = costs[choice[i]];
-      if (!usable(cost, constraints)) return;
-      if (constraints.max_power_nw) power += *cost.power;
-      if (constraints.max_area_ge) area += *cost.area;
-    }
-    if (constraints.max_power_nw && power > *constraints.max_power_nw) return;
-    if (constraints.max_area_ge && area > *constraints.max_area_ge) return;
-
-    analysis::CarryState carry{1.0 - profile.p_cin(), profile.p_cin()};
-    double p_success = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const analysis::MklMatrices mkl =
-          analysis::MklMatrices::from_cell(candidates[choice[i]]);
-      if (i + 1 == n) {
-        p_success = analysis::final_success(mkl, profile.p_a(i),
-                                            profile.p_b(i), carry);
-      } else {
-        carry = analysis::advance_stage(mkl, profile.p_a(i), profile.p_b(i),
-                                        carry);
-      }
-    }
-    if (p_success > best_success) {
-      best_success = p_success;
-      best_choice = choice;
-    }
-  };
-
-  // Odometer enumeration of all candidate assignments.
-  while (true) {
-    evaluate_current();
-    std::size_t pos = 0;
-    while (pos < n) {
-      if (++choice[pos] < candidates.size()) break;
-      choice[pos] = 0;
-      ++pos;
-    }
-    if (pos == n) break;
+  mkls.reserve(candidates.size());
+  for (const adders::AdderCell& cell : candidates) {
+    costs.push_back(cost_of(cell));
+    mkls.push_back(analysis::MklMatrices::from_cell(cell));
   }
 
-  if (best_choice.empty()) {
+  // Designs are indexed in mixed radix k, stage 0 the least-significant
+  // digit — the same order the sequential odometer enumerated.  Ties in
+  // p_success keep the lowest index (within a shard by strict comparison,
+  // across shards by the ordered reduction), so the winner is independent
+  // of the thread count.
+  struct BestDesign {
+    double p_success = -1.0;
+    std::uint64_t index = 0;
+    bool found = false;
+  };
+
+  const std::uint64_t grain = std::max<std::uint64_t>(1, total / 64);
+  const BestDesign best = util::with_pool(threads, [&](util::ThreadPool&
+                                                           pool) {
+    return util::parallel_map_reduce(
+        pool, 0, total, grain, BestDesign{},
+        [&](std::uint64_t index_begin, std::uint64_t index_end) {
+          BestDesign shard_best;
+          std::vector<std::size_t> choice(n);
+          std::uint64_t rest = index_begin;
+          for (std::size_t i = 0; i < n; ++i) {
+            choice[i] = static_cast<std::size_t>(rest % k);
+            rest /= k;
+          }
+          for (std::uint64_t index = index_begin; index < index_end; ++index) {
+            [&] {
+              double power = 0.0;
+              double area = 0.0;
+              for (std::size_t i = 0; i < n; ++i) {
+                const CellCost& cost = costs[choice[i]];
+                if (!usable(cost, constraints)) return;
+                if (constraints.max_power_nw) power += *cost.power;
+                if (constraints.max_area_ge) area += *cost.area;
+              }
+              if (constraints.max_power_nw &&
+                  power > *constraints.max_power_nw) {
+                return;
+              }
+              if (constraints.max_area_ge && area > *constraints.max_area_ge) {
+                return;
+              }
+
+              analysis::CarryState carry{1.0 - profile.p_cin(),
+                                         profile.p_cin()};
+              double p_success = 0.0;
+              for (std::size_t i = 0; i < n; ++i) {
+                const analysis::MklMatrices& mkl = mkls[choice[i]];
+                if (i + 1 == n) {
+                  p_success = analysis::final_success(mkl, profile.p_a(i),
+                                                      profile.p_b(i), carry);
+                } else {
+                  carry = analysis::advance_stage(mkl, profile.p_a(i),
+                                                  profile.p_b(i), carry);
+                }
+              }
+              if (!shard_best.found || p_success > shard_best.p_success) {
+                shard_best = BestDesign{p_success, index, true};
+              }
+            }();
+            // Odometer step to the next assignment.
+            for (std::size_t pos = 0; pos < n; ++pos) {
+              if (++choice[pos] < k) break;
+              choice[pos] = 0;
+            }
+          }
+          return shard_best;
+        },
+        [](BestDesign& acc, BestDesign&& shard) {
+          if (shard.found && (!acc.found || shard.p_success > acc.p_success)) {
+            acc = shard;
+          }
+        });
+  });
+
+  if (!best.found) {
     throw std::runtime_error(
         "HybridOptimizer::exhaustive: no design satisfies the constraints");
   }
   std::vector<adders::AdderCell> stages;
   stages.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) stages.push_back(candidates[best_choice[i]]);
+  std::uint64_t rest = best.index;
+  for (std::size_t i = 0; i < n; ++i) {
+    stages.push_back(candidates[static_cast<std::size_t>(rest % k)]);
+    rest /= k;
+  }
   return finalize(std::move(stages), profile);
 }
 

@@ -44,12 +44,15 @@ struct HybridDesign {
 class HybridOptimizer {
  public:
   /// Exact optimum by enumerating all |candidates|^N chains.  Guarded by
-  /// `max_combinations` (std::invalid_argument beyond it).
+  /// `max_combinations` (std::invalid_argument beyond it).  Candidate
+  /// assignments are evaluated concurrently on a thread pool
+  /// (`threads == 0` → the shared pool); ties are broken by enumeration
+  /// order, so the winner is independent of the thread count.
   [[nodiscard]] static HybridDesign exhaustive(
       const multibit::InputProfile& profile,
       std::span<const adders::AdderCell> candidates,
       const DesignConstraints& constraints = {},
-      std::uint64_t max_combinations = 50'000'000);
+      std::uint64_t max_combinations = 50'000'000, unsigned threads = 0);
 
   /// Beam search keeping the `beam_width` best (carry-state, budget)
   /// partial designs per stage, scored by remaining success mass.

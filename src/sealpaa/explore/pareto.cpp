@@ -3,6 +3,7 @@
 #include "sealpaa/adders/builtin.hpp"
 #include "sealpaa/adders/characteristics.hpp"
 #include "sealpaa/analysis/recursive.hpp"
+#include "sealpaa/util/parallel.hpp"
 
 namespace sealpaa::explore {
 
@@ -39,25 +40,36 @@ std::vector<DesignPoint> pareto_front(std::vector<DesignPoint> points,
 }
 
 std::vector<DesignPoint> homogeneous_sweep(
-    const multibit::InputProfile& profile) {
-  std::vector<DesignPoint> points;
+    const multibit::InputProfile& profile, unsigned threads) {
+  const std::span<const adders::AdderCell> cells = adders::all_builtin_cells();
   const double n = static_cast<double>(profile.width());
-  for (const adders::AdderCell& cell : adders::all_builtin_cells()) {
-    DesignPoint point;
-    point.name = cell.name();
-    point.p_error =
-        analysis::RecursiveAnalyzer::error_probability(cell, profile);
-    const adders::CellCharacteristics* row =
-        adders::find_characteristics(cell);
-    if (row != nullptr && row->power_nw && row->area_ge) {
-      point.power_nw = *row->power_nw * n;
-      point.area_ge = *row->area_ge * n;
-    } else {
-      point.has_cost = false;
-    }
-    points.push_back(std::move(point));
-  }
-  return points;
+  // Candidates are analyzed concurrently; the ordered reduction appends
+  // the per-cell points in registry order, so the output is identical to
+  // a sequential sweep regardless of thread count.
+  return util::with_pool(threads, [&](util::ThreadPool& pool) {
+    return util::parallel_map_reduce(
+        pool, 0, cells.size(), 1, std::vector<DesignPoint>{},
+        [&](std::uint64_t index, std::uint64_t) {
+          const adders::AdderCell& cell =
+              cells[static_cast<std::size_t>(index)];
+          DesignPoint point;
+          point.name = cell.name();
+          point.p_error =
+              analysis::RecursiveAnalyzer::error_probability(cell, profile);
+          const adders::CellCharacteristics* row =
+              adders::find_characteristics(cell);
+          if (row != nullptr && row->power_nw && row->area_ge) {
+            point.power_nw = *row->power_nw * n;
+            point.area_ge = *row->area_ge * n;
+          } else {
+            point.has_cost = false;
+          }
+          return point;
+        },
+        [](std::vector<DesignPoint>& acc, DesignPoint&& point) {
+          acc.push_back(std::move(point));
+        });
+  });
 }
 
 }  // namespace sealpaa::explore

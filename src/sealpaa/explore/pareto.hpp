@@ -28,8 +28,10 @@ struct DesignPoint {
 
 /// Evaluates every built-in cell as an N-bit homogeneous chain under
 /// `profile` and returns the design points (error from the recursive
-/// analyzer, power/area scaled from Table 2).
+/// analyzer, power/area scaled from Table 2).  Candidates are evaluated
+/// concurrently (`threads == 0` → the shared pool) and merged back into
+/// registry order, so the result does not depend on the thread count.
 [[nodiscard]] std::vector<DesignPoint> homogeneous_sweep(
-    const multibit::InputProfile& profile);
+    const multibit::InputProfile& profile, unsigned threads = 0);
 
 }  // namespace sealpaa::explore

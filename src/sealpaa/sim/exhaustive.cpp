@@ -1,13 +1,16 @@
 #include "sealpaa/sim/exhaustive.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "sealpaa/util/parallel.hpp"
 #include "sealpaa/util/timer.hpp"
 
 namespace sealpaa::sim {
 
 ExhaustiveSimReport ExhaustiveSimulator::run(const multibit::AdderChain& chain,
-                                             std::size_t max_width) {
+                                             std::size_t max_width,
+                                             unsigned threads) {
   const std::size_t n = chain.width();
   if (n > max_width) {
     throw std::invalid_argument(
@@ -18,19 +21,46 @@ ExhaustiveSimReport ExhaustiveSimulator::run(const multibit::AdderChain& chain,
   ExhaustiveSimReport report;
   util::WallTimer timer;
   const std::uint64_t limit = 1ULL << n;
-  for (std::uint64_t a = 0; a < limit; ++a) {
-    for (std::uint64_t b = 0; b < limit; ++b) {
-      for (int cin = 0; cin < 2; ++cin) {
-        const multibit::TracedAddResult traced =
-            chain.evaluate_traced(a, b, cin != 0);
-        const multibit::AddResult exact =
-            multibit::exact_add(a, b, cin != 0, n);
-        report.metrics.add(traced.outputs.value(n), exact.value(n),
-                           traced.all_stages_success);
-        report.bit_operations += n;
-      }
-    }
-  }
+  // The sweep is sharded along the `a` operand.  The grain depends only
+  // on the width, so shard boundaries — and with the ordered reduction
+  // the merged floating-point sums — are identical for every thread
+  // count.
+  const std::uint64_t grain = std::max<std::uint64_t>(1, limit / 64);
+
+  struct Shard {
+    ErrorMetrics metrics;
+    std::uint64_t bit_operations = 0;
+  };
+
+  const Shard total = util::with_pool(threads, [&](util::ThreadPool& pool) {
+    return util::parallel_map_reduce(
+        pool, 0, limit, grain, Shard{},
+        [&](std::uint64_t a_begin, std::uint64_t a_end) {
+          Shard shard;
+          for (std::uint64_t a = a_begin; a < a_end; ++a) {
+            for (std::uint64_t b = 0; b < limit; ++b) {
+              for (int cin = 0; cin < 2; ++cin) {
+                const multibit::TracedAddResult traced =
+                    chain.evaluate_traced(a, b, cin != 0);
+                const multibit::AddResult exact =
+                    multibit::exact_add(a, b, cin != 0, n);
+                shard.metrics.add(traced.outputs.value(n), exact.value(n),
+                                  traced.all_stages_success);
+                shard.bit_operations += n;
+              }
+            }
+          }
+          return shard;
+        },
+        [](Shard& acc, Shard&& shard) {
+          acc.metrics.merge(shard.metrics);
+          acc.bit_operations += shard.bit_operations;
+        },
+        &report.shard_timings);
+  });
+
+  report.metrics = total.metrics;
+  report.bit_operations = total.bit_operations;
   report.seconds = timer.elapsed_seconds();
   return report;
 }

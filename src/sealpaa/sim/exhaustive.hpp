@@ -7,6 +7,7 @@
 
 #include "sealpaa/multibit/chain.hpp"
 #include "sealpaa/sim/metrics.hpp"
+#include "sealpaa/util/counters.hpp"
 
 namespace sealpaa::sim {
 
@@ -16,14 +17,19 @@ struct ExhaustiveSimReport {
   ErrorMetrics metrics;
   double seconds = 0.0;               // wall-clock of the sweep
   std::uint64_t bit_operations = 0;   // single-bit adder evaluations
+  util::ShardTimings shard_timings;   // per-shard breakdown of the sweep
 };
 
 class ExhaustiveSimulator {
  public:
   /// Sweeps every (a, b, cin) combination.  Guarded by `max_width`
-  /// (default 13: 2^27 ≈ 134M cases).
+  /// (default 13: 2^27 ≈ 134M cases).  The input space is sharded over a
+  /// thread pool (`threads == 0` → the shared pool at
+  /// util::default_threads()); shard layout and the ordered metric merge
+  /// make the report bit-identical for every thread count.
   [[nodiscard]] static ExhaustiveSimReport run(
-      const multibit::AdderChain& chain, std::size_t max_width = 13);
+      const multibit::AdderChain& chain, std::size_t max_width = 13,
+      unsigned threads = 0);
 };
 
 }  // namespace sealpaa::sim

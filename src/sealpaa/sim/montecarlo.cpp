@@ -1,15 +1,21 @@
 #include "sealpaa/sim/montecarlo.hpp"
 
+#include <algorithm>
 #include <stdexcept>
-#include <thread>
 #include <vector>
 
 #include "sealpaa/prob/rng.hpp"
+#include "sealpaa/util/parallel.hpp"
 #include "sealpaa/util/timer.hpp"
 
 namespace sealpaa::sim {
 
 namespace {
+
+// Samples handled by one RNG stream.  The shard layout is a function of
+// the sample count alone, so the merged metrics depend only on
+// (seed, samples) — never on how many threads executed the shards.
+constexpr std::uint64_t kShardSamples = 1ULL << 16;
 
 ErrorMetrics simulate_shard(const multibit::AdderChain& chain,
                             const multibit::InputProfile& profile,
@@ -39,9 +45,7 @@ MonteCarloReport MonteCarloSimulator::run(const multibit::AdderChain& chain,
     throw std::invalid_argument(
         "MonteCarloSimulator: chain and profile widths differ");
   }
-  const std::size_t n = chain.width();
 
-  (void)n;
   MonteCarloReport report;
   report.samples = samples;
   util::WallTimer timer;
@@ -70,31 +74,31 @@ MonteCarloReport MonteCarloSimulator::run_parallel(
   report.samples = samples;
   util::WallTimer timer;
 
-  // Disjoint streams: worker i uses the base generator advanced by i
-  // jumps (each jump skips 2^128 draws).
+  // Disjoint streams: shard s uses the base generator advanced by s
+  // jumps (each jump skips 2^128 draws).  Shard 0 is the unjumped base,
+  // so a single-shard run reproduces run() exactly.
+  const std::uint64_t shards =
+      std::max<std::uint64_t>(1, (samples + kShardSamples - 1) / kShardSamples);
   std::vector<prob::Xoshiro256StarStar> rngs;
+  rngs.reserve(static_cast<std::size_t>(shards));
   prob::Xoshiro256StarStar base(seed);
-  for (unsigned t = 0; t < threads; ++t) {
+  for (std::uint64_t s = 0; s < shards; ++s) {
     rngs.push_back(base);
     base.jump();
   }
 
-  const std::uint64_t per_shard = samples / threads;
-  std::vector<ErrorMetrics> shard_metrics(threads);
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) {
-    const std::uint64_t shard_samples =
-        t == 0 ? samples - per_shard * (threads - 1) : per_shard;
-    workers.emplace_back([&, t, shard_samples] {
-      shard_metrics[t] =
-          simulate_shard(chain, profile, shard_samples, rngs[t]);
-    });
-  }
-  for (std::thread& worker : workers) worker.join();
-  for (const ErrorMetrics& shard : shard_metrics) {
-    report.metrics.merge(shard);
-  }
+  report.metrics = util::with_pool(threads, [&](util::ThreadPool& pool) {
+    return util::parallel_map_reduce(
+        pool, 0, shards, 1, ErrorMetrics{},
+        [&](std::uint64_t shard, std::uint64_t) {
+          const std::uint64_t first = shard * kShardSamples;
+          const std::uint64_t count = std::min(kShardSamples, samples - first);
+          return simulate_shard(chain, profile, count,
+                                rngs[static_cast<std::size_t>(shard)]);
+        },
+        [](ErrorMetrics& acc, ErrorMetrics&& shard) { acc.merge(shard); },
+        &report.shard_timings);
+  });
 
   report.seconds = timer.elapsed_seconds();
   report.stage_failure_ci =

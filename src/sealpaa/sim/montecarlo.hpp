@@ -9,6 +9,7 @@
 #include "sealpaa/multibit/input_profile.hpp"
 #include "sealpaa/prob/stats.hpp"
 #include "sealpaa/sim/metrics.hpp"
+#include "sealpaa/util/counters.hpp"
 
 namespace sealpaa::sim {
 
@@ -17,6 +18,7 @@ struct MonteCarloReport {
   ErrorMetrics metrics;
   std::uint64_t samples = 0;
   double seconds = 0.0;
+  util::ShardTimings shard_timings;  // filled by run_parallel only
 
   /// Wilson 95% interval for the stage-failure rate (the paper's P(E)).
   prob::Interval stage_failure_ci;
@@ -34,9 +36,12 @@ class MonteCarloSimulator {
       const multibit::InputProfile& profile, std::uint64_t samples,
       std::uint64_t seed = 0x5ea1'c0de'2017'dacULL);
 
-  /// Sharded variant: splits the samples over `threads` workers, each on
-  /// an independent Xoshiro stream (jump() guarantees disjointness), and
-  /// merges the metrics.  Deterministic for a given (seed, threads) pair.
+  /// Sharded variant: splits the samples into fixed 2^16-sample shards,
+  /// each on an independent Xoshiro stream (jump() guarantees
+  /// disjointness), executed on a thread pool of `threads` workers and
+  /// merged in shard order.  Because the shard layout depends only on
+  /// `samples`, the report is bit-identical for every thread count —
+  /// deterministic for a given (seed, samples) pair.
   [[nodiscard]] static MonteCarloReport run_parallel(
       const multibit::AdderChain& chain,
       const multibit::InputProfile& profile, std::uint64_t samples,

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "sealpaa/util/parallel.hpp"
+
 namespace sealpaa::util {
 
 CliArgs::CliArgs(int argc, const char* const* argv) {
@@ -52,6 +54,12 @@ bool CliArgs::get_bool(const std::string& name, bool fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+unsigned CliArgs::threads() const {
+  const std::int64_t value = get_int("threads", 0);
+  if (value <= 0) return hardware_threads();
+  return static_cast<unsigned>(value);
 }
 
 }  // namespace sealpaa::util

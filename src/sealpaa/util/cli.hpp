@@ -27,6 +27,11 @@ class CliArgs {
                                   double fallback) const;
   [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
 
+  /// Worker-thread count from `--threads=N`.  Absent or non-positive
+  /// values fall back to `hardware_threads()`, so every driver gets a
+  /// uniform `--threads` flag that defaults to full hardware concurrency.
+  [[nodiscard]] unsigned threads() const;
+
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;
   }

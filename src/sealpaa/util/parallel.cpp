@@ -1,0 +1,103 @@
+#include "sealpaa/util/parallel.hpp"
+
+#include <atomic>
+
+namespace sealpaa::util {
+
+namespace {
+
+std::atomic<unsigned> g_default_threads{0};
+
+// Set for the lifetime of each worker thread; lets nested fork/join
+// regions detect they are already inside a pool and run inline.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+}  // namespace
+
+unsigned hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+void set_default_threads(unsigned threads) noexcept {
+  g_default_threads.store(threads, std::memory_order_relaxed);
+}
+
+unsigned default_threads() noexcept {
+  const unsigned n = g_default_threads.load(std::memory_order_relaxed);
+  return n == 0 ? hardware_threads() : n;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  unsigned count = threads == 0 ? default_threads() : threads;
+  if (count == 0) count = 1;
+  workers_.reserve(count);
+  for (unsigned t = 0; t < count; ++t) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_;
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return pending_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+bool ThreadPool::on_worker_thread() const noexcept {
+  return tls_worker_pool == this;
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(default_threads());
+  return pool;
+}
+
+void ThreadPool::worker_main() {
+  tls_worker_pool = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --pending_;
+      if (pending_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace sealpaa::util

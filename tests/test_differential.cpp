@@ -1,0 +1,141 @@
+// Differential test suite: the paper's Table 6/7 agreement as an
+// executable property.  For randomized approximate cells (not just the
+// seven published LPAAs) and chain widths 4–12, the analytical P(Err)
+// from the M/K/L recursion must match
+//   * exhaustive simulation (equally probable inputs — rates are exact
+//     probabilities, so agreement is to double precision), and
+//   * the inclusion–exclusion baseline under arbitrary per-bit profiles
+// within 1e-12.  Any divergence between the three independent engines
+// (recursion, enumeration, subset expansion) is a correctness bug.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "sealpaa/adders/cell.hpp"
+#include "sealpaa/analysis/recursive.hpp"
+#include "sealpaa/baseline/inclusion_exclusion.hpp"
+#include "sealpaa/baseline/weighted_exhaustive.hpp"
+#include "sealpaa/multibit/chain.hpp"
+#include "sealpaa/multibit/input_profile.hpp"
+#include "sealpaa/prob/rng.hpp"
+#include "sealpaa/sim/exhaustive.hpp"
+
+namespace {
+
+using sealpaa::adders::AdderCell;
+using sealpaa::analysis::RecursiveAnalyzer;
+using sealpaa::baseline::InclusionExclusionAnalyzer;
+using sealpaa::baseline::WeightedExhaustive;
+using sealpaa::multibit::AdderChain;
+using sealpaa::multibit::InputProfile;
+
+constexpr int kCellCount = 20;
+constexpr double kTolerance = 1e-12;
+
+/// Draws a random 8-row truth table.  Exact tables (probability 2^-16)
+/// are rerolled so every case exercises a genuinely approximate cell.
+AdderCell random_cell(sealpaa::prob::SplitMix64& rng, int index) {
+  for (;;) {
+    std::string sum_column(8, '0');
+    std::string carry_column(8, '0');
+    const std::uint64_t bits = rng.next();
+    for (int row = 0; row < 8; ++row) {
+      if (((bits >> row) & 1ULL) != 0) sum_column[static_cast<std::size_t>(row)] = '1';
+      if (((bits >> (8 + row)) & 1ULL) != 0) {
+        carry_column[static_cast<std::size_t>(row)] = '1';
+      }
+    }
+    AdderCell cell = AdderCell::from_columns(
+        "RND" + std::to_string(index), sum_column, carry_column,
+        "randomized differential-test cell");
+    if (!cell.is_exact()) return cell;
+  }
+}
+
+/// Chain widths cycle through 4..12 so every width in the paper's
+/// validation range is covered several times across the 20 cells.
+std::size_t width_for(int index) {
+  return 4 + static_cast<std::size_t>(index % 9);
+}
+
+TEST(Differential, RecursionMatchesExhaustiveSimulation) {
+  sealpaa::prob::SplitMix64 seed_stream(0xd1ff'e2e4'7e57'0001ULL);
+  for (int i = 0; i < kCellCount; ++i) {
+    const AdderCell cell = random_cell(seed_stream, i);
+    // The exhaustive sweep costs 2^(2w+1) chain evaluations; cap the
+    // simulated width at 9 (2^19 cases) to keep the suite fast while the
+    // recursion itself is checked up to width 12 below.
+    const std::size_t width = std::min<std::size_t>(width_for(i), 9);
+    const AdderChain chain = AdderChain::homogeneous(cell, width);
+    const auto sim = sealpaa::sim::ExhaustiveSimulator::run(chain);
+    const double analytical = RecursiveAnalyzer::error_probability(
+        cell, InputProfile::uniform(width, 0.5));
+    EXPECT_NEAR(sim.metrics.stage_failure_rate(), analytical, kTolerance)
+        << cell.name() << " width " << width << "\n"
+        << cell.to_string();
+  }
+}
+
+TEST(Differential, RecursionMatchesInclusionExclusion) {
+  sealpaa::prob::SplitMix64 seed_stream(0xd1ff'e2e4'7e57'0001ULL);
+  sealpaa::prob::Xoshiro256StarStar profile_rng(0xd1ff'e2e4'7e57'0002ULL);
+  for (int i = 0; i < kCellCount; ++i) {
+    const AdderCell cell = random_cell(seed_stream, i);
+    const std::size_t width = width_for(i);
+    const AdderChain chain = AdderChain::homogeneous(cell, width);
+    const InputProfile profile =
+        InputProfile::random(width, profile_rng, 0.05, 0.95);
+    const auto recursive = RecursiveAnalyzer::analyze(chain, profile);
+    const auto ie = InclusionExclusionAnalyzer::analyze(chain, profile);
+    EXPECT_NEAR(recursive.p_error, ie.p_error, kTolerance)
+        << cell.name() << " width " << width;
+    EXPECT_NEAR(recursive.p_success, ie.p_success, kTolerance)
+        << cell.name() << " width " << width;
+    EXPECT_EQ(ie.terms_evaluated, (1ULL << width) - 1);
+  }
+}
+
+TEST(Differential, RecursionMatchesWeightedEnumeration) {
+  // The strongest oracle: exact weighted enumeration of all assignments
+  // under a random non-uniform profile (subset of cells to bound cost).
+  sealpaa::prob::SplitMix64 seed_stream(0xd1ff'e2e4'7e57'0001ULL);
+  sealpaa::prob::Xoshiro256StarStar profile_rng(0xd1ff'e2e4'7e57'0003ULL);
+  for (int i = 0; i < kCellCount; ++i) {
+    const AdderCell cell = random_cell(seed_stream, i);
+    if (i % 4 != 0) continue;
+    const std::size_t width = std::min<std::size_t>(width_for(i), 8);
+    const AdderChain chain = AdderChain::homogeneous(cell, width);
+    const InputProfile profile =
+        InputProfile::random(width, profile_rng, 0.05, 0.95);
+    const double oracle =
+        WeightedExhaustive::analyze(chain, profile).p_stage_success;
+    const double recursive = RecursiveAnalyzer::analyze(chain, profile).p_success;
+    EXPECT_NEAR(recursive, oracle, kTolerance)
+        << cell.name() << " width " << width;
+  }
+}
+
+TEST(Differential, HybridChainsOfRandomCellsAgree) {
+  // Heterogeneous chains mixing random cells per stage — the shape the
+  // hybrid DSE produces — validated against inclusion–exclusion.
+  sealpaa::prob::SplitMix64 seed_stream(0xd1ff'e2e4'7e57'0004ULL);
+  sealpaa::prob::Xoshiro256StarStar profile_rng(0xd1ff'e2e4'7e57'0005ULL);
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::size_t width = 4 + static_cast<std::size_t>(trial * 2);  // 4..12
+    std::vector<AdderCell> stages;
+    for (std::size_t s = 0; s < width; ++s) {
+      stages.push_back(
+          random_cell(seed_stream, trial * 100 + static_cast<int>(s)));
+    }
+    const AdderChain chain(stages);
+    const InputProfile profile =
+        InputProfile::random(width, profile_rng, 0.1, 0.9);
+    const auto recursive = RecursiveAnalyzer::analyze(chain, profile);
+    const auto ie = InclusionExclusionAnalyzer::analyze(chain, profile);
+    EXPECT_NEAR(recursive.p_error, ie.p_error, kTolerance)
+        << chain.describe() << " width " << width;
+  }
+}
+
+}  // namespace

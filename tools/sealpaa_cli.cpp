@@ -7,7 +7,11 @@
 //   sealpaa_cli bounds  --cell=LPAA6 --p=0.5 --epsilon=0.1 [--bits=16]
 //   sealpaa_cli hybrid  --bits=8 [--profile=0.9,...] [--budget-nw=2500]
 //   sealpaa_cli gear    --n=16 --r=4 --p=4 [--p-input=0.5]
+//   sealpaa_cli sim     --cell=LPAA1 --bits=8 --p=0.5 [--samples=1000000]
 //   sealpaa_cli synth   --kind=cell|chain|gear --cell=... --bits=... [--out=f.v]
+//
+// The global --threads=N flag sizes the shared worker pool every parallel
+// engine runs on; it defaults to the hardware concurrency.
 #include <iostream>
 #include <sstream>
 
@@ -33,8 +37,13 @@ int usage() {
       "           [--budget-nw]\n"
       "  gear     --n --r --p        GeAr exact error + correction stats\n"
       "           [--p-input]\n"
+      "  sim      --cell --bits --p  Monte Carlo + exhaustive simulation\n"
+      "           [--samples] [--seed] [--no-exhaustive] [--timings]\n"
       "  synth    --kind --cell      emit Verilog (cell|chain|gear)\n"
-      "           [--bits|--n --r --p] [--out]\n";
+      "           [--bits|--n --r --p] [--out]\n\n"
+      "global flags:\n"
+      "  --threads=N                 worker pool width for the parallel\n"
+      "                              engines (default: hardware threads)\n";
   return 2;
 }
 
@@ -192,6 +201,55 @@ int cmd_gear(const util::CliArgs& args) {
   return 0;
 }
 
+int cmd_sim(const util::CliArgs& args) {
+  const adders::AdderCell& cell = cell_arg(args);
+  const std::size_t bits = static_cast<std::size_t>(args.get_int("bits", 8));
+  const double p = args.get_double("p", 0.5);
+  const auto samples =
+      static_cast<std::uint64_t>(args.get_int("samples", 1'000'000));
+  const auto seed = static_cast<std::uint64_t>(
+      args.get_int("seed", 0x5ea1'c0de'2017'dacLL));
+  const unsigned threads = args.threads();
+
+  const auto chain = multibit::AdderChain::homogeneous(cell, bits);
+  const auto profile = multibit::InputProfile::uniform(bits, p);
+  const double analytical =
+      analysis::RecursiveAnalyzer::error_probability(cell, profile);
+
+  std::cout << chain.describe() << "  p=" << util::fixed(p, 3)
+            << "  threads=" << threads << "\n";
+  std::cout << "P(Error) analytical   = " << util::prob6(analytical) << "\n";
+
+  const auto mc =
+      sim::MonteCarloSimulator::run_parallel(chain, profile, samples, threads,
+                                             seed);
+  std::cout << "P(Error) Monte Carlo  = "
+            << util::prob6(mc.metrics.stage_failure_rate()) << "  ("
+            << util::with_commas(samples) << " samples, 95% CI ["
+            << util::prob6(mc.stage_failure_ci.low) << ", "
+            << util::prob6(mc.stage_failure_ci.high) << "], "
+            << util::fixed(mc.seconds, 3) << "s)\n";
+  if (args.get_bool("timings", false)) {
+    std::cout << "  " << mc.shard_timings.summary() << "\n";
+  }
+
+  if (!args.get_bool("no-exhaustive", false) && bits <= 13) {
+    const auto exhaustive = sim::ExhaustiveSimulator::run(chain, 13, threads);
+    std::cout << "P(Error) exhaustive   = "
+              << util::prob6(exhaustive.metrics.stage_failure_rate())
+              << "  (" << util::with_commas(exhaustive.metrics.cases())
+              << " cases, " << util::fixed(exhaustive.seconds, 3) << "s)";
+    if (!profile.is_uniform(0.5)) {
+      std::cout << "  [exhaustive assumes p=0.5]";
+    }
+    std::cout << "\n";
+    if (args.get_bool("timings", false)) {
+      std::cout << "  " << exhaustive.shard_timings.summary() << "\n";
+    }
+  }
+  return 0;
+}
+
 int cmd_synth(const util::CliArgs& args) {
   const std::string kind = args.get("kind", "cell");
   rtl::Netlist netlist;
@@ -229,6 +287,9 @@ int cmd_synth(const util::CliArgs& args) {
 int main(int argc, char** argv) {
   const util::CliArgs args(argc, argv);
   if (args.positional().empty()) return usage();
+  // Size the shared pool before any engine touches it; every parallel
+  // path (simulators, oracles, DSE) then inherits --threads.
+  util::set_default_threads(args.threads());
   const std::string command = args.positional().front();
   try {
     if (command == "cells") return cmd_cells();
@@ -237,6 +298,7 @@ int main(int argc, char** argv) {
     if (command == "bounds") return cmd_bounds(args);
     if (command == "hybrid") return cmd_hybrid(args);
     if (command == "gear") return cmd_gear(args);
+    if (command == "sim") return cmd_sim(args);
     if (command == "synth") return cmd_synth(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
