@@ -3,55 +3,99 @@
 // stages — the exponential blow-up the paper's method eliminates.
 // Also *runs* the IE engine for small k as an executable witness and
 // confirms it returns the same P(Error) as the O(N) recursion.
+//
+// Writes BENCH_table3_ie_cost.json by default (--no-json suppresses,
+// --json-report=FILE redirects).
 #include <iostream>
 
-#include "sealpaa/adders/builtin.hpp"
-#include "sealpaa/analysis/recursive.hpp"
-#include "sealpaa/baseline/inclusion_exclusion.hpp"
-#include "sealpaa/util/format.hpp"
-#include "sealpaa/util/table.hpp"
-#include "sealpaa/util/timer.hpp"
+#include "sealpaa/sealpaa.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sealpaa;
+  const util::CliArgs args(argc, argv);
+  try {
+    args.expect_flags({"threads", "json-report", "no-json"});
+    obs::RunReport report("bench_table3_ie_cost");
+    report.record_args(args);
 
-  std::cout << util::banner(
-      "Table 3: Inclusion-Exclusion cost vs number of stages (closed form)");
-  util::TextTable table({"No. of stages", "Terms", "Multiplications",
-                         "Additions", "Memory Units"});
-  for (std::size_t c = 0; c <= 4; ++c) table.set_align(c, util::Align::Right);
-  for (int k = 4; k <= 32; k += 4) {
-    const auto cost = baseline::inclusion_exclusion_cost(k);
-    table.add_row({std::to_string(k), util::engineering(cost.terms),
-                   util::engineering(cost.multiplications),
-                   util::engineering(cost.additions),
-                   util::engineering(cost.memory_units)});
-  }
-  std::cout << table;
-  std::cout << "\nNote: the paper's Terms/Additions entries for k >= 20 carry "
-               "unit typos (10^9 printed where 2^k gives 10^6-scale values); "
-               "the closed forms above match all small-k rows exactly.\n";
+    std::cout << util::banner(
+        "Table 3: Inclusion-Exclusion cost vs number of stages (closed form)");
+    util::TextTable table({"No. of stages", "Terms", "Multiplications",
+                           "Additions", "Memory Units"});
+    for (std::size_t c = 0; c <= 4; ++c) {
+      table.set_align(c, util::Align::Right);
+    }
+    obs::Json cost_rows = obs::Json::array();
+    for (int k = 4; k <= 32; k += 4) {
+      const auto cost = baseline::inclusion_exclusion_cost(k);
+      table.add_row({std::to_string(k), util::engineering(cost.terms),
+                     util::engineering(cost.multiplications),
+                     util::engineering(cost.additions),
+                     util::engineering(cost.memory_units)});
+      obs::Json entry = obs::Json::object();
+      entry.set("stages", obs::Json(k));
+      entry.set("terms", obs::Json(cost.terms));
+      entry.set("multiplications", obs::Json(cost.multiplications));
+      entry.set("additions", obs::Json(cost.additions));
+      entry.set("memory_units", obs::Json(cost.memory_units));
+      cost_rows.push_back(std::move(entry));
+    }
+    std::cout << table;
+    std::cout << "\nNote: the paper's Terms/Additions entries for k >= 20 "
+                 "carry unit typos (10^9 printed where 2^k gives 10^6-scale "
+                 "values); the closed forms above match all small-k rows "
+                 "exactly.\n";
 
-  std::cout << "\nExecutable witness (LPAA1, p = 0.3): IE vs recursive\n";
-  util::TextTable witness({"Stages", "IE terms", "IE time", "Recursive time",
-                           "P(Error) IE", "P(Error) recursive"});
-  for (std::size_t c = 1; c <= 5; ++c) witness.set_align(c, util::Align::Right);
-  for (std::size_t k : {4u, 8u, 12u, 16u, 20u}) {
-    const auto chain =
-        multibit::AdderChain::homogeneous(adders::lpaa(1), k);
-    const auto profile = multibit::InputProfile::uniform(k, 0.3);
-    util::WallTimer ie_timer;
-    const auto ie = baseline::InclusionExclusionAnalyzer::analyze(
-        chain, profile, /*max_width=*/20);
-    const double ie_seconds = ie_timer.elapsed_seconds();
-    util::WallTimer rec_timer;
-    const auto rec = analysis::RecursiveAnalyzer::analyze(chain, profile);
-    const double rec_seconds = rec_timer.elapsed_seconds();
-    witness.add_row({std::to_string(k),
-                     util::with_commas(ie.terms_evaluated),
-                     util::duration(ie_seconds), util::duration(rec_seconds),
-                     util::prob6(ie.p_error), util::prob6(rec.p_error)});
+    std::cout << "\nExecutable witness (LPAA1, p = 0.3): IE vs recursive\n";
+    util::TextTable witness({"Stages", "IE terms", "IE time",
+                             "Recursive time", "P(Error) IE",
+                             "P(Error) recursive"});
+    for (std::size_t c = 1; c <= 5; ++c) {
+      witness.set_align(c, util::Align::Right);
+    }
+    obs::Json witness_rows = obs::Json::array();
+    obs::ScopedTimer witness_timer(report.counters(), "witness");
+    for (std::size_t k : {4u, 8u, 12u, 16u, 20u}) {
+      const auto chain =
+          multibit::AdderChain::homogeneous(adders::lpaa(1), k);
+      const auto profile = multibit::InputProfile::uniform(k, 0.3);
+      util::WallTimer ie_timer;
+      const auto ie = baseline::InclusionExclusionAnalyzer::analyze(
+          chain, profile, /*max_width=*/20);
+      const double ie_seconds = ie_timer.elapsed_seconds();
+      util::WallTimer rec_timer;
+      const auto rec = analysis::RecursiveAnalyzer::analyze(chain, profile);
+      const double rec_seconds = rec_timer.elapsed_seconds();
+      witness.add_row({std::to_string(k),
+                       util::with_commas(ie.terms_evaluated),
+                       util::duration(ie_seconds),
+                       util::duration(rec_seconds), util::prob6(ie.p_error),
+                       util::prob6(rec.p_error)});
+      obs::Json entry = obs::Json::object();
+      entry.set("stages", obs::Json(static_cast<std::uint64_t>(k)));
+      entry.set("ie_terms", obs::Json(ie.terms_evaluated));
+      entry.set("ie_seconds", obs::Json(ie_seconds));
+      entry.set("recursive_seconds", obs::Json(rec_seconds));
+      entry.set("p_error_ie", obs::Json(ie.p_error));
+      entry.set("p_error_recursive", obs::Json(rec.p_error));
+      witness_rows.push_back(std::move(entry));
+      report.counters().add("witness/ie_terms", ie.terms_evaluated);
+    }
+    witness_timer.stop();
+    std::cout << witness;
+
+    obs::Json& section = report.section("table3");
+    section.set("closed_form_costs", std::move(cost_rows));
+    section.set("witness", std::move(witness_rows));
+
+    if (const auto path =
+            obs::report_path(args, "BENCH_table3_ie_cost.json")) {
+      report.write_file(*path);
+      std::cout << "json report written to " << *path << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
   }
-  std::cout << witness;
-  return 0;
 }

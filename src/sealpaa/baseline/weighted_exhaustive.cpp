@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "sealpaa/prob/kahan.hpp"
+#include "sealpaa/sim/metrics.hpp"
 #include "sealpaa/util/parallel.hpp"
 
 namespace sealpaa::baseline {
@@ -58,15 +59,16 @@ void accumulate_case(const multibit::AdderChain& chain, std::uint64_t a,
   shard.mean_abs.add(weight * std::abs(static_cast<double>(error)));
   shard.mean_sq.add(weight * static_cast<double>(error) *
                     static_cast<double>(error));
-  if (std::llabs(error) > std::llabs(shard.worst_case_error)) {
+  if (sim::worse_error(error, shard.worst_case_error)) {
     shard.worst_case_error = error;
   }
   shard.error_distribution[error] += weight;
 }
 
-// Ordered merge: shards arrive in ascending `a`-range order, so ties in
-// the worst-case comparison and the per-key distribution additions
-// resolve exactly as in a sequential sweep.
+// Ordered merge: shards arrive in ascending `a`-range order; the
+// worst-case comparator is itself order-independent (sim::worse_error),
+// and the per-key distribution additions resolve exactly as in a
+// sequential sweep.
 void merge_shard(EnumerationTotals& totals, EnumerationShard&& shard) {
   totals.stage_success.add(shard.stage_success.value());
   totals.value_correct.add(shard.value_correct.value());
@@ -74,8 +76,7 @@ void merge_shard(EnumerationTotals& totals, EnumerationShard&& shard) {
   totals.mean_error.add(shard.mean_error.value());
   totals.mean_abs.add(shard.mean_abs.value());
   totals.mean_sq.add(shard.mean_sq.value());
-  if (std::llabs(shard.worst_case_error) >
-      std::llabs(totals.worst_case_error)) {
+  if (sim::worse_error(shard.worst_case_error, totals.worst_case_error)) {
     totals.worst_case_error = shard.worst_case_error;
   }
   for (const auto& [error, weight] : shard.error_distribution) {

@@ -7,6 +7,7 @@
 #include "sealpaa/adders/characteristics.hpp"
 #include "sealpaa/analysis/recursive.hpp"
 #include "sealpaa/util/parallel.hpp"
+#include "sealpaa/util/timer.hpp"
 
 namespace sealpaa::explore {
 
@@ -105,7 +106,10 @@ HybridDesign HybridOptimizer::exhaustive(
     double p_success = -1.0;
     std::uint64_t index = 0;
     bool found = false;
+    std::uint64_t evaluated = 0;  // designs scored by the recursion
+    std::uint64_t rejected = 0;   // designs pruned by the constraints
   };
+  util::WallTimer search_timer;
 
   const std::uint64_t grain = std::max<std::uint64_t>(1, total / 64);
   const BestDesign best = util::with_pool(threads, [&](util::ThreadPool&
@@ -126,18 +130,24 @@ HybridDesign HybridOptimizer::exhaustive(
               double area = 0.0;
               for (std::size_t i = 0; i < n; ++i) {
                 const CellCost& cost = costs[choice[i]];
-                if (!usable(cost, constraints)) return;
+                if (!usable(cost, constraints)) {
+                  ++shard_best.rejected;
+                  return;
+                }
                 if (constraints.max_power_nw) power += *cost.power;
                 if (constraints.max_area_ge) area += *cost.area;
               }
               if (constraints.max_power_nw &&
                   power > *constraints.max_power_nw) {
+                ++shard_best.rejected;
                 return;
               }
               if (constraints.max_area_ge && area > *constraints.max_area_ge) {
+                ++shard_best.rejected;
                 return;
               }
 
+              ++shard_best.evaluated;
               analysis::CarryState carry{1.0 - profile.p_cin(),
                                          profile.p_cin()};
               double p_success = 0.0;
@@ -152,7 +162,9 @@ HybridDesign HybridOptimizer::exhaustive(
                 }
               }
               if (!shard_best.found || p_success > shard_best.p_success) {
-                shard_best = BestDesign{p_success, index, true};
+                shard_best.p_success = p_success;
+                shard_best.index = index;
+                shard_best.found = true;
               }
             }();
             // Odometer step to the next assignment.
@@ -164,8 +176,12 @@ HybridDesign HybridOptimizer::exhaustive(
           return shard_best;
         },
         [](BestDesign& acc, BestDesign&& shard) {
+          acc.evaluated += shard.evaluated;
+          acc.rejected += shard.rejected;
           if (shard.found && (!acc.found || shard.p_success > acc.p_success)) {
-            acc = shard;
+            acc.p_success = shard.p_success;
+            acc.index = shard.index;
+            acc.found = true;
           }
         });
   });
@@ -181,7 +197,11 @@ HybridDesign HybridOptimizer::exhaustive(
     stages.push_back(candidates[static_cast<std::size_t>(rest % k)]);
     rest /= k;
   }
-  return finalize(std::move(stages), profile);
+  HybridDesign design = finalize(std::move(stages), profile);
+  design.stats.candidates_evaluated = best.evaluated;
+  design.stats.candidates_rejected = best.rejected;
+  design.stats.seconds = search_timer.elapsed_seconds();
+  return design;
 }
 
 HybridDesign HybridOptimizer::beam(const multibit::InputProfile& profile,
@@ -193,6 +213,8 @@ HybridDesign HybridOptimizer::beam(const multibit::InputProfile& profile,
     throw std::invalid_argument("HybridOptimizer::beam: beam width 0");
   }
   const std::size_t n = profile.width();
+  util::WallTimer search_timer;
+  SearchStats stats;
 
   std::vector<CellCost> costs;
   std::vector<analysis::MklMatrices> mkls;
@@ -221,16 +243,26 @@ HybridDesign HybridOptimizer::beam(const multibit::InputProfile& profile,
     expanded.reserve(beam_set.size() * candidates.size());
     for (const Partial& partial : beam_set) {
       for (std::size_t c = 0; c < candidates.size(); ++c) {
-        if (!usable(costs[c], constraints)) continue;
+        if (!usable(costs[c], constraints)) {
+          ++stats.candidates_rejected;
+          continue;
+        }
         Partial next = partial;
         if (constraints.max_power_nw) {
           next.power += *costs[c].power;
-          if (next.power > *constraints.max_power_nw) continue;
+          if (next.power > *constraints.max_power_nw) {
+            ++stats.candidates_rejected;
+            continue;
+          }
         }
         if (constraints.max_area_ge) {
           next.area += *costs[c].area;
-          if (next.area > *constraints.max_area_ge) continue;
+          if (next.area > *constraints.max_area_ge) {
+            ++stats.candidates_rejected;
+            continue;
+          }
         }
+        ++stats.candidates_evaluated;
         next.choice.push_back(c);
         if (i + 1 == n) {
           const double p_success = analysis::final_success(
@@ -268,7 +300,10 @@ HybridDesign HybridOptimizer::beam(const multibit::InputProfile& profile,
   std::vector<adders::AdderCell> stages;
   stages.reserve(n);
   for (std::size_t c : best_choice) stages.push_back(candidates[c]);
-  return finalize(std::move(stages), profile);
+  HybridDesign design = finalize(std::move(stages), profile);
+  stats.seconds = search_timer.elapsed_seconds();
+  design.stats = stats;
+  return design;
 }
 
 HybridDesign HybridOptimizer::greedy(const multibit::InputProfile& profile,

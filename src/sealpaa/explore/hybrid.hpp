@@ -10,6 +10,7 @@
 // budgets built from the Table 2 characteristics.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
@@ -28,6 +29,18 @@ struct DesignConstraints {
   std::optional<double> max_area_ge;
 };
 
+/// Execution accounting of one optimizer run — what the observability
+/// layer reports for the DSE: how much of the space was scored, how much
+/// the constraints pruned, and how long the search took.
+struct SearchStats {
+  /// Complete designs scored (exhaustive) or partial expansions
+  /// considered (beam/greedy).
+  std::uint64_t candidates_evaluated = 0;
+  /// Candidates discarded by power/area constraints before scoring.
+  std::uint64_t candidates_rejected = 0;
+  double seconds = 0.0;  // wall clock of the whole search
+};
+
 /// A fully evaluated hybrid design.
 struct HybridDesign {
   std::vector<adders::AdderCell> stages;
@@ -35,6 +48,7 @@ struct HybridDesign {
   double p_success = 0.0;
   std::optional<double> power_nw;  // nullopt when any stage lacks data
   std::optional<double> area_ge;
+  SearchStats stats;  // filled by the optimizer that produced the design
 
   [[nodiscard]] multibit::AdderChain chain() const {
     return multibit::AdderChain(stages);

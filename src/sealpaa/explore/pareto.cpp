@@ -4,6 +4,7 @@
 #include "sealpaa/adders/characteristics.hpp"
 #include "sealpaa/analysis/recursive.hpp"
 #include "sealpaa/util/parallel.hpp"
+#include "sealpaa/util/timer.hpp"
 
 namespace sealpaa::explore {
 
@@ -22,10 +23,13 @@ bool dominates(const DesignPoint& a, const DesignPoint& b, bool use_area) {
 }  // namespace
 
 std::vector<DesignPoint> pareto_front(std::vector<DesignPoint> points,
-                                      bool use_area) {
+                                      bool use_area, ParetoStats* stats) {
+  util::WallTimer timer;
   std::vector<DesignPoint> front;
+  std::size_t with_cost = 0;
   for (const DesignPoint& candidate : points) {
     if (!candidate.has_cost) continue;
+    ++with_cost;
     bool dominated = false;
     for (const DesignPoint& other : points) {
       if (!other.has_cost) continue;
@@ -36,11 +40,18 @@ std::vector<DesignPoint> pareto_front(std::vector<DesignPoint> points,
     }
     if (!dominated) front.push_back(candidate);
   }
+  if (stats != nullptr) {
+    stats->points_in = points.size();
+    stats->points_with_cost = with_cost;
+    stats->front_size = front.size();
+    stats->seconds = timer.elapsed_seconds();
+  }
   return front;
 }
 
 std::vector<DesignPoint> homogeneous_sweep(
-    const multibit::InputProfile& profile, unsigned threads) {
+    const multibit::InputProfile& profile, unsigned threads,
+    util::ShardTimings* timings) {
   const std::span<const adders::AdderCell> cells = adders::all_builtin_cells();
   const double n = static_cast<double>(profile.width());
   // Candidates are analyzed concurrently; the ordered reduction appends
@@ -68,7 +79,8 @@ std::vector<DesignPoint> homogeneous_sweep(
         },
         [](std::vector<DesignPoint>& acc, DesignPoint&& point) {
           acc.push_back(std::move(point));
-        });
+        },
+        timings);
   });
 }
 

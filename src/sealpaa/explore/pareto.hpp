@@ -3,10 +3,12 @@
 // characteristics with the recursive error analysis.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
 #include "sealpaa/multibit/input_profile.hpp"
+#include "sealpaa/util/counters.hpp"
 
 namespace sealpaa::explore {
 
@@ -19,19 +21,33 @@ struct DesignPoint {
   bool has_cost = true;  // false when the cell lacks Table 2 data
 };
 
+/// Execution accounting of one front computation, for the observability
+/// layer's DSE section.
+struct ParetoStats {
+  std::size_t points_in = 0;         // candidates handed to the filter
+  std::size_t points_with_cost = 0;  // candidates actually compared
+  std::size_t front_size = 0;        // non-dominated survivors
+  double seconds = 0.0;              // wall clock of the filter
+};
+
 /// Non-dominated subset: a point dominates another when it is no worse
 /// in every compared dimension (error, power and — when `use_area` —
 /// area) and strictly better in at least one.  Points without cost data
-/// never enter the front when costs are compared.
+/// never enter the front when costs are compared.  When `stats` is
+/// non-null it receives the filter accounting.
 [[nodiscard]] std::vector<DesignPoint> pareto_front(
-    std::vector<DesignPoint> points, bool use_area = true);
+    std::vector<DesignPoint> points, bool use_area = true,
+    ParetoStats* stats = nullptr);
 
 /// Evaluates every built-in cell as an N-bit homogeneous chain under
 /// `profile` and returns the design points (error from the recursive
 /// analyzer, power/area scaled from Table 2).  Candidates are evaluated
 /// concurrently (`threads == 0` → the shared pool) and merged back into
 /// registry order, so the result does not depend on the thread count.
+/// When `timings` is non-null it receives the per-candidate shard
+/// breakdown of the parallel sweep.
 [[nodiscard]] std::vector<DesignPoint> homogeneous_sweep(
-    const multibit::InputProfile& profile, unsigned threads = 0);
+    const multibit::InputProfile& profile, unsigned threads = 0,
+    util::ShardTimings* timings = nullptr);
 
 }  // namespace sealpaa::explore

@@ -1,0 +1,97 @@
+#include "sealpaa/obs/counters.hpp"
+
+#include <algorithm>
+#include <ctime>
+#include <utility>
+#include <vector>
+
+namespace sealpaa::obs {
+
+void Counters::add(const std::string& path, std::uint64_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  integers_[path] += n;
+}
+
+void Counters::note_max(const std::string& path, std::uint64_t value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t& slot = integers_[path];
+  slot = std::max(slot, value);
+}
+
+void Counters::add_real(const std::string& path, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  reals_[path] += value;
+}
+
+std::uint64_t Counters::value(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = integers_.find(path);
+  return it == integers_.end() ? 0 : it->second;
+}
+
+double Counters::real_value(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = reals_.find(path);
+  return it == reals_.end() ? 0.0 : it->second;
+}
+
+void Counters::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  integers_.clear();
+  reals_.clear();
+}
+
+namespace {
+
+// Walks "a/b/c" down from `root`, creating nested objects, and sets the
+// leaf "c" to `value`.
+void set_path(Json& root, const std::string& path, Json value) {
+  Json* node = &root;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t slash = path.find('/', start);
+    if (slash == std::string::npos) {
+      node->set(path.substr(start), std::move(value));
+      return;
+    }
+    const std::string segment = path.substr(start, slash - start);
+    Json* child = const_cast<Json*>(node->find(segment));
+    if (child == nullptr || child->type() != Json::Type::Object) {
+      child = &node->set(segment, Json::object());
+    }
+    node = child;
+    start = slash + 1;
+  }
+}
+
+}  // namespace
+
+Json Counters::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Json root = Json::object();
+  for (const auto& [path, value] : integers_) set_path(root, path, Json(value));
+  for (const auto& [path, value] : reals_) set_path(root, path, Json(value));
+  return root;
+}
+
+double process_cpu_seconds() noexcept {
+  return static_cast<double>(std::clock()) /
+         static_cast<double>(CLOCKS_PER_SEC);
+}
+
+ScopedTimer::ScopedTimer(Counters& counters, std::string path)
+    : counters_(counters),
+      path_(std::move(path)),
+      cpu_start_(process_cpu_seconds()) {}
+
+ScopedTimer::~ScopedTimer() { stop(); }
+
+void ScopedTimer::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  counters_.add_real(path_ + "/wall_seconds", wall_.elapsed_seconds());
+  counters_.add_real(path_ + "/cpu_seconds",
+                     process_cpu_seconds() - cpu_start_);
+}
+
+}  // namespace sealpaa::obs

@@ -1,0 +1,74 @@
+// Hierarchical named counters and scoped timers for the observability
+// layer.  Paths are '/'-separated ("sim/montecarlo/samples"); the JSON
+// rendering nests one object per path segment, so related counters stay
+// grouped in the report.  All mutation is thread-safe: engines running
+// on the pool can bump counters from worker threads.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "sealpaa/obs/json.hpp"
+#include "sealpaa/util/timer.hpp"
+
+namespace sealpaa::obs {
+
+class Counters {
+ public:
+  Counters() = default;
+  Counters(const Counters&) = delete;
+  Counters& operator=(const Counters&) = delete;
+
+  /// Adds `n` to the integer counter at `path`.
+  void add(const std::string& path, std::uint64_t n = 1);
+
+  /// Keeps the maximum of the current value and `value` (high-water
+  /// marks: queue depth, peak live scalars, ...).
+  void note_max(const std::string& path, std::uint64_t value);
+
+  /// Accumulates a floating-point quantity (seconds, probabilities).
+  void add_real(const std::string& path, double value);
+
+  [[nodiscard]] std::uint64_t value(const std::string& path) const;
+  [[nodiscard]] double real_value(const std::string& path) const;
+
+  void clear();
+
+  /// Renders the counter tree: path segments become nested objects,
+  /// sibling keys sorted lexicographically (std::map order).
+  [[nodiscard]] Json to_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t> integers_;
+  std::map<std::string, double> reals_;
+};
+
+/// Measures wall and CPU seconds for a scope and accumulates them into
+/// `counters` under `<path>/wall_seconds` and `<path>/cpu_seconds` when
+/// the scope ends (or `stop()` is called early).
+class ScopedTimer {
+ public:
+  ScopedTimer(Counters& counters, std::string path);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Records now instead of at destruction; idempotent.
+  void stop();
+
+ private:
+  Counters& counters_;
+  std::string path_;
+  util::WallTimer wall_;
+  double cpu_start_;
+  bool stopped_ = false;
+};
+
+/// Process CPU seconds consumed so far (all threads), from std::clock.
+[[nodiscard]] double process_cpu_seconds() noexcept;
+
+}  // namespace sealpaa::obs

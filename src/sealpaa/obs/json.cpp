@@ -1,0 +1,171 @@
+#include "sealpaa/obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace sealpaa::obs {
+
+Json Json::array() {
+  Json value;
+  value.type_ = Type::Array;
+  return value;
+}
+
+Json Json::object() {
+  Json value;
+  value.type_ = Type::Object;
+  return value;
+}
+
+Json& Json::push_back(Json value) {
+  if (type_ != Type::Array) {
+    throw std::logic_error("Json::push_back: value is not an array");
+  }
+  array_.push_back(std::move(value));
+  return array_.back();
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  if (type_ != Type::Object) {
+    throw std::logic_error("Json::set: value is not an object");
+  }
+  for (auto& [existing_key, existing_value] : object_) {
+    if (existing_key == key) {
+      existing_value = std::move(value);
+      return existing_value;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+  return object_.back().second;
+}
+
+const Json* Json::find(const std::string& key) const noexcept {
+  if (type_ != Type::Object) return nullptr;
+  for (const auto& [existing_key, value] : object_) {
+    if (existing_key == key) return &value;
+  }
+  return nullptr;
+}
+
+std::size_t Json::size() const noexcept {
+  switch (type_) {
+    case Type::Array:
+      return array_.size();
+    case Type::Object:
+      return object_.size();
+    default:
+      return 0;
+  }
+}
+
+std::string Json::escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  out.push_back('"');
+  for (const char c : raw) {
+    switch (c) {
+      case '"':  out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+namespace {
+
+std::string double_literal(double value) {
+  // Non-finite values have no JSON representation; emit null so a NaN in
+  // a metric is visible in the report instead of corrupting it.
+  if (!std::isfinite(value)) return "null";
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out.push_back('\n');
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+             ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::Null:
+      out += "null";
+      return;
+    case Type::Bool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Type::Integer:
+      out += std::to_string(int_);
+      return;
+    case Type::Unsigned:
+      out += std::to_string(uint_);
+      return;
+    case Type::Double:
+      out += double_literal(double_);
+      return;
+    case Type::String:
+      out += escape(string_);
+      return;
+    case Type::Array: {
+      if (array_.empty()) {
+        out += "[]";
+        return;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        newline_indent(out, indent, depth + 1);
+        array_[i].dump_to(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out.push_back(']');
+      return;
+    }
+    case Type::Object: {
+      if (object_.empty()) {
+        out += "{}";
+        return;
+      }
+      out.push_back('{');
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        newline_indent(out, indent, depth + 1);
+        out += escape(object_[i].first);
+        out += indent > 0 ? ": " : ":";
+        object_[i].second.dump_to(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+}  // namespace sealpaa::obs

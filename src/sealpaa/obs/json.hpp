@@ -1,0 +1,72 @@
+// Minimal JSON document builder for the observability layer.
+//
+// The library has no external JSON dependency, so this is a small,
+// self-contained value tree that covers exactly what RunReport needs:
+// null / bool / integer / double / string / array / object, with
+// insertion-ordered object keys (reports diff cleanly run-to-run) and
+// RFC 8259-conformant escaping.  Non-finite doubles serialize as null —
+// JSON has no NaN, and a NaN leaking into a report is precisely the bug
+// class the observability layer exists to surface.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sealpaa::obs {
+
+class Json {
+ public:
+  enum class Type { Null, Bool, Integer, Unsigned, Double, String, Array,
+                    Object };
+
+  Json() noexcept : type_(Type::Null) {}
+  Json(bool value) noexcept : type_(Type::Bool), bool_(value) {}
+  Json(std::int64_t value) noexcept : type_(Type::Integer), int_(value) {}
+  Json(int value) noexcept : Json(static_cast<std::int64_t>(value)) {}
+  Json(unsigned value) noexcept : Json(static_cast<std::uint64_t>(value)) {}
+  Json(std::uint64_t value) noexcept : type_(Type::Unsigned), uint_(value) {}
+  Json(double value) noexcept : type_(Type::Double), double_(value) {}
+  Json(std::string value) : type_(Type::String), string_(std::move(value)) {}
+  Json(const char* value) : Json(std::string(value)) {}
+
+  [[nodiscard]] static Json array();
+  [[nodiscard]] static Json object();
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::Null; }
+
+  /// Appends to an array (the value must have been created via array()).
+  Json& push_back(Json value);
+
+  /// Inserts or replaces `key` in an object; insertion order is kept.
+  Json& set(const std::string& key, Json value);
+
+  /// Object lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(const std::string& key) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Serializes the tree.  `indent` > 0 pretty-prints with that many
+  /// spaces per level; 0 emits the compact single-line form.
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+  /// Escapes `raw` as a JSON string literal including the quotes.
+  [[nodiscard]] static std::string escape(const std::string& raw);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace sealpaa::obs

@@ -1,0 +1,75 @@
+#include "sealpaa/obs/report.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "sealpaa/util/parallel.hpp"
+
+namespace sealpaa::obs {
+
+RunReport::RunReport(std::string tool) : tool_(std::move(tool)) {
+  generated_unix_ = std::chrono::duration_cast<std::chrono::seconds>(
+                        std::chrono::system_clock::now().time_since_epoch())
+                        .count();
+}
+
+void RunReport::record_args(const util::CliArgs& args) {
+  args_ = Json::object();
+  for (const auto& [name, value] : args.flags()) args_.set(name, Json(value));
+  Json positional = Json::array();
+  for (const std::string& arg : args.positional()) {
+    positional.push_back(Json(arg));
+  }
+  args_.set("positional", std::move(positional));
+}
+
+Json& RunReport::section(const std::string& name) {
+  Json* existing = const_cast<Json*>(sections_.find(name));
+  if (existing != nullptr) return *existing;
+  return sections_.set(name, Json::object());
+}
+
+Json RunReport::to_json() const {
+  Json document = Json::object();
+  document.set("schema", Json(std::string(kSchema)));
+  document.set("schema_version", Json(kSchemaVersion));
+  document.set("tool", Json(tool_));
+  document.set("generated_unix", Json(generated_unix_));
+  document.set("hardware_threads", Json(util::hardware_threads()));
+  document.set("args", args_);
+  document.set("counters", counters_.to_json());
+  document.set("sections", sections_);
+  return document;
+}
+
+void RunReport::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("RunReport: cannot open '" + path +
+                             "' for writing");
+  }
+  out << to_json().dump(2) << "\n";
+  if (!out) {
+    throw std::runtime_error("RunReport: write to '" + path + "' failed");
+  }
+}
+
+std::optional<std::string> report_path(const util::CliArgs& args,
+                                       const std::string& default_path) {
+  if (args.has(RunReport::kFlag)) {
+    const std::string path = args.get(RunReport::kFlag, "");
+    if (path.empty() || path == "true") {
+      throw std::invalid_argument(
+          "--json-report requires a file path: --json-report=FILE");
+    }
+    return path;
+  }
+  if (args.get_bool("no-json", false) || default_path.empty()) {
+    return std::nullopt;
+  }
+  return default_path;
+}
+
+}  // namespace sealpaa::obs

@@ -1,0 +1,74 @@
+// Versioned JSON run reports — the machine-readable output channel of
+// every sealpaa entry point (CLI subcommands and bench executables).
+//
+// Document layout (schema "sealpaa.run-report", version 1):
+//
+//   {
+//     "schema": "sealpaa.run-report",
+//     "schema_version": 1,
+//     "tool": "<binary or subcommand name>",
+//     "generated_unix": <seconds since epoch>,
+//     "hardware_threads": <unsigned>,
+//     "args": { "<flag>": "<value>", ..., "positional": [...] },
+//     "counters": { <hierarchical counter tree> },
+//     "sections": { "<name>": { ... tool-specific payload ... } }
+//   }
+//
+// The schema name/version pair is the compatibility contract: consumers
+// (CI validation, the perf-trajectory tooling) key on it and additions
+// must stay backward compatible within a version.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "sealpaa/obs/counters.hpp"
+#include "sealpaa/obs/json.hpp"
+#include "sealpaa/util/cli.hpp"
+
+namespace sealpaa::obs {
+
+class RunReport {
+ public:
+  static constexpr std::string_view kSchema = "sealpaa.run-report";
+  static constexpr int kSchemaVersion = 1;
+  /// The global CLI flag every entry point honours: `--json-report=FILE`.
+  static constexpr const char* kFlag = "json-report";
+
+  explicit RunReport(std::string tool);
+
+  /// Echoes the parsed command line into the report's "args" object.
+  void record_args(const util::CliArgs& args);
+
+  /// Returns the named section object under "sections", creating it on
+  /// first use.  Sections are tool-specific payloads.
+  Json& section(const std::string& name);
+
+  [[nodiscard]] Counters& counters() noexcept { return counters_; }
+
+  [[nodiscard]] const std::string& tool() const noexcept { return tool_; }
+
+  /// Assembles the full document.
+  [[nodiscard]] Json to_json() const;
+
+  /// Writes the document to `path` (throws std::runtime_error on I/O
+  /// failure).  The file always ends with a newline.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::string tool_;
+  std::int64_t generated_unix_ = 0;
+  Json args_ = Json::object();
+  Json sections_ = Json::object();
+  Counters counters_;
+};
+
+/// Resolves where a report should be written: `--json-report=PATH` wins;
+/// otherwise `default_path` (benches pass their BENCH_*.json name, the
+/// CLI passes "" = disabled); `--no-json` suppresses the default.  A bare
+/// `--json-report` with no value is rejected with std::invalid_argument.
+[[nodiscard]] std::optional<std::string> report_path(
+    const util::CliArgs& args, const std::string& default_path = "");
+
+}  // namespace sealpaa::obs

@@ -1,0 +1,145 @@
+#include "sealpaa/obs/serialize.hpp"
+
+namespace sealpaa::obs {
+
+Json to_json(const prob::Interval& interval) {
+  if (interval.empty()) return Json();  // null: no data, not [0, 1]
+  Json out = Json::object();
+  out.set("low", Json(interval.low));
+  out.set("high", Json(interval.high));
+  out.set("width", Json(interval.width()));
+  return out;
+}
+
+Json to_json(const util::OpCounts& counts) {
+  Json out = Json::object();
+  out.set("multiplications", Json(counts.multiplications));
+  out.set("additions", Json(counts.additions));
+  out.set("comparisons", Json(counts.comparisons));
+  out.set("memory_units", Json(counts.memory_units));
+  out.set("total_arithmetic", Json(counts.total_arithmetic()));
+  return out;
+}
+
+Json to_json(const util::ShardTimings& timings) {
+  Json out = Json::object();
+  out.set("threads", Json(timings.threads));
+  out.set("wall_seconds", Json(timings.wall_seconds));
+  out.set("cpu_seconds", Json(timings.cpu_seconds()));
+  out.set("max_shard_seconds", Json(timings.max_shard_seconds()));
+  out.set("speedup", Json(timings.speedup()));
+  Json shards = Json::array();
+  for (const util::ShardTiming& shard : timings.shards) {
+    Json entry = Json::object();
+    entry.set("shard", Json(shard.shard));
+    entry.set("items", Json(shard.items));
+    entry.set("seconds", Json(shard.seconds));
+    shards.push_back(std::move(entry));
+  }
+  out.set("shards", std::move(shards));
+  return out;
+}
+
+Json to_json(const util::ThreadPool::Stats& stats) {
+  Json out = Json::object();
+  out.set("tasks_executed", Json(stats.tasks_executed));
+  out.set("queue_high_water", Json(stats.queue_high_water));
+  out.set("total_busy_seconds", Json(stats.total_busy_seconds()));
+  Json workers = Json::array();
+  for (const double seconds : stats.worker_busy_seconds) {
+    workers.push_back(Json(seconds));
+  }
+  out.set("worker_busy_seconds", std::move(workers));
+  return out;
+}
+
+Json to_json(const sim::ErrorMetrics& metrics) {
+  Json out = Json::object();
+  out.set("cases", Json(metrics.cases()));
+  out.set("value_errors", Json(metrics.value_errors()));
+  out.set("stage_failures", Json(metrics.stage_failures()));
+  out.set("error_rate", Json(metrics.error_rate()));
+  out.set("stage_failure_rate", Json(metrics.stage_failure_rate()));
+  out.set("mean_error", Json(metrics.mean_error()));
+  out.set("mean_abs_error", Json(metrics.mean_abs_error()));
+  out.set("mean_squared_error", Json(metrics.mean_squared_error()));
+  out.set("worst_case_error", Json(metrics.worst_case_error()));
+  return out;
+}
+
+Json to_json(const sim::MonteCarloReport& report) {
+  Json out = Json::object();
+  out.set("samples", Json(report.samples));
+  out.set("seconds", Json(report.seconds));
+  out.set("metrics", to_json(report.metrics));
+  out.set("stage_failure_ci", to_json(report.stage_failure_ci));
+  out.set("value_error_ci", to_json(report.value_error_ci));
+  if (!report.shard_timings.shards.empty()) {
+    out.set("shard_timings", to_json(report.shard_timings));
+  }
+  return out;
+}
+
+Json to_json(const sim::ExhaustiveSimReport& report) {
+  Json out = Json::object();
+  out.set("seconds", Json(report.seconds));
+  out.set("bit_operations", Json(report.bit_operations));
+  out.set("metrics", to_json(report.metrics));
+  if (!report.shard_timings.shards.empty()) {
+    out.set("shard_timings", to_json(report.shard_timings));
+  }
+  return out;
+}
+
+Json to_json(const explore::SearchStats& stats) {
+  Json out = Json::object();
+  out.set("candidates_evaluated", Json(stats.candidates_evaluated));
+  out.set("candidates_rejected", Json(stats.candidates_rejected));
+  out.set("seconds", Json(stats.seconds));
+  return out;
+}
+
+Json to_json(const explore::HybridDesign& design) {
+  Json out = Json::object();
+  Json stages = Json::array();
+  for (const adders::AdderCell& cell : design.stages) {
+    stages.push_back(Json(cell.name()));
+  }
+  out.set("stages", std::move(stages));
+  out.set("p_error", Json(design.p_error));
+  out.set("p_success", Json(design.p_success));
+  out.set("power_nw",
+          design.power_nw ? Json(*design.power_nw) : Json());
+  out.set("area_ge", design.area_ge ? Json(*design.area_ge) : Json());
+  out.set("search", to_json(design.stats));
+  return out;
+}
+
+Json to_json(const explore::DesignPoint& point) {
+  Json out = Json::object();
+  out.set("name", Json(point.name));
+  out.set("p_error", Json(point.p_error));
+  out.set("power_nw", point.has_cost ? Json(point.power_nw) : Json());
+  out.set("area_ge", point.has_cost ? Json(point.area_ge) : Json());
+  return out;
+}
+
+Json to_json(const std::vector<explore::DesignPoint>& points) {
+  Json out = Json::array();
+  for (const explore::DesignPoint& point : points) {
+    out.push_back(to_json(point));
+  }
+  return out;
+}
+
+Json to_json(const explore::ParetoStats& stats) {
+  Json out = Json::object();
+  out.set("points_in", Json(static_cast<std::uint64_t>(stats.points_in)));
+  out.set("points_with_cost",
+          Json(static_cast<std::uint64_t>(stats.points_with_cost)));
+  out.set("front_size", Json(static_cast<std::uint64_t>(stats.front_size)));
+  out.set("seconds", Json(stats.seconds));
+  return out;
+}
+
+}  // namespace sealpaa::obs

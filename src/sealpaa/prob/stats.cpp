@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace sealpaa::prob {
 
@@ -28,7 +29,11 @@ double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
 
 Interval wilson_interval(std::uint64_t successes, std::uint64_t trials,
                          double z) {
-  if (trials == 0) return {0.0, 1.0};
+  if (successes > trials) {
+    throw std::invalid_argument(
+        "wilson_interval: successes exceed trials");
+  }
+  if (trials == 0) return Interval::empty_interval();
   const double n = static_cast<double>(trials);
   const double p = static_cast<double>(successes) / n;
   const double z2 = z * z;

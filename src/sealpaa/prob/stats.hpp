@@ -27,7 +27,9 @@ class RunningStats {
   double max_ = 0.0;
 };
 
-/// A two-sided confidence interval [low, high].
+/// A two-sided confidence interval [low, high].  The *empty* interval
+/// (low > high) is the explicit "no data" value: it contains nothing and
+/// is what zero-trial estimates report instead of NaN or a fake [0, 1].
 struct Interval {
   double low = 0.0;
   double high = 0.0;
@@ -35,10 +37,16 @@ struct Interval {
     return low <= x && x <= high;
   }
   [[nodiscard]] double width() const noexcept { return high - low; }
+  [[nodiscard]] bool empty() const noexcept { return low > high; }
+  [[nodiscard]] static Interval empty_interval() noexcept {
+    return {1.0, 0.0};
+  }
 };
 
 /// Wilson score interval for a binomial proportion with `successes` out of
 /// `trials`, at normal quantile `z` (1.96 for ~95%, 3.29 for ~99.9%).
+/// `trials == 0` yields the empty interval (no division by zero, no NaN);
+/// `successes > trials` throws std::invalid_argument.
 [[nodiscard]] Interval wilson_interval(std::uint64_t successes,
                                        std::uint64_t trials, double z);
 

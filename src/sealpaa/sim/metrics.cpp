@@ -16,7 +16,7 @@ void ErrorMetrics::add(std::uint64_t approx_value, std::uint64_t exact_value,
   sum_error_ += e;
   sum_abs_error_ += std::fabs(e);
   sum_sq_error_ += e * e;
-  if (std::llabs(error) > std::llabs(worst_case_)) worst_case_ = error;
+  if (worse_error(error, worst_case_)) worst_case_ = error;
 }
 
 double ErrorMetrics::error_rate() const noexcept {
@@ -50,7 +50,7 @@ void ErrorMetrics::merge(const ErrorMetrics& other) noexcept {
   sum_error_ += other.sum_error_;
   sum_abs_error_ += other.sum_abs_error_;
   sum_sq_error_ += other.sum_sq_error_;
-  if (std::llabs(other.worst_case_) > std::llabs(worst_case_)) {
+  if (worse_error(other.worst_case_, worst_case_)) {
     worst_case_ = other.worst_case_;
   }
 }

@@ -7,6 +7,27 @@
 
 namespace sealpaa::sim {
 
+/// |error| computed in the unsigned domain — well-defined for INT64_MIN,
+/// where std::llabs / negation in std::int64_t is undefined behaviour.
+[[nodiscard]] constexpr std::uint64_t error_magnitude(
+    std::int64_t error) noexcept {
+  const auto u = static_cast<std::uint64_t>(error);
+  return error < 0 ? 0ULL - u : u;
+}
+
+/// Total order "a is a worse error than b": larger magnitude wins; equal
+/// magnitudes tie-break to the negative error.  Every worst-case tracker
+/// (sim metrics, the weighted-exhaustive oracle) uses this comparator so
+/// the reported worst case is a function of the evaluated *set* of cases
+/// only — never of evaluation or shard-merge order.
+[[nodiscard]] constexpr bool worse_error(std::int64_t a,
+                                         std::int64_t b) noexcept {
+  const std::uint64_t ma = error_magnitude(a);
+  const std::uint64_t mb = error_magnitude(b);
+  if (ma != mb) return ma > mb;
+  return a < b;
+}
+
 /// Streaming accumulator over (approximate, exact) result pairs.
 class ErrorMetrics {
  public:
@@ -34,12 +55,21 @@ class ErrorMetrics {
   [[nodiscard]] double mean_abs_error() const noexcept;
   /// Mean squared error E[(approx - exact)^2].
   [[nodiscard]] double mean_squared_error() const noexcept;
-  /// Largest |approx - exact| seen (signed value preserved).
+  /// Largest |approx - exact| seen (signed value preserved).  Ties in
+  /// magnitude between opposite signs resolve to the negative error, so
+  /// the reported worst case is a deterministic function of the *set* of
+  /// evaluated cases — independent of evaluation or shard-merge order.
+  /// The magnitude comparison is done in unsigned arithmetic, so
+  /// INT64_MIN (whose absolute value overflows std::int64_t) is handled
+  /// without undefined behaviour.
   [[nodiscard]] std::int64_t worst_case_error() const noexcept {
     return worst_case_;
   }
 
-  /// Merges another accumulator (for sharded simulation).
+  /// Merges another accumulator (for sharded simulation).  merge is
+  /// associative and commutative with the default-constructed metrics as
+  /// identity, which is what makes the ordered parallel reduction
+  /// thread-count-invariant.
   void merge(const ErrorMetrics& other) noexcept;
 
  private:

@@ -48,6 +48,9 @@ MonteCarloReport MonteCarloSimulator::run(const multibit::AdderChain& chain,
 
   MonteCarloReport report;
   report.samples = samples;
+  // Zero samples: no data, so the metrics stay at their identity and the
+  // confidence intervals stay empty — never NaN or a fabricated [0, 1].
+  if (samples == 0) return report;
   util::WallTimer timer;
   report.metrics =
       simulate_shard(chain, profile, samples, prob::Xoshiro256StarStar(seed));
@@ -72,6 +75,7 @@ MonteCarloReport MonteCarloSimulator::run_parallel(
 
   MonteCarloReport report;
   report.samples = samples;
+  if (samples == 0) return report;  // empty metrics, empty CIs — not NaN
   util::WallTimer timer;
 
   // Disjoint streams: shard s uses the base generator advanced by s

@@ -21,9 +21,10 @@ struct MonteCarloReport {
   util::ShardTimings shard_timings;  // filled by run_parallel only
 
   /// Wilson 95% interval for the stage-failure rate (the paper's P(E)).
-  prob::Interval stage_failure_ci;
+  /// Empty (see prob::Interval::empty) until samples have been drawn.
+  prob::Interval stage_failure_ci = prob::Interval::empty_interval();
   /// Wilson 95% interval for the value-level error rate.
-  prob::Interval value_error_ci;
+  prob::Interval value_error_ci = prob::Interval::empty_interval();
 };
 
 class MonteCarloSimulator {

@@ -1,5 +1,6 @@
 #include "sealpaa/util/parallel.hpp"
 
+#include <algorithm>
 #include <atomic>
 
 namespace sealpaa::util {
@@ -28,12 +29,19 @@ unsigned default_threads() noexcept {
   return n == 0 ? hardware_threads() : n;
 }
 
+double ThreadPool::Stats::total_busy_seconds() const noexcept {
+  double total = 0.0;
+  for (const double seconds : worker_busy_seconds) total += seconds;
+  return total;
+}
+
 ThreadPool::ThreadPool(unsigned threads) {
   unsigned count = threads == 0 ? default_threads() : threads;
   if (count == 0) count = 1;
   workers_.reserve(count);
+  worker_busy_seconds_.assign(count, 0.0);
   for (unsigned t = 0; t < count; ++t) {
-    workers_.emplace_back([this] { worker_main(); });
+    workers_.emplace_back([this, t] { worker_main(t); });
   }
 }
 
@@ -51,6 +59,8 @@ void ThreadPool::submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mutex_);
     ++pending_;
     queue_.push_back(std::move(task));
+    queue_high_water_ =
+        std::max<std::uint64_t>(queue_high_water_, queue_.size());
   }
   task_ready_.notify_one();
 }
@@ -70,12 +80,21 @@ bool ThreadPool::on_worker_thread() const noexcept {
   return tls_worker_pool == this;
 }
 
+ThreadPool::Stats ThreadPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats snapshot;
+  snapshot.tasks_executed = tasks_executed_;
+  snapshot.queue_high_water = queue_high_water_;
+  snapshot.worker_busy_seconds = worker_busy_seconds_;
+  return snapshot;
+}
+
 ThreadPool& ThreadPool::shared() {
   static ThreadPool pool(default_threads());
   return pool;
 }
 
-void ThreadPool::worker_main() {
+void ThreadPool::worker_main(std::size_t worker_index) {
   tls_worker_pool = this;
   for (;;) {
     std::function<void()> task;
@@ -86,6 +105,7 @@ void ThreadPool::worker_main() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    WallTimer busy;
     try {
       task();
     } catch (...) {
@@ -94,6 +114,8 @@ void ThreadPool::worker_main() {
     }
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      ++tasks_executed_;
+      worker_busy_seconds_[worker_index] += busy.elapsed_seconds();
       --pending_;
       if (pending_ == 0) all_done_.notify_all();
     }

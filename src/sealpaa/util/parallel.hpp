@@ -46,6 +46,19 @@ void set_default_threads(unsigned threads) noexcept;
 /// submitted task finished and rethrows the first task exception.
 class ThreadPool {
  public:
+  /// Lifetime execution statistics of a pool, snapshot via `stats()` —
+  /// the raw material of the observability layer's thread-pool section.
+  struct Stats {
+    std::uint64_t tasks_executed = 0;
+    /// Peak number of tasks queued (submitted but not yet started).
+    std::uint64_t queue_high_water = 0;
+    /// Wall seconds each worker spent executing tasks, indexed by worker.
+    std::vector<double> worker_busy_seconds;
+
+    /// Sum over all workers.
+    [[nodiscard]] double total_busy_seconds() const noexcept;
+  };
+
   /// Spawns `threads` workers (0 → `default_threads()`).
   explicit ThreadPool(unsigned threads = 0);
   ~ThreadPool();
@@ -69,13 +82,17 @@ class ThreadPool {
   /// deadlocking on nested fork/join regions.
   [[nodiscard]] bool on_worker_thread() const noexcept;
 
+  /// Snapshot of the pool's lifetime execution counters.  Thread-safe;
+  /// call after `wait()` for totals that cover every submitted task.
+  [[nodiscard]] Stats stats() const;
+
   /// Lazily constructed process-wide pool sized `default_threads()` at
   /// first use.  Engines called with `threads == 0` run here, so repeated
   /// invocations reuse one set of workers instead of respawning threads.
   [[nodiscard]] static ThreadPool& shared();
 
  private:
-  void worker_main();
+  void worker_main(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
@@ -85,6 +102,10 @@ class ThreadPool {
   std::size_t pending_ = 0;  // queued + currently executing
   bool stop_ = false;
   std::exception_ptr first_error_;
+  // Execution counters, all guarded by mutex_.
+  std::uint64_t tasks_executed_ = 0;
+  std::uint64_t queue_high_water_ = 0;
+  std::vector<double> worker_busy_seconds_;
 };
 
 /// Runs `fn(pool)` on the shared pool when `threads` is 0 (the library

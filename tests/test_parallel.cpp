@@ -237,6 +237,49 @@ TEST(ParallelDeterminism, MonteCarloBitIdenticalAcrossThreadCounts) {
             eight.metrics.mean_squared_error());
   EXPECT_EQ(eight.metrics.stage_failures(), again.metrics.stage_failures());
   EXPECT_EQ(eight.metrics.mean_error(), again.metrics.mean_error());
+  // The worst case is tracked with a total-order comparator (magnitude,
+  // ties to the negative error), so it too is shard-order independent.
+  EXPECT_EQ(one.metrics.worst_case_error(), eight.metrics.worst_case_error());
+  EXPECT_EQ(eight.metrics.worst_case_error(),
+            again.metrics.worst_case_error());
+}
+
+TEST(ParallelDeterminism, MonteCarloZeroSamplesReportsEmptyCis) {
+  // A zero-sample run is a no-op, not a NaN factory: metrics stay at the
+  // identity and both confidence intervals are explicitly empty.
+  const InputProfile profile = InputProfile::uniform(4, 0.5);
+  const AdderChain chain = AdderChain::homogeneous(lpaa(1), 4);
+  for (const auto& report :
+       {MonteCarloSimulator::run(chain, profile, 0),
+        MonteCarloSimulator::run_parallel(chain, profile, 0, 4)}) {
+    EXPECT_EQ(report.samples, 0u);
+    EXPECT_EQ(report.metrics.cases(), 0u);
+    EXPECT_TRUE(report.stage_failure_ci.empty());
+    EXPECT_TRUE(report.value_error_ci.empty());
+    EXPECT_FALSE(std::isnan(report.metrics.error_rate()));
+    EXPECT_FALSE(std::isnan(report.metrics.mean_error()));
+  }
+}
+
+TEST(ThreadPool, StatsTrackExecutionAndQueueDepth) {
+  ThreadPool pool(2);
+  ASSERT_EQ(pool.stats().tasks_executed, 0u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&counter] {
+      counter.fetch_add(1);
+      volatile double sink = 0.0;
+      for (int j = 0; j < 1000; ++j) sink = sink + 1.0;
+    });
+  }
+  pool.wait();
+  const ThreadPool::Stats stats = pool.stats();
+  EXPECT_EQ(counter.load(), 50);
+  EXPECT_EQ(stats.tasks_executed, 50u);
+  EXPECT_GE(stats.queue_high_water, 1u);
+  EXPECT_LE(stats.queue_high_water, 50u);
+  ASSERT_EQ(stats.worker_busy_seconds.size(), 2u);
+  EXPECT_GE(stats.total_busy_seconds(), 0.0);
 }
 
 TEST(ParallelDeterminism, HybridExhaustiveSameWinnerAcrossThreadCounts) {

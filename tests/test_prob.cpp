@@ -3,6 +3,7 @@
 
 #include <cmath>
 #include <set>
+#include <stdexcept>
 
 #include "sealpaa/prob/kahan.hpp"
 #include "sealpaa/prob/probability.hpp"
@@ -167,14 +168,32 @@ TEST(Wilson, CoversTrueProportion) {
 }
 
 TEST(Wilson, DegenerateCases) {
+  // Zero trials carry no information: the interval is explicitly empty,
+  // not the fake-but-plausible [0, 1].
   const auto empty = sealpaa::prob::wilson_interval(0, 0, 1.96);
-  EXPECT_DOUBLE_EQ(empty.low, 0.0);
-  EXPECT_DOUBLE_EQ(empty.high, 1.0);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_FALSE(empty.contains(0.5));
   const auto zero = sealpaa::prob::wilson_interval(0, 100, 1.96);
+  EXPECT_FALSE(zero.empty());
   EXPECT_DOUBLE_EQ(zero.low, 0.0);
   EXPECT_GT(zero.high, 0.0);
   const auto all = sealpaa::prob::wilson_interval(100, 100, 1.96);
   EXPECT_DOUBLE_EQ(all.high, 1.0);
+}
+
+TEST(Wilson, RejectsMoreSuccessesThanTrials) {
+  EXPECT_THROW(sealpaa::prob::wilson_interval(5, 4, 1.96),
+               std::invalid_argument);
+}
+
+TEST(Interval, EmptyIntervalSemantics) {
+  const auto empty = sealpaa::prob::Interval::empty_interval();
+  EXPECT_TRUE(empty.empty());
+  EXPECT_FALSE(empty.contains(0.0));
+  EXPECT_FALSE(empty.contains(1.0));
+  const sealpaa::prob::Interval point{0.5, 0.5};
+  EXPECT_FALSE(point.empty());
+  EXPECT_TRUE(point.contains(0.5));
 }
 
 TEST(BinomialStderr, ShrinksWithSamples) {

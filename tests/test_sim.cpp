@@ -2,6 +2,9 @@
 // convergence and the metrics accumulator.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 #include "sealpaa/adders/builtin.hpp"
 #include "sealpaa/analysis/recursive.hpp"
 #include "sealpaa/multibit/input_profile.hpp"
@@ -51,6 +54,92 @@ TEST(Metrics, EmptyIsZero) {
   const ErrorMetrics metrics;
   EXPECT_DOUBLE_EQ(metrics.error_rate(), 0.0);
   EXPECT_DOUBLE_EQ(metrics.mean_squared_error(), 0.0);
+}
+
+TEST(Metrics, WorstCaseTieBreaksToNegative) {
+  // +3 and -3 have equal magnitude; whichever arrives first, the
+  // reported worst case must be the same (the negative one).
+  ErrorMetrics plus_first;
+  plus_first.add(13, 10, false);  // +3
+  plus_first.add(7, 10, false);   // -3
+  ErrorMetrics minus_first;
+  minus_first.add(7, 10, false);
+  minus_first.add(13, 10, false);
+  EXPECT_EQ(plus_first.worst_case_error(), -3);
+  EXPECT_EQ(minus_first.worst_case_error(), -3);
+}
+
+TEST(Metrics, WorstCaseHandlesInt64MinMagnitude) {
+  // approx - exact == INT64_MIN: |e| overflows std::int64_t, and
+  // std::llabs on it is UB.  The unsigned-domain comparator must still
+  // rank it above everything else.
+  ErrorMetrics metrics;
+  metrics.add(0, static_cast<std::uint64_t>(std::numeric_limits<
+                     std::int64_t>::max()) + 1,
+              false);  // error INT64_MIN
+  metrics.add(100, 0, false);
+  EXPECT_EQ(metrics.worst_case_error(),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(sealpaa::sim::error_magnitude(
+                std::numeric_limits<std::int64_t>::min()),
+            0x8000'0000'0000'0000ULL);
+}
+
+TEST(Metrics, MergeIdentityAndAssociativity) {
+  const auto sample = [](int which) {
+    ErrorMetrics metrics;
+    switch (which) {
+      case 0:
+        metrics.add(13, 10, false);  // +3
+        metrics.add(10, 10, true);
+        break;
+      case 1:
+        metrics.add(7, 10, false);  // -3, ties +3 in magnitude
+        break;
+      default:
+        metrics.add(2, 10, false);  // -8, strict worst
+        metrics.add(11, 10, false);
+        break;
+    }
+    return metrics;
+  };
+  const auto equal = [](const ErrorMetrics& a, const ErrorMetrics& b) {
+    return a.cases() == b.cases() && a.value_errors() == b.value_errors() &&
+           a.stage_failures() == b.stage_failures() &&
+           a.mean_error() == b.mean_error() &&
+           a.mean_abs_error() == b.mean_abs_error() &&
+           a.mean_squared_error() == b.mean_squared_error() &&
+           a.worst_case_error() == b.worst_case_error();
+  };
+
+  // Identity: merging a default-constructed accumulator changes nothing.
+  ErrorMetrics with_identity = sample(0);
+  with_identity.merge(ErrorMetrics{});
+  EXPECT_TRUE(equal(with_identity, sample(0)));
+  ErrorMetrics identity_first;
+  identity_first.merge(sample(0));
+  EXPECT_TRUE(equal(identity_first, sample(0)));
+
+  // Associativity + permutation: every merge order of the three shards
+  // reports the same worst case and moments.
+  const int orders[][3] = {{0, 1, 2}, {0, 2, 1}, {1, 0, 2},
+                           {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+  ErrorMetrics reference = sample(0);
+  reference.merge(sample(1));
+  reference.merge(sample(2));
+  for (const auto& order : orders) {
+    ErrorMetrics left_fold = sample(order[0]);
+    left_fold.merge(sample(order[1]));
+    left_fold.merge(sample(order[2]));
+    EXPECT_TRUE(equal(left_fold, reference));
+
+    ErrorMetrics right_first = sample(order[1]);
+    right_first.merge(sample(order[2]));
+    ErrorMetrics right_fold = sample(order[0]);
+    right_fold.merge(right_first);
+    EXPECT_EQ(right_fold.worst_case_error(), reference.worst_case_error());
+    EXPECT_EQ(right_fold.cases(), reference.cases());
+  }
 }
 
 TEST(ExhaustiveSim, StageFailureRateMatchesAnalyticalAtHalf) {

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include "sealpaa/util/cli.hpp"
 #include "sealpaa/util/counters.hpp"
@@ -121,6 +122,70 @@ TEST(Cli, ParsesAllForms) {
   EXPECT_EQ(args.get("missing", "fallback"), "fallback");
   EXPECT_DOUBLE_EQ(args.get_double("alpha", 0.0), 3.0);
   EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(Cli, StrictIntegerParsingRejectsGarbage) {
+  const char* argv[] = {"prog", "--samples=1e6", "--grain=12cores",
+                        "--seed=0x10", "--width= 8"};
+  const CliArgs args(5, argv);
+  // "1e6" used to silently parse as 1 via strtoll — the motivating bug.
+  EXPECT_THROW((void)args.get_int("samples", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_uint("samples", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_int("grain", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_int("seed", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_int("width", 0), std::invalid_argument);
+}
+
+TEST(Cli, StrictIntegerParsingRejectsOutOfRange) {
+  const char* argv[] = {"prog", "--big=99999999999999999999",
+                        "--neg=-1"};
+  const CliArgs args(3, argv);
+  EXPECT_THROW((void)args.get_int("big", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_uint("big", 0), std::invalid_argument);
+  EXPECT_EQ(args.get_int("neg", 0), -1);
+  // get_uint refuses negatives rather than wrapping.
+  EXPECT_THROW((void)args.get_uint("neg", 0), std::invalid_argument);
+}
+
+TEST(Cli, StrictDoubleParsingRejectsGarbage) {
+  const char* argv[] = {"prog", "--p=0.5x", "--q=", "--r=nan",
+                        "--s=1e999", "--ok=2.5e-1"};
+  const CliArgs args(6, argv);
+  EXPECT_THROW((void)args.get_double("p", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_double("q", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_double("r", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_double("s", 0.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(args.get_double("ok", 0.0), 0.25);
+}
+
+TEST(Cli, FallbacksStillApplyWhenFlagAbsent) {
+  const char* argv[] = {"prog"};
+  const CliArgs args(1, argv);
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_EQ(args.get_uint("missing", 9u), 9u);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 0.25), 0.25);
+}
+
+TEST(Cli, ExpectFlagsRejectsUnknownFlag) {
+  // "--thread=8" (singular) used to be silently ignored; the run would
+  // proceed single-threaded with no hint anything was wrong.
+  const char* argv[] = {"prog", "--thread=8", "pos"};
+  const CliArgs args(3, argv);
+  EXPECT_THROW(args.expect_flags({"threads", "samples"}),
+               std::invalid_argument);
+  try {
+    args.expect_flags({"threads", "samples"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("--thread"), std::string::npos);
+  }
+}
+
+TEST(Cli, ExpectFlagsAcceptsKnownFlags) {
+  const char* argv[] = {"prog", "--threads=8", "--verbose"};
+  const CliArgs args(3, argv);
+  EXPECT_NO_THROW(args.expect_flags({"threads", "verbose", "unused"}));
+  EXPECT_EQ(args.flags().size(), 2u);
 }
 
 TEST(Counters, AccumulateAndMerge) {

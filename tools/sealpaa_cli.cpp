@@ -10,8 +10,14 @@
 //   sealpaa_cli sim     --cell=LPAA1 --bits=8 --p=0.5 [--samples=1000000]
 //   sealpaa_cli synth   --kind=cell|chain|gear --cell=... --bits=... [--out=f.v]
 //
-// The global --threads=N flag sizes the shared worker pool every parallel
-// engine runs on; it defaults to the hardware concurrency.
+// Global flags (every subcommand):
+//   --threads=N          worker pool width for the parallel engines
+//   --json-report=FILE   write a versioned machine-readable run report
+//
+// Flags are validated strictly: unknown flags and malformed numeric
+// values ("--samples=1e6") abort with a diagnostic instead of being
+// silently ignored or truncated.
+#include <fstream>
 #include <iostream>
 #include <sstream>
 
@@ -40,26 +46,47 @@ int usage() {
       "  sim      --cell --bits --p  Monte Carlo + exhaustive simulation\n"
       "           [--samples] [--seed] [--no-exhaustive] [--timings]\n"
       "  synth    --kind --cell      emit Verilog (cell|chain|gear)\n"
-      "           [--bits|--n --r --p] [--out]\n\n"
+      "           [--bits|--n --r --p] [--out] [--tb]\n\n"
       "global flags:\n"
       "  --threads=N                 worker pool width for the parallel\n"
-      "                              engines (default: hardware threads)\n";
+      "                              engines (default: hardware threads)\n"
+      "  --json-report=FILE          also write a machine-readable report\n"
+      "                              (schema sealpaa.run-report v1)\n";
   return 2;
+}
+
+// Flags every subcommand accepts on top of its own vocabulary.
+constexpr std::string_view kGlobalFlags[] = {"threads", "json-report",
+                                             "no-json"};
+
+void check_flags(const util::CliArgs& args,
+                 std::initializer_list<std::string_view> specific) {
+  std::vector<std::string_view> allowed(specific);
+  allowed.insert(allowed.end(), std::begin(kGlobalFlags),
+                 std::end(kGlobalFlags));
+  args.expect_flags(allowed);
 }
 
 const adders::AdderCell& cell_arg(const util::CliArgs& args) {
   const std::string name = args.get("cell", "LPAA1");
   const adders::AdderCell* cell = adders::find_builtin(name);
   if (cell == nullptr) {
-    std::cerr << "unknown cell '" << name << "' (try: sealpaa_cli cells)\n";
-    std::exit(2);
+    throw std::invalid_argument("unknown cell '" + name +
+                                "' (try: sealpaa_cli cells)");
   }
   return *cell;
 }
 
-int cmd_cells() {
+std::string ci_text(const prob::Interval& ci) {
+  if (ci.empty()) return "n/a (no samples)";
+  return "[" + util::prob6(ci.low) + ", " + util::prob6(ci.high) + "]";
+}
+
+int cmd_cells(const util::CliArgs& args, obs::RunReport& report) {
+  check_flags(args, {});
   util::TextTable table({"Cell", "Error cases", "Power (nW)", "Area (GE)",
                          "Description"});
+  obs::Json rows = obs::Json::array();
   for (const adders::AdderCell& cell : adders::all_builtin_cells()) {
     const auto* row = adders::find_characteristics(cell);
     table.add_row({cell.name(), std::to_string(cell.error_case_count()),
@@ -70,19 +97,32 @@ int cmd_cells() {
                        ? util::fixed(*row->area_ge, 2)
                        : "n/a",
                    cell.description()});
+    obs::Json entry = obs::Json::object();
+    entry.set("name", obs::Json(cell.name()));
+    entry.set("error_cases", obs::Json(cell.error_case_count()));
+    entry.set("power_nw", row != nullptr && row->power_nw
+                              ? obs::Json(*row->power_nw)
+                              : obs::Json());
+    entry.set("area_ge", row != nullptr && row->area_ge
+                             ? obs::Json(*row->area_ge)
+                             : obs::Json());
+    rows.push_back(std::move(entry));
   }
   std::cout << table;
+  report.section("cells").set("rows", std::move(rows));
   return 0;
 }
 
-int cmd_analyze(const util::CliArgs& args) {
+int cmd_analyze(const util::CliArgs& args, obs::RunReport& report) {
+  check_flags(args, {"cell", "bits", "p", "trace", "rho"});
   const adders::AdderCell& cell = cell_arg(args);
-  const std::size_t bits = static_cast<std::size_t>(args.get_int("bits", 8));
+  const auto bits = static_cast<std::size_t>(args.get_uint("bits", 8));
   const double p = args.get_double("p", 0.5);
   const multibit::InputProfile marginals =
       multibit::InputProfile::uniform(bits, p);
   const auto chain = multibit::AdderChain::homogeneous(cell, bits);
 
+  obs::ScopedTimer timer(report.counters(), "analyze");
   analysis::AnalysisResult result;
   if (args.has("rho")) {
     const double rho = args.get_double("rho", 0.0);
@@ -92,12 +132,14 @@ int cmd_analyze(const util::CliArgs& args) {
     result = analysis::CorrelatedAnalyzer::analyze(chain, joint, options);
     std::cout << chain.describe() << "  p=" << util::fixed(p, 3)
               << "  rho=" << util::fixed(rho, 2) << "\n";
+    report.section("analyze").set("rho", obs::Json(rho));
   } else {
     analysis::AnalyzeOptions options;
     options.record_trace = args.get_bool("trace", false);
     result = analysis::RecursiveAnalyzer::analyze(chain, marginals, options);
     std::cout << chain.describe() << "  p=" << util::fixed(p, 3) << "\n";
   }
+  timer.stop();
   std::cout << "P(Success) = " << util::prob6(result.p_success)
             << "\nP(Error)   = " << util::prob6(result.p_error) << "\n";
   if (!result.trace.empty()) {
@@ -111,43 +153,73 @@ int cmd_analyze(const util::CliArgs& args) {
     }
     std::cout << table;
   }
+  obs::Json& section = report.section("analyze");
+  section.set("cell", obs::Json(cell.name()));
+  section.set("bits", obs::Json(static_cast<std::uint64_t>(bits)));
+  section.set("p", obs::Json(p));
+  section.set("p_success", obs::Json(result.p_success));
+  section.set("p_error", obs::Json(result.p_error));
   return 0;
 }
 
-int cmd_sweep(const util::CliArgs& args) {
+int cmd_sweep(const util::CliArgs& args, obs::RunReport& report) {
+  check_flags(args, {"cell", "p", "max-bits"});
   const adders::AdderCell& cell = cell_arg(args);
   const double p = args.get_double("p", 0.5);
-  const std::size_t max_bits =
-      static_cast<std::size_t>(args.get_int("max-bits", 16));
+  const auto max_bits = static_cast<std::size_t>(args.get_uint("max-bits", 16));
   util::TextTable table({"bits", "P(Error)"});
   table.set_align(0, util::Align::Right);
   table.set_align(1, util::Align::Right);
+  obs::Json rows = obs::Json::array();
+  obs::ScopedTimer timer(report.counters(), "sweep");
   for (std::size_t bits = 1; bits <= max_bits; ++bits) {
-    table.add_row({std::to_string(bits),
-                   util::prob6(analysis::RecursiveAnalyzer::error_probability(
-                       cell, multibit::InputProfile::uniform(bits, p)))});
+    const double p_error = analysis::RecursiveAnalyzer::error_probability(
+        cell, multibit::InputProfile::uniform(bits, p));
+    table.add_row({std::to_string(bits), util::prob6(p_error)});
+    obs::Json entry = obs::Json::object();
+    entry.set("bits", obs::Json(static_cast<std::uint64_t>(bits)));
+    entry.set("p_error", obs::Json(p_error));
+    rows.push_back(std::move(entry));
+    report.counters().add("sweep/widths_analyzed");
   }
+  timer.stop();
   std::cout << table;
+  obs::Json& section = report.section("sweep");
+  section.set("cell", obs::Json(cell.name()));
+  section.set("p", obs::Json(p));
+  section.set("rows", std::move(rows));
   return 0;
 }
 
-int cmd_bounds(const util::CliArgs& args) {
+int cmd_bounds(const util::CliArgs& args, obs::RunReport& report) {
+  check_flags(args, {"cell", "p", "epsilon", "bits"});
   const adders::AdderCell& cell = cell_arg(args);
   const double p = args.get_double("p", 0.5);
   const double epsilon = args.get_double("epsilon", 0.1);
-  const std::size_t bits = static_cast<std::size_t>(args.get_int("bits", 16));
+  const auto bits = static_cast<std::size_t>(args.get_uint("bits", 16));
+  const std::size_t width = analysis::max_cascadable_width(cell, p, epsilon);
+  const std::size_t lsbs =
+      analysis::max_approximate_lsbs(cell, bits, p, epsilon);
   std::cout << "tolerance epsilon = " << util::fixed(epsilon, 4) << ", p = "
             << util::fixed(p, 3) << "\n";
-  std::cout << "max cascadable width of " << cell.name() << ": "
-            << analysis::max_cascadable_width(cell, p, epsilon) << " bits\n";
-  std::cout << "max approximate LSBs in a " << bits << "-bit hybrid: "
-            << analysis::max_approximate_lsbs(cell, bits, p, epsilon)
+  std::cout << "max cascadable width of " << cell.name() << ": " << width
+            << " bits\n";
+  std::cout << "max approximate LSBs in a " << bits << "-bit hybrid: " << lsbs
             << "\n";
+  obs::Json& section = report.section("bounds");
+  section.set("cell", obs::Json(cell.name()));
+  section.set("p", obs::Json(p));
+  section.set("epsilon", obs::Json(epsilon));
+  section.set("max_cascadable_width",
+              obs::Json(static_cast<std::uint64_t>(width)));
+  section.set("max_approximate_lsbs",
+              obs::Json(static_cast<std::uint64_t>(lsbs)));
   return 0;
 }
 
-int cmd_hybrid(const util::CliArgs& args) {
-  const std::size_t bits = static_cast<std::size_t>(args.get_int("bits", 8));
+int cmd_hybrid(const util::CliArgs& args, obs::RunReport& report) {
+  check_flags(args, {"bits", "profile", "budget-nw"});
+  const auto bits = static_cast<std::size_t>(args.get_uint("bits", 8));
   std::vector<double> p_bits;
   const std::string profile_csv = args.get("profile", "");
   if (profile_csv.empty()) {
@@ -157,8 +229,8 @@ int cmd_hybrid(const util::CliArgs& args) {
     std::string token;
     while (std::getline(stream, token, ',')) p_bits.push_back(std::stod(token));
     if (p_bits.size() != bits) {
-      std::cerr << "profile must list exactly " << bits << " values\n";
-      return 2;
+      throw std::invalid_argument("--profile must list exactly " +
+                                  std::to_string(bits) + " values");
     }
   }
   const multibit::InputProfile profile(p_bits, p_bits, p_bits.front());
@@ -178,37 +250,52 @@ int cmd_hybrid(const util::CliArgs& args) {
   if (design.power_nw) {
     std::cout << "power = " << util::fixed(*design.power_nw, 0) << " nW\n";
   }
+  report.section("hybrid").set("design", obs::to_json(design));
+  report.counters().add("hybrid/candidates_evaluated",
+                        design.stats.candidates_evaluated);
+  report.counters().add("hybrid/candidates_rejected",
+                        design.stats.candidates_rejected);
   return 0;
 }
 
-int cmd_gear(const util::CliArgs& args) {
+int cmd_gear(const util::CliArgs& args, obs::RunReport& report) {
+  check_flags(args, {"n", "r", "p", "p-input"});
   const gear::GearConfig config(static_cast<int>(args.get_int("n", 16)),
                                 static_cast<int>(args.get_int("r", 4)),
                                 static_cast<int>(args.get_int("p", 4)));
   const double p_input = args.get_double("p-input", 0.5);
   const auto profile = multibit::InputProfile::uniform(
       static_cast<std::size_t>(config.n()), p_input);
+  obs::ScopedTimer timer(report.counters(), "gear");
   const auto analysis = gear::GearAnalyzer::analyze(config, profile);
+  const double recovery = gear::expected_recovery_cycles(config, profile);
+  timer.stop();
   std::cout << config.describe() << "  p = " << util::fixed(p_input, 3)
             << "\n";
   std::cout << "P(Error) exact        = "
             << util::prob6(analysis.p_error_exact_dp) << "\n";
   std::cout << "P(Error) indep approx = "
             << util::prob6(analysis.p_error_independent_approx) << "\n";
-  std::cout << "E[recovery cycles]    = "
-            << util::fixed(gear::expected_recovery_cycles(config, profile), 4)
-            << "\n";
+  std::cout << "E[recovery cycles]    = " << util::fixed(recovery, 4) << "\n";
+  obs::Json& section = report.section("gear");
+  section.set("config", obs::Json(config.describe()));
+  section.set("p_input", obs::Json(p_input));
+  section.set("p_error_exact", obs::Json(analysis.p_error_exact_dp));
+  section.set("p_error_independent_approx",
+              obs::Json(analysis.p_error_independent_approx));
+  section.set("expected_recovery_cycles", obs::Json(recovery));
   return 0;
 }
 
-int cmd_sim(const util::CliArgs& args) {
+int cmd_sim(const util::CliArgs& args, obs::RunReport& report) {
+  check_flags(args,
+              {"cell", "bits", "p", "samples", "seed", "no-exhaustive",
+               "timings"});
   const adders::AdderCell& cell = cell_arg(args);
-  const std::size_t bits = static_cast<std::size_t>(args.get_int("bits", 8));
+  const auto bits = static_cast<std::size_t>(args.get_uint("bits", 8));
   const double p = args.get_double("p", 0.5);
-  const auto samples =
-      static_cast<std::uint64_t>(args.get_int("samples", 1'000'000));
-  const auto seed = static_cast<std::uint64_t>(
-      args.get_int("seed", 0x5ea1'c0de'2017'dacLL));
+  const std::uint64_t samples = args.get_uint("samples", 1'000'000);
+  const std::uint64_t seed = args.get_uint("seed", 0x5ea1'c0de'2017'dacULL);
   const unsigned threads = args.threads();
 
   const auto chain = multibit::AdderChain::homogeneous(cell, bits);
@@ -220,21 +307,35 @@ int cmd_sim(const util::CliArgs& args) {
             << "  threads=" << threads << "\n";
   std::cout << "P(Error) analytical   = " << util::prob6(analytical) << "\n";
 
+  obs::Json& section = report.section("sim");
+  section.set("cell", obs::Json(cell.name()));
+  section.set("bits", obs::Json(static_cast<std::uint64_t>(bits)));
+  section.set("p", obs::Json(p));
+  section.set("threads", obs::Json(threads));
+  section.set("analytical_p_error", obs::Json(analytical));
+
+  obs::ScopedTimer mc_timer(report.counters(), "sim/montecarlo");
   const auto mc =
       sim::MonteCarloSimulator::run_parallel(chain, profile, samples, threads,
                                              seed);
+  mc_timer.stop();
+  report.counters().add("sim/montecarlo/samples", mc.samples);
   std::cout << "P(Error) Monte Carlo  = "
             << util::prob6(mc.metrics.stage_failure_rate()) << "  ("
-            << util::with_commas(samples) << " samples, 95% CI ["
-            << util::prob6(mc.stage_failure_ci.low) << ", "
-            << util::prob6(mc.stage_failure_ci.high) << "], "
+            << util::with_commas(samples) << " samples, 95% CI "
+            << ci_text(mc.stage_failure_ci) << ", "
             << util::fixed(mc.seconds, 3) << "s)\n";
   if (args.get_bool("timings", false)) {
     std::cout << "  " << mc.shard_timings.summary() << "\n";
   }
+  section.set("montecarlo", obs::to_json(mc));
 
   if (!args.get_bool("no-exhaustive", false) && bits <= 13) {
+    obs::ScopedTimer ex_timer(report.counters(), "sim/exhaustive");
     const auto exhaustive = sim::ExhaustiveSimulator::run(chain, 13, threads);
+    ex_timer.stop();
+    report.counters().add("sim/exhaustive/cases",
+                          exhaustive.metrics.cases());
     std::cout << "P(Error) exhaustive   = "
               << util::prob6(exhaustive.metrics.stage_failure_rate())
               << "  (" << util::with_commas(exhaustive.metrics.cases())
@@ -246,11 +347,13 @@ int cmd_sim(const util::CliArgs& args) {
     if (args.get_bool("timings", false)) {
       std::cout << "  " << exhaustive.shard_timings.summary() << "\n";
     }
+    section.set("exhaustive", obs::to_json(exhaustive));
   }
   return 0;
 }
 
-int cmd_synth(const util::CliArgs& args) {
+int cmd_synth(const util::CliArgs& args, obs::RunReport& report) {
+  check_flags(args, {"kind", "cell", "bits", "n", "r", "p", "out", "tb"});
   const std::string kind = args.get("kind", "cell");
   rtl::Netlist netlist;
   std::string module_name;
@@ -260,7 +363,7 @@ int cmd_synth(const util::CliArgs& args) {
     module_name = cell.name() + "_cell";
   } else if (kind == "chain") {
     const adders::AdderCell& cell = cell_arg(args);
-    const std::size_t bits = static_cast<std::size_t>(args.get_int("bits", 8));
+    const auto bits = static_cast<std::size_t>(args.get_uint("bits", 8));
     netlist =
         rtl::synthesize_chain(multibit::AdderChain::homogeneous(cell, bits));
     module_name = cell.name() + "_rca" + std::to_string(bits);
@@ -271,14 +374,35 @@ int cmd_synth(const util::CliArgs& args) {
     netlist = rtl::synthesize_gear(config);
     module_name = "gear_n" + std::to_string(config.n());
   } else {
-    std::cerr << "unknown --kind=" << kind << "\n";
-    return 2;
+    throw std::invalid_argument("unknown --kind=" + kind +
+                                " (cell|chain|gear)");
   }
   netlist = rtl::optimize(netlist);
-  std::cout << rtl::to_verilog(netlist, module_name);
+  std::string verilog = rtl::to_verilog(netlist, module_name);
   if (args.get_bool("tb", false)) {
-    std::cout << "\n" << rtl::to_verilog_testbench(netlist, module_name);
+    verilog += "\n" + rtl::to_verilog_testbench(netlist, module_name);
   }
+  // --out was documented but silently ignored; honour it.
+  const std::string out_path = args.get("out", "");
+  if (out_path.empty()) {
+    std::cout << verilog;
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      throw std::runtime_error("cannot open '" + out_path + "' for writing");
+    }
+    out << verilog;
+    if (!out) {
+      throw std::runtime_error("write to '" + out_path + "' failed");
+    }
+    std::cout << "wrote " << module_name << " to " << out_path << "\n";
+  }
+  obs::Json& section = report.section("synth");
+  section.set("kind", obs::Json(kind));
+  section.set("module", obs::Json(module_name));
+  section.set("verilog_bytes",
+              obs::Json(static_cast<std::uint64_t>(verilog.size())));
+  if (!out_path.empty()) section.set("out", obs::Json(out_path));
   return 0;
 }
 
@@ -287,22 +411,47 @@ int cmd_synth(const util::CliArgs& args) {
 int main(int argc, char** argv) {
   const util::CliArgs args(argc, argv);
   if (args.positional().empty()) return usage();
-  // Size the shared pool before any engine touches it; every parallel
-  // path (simulators, oracles, DSE) then inherits --threads.
-  util::set_default_threads(args.threads());
   const std::string command = args.positional().front();
   try {
-    if (command == "cells") return cmd_cells();
-    if (command == "analyze") return cmd_analyze(args);
-    if (command == "sweep") return cmd_sweep(args);
-    if (command == "bounds") return cmd_bounds(args);
-    if (command == "hybrid") return cmd_hybrid(args);
-    if (command == "gear") return cmd_gear(args);
-    if (command == "sim") return cmd_sim(args);
-    if (command == "synth") return cmd_synth(args);
+    // Size the shared pool before any engine touches it; every parallel
+    // path (simulators, oracles, DSE) then inherits --threads.
+    util::set_default_threads(args.threads());
+    // Resolve the report destination first so a malformed --json-report
+    // aborts before any work runs.
+    const auto report_path = obs::report_path(args);
+    obs::RunReport report("sealpaa_cli " + command);
+    report.record_args(args);
+    obs::ScopedTimer total(report.counters(), "total");
+
+    int status = 2;
+    if (command == "cells") {
+      status = cmd_cells(args, report);
+    } else if (command == "analyze") {
+      status = cmd_analyze(args, report);
+    } else if (command == "sweep") {
+      status = cmd_sweep(args, report);
+    } else if (command == "bounds") {
+      status = cmd_bounds(args, report);
+    } else if (command == "hybrid") {
+      status = cmd_hybrid(args, report);
+    } else if (command == "gear") {
+      status = cmd_gear(args, report);
+    } else if (command == "sim") {
+      status = cmd_sim(args, report);
+    } else if (command == "synth") {
+      status = cmd_synth(args, report);
+    } else {
+      return usage();
+    }
+    total.stop();
+
+    if (status == 0 && report_path) {
+      report.write_file(*report_path);
+      std::cerr << "json report written to " << *report_path << "\n";
+    }
+    return status;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
-  return usage();
 }
