@@ -2,11 +2,17 @@
 // and chart the latency/accuracy trade-off analytically (no simulation
 // needed — the exact DP is O(N)).
 //
-//   ./example_gear_explorer [--bits=16] [--p=0.5]
+// Ported to the library's observability surface: flags are validated
+// strictly and the sweep can be captured as a versioned
+// sealpaa.run-report JSON (--json-report=FILE), one entry per valid
+// configuration, for downstream plotting.
+//
+//   ./example_gear_explorer [--bits=16] [--p=0.5] [--json-report=FILE]
 #include <iostream>
 
 #include "sealpaa/gear/gear.hpp"
 #include "sealpaa/multibit/input_profile.hpp"
+#include "sealpaa/obs/report.hpp"
 #include "sealpaa/util/cli.hpp"
 #include "sealpaa/util/format.hpp"
 #include "sealpaa/util/table.hpp"
@@ -14,41 +20,74 @@
 int main(int argc, char** argv) {
   using namespace sealpaa;
   const util::CliArgs args(argc, argv);
-  const int bits = static_cast<int>(args.get_int("bits", 16));
-  const double p = args.get_double("p", 0.5);
-  const auto profile =
-      multibit::InputProfile::uniform(static_cast<std::size_t>(bits), p);
+  try {
+    args.expect_flags({"bits", "p", "json-report", "no-json"});
+    const int bits = static_cast<int>(args.get_int("bits", 16));
+    const double p = args.get_double("p", 0.5);
+    const auto profile =
+        multibit::InputProfile::uniform(static_cast<std::size_t>(bits), p);
 
-  std::cout << "GeAr design space for N = " << bits << ", p = "
-            << util::fixed(p, 2) << ":\n\n";
+    std::cout << "GeAr design space for N = " << bits << ", p = "
+              << util::fixed(p, 2) << ":\n\n";
 
-  util::TextTable table({"Config", "Blocks", "Carry chain (L)",
-                         "P(Error) exact", "P(Error) indep approx",
-                         "Worst block P(B_i)"});
-  for (std::size_t c = 1; c <= 5; ++c) table.set_align(c, util::Align::Right);
+    obs::RunReport report("example_gear_explorer");
+    report.record_args(args);
+    obs::Json configs = obs::Json::array();
 
-  int printed = 0;
-  for (int r = 1; r <= bits; ++r) {
-    for (int pp = 0; pp + r <= bits; ++pp) {
-      if ((bits - (r + pp)) % r != 0) continue;
-      const gear::GearConfig config(bits, r, pp);
-      if (config.blocks() == 1 && r != bits) continue;
-      const auto analysis = gear::GearAnalyzer::analyze(config, profile);
-      double worst_block = 0.0;
-      for (double f : analysis.block_failure) {
-        worst_block = std::max(worst_block, f);
-      }
-      table.add_row({config.describe(), std::to_string(config.blocks()),
-                     std::to_string(config.critical_path_bits()),
-                     util::prob6(analysis.p_error_exact_dp),
-                     util::prob6(analysis.p_error_independent_approx),
-                     util::prob6(worst_block)});
-      ++printed;
+    util::TextTable table({"Config", "Blocks", "Carry chain (L)",
+                           "P(Error) exact", "P(Error) indep approx",
+                           "Worst block P(B_i)"});
+    for (std::size_t c = 1; c <= 5; ++c) {
+      table.set_align(c, util::Align::Right);
     }
+
+    int printed = 0;
+    for (int r = 1; r <= bits; ++r) {
+      for (int pp = 0; pp + r <= bits; ++pp) {
+        if ((bits - (r + pp)) % r != 0) continue;
+        const gear::GearConfig config(bits, r, pp);
+        if (config.blocks() == 1 && r != bits) continue;
+        const auto analysis = gear::GearAnalyzer::analyze(config, profile);
+        double worst_block = 0.0;
+        for (double f : analysis.block_failure) {
+          worst_block = std::max(worst_block, f);
+        }
+        table.add_row({config.describe(), std::to_string(config.blocks()),
+                       std::to_string(config.critical_path_bits()),
+                       util::prob6(analysis.p_error_exact_dp),
+                       util::prob6(analysis.p_error_independent_approx),
+                       util::prob6(worst_block)});
+        ++printed;
+
+        obs::Json entry = obs::Json::object();
+        entry.set("config", obs::Json(config.describe()));
+        entry.set("blocks", obs::Json(config.blocks()));
+        entry.set("critical_path_bits",
+                  obs::Json(config.critical_path_bits()));
+        entry.set("p_error_exact_dp", obs::Json(analysis.p_error_exact_dp));
+        entry.set("p_error_independent_approx",
+                  obs::Json(analysis.p_error_independent_approx));
+        entry.set("worst_block_failure", obs::Json(worst_block));
+        configs.push_back(std::move(entry));
+      }
+    }
+    std::cout << table;
+    std::cout << "\n" << printed << " valid configurations. Pick the "
+                 "shortest carry chain whose P(Error) fits the "
+                 "application's resilience budget.\n";
+
+    obs::Json& section = report.section("gear_explorer");
+    section.set("bits", obs::Json(bits));
+    section.set("p", obs::Json(p));
+    section.set("configurations", std::move(configs));
+
+    if (const auto path = obs::report_path(args)) {
+      report.write_file(*path);
+      std::cout << "json report written to " << *path << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
   }
-  std::cout << table;
-  std::cout << "\n" << printed << " valid configurations. Pick the shortest "
-               "carry chain whose P(Error) fits the application's "
-               "resilience budget.\n";
-  return 0;
 }

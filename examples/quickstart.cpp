@@ -2,10 +2,12 @@
 // approximate adder in a dozen lines of library code.
 //
 //   ./example_quickstart [--cell=LPAA6] [--bits=8] [--p=0.5]
+//       [--method=recursive]
 #include <iostream>
+#include <stdexcept>
 
 #include "sealpaa/adders/builtin.hpp"
-#include "sealpaa/analysis/recursive.hpp"
+#include "sealpaa/engine/method.hpp"
 #include "sealpaa/multibit/input_profile.hpp"
 #include "sealpaa/util/cli.hpp"
 #include "sealpaa/util/format.hpp"
@@ -32,23 +34,36 @@ int main(int argc, char** argv) {
   const multibit::InputProfile profile =
       multibit::InputProfile::uniform(bits, p);
 
-  // 3. Run the paper's recursive analysis (O(N), microseconds).
-  analysis::AnalyzeOptions options;
-  options.record_trace = true;
-  const analysis::AnalysisResult result =
-      analysis::RecursiveAnalyzer::analyze(*cell, profile, options);
+  // 3. Evaluate through the engine's method registry.  The default
+  //    method is the paper's recursive analysis (O(N), microseconds);
+  //    --method=monte-carlo etc. dispatches to any other engine through
+  //    the same call.
+  engine::Evaluation result;
+  try {
+    const engine::Method method =
+        engine::parse_method(args.get("method", "recursive"));
+    engine::EvaluateOptions options;
+    options.record_trace = true;  // per-stage trace (recursive method only)
+    result = engine::evaluate(*cell, profile, method, options);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
 
   std::cout << bits << "-bit chain of " << cell->name() << " at p = "
-            << util::fixed(p, 2) << ":\n";
+            << util::fixed(p, 2) << " (method: "
+            << engine::method_name(result.method) << "):\n";
   std::cout << "  P(Success) = " << util::prob6(result.p_success) << "\n";
   std::cout << "  P(Error)   = " << util::prob6(result.p_error) << "\n\n";
 
-  std::cout << "Per-stage success-filtered carry masses:\n";
-  for (std::size_t i = 0; i < result.trace.size(); ++i) {
-    std::cout << "  stage " << i << ": P(C=0 & Succ) = "
-              << util::prob6(result.trace[i].carry_out.c0)
-              << "   P(C=1 & Succ) = "
-              << util::prob6(result.trace[i].carry_out.c1) << "\n";
+  if (!result.trace.empty()) {
+    std::cout << "Per-stage success-filtered carry masses:\n";
+    for (std::size_t i = 0; i < result.trace.size(); ++i) {
+      std::cout << "  stage " << i << ": P(C=0 & Succ) = "
+                << util::prob6(result.trace[i].carry_out.c0)
+                << "   P(C=1 & Succ) = "
+                << util::prob6(result.trace[i].carry_out.c1) << "\n";
+    }
   }
   return 0;
 }

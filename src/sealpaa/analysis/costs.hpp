@@ -9,7 +9,7 @@
 #include "sealpaa/analysis/mkl.hpp"
 #include "sealpaa/multibit/chain.hpp"
 #include "sealpaa/multibit/input_profile.hpp"
-#include "sealpaa/util/counters.hpp"
+#include "sealpaa/util/op_counter.hpp"
 
 namespace sealpaa::analysis {
 

@@ -15,7 +15,7 @@
 
 #include "sealpaa/multibit/chain.hpp"
 #include "sealpaa/multibit/input_profile.hpp"
-#include "sealpaa/util/counters.hpp"
+#include "sealpaa/util/op_counter.hpp"
 
 namespace sealpaa::baseline {
 

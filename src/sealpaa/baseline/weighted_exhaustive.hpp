@@ -14,7 +14,7 @@
 #include "sealpaa/multibit/chain.hpp"
 #include "sealpaa/multibit/input_profile.hpp"
 #include "sealpaa/multibit/joint_profile.hpp"
-#include "sealpaa/util/counters.hpp"
+#include "sealpaa/util/parallel.hpp"
 
 namespace sealpaa::baseline {
 

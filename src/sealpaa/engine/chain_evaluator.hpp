@@ -1,0 +1,161 @@
+// Prefix-cached chain scoring for design-space exploration.
+//
+// DSE algorithms (exhaustive, beam, greedy) score thousands of candidate
+// chains drawn from a small cell palette, and consecutive candidates
+// share long prefixes.  `ChainEvaluator` memoizes the success-filtered
+// carry state of every prefix it computes in an LRU cache keyed by the
+// choice-index string, so extending a partial design by one stage costs
+// one cache probe plus one `advance_stage` — O(1) per candidate stage —
+// instead of re-running the recursion from bit 0.
+//
+// Scoring arithmetic is the exact call sequence of
+// `RecursiveAnalyzer::analyze`, so `evaluate()` is bit-identical to the
+// batch analyzer (enforced by tests/test_engine.cpp), and the cache can
+// never change a result — only how often stages are recomputed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "sealpaa/analysis/mkl.hpp"
+#include "sealpaa/analysis/recursive.hpp"
+#include "sealpaa/multibit/input_profile.hpp"
+
+namespace sealpaa::engine {
+
+struct ChainEvaluatorOptions {
+  /// Maximum number of prefix carry states kept (LRU eviction beyond
+  /// it).  0 disables caching entirely: every query recomputes from bit
+  /// 0 and the hit/miss/insertion/eviction counters stay 0.
+  std::size_t cache_capacity = std::size_t{1} << 16;
+};
+
+/// Exact accounting of the prefix cache's work, reported through
+/// sealpaa::obs into the run-report JSON.
+struct CacheStats {
+  std::uint64_t hits = 0;        // probes answered from the cache
+  std::uint64_t misses = 0;      // probes (one per depth tried) that missed
+  std::uint64_t insertions = 0;  // prefix states stored
+  std::uint64_t evictions = 0;   // LRU entries dropped at capacity
+  /// advance_stage calls actually performed — the number the cache
+  /// exists to minimise.
+  std::uint64_t stages_computed = 0;
+  std::uint64_t chains_evaluated = 0;  // full evaluate() calls
+
+  /// hits / (hits + misses); 0 when no probe has happened yet.
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t probes = hits + misses;
+    return probes == 0 ? 0.0
+                       : static_cast<double>(hits) /
+                             static_cast<double>(probes);
+  }
+};
+
+/// Scores chains assembled from a fixed candidate palette under a fixed
+/// input profile.  A chain is a vector of candidate indices, least
+/// significant stage first.  Not thread-safe; use one per thread.
+class ChainEvaluator {
+ public:
+  /// Throws std::invalid_argument when `candidates` is empty or holds
+  /// more than 255 cells (prefix keys pack choice indices into bytes).
+  ChainEvaluator(multibit::InputProfile profile,
+                 std::vector<adders::AdderCell> candidates,
+                 ChainEvaluatorOptions options = {});
+
+  [[nodiscard]] std::size_t width() const noexcept {
+    return profile_.width();
+  }
+  [[nodiscard]] std::size_t candidate_count() const noexcept {
+    return candidates_.size();
+  }
+  [[nodiscard]] const multibit::InputProfile& profile() const noexcept {
+    return profile_;
+  }
+  [[nodiscard]] const adders::AdderCell& candidate(std::size_t c) const {
+    return candidates_.at(c);
+  }
+  [[nodiscard]] const analysis::MklMatrices& mkl(std::size_t c) const {
+    return mkls_.at(c);
+  }
+
+  /// Success-filtered carry state after the stages of `choices`
+  /// (size() may be 0..width()).  Served from the longest cached prefix;
+  /// any newly computed prefix states are cached on the way forward.
+  [[nodiscard]] analysis::CarryState carry_after(
+      std::span<const std::size_t> choices);
+
+  /// P(Success) of the full chain `prefix + [last_choice]` (Equation
+  /// 12).  Requires prefix.size() == width() - 1.  Raw dot product, no
+  /// clamping — the quantity DSE comparisons rank by.
+  [[nodiscard]] double final_success(std::span<const std::size_t> prefix,
+                                     std::size_t last_choice);
+
+  /// Full analysis of a complete chain (choices.size() == width()).
+  /// Bit-identical to `RecursiveAnalyzer::analyze` on the same cells.
+  [[nodiscard]] analysis::AnalysisResult evaluate(
+      std::span<const std::size_t> choices);
+
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = CacheStats{}; }
+
+  /// Cached prefix states currently held.
+  [[nodiscard]] std::size_t cache_size() const noexcept {
+    return live_slots_;
+  }
+  /// Drops every cached prefix (stats are kept).
+  void clear();
+
+ private:
+  // The cache is a hand-rolled flat structure because it sits on the DSE
+  // hot path: a beam search does one probe-miss, one probe-hit and one
+  // insertion per candidate stage, and a node-based unordered_map pays
+  // an allocation per insertion plus pointer-chasing per probe.  Here a
+  // slot array holds the carry states (key bytes in a parallel pool at
+  // slot * stride), an open-addressing index table maps key -> slot, and
+  // the LRU list is threaded through the slots as indices — zero
+  // allocations at steady state.  Slots are recycled in place on
+  // eviction; the index table uses linear probing with backward-shift
+  // deletion, so no tombstones accumulate.
+  static constexpr std::uint32_t kNil = 0xFFFF'FFFFu;
+
+  struct Slot {
+    analysis::CarryState carry;
+    std::uint64_t hash = 0;    // of the key bytes; avoids rehash on grow
+    std::uint32_t prev = kNil;  // LRU links (head = most recent)
+    std::uint32_t next = kNil;
+    std::uint32_t len = 0;  // key length in bytes (one per choice index)
+  };
+
+  void check_choice(std::size_t choice) const;
+  [[nodiscard]] std::string_view key_of(std::uint32_t slot) const noexcept;
+  [[nodiscard]] std::uint32_t find_slot(std::string_view key,
+                                        std::uint64_t hash) const noexcept;
+  void insert_prefix(std::string_view key, std::uint64_t hash,
+                     const analysis::CarryState& carry);
+  void touch(std::uint32_t slot) noexcept;  // mark most recently used
+  void unlink(std::uint32_t slot) noexcept;
+  void link_front(std::uint32_t slot) noexcept;
+  void table_erase(std::uint32_t slot) noexcept;
+  void grow_table();
+
+  multibit::InputProfile profile_;
+  std::vector<adders::AdderCell> candidates_;
+  std::vector<analysis::MklMatrices> mkls_;
+  analysis::CarryState base_;  // Equation 5 initial state
+  std::size_t capacity_;
+  std::size_t key_stride_;  // bytes reserved per slot in key_pool_
+  std::vector<char> key_scratch_;
+  std::vector<std::uint64_t> hash_scratch_;  // probe hashes, reused on insert
+
+  std::vector<Slot> slots_;           // grows lazily up to capacity_
+  std::vector<char> key_pool_;        // slot i's key at i * key_stride_
+  std::vector<std::uint32_t> table_;  // open addressing; kNil = empty
+  std::size_t live_slots_ = 0;
+  std::uint32_t lru_head_ = kNil;
+  std::uint32_t lru_tail_ = kNil;
+  CacheStats stats_;
+};
+
+}  // namespace sealpaa::engine

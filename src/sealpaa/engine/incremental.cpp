@@ -1,0 +1,120 @@
+#include "sealpaa/engine/incremental.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "sealpaa/prob/probability.hpp"
+
+namespace sealpaa::engine {
+
+std::uint16_t MklCache::key_of(const adders::AdderCell& cell) noexcept {
+  std::uint16_t key = 0;
+  const adders::AdderCell::Rows& rows = cell.rows();
+  for (std::size_t r = 0; r < adders::AdderCell::kRows; ++r) {
+    if (rows[r].sum) key |= static_cast<std::uint16_t>(1u << r);
+    if (rows[r].carry) key |= static_cast<std::uint16_t>(1u << (8 + r));
+  }
+  return key;
+}
+
+const analysis::MklMatrices& MklCache::of(const adders::AdderCell& cell) {
+  const std::uint16_t key = key_of(cell);
+  const auto it = table_.find(key);
+  if (it != table_.end()) return it->second;
+  ++derivations_;
+  return table_.emplace(key, analysis::MklMatrices::from_cell(cell))
+      .first->second;
+}
+
+IncrementalAnalyzer::IncrementalAnalyzer(multibit::InputProfile profile,
+                                         MklCache* mkl_cache)
+    : profile_(std::move(profile)),
+      base_{1.0 - profile_.p_cin(), profile_.p_cin()},
+      cache_(mkl_cache != nullptr ? mkl_cache : &owned_cache_) {
+  stack_.reserve(profile_.width());
+}
+
+const analysis::CarryState& IncrementalAnalyzer::push_stage(
+    const adders::AdderCell& cell) {
+  return push_stage(cache_->of(cell));
+}
+
+const analysis::CarryState& IncrementalAnalyzer::push_stage(
+    const analysis::MklMatrices& mkl) {
+  const std::size_t i = depth();
+  if (i >= width()) {
+    throw std::logic_error(
+        "IncrementalAnalyzer::push_stage: chain already holds all " +
+        std::to_string(width()) + " stages");
+  }
+  const analysis::CarryState next = analysis::advance_stage(
+      mkl, profile_.p_a(i), profile_.p_b(i), carry_at(i));
+  stack_.push_back(Frame{mkl, next});
+  return stack_.back().carry;
+}
+
+void IncrementalAnalyzer::pop() {
+  if (stack_.empty()) {
+    throw std::logic_error("IncrementalAnalyzer::pop: no stages pushed");
+  }
+  stack_.pop_back();
+}
+
+void IncrementalAnalyzer::rewind(std::size_t depth) {
+  if (depth > stack_.size()) {
+    throw std::invalid_argument(
+        "IncrementalAnalyzer::rewind: target depth " + std::to_string(depth) +
+        " exceeds current depth " + std::to_string(stack_.size()));
+  }
+  stack_.resize(depth);
+}
+
+const analysis::CarryState& IncrementalAnalyzer::carry_at(
+    std::size_t depth) const {
+  if (depth > stack_.size()) {
+    throw std::invalid_argument(
+        "IncrementalAnalyzer::carry_at: depth " + std::to_string(depth) +
+        " exceeds current depth " + std::to_string(stack_.size()));
+  }
+  return depth == 0 ? base_ : stack_[depth - 1].carry;
+}
+
+double IncrementalAnalyzer::final_success_with(
+    const analysis::MklMatrices& mkl) const {
+  const std::size_t n = width();
+  if (depth() + 1 != n) {
+    throw std::logic_error(
+        "IncrementalAnalyzer::final_success_with: requires depth " +
+        std::to_string(n - 1) + ", have " + std::to_string(depth()));
+  }
+  return analysis::final_success(mkl, profile_.p_a(n - 1), profile_.p_b(n - 1),
+                                 carry_at(n - 1));
+}
+
+analysis::AnalysisResult IncrementalAnalyzer::finish(bool record_trace) const {
+  const std::size_t n = width();
+  if (depth() != n) {
+    throw std::logic_error("IncrementalAnalyzer::finish: chain holds " +
+                           std::to_string(depth()) + " of " +
+                           std::to_string(n) + " stages");
+  }
+  analysis::AnalysisResult result;
+  // P(Succ) closes over the carry state *before* the last stage, exactly
+  // as the batch analyzer scores it (Equation 12).
+  result.p_success = prob::require_probability(
+      analysis::final_success(stack_[n - 1].mkl, profile_.p_a(n - 1),
+                              profile_.p_b(n - 1), carry_at(n - 1)),
+      "IncrementalAnalyzer P(Succ)");
+  result.p_error = 1.0 - result.p_success;
+  result.final_carry = carry_at(n);
+  if (record_trace) {
+    result.trace.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      result.trace.push_back(analysis::StageTrace{
+          profile_.p_a(i), profile_.p_b(i), carry_at(i), carry_at(i + 1)});
+    }
+  }
+  return result;
+}
+
+}  // namespace sealpaa::engine

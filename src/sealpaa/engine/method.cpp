@@ -1,0 +1,149 @@
+#include "sealpaa/engine/method.hpp"
+
+#include <array>
+#include <stdexcept>
+#include <string>
+
+#include "sealpaa/baseline/inclusion_exclusion.hpp"
+#include "sealpaa/baseline/weighted_exhaustive.hpp"
+#include "sealpaa/sim/exhaustive.hpp"
+#include "sealpaa/sim/montecarlo.hpp"
+#include "sealpaa/util/parallel.hpp"
+
+namespace sealpaa::engine {
+
+namespace {
+
+constexpr std::array<MethodInfo, 5> kMethods = {{
+    {Method::kRecursive, "recursive",
+     "the paper's O(N) carry-state recursion", true},
+    {Method::kInclusionExclusion, "inclusion-exclusion",
+     "traditional 2^k-subset analysis (exponential)", true},
+    {Method::kExhaustiveSim, "exhaustive",
+     "simulate all input cases (uniform-0.5 inputs only)", true},
+    {Method::kWeightedExhaustive, "weighted-exhaustive",
+     "enumerate all input cases weighted by the profile", true},
+    {Method::kMonteCarlo, "monte-carlo",
+     "sampled simulation with Wilson confidence intervals", false},
+}};
+
+void require_matching_width(const multibit::AdderChain& chain,
+                            const multibit::InputProfile& profile) {
+  if (chain.width() != profile.width()) {
+    throw std::invalid_argument(
+        "engine::evaluate: chain width " + std::to_string(chain.width()) +
+        " does not match profile width " + std::to_string(profile.width()));
+  }
+}
+
+}  // namespace
+
+std::span<const MethodInfo> all_methods() { return kMethods; }
+
+const MethodInfo& method_info(Method method) {
+  for (const MethodInfo& info : kMethods) {
+    if (info.method == method) return info;
+  }
+  throw std::invalid_argument("engine::method_info: unregistered method");
+}
+
+std::string_view method_name(Method method) {
+  return method_info(method).name;
+}
+
+Method parse_method(std::string_view name) {
+  for (const MethodInfo& info : kMethods) {
+    if (info.name == name) return info.method;
+  }
+  std::string valid;
+  for (const MethodInfo& info : kMethods) {
+    if (!valid.empty()) valid += ", ";
+    valid += info.name;
+  }
+  throw std::invalid_argument("unknown method '" + std::string(name) +
+                              "' (valid: " + valid + ")");
+}
+
+Evaluation evaluate(const multibit::AdderChain& chain,
+                    const multibit::InputProfile& profile, Method method,
+                    const EvaluateOptions& options) {
+  require_matching_width(chain, profile);
+  Evaluation out;
+  out.method = method;
+
+  switch (method) {
+    case Method::kRecursive: {
+      analysis::AnalyzeOptions opts;
+      opts.record_trace = options.record_trace;
+      opts.counter = options.op_counter;
+      analysis::AnalysisResult result =
+          analysis::RecursiveAnalyzer::analyze(chain, profile, opts);
+      out.p_error = result.p_error;
+      out.p_success = result.p_success;
+      out.work_items = chain.width();
+      out.trace = std::move(result.trace);
+      return out;
+    }
+    case Method::kInclusionExclusion: {
+      const std::size_t max_width =
+          options.max_width == 0 ? 20 : options.max_width;
+      const baseline::InclusionExclusionResult result =
+          baseline::InclusionExclusionAnalyzer::analyze(
+              chain, profile, max_width, options.op_counter);
+      out.p_error = result.p_error;
+      out.p_success = result.p_success;
+      out.work_items = result.terms_evaluated;
+      return out;
+    }
+    case Method::kExhaustiveSim: {
+      if (!profile.is_uniform(0.5)) {
+        throw std::invalid_argument(
+            "engine::evaluate: method 'exhaustive' assumes equally probable "
+            "inputs (P=0.5 everywhere); use 'weighted-exhaustive' or "
+            "'monte-carlo' for this profile");
+      }
+      const std::size_t max_width =
+          options.max_width == 0 ? 13 : options.max_width;
+      const sim::ExhaustiveSimReport report =
+          sim::ExhaustiveSimulator::run(chain, max_width, options.threads);
+      out.p_error = report.metrics.stage_failure_rate();
+      out.p_success = 1.0 - out.p_error;
+      out.work_items = report.metrics.cases();
+      return out;
+    }
+    case Method::kWeightedExhaustive: {
+      const std::size_t max_width =
+          options.max_width == 0 ? 14 : options.max_width;
+      const baseline::ExhaustiveReport report =
+          baseline::WeightedExhaustive::analyze(chain, profile, max_width,
+                                                options.threads);
+      out.p_success = report.p_stage_success;
+      out.p_error = 1.0 - report.p_stage_success;
+      out.work_items = report.assignments;
+      return out;
+    }
+    case Method::kMonteCarlo: {
+      // run_parallel wants a concrete worker count; 0 means "the shared
+      // pool's width" at this layer.
+      const unsigned threads =
+          options.threads == 0 ? util::default_threads() : options.threads;
+      const sim::MonteCarloReport report = sim::MonteCarloSimulator::run_parallel(
+          chain, profile, options.samples, threads, options.seed);
+      out.p_error = report.metrics.stage_failure_rate();
+      out.p_success = 1.0 - out.p_error;
+      out.work_items = report.samples;
+      out.stage_failure_ci = report.stage_failure_ci;
+      return out;
+    }
+  }
+  throw std::invalid_argument("engine::evaluate: unregistered method");
+}
+
+Evaluation evaluate(const adders::AdderCell& cell,
+                    const multibit::InputProfile& profile, Method method,
+                    const EvaluateOptions& options) {
+  return evaluate(multibit::AdderChain::homogeneous(cell, profile.width()),
+                  profile, method, options);
+}
+
+}  // namespace sealpaa::engine

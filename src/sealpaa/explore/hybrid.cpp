@@ -5,9 +5,10 @@
 #include <stdexcept>
 
 #include "sealpaa/adders/characteristics.hpp"
-#include "sealpaa/analysis/recursive.hpp"
+#include "sealpaa/engine/chain_evaluator.hpp"
+#include "sealpaa/engine/incremental.hpp"
+#include "sealpaa/engine/method.hpp"
 #include "sealpaa/util/parallel.hpp"
-#include "sealpaa/util/timer.hpp"
 
 namespace sealpaa::explore {
 
@@ -37,8 +38,8 @@ HybridDesign finalize(std::vector<adders::AdderCell> stages,
                       const multibit::InputProfile& profile) {
   HybridDesign design;
   design.stages = std::move(stages);
-  const analysis::AnalysisResult result = analysis::RecursiveAnalyzer::analyze(
-      multibit::AdderChain(design.stages), profile);
+  const engine::Evaluation result = engine::evaluate(
+      multibit::AdderChain(design.stages), profile, engine::Method::kRecursive);
   design.p_success = result.p_success;
   design.p_error = result.p_error;
   double power = 0.0;
@@ -90,95 +91,162 @@ HybridDesign HybridOptimizer::exhaustive(
 
   std::vector<CellCost> costs;
   std::vector<analysis::MklMatrices> mkls;
+  std::vector<bool> cell_usable;
+  std::vector<double> power_of;  // 0.0 placeholder for unusable cells
+  std::vector<double> area_of;
   costs.reserve(candidates.size());
   mkls.reserve(candidates.size());
+  cell_usable.reserve(candidates.size());
+  power_of.reserve(candidates.size());
+  area_of.reserve(candidates.size());
   for (const adders::AdderCell& cell : candidates) {
-    costs.push_back(cost_of(cell));
+    const CellCost cost = cost_of(cell);
+    costs.push_back(cost);
     mkls.push_back(analysis::MklMatrices::from_cell(cell));
+    const bool ok = usable(cost, constraints);
+    cell_usable.push_back(ok);
+    power_of.push_back(ok && cost.power ? *cost.power : 0.0);
+    area_of.push_back(ok && cost.area ? *cost.area : 0.0);
+  }
+  const bool track_power = constraints.max_power_nw.has_value();
+  const bool track_area = constraints.max_area_ge.has_value();
+
+  // Historical design index (mixed radix k, stage 0 the least-significant
+  // digit), kept as the explicit tie-break key so the reported winner is
+  // the same design the sequential stage-0-fastest odometer would have
+  // found first — independent of the walk order and the thread count.
+  std::vector<std::uint64_t> pow_k(n);
+  {
+    std::uint64_t p = 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      pow_k[i] = p;
+      p *= k;
+    }
   }
 
-  // Designs are indexed in mixed radix k, stage 0 the least-significant
-  // digit — the same order the sequential odometer enumerated.  Ties in
-  // p_success keep the lowest index (within a shard by strict comparison,
-  // across shards by the ordered reduction), so the winner is independent
-  // of the thread count.
   struct BestDesign {
     double p_success = -1.0;
-    std::uint64_t index = 0;
+    std::uint64_t index = 0;  // historical stage-0-fastest design index
     bool found = false;
     std::uint64_t evaluated = 0;  // designs scored by the recursion
     std::uint64_t rejected = 0;   // designs pruned by the constraints
+    std::uint64_t stages = 0;     // advance_stage calls performed
   };
-  util::WallTimer search_timer;
 
+  // The walk enumerates designs with stage n-1 as the *fastest* digit, so
+  // consecutive designs differ only in a suffix and the shared prefix
+  // stays pushed on the incremental analyzer — amortized O(1) stage
+  // advances per design instead of O(N).
   const std::uint64_t grain = std::max<std::uint64_t>(1, total / 64);
   const BestDesign best = util::with_pool(threads, [&](util::ThreadPool&
                                                            pool) {
     return util::parallel_map_reduce(
         pool, 0, total, grain, BestDesign{},
         [&](std::uint64_t index_begin, std::uint64_t index_end) {
-          BestDesign shard_best;
+          BestDesign shard;
           std::vector<std::size_t> choice(n);
-          std::uint64_t rest = index_begin;
-          for (std::size_t i = 0; i < n; ++i) {
-            choice[i] = static_cast<std::size_t>(rest % k);
-            rest /= k;
-          }
-          for (std::uint64_t index = index_begin; index < index_end; ++index) {
-            [&] {
-              double power = 0.0;
-              double area = 0.0;
-              for (std::size_t i = 0; i < n; ++i) {
-                const CellCost& cost = costs[choice[i]];
-                if (!usable(cost, constraints)) {
-                  ++shard_best.rejected;
-                  return;
-                }
-                if (constraints.max_power_nw) power += *cost.power;
-                if (constraints.max_area_ge) area += *cost.area;
-              }
-              if (constraints.max_power_nw &&
-                  power > *constraints.max_power_nw) {
-                ++shard_best.rejected;
-                return;
-              }
-              if (constraints.max_area_ge && area > *constraints.max_area_ge) {
-                ++shard_best.rejected;
-                return;
-              }
-
-              ++shard_best.evaluated;
-              analysis::CarryState carry{1.0 - profile.p_cin(),
-                                         profile.p_cin()};
-              double p_success = 0.0;
-              for (std::size_t i = 0; i < n; ++i) {
-                const analysis::MklMatrices& mkl = mkls[choice[i]];
-                if (i + 1 == n) {
-                  p_success = analysis::final_success(mkl, profile.p_a(i),
-                                                      profile.p_b(i), carry);
-                } else {
-                  carry = analysis::advance_stage(mkl, profile.p_a(i),
-                                                  profile.p_b(i), carry);
-                }
-              }
-              if (!shard_best.found || p_success > shard_best.p_success) {
-                shard_best.p_success = p_success;
-                shard_best.index = index;
-                shard_best.found = true;
-              }
-            }();
-            // Odometer step to the next assignment.
-            for (std::size_t pos = 0; pos < n; ++pos) {
-              if (++choice[pos] < k) break;
-              choice[pos] = 0;
+          {
+            std::uint64_t rest = index_begin;
+            for (std::size_t i = n; i-- > 0;) {
+              choice[i] = static_cast<std::size_t>(rest % k);
+              rest /= k;
             }
           }
-          return shard_best;
+          std::uint64_t orig_index = 0;
+          std::size_t unusable_stages = 0;
+          for (std::size_t i = 0; i < n; ++i) {
+            orig_index += static_cast<std::uint64_t>(choice[i]) * pow_k[i];
+            if (!cell_usable[choice[i]]) ++unusable_stages;
+          }
+          // Running budget prefix sums: *_pre[i] covers stages [0, i).
+          // Rebuilt from the first changed stage on every odometer step,
+          // left to right — the same summation order as a fresh per-design
+          // accumulation, so rejection decisions are bit-identical to the
+          // historical per-chain loop.
+          std::vector<double> power_pre(n + 1, 0.0);
+          std::vector<double> area_pre(n + 1, 0.0);
+          const auto rebuild_budgets = [&](std::size_t from) {
+            if (track_power) {
+              for (std::size_t i = from; i < n; ++i) {
+                power_pre[i + 1] = power_pre[i] + power_of[choice[i]];
+              }
+            }
+            if (track_area) {
+              for (std::size_t i = from; i < n; ++i) {
+                area_pre[i + 1] = area_pre[i] + area_of[choice[i]];
+              }
+            }
+          };
+          rebuild_budgets(0);
+
+          engine::IncrementalAnalyzer inc(profile);
+          for (std::size_t i = 0; i + 1 < n; ++i) {
+            inc.push_stage(mkls[choice[i]]);
+            ++shard.stages;
+          }
+
+          for (std::uint64_t index = index_begin; index < index_end;
+               ++index) {
+            bool reject = unusable_stages > 0;
+            if (!reject && track_power &&
+                power_pre[n] > *constraints.max_power_nw) {
+              reject = true;
+            }
+            if (!reject && track_area &&
+                area_pre[n] > *constraints.max_area_ge) {
+              reject = true;
+            }
+            if (reject) {
+              ++shard.rejected;
+            } else {
+              ++shard.evaluated;
+              const double p_success =
+                  inc.final_success_with(mkls[choice[n - 1]]);
+              if (!shard.found || p_success > shard.p_success ||
+                  (p_success == shard.p_success &&
+                   orig_index < shard.index)) {
+                shard.p_success = p_success;
+                shard.index = orig_index;
+                shard.found = true;
+              }
+            }
+            if (index + 1 == index_end) break;
+
+            // Odometer step, stage n-1 fastest; `pos` ends at the most
+            // significant changed stage.
+            std::size_t pos = n;
+            for (;;) {
+              --pos;
+              if (!cell_usable[choice[pos]]) --unusable_stages;
+              if (choice[pos] + 1 < k) {
+                ++choice[pos];
+                orig_index += pow_k[pos];
+                if (!cell_usable[choice[pos]]) ++unusable_stages;
+                break;
+              }
+              choice[pos] = 0;
+              orig_index -= (k - 1) * pow_k[pos];
+              if (!cell_usable[choice[pos]]) ++unusable_stages;
+            }
+            rebuild_budgets(pos);
+            if (pos + 1 < n) {
+              inc.rewind(pos);
+              for (std::size_t i = pos; i + 1 < n; ++i) {
+                inc.push_stage(mkls[choice[i]]);
+                ++shard.stages;
+              }
+            }
+          }
+          return shard;
         },
         [](BestDesign& acc, BestDesign&& shard) {
           acc.evaluated += shard.evaluated;
           acc.rejected += shard.rejected;
-          if (shard.found && (!acc.found || shard.p_success > acc.p_success)) {
+          acc.stages += shard.stages;
+          if (shard.found &&
+              (!acc.found || shard.p_success > acc.p_success ||
+               (shard.p_success == acc.p_success &&
+                shard.index < acc.index))) {
             acc.p_success = shard.p_success;
             acc.index = shard.index;
             acc.found = true;
@@ -200,7 +268,7 @@ HybridDesign HybridOptimizer::exhaustive(
   HybridDesign design = finalize(std::move(stages), profile);
   design.stats.candidates_evaluated = best.evaluated;
   design.stats.candidates_rejected = best.rejected;
-  design.stats.seconds = search_timer.elapsed_seconds();
+  design.stats.stages_computed = best.stages;
   return design;
 }
 
@@ -213,68 +281,92 @@ HybridDesign HybridOptimizer::beam(const multibit::InputProfile& profile,
     throw std::invalid_argument("HybridOptimizer::beam: beam width 0");
   }
   const std::size_t n = profile.width();
-  util::WallTimer search_timer;
   SearchStats stats;
 
   std::vector<CellCost> costs;
-  std::vector<analysis::MklMatrices> mkls;
   costs.reserve(candidates.size());
-  mkls.reserve(candidates.size());
   for (const adders::AdderCell& cell : candidates) {
     costs.push_back(cost_of(cell));
-    mkls.push_back(analysis::MklMatrices::from_cell(cell));
   }
+
+  // Size the cache for the whole search (one insertion per expansion,
+  // width x beam_width x candidates in total) so the hot loop never pays
+  // for an eviction; the live set per round is only beam_width x
+  // candidates, but dead prefixes are cheaper to keep than to evict.
+  // Capped so pathological configurations stay within tens of MB.
+  engine::ChainEvaluatorOptions cache_options;
+  cache_options.cache_capacity = std::clamp<std::size_t>(
+      n * beam_width * (candidates.size() + 1), 4096, std::size_t{1} << 18);
+  engine::ChainEvaluator evaluator(
+      profile,
+      std::vector<adders::AdderCell>(candidates.begin(), candidates.end()),
+      cache_options);
 
   struct Partial {
     std::vector<std::size_t> choice;
+    double power = 0.0;
+    double area = 0.0;
+  };
+  // Expansions are scored as (parent, choice) pairs; the full choice
+  // vector is only materialized for the `beam_width` survivors of each
+  // round, so the 1-in-|candidates| losers never pay an allocation.
+  struct Extension {
+    std::size_t parent = 0;
+    std::size_t choice = 0;
     analysis::CarryState carry;
     double power = 0.0;
     double area = 0.0;
   };
 
-  std::vector<Partial> beam_set{
-      Partial{{}, {1.0 - profile.p_cin(), profile.p_cin()}, 0.0, 0.0}};
+  std::vector<Partial> beam_set{Partial{}};
+  std::vector<Extension> expanded;
+  std::vector<std::size_t> scratch;
+  scratch.reserve(n);
 
   double best_success = -1.0;
   std::vector<std::size_t> best_choice;
 
   for (std::size_t i = 0; i < n; ++i) {
-    std::vector<Partial> expanded;
+    expanded.clear();
     expanded.reserve(beam_set.size() * candidates.size());
-    for (const Partial& partial : beam_set) {
+    for (std::size_t parent = 0; parent < beam_set.size(); ++parent) {
+      const Partial& partial = beam_set[parent];
+      scratch.assign(partial.choice.begin(), partial.choice.end());
+      scratch.push_back(0);
       for (std::size_t c = 0; c < candidates.size(); ++c) {
         if (!usable(costs[c], constraints)) {
           ++stats.candidates_rejected;
           continue;
         }
-        Partial next = partial;
+        double power = partial.power;
+        double area = partial.area;
         if (constraints.max_power_nw) {
-          next.power += *costs[c].power;
-          if (next.power > *constraints.max_power_nw) {
+          power += *costs[c].power;
+          if (power > *constraints.max_power_nw) {
             ++stats.candidates_rejected;
             continue;
           }
         }
         if (constraints.max_area_ge) {
-          next.area += *costs[c].area;
-          if (next.area > *constraints.max_area_ge) {
+          area += *costs[c].area;
+          if (area > *constraints.max_area_ge) {
             ++stats.candidates_rejected;
             continue;
           }
         }
         ++stats.candidates_evaluated;
-        next.choice.push_back(c);
         if (i + 1 == n) {
-          const double p_success = analysis::final_success(
-              mkls[c], profile.p_a(i), profile.p_b(i), partial.carry);
+          const double p_success = evaluator.final_success(partial.choice, c);
           if (p_success > best_success) {
             best_success = p_success;
-            best_choice = next.choice;
+            best_choice = partial.choice;
+            best_choice.push_back(c);
           }
         } else {
-          next.carry = analysis::advance_stage(mkls[c], profile.p_a(i),
-                                               profile.p_b(i), partial.carry);
-          expanded.push_back(std::move(next));
+          scratch.back() = c;
+          expanded.push_back(Extension{parent, c,
+                                       evaluator.carry_after(scratch), power,
+                                       area});
         }
       }
     }
@@ -286,11 +378,22 @@ HybridDesign HybridOptimizer::beam(const multibit::InputProfile& profile,
     const std::size_t keep = std::min(beam_width, expanded.size());
     std::partial_sort(expanded.begin(),
                       expanded.begin() + static_cast<std::ptrdiff_t>(keep),
-                      expanded.end(), [](const Partial& a, const Partial& b) {
+                      expanded.end(),
+                      [](const Extension& a, const Extension& b) {
                         return a.carry.success_mass() > b.carry.success_mass();
                       });
     expanded.resize(keep);
-    beam_set = std::move(expanded);
+    std::vector<Partial> survivors;
+    survivors.reserve(keep);
+    for (const Extension& ext : expanded) {
+      Partial next;
+      next.choice = beam_set[ext.parent].choice;
+      next.choice.push_back(ext.choice);
+      next.power = ext.power;
+      next.area = ext.area;
+      survivors.push_back(std::move(next));
+    }
+    beam_set = std::move(survivors);
   }
 
   if (best_choice.empty()) {
@@ -301,7 +404,10 @@ HybridDesign HybridOptimizer::beam(const multibit::InputProfile& profile,
   stages.reserve(n);
   for (std::size_t c : best_choice) stages.push_back(candidates[c]);
   HybridDesign design = finalize(std::move(stages), profile);
-  stats.seconds = search_timer.elapsed_seconds();
+  const engine::CacheStats& cache = evaluator.stats();
+  stats.cache_hits = cache.hits;
+  stats.cache_misses = cache.misses;
+  stats.stages_computed = cache.stages_computed;
   design.stats = stats;
   return design;
 }

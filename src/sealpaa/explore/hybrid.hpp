@@ -31,14 +31,25 @@ struct DesignConstraints {
 
 /// Execution accounting of one optimizer run — what the observability
 /// layer reports for the DSE: how much of the space was scored, how much
-/// the constraints pruned, and how long the search took.
+/// the constraints pruned, and how well the engine's prefix reuse worked.
+/// Wall-clock timing is *not* recorded here: call sites wrap the search
+/// in an obs::ScopedTimer so DSE timings land in the run-report through
+/// the same channel as every other phase.
 struct SearchStats {
   /// Complete designs scored (exhaustive) or partial expansions
   /// considered (beam/greedy).
   std::uint64_t candidates_evaluated = 0;
   /// Candidates discarded by power/area constraints before scoring.
   std::uint64_t candidates_rejected = 0;
-  double seconds = 0.0;  // wall clock of the whole search
+  /// Prefix-cache probes answered / missed (beam and greedy, which run
+  /// on engine::ChainEvaluator; zero for the exhaustive DFS, which
+  /// shares prefixes structurally instead of through a cache).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  /// advance_stage calls actually performed.  Without prefix reuse this
+  /// would be ~candidates_evaluated * width; the ratio is the measured
+  /// benefit of the incremental engine.
+  std::uint64_t stages_computed = 0;
 };
 
 /// A fully evaluated hybrid design.
@@ -58,10 +69,15 @@ struct HybridDesign {
 class HybridOptimizer {
  public:
   /// Exact optimum by enumerating all |candidates|^N chains.  Guarded by
-  /// `max_combinations` (std::invalid_argument beyond it).  Candidate
-  /// assignments are evaluated concurrently on a thread pool
-  /// (`threads == 0` → the shared pool); ties are broken by enumeration
-  /// order, so the winner is independent of the thread count.
+  /// `max_combinations` (std::invalid_argument beyond it).  Each shard
+  /// walks its assignments as a depth-first trie over an
+  /// engine::IncrementalAnalyzer, rewinding only the stages that changed
+  /// between consecutive designs, so shared prefixes are advanced once —
+  /// amortized O(1) stages per design instead of O(N).  Shards run
+  /// concurrently on a thread pool (`threads == 0` → the shared pool);
+  /// ties are broken by the lowest design index in the historical
+  /// stage-0-fastest enumeration order, so the winner is independent of
+  /// both the thread count and the internal walk order.
   [[nodiscard]] static HybridDesign exhaustive(
       const multibit::InputProfile& profile,
       std::span<const adders::AdderCell> candidates,
@@ -70,6 +86,10 @@ class HybridOptimizer {
 
   /// Beam search keeping the `beam_width` best (carry-state, budget)
   /// partial designs per stage, scored by remaining success mass.
+  /// Extensions are scored through an engine::ChainEvaluator whose LRU
+  /// prefix cache serves each surviving partial's carry state in O(1),
+  /// so a stage costs one advance per expansion instead of a full
+  /// re-analysis of the prefix.
   [[nodiscard]] static HybridDesign beam(
       const multibit::InputProfile& profile,
       std::span<const adders::AdderCell> candidates,

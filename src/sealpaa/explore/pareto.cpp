@@ -2,7 +2,7 @@
 
 #include "sealpaa/adders/builtin.hpp"
 #include "sealpaa/adders/characteristics.hpp"
-#include "sealpaa/analysis/recursive.hpp"
+#include "sealpaa/engine/method.hpp"
 #include "sealpaa/util/parallel.hpp"
 #include "sealpaa/util/timer.hpp"
 
@@ -66,7 +66,8 @@ std::vector<DesignPoint> homogeneous_sweep(
           DesignPoint point;
           point.name = cell.name();
           point.p_error =
-              analysis::RecursiveAnalyzer::error_probability(cell, profile);
+              engine::evaluate(cell, profile, engine::Method::kRecursive)
+                  .p_error;
           const adders::CellCharacteristics* row =
               adders::find_characteristics(cell);
           if (row != nullptr && row->power_nw && row->area_ge) {

@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "sealpaa/multibit/input_profile.hpp"
-#include "sealpaa/util/counters.hpp"
+#include "sealpaa/util/parallel.hpp"
 
 namespace sealpaa::explore {
 

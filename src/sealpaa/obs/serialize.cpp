@@ -91,11 +91,38 @@ Json to_json(const sim::ExhaustiveSimReport& report) {
   return out;
 }
 
+Json to_json(const engine::CacheStats& stats) {
+  Json out = Json::object();
+  out.set("hits", Json(stats.hits));
+  out.set("misses", Json(stats.misses));
+  out.set("hit_rate", Json(stats.hit_rate()));
+  out.set("insertions", Json(stats.insertions));
+  out.set("evictions", Json(stats.evictions));
+  out.set("stages_computed", Json(stats.stages_computed));
+  out.set("chains_evaluated", Json(stats.chains_evaluated));
+  return out;
+}
+
+Json to_json(const engine::Evaluation& evaluation) {
+  Json out = Json::object();
+  out.set("method", Json(std::string(engine::method_name(evaluation.method))));
+  out.set("exact", Json(engine::method_info(evaluation.method).exact));
+  out.set("p_error", Json(evaluation.p_error));
+  out.set("p_success", Json(evaluation.p_success));
+  out.set("work_items", Json(evaluation.work_items));
+  if (!evaluation.stage_failure_ci.empty()) {
+    out.set("stage_failure_ci", to_json(evaluation.stage_failure_ci));
+  }
+  return out;
+}
+
 Json to_json(const explore::SearchStats& stats) {
   Json out = Json::object();
   out.set("candidates_evaluated", Json(stats.candidates_evaluated));
   out.set("candidates_rejected", Json(stats.candidates_rejected));
-  out.set("seconds", Json(stats.seconds));
+  out.set("cache_hits", Json(stats.cache_hits));
+  out.set("cache_misses", Json(stats.cache_misses));
+  out.set("stages_computed", Json(stats.stages_computed));
   return out;
 }
 

@@ -6,6 +6,8 @@
 
 #include <vector>
 
+#include "sealpaa/engine/chain_evaluator.hpp"
+#include "sealpaa/engine/method.hpp"
 #include "sealpaa/explore/hybrid.hpp"
 #include "sealpaa/explore/pareto.hpp"
 #include "sealpaa/obs/json.hpp"
@@ -13,7 +15,7 @@
 #include "sealpaa/sim/exhaustive.hpp"
 #include "sealpaa/sim/metrics.hpp"
 #include "sealpaa/sim/montecarlo.hpp"
-#include "sealpaa/util/counters.hpp"
+#include "sealpaa/util/op_counter.hpp"
 #include "sealpaa/util/parallel.hpp"
 
 namespace sealpaa::obs {
@@ -45,7 +47,15 @@ namespace sealpaa::obs {
 /// Full exhaustive-sweep report.
 [[nodiscard]] Json to_json(const sim::ExhaustiveSimReport& report);
 
-/// Search accounting of one optimizer run.
+/// Prefix-cache accounting of an engine::ChainEvaluator.
+[[nodiscard]] Json to_json(const engine::CacheStats& stats);
+
+/// Uniform engine evaluation: method name, probabilities, work measure
+/// and (Monte Carlo only) the stage-failure CI.
+[[nodiscard]] Json to_json(const engine::Evaluation& evaluation);
+
+/// Search accounting of one optimizer run, including its prefix-cache
+/// counters.
 [[nodiscard]] Json to_json(const explore::SearchStats& stats);
 
 /// A fully evaluated hybrid design including its search stats.

@@ -7,7 +7,7 @@
 
 #include "sealpaa/multibit/chain.hpp"
 #include "sealpaa/sim/metrics.hpp"
-#include "sealpaa/util/counters.hpp"
+#include "sealpaa/util/parallel.hpp"
 
 namespace sealpaa::sim {
 

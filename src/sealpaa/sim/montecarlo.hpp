@@ -9,7 +9,7 @@
 #include "sealpaa/multibit/input_profile.hpp"
 #include "sealpaa/prob/stats.hpp"
 #include "sealpaa/sim/metrics.hpp"
-#include "sealpaa/util/counters.hpp"
+#include "sealpaa/util/parallel.hpp"
 
 namespace sealpaa::sim {
 

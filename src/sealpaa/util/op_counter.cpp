@@ -1,0 +1,32 @@
+#include "sealpaa/util/op_counter.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sealpaa/util/format.hpp"
+
+namespace sealpaa::util {
+
+OpCounts& OpCounts::operator+=(const OpCounts& other) noexcept {
+  multiplications += other.multiplications;
+  additions += other.additions;
+  comparisons += other.comparisons;
+  memory_units = std::max(memory_units, other.memory_units);
+  return *this;
+}
+
+OpCounts operator+(OpCounts lhs, const OpCounts& rhs) noexcept {
+  lhs += rhs;
+  return lhs;
+}
+
+std::string OpCounts::summary() const {
+  std::ostringstream out;
+  out << "mul=" << with_commas(multiplications)
+      << " add=" << with_commas(additions)
+      << " cmp=" << with_commas(comparisons)
+      << " mem=" << with_commas(memory_units);
+  return out.str();
+}
+
+}  // namespace sealpaa::util

@@ -1,11 +1,15 @@
 // Arithmetic-operation accounting used to reproduce the paper's resource
 // tables: Table 3 (inclusion-exclusion blow-up), Table 8 (proposed
 // method) and the computation counts of Figure 1.
+//
+// Not to be confused with obs::Counters, the observability layer's named
+// metric counters: util::OpCounter counts the *arithmetic an engine
+// performs* (the paper's cost model), obs::Counters records *run metrics
+// for the JSON report*.
 #pragma once
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
 namespace sealpaa::util {
 
@@ -45,32 +49,6 @@ class OpCounter {
 
  private:
   OpCounts counts_;
-};
-
-/// Wall-clock record of one shard of a parallel sweep.
-struct ShardTiming {
-  std::uint64_t shard = 0;    // chunk index in deterministic reduction order
-  std::uint64_t items = 0;    // indices of the sharded range covered
-  double seconds = 0.0;       // wall-clock spent inside the shard
-};
-
-/// Per-shard accounting of a parallel run, filled by
-/// util::parallel_map_reduce.  `wall_seconds` is the elapsed time of the
-/// whole fork/join region; the shard seconds sum to the aggregate CPU
-/// time, so `cpu_seconds() / wall_seconds` approximates the achieved
-/// parallel speedup and benches can report scaling.
-struct ShardTimings {
-  unsigned threads = 0;       // pool width the region ran on
-  double wall_seconds = 0.0;
-  std::vector<ShardTiming> shards;
-
-  /// Sum of all shard durations (aggregate work time).
-  [[nodiscard]] double cpu_seconds() const noexcept;
-  /// Longest single shard — the lower bound on the critical path.
-  [[nodiscard]] double max_shard_seconds() const noexcept;
-  /// cpu_seconds / wall_seconds; ~threads when scaling is perfect.
-  [[nodiscard]] double speedup() const noexcept;
-  [[nodiscard]] std::string summary() const;
 };
 
 }  // namespace sealpaa::util

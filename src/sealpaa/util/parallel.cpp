@@ -2,8 +2,40 @@
 
 #include <algorithm>
 #include <atomic>
+#include <sstream>
+
+#include "sealpaa/util/format.hpp"
 
 namespace sealpaa::util {
+
+double ShardTimings::cpu_seconds() const noexcept {
+  double total = 0.0;
+  for (const ShardTiming& shard : shards) total += shard.seconds;
+  return total;
+}
+
+double ShardTimings::max_shard_seconds() const noexcept {
+  double worst = 0.0;
+  for (const ShardTiming& shard : shards) {
+    worst = std::max(worst, shard.seconds);
+  }
+  return worst;
+}
+
+double ShardTimings::speedup() const noexcept {
+  if (wall_seconds <= 0.0) return 1.0;
+  return cpu_seconds() / wall_seconds;
+}
+
+std::string ShardTimings::summary() const {
+  std::ostringstream out;
+  out << "threads=" << threads << " shards=" << shards.size()
+      << " wall=" << fixed(wall_seconds, 4) << "s"
+      << " cpu=" << fixed(cpu_seconds(), 4) << "s"
+      << " max-shard=" << fixed(max_shard_seconds(), 4) << "s"
+      << " speedup=" << fixed(speedup(), 2) << "x";
+  return out.str();
+}
 
 namespace {
 

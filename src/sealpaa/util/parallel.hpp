@@ -23,14 +23,40 @@
 #include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
-#include "sealpaa/util/counters.hpp"
 #include "sealpaa/util/timer.hpp"
 
 namespace sealpaa::util {
+
+/// Wall-clock record of one shard of a parallel sweep.
+struct ShardTiming {
+  std::uint64_t shard = 0;    // chunk index in deterministic reduction order
+  std::uint64_t items = 0;    // indices of the sharded range covered
+  double seconds = 0.0;       // wall-clock spent inside the shard
+};
+
+/// Per-shard accounting of a parallel run, filled by
+/// util::parallel_map_reduce.  `wall_seconds` is the elapsed time of the
+/// whole fork/join region; the shard seconds sum to the aggregate CPU
+/// time, so `cpu_seconds() / wall_seconds` approximates the achieved
+/// parallel speedup and benches can report scaling.
+struct ShardTimings {
+  unsigned threads = 0;       // pool width the region ran on
+  double wall_seconds = 0.0;
+  std::vector<ShardTiming> shards;
+
+  /// Sum of all shard durations (aggregate work time).
+  [[nodiscard]] double cpu_seconds() const noexcept;
+  /// Longest single shard — the lower bound on the critical path.
+  [[nodiscard]] double max_shard_seconds() const noexcept;
+  /// cpu_seconds / wall_seconds; ~threads when scaling is perfect.
+  [[nodiscard]] double speedup() const noexcept;
+  [[nodiscard]] std::string summary() const;
+};
 
 /// max(1, std::thread::hardware_concurrency()).
 [[nodiscard]] unsigned hardware_threads() noexcept;

@@ -7,26 +7,27 @@
 //   * the inclusion–exclusion baseline under arbitrary per-bit profiles
 // within 1e-12.  Any divergence between the three independent engines
 // (recursion, enumeration, subset expansion) is a correctness bug.
+//
+// Every oracle is reached through the engine::evaluate method registry —
+// the same dispatch the CLI's --method flag uses — so this suite also
+// pins the registry's plumbing (method tagging, work_items accounting)
+// to the underlying engines.
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <string>
 
 #include "sealpaa/adders/cell.hpp"
-#include "sealpaa/analysis/recursive.hpp"
-#include "sealpaa/baseline/inclusion_exclusion.hpp"
-#include "sealpaa/baseline/weighted_exhaustive.hpp"
+#include "sealpaa/engine/method.hpp"
 #include "sealpaa/multibit/chain.hpp"
 #include "sealpaa/multibit/input_profile.hpp"
 #include "sealpaa/prob/rng.hpp"
-#include "sealpaa/sim/exhaustive.hpp"
 
 namespace {
 
 using sealpaa::adders::AdderCell;
-using sealpaa::analysis::RecursiveAnalyzer;
-using sealpaa::baseline::InclusionExclusionAnalyzer;
-using sealpaa::baseline::WeightedExhaustive;
+using sealpaa::engine::evaluate;
+using sealpaa::engine::Method;
 using sealpaa::multibit::AdderChain;
 using sealpaa::multibit::InputProfile;
 
@@ -68,12 +69,16 @@ TEST(Differential, RecursionMatchesExhaustiveSimulation) {
     // recursion itself is checked up to width 12 below.
     const std::size_t width = std::min<std::size_t>(width_for(i), 9);
     const AdderChain chain = AdderChain::homogeneous(cell, width);
-    const auto sim = sealpaa::sim::ExhaustiveSimulator::run(chain);
-    const double analytical = RecursiveAnalyzer::error_probability(
-        cell, InputProfile::uniform(width, 0.5));
-    EXPECT_NEAR(sim.metrics.stage_failure_rate(), analytical, kTolerance)
+    const InputProfile profile = InputProfile::uniform(width, 0.5);
+    const auto sim = evaluate(chain, profile, Method::kExhaustiveSim);
+    const auto recursive = evaluate(chain, profile, Method::kRecursive);
+    EXPECT_NEAR(sim.p_error, recursive.p_error, kTolerance)
         << cell.name() << " width " << width << "\n"
         << cell.to_string();
+    EXPECT_EQ(sim.work_items, 1ULL << (2 * width + 1))
+        << "exhaustive simulation must enumerate every input case";
+    EXPECT_EQ(recursive.work_items, width)
+        << "recursion must advance exactly one stage per bit";
   }
 }
 
@@ -86,13 +91,14 @@ TEST(Differential, RecursionMatchesInclusionExclusion) {
     const AdderChain chain = AdderChain::homogeneous(cell, width);
     const InputProfile profile =
         InputProfile::random(width, profile_rng, 0.05, 0.95);
-    const auto recursive = RecursiveAnalyzer::analyze(chain, profile);
-    const auto ie = InclusionExclusionAnalyzer::analyze(chain, profile);
+    const auto recursive = evaluate(chain, profile, Method::kRecursive);
+    const auto ie = evaluate(chain, profile, Method::kInclusionExclusion);
     EXPECT_NEAR(recursive.p_error, ie.p_error, kTolerance)
         << cell.name() << " width " << width;
     EXPECT_NEAR(recursive.p_success, ie.p_success, kTolerance)
         << cell.name() << " width " << width;
-    EXPECT_EQ(ie.terms_evaluated, (1ULL << width) - 1);
+    EXPECT_EQ(ie.work_items, (1ULL << width) - 1)
+        << "inclusion-exclusion must expand every non-empty subset";
   }
 }
 
@@ -108,10 +114,10 @@ TEST(Differential, RecursionMatchesWeightedEnumeration) {
     const AdderChain chain = AdderChain::homogeneous(cell, width);
     const InputProfile profile =
         InputProfile::random(width, profile_rng, 0.05, 0.95);
-    const double oracle =
-        WeightedExhaustive::analyze(chain, profile).p_stage_success;
-    const double recursive = RecursiveAnalyzer::analyze(chain, profile).p_success;
-    EXPECT_NEAR(recursive, oracle, kTolerance)
+    const auto oracle =
+        evaluate(chain, profile, Method::kWeightedExhaustive);
+    const auto recursive = evaluate(chain, profile, Method::kRecursive);
+    EXPECT_NEAR(recursive.p_success, oracle.p_success, kTolerance)
         << cell.name() << " width " << width;
   }
 }
@@ -131,8 +137,8 @@ TEST(Differential, HybridChainsOfRandomCellsAgree) {
     const AdderChain chain(stages);
     const InputProfile profile =
         InputProfile::random(width, profile_rng, 0.1, 0.9);
-    const auto recursive = RecursiveAnalyzer::analyze(chain, profile);
-    const auto ie = InclusionExclusionAnalyzer::analyze(chain, profile);
+    const auto recursive = evaluate(chain, profile, Method::kRecursive);
+    const auto ie = evaluate(chain, profile, Method::kInclusionExclusion);
     EXPECT_NEAR(recursive.p_error, ie.p_error, kTolerance)
         << chain.describe() << " width " << width;
   }

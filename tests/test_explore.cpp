@@ -59,6 +59,12 @@ TEST(HybridBeam, WideBeamRecoversExhaustiveOptimum) {
   const auto beam =
       HybridOptimizer::beam(profile, builtin_lpaas(), {}, 4096);
   EXPECT_NEAR(beam.p_error, exact.p_error, 1e-9);
+  // The beam runs on the engine's prefix cache: sibling expansions share
+  // their parent's prefix, so the cache must have answered probes and
+  // must have saved stage recomputation versus per-chain re-analysis.
+  EXPECT_GT(beam.stats.cache_hits, 0u);
+  EXPECT_LT(beam.stats.stages_computed,
+            beam.stats.candidates_evaluated * profile.width());
 }
 
 TEST(HybridBeam, GreedyIsNoBetterThanBeam) {

@@ -8,7 +8,7 @@
 #include <stdexcept>
 
 #include "sealpaa/util/cli.hpp"
-#include "sealpaa/util/counters.hpp"
+#include "sealpaa/util/op_counter.hpp"
 #include "sealpaa/util/csv.hpp"
 #include "sealpaa/util/format.hpp"
 #include "sealpaa/util/table.hpp"

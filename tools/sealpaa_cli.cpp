@@ -2,7 +2,8 @@
 // the "rapid adoption" deliverable the paper's §1.2 motivates.
 //
 //   sealpaa_cli cells
-//   sealpaa_cli analyze --cell=LPAA6 --bits=8 --p=0.5 [--trace] [--rho=0.3]
+//   sealpaa_cli analyze --cell=LPAA6 --bits=8 --p=0.5 [--method=NAME]
+//                       [--trace] [--rho=0.3]
 //   sealpaa_cli sweep   --cell=LPAA1 --p=0.1 --max-bits=16
 //   sealpaa_cli bounds  --cell=LPAA6 --p=0.5 --epsilon=0.1 [--bits=16]
 //   sealpaa_cli hybrid  --bits=8 [--profile=0.9,...] [--budget-nw=2500]
@@ -34,7 +35,10 @@ int usage() {
       "commands:\n"
       "  cells                       list built-in cells + characteristics\n"
       "  analyze  --cell --bits --p  error probability of a homogeneous chain\n"
-      "           [--trace] [--rho]  (--rho adds operand correlation)\n"
+      "           [--method] [--trace] (--rho adds operand correlation;\n"
+      "           [--rho]              --method picks the engine: recursive,\n"
+      "                              inclusion-exclusion, exhaustive,\n"
+      "                              weighted-exhaustive, monte-carlo)\n"
       "  sweep    --cell --p         P(E) vs width table\n"
       "           [--max-bits]\n"
       "  bounds   --cell --p         max cascadable width / approximable LSBs\n"
@@ -113,8 +117,22 @@ int cmd_cells(const util::CliArgs& args, obs::RunReport& report) {
   return 0;
 }
 
+void print_trace(const std::vector<analysis::StageTrace>& trace) {
+  if (trace.empty()) return;
+  util::TextTable table({"stage", "P(!C & Succ)", "P(C & Succ)"});
+  table.set_align(1, util::Align::Right);
+  table.set_align(2, util::Align::Right);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    table.add_row({std::to_string(i), util::prob6(trace[i].carry_out.c0),
+                   util::prob6(trace[i].carry_out.c1)});
+  }
+  std::cout << table;
+}
+
 int cmd_analyze(const util::CliArgs& args, obs::RunReport& report) {
-  check_flags(args, {"cell", "bits", "p", "trace", "rho"});
+  check_flags(args,
+              {"cell", "bits", "p", "trace", "rho", "method", "samples",
+               "seed"});
   const adders::AdderCell& cell = cell_arg(args);
   const auto bits = static_cast<std::size_t>(args.get_uint("bits", 8));
   const double p = args.get_double("p", 0.5);
@@ -122,41 +140,59 @@ int cmd_analyze(const util::CliArgs& args, obs::RunReport& report) {
       multibit::InputProfile::uniform(bits, p);
   const auto chain = multibit::AdderChain::homogeneous(cell, bits);
 
-  obs::ScopedTimer timer(report.counters(), "analyze");
-  analysis::AnalysisResult result;
-  if (args.has("rho")) {
-    const double rho = args.get_double("rho", 0.0);
-    const auto joint = multibit::JointInputProfile::correlated(marginals, rho);
-    analysis::AnalyzeOptions options;
-    options.record_trace = args.get_bool("trace", false);
-    result = analysis::CorrelatedAnalyzer::analyze(chain, joint, options);
-    std::cout << chain.describe() << "  p=" << util::fixed(p, 3)
-              << "  rho=" << util::fixed(rho, 2) << "\n";
-    report.section("analyze").set("rho", obs::Json(rho));
-  } else {
-    analysis::AnalyzeOptions options;
-    options.record_trace = args.get_bool("trace", false);
-    result = analysis::RecursiveAnalyzer::analyze(chain, marginals, options);
-    std::cout << chain.describe() << "  p=" << util::fixed(p, 3) << "\n";
-  }
-  timer.stop();
-  std::cout << "P(Success) = " << util::prob6(result.p_success)
-            << "\nP(Error)   = " << util::prob6(result.p_error) << "\n";
-  if (!result.trace.empty()) {
-    util::TextTable table({"stage", "P(!C & Succ)", "P(C & Succ)"});
-    table.set_align(1, util::Align::Right);
-    table.set_align(2, util::Align::Right);
-    for (std::size_t i = 0; i < result.trace.size(); ++i) {
-      table.add_row({std::to_string(i),
-                     util::prob6(result.trace[i].carry_out.c0),
-                     util::prob6(result.trace[i].carry_out.c1)});
-    }
-    std::cout << table;
-  }
   obs::Json& section = report.section("analyze");
   section.set("cell", obs::Json(cell.name()));
   section.set("bits", obs::Json(static_cast<std::uint64_t>(bits)));
   section.set("p", obs::Json(p));
+
+  if (args.has("rho")) {
+    // Operand correlation is a recursive-analyzer extension; the other
+    // registry methods only model independent inputs.
+    if (args.has("method") && args.get("method", "") != "recursive") {
+      throw std::invalid_argument(
+          "--rho requires --method=recursive (correlated analysis)");
+    }
+    const double rho = args.get_double("rho", 0.0);
+    const auto joint = multibit::JointInputProfile::correlated(marginals, rho);
+    analysis::AnalyzeOptions options;
+    options.record_trace = args.get_bool("trace", false);
+    obs::ScopedTimer timer(report.counters(), "analyze");
+    const analysis::AnalysisResult result =
+        analysis::CorrelatedAnalyzer::analyze(chain, joint, options);
+    timer.stop();
+    std::cout << chain.describe() << "  p=" << util::fixed(p, 3)
+              << "  rho=" << util::fixed(rho, 2) << "\n";
+    std::cout << "P(Success) = " << util::prob6(result.p_success)
+              << "\nP(Error)   = " << util::prob6(result.p_error) << "\n";
+    print_trace(result.trace);
+    section.set("rho", obs::Json(rho));
+    section.set("p_success", obs::Json(result.p_success));
+    section.set("p_error", obs::Json(result.p_error));
+    return 0;
+  }
+
+  const engine::Method method =
+      engine::parse_method(args.get("method", "recursive"));
+  engine::EvaluateOptions options;
+  options.record_trace = args.get_bool("trace", false);
+  options.samples = args.get_uint("samples", 1'000'000);
+  options.seed = args.get_uint("seed", 0x5ea1'c0de'2017'dacULL);
+  options.threads = args.threads();
+  obs::ScopedTimer timer(report.counters(), "analyze");
+  const engine::Evaluation result =
+      engine::evaluate(chain, marginals, method, options);
+  timer.stop();
+  report.counters().add("analyze/work_items", result.work_items);
+  std::cout << chain.describe() << "  p=" << util::fixed(p, 3)
+            << "  method=" << engine::method_name(method) << "\n";
+  std::cout << "P(Success) = " << util::prob6(result.p_success)
+            << "\nP(Error)   = " << util::prob6(result.p_error) << "\n";
+  if (method == engine::Method::kMonteCarlo) {
+    std::cout << "95% CI     = " << ci_text(result.stage_failure_ci) << "\n";
+  }
+  print_trace(result.trace);
+  section.set("method", obs::Json(std::string(engine::method_name(method))));
+  section.set("evaluation", obs::to_json(result));
   section.set("p_success", obs::Json(result.p_success));
   section.set("p_error", obs::Json(result.p_error));
   return 0;
@@ -243,8 +279,10 @@ int cmd_hybrid(const util::CliArgs& args, obs::RunReport& report) {
     for (int i = 1; i <= 5; ++i) candidates.push_back(adders::lpaa(i));
     candidates.push_back(adders::accurate());
   }
+  obs::ScopedTimer search_timer(report.counters(), "hybrid/search");
   const auto design =
       explore::HybridOptimizer::beam(profile, candidates, constraints, 512);
+  search_timer.stop();
   std::cout << "best hybrid: " << design.chain().describe() << "\n"
             << "P(Error) = " << util::prob6(design.p_error) << "\n";
   if (design.power_nw) {
@@ -255,6 +293,10 @@ int cmd_hybrid(const util::CliArgs& args, obs::RunReport& report) {
                         design.stats.candidates_evaluated);
   report.counters().add("hybrid/candidates_rejected",
                         design.stats.candidates_rejected);
+  report.counters().add("hybrid/cache_hits", design.stats.cache_hits);
+  report.counters().add("hybrid/cache_misses", design.stats.cache_misses);
+  report.counters().add("hybrid/stages_computed",
+                        design.stats.stages_computed);
   return 0;
 }
 
