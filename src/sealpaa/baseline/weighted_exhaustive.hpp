@@ -14,6 +14,7 @@
 #include "sealpaa/multibit/chain.hpp"
 #include "sealpaa/multibit/input_profile.hpp"
 #include "sealpaa/multibit/joint_profile.hpp"
+#include "sealpaa/sim/kernel.hpp"
 #include "sealpaa/util/parallel.hpp"
 
 namespace sealpaa::baseline {
@@ -30,6 +31,9 @@ struct ExhaustiveReport {
   std::int64_t worst_case_error = 0;  // max |approx - exact| over support
   /// Full signed-error distribution: error value -> probability.
   std::map<std::int64_t, double> error_distribution;
+  sim::Kernel kernel = sim::Kernel::kBitSliced;  // evaluation backend used
+  std::uint64_t lane_batches = 0;  // 64-lane kernel passes (bit-sliced)
+  std::uint64_t masked_lanes = 0;  // dead lanes in partial batches
   util::ShardTimings shard_timings;   // per-shard breakdown
 };
 
@@ -38,21 +42,23 @@ class WeightedExhaustive {
   /// Enumerates all assignments, sharded along the `a` operand over a
   /// thread pool (`threads == 0` → the shared pool).  Shard boundaries
   /// and the ordered Kahan reduction depend only on the width, so every
-  /// thread count produces a bit-identical report.  Throws
-  /// std::invalid_argument when the widths mismatch or the width exceeds
-  /// `max_width` (guard against accidentally requesting a 2^41-case
-  /// enumeration).
+  /// thread count produces a bit-identical report — and so does either
+  /// `kernel` (the bit-sliced chain evaluation feeds the exact same
+  /// Kahan-add sequence).  Throws std::invalid_argument when the widths
+  /// mismatch or the width exceeds `max_width` (guard against
+  /// accidentally requesting a 2^41-case enumeration).
   [[nodiscard]] static ExhaustiveReport analyze(
       const multibit::AdderChain& chain,
       const multibit::InputProfile& profile, std::size_t max_width = 14,
-      unsigned threads = 0);
+      unsigned threads = 0, sim::Kernel kernel = sim::Kernel::kBitSliced);
 
   /// Ground truth for correlated-operand profiles (validates
   /// analysis::CorrelatedAnalyzer).  Same sharding contract as analyze().
   [[nodiscard]] static ExhaustiveReport analyze_joint(
       const multibit::AdderChain& chain,
       const multibit::JointInputProfile& profile,
-      std::size_t max_width = 14, unsigned threads = 0);
+      std::size_t max_width = 14, unsigned threads = 0,
+      sim::Kernel kernel = sim::Kernel::kBitSliced);
 };
 
 }  // namespace sealpaa::baseline

@@ -105,7 +105,8 @@ Evaluation evaluate(const multibit::AdderChain& chain,
       const std::size_t max_width =
           options.max_width == 0 ? 13 : options.max_width;
       const sim::ExhaustiveSimReport report =
-          sim::ExhaustiveSimulator::run(chain, max_width, options.threads);
+          sim::ExhaustiveSimulator::run(chain, max_width, options.threads,
+                                        options.kernel);
       out.p_error = report.metrics.stage_failure_rate();
       out.p_success = 1.0 - out.p_error;
       out.work_items = report.metrics.cases();
@@ -116,7 +117,8 @@ Evaluation evaluate(const multibit::AdderChain& chain,
           options.max_width == 0 ? 14 : options.max_width;
       const baseline::ExhaustiveReport report =
           baseline::WeightedExhaustive::analyze(chain, profile, max_width,
-                                                options.threads);
+                                                options.threads,
+                                                options.kernel);
       out.p_success = report.p_stage_success;
       out.p_error = 1.0 - report.p_stage_success;
       out.work_items = report.assignments;
@@ -128,7 +130,8 @@ Evaluation evaluate(const multibit::AdderChain& chain,
       const unsigned threads =
           options.threads == 0 ? util::default_threads() : options.threads;
       const sim::MonteCarloReport report = sim::MonteCarloSimulator::run_parallel(
-          chain, profile, options.samples, threads, options.seed);
+          chain, profile, options.samples, threads, options.seed,
+          options.kernel);
       out.p_error = report.metrics.stage_failure_rate();
       out.p_success = 1.0 - out.p_error;
       out.work_items = report.samples;

@@ -17,6 +17,7 @@
 #include "sealpaa/multibit/chain.hpp"
 #include "sealpaa/multibit/input_profile.hpp"
 #include "sealpaa/prob/stats.hpp"
+#include "sealpaa/sim/kernel.hpp"
 #include "sealpaa/util/op_counter.hpp"
 
 namespace sealpaa::engine {
@@ -66,6 +67,10 @@ struct EvaluateOptions {
   std::size_t max_width = 0;
   /// Record the per-stage trace (recursive method only).
   bool record_trace = false;
+  /// Evaluation backend for the simulation engines (exhaustive,
+  /// weighted-exhaustive, monte-carlo).  Both kernels produce identical
+  /// metrics; bit-sliced evaluates 64 input vectors per pass.
+  sim::Kernel kernel = sim::Kernel::kBitSliced;
   /// Arithmetic accounting sink (recursive and inclusion-exclusion).
   util::OpCounter* op_counter = nullptr;
 };

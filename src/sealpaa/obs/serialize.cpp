@@ -71,6 +71,9 @@ Json to_json(const sim::MonteCarloReport& report) {
   Json out = Json::object();
   out.set("samples", Json(report.samples));
   out.set("seconds", Json(report.seconds));
+  out.set("kernel", Json(std::string(sim::kernel_name(report.kernel))));
+  out.set("lane_batches", Json(report.lane_batches));
+  out.set("masked_lanes", Json(report.masked_lanes));
   out.set("metrics", to_json(report.metrics));
   out.set("stage_failure_ci", to_json(report.stage_failure_ci));
   out.set("value_error_ci", to_json(report.value_error_ci));
@@ -84,6 +87,9 @@ Json to_json(const sim::ExhaustiveSimReport& report) {
   Json out = Json::object();
   out.set("seconds", Json(report.seconds));
   out.set("bit_operations", Json(report.bit_operations));
+  out.set("kernel", Json(std::string(sim::kernel_name(report.kernel))));
+  out.set("lane_batches", Json(report.lane_batches));
+  out.set("masked_lanes", Json(report.masked_lanes));
   out.set("metrics", to_json(report.metrics));
   if (!report.shard_timings.shards.empty()) {
     out.set("shard_timings", to_json(report.shard_timings));

@@ -1,6 +1,7 @@
 #include "sealpaa/sim/exhaustive.hpp"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
 
 #include "sealpaa/util/parallel.hpp"
@@ -8,9 +9,122 @@
 
 namespace sealpaa::sim {
 
+ExhaustiveShard exhaustive_shard_scalar(const multibit::AdderChain& chain,
+                                        std::uint64_t a_begin,
+                                        std::uint64_t a_end) {
+  const std::size_t n = chain.width();
+  const std::uint64_t limit = 1ULL << n;
+  ExhaustiveShard shard;
+  for (std::uint64_t a = a_begin; a < a_end; ++a) {
+    for (std::uint64_t b = 0; b < limit; ++b) {
+      // The exact reference depends on cin only through the +1, so the
+      // operand sum is hoisted out of the innermost loop.
+      const std::uint64_t ab = a + b;
+      for (int cin = 0; cin < 2; ++cin) {
+        const multibit::TracedAddResult traced =
+            chain.evaluate_traced(a, b, cin != 0);
+        const std::uint64_t total = ab + (cin != 0 ? 1ULL : 0ULL);
+        const std::uint64_t exact_value =
+            multibit::mask_width(total, n) |
+            (((total >> n) & 1ULL) << n);
+        shard.metrics.add(traced.outputs.value(n), exact_value,
+                          traced.all_stages_success);
+        shard.bit_operations += n;
+      }
+    }
+  }
+  return shard;
+}
+
+ExhaustiveShard exhaustive_shard_bitsliced(const BitSlicedKernel& kernel,
+                                           std::uint64_t a_begin,
+                                           std::uint64_t a_end) {
+  const std::size_t n = kernel.width();
+  ExhaustiveShard shard;
+
+  std::array<std::uint64_t, 64> a_words{};
+  std::array<std::uint64_t, 64> b_words{};
+  const std::uint64_t cin_word = kLaneCounterBit[0];  // cin toggles fastest
+
+  if (n + 1 >= 6) {
+    // Full batches: lane l covers (b = b_base + (l >> 1), cin = l & 1).
+    // b_base is a multiple of 32, so bits 0..4 of b follow the lane
+    // counter patterns and bits >= 5 are constant across the batch.
+    // Consecutive batches share a and cin and differ only in b's high
+    // bits, so whenever 8 or more batches remain they go through the
+    // grouped kernel (8 batches rippled together); stragglers take the
+    // single-batch path.  Batches are consumed in the same ascending
+    // order either way, and each grouped result is bit-identical to its
+    // single-batch counterpart, so the metrics fold is unchanged.
+    constexpr std::uint64_t kGroup = BitSlicedKernel::kGroupBatches;
+    const std::uint64_t batches_per_a = 1ULL << (n + 1 - 6);
+    alignas(64) std::array<std::uint64_t, 64 * kGroup> b_group;
+    std::array<BitSlicedKernel::Result, kGroup> results;
+    for (std::size_t i = 0; i < std::min<std::size_t>(n, 5); ++i) {
+      b_words[i] = kLaneCounterBit[i + 1];
+      for (std::size_t j = 0; j < kGroup; ++j) {
+        b_group[kGroup * i + j] = kLaneCounterBit[i + 1];
+      }
+    }
+    for (std::uint64_t a = a_begin; a < a_end; ++a) {
+      for (std::size_t i = 0; i < n; ++i) {
+        a_words[i] = ((a >> i) & 1ULL) != 0 ? ~0ULL : 0ULL;
+      }
+      std::uint64_t batch = 0;
+      for (; batch + kGroup <= batches_per_a; batch += kGroup) {
+        for (std::size_t j = 0; j < kGroup; ++j) {
+          const std::uint64_t b_base = (batch + j) << 5;
+          for (std::size_t i = 5; i < n; ++i) {
+            b_group[kGroup * i + j] =
+                ((b_base >> i) & 1ULL) != 0 ? ~0ULL : 0ULL;
+          }
+        }
+        kernel.run_packed_group(a_words.data(), b_group.data(), cin_word,
+                                results.data());
+        for (std::size_t j = 0; j < kGroup; ++j) {
+          accumulate(shard.metrics, results[j]);
+        }
+        shard.bit_operations += static_cast<std::uint64_t>(n) * 64 * kGroup;
+        shard.lane_batches += kGroup;
+      }
+      for (; batch < batches_per_a; ++batch) {
+        const std::uint64_t b_base = batch << 5;
+        for (std::size_t i = 5; i < n; ++i) {
+          b_words[i] = ((b_base >> i) & 1ULL) != 0 ? ~0ULL : 0ULL;
+        }
+        const BitSlicedKernel::Result result =
+            kernel.run_packed(a_words.data(), b_words.data(), cin_word,
+                              ~0ULL);
+        accumulate(shard.metrics, result);
+        shard.bit_operations += static_cast<std::uint64_t>(n) * 64;
+        ++shard.lane_batches;
+      }
+    }
+  } else {
+    // Width < 5: the whole (b, cin) sub-space fits one partial batch.
+    const std::uint64_t inner = 1ULL << (n + 1);
+    const std::uint64_t lane_mask = (1ULL << inner) - 1ULL;
+    for (std::size_t i = 0; i < n; ++i) {
+      b_words[i] = kLaneCounterBit[i + 1];
+    }
+    for (std::uint64_t a = a_begin; a < a_end; ++a) {
+      for (std::size_t i = 0; i < n; ++i) {
+        a_words[i] = ((a >> i) & 1ULL) != 0 ? ~0ULL : 0ULL;
+      }
+      const BitSlicedKernel::Result result = kernel.run_packed(
+          a_words.data(), b_words.data(), cin_word, lane_mask);
+      accumulate(shard.metrics, result);
+      shard.bit_operations += static_cast<std::uint64_t>(n) * inner;
+      ++shard.lane_batches;
+      shard.masked_lanes += 64 - inner;
+    }
+  }
+  return shard;
+}
+
 ExhaustiveSimReport ExhaustiveSimulator::run(const multibit::AdderChain& chain,
                                              std::size_t max_width,
-                                             unsigned threads) {
+                                             unsigned threads, Kernel kernel) {
   const std::size_t n = chain.width();
   if (n > max_width) {
     throw std::invalid_argument(
@@ -19,48 +133,39 @@ ExhaustiveSimReport ExhaustiveSimulator::run(const multibit::AdderChain& chain,
   }
 
   ExhaustiveSimReport report;
+  report.kernel = kernel;
   util::WallTimer timer;
   const std::uint64_t limit = 1ULL << n;
   // The sweep is sharded along the `a` operand.  The grain depends only
   // on the width, so shard boundaries — and with the ordered reduction
   // the merged floating-point sums — are identical for every thread
-  // count.
+  // count and for both kernels.
   const std::uint64_t grain = std::max<std::uint64_t>(1, limit / 64);
 
-  struct Shard {
-    ErrorMetrics metrics;
-    std::uint64_t bit_operations = 0;
+  const BitSlicedKernel sliced(chain);
+  const auto run_shard = [&](std::uint64_t a_begin, std::uint64_t a_end) {
+    return kernel == Kernel::kBitSliced
+               ? exhaustive_shard_bitsliced(sliced, a_begin, a_end)
+               : exhaustive_shard_scalar(chain, a_begin, a_end);
   };
 
-  const Shard total = util::with_pool(threads, [&](util::ThreadPool& pool) {
-    return util::parallel_map_reduce(
-        pool, 0, limit, grain, Shard{},
-        [&](std::uint64_t a_begin, std::uint64_t a_end) {
-          Shard shard;
-          for (std::uint64_t a = a_begin; a < a_end; ++a) {
-            for (std::uint64_t b = 0; b < limit; ++b) {
-              for (int cin = 0; cin < 2; ++cin) {
-                const multibit::TracedAddResult traced =
-                    chain.evaluate_traced(a, b, cin != 0);
-                const multibit::AddResult exact =
-                    multibit::exact_add(a, b, cin != 0, n);
-                shard.metrics.add(traced.outputs.value(n), exact.value(n),
-                                  traced.all_stages_success);
-                shard.bit_operations += n;
-              }
-            }
-          }
-          return shard;
-        },
-        [](Shard& acc, Shard&& shard) {
-          acc.metrics.merge(shard.metrics);
-          acc.bit_operations += shard.bit_operations;
-        },
-        &report.shard_timings);
-  });
+  const ExhaustiveShard total =
+      util::with_pool(threads, [&](util::ThreadPool& pool) {
+        return util::parallel_map_reduce(
+            pool, 0, limit, grain, ExhaustiveShard{}, run_shard,
+            [](ExhaustiveShard& acc, ExhaustiveShard&& shard) {
+              acc.metrics.merge(shard.metrics);
+              acc.bit_operations += shard.bit_operations;
+              acc.lane_batches += shard.lane_batches;
+              acc.masked_lanes += shard.masked_lanes;
+            },
+            &report.shard_timings);
+      });
 
   report.metrics = total.metrics;
   report.bit_operations = total.bit_operations;
+  report.lane_batches = total.lane_batches;
+  report.masked_lanes = total.masked_lanes;
   report.seconds = timer.elapsed_seconds();
   return report;
 }

@@ -6,6 +6,8 @@
 #include <cstdint>
 
 #include "sealpaa/multibit/chain.hpp"
+#include "sealpaa/sim/bitsliced.hpp"
+#include "sealpaa/sim/kernel.hpp"
 #include "sealpaa/sim/metrics.hpp"
 #include "sealpaa/util/parallel.hpp"
 
@@ -17,8 +19,34 @@ struct ExhaustiveSimReport {
   ErrorMetrics metrics;
   double seconds = 0.0;               // wall-clock of the sweep
   std::uint64_t bit_operations = 0;   // single-bit adder evaluations
+  Kernel kernel = Kernel::kBitSliced; // evaluation backend used
+  std::uint64_t lane_batches = 0;     // 64-lane kernel passes (bit-sliced)
+  std::uint64_t masked_lanes = 0;     // dead lanes in partial batches
   util::ShardTimings shard_timings;   // per-shard breakdown of the sweep
 };
+
+/// One shard [a_begin, a_end) of the exhaustive sweep: for every `a` the
+/// full (b, cin) sub-space is evaluated in case order (b outer, cin
+/// inner).  Exposed so the throughput bench can time exactly the
+/// production inner loops; the simulator shards these over the pool.
+struct ExhaustiveShard {
+  ErrorMetrics metrics;
+  std::uint64_t bit_operations = 0;
+  std::uint64_t lane_batches = 0;
+  std::uint64_t masked_lanes = 0;
+};
+
+/// Scalar reference shard: one evaluate_traced walk per case.
+[[nodiscard]] ExhaustiveShard exhaustive_shard_scalar(
+    const multibit::AdderChain& chain, std::uint64_t a_begin,
+    std::uint64_t a_end);
+
+/// Bit-sliced shard: 64 consecutive (b, cin) cases per kernel pass.  The
+/// lane words come from counter patterns (kLaneCounterBit), so packing
+/// costs no transpose.  Metrics are bit-identical to the scalar shard.
+[[nodiscard]] ExhaustiveShard exhaustive_shard_bitsliced(
+    const BitSlicedKernel& kernel, std::uint64_t a_begin,
+    std::uint64_t a_end);
 
 class ExhaustiveSimulator {
  public:
@@ -26,10 +54,13 @@ class ExhaustiveSimulator {
   /// (default 13: 2^27 ≈ 134M cases).  The input space is sharded over a
   /// thread pool (`threads == 0` → the shared pool at
   /// util::default_threads()); shard layout and the ordered metric merge
-  /// make the report bit-identical for every thread count.
+  /// make the report bit-identical for every thread count.  `kernel`
+  /// picks the evaluation backend; both produce identical metrics (the
+  /// differential suite enforces it), the bit-sliced one is just an
+  /// order of magnitude faster.
   [[nodiscard]] static ExhaustiveSimReport run(
       const multibit::AdderChain& chain, std::size_t max_width = 13,
-      unsigned threads = 0);
+      unsigned threads = 0, Kernel kernel = Kernel::kBitSliced);
 };
 
 }  // namespace sealpaa::sim

@@ -1,0 +1,25 @@
+#include "sealpaa/sim/kernel.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace sealpaa::sim {
+
+std::string_view kernel_name(Kernel kernel) {
+  switch (kernel) {
+    case Kernel::kScalar:
+      return "scalar";
+    case Kernel::kBitSliced:
+      return "bitsliced";
+  }
+  throw std::invalid_argument("sim::kernel_name: unregistered kernel");
+}
+
+Kernel parse_kernel(std::string_view name) {
+  if (name == "scalar") return Kernel::kScalar;
+  if (name == "bitsliced") return Kernel::kBitSliced;
+  throw std::invalid_argument("unknown kernel '" + std::string(name) +
+                              "' (valid: scalar, bitsliced)");
+}
+
+}  // namespace sealpaa::sim

@@ -1,0 +1,27 @@
+// Simulation-kernel selection shared by every simulator backend.
+//
+// The scalar kernel walks AdderChain::evaluate_traced one stage and one
+// sample at a time and is the reference oracle; the bit-sliced kernel
+// (sim/bitsliced.hpp) evaluates 64 packed input vectors per pass and is
+// the default on every hot path.  Both must produce bit-identical
+// metrics — the differential suite enforces it.
+#pragma once
+
+#include <string_view>
+
+namespace sealpaa::sim {
+
+/// How a simulator evaluates the adder chain on its input cases.
+enum class Kernel {
+  kScalar,     // one (a, b, cin) case at a time via evaluate_traced
+  kBitSliced,  // 64 packed cases per pass over transposed lane words
+};
+
+/// Stable CLI name of `kernel` ("scalar" / "bitsliced").
+[[nodiscard]] std::string_view kernel_name(Kernel kernel);
+
+/// Parses a `--kernel=` value; throws std::invalid_argument listing the
+/// valid names when `name` is not one of them.
+[[nodiscard]] Kernel parse_kernel(std::string_view name);
+
+}  // namespace sealpaa::sim

@@ -1,5 +1,6 @@
 #include "sealpaa/sim/metrics.hpp"
 
+#include <bit>
 #include <cmath>
 #include <cstdlib>
 
@@ -17,6 +18,26 @@ void ErrorMetrics::add(std::uint64_t approx_value, std::uint64_t exact_value,
   sum_abs_error_ += std::fabs(e);
   sum_sq_error_ += e * e;
   if (worse_error(error, worst_case_)) worst_case_ = error;
+}
+
+void ErrorMetrics::add_batch(std::uint64_t lane_mask,
+                             std::uint64_t value_error_mask,
+                             std::uint64_t stage_fail_mask,
+                             const std::array<std::int64_t, 64>&
+                                 error) noexcept {
+  cases_ += static_cast<std::uint64_t>(std::popcount(lane_mask));
+  value_errors_ +=
+      static_cast<std::uint64_t>(std::popcount(value_error_mask));
+  stage_failures_ +=
+      static_cast<std::uint64_t>(std::popcount(stage_fail_mask));
+  for (std::uint64_t w = value_error_mask; w != 0; w &= w - 1) {
+    const std::int64_t e = error[static_cast<std::size_t>(std::countr_zero(w))];
+    const double d = static_cast<double>(e);
+    sum_error_ += d;
+    sum_abs_error_ += std::fabs(d);
+    sum_sq_error_ += d * d;
+    if (worse_error(e, worst_case_)) worst_case_ = e;
+  }
 }
 
 double ErrorMetrics::error_rate() const noexcept {

@@ -3,6 +3,7 @@
 // worst-case error — the standard approximate-computing quality measures.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 namespace sealpaa::sim {
@@ -35,6 +36,17 @@ class ErrorMetrics {
   /// per-stage success event for the same case.
   void add(std::uint64_t approx_value, std::uint64_t exact_value,
            bool stage_success) noexcept;
+
+  /// Records one 64-lane batch from the bit-sliced kernel: `lane_mask`
+  /// marks the valid lanes, `value_error_mask` / `stage_fail_mask` the
+  /// lanes with a numeric / stage-level error, and `error[l]` the signed
+  /// error of lane l (zero outside value_error_mask).  Counts come from
+  /// popcounts and the floating-point moments fold only the erroneous
+  /// lanes in ascending order — bit-identical to calling add() once per
+  /// valid lane, since adding a zero error is an exact no-op.
+  void add_batch(std::uint64_t lane_mask, std::uint64_t value_error_mask,
+                 std::uint64_t stage_fail_mask,
+                 const std::array<std::int64_t, 64>& error) noexcept;
 
   [[nodiscard]] std::uint64_t cases() const noexcept { return cases_; }
   [[nodiscard]] std::uint64_t value_errors() const noexcept {

@@ -1,10 +1,12 @@
 #include "sealpaa/sim/montecarlo.hpp"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
 #include <vector>
 
 #include "sealpaa/prob/rng.hpp"
+#include "sealpaa/sim/bitsliced.hpp"
 #include "sealpaa/util/parallel.hpp"
 #include "sealpaa/util/timer.hpp"
 
@@ -17,22 +19,68 @@ namespace {
 // (seed, samples) — never on how many threads executed the shards.
 constexpr std::uint64_t kShardSamples = 1ULL << 16;
 
-ErrorMetrics simulate_shard(const multibit::AdderChain& chain,
-                            const multibit::InputProfile& profile,
-                            std::uint64_t samples,
-                            prob::Xoshiro256StarStar rng) {
-  const std::size_t n = chain.width();
+struct SimShard {
   ErrorMetrics metrics;
+  std::uint64_t lane_batches = 0;
+  std::uint64_t masked_lanes = 0;
+};
+
+SimShard simulate_shard_scalar(const multibit::AdderChain& chain,
+                               const multibit::InputProfile& profile,
+                               std::uint64_t samples,
+                               prob::Xoshiro256StarStar rng) {
+  const std::size_t n = chain.width();
+  SimShard shard;
   for (std::uint64_t s = 0; s < samples; ++s) {
     const multibit::InputProfile::Sample input = profile.sample(rng);
     const multibit::TracedAddResult traced =
         chain.evaluate_traced(input.a, input.b, input.cin);
     const multibit::AddResult exact =
         multibit::exact_add(input.a, input.b, input.cin, n);
-    metrics.add(traced.outputs.value(n), exact.value(n),
-                traced.all_stages_success);
+    shard.metrics.add(traced.outputs.value(n), exact.value(n),
+                      traced.all_stages_success);
   }
-  return metrics;
+  return shard;
+}
+
+// Same draw order as the scalar shard, evaluated 64 samples per kernel
+// pass; the final partial batch runs with its remainder lanes masked.
+SimShard simulate_shard_bitsliced(const BitSlicedKernel& kernel,
+                                  const multibit::InputProfile& profile,
+                                  std::uint64_t samples,
+                                  prob::Xoshiro256StarStar rng) {
+  SimShard shard;
+  std::array<std::uint64_t, 64> a_lanes;
+  std::array<std::uint64_t, 64> b_lanes;
+  for (std::uint64_t first = 0; first < samples; first += 64) {
+    const std::uint64_t count = std::min<std::uint64_t>(64, samples - first);
+    a_lanes.fill(0);
+    b_lanes.fill(0);
+    std::uint64_t cin_word = 0;
+    for (std::uint64_t lane = 0; lane < count; ++lane) {
+      const multibit::InputProfile::Sample input = profile.sample(rng);
+      a_lanes[lane] = input.a;
+      b_lanes[lane] = input.b;
+      if (input.cin) cin_word |= 1ULL << lane;
+    }
+    const std::uint64_t lane_mask =
+        count == 64 ? ~0ULL : (1ULL << count) - 1ULL;
+    const BitSlicedKernel::Result result =
+        kernel.run(a_lanes.data(), b_lanes.data(), cin_word, lane_mask);
+    accumulate(shard.metrics, result);
+    ++shard.lane_batches;
+    shard.masked_lanes += 64 - count;
+  }
+  return shard;
+}
+
+SimShard simulate_shard(const multibit::AdderChain& chain,
+                        const BitSlicedKernel* kernel,
+                        const multibit::InputProfile& profile,
+                        std::uint64_t samples, prob::Xoshiro256StarStar rng) {
+  return kernel != nullptr
+             ? simulate_shard_bitsliced(*kernel, profile, samples, rng)
+             : simulate_shard_scalar(chain, profile, samples, rng);
 }
 
 }  // namespace
@@ -40,7 +88,7 @@ ErrorMetrics simulate_shard(const multibit::AdderChain& chain,
 MonteCarloReport MonteCarloSimulator::run(const multibit::AdderChain& chain,
                                           const multibit::InputProfile& profile,
                                           std::uint64_t samples,
-                                          std::uint64_t seed) {
+                                          std::uint64_t seed, Kernel kernel) {
   if (chain.width() != profile.width()) {
     throw std::invalid_argument(
         "MonteCarloSimulator: chain and profile widths differ");
@@ -48,12 +96,18 @@ MonteCarloReport MonteCarloSimulator::run(const multibit::AdderChain& chain,
 
   MonteCarloReport report;
   report.samples = samples;
+  report.kernel = kernel;
   // Zero samples: no data, so the metrics stay at their identity and the
   // confidence intervals stay empty — never NaN or a fabricated [0, 1].
   if (samples == 0) return report;
   util::WallTimer timer;
-  report.metrics =
-      simulate_shard(chain, profile, samples, prob::Xoshiro256StarStar(seed));
+  const BitSlicedKernel sliced(chain);
+  const SimShard shard = simulate_shard(
+      chain, kernel == Kernel::kBitSliced ? &sliced : nullptr, profile,
+      samples, prob::Xoshiro256StarStar(seed));
+  report.metrics = shard.metrics;
+  report.lane_batches = shard.lane_batches;
+  report.masked_lanes = shard.masked_lanes;
   report.seconds = timer.elapsed_seconds();
   report.stage_failure_ci =
       prob::wilson_interval(report.metrics.stage_failures(), samples, 1.96);
@@ -64,7 +118,8 @@ MonteCarloReport MonteCarloSimulator::run(const multibit::AdderChain& chain,
 
 MonteCarloReport MonteCarloSimulator::run_parallel(
     const multibit::AdderChain& chain, const multibit::InputProfile& profile,
-    std::uint64_t samples, unsigned threads, std::uint64_t seed) {
+    std::uint64_t samples, unsigned threads, std::uint64_t seed,
+    Kernel kernel) {
   if (chain.width() != profile.width()) {
     throw std::invalid_argument(
         "MonteCarloSimulator: chain and profile widths differ");
@@ -75,6 +130,7 @@ MonteCarloReport MonteCarloSimulator::run_parallel(
 
   MonteCarloReport report;
   report.samples = samples;
+  report.kernel = kernel;
   if (samples == 0) return report;  // empty metrics, empty CIs — not NaN
   util::WallTimer timer;
 
@@ -91,18 +147,28 @@ MonteCarloReport MonteCarloSimulator::run_parallel(
     base.jump();
   }
 
-  report.metrics = util::with_pool(threads, [&](util::ThreadPool& pool) {
+  const BitSlicedKernel sliced(chain);
+  const BitSlicedKernel* sliced_ptr =
+      kernel == Kernel::kBitSliced ? &sliced : nullptr;
+  const SimShard total = util::with_pool(threads, [&](util::ThreadPool& pool) {
     return util::parallel_map_reduce(
-        pool, 0, shards, 1, ErrorMetrics{},
+        pool, 0, shards, 1, SimShard{},
         [&](std::uint64_t shard, std::uint64_t) {
           const std::uint64_t first = shard * kShardSamples;
           const std::uint64_t count = std::min(kShardSamples, samples - first);
-          return simulate_shard(chain, profile, count,
+          return simulate_shard(chain, sliced_ptr, profile, count,
                                 rngs[static_cast<std::size_t>(shard)]);
         },
-        [](ErrorMetrics& acc, ErrorMetrics&& shard) { acc.merge(shard); },
+        [](SimShard& acc, SimShard&& shard) {
+          acc.metrics.merge(shard.metrics);
+          acc.lane_batches += shard.lane_batches;
+          acc.masked_lanes += shard.masked_lanes;
+        },
         &report.shard_timings);
   });
+  report.metrics = total.metrics;
+  report.lane_batches = total.lane_batches;
+  report.masked_lanes = total.masked_lanes;
 
   report.seconds = timer.elapsed_seconds();
   report.stage_failure_ci =

@@ -8,6 +8,7 @@
 #include "sealpaa/multibit/chain.hpp"
 #include "sealpaa/multibit/input_profile.hpp"
 #include "sealpaa/prob/stats.hpp"
+#include "sealpaa/sim/kernel.hpp"
 #include "sealpaa/sim/metrics.hpp"
 #include "sealpaa/util/parallel.hpp"
 
@@ -18,7 +19,10 @@ struct MonteCarloReport {
   ErrorMetrics metrics;
   std::uint64_t samples = 0;
   double seconds = 0.0;
-  util::ShardTimings shard_timings;  // filled by run_parallel only
+  Kernel kernel = Kernel::kBitSliced;  // evaluation backend used
+  std::uint64_t lane_batches = 0;      // 64-lane kernel passes (bit-sliced)
+  std::uint64_t masked_lanes = 0;      // dead lanes in remainder batches
+  util::ShardTimings shard_timings;    // filled by run_parallel only
 
   /// Wilson 95% interval for the stage-failure rate (the paper's P(E)).
   /// Empty (see prob::Interval::empty) until samples have been drawn.
@@ -31,11 +35,14 @@ class MonteCarloSimulator {
  public:
   /// Draws `samples` independent input assignments from `profile` and
   /// evaluates `chain` against the exact adder.  Deterministic for a
-  /// given `seed`.
+  /// given `seed`; the kernel choice never changes the metrics, only the
+  /// throughput (samples are drawn in the same order and the bit-sliced
+  /// evaluation is bit-identical to the scalar walk).
   [[nodiscard]] static MonteCarloReport run(
       const multibit::AdderChain& chain,
       const multibit::InputProfile& profile, std::uint64_t samples,
-      std::uint64_t seed = 0x5ea1'c0de'2017'dacULL);
+      std::uint64_t seed = 0x5ea1'c0de'2017'dacULL,
+      Kernel kernel = Kernel::kBitSliced);
 
   /// Sharded variant: splits the samples into fixed 2^16-sample shards,
   /// each on an independent Xoshiro stream (jump() guarantees
@@ -46,7 +53,8 @@ class MonteCarloSimulator {
   [[nodiscard]] static MonteCarloReport run_parallel(
       const multibit::AdderChain& chain,
       const multibit::InputProfile& profile, std::uint64_t samples,
-      unsigned threads, std::uint64_t seed = 0x5ea1'c0de'2017'dacULL);
+      unsigned threads, std::uint64_t seed = 0x5ea1'c0de'2017'dacULL,
+      Kernel kernel = Kernel::kBitSliced);
 };
 
 }  // namespace sealpaa::sim

@@ -14,14 +14,24 @@
 // to the underlying engines.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdint>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "sealpaa/adders/cell.hpp"
+#include "sealpaa/baseline/weighted_exhaustive.hpp"
 #include "sealpaa/engine/method.hpp"
 #include "sealpaa/multibit/chain.hpp"
 #include "sealpaa/multibit/input_profile.hpp"
+#include "sealpaa/multibit/joint_profile.hpp"
 #include "sealpaa/prob/rng.hpp"
+#include "sealpaa/sim/bitsliced.hpp"
+#include "sealpaa/sim/exhaustive.hpp"
+#include "sealpaa/sim/kernel.hpp"
+#include "sealpaa/sim/metrics.hpp"
+#include "sealpaa/sim/montecarlo.hpp"
 
 namespace {
 
@@ -30,6 +40,9 @@ using sealpaa::engine::evaluate;
 using sealpaa::engine::Method;
 using sealpaa::multibit::AdderChain;
 using sealpaa::multibit::InputProfile;
+using sealpaa::sim::BitSlicedKernel;
+using sealpaa::sim::ErrorMetrics;
+using sealpaa::sim::Kernel;
 
 constexpr int kCellCount = 20;
 constexpr double kTolerance = 1e-12;
@@ -119,6 +132,184 @@ TEST(Differential, RecursionMatchesWeightedEnumeration) {
     const auto recursive = evaluate(chain, profile, Method::kRecursive);
     EXPECT_NEAR(recursive.p_success, oracle.p_success, kTolerance)
         << cell.name() << " width " << width;
+  }
+}
+
+TEST(Differential, BitSlicedMatchesScalarOnRandomHybridChains) {
+  // The bit-identity contract of the 64-lane kernel, lane by lane: 200+
+  // random hybrid chains spanning widths 1..16 (plus the 63-bit packing
+  // edge, where the carry-out occupies the top bit of the lane value),
+  // each evaluated on 64 random input vectors through both the kernel
+  // and the scalar evaluate_traced / exact_add reference.  Error counts,
+  // signed errors, first-failed-stage histograms and the accumulated
+  // metrics must be exactly equal — no tolerances.
+  sealpaa::prob::SplitMix64 cell_stream(0xb17'511ce'd1ffULL);
+  sealpaa::prob::SplitMix64 input_stream(0xb17'511ce'1a9eULL);
+  std::map<int, std::uint64_t> scalar_first_failed_histogram;
+  std::map<int, std::uint64_t> sliced_first_failed_histogram;
+  ErrorMetrics scalar_total;
+  ErrorMetrics sliced_total;
+
+  constexpr int kTrials = 208;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    // Widths cycle 1..16; every 32nd trial stresses the 63-bit edge.
+    const std::size_t width =
+        trial % 32 == 31 ? 63 : 1 + static_cast<std::size_t>(trial % 16);
+    std::vector<AdderCell> stages;
+    stages.reserve(width);
+    for (std::size_t s = 0; s < width; ++s) {
+      stages.push_back(
+          random_cell(cell_stream, trial * 1000 + static_cast<int>(s)));
+    }
+    const AdderChain chain(std::move(stages));
+    const BitSlicedKernel kernel(chain);
+    ASSERT_EQ(kernel.width(), width);
+
+    std::array<std::uint64_t, 64> a_lanes;
+    std::array<std::uint64_t, 64> b_lanes;
+    std::uint64_t cin_word = 0;
+    for (unsigned lane = 0; lane < 64; ++lane) {
+      a_lanes[lane] = input_stream.next();
+      b_lanes[lane] = input_stream.next();
+      if ((input_stream.next() & 1ULL) != 0) cin_word |= 1ULL << lane;
+    }
+    // Odd trials run a partial batch to cover remainder-lane masking.
+    const std::uint64_t lane_mask =
+        trial % 2 == 0 ? ~0ULL : (1ULL << (1 + trial % 63)) - 1ULL;
+    const BitSlicedKernel::Result result =
+        kernel.run(a_lanes.data(), b_lanes.data(), cin_word, lane_mask);
+    sealpaa::sim::accumulate(sliced_total, result);
+
+    for (unsigned lane = 0; lane < 64; ++lane) {
+      if (((lane_mask >> lane) & 1ULL) == 0) {
+        // Masked lanes must stay silent.
+        ASSERT_EQ((result.value_error_mask >> lane) & 1ULL, 0u);
+        ASSERT_EQ((result.stage_fail_mask >> lane) & 1ULL, 0u);
+        ASSERT_EQ(result.error[lane], 0);
+        ASSERT_EQ(result.first_failed[lane], -1);
+        continue;
+      }
+      const bool cin = ((cin_word >> lane) & 1ULL) != 0;
+      const auto traced =
+          chain.evaluate_traced(a_lanes[lane], b_lanes[lane], cin);
+      const auto exact = sealpaa::multibit::exact_add(
+          a_lanes[lane], b_lanes[lane], cin, width);
+      const std::uint64_t approx_value = traced.outputs.value(width);
+      const std::uint64_t exact_value = exact.value(width);
+      scalar_total.add(approx_value, exact_value, traced.all_stages_success);
+      scalar_first_failed_histogram[traced.first_failed_stage]++;
+      sliced_first_failed_histogram[result.first_failed[lane]]++;
+
+      ASSERT_EQ(((result.stage_fail_mask >> lane) & 1ULL) != 0,
+                !traced.all_stages_success)
+          << chain.describe() << " lane " << lane;
+      ASSERT_EQ(result.first_failed[lane], traced.first_failed_stage)
+          << chain.describe() << " lane " << lane;
+      ASSERT_EQ(((result.value_error_mask >> lane) & 1ULL) != 0,
+                approx_value != exact_value)
+          << chain.describe() << " lane " << lane;
+      ASSERT_EQ(((result.sum_bits_error_mask >> lane) & 1ULL) != 0,
+                traced.outputs.sum_bits != exact.sum_bits)
+          << chain.describe() << " lane " << lane;
+      ASSERT_EQ(result.error[lane],
+                static_cast<std::int64_t>(approx_value) -
+                    static_cast<std::int64_t>(exact_value))
+          << chain.describe() << " lane " << lane;
+    }
+  }
+
+  EXPECT_EQ(scalar_first_failed_histogram, sliced_first_failed_histogram);
+  EXPECT_EQ(scalar_total.cases(), sliced_total.cases());
+  EXPECT_EQ(scalar_total.value_errors(), sliced_total.value_errors());
+  EXPECT_EQ(scalar_total.stage_failures(), sliced_total.stage_failures());
+  EXPECT_EQ(scalar_total.mean_error(), sliced_total.mean_error());
+  EXPECT_EQ(scalar_total.mean_abs_error(), sliced_total.mean_abs_error());
+  EXPECT_EQ(scalar_total.mean_squared_error(),
+            sliced_total.mean_squared_error());
+  EXPECT_EQ(scalar_total.worst_case_error(), sliced_total.worst_case_error());
+  // Sanity: the random cells actually produced failures to histogram.
+  EXPECT_GT(scalar_total.stage_failures(), 0u);
+}
+
+TEST(Differential, SimulatorsIdenticalAcrossKernelsThroughRegistry) {
+  // The same kernel-equality contract end to end through
+  // engine::evaluate — the dispatch the CLI uses.  Exact equality, not
+  // kTolerance: the two backends must count the same errors.
+  sealpaa::prob::SplitMix64 seed_stream(0xd1ff'e2e4'7e57'0006ULL);
+  sealpaa::prob::Xoshiro256StarStar profile_rng(0xd1ff'e2e4'7e57'0007ULL);
+  for (int i = 0; i < 8; ++i) {
+    const AdderCell cell = random_cell(seed_stream, i);
+    const std::size_t width = 2 + static_cast<std::size_t>(i);  // 2..9
+    const AdderChain chain = AdderChain::homogeneous(cell, width);
+
+    sealpaa::engine::EvaluateOptions scalar_opts;
+    scalar_opts.kernel = Kernel::kScalar;
+    scalar_opts.samples = 20000;
+    sealpaa::engine::EvaluateOptions sliced_opts = scalar_opts;
+    sliced_opts.kernel = Kernel::kBitSliced;
+
+    const InputProfile uniform = InputProfile::uniform(width, 0.5);
+    EXPECT_EQ(evaluate(chain, uniform, Method::kExhaustiveSim,
+                       scalar_opts).p_error,
+              evaluate(chain, uniform, Method::kExhaustiveSim,
+                       sliced_opts).p_error)
+        << cell.name() << " width " << width;
+
+    const InputProfile profile =
+        InputProfile::random(width, profile_rng, 0.05, 0.95);
+    EXPECT_EQ(evaluate(chain, profile, Method::kWeightedExhaustive,
+                       scalar_opts).p_error,
+              evaluate(chain, profile, Method::kWeightedExhaustive,
+                       sliced_opts).p_error)
+        << cell.name() << " width " << width;
+    EXPECT_EQ(evaluate(chain, profile, Method::kMonteCarlo,
+                       scalar_opts).p_error,
+              evaluate(chain, profile, Method::kMonteCarlo,
+                       sliced_opts).p_error)
+        << cell.name() << " width " << width;
+  }
+}
+
+TEST(Differential, WeightedEnumerationIdenticalAcrossKernels) {
+  // Full-report equality of the weighted oracle under both kernels,
+  // including the signed-error distribution — for the marginal and the
+  // correlated (joint) profile variants.
+  sealpaa::prob::SplitMix64 seed_stream(0xd1ff'e2e4'7e57'0008ULL);
+  sealpaa::prob::Xoshiro256StarStar profile_rng(0xd1ff'e2e4'7e57'0009ULL);
+  for (int i = 0; i < 6; ++i) {
+    const AdderCell cell = random_cell(seed_stream, i);
+    const std::size_t width = 2 + static_cast<std::size_t>(i);  // 2..7
+    const AdderChain chain = AdderChain::homogeneous(cell, width);
+    const InputProfile profile =
+        InputProfile::random(width, profile_rng, 0.0, 1.0);
+
+    using sealpaa::baseline::WeightedExhaustive;
+    const auto scalar =
+        WeightedExhaustive::analyze(chain, profile, 14, 1, Kernel::kScalar);
+    const auto sliced =
+        WeightedExhaustive::analyze(chain, profile, 14, 1,
+                                    Kernel::kBitSliced);
+    EXPECT_EQ(scalar.p_stage_success, sliced.p_stage_success);
+    EXPECT_EQ(scalar.p_value_correct, sliced.p_value_correct);
+    EXPECT_EQ(scalar.p_sum_bits_correct, sliced.p_sum_bits_correct);
+    EXPECT_EQ(scalar.mean_error, sliced.mean_error);
+    EXPECT_EQ(scalar.mean_abs_error, sliced.mean_abs_error);
+    EXPECT_EQ(scalar.mean_squared_error, sliced.mean_squared_error);
+    EXPECT_EQ(scalar.worst_case_error, sliced.worst_case_error);
+    EXPECT_EQ(scalar.error_distribution, sliced.error_distribution);
+
+    // Correlated factories need symmetric marginals for moderate rho.
+    const InputProfile safe_profile =
+        InputProfile::uniform(width, 0.25 + 0.08 * i);
+    const auto joint =
+        sealpaa::multibit::JointInputProfile::correlated(safe_profile, 0.4);
+    const auto scalar_joint = WeightedExhaustive::analyze_joint(
+        chain, joint, 14, 1, Kernel::kScalar);
+    const auto sliced_joint = WeightedExhaustive::analyze_joint(
+        chain, joint, 14, 1, Kernel::kBitSliced);
+    EXPECT_EQ(scalar_joint.p_stage_success, sliced_joint.p_stage_success);
+    EXPECT_EQ(scalar_joint.error_distribution,
+              sliced_joint.error_distribution);
   }
 }
 

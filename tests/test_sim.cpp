@@ -1,14 +1,20 @@
 // Simulator tests: exhaustive sweep vs analytical, Monte Carlo
-// convergence and the metrics accumulator.
+// convergence, the metrics accumulator and the bit-sliced kernel's
+// building blocks (LUT compilation, transpose, batched accumulation).
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
 #include "sealpaa/adders/builtin.hpp"
+#include "sealpaa/adders/cell.hpp"
 #include "sealpaa/analysis/recursive.hpp"
 #include "sealpaa/multibit/input_profile.hpp"
+#include "sealpaa/prob/rng.hpp"
+#include "sealpaa/sim/bitsliced.hpp"
 #include "sealpaa/sim/exhaustive.hpp"
+#include "sealpaa/sim/kernel.hpp"
 #include "sealpaa/sim/metrics.hpp"
 #include "sealpaa/sim/montecarlo.hpp"
 
@@ -19,9 +25,29 @@ using sealpaa::adders::lpaa;
 using sealpaa::analysis::RecursiveAnalyzer;
 using sealpaa::multibit::AdderChain;
 using sealpaa::multibit::InputProfile;
+using sealpaa::sim::BitSlicedKernel;
+using sealpaa::sim::compile_lut;
 using sealpaa::sim::ErrorMetrics;
 using sealpaa::sim::ExhaustiveSimulator;
+using sealpaa::sim::Kernel;
+using sealpaa::sim::kLaneCounterBit;
 using sealpaa::sim::MonteCarloSimulator;
+using sealpaa::sim::SlicedLut;
+using sealpaa::sim::transpose64;
+using sealpaa::sim::transpose64_accelerated;
+using sealpaa::sim::transpose64_fast;
+
+/// Exact equality across every observable of two metric accumulators —
+/// the bit-identity contract, not a tolerance comparison.
+void expect_metrics_identical(const ErrorMetrics& a, const ErrorMetrics& b) {
+  EXPECT_EQ(a.cases(), b.cases());
+  EXPECT_EQ(a.value_errors(), b.value_errors());
+  EXPECT_EQ(a.stage_failures(), b.stage_failures());
+  EXPECT_EQ(a.mean_error(), b.mean_error());
+  EXPECT_EQ(a.mean_abs_error(), b.mean_abs_error());
+  EXPECT_EQ(a.mean_squared_error(), b.mean_squared_error());
+  EXPECT_EQ(a.worst_case_error(), b.worst_case_error());
+}
 
 TEST(Metrics, BasicAccumulation) {
   ErrorMetrics metrics;
@@ -140,6 +166,192 @@ TEST(Metrics, MergeIdentityAndAssociativity) {
     EXPECT_EQ(right_fold.worst_case_error(), reference.worst_case_error());
     EXPECT_EQ(right_fold.cases(), reference.cases());
   }
+}
+
+TEST(Kernel, ParseAndNameRoundTrip) {
+  EXPECT_EQ(sealpaa::sim::parse_kernel("scalar"), Kernel::kScalar);
+  EXPECT_EQ(sealpaa::sim::parse_kernel("bitsliced"), Kernel::kBitSliced);
+  EXPECT_EQ(sealpaa::sim::kernel_name(Kernel::kScalar), "scalar");
+  EXPECT_EQ(sealpaa::sim::kernel_name(Kernel::kBitSliced), "bitsliced");
+  EXPECT_THROW((void)sealpaa::sim::parse_kernel("simd"),
+               std::invalid_argument);
+  EXPECT_THROW((void)sealpaa::sim::parse_kernel(""), std::invalid_argument);
+}
+
+TEST(BitSliced, CompileLutMatchesEveryTruthTable) {
+  // Exhaustive over all 256 3-input functions: the compiled lane-word
+  // form must reproduce the truth table both on broadcast inputs (all
+  // lanes the same row) and on counter-patterned inputs (lane l holds
+  // row l & 7).
+  for (unsigned truth = 0; truth < 256; ++truth) {
+    const SlicedLut lut = compile_lut(static_cast<std::uint8_t>(truth));
+    for (std::uint8_t row = 0; row < 8; ++row) {
+      const std::uint64_t a = ((row >> 2) & 1) != 0 ? ~0ULL : 0ULL;
+      const std::uint64_t b = ((row >> 1) & 1) != 0 ? ~0ULL : 0ULL;
+      const std::uint64_t c = (row & 1) != 0 ? ~0ULL : 0ULL;
+      const std::uint64_t expected = ((truth >> row) & 1U) != 0 ? ~0ULL : 0ULL;
+      EXPECT_EQ(lut.eval(a, b, c), expected)
+          << "truth 0x" << std::hex << truth << " row " << int(row);
+    }
+    // Mixed lanes: row of lane l is l & 7 (a = bit2, b = bit1, c = bit0).
+    std::uint64_t expected = 0;
+    for (unsigned lane = 0; lane < 64; ++lane) {
+      if (((truth >> (lane & 7)) & 1U) != 0) expected |= 1ULL << lane;
+    }
+    EXPECT_EQ(lut.eval(kLaneCounterBit[2], kLaneCounterBit[1],
+                       kLaneCounterBit[0]),
+              expected)
+        << "truth 0x" << std::hex << truth;
+  }
+}
+
+TEST(BitSliced, TransposeIndexContractAndInvolution) {
+  sealpaa::prob::SplitMix64 rng(0xb17'511ced'7e57ULL);
+  std::array<std::uint64_t, 64> m;
+  for (auto& row : m) row = rng.next();
+  const std::array<std::uint64_t, 64> original = m;
+  transpose64(m);
+  for (unsigned i = 0; i < 64; ++i) {
+    for (unsigned l = 0; l < 64; ++l) {
+      ASSERT_EQ((m[i] >> l) & 1ULL, (original[l] >> i) & 1ULL)
+          << "transposed[" << i << "] bit " << l;
+    }
+  }
+  transpose64(m);
+  EXPECT_EQ(m, original);
+}
+
+TEST(BitSliced, TransposeFastMatchesPortable) {
+  // transpose64_fast dispatches to the AVX-512 + GFNI kernel when the
+  // CPU has one; either way it must be the exact same bit permutation as
+  // the portable reference (the production kernel runs on whichever
+  // implementation this machine selects).
+  sealpaa::prob::SplitMix64 rng(0x517'ced'fa57ULL);
+  for (int trial = 0; trial < 64; ++trial) {
+    std::array<std::uint64_t, 64> fast;
+    for (auto& row : fast) row = rng.next();
+    std::array<std::uint64_t, 64> portable = fast;
+    transpose64(portable);
+    transpose64_fast(fast);
+    ASSERT_EQ(fast, portable)
+        << "trial " << trial
+        << " accelerated=" << transpose64_accelerated();
+  }
+}
+
+TEST(BitSliced, GroupMatchesSingleBatches) {
+  // run_packed_group's contract: results[j] is bit-identical to
+  // run_packed on batch j alone, for arbitrary cells (including ones
+  // whose tables only compile to generic SOPs) at widths from mid-range
+  // to the 63-bit carry-out boundary.  On AVX-512 hardware this pins
+  // the VPTERNLOGQ group kernel to the single-batch path; elsewhere it
+  // pins the peeling fallback.
+  sealpaa::prob::SplitMix64 rng(0x6'40'c7'2026ULL);
+  constexpr std::size_t kGroup = BitSlicedKernel::kGroupBatches;
+  for (const std::size_t width : {std::size_t{5}, std::size_t{9},
+                                  std::size_t{16}, std::size_t{63}}) {
+    std::vector<sealpaa::adders::AdderCell> cells;
+    for (std::size_t s = 0; s < width; ++s) {
+      if ((rng.next() & 3ULL) == 0) {
+        cells.push_back(accurate());
+        continue;
+      }
+      std::string sum_column(8, '0');
+      std::string carry_column(8, '0');
+      const std::uint64_t bits = rng.next();
+      for (std::size_t row = 0; row < 8; ++row) {
+        if (((bits >> row) & 1ULL) != 0) sum_column[row] = '1';
+        if (((bits >> (8 + row)) & 1ULL) != 0) carry_column[row] = '1';
+      }
+      cells.push_back(sealpaa::adders::AdderCell::from_columns(
+          "G" + std::to_string(s), sum_column, carry_column,
+          "group-kernel test cell"));
+    }
+    const AdderChain chain(cells);
+    const BitSlicedKernel kernel(chain);
+
+    std::array<std::uint64_t, 64> a_words;
+    std::array<std::uint64_t, 64 * kGroup> b_group;
+    for (auto& w : a_words) w = rng.next();
+    for (auto& w : b_group) w = rng.next();
+    const std::uint64_t cin_word = rng.next();
+
+    std::array<BitSlicedKernel::Result, kGroup> grouped;
+    kernel.run_packed_group(a_words.data(), b_group.data(), cin_word,
+                            grouped.data());
+
+    std::array<std::uint64_t, 64> b_words{};
+    for (std::size_t j = 0; j < kGroup; ++j) {
+      for (std::size_t i = 0; i < width; ++i) {
+        b_words[i] = b_group[kGroup * i + j];
+      }
+      const BitSlicedKernel::Result single =
+          kernel.run_packed(a_words.data(), b_words.data(), cin_word, ~0ULL);
+      ASSERT_EQ(grouped[j].lane_mask, single.lane_mask);
+      ASSERT_EQ(grouped[j].stage_fail_mask, single.stage_fail_mask)
+          << "width " << width << " batch " << j;
+      ASSERT_EQ(grouped[j].value_error_mask, single.value_error_mask)
+          << "width " << width << " batch " << j;
+      ASSERT_EQ(grouped[j].sum_bits_error_mask, single.sum_bits_error_mask)
+          << "width " << width << " batch " << j;
+      ASSERT_EQ(grouped[j].error, single.error)
+          << "width " << width << " batch " << j
+          << " accelerated=" << transpose64_accelerated();
+      ASSERT_EQ(grouped[j].first_failed, single.first_failed)
+          << "width " << width << " batch " << j;
+    }
+  }
+}
+
+TEST(Metrics, AddBatchMatchesSixtyFourScalarAdds) {
+  // The satellite-3 contract: one add_batch call must leave the
+  // accumulator in exactly the state 64 scalar add() calls (ascending
+  // lane order) produce — including the floating-point sums.
+  sealpaa::prob::SplitMix64 rng(0xadd'b47c4'2026ULL);
+  for (const std::uint64_t lane_mask :
+       {~0ULL, (1ULL << 17) - 1ULL, 0x0123'4567'89ab'cdefULL}) {
+    std::array<std::uint64_t, 64> approx{};
+    std::array<std::uint64_t, 64> exact{};
+    std::array<bool, 64> success{};
+    std::uint64_t value_error_mask = 0;
+    std::uint64_t stage_fail_mask = 0;
+    std::array<std::int64_t, 64> error{};
+    for (unsigned lane = 0; lane < 64; ++lane) {
+      if (((lane_mask >> lane) & 1ULL) == 0) continue;
+      exact[lane] = rng.next() & 0x1FFFF;
+      // Mix exact lanes, positive and negative errors.
+      const std::uint64_t roll = rng.next();
+      if ((roll & 3) == 0) {
+        approx[lane] = exact[lane];
+        success[lane] = (roll & 4) != 0;
+      } else {
+        approx[lane] = rng.next() & 0x1FFFF;
+        success[lane] = false;
+      }
+      if (approx[lane] != exact[lane]) {
+        value_error_mask |= 1ULL << lane;
+        error[lane] = static_cast<std::int64_t>(approx[lane]) -
+                      static_cast<std::int64_t>(exact[lane]);
+      }
+      if (!success[lane]) stage_fail_mask |= 1ULL << lane;
+    }
+
+    ErrorMetrics batched;
+    batched.add_batch(lane_mask, value_error_mask, stage_fail_mask, error);
+    ErrorMetrics scalar;
+    for (unsigned lane = 0; lane < 64; ++lane) {
+      if (((lane_mask >> lane) & 1ULL) == 0) continue;
+      scalar.add(approx[lane], exact[lane], success[lane]);
+    }
+    expect_metrics_identical(batched, scalar);
+  }
+}
+
+TEST(Metrics, AddBatchEmptyMaskIsIdentity) {
+  ErrorMetrics metrics;
+  metrics.add_batch(0, 0, 0, std::array<std::int64_t, 64>{});
+  EXPECT_EQ(metrics.cases(), 0u);
+  EXPECT_EQ(metrics.mean_error(), 0.0);
 }
 
 TEST(ExhaustiveSim, StageFailureRateMatchesAnalyticalAtHalf) {
@@ -283,6 +495,149 @@ TEST(MonteCarlo, ValueErrorsNeverExceedStageFailures) {
     EXPECT_LE(report.metrics.value_errors(), report.metrics.stage_failures())
         << "LPAA" << cell;
   }
+}
+
+TEST(ExhaustiveSim, KernelsIdenticalAcrossWidths) {
+  // Widths 1..6 cross the partial-batch (< 5 bits: the whole (b, cin)
+  // space fits under 64 lanes and the remainder is masked) / full-batch
+  // boundary of the bit-sliced sweep.
+  for (std::size_t width = 1; width <= 6; ++width) {
+    for (int cell : {1, 4, 7}) {
+      const AdderChain chain = AdderChain::homogeneous(lpaa(cell), width);
+      const auto scalar =
+          ExhaustiveSimulator::run(chain, 13, 1, Kernel::kScalar);
+      const auto bitsliced =
+          ExhaustiveSimulator::run(chain, 13, 1, Kernel::kBitSliced);
+      expect_metrics_identical(scalar.metrics, bitsliced.metrics);
+      EXPECT_EQ(bitsliced.metrics.cases(), 1ULL << (2 * width + 1));
+      EXPECT_EQ(scalar.kernel, Kernel::kScalar);
+      EXPECT_EQ(bitsliced.kernel, Kernel::kBitSliced);
+      EXPECT_EQ(scalar.lane_batches, 0u);
+      EXPECT_GT(bitsliced.lane_batches, 0u);
+      if (width < 5) {
+        // One partial batch per `a`: 2^(width+1) live lanes out of 64.
+        EXPECT_EQ(bitsliced.masked_lanes,
+                  (1ULL << width) * (64 - (1ULL << (width + 1))));
+      } else {
+        EXPECT_EQ(bitsliced.masked_lanes, 0u);
+      }
+    }
+  }
+}
+
+TEST(ExhaustiveSim, KernelsIdenticalAcrossThreadCounts) {
+  const AdderChain chain = AdderChain::homogeneous(lpaa(3), 7);
+  const auto reference = ExhaustiveSimulator::run(chain, 13, 1,
+                                                  Kernel::kScalar);
+  for (unsigned threads : {1u, 2u, 5u}) {
+    const auto report =
+        ExhaustiveSimulator::run(chain, 13, threads, Kernel::kBitSliced);
+    expect_metrics_identical(reference.metrics, report.metrics);
+  }
+}
+
+TEST(MonteCarlo, KernelsIdenticalWithMaskedRemainder) {
+  // 10007 samples = 156 full batches + one 23-lane remainder; the
+  // metrics must match the scalar walk bit-for-bit anyway.
+  const InputProfile profile = InputProfile::uniform(9, 0.3);
+  const AdderChain chain = AdderChain::homogeneous(lpaa(5), 9);
+  const auto scalar =
+      MonteCarloSimulator::run(chain, profile, 10007, 42, Kernel::kScalar);
+  const auto bitsliced =
+      MonteCarloSimulator::run(chain, profile, 10007, 42, Kernel::kBitSliced);
+  expect_metrics_identical(scalar.metrics, bitsliced.metrics);
+  EXPECT_EQ(scalar.lane_batches, 0u);
+  EXPECT_EQ(bitsliced.lane_batches, (10007 + 63) / 64);
+  EXPECT_EQ(bitsliced.masked_lanes, 64 * ((10007 + 63) / 64) - 10007);
+}
+
+TEST(MonteCarloParallel, KernelsIdenticalAcrossThreadCounts) {
+  const InputProfile profile = InputProfile::uniform(12, 0.2);
+  const AdderChain chain = AdderChain::homogeneous(lpaa(6), 12);
+  const auto scalar = MonteCarloSimulator::run_parallel(
+      chain, profile, 70001, 1, 7, Kernel::kScalar);
+  for (unsigned threads : {1u, 4u}) {
+    const auto bitsliced = MonteCarloSimulator::run_parallel(
+        chain, profile, 70001, threads, 7, Kernel::kBitSliced);
+    expect_metrics_identical(scalar.metrics, bitsliced.metrics);
+  }
+}
+
+TEST(BitSliced, Width63BoundaryMatchesScalar) {
+  // 63 bits is the widest chain AdderChain accepts; the carry-out lands
+  // on bit 63 of the value, so signed errors exercise the int64
+  // wraparound edge.  Both kernels must agree lane-for-lane.
+  for (int cell : {1, 7}) {
+    const AdderChain chain = AdderChain::homogeneous(lpaa(cell), 63);
+    const BitSlicedKernel kernel(chain);
+    ASSERT_EQ(kernel.width(), 63u);
+
+    sealpaa::prob::SplitMix64 rng(0x63'b17'ed6eULL + static_cast<std::uint64_t>(cell));
+    std::array<std::uint64_t, 64> a_lanes;
+    std::array<std::uint64_t, 64> b_lanes;
+    std::uint64_t cin_word = 0;
+    for (unsigned lane = 0; lane < 64; ++lane) {
+      a_lanes[lane] = rng.next() >> 1;  // 63-bit operands
+      b_lanes[lane] = rng.next() >> 1;
+      if ((rng.next() & 1ULL) != 0) cin_word |= 1ULL << lane;
+    }
+    const BitSlicedKernel::Result result =
+        kernel.run(a_lanes.data(), b_lanes.data(), cin_word, ~0ULL);
+
+    ErrorMetrics batched;
+    sealpaa::sim::accumulate(batched, result);
+    ErrorMetrics scalar;
+    for (unsigned lane = 0; lane < 64; ++lane) {
+      const bool cin = ((cin_word >> lane) & 1ULL) != 0;
+      const auto traced =
+          chain.evaluate_traced(a_lanes[lane], b_lanes[lane], cin);
+      const auto exact =
+          sealpaa::multibit::exact_add(a_lanes[lane], b_lanes[lane], cin, 63);
+      const std::uint64_t approx_value = traced.outputs.value(63);
+      const std::uint64_t exact_value = exact.value(63);
+      scalar.add(approx_value, exact_value, traced.all_stages_success);
+      EXPECT_EQ(((result.stage_fail_mask >> lane) & 1ULL) != 0,
+                !traced.all_stages_success)
+          << "lane " << lane;
+      EXPECT_EQ(result.first_failed[lane], traced.first_failed_stage)
+          << "lane " << lane;
+      EXPECT_EQ(((result.value_error_mask >> lane) & 1ULL) != 0,
+                approx_value != exact_value)
+          << "lane " << lane;
+      EXPECT_EQ(result.error[lane],
+                static_cast<std::int64_t>(approx_value) -
+                    static_cast<std::int64_t>(exact_value))
+          << "lane " << lane;
+    }
+    expect_metrics_identical(batched, scalar);
+  }
+}
+
+TEST(BitSliced, Width64ThrowsForBothPaths) {
+  // AdderChain itself rejects 64 bits, so neither the scalar walk nor
+  // the bit-sliced kernel (which is constructed from a chain) can ever
+  // see a width the carry-out bit would not fit.
+  EXPECT_THROW((void)AdderChain::homogeneous(lpaa(1), 64),
+               std::invalid_argument);
+  EXPECT_THROW((void)AdderChain::homogeneous(accurate(), 64),
+               std::invalid_argument);
+}
+
+TEST(BitSliced, AccurateChainAtFullWidthHasNoErrors) {
+  const AdderChain chain = AdderChain::homogeneous(accurate(), 63);
+  const BitSlicedKernel kernel(chain);
+  std::array<std::uint64_t, 64> a_lanes;
+  std::array<std::uint64_t, 64> b_lanes;
+  sealpaa::prob::SplitMix64 rng(0xacc'0063ULL);
+  for (unsigned lane = 0; lane < 64; ++lane) {
+    a_lanes[lane] = rng.next() >> 1;
+    b_lanes[lane] = rng.next() >> 1;
+  }
+  const auto result =
+      kernel.run(a_lanes.data(), b_lanes.data(), kLaneCounterBit[0], ~0ULL);
+  EXPECT_EQ(result.value_error_mask, 0u);
+  EXPECT_EQ(result.stage_fail_mask, 0u);
+  EXPECT_EQ(result.sum_bits_error_mask, 0u);
 }
 
 }  // namespace

@@ -36,7 +36,7 @@ int usage() {
       "  cells                       list built-in cells + characteristics\n"
       "  analyze  --cell --bits --p  error probability of a homogeneous chain\n"
       "           [--method] [--trace] (--rho adds operand correlation;\n"
-      "           [--rho]              --method picks the engine: recursive,\n"
+      "           [--rho] [--kernel]   --method picks the engine: recursive,\n"
       "                              inclusion-exclusion, exhaustive,\n"
       "                              weighted-exhaustive, monte-carlo)\n"
       "  sweep    --cell --p         P(E) vs width table\n"
@@ -49,6 +49,9 @@ int usage() {
       "           [--p-input]\n"
       "  sim      --cell --bits --p  Monte Carlo + exhaustive simulation\n"
       "           [--samples] [--seed] [--no-exhaustive] [--timings]\n"
+      "           [--kernel]          (--kernel=scalar|bitsliced picks the\n"
+      "                              evaluation backend; bitsliced runs 64\n"
+      "                              input vectors per pass, same metrics)\n"
       "  synth    --kind --cell      emit Verilog (cell|chain|gear)\n"
       "           [--bits|--n --r --p] [--out] [--tb]\n\n"
       "global flags:\n"
@@ -132,7 +135,7 @@ void print_trace(const std::vector<analysis::StageTrace>& trace) {
 int cmd_analyze(const util::CliArgs& args, obs::RunReport& report) {
   check_flags(args,
               {"cell", "bits", "p", "trace", "rho", "method", "samples",
-               "seed"});
+               "seed", "kernel"});
   const adders::AdderCell& cell = cell_arg(args);
   const auto bits = static_cast<std::size_t>(args.get_uint("bits", 8));
   const double p = args.get_double("p", 0.5);
@@ -178,6 +181,7 @@ int cmd_analyze(const util::CliArgs& args, obs::RunReport& report) {
   options.samples = args.get_uint("samples", 1'000'000);
   options.seed = args.get_uint("seed", 0x5ea1'c0de'2017'dacULL);
   options.threads = args.threads();
+  options.kernel = sim::parse_kernel(args.get("kernel", "bitsliced"));
   obs::ScopedTimer timer(report.counters(), "analyze");
   const engine::Evaluation result =
       engine::evaluate(chain, marginals, method, options);
@@ -192,6 +196,8 @@ int cmd_analyze(const util::CliArgs& args, obs::RunReport& report) {
   }
   print_trace(result.trace);
   section.set("method", obs::Json(std::string(engine::method_name(method))));
+  section.set("kernel",
+              obs::Json(std::string(sim::kernel_name(options.kernel))));
   section.set("evaluation", obs::to_json(result));
   section.set("p_success", obs::Json(result.p_success));
   section.set("p_error", obs::Json(result.p_error));
@@ -332,13 +338,14 @@ int cmd_gear(const util::CliArgs& args, obs::RunReport& report) {
 int cmd_sim(const util::CliArgs& args, obs::RunReport& report) {
   check_flags(args,
               {"cell", "bits", "p", "samples", "seed", "no-exhaustive",
-               "timings"});
+               "timings", "kernel"});
   const adders::AdderCell& cell = cell_arg(args);
   const auto bits = static_cast<std::size_t>(args.get_uint("bits", 8));
   const double p = args.get_double("p", 0.5);
   const std::uint64_t samples = args.get_uint("samples", 1'000'000);
   const std::uint64_t seed = args.get_uint("seed", 0x5ea1'c0de'2017'dacULL);
   const unsigned threads = args.threads();
+  const sim::Kernel kernel = sim::parse_kernel(args.get("kernel", "bitsliced"));
 
   const auto chain = multibit::AdderChain::homogeneous(cell, bits);
   const auto profile = multibit::InputProfile::uniform(bits, p);
@@ -354,14 +361,17 @@ int cmd_sim(const util::CliArgs& args, obs::RunReport& report) {
   section.set("bits", obs::Json(static_cast<std::uint64_t>(bits)));
   section.set("p", obs::Json(p));
   section.set("threads", obs::Json(threads));
+  section.set("kernel", obs::Json(std::string(sim::kernel_name(kernel))));
   section.set("analytical_p_error", obs::Json(analytical));
 
   obs::ScopedTimer mc_timer(report.counters(), "sim/montecarlo");
   const auto mc =
       sim::MonteCarloSimulator::run_parallel(chain, profile, samples, threads,
-                                             seed);
+                                             seed, kernel);
   mc_timer.stop();
   report.counters().add("sim/montecarlo/samples", mc.samples);
+  report.counters().add("sim/montecarlo/lane_batches", mc.lane_batches);
+  report.counters().add("sim/montecarlo/masked_lanes", mc.masked_lanes);
   std::cout << "P(Error) Monte Carlo  = "
             << util::prob6(mc.metrics.stage_failure_rate()) << "  ("
             << util::with_commas(samples) << " samples, 95% CI "
@@ -374,10 +384,15 @@ int cmd_sim(const util::CliArgs& args, obs::RunReport& report) {
 
   if (!args.get_bool("no-exhaustive", false) && bits <= 13) {
     obs::ScopedTimer ex_timer(report.counters(), "sim/exhaustive");
-    const auto exhaustive = sim::ExhaustiveSimulator::run(chain, 13, threads);
+    const auto exhaustive =
+        sim::ExhaustiveSimulator::run(chain, 13, threads, kernel);
     ex_timer.stop();
     report.counters().add("sim/exhaustive/cases",
                           exhaustive.metrics.cases());
+    report.counters().add("sim/exhaustive/lane_batches",
+                          exhaustive.lane_batches);
+    report.counters().add("sim/exhaustive/masked_lanes",
+                          exhaustive.masked_lanes);
     std::cout << "P(Error) exhaustive   = "
               << util::prob6(exhaustive.metrics.stage_failure_rate())
               << "  (" << util::with_commas(exhaustive.metrics.cases())
