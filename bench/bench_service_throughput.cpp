@@ -1,0 +1,269 @@
+// Measures what sealpaad's pipelining + cross-request batching buy over
+// the naive one-connection-per-request client, on the workload the
+// service exists for: a DSE driver scoring a beam of candidate designs.
+//
+// The request mix is beam-search shaped — width-16 recursive requests
+// whose chains share long prefixes (a few surviving beam prefixes, every
+// combination of the seven LPAA cells in the last stages) — so the
+// dispatcher's batching keeps the shared ChainEvaluator prefix cache
+// hot.  Mode A pipelines every request down one connection; mode B pays
+// connect/send/recv/close per request, which also pays one batching
+// window of latency per request.
+//
+// Every response from both modes is compared byte-for-byte against a
+// frame built locally from engine::evaluate — the bench exits non-zero
+// on any mismatch (or if the server fails to drain cleanly), so CI
+// catches a service that silently diverges from the library.  The
+// speedup itself is reported, not gated here (machine-dependent);
+// scripts/check_bench_regression.py gates it against the committed
+// reference ratio.
+//
+// Hand-rolled driver (not google-benchmark) so the run can emit the
+// versioned sealpaa.run-report JSON: results land in
+// BENCH_service.json next to the binary (--no-json suppresses,
+// --json-report=FILE redirects).
+//
+// Flags: --bits=16  --tail=3  --prefixes=3  --reps=3  --quick
+#include <cstdint>
+#include <iostream>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sealpaa/sealpaa.hpp"
+
+namespace {
+
+using namespace sealpaa;
+
+struct Workload {
+  std::vector<std::string> request_lines;   // one request per line, no '\n'
+  std::vector<std::string> expected_lines;  // serialize_frame output, with '\n'
+  std::string pipelined_bytes;              // all request frames concatenated
+};
+
+/// Beam-search-shaped request mix: `prefixes` surviving beam prefixes
+/// (differing in their first stage), each expanded by every combination
+/// of the seven LPAA cells over the last `tail` stages.  All requests
+/// use the default profile (p = 0.5), so the dispatcher groups them onto
+/// one pooled evaluator and the shared stages hit the prefix cache.
+Workload build_workload(std::size_t bits, std::size_t tail,
+                        std::size_t prefixes) {
+  const std::span<const adders::AdderCell> lpaas = adders::builtin_lpaas();
+  const auto profile = multibit::InputProfile::uniform(bits, 0.5);
+
+  std::size_t combos = 1;
+  for (std::size_t i = 0; i < tail; ++i) combos *= lpaas.size();
+
+  Workload workload;
+  workload.request_lines.reserve(prefixes * combos);
+  workload.expected_lines.reserve(prefixes * combos);
+
+  std::uint64_t id = 0;
+  for (std::size_t prefix = 0; prefix < prefixes; ++prefix) {
+    for (std::size_t combo = 0; combo < combos; ++combo) {
+      // Shared prefix: first stage names the beam survivor, the rest is
+      // a fixed pattern; tail stages enumerate the LPAA candidates.
+      std::vector<adders::AdderCell> stages;
+      stages.reserve(bits);
+      stages.push_back(lpaas[prefix % lpaas.size()]);
+      for (std::size_t i = 1; i + tail < bits; ++i) {
+        stages.push_back(lpaas[(i * 3) % lpaas.size()]);
+      }
+      std::size_t rest = combo;
+      for (std::size_t i = 0; i < tail; ++i) {
+        stages.push_back(lpaas[rest % lpaas.size()]);
+        rest /= lpaas.size();
+      }
+
+      std::string line = "{\"id\":" + std::to_string(id) +
+                         ",\"method\":\"recursive\",\"width\":" +
+                         std::to_string(bits) + ",\"chain\":[";
+      for (std::size_t i = 0; i < stages.size(); ++i) {
+        if (i != 0) line += ',';
+        line += '"';
+        line += stages[i].name();
+        line += '"';
+      }
+      line += "]}";
+
+      const engine::Evaluation evaluation =
+          engine::evaluate(multibit::AdderChain(stages), profile,
+                           engine::Method::kRecursive);
+      workload.expected_lines.push_back(service::serialize_frame(
+          service::make_evaluation_response(obs::Json(id), evaluation)));
+
+      workload.pipelined_bytes += line;
+      workload.pipelined_bytes += '\n';
+      workload.request_lines.push_back(std::move(line));
+      ++id;
+    }
+  }
+  return workload;
+}
+
+/// Response `text` (no newline) must equal the expected frame minus its
+/// terminating newline.
+bool matches(const std::string& text, const std::string& expected_frame) {
+  return text.size() + 1 == expected_frame.size() &&
+         expected_frame.compare(0, text.size(), text) == 0 &&
+         expected_frame.back() == '\n';
+}
+
+/// Mode A: one connection, every frame written up front, responses
+/// drained in order.
+double run_pipelined(std::uint16_t port, const Workload& workload,
+                     std::uint64_t& mismatches) {
+  service::Client client;
+  client.connect("127.0.0.1", port);
+  util::WallTimer timer;
+  client.send_bytes(workload.pipelined_bytes);
+  for (const std::string& expected : workload.expected_lines) {
+    const auto response = client.read_frame();
+    if (!response || !matches(*response, expected)) ++mismatches;
+  }
+  const double seconds = timer.elapsed_seconds();
+  client.close();
+  return seconds;
+}
+
+/// Mode B: connect / send / recv / close for every single request.
+double run_per_connection(std::uint16_t port, const Workload& workload,
+                          std::uint64_t& mismatches) {
+  util::WallTimer timer;
+  for (std::size_t i = 0; i < workload.request_lines.size(); ++i) {
+    service::Client client;
+    client.connect("127.0.0.1", port);
+    client.send_frame(workload.request_lines[i]);
+    const auto response = client.read_frame();
+    if (!response || !matches(*response, workload.expected_lines[i])) {
+      ++mismatches;
+    }
+    client.close();
+  }
+  return timer.elapsed_seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  try {
+    args.expect_flags({"bits", "tail", "prefixes", "reps", "quick", "threads",
+                       "json-report", "no-json"});
+    const bool quick = args.get_bool("quick", false);
+    const auto bits =
+        static_cast<std::size_t>(args.get_uint("bits", 16));
+    const auto tail =
+        static_cast<std::size_t>(args.get_uint("tail", quick ? 2 : 3));
+    const auto prefixes =
+        static_cast<std::size_t>(args.get_uint("prefixes", quick ? 1 : 3));
+    const int reps = static_cast<int>(args.get_uint("reps", quick ? 1 : 3));
+
+    std::cout << util::banner("service throughput: pipelined batching vs "
+                              "one connection per request");
+    const Workload workload = build_workload(bits, tail, prefixes);
+    const std::size_t n = workload.request_lines.size();
+    std::cout << "bits: " << bits << "  requests: " << util::with_commas(n)
+              << "  (" << prefixes << " beam prefixes x last-" << tail
+              << "-stage LPAA combinations)  reps: " << reps << "\n";
+
+    obs::RunReport report("bench_service_throughput");
+    report.record_args(args);
+    obs::ScopedTimer total(report.counters(), "total");
+
+    service::ServerOptions options;
+    options.port = 0;  // ephemeral: parallel CI jobs must not collide
+    options.threads = static_cast<unsigned>(args.get_uint("threads", 0));
+    // The pipelined mode fronts the whole workload on one connection.
+    options.max_inflight_per_connection = n + 1;
+    service::Server server(options);
+    const std::uint16_t port = server.start();
+    int serve_rc = -1;
+    std::thread io([&] { serve_rc = server.serve(); });
+
+    std::uint64_t mismatches = 0;
+    double pipelined_seconds = 0.0;
+    double per_connection_seconds = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      const double seconds = run_pipelined(port, workload, mismatches);
+      if (rep == 0 || seconds < pipelined_seconds) {
+        pipelined_seconds = seconds;
+      }
+    }
+    std::cout << "  pipelined, one connection   "
+              << util::duration(pipelined_seconds) << "  ("
+              << util::with_commas(n) << " requests)\n";
+    for (int rep = 0; rep < reps; ++rep) {
+      const double seconds = run_per_connection(port, workload, mismatches);
+      if (rep == 0 || seconds < per_connection_seconds) {
+        per_connection_seconds = seconds;
+      }
+    }
+    std::cout << "  connection per request      "
+              << util::duration(per_connection_seconds) << "\n";
+
+    // Server-side view of the run (batch sizes, cache hits, latency).
+    obs::Json server_stats;
+    {
+      service::Client client;
+      client.connect("127.0.0.1", port);
+      client.send_frame(R"({"id":"stats","method":"stats"})");
+      const auto response = client.read_frame();
+      const obs::Json parsed =
+          response ? obs::Json::parse(*response) : obs::Json();
+      if (const obs::Json* stats = parsed.find("stats")) {
+        server_stats = *stats;
+      } else {
+        ++mismatches;
+      }
+      client.close();
+    }
+
+    server.request_stop();
+    io.join();
+    total.stop();
+
+    const double speedup = pipelined_seconds > 0.0
+                               ? per_connection_seconds / pipelined_seconds
+                               : 0.0;
+    const bool verified = mismatches == 0 && serve_rc == 0;
+    std::cout << "speedup  = " << util::fixed(speedup, 2)
+              << "x  verified vs engine::evaluate: "
+              << (verified ? "yes" : "NO") << "\n";
+    if (mismatches != 0) {
+      std::cerr << "FAIL: " << util::with_commas(mismatches)
+                << " responses diverged from engine::evaluate\n";
+    }
+    if (serve_rc != 0) {
+      std::cerr << "FAIL: server drain returned " << serve_rc << "\n";
+    }
+
+    obs::Json& section = report.section("service_throughput");
+    section.set("bits", obs::Json(static_cast<std::uint64_t>(bits)));
+    section.set("tail", obs::Json(static_cast<std::uint64_t>(tail)));
+    section.set("prefixes",
+                obs::Json(static_cast<std::uint64_t>(prefixes)));
+    section.set("requests", obs::Json(static_cast<std::uint64_t>(n)));
+    section.set("reps", obs::Json(static_cast<std::uint64_t>(
+                            static_cast<std::size_t>(reps))));
+    section.set("pipelined_seconds", obs::Json(pipelined_seconds));
+    section.set("per_connection_seconds",
+                obs::Json(per_connection_seconds));
+    section.set("speedup", obs::Json(speedup));
+    section.set("mismatches", obs::Json(mismatches));
+    section.set("verified", obs::Json(verified));
+    section.set("server_stats", std::move(server_stats));
+
+    if (const auto path = obs::report_path(args, "BENCH_service.json")) {
+      report.write_file(*path);
+      std::cout << "json report written to " << *path << "\n";
+    }
+    return verified ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Gate a fresh bench run against the committed reference report.
+
+Every perf bench writes a versioned ``sealpaa.run-report`` JSON whose
+sections carry machine-independent correctness flags (``identical``,
+``verified``, ``all_identical``, ``all_deterministic``) next to
+machine-dependent speedup ratios.  This gate is deliberately loose on
+the ratios — CI machines are noisy and slower than the reference box —
+and strict on the flags:
+
+* every boolean flag that is true in the reference must still be true
+  in the current run (a diverging rewrite is a hard failure);
+* every metric whose key contains ``speedup`` must stay at or above
+  ``threshold`` (default 50%) of the reference value.  Speedups are
+  ratios of two timings taken on the same machine in the same process,
+  so they transfer across machines far better than raw seconds do;
+  losing half of one is an architectural regression, not noise.
+
+Usage:
+    check_bench_regression.py [--threshold 0.5] REFERENCE CURRENT \\
+                              [REFERENCE CURRENT ...]
+
+Exits non-zero when any pair regresses, any expected metric vanished,
+or any report fails to parse.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "sealpaa.run-report"
+
+
+def load_report(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    if report.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: schema is {report.get('schema')!r}, "
+                         f"expected {SCHEMA!r}")
+    return report
+
+
+def iter_metrics(sections):
+    """Yields (section, key, value) for every gated metric."""
+    for name, section in sorted(sections.items()):
+        if not isinstance(section, dict):
+            continue
+        for key, value in section.items():
+            is_flag = isinstance(value, bool)
+            is_speedup = (not is_flag
+                          and isinstance(value, (int, float))
+                          and "speedup" in key)
+            if is_flag or is_speedup:
+                yield name, key, value
+
+
+def check_pair(reference_path, current_path, threshold):
+    reference = load_report(reference_path)
+    current = load_report(current_path)
+    current_sections = current.get("sections", {})
+
+    failures = []
+    rows = []
+    for name, key, ref_value in iter_metrics(reference.get("sections", {})):
+        cur_section = current_sections.get(name)
+        cur_value = cur_section.get(key) if isinstance(cur_section, dict) \
+            else None
+        metric = f"{name}.{key}"
+        if isinstance(ref_value, bool):
+            if not ref_value:
+                continue  # only gate flags the reference run passed
+            ok = cur_value is True
+            rows.append((metric, "true", str(cur_value).lower(),
+                         "ok" if ok else "FAIL"))
+            if not ok:
+                failures.append(f"{metric} is no longer true")
+        else:
+            if not isinstance(cur_value, (int, float)) \
+                    or isinstance(cur_value, bool):
+                rows.append((metric, f"{ref_value:.2f}", "missing", "FAIL"))
+                failures.append(f"{metric} missing from current run")
+                continue
+            floor = threshold * ref_value
+            ok = ref_value <= 0 or cur_value >= floor
+            rows.append((metric, f"{ref_value:.2f}x", f"{cur_value:.2f}x",
+                         "ok" if ok else f"FAIL (< {floor:.2f}x)"))
+            if not ok:
+                failures.append(
+                    f"{metric} fell to {cur_value:.2f}x, below "
+                    f"{threshold:.0%} of the reference {ref_value:.2f}x")
+
+    if not rows:
+        failures.append(f"{reference_path}: no gated metrics found")
+
+    tool = reference.get("tool", "?")
+    print(f"== {tool}: {current_path} vs {reference_path} ==")
+    width = max((len(row[0]) for row in rows), default=0)
+    for metric, ref_text, cur_text, status in rows:
+        print(f"  {metric:<{width}}  reference {ref_text:>10}  "
+              f"current {cur_text:>10}  {status}")
+    return failures
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        usage="%(prog)s [--threshold T] REFERENCE CURRENT "
+              "[REFERENCE CURRENT ...]")
+    parser.add_argument("--threshold", type=float, default=0.5,
+                        help="minimum current/reference speedup ratio "
+                             "(default: %(default)s)")
+    parser.add_argument("reports", nargs="+",
+                        help="alternating reference/current report paths")
+    args = parser.parse_args(argv)
+
+    if len(args.reports) % 2 != 0:
+        parser.error("reports must come in REFERENCE CURRENT pairs")
+    if not 0.0 < args.threshold <= 1.0:
+        parser.error("--threshold must be in (0, 1]")
+
+    failures = []
+    for i in range(0, len(args.reports), 2):
+        try:
+            failures += check_pair(args.reports[i], args.reports[i + 1],
+                                   args.threshold)
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            failures.append(str(error))
+            print(f"error: {error}", file=sys.stderr)
+
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nall bench gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

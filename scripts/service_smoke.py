@@ -1,0 +1,328 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for the sealpaad batch analysis service.
+
+Drives a real daemon over TCP — in CI, one built with AddressSanitizer —
+through every behavior the wire protocol promises (stdlib only, no pip):
+
+1. readiness: the daemon prints its bound port on stdout;
+2. pipelining: many requests down one connection come back in order,
+   each id echoed;
+3. robustness: malformed JSON, oversized frames, unknown methods/cells,
+   width-limit violations and an expired deadline each produce the
+   documented structured error, and the connection keeps serving;
+4. concurrency: parallel connections each get exactly their own answers;
+5. CLI parity: evaluation payloads are byte-for-byte identical (after
+   canonical JSON re-serialization) to what `sealpaa_cli analyze`
+   writes into its run report for the same configuration;
+6. graceful drain: SIGTERM answers everything already received, then
+   the process exits 0.
+
+Usage:
+    service_smoke.py --daemon build/tools/sealpaad \\
+                     --cli build/tools/sealpaa_cli [--requests 1000]
+"""
+
+import argparse
+import json
+import re
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+SCHEMA = "sealpaa.service"
+SCHEMA_VERSION = 1
+IO_TIMEOUT_S = 60.0
+
+FAILURES = []
+
+
+def check(condition, message):
+    status = "ok" if condition else "FAIL"
+    print(f"  [{status}] {message}")
+    if not condition:
+        FAILURES.append(message)
+    return condition
+
+
+class Connection:
+    """Newline-delimited JSON over one TCP connection."""
+
+    def __init__(self, port):
+        self.sock = socket.create_connection(("127.0.0.1", port),
+                                             timeout=IO_TIMEOUT_S)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.buffer = b""
+
+    def send_frames(self, payload):
+        """payload: str of raw bytes to send verbatim."""
+        self.sock.sendall(payload.encode("utf-8"))
+
+    def send_request(self, request):
+        self.send_frames(json.dumps(request) + "\n")
+
+    def read_line(self):
+        """One response line, or None on EOF."""
+        while b"\n" not in self.buffer:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                return None
+            self.buffer += chunk
+        line, self.buffer = self.buffer.split(b"\n", 1)
+        return line.decode("utf-8")
+
+    def read_response(self):
+        line = self.read_line()
+        return None if line is None else json.loads(line)
+
+    def close(self):
+        self.sock.close()
+
+
+def expect_envelope(response, request_id):
+    ok = (response is not None
+          and response.get("schema") == SCHEMA
+          and response.get("schema_version") == SCHEMA_VERSION
+          and response.get("id") == request_id)
+    if not ok:
+        FAILURES.append(f"bad envelope for id {request_id!r}: {response}")
+    return ok
+
+
+def expect_error(response, request_id, code):
+    expect_envelope(response, request_id)
+    actual = (response or {}).get("error", {}).get("code")
+    check(response is not None and response.get("ok") is False
+          and actual == code,
+          f"id {request_id!r} fails with error.code={code!r} (got {actual!r})")
+
+
+def evaluate_request(request_id, cell, width, p=0.5, method="recursive",
+                     **params):
+    request = {"id": request_id, "method": method, "width": width,
+               "chain": cell}
+    merged = dict(params)
+    if p != 0.5:
+        merged["p"] = p
+    if merged:
+        request["params"] = merged
+    return request
+
+
+def phase_pipelining(port, count):
+    print(f"-- pipelining: {count} requests, one connection")
+    conn = Connection(port)
+    cells = ["LPAA1", "LPAA3", "LPAA6", "LPAA7"]
+    requests = []
+    for i in range(count):
+        if i % 10 == 9:
+            requests.append({"id": i, "method": "ping"})
+        else:
+            requests.append(evaluate_request(i, cells[i % len(cells)],
+                                             width=8 + 8 * (i % 2)))
+    conn.send_frames("".join(json.dumps(r) + "\n" for r in requests))
+
+    in_order = True
+    all_ok = True
+    for i in range(count):
+        response = conn.read_response()
+        if not expect_envelope(response, i):
+            in_order = False
+            break
+        if response.get("ok") is not True:
+            all_ok = False
+        if i % 10 == 9:
+            all_ok = all_ok and response.get("pong") is True
+        else:
+            all_ok = all_ok and "evaluation" in response
+    check(in_order, "every id echoed back in send order")
+    check(all_ok, "every response ok with the expected payload")
+    conn.close()
+
+
+def phase_robustness(port, max_frame_bytes=64 * 1024):
+    print("-- robustness: structured errors, connection survives")
+    conn = Connection(port)
+
+    conn.send_frames("this is not json\n")
+    response = conn.read_response()
+    check(response is not None and response.get("ok") is False
+          and response.get("error", {}).get("code") == "invalid-json",
+          "garbage line answered with invalid-json")
+
+    oversized = '{"id": "big", "junk": "' + "x" * (max_frame_bytes + 1024)
+    conn.send_frames(oversized + '"}\n')
+    response = conn.read_response()
+    check(response is not None and response.get("ok") is False
+          and response.get("error", {}).get("code") == "frame-too-large",
+          "oversized frame answered with frame-too-large")
+
+    conn.send_request({"id": "m", "method": "nope", "width": 4,
+                       "chain": "LPAA1"})
+    expect_error(conn.read_response(), "m", "unknown-method")
+
+    conn.send_request(evaluate_request("c", "LPAA9", width=4))
+    expect_error(conn.read_response(), "c", "unknown-cell")
+
+    conn.send_request(evaluate_request("w", "LPAA1", width=9999))
+    expect_error(conn.read_response(), "w", "width-limit")
+
+    conn.send_request(evaluate_request("b", "LPAA1", width=4, typo=1))
+    expect_error(conn.read_response(), "b", "bad-request")
+
+    conn.send_request(evaluate_request("t", "LPAA1", width=8, timeout_ms=0))
+    expect_error(conn.read_response(), "t", "timeout")
+
+    conn.send_request({"id": "alive", "method": "ping"})
+    response = conn.read_response()
+    check(response is not None and response.get("pong") is True,
+          "connection still serves after every error")
+    conn.close()
+
+
+def phase_concurrency(port, connections, per_connection):
+    print(f"-- concurrency: {connections} connections x "
+          f"{per_connection} requests")
+    results = [None] * connections
+
+    def worker(index):
+        try:
+            conn = Connection(port)
+            ids = [f"conn{index}-{i}" for i in range(per_connection)]
+            conn.send_frames("".join(
+                json.dumps(evaluate_request(request_id, "LPAA6", width=8))
+                + "\n" for request_id in ids))
+            echoed = []
+            for _ in ids:
+                response = conn.read_response()
+                if response is None or response.get("ok") is not True:
+                    results[index] = "bad response"
+                    return
+                echoed.append(response.get("id"))
+            conn.close()
+            results[index] = "ok" if echoed == ids else "wrong ids"
+        except (OSError, ValueError) as error:
+            results[index] = f"exception: {error}"
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(connections)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(IO_TIMEOUT_S)
+    check(all(r == "ok" for r in results),
+          f"each connection got exactly its own answers ({results})")
+
+
+def phase_cli_parity(port, cli):
+    print("-- CLI parity: service evaluation == sealpaa_cli run report")
+    combos = [
+        ("LPAA6", 8, 0.5, "recursive", {}),
+        ("LPAA3", 16, 0.5, "recursive", {}),
+        ("LPAA1", 8, 0.3, "recursive", {}),
+        ("LPAA6", 8, 0.5, "inclusion-exclusion", {}),
+        ("LPAA2", 6, 0.3, "weighted-exhaustive", {}),
+        ("LPAA5", 8, 0.3, "monte-carlo", {"samples": 50000}),
+    ]
+    conn = Connection(port)
+    for index, (cell, bits, p, method, params) in enumerate(combos):
+        with tempfile.NamedTemporaryFile(suffix=".json") as report_file:
+            command = [cli, "analyze", f"--cell={cell}", f"--bits={bits}",
+                       f"--p={p}", f"--method={method}",
+                       f"--json-report={report_file.name}"]
+            command += [f"--{key}={value}" for key, value in params.items()]
+            subprocess.run(command, check=True, capture_output=True)
+            with open(report_file.name, "r", encoding="utf-8") as handle:
+                report = json.load(handle)
+        expected = report["sections"]["analyze"]["evaluation"]
+
+        request_id = f"parity{index}"
+        conn.send_request(evaluate_request(request_id, cell, width=bits,
+                                           p=p, method=method, **params))
+        response = conn.read_response()
+        expect_envelope(response, request_id)
+        actual = (response or {}).get("evaluation")
+        check(json.dumps(actual, sort_keys=True)
+              == json.dumps(expected, sort_keys=True),
+              f"{method} {cell} width {bits} p {p} matches the CLI")
+    conn.close()
+
+
+def phase_sigterm_drain(daemon, port):
+    print("-- SIGTERM: drain answers in-flight work, exit 0")
+    conn = Connection(port)
+    count = 50
+    conn.send_frames("".join(
+        json.dumps(evaluate_request(i, "LPAA3", width=16)) + "\n"
+        for i in range(count)))
+    # A drain stops reading, so only wave goodbye once the server has
+    # demonstrably received the burst (it answers in arrival order).
+    first = conn.read_response()
+    check(first is not None and first.get("ok") is True
+          and first.get("id") == 0, "burst reached the server before SIGTERM")
+    daemon.send_signal(signal.SIGTERM)
+    answered = 1
+    while True:
+        response = conn.read_response()
+        if response is None:
+            break
+        if response.get("ok") is True and response.get("id") == answered:
+            answered += 1
+    conn.close()
+    check(answered == count,
+          f"all {count} in-flight requests answered before close "
+          f"({answered} seen)")
+    returncode = daemon.wait(timeout=IO_TIMEOUT_S)
+    check(returncode == 0, f"daemon exited {returncode} after drain")
+    stderr = daemon.stderr.read()
+    check("drained" in stderr, "daemon logged its drain summary")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--daemon", required=True,
+                        help="path to the sealpaad binary")
+    parser.add_argument("--cli", required=True,
+                        help="path to the sealpaa_cli binary")
+    parser.add_argument("--requests", type=int, default=1000,
+                        help="pipelined request count (default: %(default)s)")
+    parser.add_argument("--connections", type=int, default=4,
+                        help="concurrent connections (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    daemon = subprocess.Popen(
+        [args.daemon, "--port=0"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    try:
+        ready = daemon.stdout.readline()
+        match = re.search(r"listening on 127\.0\.0\.1:(\d+)", ready)
+        if not check(match is not None,
+                     f"readiness line announces the port ({ready.strip()!r})"):
+            return 1
+        port = int(match.group(1))
+
+        phase_pipelining(port, args.requests)
+        phase_robustness(port)
+        phase_concurrency(port, args.connections,
+                          max(10, args.requests // 10))
+        phase_cli_parity(port, args.cli)
+        phase_sigterm_drain(daemon, port)
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+
+    if FAILURES:
+        print(f"\nservice smoke FAILED ({len(FAILURES)} checks):")
+        for failure in FAILURES:
+            print(f"  - {failure}")
+        return 1
+    print("\nservice smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

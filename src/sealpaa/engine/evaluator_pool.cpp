@@ -1,0 +1,100 @@
+#include "sealpaa/engine/evaluator_pool.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace sealpaa::engine {
+
+EvaluatorPool::EvaluatorPool(std::vector<adders::AdderCell> palette,
+                             EvaluatorPoolOptions options)
+    : palette_(std::move(palette)), options_(options) {
+  if (palette_.empty()) {
+    throw std::invalid_argument("EvaluatorPool: palette must not be empty");
+  }
+  if (options_.max_evaluators == 0) {
+    throw std::invalid_argument("EvaluatorPool: max_evaluators must be >= 1");
+  }
+}
+
+std::string EvaluatorPool::key_of(const multibit::InputProfile& profile) {
+  // The exact bit patterns of every probability, so two profiles share an
+  // evaluator only when their analyses are bit-identical.
+  const auto append_double = [](std::string& key, double value) {
+    char bytes[sizeof(double)];
+    std::memcpy(bytes, &value, sizeof(double));
+    key.append(bytes, sizeof(double));
+  };
+  std::string key;
+  key.reserve((profile.width() * 2 + 1) * sizeof(double));
+  for (std::size_t i = 0; i < profile.width(); ++i) {
+    append_double(key, profile.p_a(i));
+  }
+  for (std::size_t i = 0; i < profile.width(); ++i) {
+    append_double(key, profile.p_b(i));
+  }
+  append_double(key, profile.p_cin());
+  return key;
+}
+
+std::shared_ptr<ChainEvaluator> EvaluatorPool::acquire(
+    const multibit::InputProfile& profile) {
+  std::string key = key_of(profile);
+  if (const auto found = index_.find(key); found != index_.end()) {
+    entries_.splice(entries_.begin(), entries_, found->second);
+    pool_hits_ += 1;
+    return entries_.front().evaluator;
+  }
+  auto evaluator = std::make_shared<ChainEvaluator>(profile, palette_,
+                                                    options_.evaluator);
+  created_ += 1;
+  entries_.push_front(Entry{key, evaluator});
+  index_.emplace(std::move(key), entries_.begin());
+  while (entries_.size() > options_.max_evaluators) {
+    const Entry& oldest = entries_.back();
+    retire(oldest);
+    index_.erase(oldest.key);
+    entries_.pop_back();
+    evicted_ += 1;
+  }
+  return evaluator;
+}
+
+std::optional<std::size_t> EvaluatorPool::candidate_index(
+    std::string_view name) const {
+  for (std::size_t i = 0; i < palette_.size(); ++i) {
+    if (palette_[i].name() == name) return i;
+  }
+  return std::nullopt;
+}
+
+CacheStats EvaluatorPool::aggregate_stats() const {
+  CacheStats total = retired_;
+  for (const Entry& entry : entries_) {
+    const CacheStats& stats = entry.evaluator->stats();
+    total.hits += stats.hits;
+    total.misses += stats.misses;
+    total.insertions += stats.insertions;
+    total.evictions += stats.evictions;
+    total.stages_computed += stats.stages_computed;
+    total.chains_evaluated += stats.chains_evaluated;
+  }
+  return total;
+}
+
+void EvaluatorPool::clear() {
+  for (const Entry& entry : entries_) retire(entry);
+  entries_.clear();
+  index_.clear();
+}
+
+void EvaluatorPool::retire(const Entry& entry) {
+  const CacheStats& stats = entry.evaluator->stats();
+  retired_.hits += stats.hits;
+  retired_.misses += stats.misses;
+  retired_.insertions += stats.insertions;
+  retired_.evictions += stats.evictions;
+  retired_.stages_computed += stats.stages_computed;
+  retired_.chains_evaluated += stats.chains_evaluated;
+}
+
+}  // namespace sealpaa::engine

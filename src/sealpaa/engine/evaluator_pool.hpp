@@ -1,0 +1,102 @@
+// Keyed pool of ChainEvaluators — the amortizable state behind the
+// batch analysis service.
+//
+// A ChainEvaluator's prefix cache is only useful while the (profile,
+// candidate palette) pair stays fixed, but a request stream mixes
+// widths and input probabilities.  The pool maps each distinct profile
+// to its own evaluator and keeps the most recently used ones alive, so
+// consecutive requests against the same profile — the common case for a
+// design-sweep client — reuse a hot prefix cache instead of rebuilding
+// M/K/L matrices and recomputing every chain from bit 0.
+//
+// Single-threaded by design: the service's dispatch thread acquires all
+// evaluators a batch needs before fanning evaluation tasks out, and
+// each evaluator is only ever probed from one task at a time.
+// `acquire` returns shared ownership so an evaluator evicted while a
+// batch holds it stays valid until the batch completes.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "sealpaa/engine/chain_evaluator.hpp"
+
+namespace sealpaa::engine {
+
+struct EvaluatorPoolOptions {
+  /// Most-recently-used evaluators kept alive; older ones are dropped
+  /// (their cache stats are folded into the retired aggregate).  Must
+  /// be >= 1.
+  std::size_t max_evaluators = 32;
+  /// Forwarded to every ChainEvaluator the pool constructs.
+  ChainEvaluatorOptions evaluator{};
+};
+
+class EvaluatorPool {
+ public:
+  /// `palette` is the fixed candidate cell set shared by every evaluator
+  /// (chains are expressed as palette indices).  Throws
+  /// std::invalid_argument when the palette is empty or the option
+  /// limits are zero.
+  explicit EvaluatorPool(std::vector<adders::AdderCell> palette,
+                         EvaluatorPoolOptions options = {});
+
+  /// The evaluator for `profile`, constructed on first use.  Marks the
+  /// entry most recently used; evicts the least recently used entry
+  /// beyond `max_evaluators`.
+  [[nodiscard]] std::shared_ptr<ChainEvaluator> acquire(
+      const multibit::InputProfile& profile);
+
+  /// Palette index of the cell named `name`; nullopt when unknown.
+  [[nodiscard]] std::optional<std::size_t> candidate_index(
+      std::string_view name) const;
+
+  [[nodiscard]] const std::vector<adders::AdderCell>& palette() const noexcept {
+    return palette_;
+  }
+
+  /// Live evaluators currently held.
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  /// Evaluators constructed over the pool's lifetime.
+  [[nodiscard]] std::uint64_t created() const noexcept { return created_; }
+  /// Evaluators dropped by the LRU bound.
+  [[nodiscard]] std::uint64_t evicted() const noexcept { return evicted_; }
+  /// acquire() calls answered by a live evaluator.
+  [[nodiscard]] std::uint64_t pool_hits() const noexcept { return pool_hits_; }
+
+  /// Sum of every evaluator's prefix-cache stats: the live ones plus
+  /// everything folded in at eviction time.  (Activity on an evicted
+  /// evaluator still shared by an in-flight batch is not re-counted.)
+  [[nodiscard]] CacheStats aggregate_stats() const;
+
+  /// Drops every live evaluator (their stats move to the retired
+  /// aggregate; lifetime counters are kept).
+  void clear();
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<ChainEvaluator> evaluator;
+  };
+
+  [[nodiscard]] static std::string key_of(
+      const multibit::InputProfile& profile);
+  void retire(const Entry& entry);
+
+  std::vector<adders::AdderCell> palette_;
+  EvaluatorPoolOptions options_;
+  std::list<Entry> entries_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  CacheStats retired_;
+  std::uint64_t created_ = 0;
+  std::uint64_t evicted_ = 0;
+  std::uint64_t pool_hits_ = 0;
+};
+
+}  // namespace sealpaa::engine

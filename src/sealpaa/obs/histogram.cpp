@@ -1,0 +1,79 @@
+#include "sealpaa/obs/histogram.hpp"
+
+#include <bit>
+
+namespace sealpaa::obs {
+
+namespace {
+
+[[nodiscard]] std::size_t bucket_of(std::uint64_t value) noexcept {
+  return value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value) - 1);
+}
+
+/// Inclusive upper edge of bucket k: 2^(k+1) - 1, saturating at the top.
+[[nodiscard]] std::uint64_t upper_edge(std::size_t bucket) noexcept {
+  if (bucket + 1 >= 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << (bucket + 1)) - 1;
+}
+
+}  // namespace
+
+void Histogram::record(std::uint64_t value) noexcept {
+  buckets_[bucket_of(value)] += 1;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  count_ += 1;
+  sum_ += value;  // wraps only after ~584k years of microseconds
+}
+
+double Histogram::mean() const noexcept {
+  return count_ == 0
+             ? 0.0
+             : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t Histogram::quantile_upper_bound(double quantile) const noexcept {
+  if (count_ == 0) return 0;
+  if (quantile < 0.0) quantile = 0.0;
+  if (quantile > 1.0) quantile = 1.0;
+  const double target = quantile * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t bucket = 0; bucket < kBuckets; ++bucket) {
+    seen += buckets_[bucket];
+    if (static_cast<double>(seen) >= target && seen > 0) {
+      return upper_edge(bucket);
+    }
+  }
+  return upper_edge(kBuckets - 1);
+}
+
+void Histogram::clear() noexcept {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+Json Histogram::to_json() const {
+  Json out = Json::object();
+  out.set("count", Json(count_));
+  out.set("sum", Json(sum_));
+  out.set("min", Json(min()));
+  out.set("max", Json(max_));
+  out.set("mean", Json(mean()));
+  out.set("p50", Json(quantile_upper_bound(0.5)));
+  out.set("p99", Json(quantile_upper_bound(0.99)));
+  Json buckets = Json::array();
+  for (std::size_t bucket = 0; bucket < kBuckets; ++bucket) {
+    if (buckets_[bucket] == 0) continue;
+    Json entry = Json::object();
+    entry.set("le", Json(upper_edge(bucket)));
+    entry.set("count", Json(buckets_[bucket]));
+    buckets.push_back(std::move(entry));
+  }
+  out.set("buckets", std::move(buckets));
+  return out;
+}
+
+}  // namespace sealpaa::obs

@@ -1,0 +1,58 @@
+// Log2-bucketed latency histogram for the service's per-method timing
+// stats.
+//
+// Buckets are powers of two of the recorded unit (the service records
+// microseconds): bucket k counts samples in [2^k, 2^(k+1)), bucket 0
+// additionally holds 0.  That gives ~1 bit of relative precision over
+// the full uint64 range with a fixed 64-counter footprint — enough to
+// answer "is p99 a millisecond or a second" without per-request
+// allocation.  Not thread-safe: the dispatcher records from one thread
+// after each batch completes.
+#pragma once
+
+#include <cstdint>
+#include <array>
+
+#include "sealpaa/obs/json.hpp"
+
+namespace sealpaa::obs {
+
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(std::uint64_t value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] std::uint64_t min() const noexcept { return count_ ? min_ : 0; }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Smallest recorded-unit value `v` such that at least `quantile`
+  /// (in [0, 1]) of the samples are <= the upper edge of v's bucket.
+  /// Resolution is the bucket width (a factor of two); 0 when empty.
+  [[nodiscard]] std::uint64_t quantile_upper_bound(double quantile) const
+      noexcept;
+
+  [[nodiscard]] const std::array<std::uint64_t, kBuckets>& buckets() const
+      noexcept {
+    return buckets_;
+  }
+
+  void clear() noexcept;
+
+  /// {"count", "sum", "min", "max", "mean", "p50", "p99", "buckets":
+  ///  [{"le": <upper edge>, "count": n}, ...]} — only non-empty buckets
+  /// are listed, so quiet methods serialize compactly.
+  [[nodiscard]] Json to_json() const;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace sealpaa::obs

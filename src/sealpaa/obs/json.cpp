@@ -1,7 +1,11 @@
 #include "sealpaa/obs/json.hpp"
 
+#include <cerrno>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <stdexcept>
 
 namespace sealpaa::obs {
@@ -46,6 +50,86 @@ const Json* Json::find(const std::string& key) const noexcept {
     if (existing_key == key) return &value;
   }
   return nullptr;
+}
+
+namespace {
+
+[[nodiscard]] const char* type_label(Json::Type type) noexcept {
+  switch (type) {
+    case Json::Type::Null: return "null";
+    case Json::Type::Bool: return "bool";
+    case Json::Type::Integer: return "integer";
+    case Json::Type::Unsigned: return "unsigned";
+    case Json::Type::Double: return "double";
+    case Json::Type::String: return "string";
+    case Json::Type::Array: return "array";
+    case Json::Type::Object: return "object";
+  }
+  return "?";
+}
+
+[[noreturn]] void wrong_type(const char* want, Json::Type got) {
+  throw std::invalid_argument(std::string("Json: expected ") + want +
+                              ", got " + type_label(got));
+}
+
+}  // namespace
+
+bool Json::boolean() const {
+  if (type_ != Type::Bool) wrong_type("bool", type_);
+  return bool_;
+}
+
+std::int64_t Json::integer() const {
+  if (type_ == Type::Integer) return int_;
+  if (type_ == Type::Unsigned) {
+    if (uint_ > static_cast<std::uint64_t>(
+                    std::numeric_limits<std::int64_t>::max())) {
+      throw std::invalid_argument("Json: unsigned value overflows int64");
+    }
+    return static_cast<std::int64_t>(uint_);
+  }
+  wrong_type("integer", type_);
+}
+
+std::uint64_t Json::unsigned_integer() const {
+  if (type_ == Type::Unsigned) return uint_;
+  if (type_ == Type::Integer) {
+    if (int_ < 0) {
+      throw std::invalid_argument("Json: negative value for unsigned field");
+    }
+    return static_cast<std::uint64_t>(int_);
+  }
+  wrong_type("unsigned integer", type_);
+}
+
+double Json::number() const {
+  switch (type_) {
+    case Type::Integer: return static_cast<double>(int_);
+    case Type::Unsigned: return static_cast<double>(uint_);
+    case Type::Double: return double_;
+    default: wrong_type("number", type_);
+  }
+}
+
+const std::string& Json::string_value() const {
+  if (type_ != Type::String) wrong_type("string", type_);
+  return string_;
+}
+
+const Json& Json::at(std::size_t index) const {
+  if (type_ != Type::Array) wrong_type("array", type_);
+  if (index >= array_.size()) {
+    throw std::out_of_range("Json::at: index " + std::to_string(index) +
+                            " out of range (size " +
+                            std::to_string(array_.size()) + ")");
+  }
+  return array_[index];
+}
+
+std::span<const std::pair<std::string, Json>> Json::items() const noexcept {
+  if (type_ != Type::Object) return {};
+  return object_;
 }
 
 std::size_t Json::size() const noexcept {
@@ -166,6 +250,278 @@ std::string Json::dump(int indent) const {
   std::string out;
   dump_to(out, indent, 0);
   return out;
+}
+
+namespace {
+
+// Strict RFC 8259 recursive-descent reader.  Offsets in diagnostics are
+// byte positions into the input, so a service log line pinpoints exactly
+// where a client's frame went wrong.
+class Parser {
+ public:
+  Parser(std::string_view text, std::size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  Json run() {
+    skip_whitespace();
+    Json value = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing garbage after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("Json::parse: " + what + " at byte " +
+                                std::to_string(pos_));
+  }
+
+  [[nodiscard]] bool done() const noexcept { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const noexcept { return text_[pos_]; }
+
+  void skip_whitespace() noexcept {
+    while (!done()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  void expect(char c) {
+    if (done() || peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Json parse_value(std::size_t depth) {
+    if (depth > max_depth_) fail("nesting exceeds max depth");
+    if (done()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Json();
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object(std::size_t depth) {
+    expect('{');
+    Json out = Json::object();
+    skip_whitespace();
+    if (!done() && peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      skip_whitespace();
+      if (done() || peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      skip_whitespace();
+      if (out.find(key) != nullptr) fail("duplicate object key \"" + key + '"');
+      out.set(key, parse_value(depth + 1));
+      skip_whitespace();
+      if (done()) fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return out;
+    }
+  }
+
+  Json parse_array(std::size_t depth) {
+    expect('[');
+    Json out = Json::array();
+    skip_whitespace();
+    if (!done() && peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      skip_whitespace();
+      out.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      if (done()) fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return out;
+    }
+  }
+
+  void append_utf8(std::string& out, std::uint32_t code_point) {
+    if (code_point < 0x80) {
+      out.push_back(static_cast<char>(code_point));
+    } else if (code_point < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code_point >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    } else if (code_point < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code_point >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code_point >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code_point >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        --pos_;
+        fail("invalid hex digit in \\u escape");
+      }
+    }
+    return value;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (done()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (done()) fail("truncated escape sequence");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          std::uint32_t code_point = parse_hex4();
+          if (code_point >= 0xD800 && code_point <= 0xDBFF) {
+            // High surrogate: require the low half to follow.
+            if (!consume_literal("\\u")) fail("unpaired surrogate");
+            const std::uint32_t low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
+            code_point =
+                0x10000 + ((code_point - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code_point >= 0xDC00 && code_point <= 0xDFFF) {
+            fail("unpaired surrogate");
+          }
+          append_utf8(out, code_point);
+          break;
+        }
+        default:
+          pos_ -= 1;
+          fail("invalid escape sequence");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (!done() && peek() == '-') ++pos_;
+    if (done() || peek() < '0' || peek() > '9') fail("invalid number");
+    const std::size_t integer_start = pos_;
+    while (!done() && peek() >= '0' && peek() <= '9') ++pos_;
+    if (pos_ - integer_start > 1 && text_[integer_start] == '0') {
+      pos_ = integer_start;
+      fail("leading zeros are not allowed");
+    }
+    bool is_integer = true;
+    if (!done() && peek() == '.') {
+      is_integer = false;
+      ++pos_;
+      if (done() || peek() < '0' || peek() > '9') fail("invalid fraction");
+      while (!done() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!done() && (peek() == 'e' || peek() == 'E')) {
+      is_integer = false;
+      ++pos_;
+      if (!done() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (done() || peek() < '0' || peek() > '9') fail("invalid exponent");
+      while (!done() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (is_integer) {
+      // Keep the native integer type so ids and counters round-trip
+      // bit-exactly: non-negative → Unsigned, negative → Integer.
+      if (token.front() == '-') {
+        std::int64_t value = 0;
+        const auto [ptr, ec] =
+            std::from_chars(token.data(), token.data() + token.size(), value);
+        if (ec == std::errc() && ptr == token.data() + token.size()) {
+          return Json(value);
+        }
+      } else {
+        std::uint64_t value = 0;
+        const auto [ptr, ec] =
+            std::from_chars(token.data(), token.data() + token.size(), value);
+        if (ec == std::errc() && ptr == token.data() + token.size()) {
+          return Json(value);
+        }
+      }
+      // Fall through to double for magnitudes beyond 64 bits.
+    }
+    errno = 0;
+    char* end = nullptr;
+    const std::string copy(token);  // strtod needs a terminated buffer
+    const double value = std::strtod(copy.c_str(), &end);
+    if (end != copy.c_str() + copy.size() || errno == ERANGE ||
+        !std::isfinite(value)) {
+      pos_ = start;
+      fail("number out of range");
+    }
+    return Json(value);
+  }
+
+  std::string_view text_;
+  std::size_t max_depth_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text, std::size_t max_depth) {
+  return Parser(text, max_depth).run();
 }
 
 }  // namespace sealpaa::obs

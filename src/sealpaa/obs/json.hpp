@@ -1,4 +1,5 @@
-// Minimal JSON document builder for the observability layer.
+// Minimal JSON document builder *and parser* for the observability and
+// service layers.
 //
 // The library has no external JSON dependency, so this is a small,
 // self-contained value tree that covers exactly what RunReport needs:
@@ -7,11 +8,20 @@
 // RFC 8259-conformant escaping.  Non-finite doubles serialize as null —
 // JSON has no NaN, and a NaN leaking into a report is precisely the bug
 // class the observability layer exists to surface.
+//
+// `Json::parse` is the inverse: a strict recursive-descent RFC 8259
+// reader used by the batch analysis service to decode request frames.
+// It accepts exactly one document per call, keeps integers as integers
+// (so request ids echo back bit-exactly), bounds nesting depth and
+// rejects trailing garbage — malformed network input must fail loudly,
+// never be guessed at.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -35,8 +45,46 @@ class Json {
   [[nodiscard]] static Json array();
   [[nodiscard]] static Json object();
 
+  /// Parses exactly one JSON document (leading/trailing whitespace
+  /// allowed, anything else after the value is an error).  Throws
+  /// std::invalid_argument with a byte offset on malformed input or
+  /// nesting deeper than `max_depth` (stack-overflow guard for
+  /// adversarial network frames).
+  [[nodiscard]] static Json parse(std::string_view text,
+                                  std::size_t max_depth = 64);
+
   [[nodiscard]] Type type() const noexcept { return type_; }
   [[nodiscard]] bool is_null() const noexcept { return type_ == Type::Null; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::Bool; }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::String;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::Array; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::Object;
+  }
+  /// Integer, Unsigned or Double.
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::Integer || type_ == Type::Unsigned ||
+           type_ == Type::Double;
+  }
+
+  // Checked readers for parsed documents.  Each throws std::invalid_argument
+  // naming the actual type when the value cannot represent the request —
+  // the service turns these into structured bad-request responses.
+  [[nodiscard]] bool boolean() const;
+  /// Integer value; accepts Unsigned values that fit std::int64_t.
+  [[nodiscard]] std::int64_t integer() const;
+  /// Non-negative integer; accepts Integer values >= 0.
+  [[nodiscard]] std::uint64_t unsigned_integer() const;
+  /// Numeric value as double (Integer / Unsigned / Double).
+  [[nodiscard]] double number() const;
+  [[nodiscard]] const std::string& string_value() const;
+  /// Array element access with bounds checking.
+  [[nodiscard]] const Json& at(std::size_t index) const;
+  /// Ordered key/value pairs of an object (empty span otherwise).
+  [[nodiscard]] std::span<const std::pair<std::string, Json>> items()
+      const noexcept;
 
   /// Appends to an array (the value must have been created via array()).
   Json& push_back(Json value);

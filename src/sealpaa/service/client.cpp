@@ -1,0 +1,118 @@
+#include "sealpaa/service/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace sealpaa::service {
+
+namespace {
+
+[[nodiscard]] std::string errno_message(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), splitter_(std::move(other.splitter_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    splitter_ = std::move(other.splitter_);
+  }
+  return *this;
+}
+
+void Client::connect(const std::string& host, std::uint16_t port) {
+  close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw std::runtime_error(errno_message("Client: socket failed"));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("Client: invalid address \"" + host + '"');
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string message = errno_message("Client: connect failed");
+    ::close(fd);
+    throw std::runtime_error(message);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+}
+
+void Client::send_frame(std::string_view json) {
+  std::string line(json);
+  line.push_back('\n');
+  send_bytes(line);
+}
+
+void Client::send_bytes(std::string_view bytes) {
+  if (fd_ < 0) throw std::runtime_error("Client: not connected");
+  std::size_t offset = 0;
+  while (offset < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + offset, bytes.size() - offset,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      offset += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw std::runtime_error(errno_message("Client: send failed"));
+  }
+}
+
+std::optional<std::string> Client::read_frame() {
+  if (fd_ < 0) throw std::runtime_error("Client: not connected");
+  for (;;) {
+    if (auto frame = splitter_.next()) {
+      return std::move(frame->text);
+    }
+    char buffer[16384];
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      splitter_.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+      continue;
+    }
+    if (n == 0) {
+      splitter_.finish();
+      if (auto frame = splitter_.next()) {
+        return std::move(frame->text);
+      }
+      return std::nullopt;
+    }
+    if (errno == EINTR) continue;
+    throw std::runtime_error(errno_message("Client: recv failed"));
+  }
+}
+
+void Client::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace sealpaa::service

@@ -1,0 +1,276 @@
+#include "sealpaa/service/dispatcher.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "sealpaa/adders/builtin.hpp"
+#include "sealpaa/multibit/chain.hpp"
+#include "sealpaa/multibit/input_profile.hpp"
+#include "sealpaa/obs/serialize.hpp"
+#include "sealpaa/util/parallel.hpp"
+
+namespace sealpaa::service {
+
+namespace {
+
+[[nodiscard]] std::vector<adders::AdderCell> builtin_palette() {
+  const std::span<const adders::AdderCell> cells = adders::all_builtin_cells();
+  return {cells.begin(), cells.end()};
+}
+
+}  // namespace
+
+Dispatcher::Dispatcher(DispatcherOptions options)
+    : options_(options), evaluators_(builtin_palette(), options.pool) {}
+
+std::vector<OutgoingResponse> Dispatcher::run_batch(
+    std::vector<PendingRequest> batch, unsigned threads) {
+  using Clock = std::chrono::steady_clock;
+
+  batches_ += 1;
+  batch_sizes_.record(batch.size());
+  requests_received_ += batch.size();
+
+  struct Slot {
+    const PendingRequest* pending = nullptr;
+    std::optional<Request> request;
+    std::vector<std::size_t> choices;  // palette indices (evaluate only)
+    obs::Json response;
+    bool done = false;   // response already built (parse error, stats, ping)
+    bool error = false;  // response is an error
+    std::uint64_t micros = 0;  // evaluation wall time (evaluate only)
+  };
+  std::vector<Slot> slots(batch.size());
+
+  // A group of recursive requests sharing one input profile — evaluated
+  // sequentially against one ChainEvaluator so every request after the
+  // first starts from a warm prefix cache.
+  struct RecursiveGroup {
+    std::shared_ptr<engine::ChainEvaluator> evaluator;
+    std::vector<std::size_t> slot_indices;
+  };
+  std::map<std::string, RecursiveGroup> recursive_groups;
+  std::vector<std::size_t> other_jobs;
+  std::vector<std::size_t> deferred;  // stats / ping, answered post-batch
+
+  // Phase 1 (dispatch thread): parse and validate every frame, resolve
+  // cell names, and acquire each group's evaluator before any task runs
+  // (EvaluatorPool is single-threaded by contract).
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Slot& slot = slots[i];
+    slot.pending = &batch[i];
+    ParseOutcome outcome = parse_request(batch[i].frame, options_.limits);
+    if (outcome.error) {
+      slot.response = make_error_response(outcome.id, outcome.error->code,
+                                          outcome.error->message);
+      slot.done = true;
+      slot.error = true;
+      continue;
+    }
+    slot.request = std::move(outcome.request);
+    if (slot.request->kind != Request::Kind::kEvaluate) {
+      deferred.push_back(i);
+      continue;
+    }
+    bool unknown_cell = false;
+    slot.choices.reserve(slot.request->chain.size());
+    for (const std::string& name : slot.request->chain) {
+      const auto index = evaluators_.candidate_index(name);
+      if (!index) {
+        slot.response = make_error_response(
+            slot.request->id, error_code::kUnknownCell,
+            "unknown cell '" + name + "' (try: sealpaa_cli cells)");
+        slot.done = true;
+        slot.error = true;
+        unknown_cell = true;
+        break;
+      }
+      slot.choices.push_back(*index);
+    }
+    if (unknown_cell) continue;
+    if (slot.request->method == engine::Method::kRecursive) {
+      // Group key: width plus the exact probability bits — the same
+      // identity EvaluatorPool keys on for uniform profiles.
+      std::string key = std::to_string(slot.request->width);
+      key.push_back(':');
+      key.append(reinterpret_cast<const char*>(&slot.request->p),
+                 sizeof(double));
+      RecursiveGroup& group = recursive_groups[key];
+      if (!group.evaluator) {
+        group.evaluator = evaluators_.acquire(multibit::InputProfile::uniform(
+            slot.request->width, slot.request->p));
+      }
+      group.slot_indices.push_back(i);
+    } else {
+      other_jobs.push_back(i);
+    }
+  }
+
+  // Phase 2: fan evaluation out.  Tasks write only their own slots and
+  // never throw — every failure becomes a structured error response.
+  const auto palette = std::span<const adders::AdderCell>(
+      evaluators_.palette());
+  const auto run_evaluate = [&palette](Slot& slot,
+                                       engine::ChainEvaluator* evaluator) {
+    const Request& request = *slot.request;
+    const util::WallTimer timer;
+    const auto deadline =
+        slot.pending->arrival + std::chrono::milliseconds(request.timeout_ms);
+    try {
+      if (request.timeout_ms == 0 || Clock::now() >= deadline) {
+        slot.response = make_error_response(
+            request.id, error_code::kTimeout,
+            "deadline of " + std::to_string(request.timeout_ms) +
+                " ms expired before evaluation started");
+        slot.error = true;
+      } else if (evaluator != nullptr) {
+        const analysis::AnalysisResult result =
+            evaluator->evaluate(slot.choices);
+        engine::Evaluation evaluation;
+        evaluation.method = engine::Method::kRecursive;
+        evaluation.p_error = result.p_error;
+        evaluation.p_success = result.p_success;
+        evaluation.work_items = request.width;
+        slot.response = make_evaluation_response(request.id, evaluation);
+      } else {
+        std::vector<adders::AdderCell> stages;
+        stages.reserve(slot.choices.size());
+        for (const std::size_t choice : slot.choices) {
+          stages.push_back(palette[choice]);
+        }
+        const multibit::AdderChain chain(std::move(stages));
+        const auto profile =
+            multibit::InputProfile::uniform(request.width, request.p);
+        engine::EvaluateOptions options;
+        options.samples = request.samples;
+        options.seed = request.seed;
+        options.kernel = request.kernel;
+        // Workers already run on the pool; nested parallel regions
+        // degrade to inline execution, so the result stays
+        // thread-count-independent.
+        const engine::Evaluation evaluation =
+            engine::evaluate(chain, profile, request.method, options);
+        slot.response = make_evaluation_response(request.id, evaluation);
+      }
+    } catch (const std::invalid_argument& e) {
+      slot.response = make_error_response(request.id, error_code::kBadRequest,
+                                          e.what());
+      slot.error = true;
+    } catch (const std::exception& e) {
+      slot.response =
+          make_error_response(request.id, error_code::kInternal, e.what());
+      slot.error = true;
+    }
+    slot.done = true;
+    slot.micros = static_cast<std::uint64_t>(timer.elapsed_seconds() * 1e6);
+  };
+
+  util::with_pool(threads, [&](util::ThreadPool& pool) {
+    for (auto& [key, group] : recursive_groups) {
+      engine::ChainEvaluator* evaluator = group.evaluator.get();
+      const std::vector<std::size_t>& indices = group.slot_indices;
+      pool.submit([&slots, &run_evaluate, evaluator, &indices] {
+        for (const std::size_t index : indices) {
+          run_evaluate(slots[index], evaluator);
+        }
+      });
+    }
+    for (const std::size_t index : other_jobs) {
+      pool.submit([&slots, &run_evaluate, index] {
+        run_evaluate(slots[index], nullptr);
+      });
+    }
+    pool.wait();
+    return 0;
+  });
+
+  // Phase 3 (dispatch thread): accounting, then the deferred stats/ping
+  // responses — so a stats request in this batch sees this batch's
+  // evaluations.
+  for (const Slot& slot : slots) {
+    if (!slot.done) continue;  // deferred
+    if (slot.error) {
+      requests_error_ += 1;
+    } else {
+      requests_ok_ += 1;
+    }
+    if (slot.request && slot.request->kind == Request::Kind::kEvaluate) {
+      MethodStats& stats =
+          methods_[std::string(engine::method_name(slot.request->method))];
+      stats.count += 1;
+      if (slot.error) stats.errors += 1;
+      stats.latency_us.record(slot.micros);
+    }
+  }
+  for (const std::size_t index : deferred) {
+    Slot& slot = slots[index];
+    requests_ok_ += 1;
+    if (slot.request->kind == Request::Kind::kPing) {
+      slot.response = make_ping_response(slot.request->id);
+    } else {
+      obs::Json out = obs::Json::object();
+      out.set("schema", obs::Json(std::string(kWireSchema)));
+      out.set("schema_version", obs::Json(kWireSchemaVersion));
+      out.set("id", slot.request->id);
+      out.set("ok", obs::Json(true));
+      out.set("stats", stats_json());
+      slot.response = std::move(out);
+    }
+    slot.done = true;
+  }
+
+  // Phase 4: serialize and order.  Per-connection responses leave in
+  // request order regardless of which worker finished first.
+  std::vector<OutgoingResponse> responses;
+  responses.reserve(slots.size());
+  for (Slot& slot : slots) {
+    responses.push_back(OutgoingResponse{slot.pending->connection,
+                                         slot.pending->sequence,
+                                         serialize_frame(slot.response)});
+  }
+  std::sort(responses.begin(), responses.end(),
+            [](const OutgoingResponse& a, const OutgoingResponse& b) {
+              return a.connection != b.connection
+                         ? a.connection < b.connection
+                         : a.sequence < b.sequence;
+            });
+  return responses;
+}
+
+obs::Json Dispatcher::stats_json() const {
+  obs::Json out = obs::Json::object();
+
+  obs::Json requests = obs::Json::object();
+  requests.set("received", obs::Json(requests_received_));
+  requests.set("ok", obs::Json(requests_ok_));
+  requests.set("errors", obs::Json(requests_error_));
+  out.set("requests", std::move(requests));
+
+  obs::Json batches = obs::Json::object();
+  batches.set("count", obs::Json(batches_));
+  batches.set("size", batch_sizes_.to_json());
+  out.set("batches", std::move(batches));
+
+  obs::Json evaluators = obs::Json::object();
+  evaluators.set("live", obs::Json(static_cast<std::uint64_t>(
+                             evaluators_.size())));
+  evaluators.set("created", obs::Json(evaluators_.created()));
+  evaluators.set("evicted", obs::Json(evaluators_.evicted()));
+  evaluators.set("pool_hits", obs::Json(evaluators_.pool_hits()));
+  evaluators.set("prefix_cache", obs::to_json(evaluators_.aggregate_stats()));
+  out.set("evaluators", std::move(evaluators));
+
+  obs::Json methods = obs::Json::object();
+  for (const auto& [name, stats] : methods_) {
+    obs::Json entry = obs::Json::object();
+    entry.set("count", obs::Json(stats.count));
+    entry.set("errors", obs::Json(stats.errors));
+    entry.set("latency_us", stats.latency_us.to_json());
+    methods.set(name, std::move(entry));
+  }
+  out.set("methods", std::move(methods));
+  return out;
+}
+
+}  // namespace sealpaa::service

@@ -1,0 +1,95 @@
+// Batch request dispatcher — the bridge between the transport layer and
+// engine::evaluate.
+//
+// The server collects requests that arrive within one batching window
+// into a batch and hands it here.  The dispatcher parses every frame,
+// groups recursive-method requests by input profile so each group runs
+// against one engine::ChainEvaluator (the prefix cache stays hot across
+// requests — a design-sweep client's chains share long prefixes exactly
+// like beam-search expansions), fans the groups plus every non-recursive
+// request out onto the shared util::ThreadPool, and serializes one
+// response per request.  The EvaluatorPool persists across batches, so
+// the cache also stays warm between windows and across connections.
+//
+// Robustness contract: a batch never throws.  Malformed frames, limit
+// violations, expired deadlines and engine rejections all become
+// structured error responses; per-connection response order always
+// matches request order.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sealpaa/engine/evaluator_pool.hpp"
+#include "sealpaa/obs/counters.hpp"
+#include "sealpaa/obs/histogram.hpp"
+#include "sealpaa/service/wire.hpp"
+
+namespace sealpaa::service {
+
+struct DispatcherOptions {
+  WireLimits limits{};
+  engine::EvaluatorPoolOptions pool{};
+};
+
+/// One framed request as the transport saw it, tagged with its origin so
+/// responses can be routed and ordered.
+struct PendingRequest {
+  std::uint64_t connection = 0;
+  std::uint64_t sequence = 0;  // per-connection arrival order
+  FrameSplitter::Frame frame;
+  std::chrono::steady_clock::time_point arrival{};
+};
+
+/// One serialized response line, addressed back to its connection.
+struct OutgoingResponse {
+  std::uint64_t connection = 0;
+  std::uint64_t sequence = 0;
+  std::string frame;  // newline-terminated JSON
+};
+
+class Dispatcher {
+ public:
+  explicit Dispatcher(DispatcherOptions options = {});
+
+  /// Processes one batch: parse, group, evaluate (on the shared pool
+  /// when `threads` is 0, on a dedicated pool otherwise), serialize.
+  /// Returns exactly one response per request, sorted by (connection,
+  /// sequence).  Never throws on request-level failures.  Not
+  /// thread-safe: call from one dispatch thread.
+  [[nodiscard]] std::vector<OutgoingResponse> run_batch(
+      std::vector<PendingRequest> batch, unsigned threads = 0);
+
+  /// Lifetime service statistics: request/batch counters, evaluator-pool
+  /// and prefix-cache accounting, per-method latency histograms.  The
+  /// payload of a {"method": "stats"} response.
+  [[nodiscard]] obs::Json stats_json() const;
+
+  [[nodiscard]] const WireLimits& limits() const noexcept {
+    return options_.limits;
+  }
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return requests_ok_ + requests_error_;
+  }
+
+ private:
+  struct MethodStats {
+    std::uint64_t count = 0;
+    std::uint64_t errors = 0;
+    obs::Histogram latency_us;
+  };
+
+  DispatcherOptions options_;
+  engine::EvaluatorPool evaluators_;
+  std::uint64_t requests_received_ = 0;
+  std::uint64_t requests_ok_ = 0;
+  std::uint64_t requests_error_ = 0;
+  std::uint64_t batches_ = 0;
+  obs::Histogram batch_sizes_;
+  std::map<std::string, MethodStats> methods_;  // keyed by method name
+};
+
+}  // namespace sealpaa::service

@@ -1,0 +1,326 @@
+#include "sealpaa/service/wire.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "sealpaa/obs/serialize.hpp"
+
+namespace sealpaa::service {
+
+FrameSplitter::FrameSplitter(std::size_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes) {
+  if (max_frame_bytes_ == 0) {
+    throw std::invalid_argument("FrameSplitter: max_frame_bytes must be >= 1");
+  }
+}
+
+void FrameSplitter::feed(std::string_view bytes) {
+  for (const char c : bytes) {
+    if (discarding_) {
+      if (c == '\n') discarding_ = false;
+      continue;
+    }
+    if (c == '\n') {
+      if (!partial_.empty() && partial_.back() == '\r') partial_.pop_back();
+      if (!partial_.empty()) {
+        ready_.push_back(Frame{std::move(partial_), false});
+      }
+      partial_.clear();
+      continue;
+    }
+    partial_.push_back(c);
+    if (partial_.size() > max_frame_bytes_) {
+      // Emit the rejection immediately (the caller answers with a
+      // structured error) and eat the rest of the line so the next
+      // frame parses cleanly.
+      ready_.push_back(Frame{std::string(), true});
+      partial_.clear();
+      discarding_ = true;
+    }
+  }
+}
+
+void FrameSplitter::finish() {
+  if (discarding_) {
+    discarding_ = false;
+    return;  // the oversized frame was already emitted
+  }
+  if (!partial_.empty() && partial_.back() == '\r') partial_.pop_back();
+  if (!partial_.empty()) {
+    ready_.push_back(Frame{std::move(partial_), false});
+  }
+  partial_.clear();
+}
+
+std::optional<FrameSplitter::Frame> FrameSplitter::next() {
+  if (ready_.empty()) return std::nullopt;
+  Frame frame = std::move(ready_.front());
+  ready_.pop_front();
+  return frame;
+}
+
+namespace {
+
+/// Raised during request validation; carries the wire error code.
+struct RequestError {
+  std::string_view code;
+  std::string message;
+};
+
+[[noreturn]] void reject(std::string_view code, std::string message) {
+  throw RequestError{code, std::move(message)};
+}
+
+[[nodiscard]] const obs::Json* find_key(const obs::Json& object,
+                                        const char* key) {
+  return object.find(key);
+}
+
+void check_known_keys(const obs::Json& object,
+                      std::initializer_list<std::string_view> allowed,
+                      const char* where) {
+  for (const auto& [key, value] : object.items()) {
+    bool known = false;
+    for (const std::string_view candidate : allowed) {
+      if (key == candidate) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      reject(error_code::kBadRequest,
+             std::string("unknown ") + where + " key \"" + key + '"');
+    }
+  }
+}
+
+Request parse_validated(const obs::Json& doc, const obs::Json& id,
+                        const WireLimits& limits) {
+  check_known_keys(doc, {"id", "method", "width", "chain", "params"},
+                   "request");
+
+  Request request;
+  request.id = id;
+  if (!id.is_null() && !id.is_string() && !id.is_number()) {
+    reject(error_code::kBadRequest,
+           "\"id\" must be a string, a number or absent");
+  }
+
+  const obs::Json* method = find_key(doc, "method");
+  if (method == nullptr || !method->is_string()) {
+    reject(error_code::kBadRequest, "\"method\" must be a string");
+  }
+  const std::string& method_name = method->string_value();
+  if (method_name == "stats" || method_name == "ping") {
+    if (find_key(doc, "width") != nullptr ||
+        find_key(doc, "chain") != nullptr ||
+        find_key(doc, "params") != nullptr) {
+      reject(error_code::kBadRequest,
+             '"' + method_name + "\" requests take no other fields");
+    }
+    request.kind = method_name == "stats" ? Request::Kind::kStats
+                                          : Request::Kind::kPing;
+    return request;
+  }
+  try {
+    request.method = engine::parse_method(method_name);
+  } catch (const std::invalid_argument& e) {
+    reject(error_code::kUnknownMethod, e.what());
+  }
+
+  const obs::Json* width = find_key(doc, "width");
+  if (width == nullptr || !width->is_number() || width->is_bool()) {
+    reject(error_code::kBadRequest, "\"width\" must be a positive integer");
+  }
+  std::uint64_t width_value = 0;
+  try {
+    width_value = width->unsigned_integer();
+  } catch (const std::invalid_argument&) {
+    reject(error_code::kBadRequest, "\"width\" must be a positive integer");
+  }
+  if (width_value == 0) {
+    reject(error_code::kBadRequest, "\"width\" must be >= 1");
+  }
+  if (width_value > limits.max_width) {
+    reject(error_code::kWidthLimit,
+           "width " + std::to_string(width_value) + " exceeds the limit of " +
+               std::to_string(limits.max_width));
+  }
+  request.width = static_cast<std::size_t>(width_value);
+
+  const obs::Json* chain = find_key(doc, "chain");
+  if (chain == nullptr) {
+    reject(error_code::kBadRequest,
+           "\"chain\" is required (a cell name or an array of cell names)");
+  }
+  if (chain->is_string()) {
+    request.chain.assign(request.width, chain->string_value());
+  } else if (chain->is_array()) {
+    if (chain->size() != request.width) {
+      reject(error_code::kBadRequest,
+             "\"chain\" lists " + std::to_string(chain->size()) +
+                 " stages but \"width\" is " + std::to_string(request.width));
+    }
+    request.chain.reserve(request.width);
+    for (std::size_t i = 0; i < chain->size(); ++i) {
+      if (!chain->at(i).is_string()) {
+        reject(error_code::kBadRequest,
+               "\"chain\"[" + std::to_string(i) + "] must be a cell name");
+      }
+      request.chain.push_back(chain->at(i).string_value());
+    }
+  } else {
+    reject(error_code::kBadRequest,
+           "\"chain\" must be a cell name or an array of cell names");
+  }
+
+  request.timeout_ms = limits.default_timeout_ms;
+  if (const obs::Json* params = find_key(doc, "params"); params != nullptr) {
+    if (!params->is_object()) {
+      reject(error_code::kBadRequest, "\"params\" must be an object");
+    }
+    check_known_keys(*params, {"p", "samples", "seed", "kernel", "timeout_ms"},
+                     "params");
+    if (const obs::Json* p = find_key(*params, "p"); p != nullptr) {
+      if (!p->is_number()) {
+        reject(error_code::kBadRequest, "params.p must be a number");
+      }
+      request.p = p->number();
+      if (!(request.p >= 0.0 && request.p <= 1.0)) {
+        reject(error_code::kBadRequest, "params.p must be in [0, 1]");
+      }
+    }
+    if (const obs::Json* samples = find_key(*params, "samples");
+        samples != nullptr) {
+      try {
+        request.samples = samples->unsigned_integer();
+      } catch (const std::invalid_argument&) {
+        reject(error_code::kBadRequest,
+               "params.samples must be a non-negative integer");
+      }
+      if (request.samples > limits.max_samples) {
+        reject(error_code::kRequestLimit,
+               "params.samples " + std::to_string(request.samples) +
+                   " exceeds the limit of " +
+                   std::to_string(limits.max_samples));
+      }
+    }
+    if (const obs::Json* seed = find_key(*params, "seed"); seed != nullptr) {
+      try {
+        request.seed = seed->unsigned_integer();
+      } catch (const std::invalid_argument&) {
+        reject(error_code::kBadRequest,
+               "params.seed must be a non-negative integer");
+      }
+    }
+    if (const obs::Json* kernel = find_key(*params, "kernel");
+        kernel != nullptr) {
+      if (!kernel->is_string()) {
+        reject(error_code::kBadRequest, "params.kernel must be a string");
+      }
+      try {
+        request.kernel = sim::parse_kernel(kernel->string_value());
+      } catch (const std::invalid_argument& e) {
+        reject(error_code::kBadRequest, e.what());
+      }
+    }
+    if (const obs::Json* timeout = find_key(*params, "timeout_ms");
+        timeout != nullptr) {
+      try {
+        request.timeout_ms = timeout->unsigned_integer();
+      } catch (const std::invalid_argument&) {
+        reject(error_code::kBadRequest,
+               "params.timeout_ms must be a non-negative integer");
+      }
+      if (request.timeout_ms > limits.max_timeout_ms) {
+        reject(error_code::kRequestLimit,
+               "params.timeout_ms " + std::to_string(request.timeout_ms) +
+                   " exceeds the limit of " +
+                   std::to_string(limits.max_timeout_ms));
+      }
+    }
+  }
+  return request;
+}
+
+}  // namespace
+
+ParseOutcome parse_request(const FrameSplitter::Frame& frame,
+                           const WireLimits& limits) {
+  ParseOutcome outcome;
+  if (frame.oversized) {
+    outcome.error = WireError{
+        std::string(error_code::kFrameTooLarge),
+        "frame exceeds the " + std::to_string(limits.max_frame_bytes) +
+            "-byte limit"};
+    return outcome;
+  }
+  obs::Json doc;
+  try {
+    doc = obs::Json::parse(frame.text);
+  } catch (const std::invalid_argument& e) {
+    outcome.error =
+        WireError{std::string(error_code::kInvalidJson), e.what()};
+    return outcome;
+  }
+  if (!doc.is_object()) {
+    outcome.error = WireError{std::string(error_code::kBadRequest),
+                              "request must be a JSON object"};
+    return outcome;
+  }
+  if (const obs::Json* id = doc.find("id"); id != nullptr) {
+    outcome.id = *id;  // echo whatever arrived, even if validation fails
+  }
+  try {
+    outcome.request = parse_validated(doc, outcome.id, limits);
+  } catch (const RequestError& e) {
+    outcome.error = WireError{std::string(e.code), e.message};
+  }
+  return outcome;
+}
+
+namespace {
+
+obs::Json response_header(const obs::Json& id, bool ok) {
+  obs::Json out = obs::Json::object();
+  out.set("schema", obs::Json(std::string(kWireSchema)));
+  out.set("schema_version", obs::Json(kWireSchemaVersion));
+  out.set("id", id);
+  out.set("ok", obs::Json(ok));
+  return out;
+}
+
+}  // namespace
+
+obs::Json make_error_response(const obs::Json& id, std::string_view code,
+                              std::string_view message) {
+  obs::Json out = response_header(id, false);
+  obs::Json error = obs::Json::object();
+  error.set("code", obs::Json(std::string(code)));
+  error.set("message", obs::Json(std::string(message)));
+  out.set("error", std::move(error));
+  return out;
+}
+
+obs::Json make_evaluation_response(const obs::Json& id,
+                                   const engine::Evaluation& evaluation) {
+  obs::Json out = response_header(id, true);
+  out.set("method",
+          obs::Json(std::string(engine::method_name(evaluation.method))));
+  out.set("evaluation", obs::to_json(evaluation));
+  return out;
+}
+
+obs::Json make_ping_response(const obs::Json& id) {
+  obs::Json out = response_header(id, true);
+  out.set("pong", obs::Json(true));
+  return out;
+}
+
+std::string serialize_frame(const obs::Json& response) {
+  std::string out = response.dump(0);
+  out.push_back('\n');
+  return out;
+}
+
+}  // namespace sealpaa::service

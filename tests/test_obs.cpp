@@ -97,6 +97,63 @@ TEST(Json, TypeMisuseThrows) {
   EXPECT_EQ(scalar.find("k"), nullptr);
 }
 
+TEST(JsonParse, RoundTripsEveryValueKind) {
+  const std::string text =
+      R"({"null":null,"t":true,"f":false,"i":-42,)"
+      R"("u":18446744073709551615,"d":0.25,"s":"hi",)"
+      R"("a":[1,[2],{"k":3}],"o":{"nested":{"deep":true}}})";
+  const Json parsed = Json::parse(text);
+  EXPECT_EQ(parsed.dump(0), text);  // insertion order survives the trip
+}
+
+TEST(JsonParse, NumbersKeepNativeIntegerTypes) {
+  EXPECT_EQ(Json::parse("-42").integer(), -42);
+  EXPECT_EQ(Json::parse("18446744073709551615").unsigned_integer(),
+            18446744073709551615ULL);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5e-3").number(), 2.5e-3);
+  // A full-precision double survives a serialize/parse round trip.
+  const double value = 0.99892578169237822;
+  EXPECT_EQ(Json::parse(Json(value).dump(0)).number(), value);
+}
+
+TEST(JsonParse, StringEscapesAndSurrogatePairs) {
+  EXPECT_EQ(Json::parse(R"("a\"b\\c\n\t")").string_value(), "a\"b\\c\n\t");
+  EXPECT_EQ(Json::parse(R"("Aé")").string_value(), "A\xC3\xA9");
+  EXPECT_EQ(Json::parse(R"("\ud83d\ude00")").string_value(),
+            "\xF0\x9F\x98\x80");  // surrogate pair -> U+1F600 as UTF-8
+  EXPECT_THROW((void)Json::parse(R"("\ud83d")"), std::invalid_argument);
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  EXPECT_THROW((void)Json::parse(""), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("{"), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("[1,]"), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("{'single':1}"), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("01"), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("nul"), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("{} trailing"), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse(R"({"dup":1,"dup":2})"),
+               std::invalid_argument);
+}
+
+TEST(JsonParse, DepthLimitGuardsRecursion) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  EXPECT_THROW((void)Json::parse(deep, 64), std::invalid_argument);
+  EXPECT_NO_THROW((void)Json::parse(deep, 128));
+}
+
+TEST(JsonParse, AccessorsValidateTypes) {
+  const Json doc = Json::parse(R"({"n":1,"s":"x","a":[true]})");
+  EXPECT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("a")->at(0).boolean(), true);
+  EXPECT_THROW((void)doc.find("s")->integer(), std::invalid_argument);
+  EXPECT_THROW((void)doc.find("n")->string_value(), std::invalid_argument);
+  EXPECT_THROW((void)doc.find("a")->at(7), std::out_of_range);
+  EXPECT_EQ(doc.items().size(), 3u);
+}
+
 TEST(Counters, AddNoteMaxAndRealAccumulate) {
   Counters counters;
   counters.add("sim/samples", 10);

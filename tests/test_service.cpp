@@ -1,0 +1,486 @@
+// Tests for the batch analysis service: newline framing over
+// arbitrarily fragmented byte streams, strict request validation, the
+// batching dispatcher (id echo, response ordering, timeouts, stats),
+// the keyed evaluator pool, and the TCP server end to end — including
+// two concurrent pipelined clients and graceful drain.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sealpaa/adders/builtin.hpp"
+#include "sealpaa/engine/evaluator_pool.hpp"
+#include "sealpaa/engine/method.hpp"
+#include "sealpaa/multibit/chain.hpp"
+#include "sealpaa/multibit/input_profile.hpp"
+#include "sealpaa/obs/serialize.hpp"
+#include "sealpaa/service/client.hpp"
+#include "sealpaa/service/dispatcher.hpp"
+#include "sealpaa/service/server.hpp"
+#include "sealpaa/service/wire.hpp"
+
+namespace {
+
+using sealpaa::engine::EvaluatorPool;
+using sealpaa::engine::EvaluatorPoolOptions;
+using sealpaa::obs::Json;
+using sealpaa::service::Client;
+using sealpaa::service::Dispatcher;
+using sealpaa::service::DispatcherOptions;
+using sealpaa::service::FrameSplitter;
+using sealpaa::service::OutgoingResponse;
+using sealpaa::service::ParseOutcome;
+using sealpaa::service::PendingRequest;
+using sealpaa::service::Server;
+using sealpaa::service::ServerOptions;
+using sealpaa::service::WireLimits;
+namespace error_code = sealpaa::service::error_code;
+
+// ---------------------------------------------------------------------------
+// FrameSplitter
+
+[[nodiscard]] std::vector<FrameSplitter::Frame> drain(FrameSplitter& splitter) {
+  std::vector<FrameSplitter::Frame> frames;
+  while (auto frame = splitter.next()) frames.push_back(std::move(*frame));
+  return frames;
+}
+
+TEST(FrameSplitter, SplitAcrossManyReads) {
+  FrameSplitter splitter(1024);
+  const std::string wire = "{\"id\":1}\n{\"id\":2}\n";
+  for (const char c : wire) splitter.feed(std::string_view(&c, 1));
+  const auto frames = drain(splitter);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].text, "{\"id\":1}");
+  EXPECT_EQ(frames[1].text, "{\"id\":2}");
+  EXPECT_FALSE(frames[0].oversized);
+  EXPECT_EQ(splitter.buffered(), 0u);
+}
+
+TEST(FrameSplitter, MergedIntoOneRead) {
+  FrameSplitter splitter(1024);
+  splitter.feed("{\"a\":1}\n{\"b\":2}\n{\"c\":3}\n{\"d\":");
+  const auto frames = drain(splitter);
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[2].text, "{\"c\":3}");
+  EXPECT_EQ(splitter.buffered(), 5u);  // the incomplete {"d": tail
+}
+
+TEST(FrameSplitter, CrlfAndEmptyLines) {
+  FrameSplitter splitter(1024);
+  splitter.feed("{\"a\":1}\r\n\n\r\n{\"b\":2}\n");
+  const auto frames = drain(splitter);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].text, "{\"a\":1}");
+  EXPECT_EQ(frames[1].text, "{\"b\":2}");
+}
+
+TEST(FrameSplitter, OversizedFrameIsFlaggedAndStreamRecovers) {
+  FrameSplitter splitter(8);
+  splitter.feed("123456789abcdef\n{\"x\":1}\n");
+  const auto frames = drain(splitter);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_TRUE(frames[0].oversized);
+  EXPECT_FALSE(frames[1].oversized);
+  EXPECT_EQ(frames[1].text, "{\"x\":1}");
+}
+
+TEST(FrameSplitter, OversizedSplitAcrossReadsStillOneRejection) {
+  FrameSplitter splitter(8);
+  splitter.feed("aaaaaaaaaa");   // already over the limit
+  splitter.feed("bbbbbbbbbb");   // same line continues
+  splitter.feed("\n{\"y\":2}\n");
+  const auto frames = drain(splitter);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_TRUE(frames[0].oversized);
+  EXPECT_EQ(frames[1].text, "{\"y\":2}");
+}
+
+TEST(FrameSplitter, FinishFlushesTrailingLineWithoutNewline) {
+  FrameSplitter splitter(1024);
+  splitter.feed("{\"tail\":true}");
+  EXPECT_TRUE(drain(splitter).empty());
+  splitter.finish();
+  const auto frames = drain(splitter);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].text, "{\"tail\":true}");
+}
+
+// ---------------------------------------------------------------------------
+// parse_request
+
+[[nodiscard]] ParseOutcome parse(const std::string& text) {
+  return sealpaa::service::parse_request(FrameSplitter::Frame{text, false},
+                                         WireLimits{});
+}
+
+TEST(ParseRequest, ValidEvaluateRequest) {
+  const ParseOutcome outcome = parse(
+      R"({"id":7,"method":"recursive","width":4,"chain":"LPAA3",)"
+      R"("params":{"p":0.25,"timeout_ms":5000}})");
+  ASSERT_TRUE(outcome.request.has_value()) << outcome.error->message;
+  EXPECT_EQ(outcome.request->width, 4u);
+  EXPECT_EQ(outcome.request->chain,
+            (std::vector<std::string>{"LPAA3", "LPAA3", "LPAA3", "LPAA3"}));
+  EXPECT_DOUBLE_EQ(outcome.request->p, 0.25);
+  EXPECT_EQ(outcome.request->timeout_ms, 5000u);
+  EXPECT_EQ(outcome.id.dump(0), "7");
+}
+
+TEST(ParseRequest, ChainArrayMustMatchWidth) {
+  const ParseOutcome outcome = parse(
+      R"({"method":"recursive","width":3,"chain":["LPAA1","LPAA2"]})");
+  ASSERT_TRUE(outcome.error.has_value());
+  EXPECT_EQ(outcome.error->code, error_code::kBadRequest);
+}
+
+TEST(ParseRequest, IdIsEchoedEvenWhenValidationFails) {
+  const ParseOutcome outcome =
+      parse(R"({"id":"req-9","method":"recursive","width":0,"chain":"LPAA1"})");
+  ASSERT_TRUE(outcome.error.has_value());
+  EXPECT_EQ(outcome.id.dump(0), "\"req-9\"");
+}
+
+TEST(ParseRequest, UnknownMethodAndUnknownKeyAreDistinctErrors) {
+  EXPECT_EQ(parse(R"({"method":"nope","width":4,"chain":"LPAA1"})")
+                .error->code,
+            error_code::kUnknownMethod);
+  EXPECT_EQ(parse(R"({"method":"recursive","width":4,"chain":"LPAA1",)"
+                  R"("widht":4})")
+                .error->code,
+            error_code::kBadRequest);
+}
+
+TEST(ParseRequest, LimitsAreEnforced) {
+  EXPECT_EQ(parse(R"({"method":"recursive","width":65,"chain":"LPAA1"})")
+                .error->code,
+            error_code::kWidthLimit);
+  EXPECT_EQ(parse(R"({"method":"monte-carlo","width":4,"chain":"LPAA1",)"
+                  R"("params":{"samples":999999999999}})")
+                .error->code,
+            error_code::kRequestLimit);
+  EXPECT_EQ(parse(R"({"method":"recursive","width":4,"chain":"LPAA1",)"
+                  R"("params":{"p":1.5}})")
+                .error->code,
+            error_code::kBadRequest);
+}
+
+TEST(ParseRequest, MalformedJsonAndOversizedFrames) {
+  EXPECT_EQ(parse("not json at all").error->code, error_code::kInvalidJson);
+  const ParseOutcome oversized = sealpaa::service::parse_request(
+      FrameSplitter::Frame{std::string(), true}, WireLimits{});
+  EXPECT_EQ(oversized.error->code, error_code::kFrameTooLarge);
+}
+
+TEST(ParseRequest, StatsAndPingTakeNoOtherFields) {
+  EXPECT_TRUE(parse(R"({"method":"stats"})").request.has_value());
+  EXPECT_TRUE(parse(R"({"id":3,"method":"ping"})").request.has_value());
+  EXPECT_EQ(parse(R"({"method":"stats","width":4})").error->code,
+            error_code::kBadRequest);
+}
+
+// ---------------------------------------------------------------------------
+// EvaluatorPool
+
+[[nodiscard]] std::vector<sealpaa::adders::AdderCell> palette() {
+  const auto cells = sealpaa::adders::all_builtin_cells();
+  return {cells.begin(), cells.end()};
+}
+
+TEST(EvaluatorPool, ReusesEvaluatorsPerProfile) {
+  EvaluatorPool pool(palette());
+  const auto p8 = sealpaa::multibit::InputProfile::uniform(8, 0.5);
+  const auto p16 = sealpaa::multibit::InputProfile::uniform(16, 0.5);
+  const auto first = pool.acquire(p8);
+  EXPECT_EQ(pool.acquire(p8), first);
+  EXPECT_NE(pool.acquire(p16), first);
+  EXPECT_EQ(pool.created(), 2u);
+  EXPECT_EQ(pool.pool_hits(), 1u);
+}
+
+TEST(EvaluatorPool, EvictsLeastRecentlyUsedAndKeepsSharedHandlesAlive) {
+  EvaluatorPoolOptions options;
+  options.max_evaluators = 2;
+  EvaluatorPool pool(palette(), options);
+  const auto a = pool.acquire(sealpaa::multibit::InputProfile::uniform(4, 0.1));
+  (void)pool.acquire(sealpaa::multibit::InputProfile::uniform(4, 0.2));
+  (void)pool.acquire(sealpaa::multibit::InputProfile::uniform(4, 0.3));  // a out
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.evicted(), 1u);
+  // The evicted evaluator is still usable through the shared handle.
+  const auto result = a->evaluate(std::vector<std::size_t>{0, 0, 0, 0});
+  EXPECT_GE(result.p_error, 0.0);
+}
+
+TEST(EvaluatorPool, AggregateStatsFoldInEvictedEvaluators) {
+  EvaluatorPoolOptions options;
+  options.max_evaluators = 1;
+  EvaluatorPool pool(palette(), options);
+  const auto a = pool.acquire(sealpaa::multibit::InputProfile::uniform(4, 0.1));
+  (void)a->evaluate(std::vector<std::size_t>{0, 0, 0, 0});
+  (void)pool.acquire(sealpaa::multibit::InputProfile::uniform(4, 0.2));
+  EXPECT_EQ(pool.aggregate_stats().chains_evaluated, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher
+
+[[nodiscard]] PendingRequest pending(std::uint64_t connection,
+                                     std::uint64_t sequence,
+                                     std::string text) {
+  return PendingRequest{connection, sequence,
+                        FrameSplitter::Frame{std::move(text), false},
+                        std::chrono::steady_clock::now()};
+}
+
+TEST(Dispatcher, EchoesIdsAndOrdersResponsesPerConnection) {
+  Dispatcher dispatcher;
+  std::vector<PendingRequest> batch;
+  batch.push_back(pending(2, 1, R"({"id":"b","method":"ping"})"));
+  batch.push_back(pending(1, 0, R"({"id":"a","method":"ping"})"));
+  batch.push_back(pending(2, 0, R"({"id":"c","method":"ping"})"));
+  const auto responses = dispatcher.run_batch(std::move(batch), 2);
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_EQ(responses[0].connection, 1u);
+  EXPECT_EQ(responses[1].connection, 2u);
+  EXPECT_EQ(responses[1].sequence, 0u);
+  EXPECT_EQ(responses[2].sequence, 1u);
+  EXPECT_NE(responses[1].frame.find("\"id\":\"c\""), std::string::npos);
+}
+
+TEST(Dispatcher, RecursiveResponseMatchesEngineEvaluate) {
+  Dispatcher dispatcher;
+  std::vector<PendingRequest> batch;
+  batch.push_back(pending(
+      1, 0, R"({"id":1,"method":"recursive","width":8,"chain":"LPAA6"})"));
+  const auto responses = dispatcher.run_batch(std::move(batch), 2);
+  ASSERT_EQ(responses.size(), 1u);
+
+  const auto* cell = sealpaa::adders::find_builtin("LPAA6");
+  ASSERT_NE(cell, nullptr);
+  const sealpaa::multibit::AdderChain chain(
+      std::vector<sealpaa::adders::AdderCell>(8, *cell));
+  const auto profile = sealpaa::multibit::InputProfile::uniform(8, 0.5);
+  const auto expected = sealpaa::engine::evaluate(
+      chain, profile, sealpaa::engine::Method::kRecursive);
+
+  // The evaluation projection must be byte-for-byte what the CLI writes.
+  const std::string expected_fragment =
+      "\"evaluation\":" + sealpaa::obs::to_json(expected).dump(0);
+  EXPECT_NE(responses[0].frame.find(expected_fragment), std::string::npos)
+      << responses[0].frame;
+}
+
+TEST(Dispatcher, GroupedRecursiveRequestsShareThePrefixCache) {
+  Dispatcher dispatcher;
+  std::vector<PendingRequest> batch;
+  // Beam-search-style mix: shared prefix, varying last stage.
+  const std::string prefix =
+      R"(["LPAA3","LPAA3","LPAA3","LPAA3","LPAA3","LPAA3","LPAA3",)";
+  for (int i = 0; i < 4; ++i) {
+    const std::string cell = i % 2 == 0 ? "\"LPAA1\"" : "\"LPAA2\"";
+    batch.push_back(pending(
+        1, static_cast<std::uint64_t>(i),
+        R"({"id":)" + std::to_string(i) +
+            R"(,"method":"recursive","width":8,"chain":)" + prefix + cell +
+            "]}"));
+  }
+  const auto responses = dispatcher.run_batch(std::move(batch), 2);
+  ASSERT_EQ(responses.size(), 4u);
+  for (const auto& response : responses) {
+    EXPECT_NE(response.frame.find("\"ok\":true"), std::string::npos)
+        << response.frame;
+  }
+  // 4 chains x 8 stages = 32 lookups; the shared 7-stage prefix plus the
+  // repeated last cells make most of them cache hits.
+  const std::string stats = dispatcher.stats_json().dump(0);
+  EXPECT_NE(stats.find("\"chains_evaluated\":4"), std::string::npos) << stats;
+  EXPECT_EQ(dispatcher.requests_served(), 4u);
+}
+
+TEST(Dispatcher, ZeroTimeoutExpiresBeforeEvaluation) {
+  Dispatcher dispatcher;
+  std::vector<PendingRequest> batch;
+  batch.push_back(pending(1, 0,
+                          R"({"id":1,"method":"recursive","width":8,)"
+                          R"("chain":"LPAA6","params":{"timeout_ms":0}})"));
+  const auto responses = dispatcher.run_batch(std::move(batch), 2);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_NE(responses[0].frame.find("\"code\":\"timeout\""), std::string::npos)
+      << responses[0].frame;
+}
+
+TEST(Dispatcher, UnknownCellIsAStructuredError) {
+  Dispatcher dispatcher;
+  std::vector<PendingRequest> batch;
+  batch.push_back(
+      pending(1, 0, R"({"id":1,"method":"recursive","width":4,"chain":"NO"})"));
+  const auto responses = dispatcher.run_batch(std::move(batch), 2);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_NE(responses[0].frame.find("\"code\":\"unknown-cell\""),
+            std::string::npos);
+}
+
+TEST(Dispatcher, StatsRequestSeesItsOwnBatch) {
+  Dispatcher dispatcher;
+  std::vector<PendingRequest> batch;
+  batch.push_back(pending(
+      1, 0, R"({"id":1,"method":"recursive","width":4,"chain":"LPAA1"})"));
+  batch.push_back(pending(1, 1, R"({"id":2,"method":"stats"})"));
+  const auto responses = dispatcher.run_batch(std::move(batch), 2);
+  ASSERT_EQ(responses.size(), 2u);
+  const Json stats = Json::parse(responses[1].frame);
+  EXPECT_EQ(stats.find("stats")
+                ->find("requests")
+                ->find("received")
+                ->unsigned_integer(),
+            2u);
+  EXPECT_EQ(stats.find("stats")
+                ->find("methods")
+                ->find("recursive")
+                ->find("count")
+                ->unsigned_integer(),
+            1u);
+}
+
+TEST(Dispatcher, DeterministicAcrossThreadCounts) {
+  const auto run = [](unsigned threads) {
+    Dispatcher dispatcher;
+    std::vector<PendingRequest> batch;
+    const char* cells[] = {"LPAA1", "LPAA2", "LPAA3", "LPAA4"};
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      batch.push_back(pending(
+          1, i,
+          R"({"id":)" + std::to_string(i) + R"(,"method":"recursive",)" +
+              R"("width":6,"chain":")" + cells[i % 4] + "\"}"));
+    }
+    std::vector<std::string> frames;
+    for (auto& response : dispatcher.run_batch(std::move(batch), threads)) {
+      frames.push_back(std::move(response.frame));
+    }
+    return frames;
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+// ---------------------------------------------------------------------------
+// Server end to end
+
+[[nodiscard]] ServerOptions fast_server_options() {
+  ServerOptions options;
+  options.port = 0;  // ephemeral
+  options.threads = 2;
+  options.batch_window = std::chrono::microseconds(200);
+  return options;
+}
+
+TEST(Server, PipelinedRequestsComeBackInOrder) {
+  Server server(fast_server_options());
+  const std::uint16_t port = server.start();
+  ASSERT_GT(port, 0);
+  std::thread io([&server] { EXPECT_EQ(server.serve(), 0); });
+
+  Client client;
+  client.connect("127.0.0.1", port);
+  constexpr std::uint64_t kRequests = 50;
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    client.send_frame(R"({"id":)" + std::to_string(i) +
+                      R"(,"method":"recursive","width":8,"chain":"LPAA3"})");
+  }
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    const auto frame = client.read_frame();
+    ASSERT_TRUE(frame.has_value()) << "EOF after " << i << " responses";
+    const Json response = Json::parse(*frame);
+    EXPECT_EQ(response.find("id")->unsigned_integer(), i);
+    EXPECT_TRUE(response.find("ok")->boolean());
+  }
+  client.close();
+
+  server.request_stop();
+  io.join();
+  EXPECT_EQ(server.dispatcher().requests_served(), kRequests);
+}
+
+TEST(Server, MalformedFramesDoNotKillTheConnection) {
+  Server server(fast_server_options());
+  const std::uint16_t port = server.start();
+  std::thread io([&server] { EXPECT_EQ(server.serve(), 0); });
+
+  Client client;
+  client.connect("127.0.0.1", port);
+  client.send_bytes("this is not json\n");
+  client.send_bytes(std::string(70 * 1024, 'x') + "\n");  // oversized
+  client.send_frame(R"({"id":"ok","method":"ping"})");
+
+  const auto bad = client.read_frame();
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_NE(bad->find("invalid-json"), std::string::npos);
+  const auto oversized = client.read_frame();
+  ASSERT_TRUE(oversized.has_value());
+  EXPECT_NE(oversized->find("frame-too-large"), std::string::npos);
+  const auto good = client.read_frame();
+  ASSERT_TRUE(good.has_value());
+  EXPECT_NE(good->find("\"pong\":true"), std::string::npos);
+
+  client.close();
+  server.request_stop();
+  io.join();
+}
+
+TEST(Server, TwoConcurrentClientsGetTheirOwnAnswers) {
+  Server server(fast_server_options());
+  const std::uint16_t port = server.start();
+  std::thread io([&server] { EXPECT_EQ(server.serve(), 0); });
+
+  const auto worker = [port](const std::string& tag, const char* cell) {
+    Client client;
+    client.connect("127.0.0.1", port);
+    for (int i = 0; i < 20; ++i) {
+      client.send_frame(R"({"id":")" + tag + std::to_string(i) +
+                        R"(","method":"recursive","width":8,"chain":")" +
+                        cell + "\"}");
+    }
+    for (int i = 0; i < 20; ++i) {
+      const auto frame = client.read_frame();
+      ASSERT_TRUE(frame.has_value());
+      const Json response = Json::parse(*frame);
+      // Interleaved batches must never leak another client's responses.
+      EXPECT_EQ(response.find("id")->string_value(), tag + std::to_string(i));
+      EXPECT_TRUE(response.find("ok")->boolean());
+    }
+  };
+  std::thread a(worker, "a", "LPAA1");
+  std::thread b(worker, "b", "LPAA6");
+  a.join();
+  b.join();
+
+  server.request_stop();
+  io.join();
+  EXPECT_EQ(server.dispatcher().requests_served(), 40u);
+}
+
+TEST(Server, EofDrainsLikeShutdownWrite) {
+  Server server(fast_server_options());
+  const std::uint16_t port = server.start();
+  std::thread io([&server] { EXPECT_EQ(server.serve(), 0); });
+
+  Client client;
+  client.connect("127.0.0.1", port);
+  client.send_frame(R"({"id":1,"method":"ping"})");
+  client.send_bytes(R"({"id":2,"method":"ping"})");  // no trailing newline
+  client.shutdown_write();  // EOF flushes the partial frame
+  EXPECT_TRUE(client.read_frame().has_value());
+  const auto second = client.read_frame();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_NE(second->find("\"id\":2"), std::string::npos);
+  EXPECT_FALSE(client.read_frame().has_value());  // server closes after drain
+  client.close();
+
+  server.request_stop();
+  io.join();
+}
+
+}  // namespace
