@@ -14,7 +14,10 @@ through every behavior the wire protocol promises (stdlib only, no pip):
 5. CLI parity: evaluation payloads are byte-for-byte identical (after
    canonical JSON re-serialization) to what `sealpaa_cli analyze`
    writes into its run report for the same configuration;
-6. graceful drain: SIGTERM answers everything already received, then
+6. analytic-pmf: the simulation-free method returns a distribution
+   whose MED/MSE fields equal the CLI's run-report values and a PMF
+   whose mass sums to 1;
+7. graceful drain: SIGTERM answers everything already received, then
    the process exits 0.
 
 Usage:
@@ -226,6 +229,7 @@ def phase_cli_parity(port, cli):
         ("LPAA6", 8, 0.5, "inclusion-exclusion", {}),
         ("LPAA2", 6, 0.3, "weighted-exhaustive", {}),
         ("LPAA5", 8, 0.3, "monte-carlo", {"samples": 50000}),
+        ("LPAA4", 8, 0.5, "analytic-pmf", {}),
     ]
     conn = Connection(port)
     for index, (cell, bits, p, method, params) in enumerate(combos):
@@ -248,6 +252,43 @@ def phase_cli_parity(port, cli):
         check(json.dumps(actual, sort_keys=True)
               == json.dumps(expected, sort_keys=True),
               f"{method} {cell} width {bits} p {p} matches the CLI")
+    conn.close()
+
+
+def phase_analytic_pmf(port, cli):
+    print("-- analytic-pmf: simulation-free MED/MSE match the CLI")
+    combos = [("LPAA1", 8, 0.3), ("LPAA6", 12, 0.5), ("LPAA3", 16, 0.42)]
+    conn = Connection(port)
+    for index, (cell, bits, p) in enumerate(combos):
+        with tempfile.NamedTemporaryFile(suffix=".json") as report_file:
+            subprocess.run(
+                [cli, "analyze", f"--cell={cell}", f"--bits={bits}",
+                 f"--p={p}", "--method=analytic-pmf",
+                 f"--json-report={report_file.name}"],
+                check=True, capture_output=True)
+            with open(report_file.name, "r", encoding="utf-8") as handle:
+                report = json.load(handle)
+        expected = report["sections"]["analyze"]["evaluation"]["distribution"]
+
+        request_id = f"pmf{index}"
+        conn.send_request(evaluate_request(request_id, cell, width=bits,
+                                           p=p, method="analytic-pmf"))
+        response = conn.read_response()
+        expect_envelope(response, request_id)
+        evaluation = (response or {}).get("evaluation", {})
+        actual = evaluation.get("distribution")
+        check(isinstance(actual, dict),
+              f"analytic-pmf {cell} width {bits} carries a distribution")
+        if not isinstance(actual, dict):
+            continue
+        for field in ("mean_error_distance", "mean_squared_error"):
+            check(actual.get(field) == expected.get(field),
+                  f"analytic-pmf {cell} width {bits} {field} == CLI "
+                  f"({actual.get(field)!r})")
+        pmf = evaluation.get("pmf", {})
+        mass = pmf.get("total_mass")
+        check(isinstance(mass, (int, float)) and abs(mass - 1.0) <= 1e-9,
+              f"analytic-pmf {cell} width {bits} pmf mass ~ 1 ({mass!r})")
     conn.close()
 
 
@@ -309,6 +350,7 @@ def main(argv):
         phase_concurrency(port, args.connections,
                           max(10, args.requests // 10))
         phase_cli_parity(port, args.cli)
+        phase_analytic_pmf(port, args.cli)
         phase_sigterm_drain(daemon, port)
     finally:
         if daemon.poll() is None:

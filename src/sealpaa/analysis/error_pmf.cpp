@@ -1,0 +1,414 @@
+#include "sealpaa/analysis/error_pmf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <limits>
+#include <stdexcept>
+
+#include "sealpaa/prob/kahan.hpp"
+#include "sealpaa/sim/metrics.hpp"  // header-only worse_error / error_magnitude
+
+namespace sealpaa::analysis {
+
+namespace {
+
+constexpr std::size_t joint_index(bool ca, bool ce) noexcept {
+  return (static_cast<std::size_t>(ca) << 1) | static_cast<std::size_t>(ce);
+}
+
+// Probability of each (a, b) operand-bit combination at one stage —
+// same ordering as the moment DP in joint.cpp.
+std::array<double, 4> ab_weights(double p_a, double p_b) noexcept {
+  const double na = 1.0 - p_a;
+  const double nb = 1.0 - p_b;
+  return {na * nb, na * p_b, p_a * nb, p_a * p_b};
+}
+
+// Unsigned value span (max - min); well-defined for any int64 pair.
+std::uint64_t value_span(std::int64_t min, std::int64_t max) noexcept {
+  return static_cast<std::uint64_t>(max) - static_cast<std::uint64_t>(min);
+}
+
+[[noreturn]] void throw_support_overflow(std::size_t support,
+                                         std::size_t max_support) {
+  throw std::length_error("ErrorPmf: support " + std::to_string(support) +
+                          " exceeds PmfOptions::max_support " +
+                          std::to_string(max_support));
+}
+
+// In-place iterative radix-2 Cooley-Tukey; `size` must be a power of two.
+void fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t size = data.size();
+  for (std::size_t i = 1, j = 0; i < size; ++i) {
+    std::size_t bit = size >> 1;
+    for (; (j & bit) != 0; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= size; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * std::acos(-1.0) / static_cast<double>(len);
+    const std::complex<double> root(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < size; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> even = data[i + k];
+        const std::complex<double> odd = data[i + k + len / 2] * w;
+        data[i + k] = even + odd;
+        data[i + k + len / 2] = even - odd;
+        w *= root;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : data) x /= static_cast<double>(size);
+  }
+}
+
+}  // namespace
+
+ErrorPmf ErrorPmf::point_mass(std::int64_t value, double probability) {
+  return from_entries({Entry{value, probability}});
+}
+
+ErrorPmf ErrorPmf::from_entries(Entries entries) {
+  for (const Entry& entry : entries) {
+    if (!(entry.probability >= 0.0)) {
+      throw std::invalid_argument(
+          "ErrorPmf: probabilities must be non-negative finite");
+    }
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.value < b.value;
+                   });
+  Entries merged;
+  merged.reserve(entries.size());
+  std::size_t i = 0;
+  while (i < entries.size()) {
+    const std::int64_t value = entries[i].value;
+    prob::KahanSum mass;
+    for (; i < entries.size() && entries[i].value == value; ++i) {
+      mass.add(entries[i].probability);
+    }
+    if (mass.value() > 0.0) merged.push_back(Entry{value, mass.value()});
+  }
+  return ErrorPmf(std::move(merged));
+}
+
+ErrorPmf ErrorPmf::mixture(std::span<const Term> terms,
+                           const PmfOptions& options) {
+  // Live terms in caller order — the accumulation order below is a
+  // deterministic function of that order in both representations.
+  std::vector<Term> live;
+  live.reserve(terms.size());
+  std::int64_t min = std::numeric_limits<std::int64_t>::max();
+  std::int64_t max = std::numeric_limits<std::int64_t>::min();
+  std::size_t total_entries = 0;
+  for (const Term& term : terms) {
+    if (term.pmf == nullptr || term.pmf->empty() || term.scale == 0.0) {
+      continue;
+    }
+    if (!(term.scale > 0.0)) {
+      throw std::invalid_argument("ErrorPmf::mixture: scales must be >= 0");
+    }
+    live.push_back(term);
+    min = std::min(min, term.pmf->min_value() + term.offset);
+    max = std::max(max, term.pmf->max_value() + term.offset);
+    total_entries += term.pmf->support_size();
+  }
+  if (live.empty()) return ErrorPmf{};
+
+  const std::uint64_t span = value_span(min, max);
+  Entries out;
+  if (span < options.dense_threshold) {
+    // Dense compensated accumulation over the contiguous span.  Each
+    // slot receives its contributions in term order, matching the
+    // sparse path's stable merge bit for bit.
+    std::vector<prob::KahanSum> slots(static_cast<std::size_t>(span) + 1);
+    for (const Term& term : live) {
+      for (const Entry& entry : term.pmf->entries()) {
+        const std::uint64_t slot =
+            value_span(min, entry.value + term.offset);
+        slots[static_cast<std::size_t>(slot)].add(term.scale *
+                                                  entry.probability);
+      }
+    }
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      const double mass = slots[s].value();
+      if (mass > 0.0) {
+        out.push_back(Entry{min + static_cast<std::int64_t>(s), mass});
+      }
+    }
+  } else {
+    // Sparse path: gather every shifted contribution, stable-sort by
+    // value (ties keep term order), merge runs with compensation.
+    Entries gathered;
+    gathered.reserve(total_entries);
+    for (const Term& term : live) {
+      for (const Entry& entry : term.pmf->entries()) {
+        gathered.push_back(Entry{entry.value + term.offset,
+                                 term.scale * entry.probability});
+      }
+    }
+    std::stable_sort(gathered.begin(), gathered.end(),
+                     [](const Entry& a, const Entry& b) {
+                       return a.value < b.value;
+                     });
+    std::size_t i = 0;
+    while (i < gathered.size()) {
+      const std::int64_t value = gathered[i].value;
+      prob::KahanSum mass;
+      for (; i < gathered.size() && gathered[i].value == value; ++i) {
+        mass.add(gathered[i].probability);
+      }
+      if (mass.value() > 0.0) out.push_back(Entry{value, mass.value()});
+    }
+  }
+  if (out.size() > options.max_support) {
+    throw_support_overflow(out.size(), options.max_support);
+  }
+  return ErrorPmf(std::move(out));
+}
+
+ErrorPmf ErrorPmf::convolve(const ErrorPmf& a, const ErrorPmf& b,
+                            const PmfOptions& options) {
+  if (a.empty() || b.empty()) return ErrorPmf{};
+  const std::size_t naive_cost = a.support_size() * b.support_size();
+  const std::uint64_t out_span =
+      value_span(a.min_value(), a.max_value()) +
+      value_span(b.min_value(), b.max_value());
+
+  if (naive_cost > options.fft_threshold &&
+      out_span < (std::uint64_t{1} << 26)) {
+    // FFT path: both operands dense over their spans, circular
+    // convolution sized to the next power of two covering the result.
+    const std::size_t la = static_cast<std::size_t>(
+        value_span(a.min_value(), a.max_value())) + 1;
+    const std::size_t lb = static_cast<std::size_t>(
+        value_span(b.min_value(), b.max_value())) + 1;
+    std::size_t size = 1;
+    while (size < la + lb - 1) size <<= 1;
+    std::vector<std::complex<double>> fa(size), fb(size);
+    for (const Entry& entry : a.entries()) {
+      fa[static_cast<std::size_t>(value_span(a.min_value(), entry.value))] =
+          entry.probability;
+    }
+    for (const Entry& entry : b.entries()) {
+      fb[static_cast<std::size_t>(value_span(b.min_value(), entry.value))] =
+          entry.probability;
+    }
+    fft(fa, /*inverse=*/false);
+    fft(fb, /*inverse=*/false);
+    for (std::size_t i = 0; i < size; ++i) fa[i] *= fb[i];
+    fft(fa, /*inverse=*/true);
+
+    double peak = 0.0;
+    for (std::size_t i = 0; i + 1 < la + lb; ++i) {
+      peak = std::max(peak, fa[i].real());
+    }
+    // Round-off from the transform shows up as tiny (possibly negative)
+    // coefficients on values with no true mass; clip below the noise
+    // floor instead of reporting phantom support.
+    const double floor = peak * static_cast<double>(size) *
+                         std::numeric_limits<double>::epsilon();
+    Entries out;
+    const std::int64_t base = a.min_value() + b.min_value();
+    for (std::size_t i = 0; i + 1 < la + lb; ++i) {
+      const double mass = fa[i].real();
+      if (mass > floor) {
+        out.push_back(Entry{base + static_cast<std::int64_t>(i), mass});
+      }
+    }
+    if (out.size() > options.max_support) {
+      throw_support_overflow(out.size(), options.max_support);
+    }
+    return ErrorPmf(std::move(out));
+  }
+
+  // Exact path: a mixture of b shifted by each point of a.
+  std::vector<Term> terms;
+  terms.reserve(a.support_size());
+  for (const Entry& entry : a.entries()) {
+    terms.push_back(Term{&b, entry.probability, entry.value});
+  }
+  return mixture(terms, options);
+}
+
+double ErrorPmf::total_mass() const noexcept {
+  prob::KahanSum mass;
+  for (const Entry& entry : entries_) mass.add(entry.probability);
+  return mass.value();
+}
+
+double ErrorPmf::probability_of(std::int64_t value) const noexcept {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), value,
+      [](const Entry& entry, std::int64_t v) { return entry.value < v; });
+  if (it != entries_.end() && it->value == value) return it->probability;
+  return 0.0;
+}
+
+double ErrorPmf::error_rate() const noexcept {
+  prob::KahanSum mass;
+  for (const Entry& entry : entries_) {
+    if (entry.value != 0) mass.add(entry.probability);
+  }
+  return mass.value();
+}
+
+double ErrorPmf::mean_error() const noexcept {
+  prob::KahanSum sum;
+  for (const Entry& entry : entries_) {
+    sum.add(entry.probability * static_cast<double>(entry.value));
+  }
+  return sum.value();
+}
+
+double ErrorPmf::mean_error_distance() const noexcept {
+  prob::KahanSum sum;
+  for (const Entry& entry : entries_) {
+    sum.add(entry.probability *
+            static_cast<double>(sim::error_magnitude(entry.value)));
+  }
+  return sum.value();
+}
+
+double ErrorPmf::mean_squared_error() const noexcept {
+  prob::KahanSum sum;
+  for (const Entry& entry : entries_) {
+    const double magnitude =
+        static_cast<double>(sim::error_magnitude(entry.value));
+    sum.add(entry.probability * magnitude * magnitude);
+  }
+  return sum.value();
+}
+
+std::int64_t ErrorPmf::worst_case_error() const noexcept {
+  std::int64_t worst = 0;
+  for (const Entry& entry : entries_) {
+    if (sim::worse_error(entry.value, worst)) worst = entry.value;
+  }
+  return worst;
+}
+
+double ErrorPmf::entropy_bits() const noexcept {
+  prob::KahanSum bits;
+  for (const Entry& entry : entries_) {
+    if (entry.probability > 0.0) {
+      bits.add(-entry.probability * std::log2(entry.probability));
+    }
+  }
+  return std::max(0.0, bits.value());
+}
+
+double ErrorPmf::psnr_db(std::size_t width) const noexcept {
+  const double mse = mean_squared_error();
+  if (mse == 0.0) return std::numeric_limits<double>::infinity();
+  const double peak = std::pow(2.0, static_cast<double>(width)) - 1.0;
+  return 10.0 * std::log10(peak * peak / mse);
+}
+
+ErrorPmf::Entries ErrorPmf::top_mass_points(std::size_t k) const {
+  Entries ranked = entries_;
+  const std::size_t keep = std::min(k, ranked.size());
+  std::partial_sort(ranked.begin(),
+                    ranked.begin() + static_cast<std::ptrdiff_t>(keep),
+                    ranked.end(), [](const Entry& a, const Entry& b) {
+                      if (a.probability != b.probability) {
+                        return a.probability > b.probability;
+                      }
+                      return a.value < b.value;
+                    });
+  ranked.resize(keep);
+  return ranked;
+}
+
+ErrorPmfState make_error_pmf_state(double p_cin) {
+  ErrorPmfState state;
+  if (p_cin < 1.0) {
+    state.joint[joint_index(false, false)] =
+        ErrorPmf::point_mass(0, 1.0 - p_cin);
+  }
+  if (p_cin > 0.0) {
+    state.joint[joint_index(true, true)] = ErrorPmf::point_mass(0, p_cin);
+  }
+  return state;
+}
+
+void advance_error_pmf(ErrorPmfState& state, const adders::AdderCell& cell,
+                       double p_a, double p_b, const PmfOptions& options) {
+  // Stage 62 would put the carry-out weight at 2^63, outside the signed
+  // error domain; the chain layer allows width 63 but the PMF does not.
+  if (state.stage >= 62) {
+    throw std::length_error(
+        "advance_error_pmf: error-PMF propagation supports widths <= 62");
+  }
+  const adders::AdderCell::Rows& exact = adders::AdderCell::accurate_rows();
+  const std::array<double, 4> ab = ab_weights(p_a, p_b);
+  const std::int64_t weight = std::int64_t{1} << state.stage;
+
+  // Segmented convolution: each (source pair, operand combination)
+  // contributes its segment shifted by d_i = (s_approx - s_exact) * 2^i
+  // to exactly one destination pair.
+  std::array<std::vector<ErrorPmf::Term>, 4> terms;
+  for (std::size_t src = 0; src < 4; ++src) {
+    const ErrorPmf& segment = state.joint[src];
+    if (segment.empty()) continue;
+    const bool ca = (src & 2U) != 0;
+    const bool ce = (src & 1U) != 0;
+    for (std::size_t abi = 0; abi < 4; ++abi) {
+      if (ab[abi] == 0.0) continue;
+      const bool a = (abi & 2U) != 0;
+      const bool b = (abi & 1U) != 0;
+      const adders::BitPair approx_out =
+          cell.rows()[adders::AdderCell::row_index(a, b, ca)];
+      const adders::BitPair exact_out =
+          exact[adders::AdderCell::row_index(a, b, ce)];
+      const std::int64_t delta =
+          (static_cast<std::int64_t>(approx_out.sum) -
+           static_cast<std::int64_t>(exact_out.sum)) *
+          weight;
+      terms[joint_index(approx_out.carry, exact_out.carry)].push_back(
+          ErrorPmf::Term{&segment, ab[abi], delta});
+    }
+  }
+
+  std::array<ErrorPmf, 4> next;
+  for (std::size_t dst = 0; dst < 4; ++dst) {
+    next[dst] = ErrorPmf::mixture(terms[dst], options);
+  }
+  state.joint = std::move(next);
+  ++state.stage;
+}
+
+ErrorPmf finalize_error_pmf(const ErrorPmfState& state,
+                            const PmfOptions& options) {
+  const std::int64_t weight = std::int64_t{1} << state.stage;
+  std::vector<ErrorPmf::Term> terms;
+  for (std::size_t j = 0; j < 4; ++j) {
+    if (state.joint[j].empty()) continue;
+    const std::int64_t ca = (j & 2U) != 0 ? 1 : 0;
+    const std::int64_t ce = (j & 1U) != 0 ? 1 : 0;
+    terms.push_back(ErrorPmf::Term{&state.joint[j], 1.0, (ca - ce) * weight});
+  }
+  return ErrorPmf::mixture(terms, options);
+}
+
+ErrorPmf propagate_error_pmf(const multibit::AdderChain& chain,
+                             const multibit::InputProfile& profile,
+                             const PmfOptions& options) {
+  if (chain.width() != profile.width()) {
+    throw std::invalid_argument(
+        "propagate_error_pmf: chain and profile widths differ");
+  }
+  ErrorPmfState state = make_error_pmf_state(profile.p_cin());
+  for (std::size_t i = 0; i < chain.width(); ++i) {
+    advance_error_pmf(state, chain.stage(i), profile.p_a(i), profile.p_b(i),
+                      options);
+  }
+  return finalize_error_pmf(state, options);
+}
+
+}  // namespace sealpaa::analysis

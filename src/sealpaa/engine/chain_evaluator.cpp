@@ -41,7 +41,9 @@ ChainEvaluator::ChainEvaluator(multibit::InputProfile profile,
       candidates_(std::move(candidates)),
       base_{1.0 - profile_.p_cin(), profile_.p_cin()},
       capacity_(std::min(options.cache_capacity, kMaxCapacity)),
-      key_stride_(profile_.width()) {
+      key_stride_(profile_.width()),
+      pmf_capacity_(options.pmf_cache_capacity),
+      pmf_options_(options.pmf) {
   if (candidates_.empty()) {
     throw std::invalid_argument("ChainEvaluator: no candidate cells");
   }
@@ -275,6 +277,81 @@ analysis::AnalysisResult ChainEvaluator::evaluate(
   return result;
 }
 
+void ChainEvaluator::pmf_insert(
+    std::string_view key,
+    std::shared_ptr<const analysis::ErrorPmfState> state) {
+  ++pmf_stats_.insertions;
+  if (pmf_index_.size() >= pmf_capacity_ && !pmf_lru_.empty()) {
+    const PmfNode& victim = pmf_lru_.back();
+    pmf_index_.erase(std::string_view(victim.key));
+    pmf_lru_.pop_back();
+    ++pmf_stats_.evictions;
+  }
+  pmf_lru_.push_front(PmfNode{std::string(key), std::move(state)});
+  pmf_index_.emplace(std::string_view(pmf_lru_.front().key),
+                     pmf_lru_.begin());
+}
+
+std::shared_ptr<const analysis::ErrorPmfState> ChainEvaluator::pmf_state_after(
+    std::span<const std::size_t> choices) {
+  if (choices.size() > width()) {
+    throw std::invalid_argument("ChainEvaluator::pmf_state_after: " +
+                                std::to_string(choices.size()) +
+                                " choices exceed width " +
+                                std::to_string(width()));
+  }
+  const std::size_t len = choices.size();
+  std::string key;
+  key.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    check_choice(choices[i]);
+    key.push_back(static_cast<char>(choices[i]));
+  }
+
+  // Longest cached prefix, deepest first — same probe accounting as the
+  // carry cache (one miss per depth tried).
+  std::size_t found = 0;
+  std::shared_ptr<const analysis::ErrorPmfState> state;
+  if (pmf_capacity_ > 0) {
+    for (std::size_t d = len; d >= 1; --d) {
+      const auto it = pmf_index_.find(std::string_view(key.data(), d));
+      if (it != pmf_index_.end()) {
+        ++pmf_stats_.hits;
+        pmf_lru_.splice(pmf_lru_.begin(), pmf_lru_, it->second);
+        found = d;
+        state = it->second->state;
+        break;
+      }
+      ++pmf_stats_.misses;
+    }
+  }
+  if (found == 0) {
+    state = std::make_shared<const analysis::ErrorPmfState>(
+        analysis::make_error_pmf_state(profile_.p_cin()));
+  }
+
+  // Advance from the deepest known state, caching every new prefix.
+  for (std::size_t d = found; d < len; ++d) {
+    auto next = std::make_shared<analysis::ErrorPmfState>(*state);
+    analysis::advance_error_pmf(*next, candidates_[choices[d]],
+                                profile_.p_a(d), profile_.p_b(d),
+                                pmf_options_);
+    ++pmf_stats_.stages_computed;
+    state = std::move(next);
+    if (pmf_capacity_ > 0) {
+      pmf_insert(std::string_view(key.data(), d + 1), state);
+    }
+  }
+  return state;
+}
+
+analysis::ErrorPmf ChainEvaluator::error_pmf(
+    std::span<const std::size_t> choices) {
+  if (choices.size() == width()) ++pmf_stats_.chains_evaluated;
+  return analysis::finalize_error_pmf(*pmf_state_after(choices),
+                                      pmf_options_);
+}
+
 void ChainEvaluator::clear() {
   slots_.clear();
   key_pool_.clear();
@@ -282,6 +359,8 @@ void ChainEvaluator::clear() {
   live_slots_ = 0;
   lru_head_ = kNil;
   lru_tail_ = kNil;
+  pmf_index_.clear();
+  pmf_lru_.clear();
 }
 
 }  // namespace sealpaa::engine

@@ -15,10 +15,15 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
+#include <memory>
 #include <span>
+#include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
+#include "sealpaa/analysis/error_pmf.hpp"
 #include "sealpaa/analysis/mkl.hpp"
 #include "sealpaa/analysis/recursive.hpp"
 #include "sealpaa/multibit/input_profile.hpp"
@@ -30,6 +35,13 @@ struct ChainEvaluatorOptions {
   /// it).  0 disables caching entirely: every query recomputes from bit
   /// 0 and the hit/miss/insertion/eviction counters stay 0.
   std::size_t cache_capacity = std::size_t{1} << 16;
+  /// Maximum number of prefix error-PMF states kept by the PMF prefix
+  /// cache (pmf_state_after / error_pmf).  PMF states are far heavier
+  /// than carry states — four sparse distributions each — so the default
+  /// is correspondingly smaller.  0 disables PMF caching.
+  std::size_t pmf_cache_capacity = std::size_t{1} << 12;
+  /// Representation/switchover knobs for the PMF propagation.
+  analysis::PmfOptions pmf;
 };
 
 /// Exact accounting of the prefix cache's work, reported through
@@ -97,14 +109,43 @@ class ChainEvaluator {
   [[nodiscard]] analysis::AnalysisResult evaluate(
       std::span<const std::size_t> choices);
 
+  /// Joint-carry error-PMF state after the stages of `choices`, served
+  /// from the longest cached PMF prefix (its own LRU cache, accounted in
+  /// pmf_stats()).  The returned state is shared with the cache — treat
+  /// it as immutable; copy before calling advance_error_pmf on it.
+  [[nodiscard]] std::shared_ptr<const analysis::ErrorPmfState>
+  pmf_state_after(std::span<const std::size_t> choices);
+
+  /// Finalized error PMF of `choices` (any size up to width(); the
+  /// carry-out difference is folded at the prefix depth, so a partial
+  /// chain yields its partial-adder error distribution).  For a
+  /// full-width chain this is identical to propagate_error_pmf on the
+  /// assembled chain; prefix reuse only changes how often stages are
+  /// recomputed, never the result (mixture accumulation order is a
+  /// function of the choice sequence alone).
+  [[nodiscard]] analysis::ErrorPmf error_pmf(
+      std::span<const std::size_t> choices);
+
   [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_ = CacheStats{}; }
+  /// PMF prefix-cache accounting (stages_computed counts
+  /// advance_error_pmf calls, chains_evaluated counts error_pmf calls).
+  [[nodiscard]] const CacheStats& pmf_stats() const noexcept {
+    return pmf_stats_;
+  }
+  void reset_stats() noexcept {
+    stats_ = CacheStats{};
+    pmf_stats_ = CacheStats{};
+  }
 
   /// Cached prefix states currently held.
   [[nodiscard]] std::size_t cache_size() const noexcept {
     return live_slots_;
   }
-  /// Drops every cached prefix (stats are kept).
+  /// Cached PMF prefix states currently held.
+  [[nodiscard]] std::size_t pmf_cache_size() const noexcept {
+    return pmf_index_.size();
+  }
+  /// Drops every cached prefix, carry and PMF (stats are kept).
   void clear();
 
  private:
@@ -127,6 +168,19 @@ class ChainEvaluator {
     std::uint32_t next = kNil;
     std::uint32_t len = 0;  // key length in bytes (one per choice index)
   };
+
+  // The PMF cache is deliberately *not* the flat slot structure above:
+  // PMF states are heavyweight (four sparse vectors) and the PMF
+  // propagation itself dwarfs a map probe, so a node-based LRU
+  // (unordered_map over a std::list) is simple and fast enough.
+  struct PmfNode {
+    std::string key;  // choice-index bytes, as in the carry cache
+    std::shared_ptr<const analysis::ErrorPmfState> state;
+  };
+  using PmfLru = std::list<PmfNode>;
+
+  void pmf_insert(std::string_view key,
+                  std::shared_ptr<const analysis::ErrorPmfState> state);
 
   void check_choice(std::size_t choice) const;
   [[nodiscard]] std::string_view key_of(std::uint32_t slot) const noexcept;
@@ -156,6 +210,12 @@ class ChainEvaluator {
   std::uint32_t lru_head_ = kNil;
   std::uint32_t lru_tail_ = kNil;
   CacheStats stats_;
+
+  std::size_t pmf_capacity_;
+  analysis::PmfOptions pmf_options_;
+  PmfLru pmf_lru_;  // front = most recently used
+  std::unordered_map<std::string_view, PmfLru::iterator> pmf_index_;
+  CacheStats pmf_stats_;
 };
 
 }  // namespace sealpaa::engine

@@ -36,7 +36,23 @@ IncrementalAnalyzer::IncrementalAnalyzer(multibit::InputProfile profile,
 
 const analysis::CarryState& IncrementalAnalyzer::push_stage(
     const adders::AdderCell& cell) {
-  return push_stage(cache_->of(cell));
+  const std::size_t i = depth();
+  if (i >= width()) {
+    throw std::logic_error(
+        "IncrementalAnalyzer::push_stage: chain already holds all " +
+        std::to_string(width()) + " stages");
+  }
+  const analysis::MklMatrices& mkl = cache_->of(cell);
+  const analysis::CarryState next = analysis::advance_stage(
+      mkl, profile_.p_a(i), profile_.p_b(i), carry_at(i));
+  Frame frame{mkl, next, {}};
+  if (track_pmf_) {
+    frame.pmf = pmf_state_at(i);
+    analysis::advance_error_pmf(frame.pmf, cell, profile_.p_a(i),
+                                profile_.p_b(i), pmf_options_);
+  }
+  stack_.push_back(std::move(frame));
+  return stack_.back().carry;
 }
 
 const analysis::CarryState& IncrementalAnalyzer::push_stage(
@@ -47,9 +63,17 @@ const analysis::CarryState& IncrementalAnalyzer::push_stage(
         "IncrementalAnalyzer::push_stage: chain already holds all " +
         std::to_string(width()) + " stages");
   }
+  if (track_pmf_) {
+    // The M/K/L matrices only encode carry and success behaviour; the
+    // PMF deltas additionally need the cell's sum column.
+    throw std::logic_error(
+        "IncrementalAnalyzer::push_stage: the matrices-only fast path "
+        "cannot advance the error PMF; push the AdderCell while PMF "
+        "tracking is enabled");
+  }
   const analysis::CarryState next = analysis::advance_stage(
       mkl, profile_.p_a(i), profile_.p_b(i), carry_at(i));
-  stack_.push_back(Frame{mkl, next});
+  stack_.push_back(Frame{mkl, next, {}});
   return stack_.back().carry;
 }
 
@@ -89,6 +113,36 @@ double IncrementalAnalyzer::final_success_with(
   }
   return analysis::final_success(mkl, profile_.p_a(n - 1), profile_.p_b(n - 1),
                                  carry_at(n - 1));
+}
+
+void IncrementalAnalyzer::enable_pmf_tracking(
+    const analysis::PmfOptions& options) {
+  if (depth() != 0) {
+    throw std::logic_error(
+        "IncrementalAnalyzer::enable_pmf_tracking: must be enabled at depth "
+        "0, have " + std::to_string(depth()));
+  }
+  track_pmf_ = true;
+  pmf_options_ = options;
+  pmf_base_ = analysis::make_error_pmf_state(profile_.p_cin());
+}
+
+const analysis::ErrorPmfState& IncrementalAnalyzer::pmf_state_at(
+    std::size_t depth) const {
+  if (!track_pmf_) {
+    throw std::logic_error(
+        "IncrementalAnalyzer::pmf_state_at: PMF tracking not enabled");
+  }
+  if (depth > stack_.size()) {
+    throw std::invalid_argument(
+        "IncrementalAnalyzer::pmf_state_at: depth " + std::to_string(depth) +
+        " exceeds current depth " + std::to_string(stack_.size()));
+  }
+  return depth == 0 ? pmf_base_ : stack_[depth - 1].pmf;
+}
+
+analysis::ErrorPmf IncrementalAnalyzer::error_pmf() const {
+  return analysis::finalize_error_pmf(pmf_state_at(depth()), pmf_options_);
 }
 
 analysis::AnalysisResult IncrementalAnalyzer::finish(bool record_trace) const {

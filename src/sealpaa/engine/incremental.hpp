@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sealpaa/analysis/error_pmf.hpp"
 #include "sealpaa/analysis/mkl.hpp"
 #include "sealpaa/analysis/recursive.hpp"
 #include "sealpaa/multibit/chain.hpp"
@@ -115,10 +116,29 @@ class IncrementalAnalyzer {
   [[nodiscard]] analysis::AnalysisResult finish(
       bool record_trace = false) const;
 
+  /// Enables joint-carry error-PMF tracking: every subsequent
+  /// push_stage(cell) also advances an analysis::ErrorPmfState, so the
+  /// DFS can score leaves on MED/MSE instead of P(Error).  Must be
+  /// called at depth 0 (std::logic_error otherwise).  While tracking,
+  /// the matrices-only push_stage(mkl) fast path throws — the M/K/L
+  /// matrices do not determine the cell's sum column, which the error
+  /// deltas need.
+  void enable_pmf_tracking(const analysis::PmfOptions& options = {});
+  [[nodiscard]] bool pmf_tracking() const noexcept { return track_pmf_; }
+
+  /// Joint-carry PMF state after the `depth` pushed stages.  Requires
+  /// tracking.
+  [[nodiscard]] const analysis::ErrorPmfState& pmf_state_at(
+      std::size_t depth) const;
+  /// Finalized error PMF of the pushed prefix (carry-out difference
+  /// folded at the current depth).  Requires tracking.
+  [[nodiscard]] analysis::ErrorPmf error_pmf() const;
+
  private:
   struct Frame {
     analysis::MklMatrices mkl;   // this stage's matrices
     analysis::CarryState carry;  // state after this stage
+    analysis::ErrorPmfState pmf;  // after this stage; tracking only
   };
 
   multibit::InputProfile profile_;
@@ -126,6 +146,9 @@ class IncrementalAnalyzer {
   std::vector<Frame> stack_;
   MklCache owned_cache_;
   MklCache* cache_;  // owned_cache_ or the shared one
+  bool track_pmf_ = false;
+  analysis::PmfOptions pmf_options_;
+  analysis::ErrorPmfState pmf_base_;  // depth-0 state; tracking only
 };
 
 }  // namespace sealpaa::engine

@@ -1,6 +1,8 @@
 #include "sealpaa/engine/method.hpp"
 
 #include <array>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -14,7 +16,7 @@ namespace sealpaa::engine {
 
 namespace {
 
-constexpr std::array<MethodInfo, 5> kMethods = {{
+constexpr std::array<MethodInfo, 6> kMethods = {{
     {Method::kRecursive, "recursive",
      "the paper's O(N) carry-state recursion", true},
     {Method::kInclusionExclusion, "inclusion-exclusion",
@@ -25,6 +27,8 @@ constexpr std::array<MethodInfo, 5> kMethods = {{
      "enumerate all input cases weighted by the profile", true},
     {Method::kMonteCarlo, "monte-carlo",
      "sampled simulation with Wilson confidence intervals", false},
+    {Method::kAnalyticPmf, "analytic-pmf",
+     "exact MED/MSE/WCE/PSNR via error-PMF propagation (no samples)", true},
 }};
 
 void require_matching_width(const multibit::AdderChain& chain,
@@ -34,6 +38,26 @@ void require_matching_width(const multibit::AdderChain& chain,
         "engine::evaluate: chain width " + std::to_string(chain.width()) +
         " does not match profile width " + std::to_string(profile.width()));
   }
+}
+
+// PSNR against the exact adder for an N-bit output range: the same
+// peak^2 / MSE convention apps/image.cpp uses with peak = 255.
+double psnr_from_mse(std::size_t width, double mse) {
+  if (mse == 0.0) return std::numeric_limits<double>::infinity();
+  const double peak = std::pow(2.0, static_cast<double>(width)) - 1.0;
+  return 10.0 * std::log10(peak * peak / mse);
+}
+
+DistributionStats stats_from_metrics(const sim::ErrorMetrics& metrics,
+                                     std::size_t width) {
+  DistributionStats stats;
+  stats.error_rate = metrics.error_rate();
+  stats.mean_error = metrics.mean_error();
+  stats.mean_error_distance = metrics.mean_abs_error();
+  stats.mean_squared_error = metrics.mean_squared_error();
+  stats.worst_case_error = metrics.worst_case_error();
+  stats.psnr_db = psnr_from_mse(width, stats.mean_squared_error);
+  return stats;
 }
 
 }  // namespace
@@ -110,6 +134,7 @@ Evaluation evaluate(const multibit::AdderChain& chain,
       out.p_error = report.metrics.stage_failure_rate();
       out.p_success = 1.0 - out.p_error;
       out.work_items = report.metrics.cases();
+      out.distribution = stats_from_metrics(report.metrics, chain.width());
       return out;
     }
     case Method::kWeightedExhaustive: {
@@ -122,6 +147,14 @@ Evaluation evaluate(const multibit::AdderChain& chain,
       out.p_success = report.p_stage_success;
       out.p_error = 1.0 - report.p_stage_success;
       out.work_items = report.assignments;
+      DistributionStats stats;
+      stats.error_rate = 1.0 - report.p_value_correct;
+      stats.mean_error = report.mean_error;
+      stats.mean_error_distance = report.mean_abs_error;
+      stats.mean_squared_error = report.mean_squared_error;
+      stats.worst_case_error = report.worst_case_error;
+      stats.psnr_db = psnr_from_mse(chain.width(), stats.mean_squared_error);
+      out.distribution = stats;
       return out;
     }
     case Method::kMonteCarlo: {
@@ -136,6 +169,45 @@ Evaluation evaluate(const multibit::AdderChain& chain,
       out.p_success = 1.0 - out.p_error;
       out.work_items = report.samples;
       out.stage_failure_ci = report.stage_failure_ci;
+      out.distribution = stats_from_metrics(report.metrics, chain.width());
+      return out;
+    }
+    case Method::kAnalyticPmf: {
+      // Stage-level p_error/p_success run through the exact same
+      // recursion call as Method::kRecursive — same floating-point
+      // sequence, bit-identical result — while the distribution metrics
+      // come from the propagated PMF.
+      analysis::AnalyzeOptions opts;
+      opts.record_trace = options.record_trace;
+      opts.counter = options.op_counter;
+      analysis::AnalysisResult result =
+          analysis::RecursiveAnalyzer::analyze(chain, profile, opts);
+      out.p_error = result.p_error;
+      out.p_success = result.p_success;
+      out.work_items = chain.width();
+      out.trace = std::move(result.trace);
+
+      const analysis::ErrorPmf pmf =
+          analysis::propagate_error_pmf(chain, profile, options.pmf);
+      DistributionStats stats;
+      stats.error_rate = pmf.error_rate();
+      stats.mean_error = pmf.mean_error();
+      stats.mean_error_distance = pmf.mean_error_distance();
+      stats.mean_squared_error = pmf.mean_squared_error();
+      stats.worst_case_error = pmf.worst_case_error();
+      stats.psnr_db = pmf.psnr_db(chain.width());
+      out.distribution = stats;
+
+      PmfSummary summary;
+      summary.support = pmf.support_size();
+      summary.total_mass = pmf.total_mass();
+      summary.entropy_bits = pmf.entropy_bits();
+      if (!pmf.empty()) {
+        summary.min_value = pmf.min_value();
+        summary.max_value = pmf.max_value();
+      }
+      summary.top = pmf.top_mass_points(options.pmf_top_k);
+      out.pmf = summary;
       return out;
     }
   }

@@ -9,10 +9,13 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
+#include <optional>
 #include <span>
 #include <string_view>
 #include <vector>
 
+#include "sealpaa/analysis/error_pmf.hpp"
 #include "sealpaa/analysis/recursive.hpp"
 #include "sealpaa/multibit/chain.hpp"
 #include "sealpaa/multibit/input_profile.hpp"
@@ -29,6 +32,7 @@ enum class Method {
   kExhaustiveSim,       // all 2^(2N+1) cases; uniform-0.5 inputs only
   kWeightedExhaustive,  // all cases weighted by the profile (exact oracle)
   kMonteCarlo,          // sampled oracle with confidence intervals
+  kAnalyticPmf,         // exact error-PMF propagation (zero samples)
 };
 
 /// Registry row: stable CLI name plus a one-line description.
@@ -73,6 +77,38 @@ struct EvaluateOptions {
   sim::Kernel kernel = sim::Kernel::kBitSliced;
   /// Arithmetic accounting sink (recursive and inclusion-exclusion).
   util::OpCounter* op_counter = nullptr;
+  /// Representation/switchover knobs for the analytic-PMF method.
+  analysis::PmfOptions pmf;
+  /// Mass points kept in Evaluation::pmf's top-k projection.
+  std::size_t pmf_top_k = 8;
+};
+
+/// Distribution-level quality metrics (sim::ErrorMetrics shape): filled
+/// by every method that sees the full error distribution — analytic-pmf
+/// (exactly), the exhaustive engines (exactly) and Monte Carlo
+/// (sampled).  The analytical methods that only track the stage-success
+/// event (recursive, inclusion-exclusion) leave it empty.
+struct DistributionStats {
+  /// P(approx value != exact value) — value-level, so at most the
+  /// stage-level p_error (carry errors can be numerically masked).
+  double error_rate = 0.0;
+  double mean_error = 0.0;           // E[err]
+  double mean_error_distance = 0.0;  // E[|err|] (MED)
+  double mean_squared_error = 0.0;   // E[err^2] (MSE)
+  std::int64_t worst_case_error = 0;
+  /// 10*log10(peak^2 / MSE) with peak = 2^width - 1; +inf when MSE = 0.
+  double psnr_db = std::numeric_limits<double>::infinity();
+};
+
+/// Run-report projection of the full error PMF (analytic-pmf only).
+struct PmfSummary {
+  std::uint64_t support = 0;  // distinct error values with mass
+  double total_mass = 0.0;    // must be 1 within float error
+  double entropy_bits = 0.0;
+  std::int64_t min_value = 0;
+  std::int64_t max_value = 0;
+  /// Highest-probability mass points, descending.
+  std::vector<analysis::ErrorPmf::Entry> top;
 };
 
 /// Common result shape across all methods.
@@ -80,15 +116,20 @@ struct Evaluation {
   Method method = Method::kRecursive;
   double p_error = 0.0;
   double p_success = 1.0;
-  /// Method-specific work measure: stages advanced (recursive), subset
-  /// terms (inclusion-exclusion), input cases (exhaustive engines) or
-  /// samples drawn (Monte Carlo).
+  /// Method-specific work measure: stages advanced (recursive,
+  /// analytic-pmf), subset terms (inclusion-exclusion), input cases
+  /// (exhaustive engines) or samples drawn (Monte Carlo).
   std::uint64_t work_items = 0;
   /// Wilson 95% interval for P(Error); empty unless Monte Carlo.
   prob::Interval stage_failure_ci = prob::Interval::empty_interval();
-  /// Per-stage trace; only filled by the recursive method when
-  /// EvaluateOptions::record_trace is set.
+  /// Per-stage trace; only filled by the recursive and analytic-pmf
+  /// methods when EvaluateOptions::record_trace is set.
   std::vector<analysis::StageTrace> trace;
+  /// Distribution metrics; see DistributionStats for which methods fill
+  /// it.
+  std::optional<DistributionStats> distribution;
+  /// PMF projection; analytic-pmf only.
+  std::optional<PmfSummary> pmf;
 };
 
 /// Evaluates `chain` under `profile` with `method`.  Throws

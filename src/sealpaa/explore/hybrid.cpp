@@ -14,6 +14,12 @@ namespace sealpaa::explore {
 
 namespace {
 
+/// Finalized-prefix metric for the PMF-ranked objectives.
+double pmf_metric(const analysis::ErrorPmf& pmf, Objective objective) {
+  return objective == Objective::kMse ? pmf.mean_squared_error()
+                                      : pmf.mean_error_distance();
+}
+
 struct CellCost {
   std::optional<double> power;
   std::optional<double> area;
@@ -35,13 +41,31 @@ bool usable(const CellCost& cost, const DesignConstraints& constraints) {
 }
 
 HybridDesign finalize(std::vector<adders::AdderCell> stages,
-                      const multibit::InputProfile& profile) {
+                      const multibit::InputProfile& profile,
+                      Objective objective) {
   HybridDesign design;
   design.stages = std::move(stages);
-  const engine::Evaluation result = engine::evaluate(
-      multibit::AdderChain(design.stages), profile, engine::Method::kRecursive);
-  design.p_success = result.p_success;
-  design.p_error = result.p_error;
+  design.objective = objective;
+  // p_error/p_success go through the same recursion call sequence
+  // regardless of the objective (kAnalyticPmf shares kRecursive's exact
+  // code path), so switching objectives never perturbs the reported
+  // error probability.
+  const multibit::AdderChain chain(design.stages);
+  try {
+    const engine::Evaluation result =
+        engine::evaluate(chain, profile, engine::Method::kAnalyticPmf);
+    design.p_success = result.p_success;
+    design.p_error = result.p_error;
+    design.med = result.distribution->mean_error_distance;
+    design.mse = result.distribution->mean_squared_error;
+    design.wce = result.distribution->worst_case_error;
+  } catch (const std::length_error&) {
+    // PMF support guard tripped: report the probability-only result.
+    const engine::Evaluation result =
+        engine::evaluate(chain, profile, engine::Method::kRecursive);
+    design.p_success = result.p_success;
+    design.p_error = result.p_error;
+  }
   double power = 0.0;
   double area = 0.0;
   bool have_power = true;
@@ -72,11 +96,28 @@ void require_candidates(std::span<const adders::AdderCell> candidates) {
 
 }  // namespace
 
+std::string_view objective_name(Objective objective) {
+  switch (objective) {
+    case Objective::kErrorRate: return "err";
+    case Objective::kMed: return "med";
+    case Objective::kMse: return "mse";
+  }
+  throw std::invalid_argument("explore::objective_name: unknown objective");
+}
+
+Objective parse_objective(std::string_view name) {
+  if (name == "err") return Objective::kErrorRate;
+  if (name == "med") return Objective::kMed;
+  if (name == "mse") return Objective::kMse;
+  throw std::invalid_argument("unknown objective '" + std::string(name) +
+                              "' (valid: err, med, mse)");
+}
+
 HybridDesign HybridOptimizer::exhaustive(
     const multibit::InputProfile& profile,
     std::span<const adders::AdderCell> candidates,
     const DesignConstraints& constraints, std::uint64_t max_combinations,
-    unsigned threads) {
+    unsigned threads, Objective objective) {
   require_candidates(candidates);
   const std::size_t n = profile.width();
   const std::uint64_t k = candidates.size();
@@ -122,6 +163,149 @@ HybridDesign HybridOptimizer::exhaustive(
       pow_k[i] = p;
       p *= k;
     }
+  }
+
+  // PMF-ranked objectives run the same odometer walk but push whole
+  // cells (the PMF advance needs the sum column, which the M/K/L
+  // matrices do not carry) and score each leaf by the finalized prefix
+  // PMF's metric.  The err objective keeps its historical matrices-only
+  // walk below, untouched — its results stay bit-identical.
+  if (objective != Objective::kErrorRate) {
+    struct BestMetric {
+      double metric = 0.0;
+      std::uint64_t index = 0;  // historical stage-0-fastest design index
+      bool found = false;
+      std::uint64_t evaluated = 0;
+      std::uint64_t rejected = 0;
+      std::uint64_t stages = 0;  // PMF stage advances performed
+    };
+    const std::uint64_t grain = std::max<std::uint64_t>(1, total / 64);
+    const BestMetric best = util::with_pool(threads, [&](util::ThreadPool&
+                                                             pool) {
+      return util::parallel_map_reduce(
+          pool, 0, total, grain, BestMetric{},
+          [&](std::uint64_t index_begin, std::uint64_t index_end) {
+            BestMetric shard;
+            std::vector<std::size_t> choice(n);
+            {
+              std::uint64_t rest = index_begin;
+              for (std::size_t i = n; i-- > 0;) {
+                choice[i] = static_cast<std::size_t>(rest % k);
+                rest /= k;
+              }
+            }
+            std::uint64_t orig_index = 0;
+            std::size_t unusable_stages = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+              orig_index += static_cast<std::uint64_t>(choice[i]) * pow_k[i];
+              if (!cell_usable[choice[i]]) ++unusable_stages;
+            }
+            std::vector<double> power_pre(n + 1, 0.0);
+            std::vector<double> area_pre(n + 1, 0.0);
+            const auto rebuild_budgets = [&](std::size_t from) {
+              if (track_power) {
+                for (std::size_t i = from; i < n; ++i) {
+                  power_pre[i + 1] = power_pre[i] + power_of[choice[i]];
+                }
+              }
+              if (track_area) {
+                for (std::size_t i = from; i < n; ++i) {
+                  area_pre[i + 1] = area_pre[i] + area_of[choice[i]];
+                }
+              }
+            };
+            rebuild_budgets(0);
+
+            engine::IncrementalAnalyzer inc(profile);
+            inc.enable_pmf_tracking();
+            for (std::size_t i = 0; i + 1 < n; ++i) {
+              inc.push_stage(candidates[choice[i]]);
+              ++shard.stages;
+            }
+
+            for (std::uint64_t index = index_begin; index < index_end;
+                 ++index) {
+              bool reject = unusable_stages > 0;
+              if (!reject && track_power &&
+                  power_pre[n] > *constraints.max_power_nw) {
+                reject = true;
+              }
+              if (!reject && track_area &&
+                  area_pre[n] > *constraints.max_area_ge) {
+                reject = true;
+              }
+              if (reject) {
+                ++shard.rejected;
+              } else {
+                ++shard.evaluated;
+                inc.push_stage(candidates[choice[n - 1]]);
+                ++shard.stages;
+                const double metric = pmf_metric(inc.error_pmf(), objective);
+                inc.pop();
+                if (!shard.found || metric < shard.metric ||
+                    (metric == shard.metric && orig_index < shard.index)) {
+                  shard.metric = metric;
+                  shard.index = orig_index;
+                  shard.found = true;
+                }
+              }
+              if (index + 1 == index_end) break;
+
+              std::size_t pos = n;
+              for (;;) {
+                --pos;
+                if (!cell_usable[choice[pos]]) --unusable_stages;
+                if (choice[pos] + 1 < k) {
+                  ++choice[pos];
+                  orig_index += pow_k[pos];
+                  if (!cell_usable[choice[pos]]) ++unusable_stages;
+                  break;
+                }
+                choice[pos] = 0;
+                orig_index -= (k - 1) * pow_k[pos];
+                if (!cell_usable[choice[pos]]) ++unusable_stages;
+              }
+              rebuild_budgets(pos);
+              if (pos + 1 < n) {
+                inc.rewind(pos);
+                for (std::size_t i = pos; i + 1 < n; ++i) {
+                  inc.push_stage(candidates[choice[i]]);
+                  ++shard.stages;
+                }
+              }
+            }
+            return shard;
+          },
+          [](BestMetric& acc, BestMetric&& shard) {
+            acc.evaluated += shard.evaluated;
+            acc.rejected += shard.rejected;
+            acc.stages += shard.stages;
+            if (shard.found &&
+                (!acc.found || shard.metric < acc.metric ||
+                 (shard.metric == acc.metric && shard.index < acc.index))) {
+              acc.metric = shard.metric;
+              acc.index = shard.index;
+              acc.found = true;
+            }
+          });
+    });
+
+    if (!best.found) {
+      throw std::runtime_error(
+          "HybridOptimizer::exhaustive: no design satisfies the constraints");
+    }
+    std::vector<adders::AdderCell> stages;
+    stages.reserve(n);
+    std::uint64_t rest = best.index;
+    for (std::size_t i = 0; i < n; ++i) {
+      stages.push_back(candidates[static_cast<std::size_t>(rest % k)]);
+      rest /= k;
+    }
+    HybridDesign design = finalize(std::move(stages), profile, objective);
+    design.stats.candidates_evaluated = best.evaluated;
+    design.stats.candidates_rejected = best.rejected;
+    design.stats.stages_computed = best.stages;
+    return design;
   }
 
   struct BestDesign {
@@ -265,7 +449,8 @@ HybridDesign HybridOptimizer::exhaustive(
     stages.push_back(candidates[static_cast<std::size_t>(rest % k)]);
     rest /= k;
   }
-  HybridDesign design = finalize(std::move(stages), profile);
+  HybridDesign design = finalize(std::move(stages), profile,
+                                 Objective::kErrorRate);
   design.stats.candidates_evaluated = best.evaluated;
   design.stats.candidates_rejected = best.rejected;
   design.stats.stages_computed = best.stages;
@@ -275,12 +460,14 @@ HybridDesign HybridOptimizer::exhaustive(
 HybridDesign HybridOptimizer::beam(const multibit::InputProfile& profile,
                                    std::span<const adders::AdderCell> candidates,
                                    const DesignConstraints& constraints,
-                                   std::size_t beam_width) {
+                                   std::size_t beam_width,
+                                   Objective objective) {
   require_candidates(candidates);
   if (beam_width == 0) {
     throw std::invalid_argument("HybridOptimizer::beam: beam width 0");
   }
   const std::size_t n = profile.width();
+  const bool by_pmf = objective != Objective::kErrorRate;
   SearchStats stats;
 
   std::vector<CellCost> costs;
@@ -313,9 +500,21 @@ HybridDesign HybridOptimizer::beam(const multibit::InputProfile& profile,
   struct Extension {
     std::size_t parent = 0;
     std::size_t choice = 0;
-    analysis::CarryState carry;
+    double score = 0.0;  // success mass (err) or prefix PMF metric
     double power = 0.0;
     double area = 0.0;
+  };
+
+  // Partial-design score: the err objective ranks by remaining success
+  // mass (maximized, the historical behaviour — carry_after probes the
+  // carry prefix cache), the PMF objectives by the finalized prefix
+  // PMF's metric (minimized — error_pmf probes the PMF prefix cache).
+  const auto prefix_score = [&](std::span<const std::size_t> choices) {
+    return by_pmf ? pmf_metric(evaluator.error_pmf(choices), objective)
+                  : evaluator.carry_after(choices).success_mass();
+  };
+  const auto better = [by_pmf](double a, double b) {
+    return by_pmf ? a < b : a > b;
   };
 
   std::vector<Partial> beam_set{Partial{}};
@@ -323,7 +522,8 @@ HybridDesign HybridOptimizer::beam(const multibit::InputProfile& profile,
   std::vector<std::size_t> scratch;
   scratch.reserve(n);
 
-  double best_success = -1.0;
+  bool have_best = false;
+  double best_score = 0.0;
   std::vector<std::size_t> best_choice;
 
   for (std::size_t i = 0; i < n; ++i) {
@@ -355,18 +555,21 @@ HybridDesign HybridOptimizer::beam(const multibit::InputProfile& profile,
           }
         }
         ++stats.candidates_evaluated;
+        scratch.back() = c;
         if (i + 1 == n) {
-          const double p_success = evaluator.final_success(partial.choice, c);
-          if (p_success > best_success) {
-            best_success = p_success;
+          const double score = by_pmf
+                                   ? pmf_metric(evaluator.error_pmf(scratch),
+                                                objective)
+                                   : evaluator.final_success(partial.choice, c);
+          if (!have_best || better(score, best_score)) {
+            have_best = true;
+            best_score = score;
             best_choice = partial.choice;
             best_choice.push_back(c);
           }
         } else {
-          scratch.back() = c;
-          expanded.push_back(Extension{parent, c,
-                                       evaluator.carry_after(scratch), power,
-                                       area});
+          expanded.push_back(Extension{parent, c, prefix_score(scratch),
+                                       power, area});
         }
       }
     }
@@ -379,8 +582,8 @@ HybridDesign HybridOptimizer::beam(const multibit::InputProfile& profile,
     std::partial_sort(expanded.begin(),
                       expanded.begin() + static_cast<std::ptrdiff_t>(keep),
                       expanded.end(),
-                      [](const Extension& a, const Extension& b) {
-                        return a.carry.success_mass() > b.carry.success_mass();
+                      [&better](const Extension& a, const Extension& b) {
+                        return better(a.score, b.score);
                       });
     expanded.resize(keep);
     std::vector<Partial> survivors;
@@ -403,8 +606,9 @@ HybridDesign HybridOptimizer::beam(const multibit::InputProfile& profile,
   std::vector<adders::AdderCell> stages;
   stages.reserve(n);
   for (std::size_t c : best_choice) stages.push_back(candidates[c]);
-  HybridDesign design = finalize(std::move(stages), profile);
-  const engine::CacheStats& cache = evaluator.stats();
+  HybridDesign design = finalize(std::move(stages), profile, objective);
+  const engine::CacheStats& cache =
+      by_pmf ? evaluator.pmf_stats() : evaluator.stats();
   stats.cache_hits = cache.hits;
   stats.cache_misses = cache.misses;
   stats.stages_computed = cache.stages_computed;
@@ -414,8 +618,9 @@ HybridDesign HybridOptimizer::beam(const multibit::InputProfile& profile,
 
 HybridDesign HybridOptimizer::greedy(const multibit::InputProfile& profile,
                                      std::span<const adders::AdderCell> candidates,
-                                     const DesignConstraints& constraints) {
-  return beam(profile, candidates, constraints, 1);
+                                     const DesignConstraints& constraints,
+                                     Objective objective) {
+  return beam(profile, candidates, constraints, 1, objective);
 }
 
 }  // namespace sealpaa::explore

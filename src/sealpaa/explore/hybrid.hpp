@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "sealpaa/adders/cell.hpp"
@@ -28,6 +29,19 @@ struct DesignConstraints {
   std::optional<double> max_power_nw;
   std::optional<double> max_area_ge;
 };
+
+/// What the search minimises.
+enum class Objective {
+  kErrorRate,  // P(Error), the paper's stage-success event ("err")
+  kMed,        // mean error distance E[|err|] via the analytic PMF
+  kMse,        // mean squared error E[err^2] via the analytic PMF
+};
+
+/// Stable CLI name ("err", "med", "mse").
+[[nodiscard]] std::string_view objective_name(Objective objective);
+/// Parses a CLI objective name; throws std::invalid_argument listing the
+/// valid names.
+[[nodiscard]] Objective parse_objective(std::string_view name);
 
 /// Execution accounting of one optimizer run — what the observability
 /// layer reports for the DSE: how much of the space was scored, how much
@@ -57,6 +71,13 @@ struct HybridDesign {
   std::vector<adders::AdderCell> stages;
   double p_error = 1.0;
   double p_success = 0.0;
+  /// The objective the search ranked designs by.
+  Objective objective = Objective::kErrorRate;
+  /// Analytic distribution metrics of the winning design (error-PMF
+  /// propagation); nullopt only when the PMF support guard tripped.
+  std::optional<double> med;
+  std::optional<double> mse;
+  std::optional<std::int64_t> wce;
   std::optional<double> power_nw;  // nullopt when any stage lacks data
   std::optional<double> area_ge;
   SearchStats stats;  // filled by the optimizer that produced the design
@@ -78,11 +99,16 @@ class HybridOptimizer {
   /// ties are broken by the lowest design index in the historical
   /// stage-0-fastest enumeration order, so the winner is independent of
   /// both the thread count and the internal walk order.
+  /// With `objective` kMed/kMse each shard's DFS additionally tracks the
+  /// error-PMF state per pushed stage and scores leaves on the analytic
+  /// metric; exact metric ties still break to the lowest historical
+  /// design index.
   [[nodiscard]] static HybridDesign exhaustive(
       const multibit::InputProfile& profile,
       std::span<const adders::AdderCell> candidates,
       const DesignConstraints& constraints = {},
-      std::uint64_t max_combinations = 50'000'000, unsigned threads = 0);
+      std::uint64_t max_combinations = 50'000'000, unsigned threads = 0,
+      Objective objective = Objective::kErrorRate);
 
   /// Beam search keeping the `beam_width` best (carry-state, budget)
   /// partial designs per stage, scored by remaining success mass.
@@ -90,17 +116,24 @@ class HybridOptimizer {
   /// prefix cache serves each surviving partial's carry state in O(1),
   /// so a stage costs one advance per expansion instead of a full
   /// re-analysis of the prefix.
+  /// With `objective` kMed/kMse partial designs are ranked by the
+  /// analytic metric of their prefix PMF instead of success mass, served
+  /// from the evaluator's PMF prefix cache at the same cache-hit
+  /// latency; stats then report that cache's counters.
   [[nodiscard]] static HybridDesign beam(
       const multibit::InputProfile& profile,
       std::span<const adders::AdderCell> candidates,
-      const DesignConstraints& constraints = {}, std::size_t beam_width = 64);
+      const DesignConstraints& constraints = {}, std::size_t beam_width = 64,
+      Objective objective = Objective::kErrorRate);
 
-  /// Greedy: each stage picks the cell maximising the post-stage success
-  /// mass.  Fast baseline for the ablation bench.
+  /// Greedy: each stage picks the cell optimising the post-stage score
+  /// (success mass, or the prefix PMF metric for kMed/kMse).  Fast
+  /// baseline for the ablation bench.
   [[nodiscard]] static HybridDesign greedy(
       const multibit::InputProfile& profile,
       std::span<const adders::AdderCell> candidates,
-      const DesignConstraints& constraints = {});
+      const DesignConstraints& constraints = {},
+      Objective objective = Objective::kErrorRate);
 };
 
 }  // namespace sealpaa::explore

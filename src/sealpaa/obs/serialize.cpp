@@ -119,6 +119,35 @@ Json to_json(const engine::Evaluation& evaluation) {
   if (!evaluation.stage_failure_ci.empty()) {
     out.set("stage_failure_ci", to_json(evaluation.stage_failure_ci));
   }
+  if (evaluation.distribution) {
+    const engine::DistributionStats& d = *evaluation.distribution;
+    Json dist = Json::object();
+    dist.set("error_rate", Json(d.error_rate));
+    dist.set("mean_error", Json(d.mean_error));
+    dist.set("mean_error_distance", Json(d.mean_error_distance));
+    dist.set("mean_squared_error", Json(d.mean_squared_error));
+    dist.set("worst_case_error", Json(d.worst_case_error));
+    dist.set("psnr_db", Json(d.psnr_db));  // null when infinite (MSE == 0)
+    out.set("distribution", std::move(dist));
+  }
+  if (evaluation.pmf) {
+    const engine::PmfSummary& p = *evaluation.pmf;
+    Json pmf = Json::object();
+    pmf.set("support", Json(p.support));
+    pmf.set("total_mass", Json(p.total_mass));
+    pmf.set("entropy_bits", Json(p.entropy_bits));
+    pmf.set("min_value", Json(p.min_value));
+    pmf.set("max_value", Json(p.max_value));
+    Json top = Json::array();
+    for (const analysis::ErrorPmf::Entry& entry : p.top) {
+      Json point = Json::object();
+      point.set("value", Json(entry.value));
+      point.set("probability", Json(entry.probability));
+      top.push_back(std::move(point));
+    }
+    pmf.set("top", std::move(top));
+    out.set("pmf", std::move(pmf));
+  }
   return out;
 }
 
@@ -141,6 +170,11 @@ Json to_json(const explore::HybridDesign& design) {
   out.set("stages", std::move(stages));
   out.set("p_error", Json(design.p_error));
   out.set("p_success", Json(design.p_success));
+  out.set("objective",
+          Json(std::string(explore::objective_name(design.objective))));
+  out.set("med", design.med ? Json(*design.med) : Json());
+  out.set("mse", design.mse ? Json(*design.mse) : Json());
+  out.set("wce", design.wce ? Json(*design.wce) : Json());
   out.set("power_nw",
           design.power_nw ? Json(*design.power_nw) : Json());
   out.set("area_ge", design.area_ge ? Json(*design.area_ge) : Json());

@@ -50,8 +50,11 @@ namespace sealpaa::obs {
 /// Prefix-cache accounting of an engine::ChainEvaluator.
 [[nodiscard]] Json to_json(const engine::CacheStats& stats);
 
-/// Uniform engine evaluation: method name, probabilities, work measure
-/// and (Monte Carlo only) the stage-failure CI.
+/// Uniform engine evaluation: method name, probabilities, work measure,
+/// (Monte Carlo only) the stage-failure CI, and — when the method
+/// produced them — the value-level "distribution" block (error rate,
+/// MED, MSE, WCE, PSNR) and the "pmf" summary (support size, mass,
+/// entropy, extrema, top-k mass points).
 [[nodiscard]] Json to_json(const engine::Evaluation& evaluation);
 
 /// Search accounting of one optimizer run, including its prefix-cache

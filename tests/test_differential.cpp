@@ -15,11 +15,13 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "sealpaa/adders/builtin.hpp"
 #include "sealpaa/adders/cell.hpp"
 #include "sealpaa/baseline/weighted_exhaustive.hpp"
 #include "sealpaa/engine/method.hpp"
@@ -311,6 +313,137 @@ TEST(Differential, WeightedEnumerationIdenticalAcrossKernels) {
     EXPECT_EQ(scalar_joint.error_distribution,
               sliced_joint.error_distribution);
   }
+}
+
+TEST(Differential, AnalyticPmfMatchesWeightedEnumeration) {
+  // The analytic-pmf engine against the strongest oracle: exact weighted
+  // enumeration, arbitrary profiles, widths 4..12.  Distribution moments
+  // agree to 1e-12 (relative past 1); the stage-level p_error must be
+  // *bit-identical* to the recursive engine, which analytic-pmf wraps.
+  sealpaa::prob::SplitMix64 seed_stream(0xd1ff'e2e4'7e57'000aULL);
+  sealpaa::prob::Xoshiro256StarStar profile_rng(0xd1ff'e2e4'7e57'000bULL);
+  for (int i = 0; i < 9; ++i) {
+    const std::size_t width = 4 + static_cast<std::size_t>(i);  // 4..12
+    std::vector<AdderCell> stages;
+    for (std::size_t s = 0; s < width; ++s) {
+      stages.push_back(random_cell(seed_stream, i * 100 + static_cast<int>(s)));
+    }
+    const AdderChain chain(stages);
+    const InputProfile profile =
+        InputProfile::random(width, profile_rng, 0.05, 0.95);
+
+    const auto analytic = evaluate(chain, profile, Method::kAnalyticPmf);
+    const auto recursive = evaluate(chain, profile, Method::kRecursive);
+    EXPECT_EQ(analytic.p_error, recursive.p_error)
+        << "analytic-pmf must replay the recursive engine bit for bit, "
+        << "width " << width;
+    EXPECT_EQ(analytic.p_success, recursive.p_success) << width;
+    EXPECT_EQ(analytic.work_items, width) << "no simulation samples";
+
+    const auto oracle = evaluate(chain, profile, Method::kWeightedExhaustive);
+    ASSERT_TRUE(analytic.distribution.has_value());
+    ASSERT_TRUE(oracle.distribution.has_value());
+    const auto close = [](double got, double want) {
+      return std::abs(got - want) <= kTolerance * std::max(1.0, std::abs(want));
+    };
+    EXPECT_TRUE(close(analytic.distribution->error_rate,
+                      oracle.distribution->error_rate))
+        << analytic.distribution->error_rate << " vs "
+        << oracle.distribution->error_rate << " width " << width;
+    EXPECT_TRUE(close(analytic.distribution->mean_error,
+                      oracle.distribution->mean_error))
+        << analytic.distribution->mean_error << " vs "
+        << oracle.distribution->mean_error << " width " << width;
+    EXPECT_TRUE(close(analytic.distribution->mean_error_distance,
+                      oracle.distribution->mean_error_distance))
+        << analytic.distribution->mean_error_distance << " vs "
+        << oracle.distribution->mean_error_distance << " width " << width;
+    EXPECT_TRUE(close(analytic.distribution->mean_squared_error,
+                      oracle.distribution->mean_squared_error))
+        << analytic.distribution->mean_squared_error << " vs "
+        << oracle.distribution->mean_squared_error << " width " << width;
+    EXPECT_EQ(analytic.distribution->worst_case_error,
+              oracle.distribution->worst_case_error)
+        << "width " << width;
+    ASSERT_TRUE(analytic.pmf.has_value());
+    EXPECT_NEAR(analytic.pmf->total_mass, 1.0, kTolerance) << width;
+  }
+}
+
+TEST(Differential, AnalyticPmfMatchesBitSlicedExhaustiveSimulation) {
+  // Equally probable inputs make the bit-sliced exhaustive sweep's
+  // moments exact probabilities — a fully independent oracle (lane
+  // kernel + integer counters vs the probabilistic DP).
+  sealpaa::prob::SplitMix64 seed_stream(0xd1ff'e2e4'7e57'000cULL);
+  for (int i = 0; i < 6; ++i) {
+    const AdderCell cell = random_cell(seed_stream, i);
+    const std::size_t width = 4 + static_cast<std::size_t>(i);  // 4..9
+    const AdderChain chain = AdderChain::homogeneous(cell, width);
+    const InputProfile profile = InputProfile::uniform(width, 0.5);
+
+    sealpaa::engine::EvaluateOptions sliced;
+    sliced.kernel = Kernel::kBitSliced;
+    const auto sim = evaluate(chain, profile, Method::kExhaustiveSim, sliced);
+    const auto analytic = evaluate(chain, profile, Method::kAnalyticPmf);
+    ASSERT_TRUE(sim.distribution.has_value());
+    ASSERT_TRUE(analytic.distribution.has_value());
+    const auto close = [](double got, double want) {
+      return std::abs(got - want) <= kTolerance * std::max(1.0, std::abs(want));
+    };
+    EXPECT_TRUE(close(analytic.distribution->mean_error_distance,
+                      sim.distribution->mean_error_distance))
+        << analytic.distribution->mean_error_distance << " vs "
+        << sim.distribution->mean_error_distance << " width " << width;
+    EXPECT_TRUE(close(analytic.distribution->mean_squared_error,
+                      sim.distribution->mean_squared_error))
+        << analytic.distribution->mean_squared_error << " vs "
+        << sim.distribution->mean_squared_error << " width " << width;
+    EXPECT_TRUE(close(analytic.distribution->error_rate,
+                      sim.distribution->error_rate))
+        << width;
+    EXPECT_EQ(analytic.distribution->worst_case_error,
+              sim.distribution->worst_case_error)
+        << width;
+  }
+}
+
+TEST(Differential, AnalyticPmfWidth32InsideMonteCarloConfidenceInterval) {
+  // Width 32 is far beyond any enumeration oracle; the check is
+  // statistical: the analytic MED must land inside the Monte Carlo 99%
+  // CI for E[|err|], with var(|err|) estimated as MSE - MED^2.  The
+  // chain is the realistic hybrid shape — approximate low bits, exact
+  // high bits — whose PMF support stays small at any width.
+  const std::size_t width = 32;
+  std::vector<AdderCell> stages;
+  for (std::size_t s = 0; s < width; ++s) {
+    stages.push_back(s < 8 ? sealpaa::adders::lpaa(1 + static_cast<int>(s % 7))
+                           : sealpaa::adders::accurate());
+  }
+  const AdderChain chain(stages);
+  const InputProfile profile = InputProfile::uniform(width, 0.42);
+
+  const auto analytic = evaluate(chain, profile, Method::kAnalyticPmf);
+  ASSERT_TRUE(analytic.distribution.has_value());
+  EXPECT_EQ(analytic.work_items, width) << "zero simulation samples";
+
+  sealpaa::engine::EvaluateOptions mc_opts;
+  mc_opts.samples = 400'000;
+  mc_opts.seed = 0xd1ff'e2e4'7e57'000dULL;
+  const auto mc = evaluate(chain, profile, Method::kMonteCarlo, mc_opts);
+  ASSERT_TRUE(mc.distribution.has_value());
+
+  const double med_hat = mc.distribution->mean_error_distance;
+  const double mse_hat = mc.distribution->mean_squared_error;
+  const double variance = std::max(0.0, mse_hat - med_hat * med_hat);
+  const double half_width =
+      2.5758 * std::sqrt(variance / static_cast<double>(mc_opts.samples));
+  const double med = analytic.distribution->mean_error_distance;
+  EXPECT_GE(med, med_hat - half_width)
+      << "analytic MED " << med << " below MC 99% CI [" << med_hat - half_width
+      << ", " << med_hat + half_width << "]";
+  EXPECT_LE(med, med_hat + half_width)
+      << "analytic MED " << med << " above MC 99% CI [" << med_hat - half_width
+      << ", " << med_hat + half_width << "]";
 }
 
 TEST(Differential, HybridChainsOfRandomCellsAgree) {

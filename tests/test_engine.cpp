@@ -374,7 +374,9 @@ TEST(MethodRegistry, NamesRoundTripThroughParse) {
     EXPECT_EQ(sealpaa::engine::parse_method(info.name), info.method);
     EXPECT_EQ(sealpaa::engine::method_name(info.method), info.name);
   }
-  EXPECT_EQ(sealpaa::engine::all_methods().size(), 5u);
+  EXPECT_EQ(sealpaa::engine::all_methods().size(), 6u);
+  EXPECT_EQ(sealpaa::engine::parse_method("analytic-pmf"),
+            sealpaa::engine::Method::kAnalyticPmf);
 }
 
 TEST(MethodRegistry, ParseRejectsUnknownNamesListingValidOnes) {

@@ -6,9 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <optional>
+#include <sstream>
+#include <string>
 #include <tuple>
 
 #include "sealpaa/adders/builtin.hpp"
+#include "sealpaa/gear/gear.hpp"
 #include "sealpaa/analysis/joint.hpp"
 #include "sealpaa/analysis/recursive.hpp"
 #include "sealpaa/analysis/correlated.hpp"
@@ -261,5 +265,105 @@ INSTANTIATE_TEST_SUITE_P(
              (rho < 0 ? "_rho_m" + std::to_string(-rho)
                       : "_rho_p" + std::to_string(rho));
     });
+
+// ---------------------------------------------------------------------
+// Sweep 7: GeAr speculative-window monotonicity.  Widening the carry
+// window (larger K in ACA(N, K), larger X in ETAII(N, X)) can only see
+// *more* of the true carry chain, so every error figure — MED, the
+// worst-case error magnitude, and the analytic P(Error) — must be
+// non-increasing along the sweep.  A violation prints both offending
+// configs (GearConfig::describe()) with their metrics for repro.
+// ---------------------------------------------------------------------
+
+/// Serialized comparison context: "ACA(8,3) [GeAr(...)] MED=… vs …".
+std::string gear_step_context(const std::string& label,
+                              const sealpaa::gear::GearConfig& narrow,
+                              const sealpaa::gear::GearConfig& wide,
+                              double narrow_metric, double wide_metric) {
+  std::ostringstream out;
+  out << label << ": widening " << narrow.describe() << " (metric "
+      << narrow_metric << ") to " << wide.describe() << " (metric "
+      << wide_metric << ") increased the error";
+  return out.str();
+}
+
+TEST(GearWindowMonotonicity, AcaMedAndWceNonIncreasingInWindowSize) {
+  const int n = 8;
+  std::optional<sealpaa::gear::GearConfig> previous;
+  sealpaa::sim::ErrorMetrics previous_metrics;
+  for (int k = 1; k <= n; ++k) {
+    const auto config = sealpaa::gear::GearConfig::aca(n, k);
+    const sealpaa::sim::ErrorMetrics metrics =
+        sealpaa::gear::GearAnalyzer::exhaustive(config);
+    if (previous) {
+      EXPECT_LE(metrics.mean_abs_error(), previous_metrics.mean_abs_error())
+          << gear_step_context("ACA MED", *previous, config,
+                               previous_metrics.mean_abs_error(),
+                               metrics.mean_abs_error());
+      EXPECT_LE(sealpaa::sim::error_magnitude(metrics.worst_case_error()),
+                sealpaa::sim::error_magnitude(
+                    previous_metrics.worst_case_error()))
+          << gear_step_context(
+                 "ACA WCE", *previous, config,
+                 static_cast<double>(previous_metrics.worst_case_error()),
+                 static_cast<double>(metrics.worst_case_error()));
+    }
+    previous = config;
+    previous_metrics = metrics;
+  }
+  // The full window K = N is the exact adder.
+  EXPECT_EQ(previous_metrics.mean_abs_error(), 0.0);
+  EXPECT_EQ(previous_metrics.worst_case_error(), 0);
+}
+
+TEST(GearWindowMonotonicity, EtaiiMedAndWceNonIncreasingInLookahead) {
+  const int n = 12;
+  std::optional<sealpaa::gear::GearConfig> previous;
+  sealpaa::sim::ErrorMetrics previous_metrics;
+  for (int x = 1; x <= n / 2; ++x) {
+    if (n % x != 0) continue;  // ETAII(N, X) requires X | N
+    const auto config = sealpaa::gear::GearConfig::etaii(n, x);
+    const sealpaa::sim::ErrorMetrics metrics =
+        sealpaa::gear::GearAnalyzer::exhaustive(config);
+    if (previous) {
+      EXPECT_LE(metrics.mean_abs_error(), previous_metrics.mean_abs_error())
+          << gear_step_context("ETAII MED", *previous, config,
+                               previous_metrics.mean_abs_error(),
+                               metrics.mean_abs_error());
+      EXPECT_LE(sealpaa::sim::error_magnitude(metrics.worst_case_error()),
+                sealpaa::sim::error_magnitude(
+                    previous_metrics.worst_case_error()))
+          << gear_step_context(
+                 "ETAII WCE", *previous, config,
+                 static_cast<double>(previous_metrics.worst_case_error()),
+                 static_cast<double>(metrics.worst_case_error()));
+    }
+    previous = config;
+    previous_metrics = metrics;
+  }
+}
+
+TEST(GearWindowMonotonicity, AnalyticErrorProbabilityNonIncreasingInWindow) {
+  // The same property through the analytic DP (no enumeration), at a
+  // width the exhaustive sweeps cannot reach.
+  const int n = 32;
+  const InputProfile profile =
+      InputProfile::uniform(static_cast<std::size_t>(n), 0.5);
+  std::optional<sealpaa::gear::GearConfig> previous;
+  double previous_p_error = 1.0;
+  for (int k = 1; k <= 16; ++k) {
+    if ((n - k) % 1 != 0) continue;
+    const auto config = sealpaa::gear::GearConfig::aca(n, k);
+    const double p_error =
+        sealpaa::gear::GearAnalyzer::analyze(config, profile).p_error_exact_dp;
+    if (previous) {
+      EXPECT_LE(p_error, previous_p_error + 1e-15)
+          << gear_step_context("ACA P(Error)", *previous, config,
+                               previous_p_error, p_error);
+    }
+    previous = config;
+    previous_p_error = p_error;
+  }
+}
 
 }  // namespace

@@ -18,6 +18,7 @@
 // Flags are validated strictly: unknown flags and malformed numeric
 // values ("--samples=1e6") abort with a diagnostic instead of being
 // silently ignored or truncated.
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -38,13 +39,16 @@ int usage() {
       "           [--method] [--trace] (--rho adds operand correlation;\n"
       "           [--rho] [--kernel]   --method picks the engine: recursive,\n"
       "                              inclusion-exclusion, exhaustive,\n"
-      "                              weighted-exhaustive, monte-carlo)\n"
+      "                              weighted-exhaustive, monte-carlo,\n"
+      "                              analytic-pmf — the last one reports\n"
+      "                              MED/MSE/WCE/PSNR with no simulation)\n"
       "  sweep    --cell --p         P(E) vs width table\n"
       "           [--max-bits]\n"
       "  bounds   --cell --p         max cascadable width / approximable LSBs\n"
       "           --epsilon [--bits]\n"
       "  hybrid   --bits [--profile] best per-stage cell mix (beam search)\n"
-      "           [--budget-nw]\n"
+      "           [--budget-nw]        (--objective=err|med|mse ranks designs\n"
+      "           [--objective]        by P(Error) or by the analytic PMF)\n"
       "  gear     --n --r --p        GeAr exact error + correction stats\n"
       "           [--p-input]\n"
       "  sim      --cell --bits --p  Monte Carlo + exhaustive simulation\n"
@@ -194,6 +198,31 @@ int cmd_analyze(const util::CliArgs& args, obs::RunReport& report) {
   if (method == engine::Method::kMonteCarlo) {
     std::cout << "95% CI     = " << ci_text(result.stage_failure_ci) << "\n";
   }
+  if (result.distribution) {
+    const engine::DistributionStats& d = *result.distribution;
+    std::cout << "value-level error distribution:\n"
+              << "  P(err != 0) = " << util::prob6(d.error_rate) << "\n"
+              << "  MED  E[|err|]  = " << util::fixed(d.mean_error_distance, 6)
+              << "\n"
+              << "  MSE  E[err^2]  = " << util::fixed(d.mean_squared_error, 6)
+              << "\n"
+              << "  WCE  max|err|  = " << d.worst_case_error << "\n";
+    if (std::isfinite(d.psnr_db)) {
+      std::cout << "  PSNR = " << util::fixed(d.psnr_db, 2) << " dB\n";
+    } else {
+      std::cout << "  PSNR = inf (exact)\n";
+    }
+  }
+  if (result.pmf) {
+    const engine::PmfSummary& pmf = *result.pmf;
+    std::cout << "error PMF: support=" << pmf.support
+              << "  mass=" << util::fixed(pmf.total_mass, 12)
+              << "  entropy=" << util::fixed(pmf.entropy_bits, 4) << " bits\n";
+    for (const analysis::ErrorPmf::Entry& entry : pmf.top) {
+      std::cout << "  err=" << entry.value << "  p="
+                << util::prob6(entry.probability) << "\n";
+    }
+  }
   print_trace(result.trace);
   section.set("method", obs::Json(std::string(engine::method_name(method))));
   section.set("kernel",
@@ -260,7 +289,7 @@ int cmd_bounds(const util::CliArgs& args, obs::RunReport& report) {
 }
 
 int cmd_hybrid(const util::CliArgs& args, obs::RunReport& report) {
-  check_flags(args, {"bits", "profile", "budget-nw"});
+  check_flags(args, {"bits", "profile", "budget-nw", "objective"});
   const auto bits = static_cast<std::size_t>(args.get_uint("bits", 8));
   std::vector<double> p_bits;
   const std::string profile_csv = args.get("profile", "");
@@ -285,12 +314,25 @@ int cmd_hybrid(const util::CliArgs& args, obs::RunReport& report) {
     for (int i = 1; i <= 5; ++i) candidates.push_back(adders::lpaa(i));
     candidates.push_back(adders::accurate());
   }
+  const explore::Objective objective =
+      explore::parse_objective(args.get("objective", "err"));
   obs::ScopedTimer search_timer(report.counters(), "hybrid/search");
-  const auto design =
-      explore::HybridOptimizer::beam(profile, candidates, constraints, 512);
+  const auto design = explore::HybridOptimizer::beam(profile, candidates,
+                                                     constraints, 512,
+                                                     objective);
   search_timer.stop();
-  std::cout << "best hybrid: " << design.chain().describe() << "\n"
+  std::cout << "best hybrid (objective=" << explore::objective_name(objective)
+            << "): " << design.chain().describe() << "\n"
             << "P(Error) = " << util::prob6(design.p_error) << "\n";
+  if (design.med) {
+    std::cout << "MED = " << util::fixed(*design.med, 6) << "\n";
+  }
+  if (design.mse) {
+    std::cout << "MSE = " << util::fixed(*design.mse, 6) << "\n";
+  }
+  if (design.wce) {
+    std::cout << "WCE = " << *design.wce << "\n";
+  }
   if (design.power_nw) {
     std::cout << "power = " << util::fixed(*design.power_nw, 0) << " nW\n";
   }
