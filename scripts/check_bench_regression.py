@@ -14,7 +14,12 @@ and strict on the flags:
   ``threshold`` (default 50%) of the reference value.  Speedups are
   ratios of two timings taken on the same machine in the same process,
   so they transfer across machines far better than raw seconds do;
-  losing half of one is an architectural regression, not noise.
+  losing half of one is an architectural regression, not noise;
+* every other key the reference report carries must still be present in
+  the current report.  Values outside the two gated classes are not
+  compared (counts and raw timings are machine-dependent), but a bench
+  that silently stops emitting a metric — or an entire section — is a
+  hard failure, not a silent pass.
 
 Usage:
     check_bench_regression.py [--threshold 0.5] REFERENCE CURRENT \\
@@ -67,8 +72,13 @@ def check_pair(reference_path, current_path, threshold):
             else None
         metric = f"{name}.{key}"
         if isinstance(ref_value, bool):
+            if cur_value is None:
+                rows.append((metric, str(ref_value).lower(), "missing",
+                             "FAIL"))
+                failures.append(f"{metric} missing from current run")
+                continue
             if not ref_value:
-                continue  # only gate flags the reference run passed
+                continue  # only gate flag values the reference run passed
             ok = cur_value is True
             rows.append((metric, "true", str(cur_value).lower(),
                          "ok" if ok else "FAIL"))
@@ -88,6 +98,27 @@ def check_pair(reference_path, current_path, threshold):
                 failures.append(
                     f"{metric} fell to {cur_value:.2f}x, below "
                     f"{threshold:.0%} of the reference {ref_value:.2f}x")
+
+    # Presence gate: every reference key must still be reported.  The
+    # value gates above only see boolean flags and "speedup" metrics; a
+    # bench that silently drops any other metric (or a whole section)
+    # must fail loudly instead of sailing through unexamined.
+    gated = {(name, key)
+             for name, key, _ in iter_metrics(reference.get("sections", {}))}
+    for name, section in sorted(reference.get("sections", {}).items()):
+        if not isinstance(section, dict):
+            continue
+        cur_section = current_sections.get(name)
+        if not isinstance(cur_section, dict):
+            rows.append((name, "present", "missing", "FAIL"))
+            failures.append(f"section {name!r} missing from current run")
+            continue
+        for key in section:
+            if (name, key) in gated or key in cur_section:
+                continue  # gated keys already failed above when missing
+            metric = f"{name}.{key}"
+            rows.append((metric, "present", "missing", "FAIL"))
+            failures.append(f"{metric} missing from current run")
 
     if not rows:
         failures.append(f"{reference_path}: no gated metrics found")

@@ -17,7 +17,10 @@ through every behavior the wire protocol promises (stdlib only, no pip):
 6. analytic-pmf: the simulation-free method returns a distribution
    whose MED/MSE fields equal the CLI's run-report values and a PMF
    whose mass sums to 1;
-7. graceful drain: SIGTERM answers everything already received, then
+7. block-analytic: block-adder requests (a "blocks" spec instead of a
+   cell chain) return evaluations byte-identical to the CLI's, and a
+   spec on any other method is rejected;
+8. graceful drain: SIGTERM answers everything already received, then
    the process exits 0.
 
 Usage:
@@ -292,6 +295,52 @@ def phase_analytic_pmf(port, cli):
     conn.close()
 
 
+def phase_block_analytic(port, cli):
+    print("-- block-analytic: block specs served byte-identical to the CLI")
+    combos = [
+        (16, "gear:4:4", 0.5),
+        (16, "aca:4", 0.42),
+        (12, "etaii:3", 0.5),
+        (16, "4:0,2:2,4:3,2:1,4:4", 0.3),
+    ]
+    conn = Connection(port)
+    for index, (bits, blocks, p) in enumerate(combos):
+        with tempfile.NamedTemporaryFile(suffix=".json") as report_file:
+            subprocess.run(
+                [cli, "analyze", f"--bits={bits}", f"--blocks={blocks}",
+                 f"--p={p}", "--method=block-analytic",
+                 f"--json-report={report_file.name}"],
+                check=True, capture_output=True)
+            with open(report_file.name, "r", encoding="utf-8") as handle:
+                report = json.load(handle)
+        expected = report["sections"]["analyze"]["evaluation"]
+
+        request_id = f"block{index}"
+        request = {"id": request_id, "method": "block-analytic",
+                   "width": bits, "blocks": blocks}
+        if p != 0.5:
+            request["params"] = {"p": p}
+        conn.send_request(request)
+        response = conn.read_response()
+        expect_envelope(response, request_id)
+        actual = (response or {}).get("evaluation")
+        check(json.dumps(actual, sort_keys=True)
+              == json.dumps(expected, sort_keys=True),
+              f"block-analytic {blocks} width {bits} p {p} matches the CLI")
+
+    # A spec that does not tile the width, a missing spec, and a spec on
+    # a non-block method are each structured rejections.
+    conn.send_request({"id": "bw", "method": "block-analytic", "width": 16,
+                       "blocks": "gear:24:4"})
+    expect_error(conn.read_response(), "bw", "bad-request")
+    conn.send_request({"id": "bm", "method": "block-analytic", "width": 16})
+    expect_error(conn.read_response(), "bm", "bad-request")
+    conn.send_request({"id": "bx", "method": "recursive", "width": 8,
+                       "chain": "LPAA1", "blocks": "gear:2:2"})
+    expect_error(conn.read_response(), "bx", "bad-request")
+    conn.close()
+
+
 def phase_sigterm_drain(daemon, port):
     print("-- SIGTERM: drain answers in-flight work, exit 0")
     conn = Connection(port)
@@ -351,6 +400,7 @@ def main(argv):
                           max(10, args.requests // 10))
         phase_cli_parity(port, args.cli)
         phase_analytic_pmf(port, args.cli)
+        phase_block_analytic(port, args.cli)
         phase_sigterm_drain(daemon, port)
     finally:
         if daemon.poll() is None:

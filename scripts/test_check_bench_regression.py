@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Unit tests for check_bench_regression.py.
+
+Run directly (``python3 scripts/test_check_bench_regression.py``) or via
+ctest, which registers this file when a python3 interpreter is found.
+"""
+
+import copy
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import check_bench_regression as gate  # noqa: E402
+
+
+def make_report(sections):
+    return {"schema": gate.SCHEMA, "schema_version": 1, "tool": "bench_test",
+            "sections": sections}
+
+
+REFERENCE = make_report({
+    "bench": {
+        "all_identical": True,
+        "skipped_flag": False,
+        "analytic_vs_enumeration_speedup": 10.0,
+        "max_relative_gap": 1e-12,
+        "configs_checked": 42,
+        "label": "width sweep",
+        "rows": [{"bits": 8}],
+    },
+    "meta": {"reps": 3},
+})
+
+
+class CheckPairTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self._tmp.cleanup)
+
+    def _write(self, name, report):
+        path = os.path.join(self._tmp.name, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle)
+        return path
+
+    def _check(self, current, threshold=0.5):
+        ref_path = self._write("ref.json", REFERENCE)
+        cur_path = self._write("cur.json", current)
+        return gate.check_pair(ref_path, cur_path, threshold)
+
+    def test_identical_reports_pass(self):
+        self.assertEqual(self._check(copy.deepcopy(REFERENCE)), [])
+
+    def test_flag_flipping_false_fails(self):
+        current = copy.deepcopy(REFERENCE)
+        current["sections"]["bench"]["all_identical"] = False
+        failures = self._check(current)
+        self.assertTrue(any("all_identical" in f for f in failures))
+
+    def test_false_reference_flag_is_not_value_gated(self):
+        current = copy.deepcopy(REFERENCE)
+        current["sections"]["bench"]["skipped_flag"] = True
+        self.assertEqual(self._check(current), [])
+
+    def test_speedup_below_threshold_fails(self):
+        current = copy.deepcopy(REFERENCE)
+        current["sections"]["bench"]["analytic_vs_enumeration_speedup"] = 4.0
+        failures = self._check(current)
+        self.assertTrue(any("speedup" in f for f in failures))
+
+    def test_speedup_above_threshold_passes(self):
+        current = copy.deepcopy(REFERENCE)
+        current["sections"]["bench"]["analytic_vs_enumeration_speedup"] = 6.0
+        self.assertEqual(self._check(current), [])
+
+    def test_missing_speedup_metric_fails(self):
+        current = copy.deepcopy(REFERENCE)
+        del current["sections"]["bench"]["analytic_vs_enumeration_speedup"]
+        failures = self._check(current)
+        self.assertTrue(any("speedup" in f and "missing" in f
+                            for f in failures))
+
+    def test_missing_ungated_metric_fails(self):
+        # The historical hole: keys that are neither flags nor "speedup"
+        # metrics were never looked up in the current report at all.
+        for key in ("max_relative_gap", "configs_checked", "label",
+                    "skipped_flag", "rows"):
+            current = copy.deepcopy(REFERENCE)
+            del current["sections"]["bench"][key]
+            failures = self._check(current)
+            self.assertTrue(
+                any(f"bench.{key} missing" in f for f in failures),
+                f"dropping {key!r} must fail the gate: {failures}")
+
+    def test_missing_section_fails(self):
+        current = copy.deepcopy(REFERENCE)
+        del current["sections"]["meta"]
+        failures = self._check(current)
+        self.assertTrue(any("'meta' missing" in f for f in failures))
+
+    def test_extra_current_metrics_are_fine(self):
+        current = copy.deepcopy(REFERENCE)
+        current["sections"]["bench"]["new_metric"] = 7.0
+        current["sections"]["extra"] = {"anything": True}
+        self.assertEqual(self._check(current), [])
+
+    def test_wrong_schema_rejected(self):
+        bad = copy.deepcopy(REFERENCE)
+        bad["schema"] = "not-a-run-report"
+        path = self._write("bad.json", bad)
+        with self.assertRaises(ValueError):
+            gate.load_report(path)
+
+    def test_main_exit_codes(self):
+        ref_path = self._write("ref.json", REFERENCE)
+        ok_path = self._write("ok.json", copy.deepcopy(REFERENCE))
+        broken = copy.deepcopy(REFERENCE)
+        del broken["sections"]["bench"]["max_relative_gap"]
+        bad_path = self._write("bad.json", broken)
+        self.assertEqual(gate.main([ref_path, ok_path]), 0)
+        self.assertEqual(gate.main([ref_path, bad_path]), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "sealpaa/analysis/block_error.hpp"
 #include "sealpaa/baseline/inclusion_exclusion.hpp"
 #include "sealpaa/baseline/weighted_exhaustive.hpp"
 #include "sealpaa/sim/exhaustive.hpp"
@@ -16,7 +17,7 @@ namespace sealpaa::engine {
 
 namespace {
 
-constexpr std::array<MethodInfo, 6> kMethods = {{
+constexpr std::array<MethodInfo, 7> kMethods = {{
     {Method::kRecursive, "recursive",
      "the paper's O(N) carry-state recursion", true},
     {Method::kInclusionExclusion, "inclusion-exclusion",
@@ -29,6 +30,8 @@ constexpr std::array<MethodInfo, 6> kMethods = {{
      "sampled simulation with Wilson confidence intervals", false},
     {Method::kAnalyticPmf, "analytic-pmf",
      "exact MED/MSE/WCE/PSNR via error-PMF propagation (no samples)", true},
+    {Method::kBlockAnalytic, "block-analytic",
+     "exact block-adder error statistics (requires a --blocks spec)", true},
 }};
 
 void require_matching_width(const multibit::AdderChain& chain,
@@ -196,6 +199,49 @@ Evaluation evaluate(const multibit::AdderChain& chain,
       stats.mean_squared_error = pmf.mean_squared_error();
       stats.worst_case_error = pmf.worst_case_error();
       stats.psnr_db = pmf.psnr_db(chain.width());
+      out.distribution = stats;
+
+      PmfSummary summary;
+      summary.support = pmf.support_size();
+      summary.total_mass = pmf.total_mass();
+      summary.entropy_bits = pmf.entropy_bits();
+      if (!pmf.empty()) {
+        summary.min_value = pmf.min_value();
+        summary.max_value = pmf.max_value();
+      }
+      summary.top = pmf.top_mass_points(options.pmf_top_k);
+      out.pmf = summary;
+      return out;
+    }
+    case Method::kBlockAnalytic: {
+      if (!options.blocks) {
+        throw std::invalid_argument(
+            "engine::evaluate: method 'block-analytic' requires "
+            "EvaluateOptions::blocks (a BlockChainSpec)");
+      }
+      const multibit::BlockChainSpec& spec = *options.blocks;
+      if (static_cast<std::size_t>(spec.n()) != profile.width()) {
+        throw std::invalid_argument(
+            "engine::evaluate: block spec width " + std::to_string(spec.n()) +
+            " does not match profile width " +
+            std::to_string(profile.width()));
+      }
+      analysis::BlockAnalysisOptions opts;
+      opts.pmf = options.pmf;
+      const analysis::BlockAnalysis result =
+          analysis::BlockErrorModel::analyze(spec, profile, opts);
+      out.p_error = result.p_error;
+      out.p_success = 1.0 - result.p_error;
+      out.work_items = static_cast<std::uint64_t>(spec.n());
+
+      const analysis::ErrorPmf& pmf = result.pmf;
+      DistributionStats stats;
+      stats.error_rate = pmf.error_rate();
+      stats.mean_error = pmf.mean_error();
+      stats.mean_error_distance = pmf.mean_error_distance();
+      stats.mean_squared_error = pmf.mean_squared_error();
+      stats.worst_case_error = pmf.worst_case_error();
+      stats.psnr_db = pmf.psnr_db(profile.width());
       out.distribution = stats;
 
       PmfSummary summary;

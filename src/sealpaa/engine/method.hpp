@@ -17,6 +17,7 @@
 
 #include "sealpaa/analysis/error_pmf.hpp"
 #include "sealpaa/analysis/recursive.hpp"
+#include "sealpaa/multibit/blocks.hpp"
 #include "sealpaa/multibit/chain.hpp"
 #include "sealpaa/multibit/input_profile.hpp"
 #include "sealpaa/prob/stats.hpp"
@@ -33,6 +34,7 @@ enum class Method {
   kWeightedExhaustive,  // all cases weighted by the profile (exact oracle)
   kMonteCarlo,          // sampled oracle with confidence intervals
   kAnalyticPmf,         // exact error-PMF propagation (zero samples)
+  kBlockAnalytic,       // exact block-adder statistics (BlockChainSpec)
 };
 
 /// Registry row: stable CLI name plus a one-line description.
@@ -81,6 +83,11 @@ struct EvaluateOptions {
   analysis::PmfOptions pmf;
   /// Mass points kept in Evaluation::pmf's top-k projection.
   std::size_t pmf_top_k = 8;
+  /// Block-adder topology for the block-analytic method (required there,
+  /// ignored everywhere else).  Its width must equal the profile width;
+  /// the cell chain's content is not consulted — block sub-adders are
+  /// exact by construction.
+  std::optional<multibit::BlockChainSpec> blocks;
 };
 
 /// Distribution-level quality metrics (sim::ErrorMetrics shape): filled

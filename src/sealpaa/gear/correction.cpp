@@ -21,11 +21,13 @@ bool exact_carry_into(std::uint64_t a, std::uint64_t b, int j) noexcept {
 std::vector<int> GearCorrector::detect(std::uint64_t a,
                                        std::uint64_t b) const {
   std::vector<int> failing;
-  const int p = config_.p();
   for (int block = 1; block < config_.blocks(); ++block) {
     const int start = config_.window_start(block);
+    // Per-block overlap width: P for aligned blocks, larger for a
+    // clamped final window.
+    const int p = config_.overlap(block);
     // Window-internal carry into the first result bit (cin = 0 over the
-    // P overlap bits)...
+    // overlap bits)...
     const std::uint64_t overlap_mask =
         p == 0 ? 0ULL : ((1ULL << p) - 1ULL);
     const std::uint64_t wa = (a >> start) & overlap_mask;

@@ -27,19 +27,37 @@ GearConfig::GearConfig(int n, int r, int p) : n_(n), r_(r), p_(p) {
   if (r + p > n) {
     throw std::invalid_argument("GearConfig: sub-adder length L = R+P > N");
   }
-  if ((n - (r + p)) % r != 0) {
-    throw std::invalid_argument(
-        "GearConfig: (N - L) must be divisible by R so the blocks tile N "
-        "bits exactly");
-  }
 }
 
-int GearConfig::blocks() const noexcept { return (n_ - l()) / r_ + 1; }
+int GearConfig::blocks() const noexcept {
+  // Ragged tails are allowed: when R does not divide N - L the final
+  // sub-adder's window is clamped to end at bit N and it contributes
+  // the remaining (N - L) mod R result bits.
+  if (n_ == l()) return 1;
+  return (n_ - l() + r_ - 1) / r_ + 1;
+}
 
-int GearConfig::window_start(int block) const noexcept { return block * r_; }
+int GearConfig::window_start(int block) const noexcept {
+  return std::min(block * r_, n_ - l());
+}
 
 int GearConfig::result_start(int block) const noexcept {
   return block == 0 ? 0 : block * r_ + p_;
+}
+
+int GearConfig::overlap(int block) const noexcept {
+  return result_start(block) - window_start(block);
+}
+
+multibit::BlockChainSpec GearConfig::to_blocks() const {
+  std::vector<multibit::SubBlock> blocks_list;
+  const int k = blocks();
+  for (int i = 0; i < k; ++i) {
+    const int result_width =
+        (i + 1 < k ? result_start(i + 1) : n_) - result_start(i);
+    blocks_list.push_back({result_width, overlap(i)});
+  }
+  return multibit::BlockChainSpec(std::move(blocks_list));
 }
 
 std::string GearConfig::describe() const {
@@ -63,8 +81,9 @@ multibit::AddResult GearAdder::evaluate(std::uint64_t a,
   multibit::AddResult result;
   for (int block = 0; block < k; ++block) {
     const int start = config_.window_start(block);
-    const int first_result =
-        block == 0 ? 0 : config_.p();  // offset within the window
+    // Offset of the first contributed bit within the window: P for the
+    // aligned blocks, more for a clamped final window.
+    const int first_result = config_.overlap(block);
     bool carry = false;  // sub-adders restart with cin = 0
     for (int bit = 0; bit < l; ++bit) {
       const bool a_bit = ((a >> (start + bit)) & 1ULL) != 0;
@@ -88,7 +107,9 @@ namespace {
 // Index of the block whose result region contains bit j.
 int producing_block(const GearConfig& config, int j) noexcept {
   if (j < config.l()) return 0;
-  return (j - config.p()) / config.r();
+  // The division is exact for aligned blocks; a clamped final block's
+  // region extends past (k-1)R + P + R, hence the cap.
+  return std::min((j - config.p()) / config.r(), config.blocks() - 1);
 }
 
 }  // namespace
@@ -121,7 +142,9 @@ GearAnalysis GearAnalyzer::analyze(const GearConfig& config,
     for (int block = 1; block < k; ++block) {
       const int start = config.window_start(block);
       double failure = p_carry_at[static_cast<std::size_t>(start)];
-      for (int j = start; j < start + config.p(); ++j) {
+      // The overlap is P for aligned blocks and R+P minus the remaining
+      // result width for a clamped final window.
+      for (int j = start; j < config.result_start(block); ++j) {
         const double pa = profile.p_a(static_cast<std::size_t>(j));
         const double pb = profile.p_b(static_cast<std::size_t>(j));
         failure *= pa * (1.0 - pb) + pb * (1.0 - pa);

@@ -20,17 +20,21 @@
 #include <string>
 #include <vector>
 
+#include "sealpaa/multibit/blocks.hpp"
 #include "sealpaa/multibit/chain.hpp"
 #include "sealpaa/multibit/input_profile.hpp"
 #include "sealpaa/sim/metrics.hpp"
 
 namespace sealpaa::gear {
 
-/// A validated GeAr configuration.
+/// A validated GeAr configuration.  R need not divide N - L: a ragged
+/// tail is handled by clamping the final sub-adder's window to end at
+/// bit N (it keeps its L input bits and contributes the remaining
+/// result bits), matching heterogeneous-block hardware.
 class GearConfig {
  public:
   /// Throws std::invalid_argument unless 1 <= R, 0 <= P, L = R+P <= N,
-  /// (N - L) divisible by R, and N <= 63.
+  /// and N <= 63.
   GearConfig(int n, int r, int p);
 
   /// The Almost Correct Adder of Kahng & Kang [10]: each result bit sees
@@ -50,15 +54,24 @@ class GearConfig {
   [[nodiscard]] int r() const noexcept { return r_; }
   [[nodiscard]] int p() const noexcept { return p_; }
   [[nodiscard]] int l() const noexcept { return r_ + p_; }
-  /// Number of sub-adder blocks, k = (N-L)/R + 1.
+  /// Number of sub-adder blocks, k = ceil((N-L)/R) + 1 (1 when N == L).
   [[nodiscard]] int blocks() const noexcept;
   /// Worst-case carry-chain length (the latency proxy): L bits.
   [[nodiscard]] int critical_path_bits() const noexcept { return l(); }
 
-  /// Window start bit of block `i` (iR).
+  /// Window start bit of block `i`: min(iR, N-L) — only the final
+  /// block can clamp.
   [[nodiscard]] int window_start(int block) const noexcept;
   /// First result bit contributed by block `i`.
   [[nodiscard]] int result_start(int block) const noexcept;
+  /// Carry-prediction bits of block `i`'s window
+  /// (result_start - window_start): 0 for block 0, P for aligned
+  /// blocks, up to R+P-1 for a clamped final window.
+  [[nodiscard]] int overlap(int block) const noexcept;
+
+  /// The equivalent heterogeneous block spec — the bridge into
+  /// analysis::BlockErrorModel and the block simulation kernels.
+  [[nodiscard]] multibit::BlockChainSpec to_blocks() const;
 
   [[nodiscard]] std::string describe() const;
 

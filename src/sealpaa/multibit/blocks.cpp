@@ -1,0 +1,229 @@
+#include "sealpaa/multibit/blocks.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sealpaa::multibit {
+namespace {
+
+constexpr int kMaxWidth = 62;
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::invalid_argument("BlockChainSpec: " + message);
+}
+
+int parse_int(std::string_view text, const char* what) {
+  int value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    fail(std::string("malformed ") + what + " '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+std::vector<std::string_view> split(std::string_view text, char delimiter) {
+  std::vector<std::string_view> parts;
+  while (true) {
+    const auto pos = text.find(delimiter);
+    if (pos == std::string_view::npos) {
+      parts.push_back(text);
+      return parts;
+    }
+    parts.push_back(text.substr(0, pos));
+    text.remove_prefix(pos + 1);
+  }
+}
+
+}  // namespace
+
+BlockChainSpec::BlockChainSpec(std::vector<SubBlock> blocks)
+    : blocks_(std::move(blocks)) {
+  if (blocks_.empty()) fail("at least one block is required");
+  result_starts_.reserve(blocks_.size() + 1);
+  result_starts_.push_back(0);
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    const auto& block = blocks_[i];
+    const int start = result_starts_.back();
+    if (block.result_width < 1) fail("result width must be >= 1");
+    if (block.prediction_width < 0) fail("prediction width must be >= 0");
+    if (block.prediction_width > start) {
+      fail("block " + std::to_string(i) + " prediction window of width " +
+           std::to_string(block.prediction_width) +
+           " reaches below bit 0 (starts at result bit " +
+           std::to_string(start) + ")");
+    }
+    result_starts_.push_back(start + block.result_width);
+  }
+  n_ = result_starts_.back();
+  if (n_ > kMaxWidth) {
+    fail("total width " + std::to_string(n_) + " exceeds the supported " +
+         std::to_string(kMaxWidth) + " bits");
+  }
+  // Reject pathological overlap up front: the analytical engines track
+  // one carry bit per live window, so the joint state must stay small.
+  for (int j = 0; j < n_; ++j) {
+    int live = 0;
+    for (int i = 1; i < block_count(); ++i) {
+      if (window_start(i) <= j && j < result_end(i)) ++live;
+    }
+    if (live > kMaxLiveWindows) {
+      fail("more than " + std::to_string(kMaxLiveWindows) +
+           " prediction windows overlap at bit " + std::to_string(j));
+    }
+  }
+}
+
+BlockChainSpec BlockChainSpec::aca(int n, int k) {
+  if (n < 1) fail("aca: n must be >= 1");
+  if (k < 1 || k > n) fail("aca: need 1 <= K <= N");
+  std::vector<SubBlock> blocks;
+  blocks.reserve(static_cast<std::size_t>(n) - static_cast<std::size_t>(k) +
+                 1);
+  // The first K result bits see their full carry history — one exact
+  // K-bit leading block — then every further bit is its own block with
+  // a (K-1)-bit window.
+  blocks.push_back({k, 0});
+  for (int j = k; j < n; ++j) blocks.push_back({1, k - 1});
+  return BlockChainSpec(std::move(blocks));
+}
+
+BlockChainSpec BlockChainSpec::etaii(int n, int x) {
+  if (n < 1) fail("etaii: n must be >= 1");
+  if (x < 1) fail("etaii: X must be >= 1");
+  std::vector<SubBlock> blocks;
+  blocks.push_back({std::min(x, n), 0});
+  for (int start = std::min(x, n); start < n; start += x) {
+    blocks.push_back({std::min(x, n - start), x});
+  }
+  return BlockChainSpec(std::move(blocks));
+}
+
+BlockChainSpec BlockChainSpec::gear(int n, int r, int p) {
+  if (r < 1) fail("gear: R must be >= 1");
+  if (p < 0) fail("gear: P must be >= 0");
+  if (n < r + p) fail("gear: need N >= R + P");
+  std::vector<SubBlock> blocks;
+  blocks.push_back({r + p, 0});
+  for (int start = r + p; start < n; start += r) {
+    // Ragged tail: the final sub-adder keeps its full L = R+P input
+    // bits but produces only the remaining result bits.
+    const int width = std::min(r, n - start);
+    blocks.push_back({width, p + (r - width)});
+  }
+  return BlockChainSpec(std::move(blocks));
+}
+
+BlockChainSpec BlockChainSpec::parse(int n, std::string_view text) {
+  if (text.empty()) fail("empty spec");
+  const auto colon = text.find(':');
+  const std::string_view head =
+      colon == std::string_view::npos ? text : text.substr(0, colon);
+  const std::string_view rest =
+      colon == std::string_view::npos ? std::string_view{}
+                                      : text.substr(colon + 1);
+  if (head == "aca") return aca(n, parse_int(rest, "aca K"));
+  if (head == "etaii") return etaii(n, parse_int(rest, "etaii X"));
+  if (head == "gear") {
+    const auto parts = split(rest, ':');
+    if (parts.size() != 2) fail("gear spec must be gear:R:P");
+    return gear(n, parse_int(parts[0], "gear R"), parse_int(parts[1],
+                                                            "gear P"));
+  }
+  std::string_view body = text;
+  if (head == "hetero") body = rest;
+  std::vector<SubBlock> blocks;
+  for (const auto part : split(body, ',')) {
+    const auto parts = split(part, ':');
+    if (parts.size() != 2) {
+      fail("block '" + std::string(part) + "' must be R:P");
+    }
+    blocks.push_back({parse_int(parts[0], "result width R"),
+                      parse_int(parts[1], "prediction width P")});
+  }
+  BlockChainSpec spec{std::move(blocks)};
+  if (spec.n() != n) {
+    fail("block result widths sum to " + std::to_string(spec.n()) +
+         " but the adder width is " + std::to_string(n));
+  }
+  return spec;
+}
+
+int BlockChainSpec::result_start(int i) const {
+  return result_starts_.at(static_cast<std::size_t>(i));
+}
+
+int BlockChainSpec::result_end(int i) const {
+  return result_starts_.at(static_cast<std::size_t>(i) + 1);
+}
+
+int BlockChainSpec::window_start(int i) const {
+  return result_start(i) - block(i).prediction_width;
+}
+
+int BlockChainSpec::sub_adder_width(int i) const {
+  const auto& b = block(i);
+  return b.prediction_width + b.result_width;
+}
+
+int BlockChainSpec::producing_block(int j) const {
+  if (j < 0 || j >= n_) {
+    throw std::out_of_range("BlockChainSpec::producing_block: bit " +
+                            std::to_string(j));
+  }
+  const auto it = std::upper_bound(result_starts_.begin(),
+                                   result_starts_.end(), j);
+  return static_cast<int>(it - result_starts_.begin()) - 1;
+}
+
+int BlockChainSpec::critical_path_bits() const noexcept {
+  int widest = 0;
+  for (int i = 0; i < block_count(); ++i) {
+    widest = std::max(widest, sub_adder_width(i));
+  }
+  return widest;
+}
+
+std::string BlockChainSpec::to_string() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (i > 0) out << ',';
+    out << blocks_[i].result_width << ':' << blocks_[i].prediction_width;
+  }
+  return out.str();
+}
+
+std::string BlockChainSpec::describe() const {
+  std::ostringstream out;
+  out << "blocks[" << n_ << "]=" << to_string() << " L="
+      << critical_path_bits() << " k=" << block_count();
+  return out.str();
+}
+
+BlockAdder::BlockAdder(BlockChainSpec spec) : spec_(std::move(spec)) {}
+
+AddResult BlockAdder::evaluate(std::uint64_t a, std::uint64_t b,
+                               bool cin) const noexcept {
+  std::uint64_t sum = 0;
+  bool carry_out = false;
+  for (int i = 0; i < spec_.block_count(); ++i) {
+    const int first_result = spec_.result_start(i);
+    const int end = spec_.result_end(i);
+    bool carry = i == 0 && cin;
+    for (int j = spec_.window_start(i); j < end; ++j) {
+      const bool abit = (a >> j) & 1U;
+      const bool bbit = (b >> j) & 1U;
+      if (j >= first_result && (abit ^ bbit ^ carry)) {
+        sum |= std::uint64_t{1} << j;
+      }
+      carry = (abit && bbit) || (carry && (abit || bbit));
+    }
+    if (i + 1 == spec_.block_count()) carry_out = carry;
+  }
+  return AddResult{sum, carry_out};
+}
+
+}  // namespace sealpaa::multibit

@@ -1,0 +1,144 @@
+// Block-based approximate adder topology: sub-adders with truncated
+// carry prediction (Wu et al., "Error Statistics of Block-based
+// Approximate Adders", arXiv:1703.03522; Farahmand et al.,
+// "Heterogeneous Block-Based Approximate Adder", arXiv:2106.08800).
+//
+// An N-bit block adder is a partition of the result bits into k blocks.
+// Block i contributes R_i result bits starting at s_i = R_0 + ... +
+// R_{i-1}; its sub-adder additionally consumes the P_i operand bits
+// just below s_i as a carry-prediction window, with the sub-adder's
+// carry-in hardwired to 0 (block 0 sees the adder's real carry-in and
+// needs no prediction, so P_0 = 0).  The carry chain is cut to
+// max(P_i + R_i) bits — the latency win — and block i's result is wrong
+// exactly when the predicted carry into s_i differs from the true
+// carry: the true carry into s_i - P_i was 1 and every prediction bit
+// propagates.
+//
+// GeAr(N, R, P), ACA(N, K) and ETAII(N, X) are the uniform special
+// cases; arbitrary per-block (R_i, P_i) lists are the heterogeneous
+// generalization this type exists to represent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sealpaa/multibit/chain.hpp"
+
+namespace sealpaa::multibit {
+
+/// One sub-adder of a block-based approximate adder.
+struct SubBlock {
+  int result_width = 0;      // R_i >= 1: result bits this block produces
+  int prediction_width = 0;  // P_i >= 0: speculative carry window below
+
+  friend bool operator==(const SubBlock&, const SubBlock&) = default;
+};
+
+/// A validated heterogeneous block-adder configuration.
+class BlockChainSpec {
+ public:
+  /// Largest tracked prediction-window overlap: at most this many block
+  /// windows may be live at one bit position (bounds the joint-carry
+  /// state of the analytical engines at 2^(1 + kMaxLiveWindows)).
+  static constexpr int kMaxLiveWindows = 12;
+
+  /// Validates and adopts the block list.  Throws std::invalid_argument
+  /// unless every R_i >= 1, every P_i >= 0, P_0 == 0, each window stays
+  /// inside the operand (P_i <= s_i), the total width is in [1, 62]
+  /// (the error-PMF carry-out fold needs 2^N representable as int64)
+  /// and no bit position is covered by more than kMaxLiveWindows
+  /// prediction windows.
+  explicit BlockChainSpec(std::vector<SubBlock> blocks);
+
+  /// Almost Correct Adder ACA(N, K): every result bit sees a K-bit
+  /// carry window — N single-bit blocks with P = K-1 (clipped near the
+  /// LSB where fewer than K-1 bits exist below).
+  [[nodiscard]] static BlockChainSpec aca(int n, int k);
+
+  /// ETAII(N, X): X-bit result segments, each with an X-bit
+  /// carry-lookahead window (final segment clipped to the remaining
+  /// width).
+  [[nodiscard]] static BlockChainSpec etaii(int n, int x);
+
+  /// GeAr(N, R, P): one leading (R+P)-bit block, then R-bit blocks with
+  /// P-bit prediction windows.  Unlike the classic (N-L) % R == 0
+  /// tiling this accepts any N >= R+P: a ragged tail becomes a final
+  /// block of fewer result bits with a correspondingly *larger*
+  /// prediction window (the sub-adder keeps its L = R+P bits).
+  [[nodiscard]] static BlockChainSpec gear(int n, int r, int p);
+
+  /// Parses a CLI/JSON spec for an `n`-bit adder.  Accepted forms:
+  ///   "R:P,R:P,..."  explicit heterogeneous block list (LSB first;
+  ///                  result widths must sum to n)
+  ///   "aca:K"        ACA(n, K)
+  ///   "etaii:X"      ETAII(n, X)
+  ///   "gear:R:P"     GeAr(n, R, P)
+  ///   "hetero:R:P,..."  explicit list, spelled-out family name
+  /// Throws std::invalid_argument on malformed text or width mismatch.
+  [[nodiscard]] static BlockChainSpec parse(int n, std::string_view text);
+
+  [[nodiscard]] int n() const noexcept { return n_; }
+  [[nodiscard]] int block_count() const noexcept {
+    return static_cast<int>(blocks_.size());
+  }
+  [[nodiscard]] const std::vector<SubBlock>& blocks() const noexcept {
+    return blocks_;
+  }
+  [[nodiscard]] const SubBlock& block(int i) const {
+    return blocks_.at(static_cast<std::size_t>(i));
+  }
+
+  /// First result bit of block `i` (s_i).
+  [[nodiscard]] int result_start(int i) const;
+  /// One past the last result bit of block `i`.
+  [[nodiscard]] int result_end(int i) const;
+  /// First operand bit the sub-adder of block `i` consumes
+  /// (s_i - P_i).
+  [[nodiscard]] int window_start(int i) const;
+  /// Sub-adder width of block `i` (P_i + R_i).
+  [[nodiscard]] int sub_adder_width(int i) const;
+  /// Index of the block whose result region contains bit `j`.
+  [[nodiscard]] int producing_block(int j) const;
+
+  /// Longest sub-adder (the carry-chain latency proxy).
+  [[nodiscard]] int critical_path_bits() const noexcept;
+  /// True when the spec is a single full-width block (an exact adder).
+  [[nodiscard]] bool is_exact() const noexcept {
+    return blocks_.size() == 1;
+  }
+
+  /// Canonical "R:P,R:P,..." form — parse(n, to_string()) round-trips.
+  [[nodiscard]] std::string to_string() const;
+  /// Human-readable summary, e.g. "blocks[16]=8:0,4:4,4:4 L=8 k=3".
+  [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const BlockChainSpec&,
+                         const BlockChainSpec&) = default;
+
+ private:
+  std::vector<SubBlock> blocks_;
+  std::vector<int> result_starts_;  // prefix sums, size k+1 (last == n)
+  int n_ = 0;
+};
+
+/// Functional block-adder model — the simulation oracle the analytical
+/// engines are validated against.  Sub-adders are exact ripple adders
+/// over their windows with carry-in 0 (block 0 receives `cin`).
+class BlockAdder {
+ public:
+  explicit BlockAdder(BlockChainSpec spec);
+
+  /// Evaluates the block adder on concrete operands (bits above n()
+  /// ignored).  The returned carry-out is the last sub-adder's carry.
+  [[nodiscard]] AddResult evaluate(std::uint64_t a, std::uint64_t b,
+                                   bool cin = false) const noexcept;
+
+  [[nodiscard]] const BlockChainSpec& spec() const noexcept { return spec_; }
+
+ private:
+  BlockChainSpec spec_;
+};
+
+}  // namespace sealpaa::multibit

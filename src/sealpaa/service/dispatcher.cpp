@@ -146,6 +146,7 @@ std::vector<OutgoingResponse> Dispatcher::run_batch(
         options.samples = request.samples;
         options.seed = request.seed;
         options.kernel = request.kernel;
+        options.blocks = request.blocks;
         // Workers already run on the pool; nested parallel regions
         // degrade to inline execution, so the result stays
         // thread-count-independent.

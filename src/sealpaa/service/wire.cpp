@@ -96,7 +96,7 @@ void check_known_keys(const obs::Json& object,
 
 Request parse_validated(const obs::Json& doc, const obs::Json& id,
                         const WireLimits& limits) {
-  check_known_keys(doc, {"id", "method", "width", "chain", "params"},
+  check_known_keys(doc, {"id", "method", "width", "chain", "blocks", "params"},
                    "request");
 
   Request request;
@@ -114,6 +114,7 @@ Request parse_validated(const obs::Json& doc, const obs::Json& id,
   if (method_name == "stats" || method_name == "ping") {
     if (find_key(doc, "width") != nullptr ||
         find_key(doc, "chain") != nullptr ||
+        find_key(doc, "blocks") != nullptr ||
         find_key(doc, "params") != nullptr) {
       reject(error_code::kBadRequest,
              '"' + method_name + "\" requests take no other fields");
@@ -148,12 +149,35 @@ Request parse_validated(const obs::Json& doc, const obs::Json& id,
   }
   request.width = static_cast<std::size_t>(width_value);
 
+  const obs::Json* blocks = find_key(doc, "blocks");
+  if (request.method == engine::Method::kBlockAnalytic) {
+    if (blocks == nullptr || !blocks->is_string()) {
+      reject(error_code::kBadRequest,
+             "\"blocks\" must be a spec string (R:P,R:P,... or aca:K / "
+             "etaii:X / gear:R:P) for method \"block-analytic\"");
+    }
+    try {
+      request.blocks = multibit::BlockChainSpec::parse(
+          static_cast<int>(request.width), blocks->string_value());
+    } catch (const std::invalid_argument& e) {
+      reject(error_code::kBadRequest, e.what());
+    }
+  } else if (blocks != nullptr) {
+    reject(error_code::kBadRequest,
+           "\"blocks\" is only valid with method \"block-analytic\"");
+  }
+
   const obs::Json* chain = find_key(doc, "chain");
   if (chain == nullptr) {
-    reject(error_code::kBadRequest,
-           "\"chain\" is required (a cell name or an array of cell names)");
-  }
-  if (chain->is_string()) {
+    // Block sub-adders are exact by construction, so block-analytic
+    // requests may omit the chain; every other method needs one.
+    if (request.method == engine::Method::kBlockAnalytic) {
+      request.chain.assign(request.width, "AccuFA");
+    } else {
+      reject(error_code::kBadRequest,
+             "\"chain\" is required (a cell name or an array of cell names)");
+    }
+  } else if (chain->is_string()) {
     request.chain.assign(request.width, chain->string_value());
   } else if (chain->is_array()) {
     if (chain->size() != request.width) {

@@ -9,6 +9,14 @@
 //    "chain": "LPAA3",                     // or ["LPAA3", "AccuFA", ...]
 //    "params": {"p": 0.35, "timeout_ms": 1000}}
 //
+// The block-analytic method takes its topology from a "blocks" spec
+// string instead of the cell chain ("chain" is then optional and
+// defaults to the accurate cell — block sub-adders are exact by
+// construction):
+//
+//   {"id": 8, "method": "block-analytic", "width": 16,
+//    "blocks": "gear:4:4", "params": {"p": 0.5}}
+//
 // and successful responses echo the id and carry the *same* evaluation
 // projection the CLI writes into its run report:
 //
@@ -121,6 +129,8 @@ struct Request {
   std::size_t width = 0;
   /// Per-stage cell names, least significant first; size() == width.
   std::vector<std::string> chain;
+  /// Block-adder topology; set exactly when method == kBlockAnalytic.
+  std::optional<multibit::BlockChainSpec> blocks;
   double p = 0.5;
   std::uint64_t samples = 1'000'000;
   std::uint64_t seed = 0x5ea1'c0de'2017'dacULL;

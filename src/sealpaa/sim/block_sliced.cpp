@@ -1,0 +1,149 @@
+#include "sealpaa/sim/block_sliced.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "sealpaa/sim/bitsliced.hpp"
+
+namespace sealpaa::sim {
+
+BlockSlicedKernel::BlockSlicedKernel(multibit::BlockChainSpec spec)
+    : spec_(std::move(spec)) {}
+
+BlockSlicedKernel::Result BlockSlicedKernel::run_packed(
+    const std::uint64_t* a_words, const std::uint64_t* b_words,
+    std::uint64_t cin_word, std::uint64_t lane_mask) const noexcept {
+  const int n = spec_.n();
+  // Rows 0..n-1 hold the sum bits, row n the carry-out; rows above stay
+  // zero so the plane transpose yields the numeric value() per lane.
+  std::array<std::uint64_t, 64> approx_plane{};
+  std::array<std::uint64_t, 64> exact_plane{};
+
+  std::uint64_t carry = cin_word;
+  for (int j = 0; j < n; ++j) {
+    const std::uint64_t a = a_words[j];
+    const std::uint64_t b = b_words[j];
+    exact_plane[static_cast<std::size_t>(j)] = a ^ b ^ carry;
+    carry = (a & b) | (carry & (a | b));
+  }
+  exact_plane[static_cast<std::size_t>(n)] = carry;
+
+  for (int i = 0; i < spec_.block_count(); ++i) {
+    const int first_result = spec_.result_start(i);
+    const int end = spec_.result_end(i);
+    carry = i == 0 ? cin_word : 0;
+    for (int j = spec_.window_start(i); j < end; ++j) {
+      const std::uint64_t a = a_words[j];
+      const std::uint64_t b = b_words[j];
+      if (j >= first_result) {
+        approx_plane[static_cast<std::size_t>(j)] = a ^ b ^ carry;
+      }
+      carry = (a & b) | (carry & (a | b));
+    }
+    if (i + 1 == spec_.block_count()) {
+      approx_plane[static_cast<std::size_t>(n)] = carry;
+    }
+  }
+
+  std::uint64_t diff = 0;
+  for (int j = 0; j <= n; ++j) {
+    diff |= approx_plane[static_cast<std::size_t>(j)] ^
+            exact_plane[static_cast<std::size_t>(j)];
+  }
+
+  Result result;
+  result.lane_mask = lane_mask;
+  result.value_error_mask = diff & lane_mask;
+  detail::finalize_errors(approx_plane, exact_plane, result.value_error_mask,
+                          result.error);
+  return result;
+}
+
+BlockSlicedKernel::Result BlockSlicedKernel::run(
+    const std::uint64_t* a_lanes, const std::uint64_t* b_lanes,
+    std::uint64_t cin_word, std::uint64_t lane_mask) const noexcept {
+  std::array<std::uint64_t, 64> a_words;
+  std::array<std::uint64_t, 64> b_words;
+  std::copy(a_lanes, a_lanes + 64, a_words.begin());
+  std::copy(b_lanes, b_lanes + 64, b_words.begin());
+  transpose64_fast(a_words);
+  transpose64_fast(b_words);
+  return run_packed(a_words.data(), b_words.data(), cin_word, lane_mask);
+}
+
+ErrorMetrics block_monte_carlo(const multibit::BlockChainSpec& spec,
+                               const multibit::InputProfile& profile,
+                               std::uint64_t samples, std::uint64_t seed) {
+  if (static_cast<int>(profile.width()) != spec.n()) {
+    throw std::invalid_argument(
+        "block_monte_carlo: profile width must equal the block-adder width");
+  }
+  const BlockSlicedKernel kernel(spec);
+  prob::Xoshiro256StarStar rng(seed);
+  ErrorMetrics metrics;
+  std::uint64_t remaining = samples;
+  std::array<std::uint64_t, 64> a_lanes;
+  std::array<std::uint64_t, 64> b_lanes;
+  while (remaining > 0) {
+    const std::uint64_t lanes = std::min<std::uint64_t>(remaining, 64);
+    const std::uint64_t lane_mask =
+        lanes == 64 ? ~0ULL : (1ULL << lanes) - 1ULL;
+    std::uint64_t cin_word = 0;
+    for (std::uint64_t l = 0; l < lanes; ++l) {
+      const auto sample = profile.sample(rng);
+      a_lanes[l] = sample.a;
+      b_lanes[l] = sample.b;
+      if (sample.cin) cin_word |= 1ULL << l;
+    }
+    for (std::uint64_t l = lanes; l < 64; ++l) a_lanes[l] = b_lanes[l] = 0;
+    accumulate(metrics,
+               kernel.run(a_lanes.data(), b_lanes.data(), cin_word,
+                          lane_mask));
+    remaining -= lanes;
+  }
+  return metrics;
+}
+
+ErrorMetrics block_exhaustive(const multibit::BlockChainSpec& spec,
+                              std::size_t max_width) {
+  const int n = spec.n();
+  if (static_cast<std::size_t>(n) > max_width) {
+    throw std::invalid_argument("block_exhaustive: width " +
+                                std::to_string(n) +
+                                " exceeds the sweep guard " +
+                                std::to_string(max_width));
+  }
+  const BlockSlicedKernel kernel(spec);
+  ErrorMetrics metrics;
+  const std::uint64_t limit = 1ULL << n;
+  const int lane_bits = std::min(n, 6);
+  const std::uint64_t lanes_used = 1ULL << lane_bits;
+  const std::uint64_t lane_mask =
+      lanes_used == 64 ? ~0ULL : (1ULL << lanes_used) - 1ULL;
+
+  std::array<std::uint64_t, 64> a_words;
+  std::array<std::uint64_t, 64> b_words;
+  a_words.fill(0);
+  b_words.fill(0);
+  for (std::uint64_t a = 0; a < limit; ++a) {
+    for (int i = 0; i < n; ++i) {
+      a_words[static_cast<std::size_t>(i)] =
+          ((a >> i) & 1ULL) != 0 ? ~0ULL : 0ULL;
+    }
+    for (std::uint64_t b_high = 0; b_high < (limit >> lane_bits); ++b_high) {
+      for (int i = 0; i < n; ++i) {
+        b_words[static_cast<std::size_t>(i)] =
+            i < lane_bits
+                ? kLaneCounterBit[static_cast<std::size_t>(i)]
+                : (((b_high >> (i - lane_bits)) & 1ULL) != 0 ? ~0ULL : 0ULL);
+      }
+      accumulate(metrics,
+                 kernel.run_packed(a_words.data(), b_words.data(), 0,
+                                   lane_mask));
+    }
+  }
+  return metrics;
+}
+
+}  // namespace sealpaa::sim

@@ -61,10 +61,60 @@ TEST(Correction, AlwaysYieldsTheExactSum) {
   }
 }
 
+TEST(Detection, FlagsClampedTailBlocksCorrectly) {
+  // Ragged geometry: the last block's result region is narrower than R
+  // and its overlap wider than P.  detect() must compare exactly the
+  // clamped region — the historical bug compared P prediction bits for
+  // every block and mis-flagged clamped tails.
+  for (const GearConfig& config :
+       {GearConfig(9, 2, 2), GearConfig(10, 4, 3), GearConfig(7, 3, 2)}) {
+    const GearCorrector corrector(config);
+    const GearAdder adder(config);
+    const std::size_t n = static_cast<std::size_t>(config.n());
+    const std::uint64_t limit = 1ULL << n;
+    for (std::uint64_t a = 0; a < limit; ++a) {
+      for (std::uint64_t b = 0; b < limit; ++b) {
+        const auto failing = corrector.detect(a, b);
+        const auto approx = adder.evaluate(a, b);
+        const auto exact = exact_add(a, b, false, n);
+        for (int block = 1; block < config.blocks(); ++block) {
+          const int start = config.result_start(block);
+          const int count = block == config.blocks() - 1
+                                ? config.n() - start
+                                : config.r();
+          const std::uint64_t mask = ((1ULL << count) - 1ULL)
+                                     << static_cast<unsigned>(start);
+          const bool wrong =
+              (approx.sum_bits & mask) != (exact.sum_bits & mask);
+          const bool flagged = std::find(failing.begin(), failing.end(),
+                                         block) != failing.end();
+          ASSERT_EQ(flagged, wrong) << config.describe() << " a=" << a
+                                    << " b=" << b << " block=" << block;
+        }
+      }
+    }
+  }
+}
+
+TEST(Correction, ClampedTailStillYieldsTheExactSum) {
+  const GearCorrector corrector(GearConfig(10, 4, 3));
+  for (std::uint64_t a = 0; a < 1024; ++a) {
+    for (std::uint64_t b = 0; b < 1024; b += 3) {
+      const auto result = corrector.evaluate(a, b);
+      const auto exact = exact_add(a, b, false, 10);
+      ASSERT_EQ(result.outputs.value(10), exact.value(10))
+          << "a=" << a << " b=" << b;
+      ASSERT_EQ(result.total_cycles, 1 + result.failing_blocks);
+    }
+  }
+}
+
 TEST(CycleDistribution, MatchesExhaustiveCounting) {
   for (const GearConfig& config :
        {GearConfig(8, 2, 2), GearConfig(8, 2, 0), GearConfig(9, 3, 3),
-        GearConfig(10, 2, 2)}) {
+        GearConfig(10, 2, 2),
+        // Ragged tails exercise the per-block overlap in the DP.
+        GearConfig(9, 2, 2), GearConfig(10, 4, 3)}) {
     const GearCorrector corrector(config);
     const std::size_t n = static_cast<std::size_t>(config.n());
     std::map<int, std::uint64_t> histogram;

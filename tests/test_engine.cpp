@@ -374,9 +374,11 @@ TEST(MethodRegistry, NamesRoundTripThroughParse) {
     EXPECT_EQ(sealpaa::engine::parse_method(info.name), info.method);
     EXPECT_EQ(sealpaa::engine::method_name(info.method), info.name);
   }
-  EXPECT_EQ(sealpaa::engine::all_methods().size(), 6u);
+  EXPECT_EQ(sealpaa::engine::all_methods().size(), 7u);
   EXPECT_EQ(sealpaa::engine::parse_method("analytic-pmf"),
             sealpaa::engine::Method::kAnalyticPmf);
+  EXPECT_EQ(sealpaa::engine::parse_method("block-analytic"),
+            sealpaa::engine::Method::kBlockAnalytic);
 }
 
 TEST(MethodRegistry, ParseRejectsUnknownNamesListingValidOnes) {

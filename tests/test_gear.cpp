@@ -39,9 +39,105 @@ TEST(GearConfig, InvalidConfigurationsRejected) {
   EXPECT_THROW(GearConfig(8, 0, 2), std::invalid_argument);   // R < 1
   EXPECT_THROW(GearConfig(8, 2, -1), std::invalid_argument);  // P < 0
   EXPECT_THROW(GearConfig(4, 3, 3), std::invalid_argument);   // L > N
-  EXPECT_THROW(GearConfig(9, 2, 2), std::invalid_argument);   // (N-L) % R
   EXPECT_THROW(GearConfig(0, 1, 0), std::invalid_argument);
   EXPECT_THROW(GearConfig(64, 2, 2), std::invalid_argument);
+}
+
+TEST(GearConfig, RaggedTailAccepted) {
+  // (N - L) % R != 0 used to be rejected outright; the geometry now
+  // clamps the last block at bit N and widens its overlap instead.
+  const GearConfig g(9, 2, 2);
+  EXPECT_EQ(g.blocks(), 4);         // ceil((9 - 4) / 2) + 1
+  EXPECT_EQ(g.window_start(3), 5);  // min(3 * 2, 9 - 4)
+  EXPECT_EQ(g.result_start(3), 8);
+  EXPECT_EQ(g.overlap(3), 3);       // P + (R - clamped width)
+  EXPECT_EQ(g.to_blocks().to_string(), "4:0,2:2,2:2,1:3");
+}
+
+TEST(GearConfig, ClampedBlockBoundaries) {
+  // GeAr(10, 4, 3): the second block would cover [7, 11) — it clamps to
+  // [7, 10) and its window grows to keep the L-bit sub-adder.
+  const GearConfig g(10, 4, 3);
+  EXPECT_EQ(g.blocks(), 2);
+  EXPECT_EQ(g.window_start(1), 3);  // min(4, 10 - 7)
+  EXPECT_EQ(g.result_start(1), 7);
+  EXPECT_EQ(g.overlap(1), 4);
+  EXPECT_EQ(g.overlap(0), 0);
+  // Every block's L-bit sub-adder window stays inside [0, N), and the
+  // window starts strictly increase (the DP retire order relies on it).
+  for (int i = 0; i < g.blocks(); ++i) {
+    EXPECT_LE(g.window_start(i) + g.l(), g.n()) << "block " << i;
+    if (i > 0) {
+      EXPECT_GT(g.window_start(i), g.window_start(i - 1));
+    }
+  }
+}
+
+TEST(GearConfig, DegenerateSingleBlockWhenLEqualsN) {
+  // N == L: one full-width block, regardless of P — an exact adder.
+  EXPECT_EQ(GearConfig(8, 4, 4).blocks(), 1);
+  EXPECT_EQ(GearConfig(8, 4, 4).window_start(0), 0);
+  const auto analysis = GearAnalyzer::analyze(
+      GearConfig(8, 4, 4), InputProfile::uniform(8, 0.5));
+  EXPECT_NEAR(analysis.p_error_exact_dp, 0.0, 1e-12);
+}
+
+/// Independent functional model of a GeAr adder: each block ripples its
+/// L-bit sub-adder window [window_start, result_end) from cin 0 (block 0
+/// from the real cin) and contributes only its result bits; the last
+/// block's carry is the carry-out.  Written directly from the paper's
+/// figure, sharing no code with GearAdder.
+std::uint64_t reference_gear_value(const GearConfig& config, std::uint64_t a,
+                                   std::uint64_t b) {
+  const int n = config.n();
+  std::uint64_t sum = 0;
+  bool carry_out = false;
+  for (int block = 0; block < config.blocks(); ++block) {
+    const int lo = config.window_start(block);
+    const int hi = block + 1 < config.blocks() ? config.result_start(block + 1)
+                                               : n;
+    bool carry = false;  // all tests below drive cin = 0
+    for (int j = lo; j < hi; ++j) {
+      const bool abit = ((a >> j) & 1) != 0;
+      const bool bbit = ((b >> j) & 1) != 0;
+      const bool sbit = abit ^ bbit ^ carry;
+      carry = (abit && bbit) || (carry && (abit != bbit));
+      if (j >= config.result_start(block)) {
+        sum |= static_cast<std::uint64_t>(sbit) << j;
+      }
+    }
+    if (block == config.blocks() - 1) carry_out = carry;
+  }
+  return sum | (static_cast<std::uint64_t>(carry_out) << n);
+}
+
+TEST(GearAdder, RaggedGeometriesMatchFunctionalModel) {
+  // Exhaustive up to width 12 against the independent reference,
+  // covering clamped tails, a block-1 tail ((N - L) < R) and the old
+  // rigid tilings as controls.
+  for (const GearConfig& config :
+       {GearConfig(9, 2, 2), GearConfig(10, 4, 3), GearConfig(11, 3, 2),
+        GearConfig(7, 3, 2), GearConfig(12, 5, 4), GearConfig(8, 2, 2),
+        GearConfig(6, 5, 1)}) {
+    const GearAdder adder(config);
+    const int n = config.n();
+    const std::uint64_t limit = 1ULL << n;
+    // Full sweep through 10 bits; strided beyond (primes keep the
+    // residues varied) so the whole list stays under a second.
+    const std::uint64_t step_a = n <= 10 ? 1 : 5;
+    const std::uint64_t step_b = n <= 10 ? 1 : 7;
+    for (std::uint64_t a = 0; a < limit; a += step_a) {
+      for (std::uint64_t b = 0; b < limit; b += step_b) {
+        const std::uint64_t got = adder.evaluate(a, b).value(
+            static_cast<std::size_t>(n));
+        const std::uint64_t want = reference_gear_value(config, a, b);
+        if (got != want) {
+          FAIL() << config.describe() << " a=" << a << " b=" << b << " got "
+                 << got << " want " << want;
+        }
+      }
+    }
+  }
 }
 
 TEST(GearAdder, SingleBlockIsExact) {
@@ -77,7 +173,9 @@ TEST(GearAdder, NoCarryCasesAreCorrect) {
 TEST(GearAnalyzer, DpMatchesExhaustiveUniform) {
   for (const GearConfig& config :
        {GearConfig(8, 2, 2), GearConfig(8, 2, 0), GearConfig(8, 4, 4),
-        GearConfig(10, 3, 1), GearConfig(9, 3, 3), GearConfig(6, 1, 1)}) {
+        GearConfig(10, 3, 1), GearConfig(9, 3, 3), GearConfig(6, 1, 1),
+        // Ragged tails: the DP must track the clamped geometry too.
+        GearConfig(9, 2, 2), GearConfig(10, 4, 3), GearConfig(11, 3, 2)}) {
     const auto metrics = GearAnalyzer::exhaustive(config);
     const auto analysis = GearAnalyzer::analyze(
         config,
@@ -179,7 +277,8 @@ TEST(GearWithCell, AccurateCellMatchesPlainGear) {
 TEST(GearWithCell, ApproximateCellDpMatchesExhaustive) {
   for (int cell_index : {1, 5, 6, 7}) {
     for (const GearConfig& config :
-         {GearConfig(8, 2, 2), GearConfig(8, 4, 4), GearConfig(9, 3, 3)}) {
+         {GearConfig(8, 2, 2), GearConfig(8, 4, 4), GearConfig(9, 3, 3),
+          GearConfig(9, 2, 2)}) {
       const auto& cell = sealpaa::adders::lpaa(cell_index);
       const auto profile = InputProfile::uniform(
           static_cast<std::size_t>(config.n()), 0.5);

@@ -118,8 +118,17 @@ TEST(GearAliases, EtaiiIsGearWithEqualRp) {
 }
 
 TEST(GearAliases, InvalidAliasesRejected) {
-  EXPECT_THROW((void)GearConfig::aca(16, 0), std::invalid_argument);   // P = -1
-  EXPECT_THROW((void)GearConfig::etaii(10, 4), std::invalid_argument); // tiling
+  EXPECT_THROW((void)GearConfig::aca(16, 0), std::invalid_argument);  // P = -1
+  // Ragged tails like etaii(10, 4) are legal now; N < L still is not.
+  EXPECT_THROW((void)GearConfig::etaii(6, 4), std::invalid_argument);
+}
+
+TEST(GearAliases, RaggedEtaiiAccepted) {
+  // (N - L) % R != 0 used to be rejected; the clamped tail makes it a
+  // valid two-block configuration.
+  const GearConfig etaii = GearConfig::etaii(10, 4);
+  EXPECT_EQ(etaii.blocks(), 2);
+  EXPECT_EQ(etaii.n(), 10);
 }
 
 // ------------------------------------------------------------- bounds

@@ -8,6 +8,8 @@
 //   sealpaa_cli bounds  --cell=LPAA6 --p=0.5 --epsilon=0.1 [--bits=16]
 //   sealpaa_cli hybrid  --bits=8 [--profile=0.9,...] [--budget-nw=2500]
 //   sealpaa_cli gear    --n=16 --r=4 --p=4 [--p-input=0.5]
+//   sealpaa_cli blocks  --bits=16 --blocks=4:0,4:4,4:4,4:4 [--p=0.5]
+//                       [--search --max-l=8 [--beam=64] [--exhaustive]]
 //   sealpaa_cli sim     --cell=LPAA1 --bits=8 --p=0.5 [--samples=1000000]
 //   sealpaa_cli synth   --kind=cell|chain|gear --cell=... --bits=... [--out=f.v]
 //
@@ -38,10 +40,12 @@ int usage() {
       "  analyze  --cell --bits --p  error probability of a homogeneous chain\n"
       "           [--method] [--trace] (--rho adds operand correlation;\n"
       "           [--rho] [--kernel]   --method picks the engine: recursive,\n"
-      "                              inclusion-exclusion, exhaustive,\n"
+      "           [--blocks]           inclusion-exclusion, exhaustive,\n"
       "                              weighted-exhaustive, monte-carlo,\n"
-      "                              analytic-pmf — the last one reports\n"
-      "                              MED/MSE/WCE/PSNR with no simulation)\n"
+      "                              analytic-pmf, block-analytic — the\n"
+      "                              last two report MED/MSE/WCE/PSNR with\n"
+      "                              no simulation; block-analytic takes\n"
+      "                              its topology from --blocks=SPEC)\n"
       "  sweep    --cell --p         P(E) vs width table\n"
       "           [--max-bits]\n"
       "  bounds   --cell --p         max cascadable width / approximable LSBs\n"
@@ -51,6 +55,12 @@ int usage() {
       "           [--objective]        by P(Error) or by the analytic PMF)\n"
       "  gear     --n --r --p        GeAr exact error + correction stats\n"
       "           [--p-input]\n"
+      "  blocks   --bits --blocks    exact block-adder error statistics\n"
+      "           [--p]                (--blocks=R:P,R:P,... or a family:\n"
+      "           [--search]           aca:K, etaii:X, gear:R:P); --search\n"
+      "           [--max-l] [--beam]   runs the (R_i,P_i) partition DSE\n"
+      "           [--objective]        under the --max-l latency budget\n"
+      "           [--exhaustive]       (--exhaustive: exact enumeration)\n"
       "  sim      --cell --bits --p  Monte Carlo + exhaustive simulation\n"
       "           [--samples] [--seed] [--no-exhaustive] [--timings]\n"
       "           [--kernel]          (--kernel=scalar|bitsliced picks the\n"
@@ -139,7 +149,7 @@ void print_trace(const std::vector<analysis::StageTrace>& trace) {
 int cmd_analyze(const util::CliArgs& args, obs::RunReport& report) {
   check_flags(args,
               {"cell", "bits", "p", "trace", "rho", "method", "samples",
-               "seed", "kernel"});
+               "seed", "kernel", "blocks"});
   const adders::AdderCell& cell = cell_arg(args);
   const auto bits = static_cast<std::size_t>(args.get_uint("bits", 8));
   const double p = args.get_double("p", 0.5);
@@ -178,21 +188,39 @@ int cmd_analyze(const util::CliArgs& args, obs::RunReport& report) {
     return 0;
   }
 
-  const engine::Method method =
-      engine::parse_method(args.get("method", "recursive"));
+  // --blocks implies block-analytic; typing the method stays optional.
+  const engine::Method method = engine::parse_method(args.get(
+      "method", args.has("blocks") ? "block-analytic" : "recursive"));
   engine::EvaluateOptions options;
   options.record_trace = args.get_bool("trace", false);
   options.samples = args.get_uint("samples", 1'000'000);
   options.seed = args.get_uint("seed", 0x5ea1'c0de'2017'dacULL);
   options.threads = args.threads();
   options.kernel = sim::parse_kernel(args.get("kernel", "bitsliced"));
+  if (method == engine::Method::kBlockAnalytic) {
+    if (!args.has("blocks")) {
+      throw std::invalid_argument(
+          "--method=block-analytic requires --blocks=R:P,R:P,... "
+          "(or aca:K / etaii:X / gear:R:P)");
+    }
+    options.blocks = multibit::BlockChainSpec::parse(static_cast<int>(bits),
+                                                     args.get("blocks", ""));
+    section.set("blocks", obs::Json(options.blocks->to_string()));
+  } else if (args.has("blocks")) {
+    throw std::invalid_argument("--blocks requires --method=block-analytic");
+  }
   obs::ScopedTimer timer(report.counters(), "analyze");
   const engine::Evaluation result =
       engine::evaluate(chain, marginals, method, options);
   timer.stop();
   report.counters().add("analyze/work_items", result.work_items);
-  std::cout << chain.describe() << "  p=" << util::fixed(p, 3)
-            << "  method=" << engine::method_name(method) << "\n";
+  if (options.blocks) {
+    std::cout << options.blocks->describe() << "  p=" << util::fixed(p, 3)
+              << "  method=" << engine::method_name(method) << "\n";
+  } else {
+    std::cout << chain.describe() << "  p=" << util::fixed(p, 3)
+              << "  method=" << engine::method_name(method) << "\n";
+  }
   std::cout << "P(Success) = " << util::prob6(result.p_success)
             << "\nP(Error)   = " << util::prob6(result.p_error) << "\n";
   if (method == engine::Method::kMonteCarlo) {
@@ -377,6 +405,106 @@ int cmd_gear(const util::CliArgs& args, obs::RunReport& report) {
   return 0;
 }
 
+int cmd_blocks(const util::CliArgs& args, obs::RunReport& report) {
+  check_flags(args, {"bits", "p", "blocks", "search", "max-l", "beam",
+                     "objective", "exhaustive"});
+  const auto bits = static_cast<std::size_t>(args.get_uint("bits", 16));
+  const double p = args.get_double("p", 0.5);
+  const auto profile = multibit::InputProfile::uniform(bits, p);
+  obs::Json& section = report.section("blocks");
+  section.set("bits", obs::Json(static_cast<std::uint64_t>(bits)));
+  section.set("p", obs::Json(p));
+
+  if (args.get_bool("search", false)) {
+    explore::BlockSearchOptions options;
+    options.max_sub_adder_width =
+        static_cast<int>(args.get_int("max-l", 8));
+    options.beam_width = args.get_uint("beam", 64);
+    options.objective = explore::parse_objective(args.get("objective", "err"));
+    const bool exhaustive = args.get_bool("exhaustive", false);
+    obs::ScopedTimer timer(report.counters(), "blocks/search");
+    const explore::BlockDesign design =
+        exhaustive ? explore::BlockOptimizer::exhaustive(profile, options)
+                   : explore::BlockOptimizer::beam(profile, options);
+    timer.stop();
+    const multibit::BlockChainSpec spec = design.spec();
+    std::cout << "best partition (objective="
+              << explore::objective_name(options.objective)
+              << ", max sub-adder " << options.max_sub_adder_width
+              << " bits, " << (exhaustive ? "exhaustive" : "beam")
+              << "): " << spec.describe() << "\n"
+              << "P(Error) = " << util::prob6(design.p_error) << "\n"
+              << "MED = " << util::fixed(design.med, 6) << "\n"
+              << "MSE = " << util::fixed(design.mse, 6) << "\n";
+    section.set("search", obs::Json(exhaustive ? "exhaustive" : "beam"));
+    section.set("objective",
+                obs::Json(std::string(
+                    explore::objective_name(options.objective))));
+    section.set("max_sub_adder_width",
+                obs::Json(static_cast<std::uint64_t>(
+                    options.max_sub_adder_width)));
+    section.set("best_blocks", obs::Json(spec.to_string()));
+    section.set("objective_value", obs::Json(design.objective_value));
+    section.set("p_error", obs::Json(design.p_error));
+    section.set("med", obs::Json(design.med));
+    section.set("mse", obs::Json(design.mse));
+    report.counters().add("blocks/candidates_evaluated",
+                          design.stats.candidates_evaluated);
+    report.counters().add("blocks/candidates_rejected",
+                          design.stats.candidates_rejected);
+    return 0;
+  }
+
+  const multibit::BlockChainSpec spec = multibit::BlockChainSpec::parse(
+      static_cast<int>(bits), args.get("blocks", "gear:4:4"));
+  engine::EvaluateOptions options;
+  options.blocks = spec;
+  const auto chain =
+      multibit::AdderChain::homogeneous(adders::accurate(), bits);
+  obs::ScopedTimer timer(report.counters(), "blocks/analyze");
+  const engine::Evaluation result = engine::evaluate(
+      chain, profile, engine::Method::kBlockAnalytic, options);
+  // The per-block mismatch marginals are a blocks-command extra the
+  // engine projection doesn't carry; recompute without the PMF (cheap).
+  analysis::BlockAnalysisOptions marginal_opts;
+  marginal_opts.compute_pmf = false;
+  const analysis::BlockAnalysis marginals =
+      analysis::BlockErrorModel::analyze(spec, profile, marginal_opts);
+  timer.stop();
+  report.counters().add("blocks/work_items", result.work_items);
+
+  std::cout << spec.describe() << "  p=" << util::fixed(p, 3) << "\n";
+  std::cout << "P(Error) exact        = " << util::prob6(result.p_error)
+            << "\n";
+  std::cout << "P(Error) indep approx = "
+            << util::prob6(marginals.p_error_independent_approx) << "\n";
+  obs::Json mismatch = obs::Json::array();
+  for (std::size_t i = 0; i < marginals.block_mismatch.size(); ++i) {
+    std::cout << "  block " << i << " mismatch = "
+              << util::prob6(marginals.block_mismatch[i]) << "\n";
+    mismatch.push_back(obs::Json(marginals.block_mismatch[i]));
+  }
+  if (result.distribution) {
+    const engine::DistributionStats& d = *result.distribution;
+    std::cout << "MED  E[|err|] = " << util::fixed(d.mean_error_distance, 6)
+              << "\nMSE  E[err^2] = " << util::fixed(d.mean_squared_error, 6)
+              << "\nWCE  max|err| = " << d.worst_case_error << "\n";
+    if (std::isfinite(d.psnr_db)) {
+      std::cout << "PSNR = " << util::fixed(d.psnr_db, 2) << " dB\n";
+    } else {
+      std::cout << "PSNR = inf (exact)\n";
+    }
+  }
+  section.set("spec", obs::Json(spec.to_string()));
+  section.set("block_mismatch", std::move(mismatch));
+  section.set("p_error_independent_approx",
+              obs::Json(marginals.p_error_independent_approx));
+  section.set("evaluation", obs::to_json(result));
+  section.set("p_success", obs::Json(result.p_success));
+  section.set("p_error", obs::Json(result.p_error));
+  return 0;
+}
+
 int cmd_sim(const util::CliArgs& args, obs::RunReport& report) {
   check_flags(args,
               {"cell", "bits", "p", "samples", "seed", "no-exhaustive",
@@ -535,6 +663,8 @@ int main(int argc, char** argv) {
       status = cmd_hybrid(args, report);
     } else if (command == "gear") {
       status = cmd_gear(args, report);
+    } else if (command == "blocks") {
+      status = cmd_blocks(args, report);
     } else if (command == "sim") {
       status = cmd_sim(args, report);
     } else if (command == "synth") {
