@@ -1,0 +1,309 @@
+// Measures what the SoA batch engine buys over per-chain scalar scoring
+// on the DSE-shaped workload it exists for: score a batch of candidate
+// chains against one profile and palette.
+//
+// Three contenders per (width, batch) configuration:
+//   scalar      per-chain engine::ChainEvaluator::final_success with the
+//               prefix cache disabled — the pure Equation 10-12 recursion
+//               cost a chain paid before the batch engine;
+//   soa strict  engine::ChainBatchEvaluator driving all lanes through the
+//               scalar-ordered advance per stage (bit-identical mode);
+//   soa fast    the same lanes through the precomputed-coefficient
+//               AVX2/AVX-512/portable kernels (~1e-12 of strict).
+//
+// Correctness is gated, speed mostly reported: strict results must be
+// bit-identical to RecursiveAnalyzer::analyze, every fast kernel level
+// (forced via util::set_forced_kernel) must agree with strict to 1e-12
+// relative, and the headline width-32 batch-of-16 fast speedup must
+// reach 4x — the bench exits non-zero otherwise.  Per-level "ratio_*"
+// numbers are informational (a forced level above the CPU's capability
+// runs at the capability, so they converge on modest machines).
+//
+// Hand-rolled driver (not google-benchmark) so the run can emit the
+// versioned sealpaa.run-report JSON: results land in
+// BENCH_many_chain.json next to the binary (--no-json suppresses,
+// --json-report=FILE redirects).
+//
+// Flags: --reps=3  --p=0.35  --quick
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <optional>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sealpaa/sealpaa.hpp"
+
+namespace {
+
+using namespace sealpaa;
+
+struct Config {
+  std::size_t width = 0;
+  std::size_t batch = 0;
+};
+
+struct ChainSet {
+  std::vector<std::vector<std::size_t>> chains;       // palette indices
+  std::vector<std::vector<std::uint8_t>> per_stage;   // [stage][lane]
+};
+
+/// Deterministic random chains (fixed seed per configuration) so the
+/// committed reference JSON and every CI run score the same workload.
+ChainSet build_chains(std::size_t width, std::size_t batch,
+                      std::size_t palette) {
+  std::mt19937 rng(static_cast<std::uint32_t>(0x5ea1'0000u + width * 131 +
+                                              batch));
+  std::uniform_int_distribution<std::size_t> pick(0, palette - 1);
+  ChainSet set;
+  set.chains.assign(batch, std::vector<std::size_t>(width));
+  set.per_stage.assign(width, std::vector<std::uint8_t>(batch));
+  for (std::size_t l = 0; l < batch; ++l) {
+    for (std::size_t i = 0; i < width; ++i) {
+      const std::size_t c = pick(rng);
+      set.chains[l][i] = c;
+      set.per_stage[i][l] = static_cast<std::uint8_t>(c);
+    }
+  }
+  return set;
+}
+
+/// Per-chain scalar baseline: ChainEvaluator::final_success with caching
+/// off, so every chain pays width-1 advance_stage calls plus Equation 12
+/// from bit 0 — exactly the recursion cost, no prefix amortization.
+double time_scalar(engine::ChainEvaluator& evaluator, const ChainSet& set,
+                   int iters, double& sink) {
+  const util::WallTimer timer;
+  for (int it = 0; it < iters; ++it) {
+    for (const std::vector<std::size_t>& chain : set.chains) {
+      const std::span<const std::size_t> prefix(chain.data(),
+                                                chain.size() - 1);
+      sink += evaluator.final_success(prefix, chain.back());
+    }
+  }
+  return timer.elapsed_seconds();
+}
+
+/// SoA contender: all lanes advance together stage-major, then one
+/// Equation 12 pass — the same call sequence ChainEvaluator's batch
+/// paths and the dispatcher use.
+double time_soa(engine::ChainBatchEvaluator& batch, const ChainSet& set,
+                int iters, engine::BatchMode mode, double& sink) {
+  const std::size_t n = set.per_stage.size();
+  const std::size_t lanes_n = set.chains.size();
+  engine::ChainBatchEvaluator::Lanes lanes;
+  std::vector<double> out(lanes_n);
+  const util::WallTimer timer;
+  for (int it = 0; it < iters; ++it) {
+    batch.init_lanes(lanes, lanes_n);
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      batch.advance(i, set.per_stage[i], lanes, mode);
+    }
+    batch.final_success(lanes, set.per_stage[n - 1], out, mode);
+    sink += out[0];
+  }
+  return timer.elapsed_seconds();
+}
+
+double min_of_reps(int reps, const std::function<double()>& run) {
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const double seconds = run();
+    if (rep == 0 || seconds < best) best = seconds;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  try {
+    args.expect_flags({"reps", "p", "quick", "threads", "json-report",
+                       "no-json"});
+    const bool quick = args.get_bool("quick", false);
+    const int reps = static_cast<int>(args.get_uint("reps", quick ? 1 : 3));
+    const double p = args.get_double("p", 0.35);
+    const int iter_scale = quick ? 1 : 8;
+
+    const std::span<const adders::AdderCell> palette =
+        adders::builtin_lpaas();
+    const std::vector<Config> configs = {
+        // 63 is the repo-wide width ceiling (bit-packed evaluator limit).
+        {16, 8}, {16, 16}, {32, 8}, {32, 16}, {63, 8}, {63, 16}};
+
+    std::cout << util::banner(
+        "many-chain SoA kernel: per-chain scalar recursion vs batched "
+        "lanes");
+    std::cout << "candidates: " << palette.size() << "  p: "
+              << util::fixed(p, 2) << "  reps: " << reps << "  kernel: "
+              << util::kernel_level_name(engine::active_batch_kernel())
+              << "\n";
+
+    obs::RunReport report("bench_many_chain");
+    report.record_args(args);
+    obs::ScopedTimer total(report.counters(), "total");
+    obs::Json& section = report.section("many_chain");
+
+    bool identical = true;
+    bool fast_within_tolerance = true;
+    double max_rel_error = 0.0;
+    double speedup_w32_batch16 = 0.0;
+    constexpr double kTolerance = 1e-12;
+
+    for (const Config& config : configs) {
+      const auto profile = multibit::InputProfile::uniform(config.width, p);
+      const ChainSet set = build_chains(config.width, config.batch,
+                                        palette.size());
+      const std::vector<adders::AdderCell> cells(palette.begin(),
+                                                 palette.end());
+
+      // Correctness before speed: strict lanes must reproduce the batch
+      // analyzer bit-for-bit, fast lanes to 1e-12 relative at every
+      // dispatch level the override can reach.
+      engine::ChainBatchEvaluator batch(profile, cells);
+      std::vector<std::span<const std::size_t>> chain_spans;
+      chain_spans.reserve(set.chains.size());
+      for (const std::vector<std::size_t>& chain : set.chains) {
+        chain_spans.emplace_back(chain);
+      }
+      const std::vector<analysis::AnalysisResult> strict =
+          batch.evaluate(chain_spans, engine::BatchMode::kStrict);
+      for (std::size_t l = 0; l < set.chains.size(); ++l) {
+        std::vector<adders::AdderCell> stages;
+        stages.reserve(config.width);
+        for (const std::size_t c : set.chains[l]) {
+          stages.push_back(palette[c]);
+        }
+        const analysis::AnalysisResult reference =
+            analysis::RecursiveAnalyzer::analyze(
+                multibit::AdderChain(std::move(stages)), profile);
+        identical = identical &&
+                    strict[l].p_success == reference.p_success &&
+                    strict[l].p_error == reference.p_error &&
+                    strict[l].final_carry.c0 == reference.final_carry.c0 &&
+                    strict[l].final_carry.c1 == reference.final_carry.c1;
+      }
+      for (const util::KernelLevel level :
+           {util::KernelLevel::kScalar, util::KernelLevel::kAvx2,
+            util::KernelLevel::kAvx512}) {
+        util::set_forced_kernel(level);
+        const std::vector<analysis::AnalysisResult> fast =
+            batch.evaluate(chain_spans, engine::BatchMode::kFast);
+        for (std::size_t l = 0; l < set.chains.size(); ++l) {
+          const double scale =
+              std::max(1.0, std::abs(strict[l].p_success));
+          const double rel =
+              std::abs(fast[l].p_success - strict[l].p_success) / scale;
+          if (rel > max_rel_error) max_rel_error = rel;
+          fast_within_tolerance = fast_within_tolerance && rel <= kTolerance;
+        }
+      }
+      util::set_forced_kernel(std::nullopt);
+
+      // Timing: equal work per contender (iters x batch chains).
+      const int iters = iter_scale *
+                        static_cast<int>(200'000 /
+                                         (config.width * config.batch));
+      engine::ChainEvaluatorOptions no_cache;
+      no_cache.cache_capacity = 0;
+      engine::ChainEvaluator scalar_eval(profile, cells, no_cache);
+      double sink = 0.0;
+      const double scalar_seconds = min_of_reps(reps, [&] {
+        return time_scalar(scalar_eval, set, iters, sink);
+      });
+      const double strict_seconds = min_of_reps(reps, [&] {
+        return time_soa(batch, set, iters, engine::BatchMode::kStrict, sink);
+      });
+      const double fast_seconds = min_of_reps(reps, [&] {
+        return time_soa(batch, set, iters, engine::BatchMode::kFast, sink);
+      });
+      const double speedup =
+          fast_seconds > 0.0 ? scalar_seconds / fast_seconds : 0.0;
+      if (config.width == 32 && config.batch == 16) {
+        speedup_w32_batch16 = speedup;
+        // Informational per-level ratios: forcing a cap above the CPU's
+        // capability runs at the capability, so all three keys always
+        // exist and degrade gracefully on modest machines.
+        for (const util::KernelLevel level :
+             {util::KernelLevel::kScalar, util::KernelLevel::kAvx2,
+              util::KernelLevel::kAvx512}) {
+          util::set_forced_kernel(level);
+          const double seconds = min_of_reps(reps, [&] {
+            return time_soa(batch, set, iters, engine::BatchMode::kFast,
+                            sink);
+          });
+          section.set(
+              "ratio_" + std::string(util::kernel_level_name(level)),
+              obs::Json(seconds > 0.0 ? scalar_seconds / seconds : 0.0));
+        }
+        util::set_forced_kernel(std::nullopt);
+      }
+      // Keep the accumulated scores observable so the timed loops can't
+      // be optimized away.
+      volatile double guard = sink;
+      (void)guard;
+
+      const std::string tag = "w" + std::to_string(config.width) +
+                              "_batch" + std::to_string(config.batch);
+      std::cout << "  " << tag << ":  scalar "
+                << util::duration(scalar_seconds) << "  strict "
+                << util::duration(strict_seconds) << "  fast "
+                << util::duration(fast_seconds) << "  ("
+                << util::fixed(speedup, 2) << "x)\n";
+      section.set("scalar_seconds_" + tag, obs::Json(scalar_seconds));
+      section.set("strict_seconds_" + tag, obs::Json(strict_seconds));
+      section.set("fast_seconds_" + tag, obs::Json(fast_seconds));
+      if (config.width == 32 && config.batch == 16) {
+        section.set("speedup_" + tag, obs::Json(speedup));
+      }
+    }
+    total.stop();
+
+    const bool speedup_ok = speedup_w32_batch16 >= 4.0;
+    std::cout << "strict bit-identical to analyze: "
+              << (identical ? "yes" : "NO")
+              << "  fast within 1e-12: "
+              << (fast_within_tolerance ? "yes" : "NO")
+              << "  (max rel err " << max_rel_error << ")\n"
+              << "headline w32/batch16 speedup = "
+              << util::fixed(speedup_w32_batch16, 2) << "x  (gate: >= 4x "
+              << (speedup_ok ? "ok" : "FAIL") << ")\n";
+    if (!identical) {
+      std::cerr << "FAIL: strict SoA lanes diverged from "
+                   "RecursiveAnalyzer::analyze\n";
+    }
+    if (!fast_within_tolerance) {
+      std::cerr << "FAIL: a fast kernel exceeded the 1e-12 relative "
+                   "tolerance\n";
+    }
+    if (!speedup_ok) {
+      std::cerr << "FAIL: w32/batch16 fast speedup below 4x\n";
+    }
+
+    section.set("p", obs::Json(p));
+    section.set("reps", obs::Json(static_cast<std::uint64_t>(
+                            static_cast<std::size_t>(reps))));
+    section.set("candidates", obs::Json(static_cast<std::uint64_t>(
+                                  palette.size())));
+    section.set("kernel",
+                obs::Json(std::string(util::kernel_level_name(
+                    engine::active_batch_kernel()))));
+    section.set("identical", obs::Json(identical));
+    section.set("fast_within_tolerance", obs::Json(fast_within_tolerance));
+    section.set("max_rel_error", obs::Json(max_rel_error));
+
+    if (const auto path = obs::report_path(args, "BENCH_many_chain.json")) {
+      report.write_file(*path);
+      std::cout << "json report written to " << *path << "\n";
+    }
+    return identical && fast_within_tolerance && speedup_ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

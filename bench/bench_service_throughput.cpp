@@ -226,6 +226,46 @@ int main(int argc, char** argv) {
     io.join();
     total.stop();
 
+    // Hoisted SoA proof points (check_bench_regression only walks
+    // top-level section keys): the dispatcher batch-size distribution's
+    // p50/p99 and the pool-level lane counters behind evaluate_batch.
+    // `dispatcher_batched` is the gated boolean — it flips false if the
+    // service regresses to one-request-at-a-time evaluation.
+    std::uint64_t batch_size_p50 = 0;
+    std::uint64_t batch_size_p99 = 0;
+    std::uint64_t soa_batches = 0;
+    std::uint64_t soa_lanes = 0;
+    std::uint64_t soa_max_lanes = 0;
+    if (const obs::Json* batches = server_stats.find("batches")) {
+      if (const obs::Json* size = batches->find("size")) {
+        if (const obs::Json* q = size->find("p50")) {
+          batch_size_p50 = q->unsigned_integer();
+        }
+        if (const obs::Json* q = size->find("p99")) {
+          batch_size_p99 = q->unsigned_integer();
+        }
+      }
+    }
+    if (const obs::Json* evaluators = server_stats.find("evaluators")) {
+      if (const obs::Json* batch = evaluators->find("batch")) {
+        if (const obs::Json* v = batch->find("batches")) {
+          soa_batches = v->unsigned_integer();
+        }
+        if (const obs::Json* v = batch->find("lanes")) {
+          soa_lanes = v->unsigned_integer();
+        }
+        if (const obs::Json* v = batch->find("max_lanes")) {
+          soa_max_lanes = v->unsigned_integer();
+        }
+      }
+    }
+    const bool dispatcher_batched = soa_max_lanes > 1;
+    std::cout << "batch size p50/p99 = " << batch_size_p50 << "/"
+              << batch_size_p99 << "  soa lanes: "
+              << util::with_commas(soa_lanes) << " across "
+              << util::with_commas(soa_batches)
+              << " batches (max " << soa_max_lanes << ")\n";
+
     const double speedup = pipelined_seconds > 0.0
                                ? per_connection_seconds / pipelined_seconds
                                : 0.0;
@@ -255,6 +295,12 @@ int main(int argc, char** argv) {
     section.set("speedup", obs::Json(speedup));
     section.set("mismatches", obs::Json(mismatches));
     section.set("verified", obs::Json(verified));
+    section.set("batch_size_p50", obs::Json(batch_size_p50));
+    section.set("batch_size_p99", obs::Json(batch_size_p99));
+    section.set("soa_batches", obs::Json(soa_batches));
+    section.set("soa_lanes", obs::Json(soa_lanes));
+    section.set("soa_max_lanes", obs::Json(soa_max_lanes));
+    section.set("dispatcher_batched", obs::Json(dispatcher_batched));
     section.set("server_stats", std::move(server_stats));
 
     if (const auto path = obs::report_path(args, "BENCH_service.json")) {

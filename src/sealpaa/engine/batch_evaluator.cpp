@@ -1,0 +1,268 @@
+#include "sealpaa/engine/batch_evaluator.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "sealpaa/prob/probability.hpp"
+
+namespace sealpaa::engine {
+
+ChainBatchEvaluator::ChainBatchEvaluator(
+    multibit::InputProfile profile, std::vector<adders::AdderCell> candidates)
+    : profile_(std::move(profile)),
+      base_{1.0 - profile_.p_cin(), profile_.p_cin()} {
+  if (candidates.empty()) {
+    throw std::invalid_argument("ChainBatchEvaluator: no candidate cells");
+  }
+  if (candidates.size() > 255) {
+    throw std::invalid_argument(
+        "ChainBatchEvaluator: at most 255 candidate cells (lane choices "
+        "are bytes)");
+  }
+  mkls_.reserve(candidates.size());
+  for (const adders::AdderCell& cell : candidates) {
+    mkls_.push_back(analysis::MklMatrices::from_cell(cell));
+  }
+
+  // The whole point of the SoA layout: with profile and palette fixed,
+  // every (stage, candidate) pair reduces to six constants computed once
+  // here and reused by every batch for the evaluator's lifetime.  The
+  // sums run left-to-right over the four operand products so the table
+  // is deterministic; the reassociation relative to the scalar 8-term
+  // dot products is what separates kFast from kStrict.
+  const std::size_t n = profile_.width();
+  const std::size_t palette = mkls_.size();
+  coeff_.resize(n * palette * 6);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p_a = profile_.p_a(i);
+    const double p_b = profile_.p_b(i);
+    const double na = 1.0 - p_a;
+    const double nb = 1.0 - p_b;
+    const double ab[4] = {na * nb, na * p_b, p_a * nb, p_a * p_b};
+    for (std::size_t c = 0; c < palette; ++c) {
+      const analysis::MklMatrices& mkl = mkls_[c];
+      double* t = coeff_.data() + (i * palette + c) * 6;
+      t[0] = t[1] = t[2] = t[3] = t[4] = t[5] = 0.0;
+      for (std::size_t j = 0; j < 4; ++j) {
+        t[0] += ab[j] * mkl.k[2 * j];      // t00: c0 -> c0'
+        t[1] += ab[j] * mkl.k[2 * j + 1];  // t01: c1 -> c0'
+        t[2] += ab[j] * mkl.m[2 * j];      // t10: c0 -> c1'
+        t[3] += ab[j] * mkl.m[2 * j + 1];  // t11: c1 -> c1'
+        t[4] += ab[j] * mkl.l[2 * j];      // u0: Equation 12
+        t[5] += ab[j] * mkl.l[2 * j + 1];  // u1
+      }
+    }
+  }
+}
+
+void ChainBatchEvaluator::check_stage(std::size_t stage) const {
+  if (stage >= width()) {
+    throw std::out_of_range("ChainBatchEvaluator: stage " +
+                            std::to_string(stage) + " out of range (width " +
+                            std::to_string(width()) + ")");
+  }
+}
+
+void ChainBatchEvaluator::check_choices(
+    std::span<const std::uint8_t> choices) const {
+  for (const std::uint8_t c : choices) {
+    if (c >= mkls_.size()) {
+      throw std::out_of_range("ChainBatchEvaluator: choice index " +
+                              std::to_string(c) + " out of range (" +
+                              std::to_string(mkls_.size()) + " candidates)");
+    }
+  }
+}
+
+void ChainBatchEvaluator::init_lanes(Lanes& lanes, std::size_t count) const {
+  lanes.c0.assign(count, base_.c0);
+  lanes.c1.assign(count, base_.c1);
+}
+
+void ChainBatchEvaluator::advance_in_place(
+    std::size_t stage, std::span<const std::uint8_t> choices, Lanes& lanes,
+    BatchMode mode) {
+  const std::size_t n = choices.size();
+  if (mode == BatchMode::kFast) {
+    detail::advance_lanes_fast(coeff(stage), choices.data(), n,
+                               lanes.c0.data(), lanes.c1.data());
+    stats_.fast_lane_stages += n;
+  } else {
+    const double p_a = profile_.p_a(stage);
+    const double p_b = profile_.p_b(stage);
+    for (std::size_t l = 0; l < n; ++l) {
+      const analysis::CarryState next = analysis::advance_stage(
+          mkls_[choices[l]], p_a, p_b, {lanes.c0[l], lanes.c1[l]});
+      lanes.c0[l] = next.c0;
+      lanes.c1[l] = next.c1;
+    }
+  }
+  stats_.lane_stages += n;
+}
+
+void ChainBatchEvaluator::advance(std::size_t stage,
+                                  std::span<const std::uint8_t> choices,
+                                  Lanes& lanes, BatchMode mode) {
+  check_stage(stage);
+  if (choices.size() != lanes.size()) {
+    throw std::invalid_argument(
+        "ChainBatchEvaluator::advance: " + std::to_string(choices.size()) +
+        " choices for " + std::to_string(lanes.size()) + " lanes");
+  }
+  check_choices(choices);
+  advance_in_place(stage, choices, lanes, mode);
+}
+
+void ChainBatchEvaluator::advance_from(std::size_t stage, const Lanes& in,
+                                       std::span<const std::uint32_t> parents,
+                                       std::span<const std::uint8_t> choices,
+                                       Lanes& out, BatchMode mode) {
+  check_stage(stage);
+  if (parents.size() != choices.size()) {
+    throw std::invalid_argument(
+        "ChainBatchEvaluator::advance_from: " +
+        std::to_string(parents.size()) + " parents for " +
+        std::to_string(choices.size()) + " choices");
+  }
+  check_choices(choices);
+  const std::size_t n = choices.size();
+  out.c0.resize(n);
+  out.c1.resize(n);
+  for (std::size_t l = 0; l < n; ++l) {
+    const std::size_t p = parents[l];
+    if (p >= in.size()) {
+      throw std::out_of_range("ChainBatchEvaluator::advance_from: parent " +
+                              std::to_string(p) + " out of range (" +
+                              std::to_string(in.size()) + " input lanes)");
+    }
+    out.c0[l] = in.c0[p];
+    out.c1[l] = in.c1[p];
+  }
+  advance_in_place(stage, choices, out, mode);
+}
+
+void ChainBatchEvaluator::final_success(const Lanes& lanes,
+                                        std::span<const std::uint8_t> choices,
+                                        std::span<double> out,
+                                        BatchMode mode) {
+  if (width() == 0) {
+    throw std::invalid_argument(
+        "ChainBatchEvaluator::final_success: zero-width profile");
+  }
+  if (choices.size() != lanes.size() || out.size() != lanes.size()) {
+    throw std::invalid_argument(
+        "ChainBatchEvaluator::final_success: choices/out size does not "
+        "match " + std::to_string(lanes.size()) + " lanes");
+  }
+  check_choices(choices);
+  const std::size_t last = width() - 1;
+  const std::size_t n = choices.size();
+  if (mode == BatchMode::kFast) {
+    detail::final_lanes_fast(coeff(last), choices.data(), n, lanes.c0.data(),
+                             lanes.c1.data(), out.data());
+  } else {
+    const double p_a = profile_.p_a(last);
+    const double p_b = profile_.p_b(last);
+    for (std::size_t l = 0; l < n; ++l) {
+      out[l] = analysis::final_success(mkls_[choices[l]], p_a, p_b,
+                                       {lanes.c0[l], lanes.c1[l]});
+    }
+  }
+}
+
+void ChainBatchEvaluator::final_success_from(
+    const Lanes& in, std::span<const std::uint32_t> parents,
+    std::span<const std::uint8_t> choices, std::span<double> out,
+    BatchMode mode) {
+  if (parents.size() != choices.size()) {
+    throw std::invalid_argument(
+        "ChainBatchEvaluator::final_success_from: " +
+        std::to_string(parents.size()) + " parents for " +
+        std::to_string(choices.size()) + " choices");
+  }
+  Lanes gathered;
+  const std::size_t n = parents.size();
+  gathered.c0.resize(n);
+  gathered.c1.resize(n);
+  for (std::size_t l = 0; l < n; ++l) {
+    const std::size_t p = parents[l];
+    if (p >= in.size()) {
+      throw std::out_of_range(
+          "ChainBatchEvaluator::final_success_from: parent " +
+          std::to_string(p) + " out of range (" + std::to_string(in.size()) +
+          " input lanes)");
+    }
+    gathered.c0[l] = in.c0[p];
+    gathered.c1[l] = in.c1[p];
+  }
+  final_success(gathered, choices, out, mode);
+}
+
+std::vector<analysis::AnalysisResult> ChainBatchEvaluator::evaluate(
+    std::span<const std::span<const std::size_t>> chains, BatchMode mode) {
+  const std::size_t n = width();
+  const std::size_t count = chains.size();
+  std::vector<analysis::AnalysisResult> results(count);
+  if (count == 0) return results;
+  if (n == 0) {
+    throw std::invalid_argument(
+        "ChainBatchEvaluator::evaluate: zero-width profile");
+  }
+  // Validate before any size_t -> byte narrowing.
+  for (const std::span<const std::size_t> chain : chains) {
+    if (chain.size() != n) {
+      throw std::invalid_argument(
+          "ChainBatchEvaluator::evaluate: chain of " +
+          std::to_string(chain.size()) + " stages does not match width " +
+          std::to_string(n));
+    }
+    for (const std::size_t c : chain) {
+      if (c >= mkls_.size()) {
+        throw std::out_of_range(
+            "ChainBatchEvaluator::evaluate: choice index " +
+            std::to_string(c) + " out of range (" +
+            std::to_string(mkls_.size()) + " candidates)");
+      }
+    }
+  }
+  note_batch(count);
+
+  Lanes lanes;
+  init_lanes(lanes, count);
+  std::vector<std::uint8_t> stage_choices(count);
+  std::vector<double> p_raw(count);
+
+  // Stage-major: one pass per stage across all lanes.  Per lane this is
+  // the exact operation sequence of RecursiveAnalyzer::analyze — stages
+  // 0..n-2 advance, then Equation 12, then the last carry advance — so
+  // kStrict results are bit-identical to the scalar recursion.
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    for (std::size_t l = 0; l < count; ++l) {
+      stage_choices[l] = static_cast<std::uint8_t>(chains[l][i]);
+    }
+    advance_in_place(i, stage_choices, lanes, mode);
+  }
+  for (std::size_t l = 0; l < count; ++l) {
+    stage_choices[l] = static_cast<std::uint8_t>(chains[l][n - 1]);
+  }
+  final_success(lanes, stage_choices, p_raw, mode);
+  advance_in_place(n - 1, stage_choices, lanes, mode);
+
+  for (std::size_t l = 0; l < count; ++l) {
+    results[l].p_success = prob::require_probability(
+        p_raw[l], "ChainBatchEvaluator P(Succ)");
+    results[l].p_error = 1.0 - results[l].p_success;
+    results[l].final_carry = {lanes.c0[l], lanes.c1[l]};
+  }
+  return results;
+}
+
+void ChainBatchEvaluator::note_batch(std::size_t lanes) noexcept {
+  stats_.batches += 1;
+  stats_.lanes += lanes;
+  if (lanes > stats_.max_lanes) {
+    stats_.max_lanes = static_cast<std::uint64_t>(lanes);
+  }
+}
+
+}  // namespace sealpaa::engine

@@ -1,0 +1,204 @@
+// Many-chain structure-of-arrays evaluation of the paper's carry-state
+// recursion (Equations 10-12).
+//
+// `ChainEvaluator` scores one chain at a time: per stage it builds the
+// 1x8 input-probability matrix and takes two 8-term dot products.  DSE
+// frontiers and service batches score dozens of chains against the same
+// profile and palette, so `ChainBatchEvaluator` turns the recursion
+// sideways: the carry states of all candidate chains live in two
+// contiguous lane arrays (c0[], c1[]) and every stage advances all lanes
+// together.
+//
+// Because the palette and profile are fixed, the per-stage arithmetic
+// collapses.  With ab[j] the four operand products of stage i (shared by
+// every lane) and M/K the candidate's selection vectors, Equation 11 is
+// the 2x2 linear map
+//
+//   c0' = t00*c0 + t01*c1      t00 = sum_j ab[j]*k[2j]   t01 = .. k[2j+1]
+//   c1' = t10*c0 + t11*c1      t10 = sum_j ab[j]*m[2j]   t11 = .. m[2j+1]
+//
+// and Equation 12 is u0*c0 + u1*c1 with u from L.  The six coefficients
+// per (stage, candidate) are precomputed once at construction, so a lane
+// advance costs one 2x2 FMA pair instead of an 8-term IPM build plus two
+// dot products — and vectorizes trivially across lanes (AVX2/AVX-512
+// kernels in batch_x86.cpp, runtime-dispatched like sim/bitsliced_x86).
+//
+// Determinism contract (see DESIGN.md decision 9):
+//   * kStrict replays, per lane, the exact `analysis::advance_stage` /
+//     `analysis::final_success` call sequence — bit-identical to
+//     `RecursiveAnalyzer::analyze` and to `ChainEvaluator`, at scalar
+//     speed.  Tests and byte-for-byte service responses use this mode.
+//   * kFast uses the reassociated coefficient form above.  It is exact
+//     in real arithmetic but rounds differently; results agree with
+//     kStrict to ~1e-12 relative (enforced by tests and
+//     bench_many_chain).  All kFast kernels (portable, AVX2, AVX-512)
+//     compute the same formula; they differ from each other only in FMA
+//     contraction, again within the documented tolerance.
+//
+// Not thread-safe; use one per thread (same contract as ChainEvaluator).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sealpaa/analysis/mkl.hpp"
+#include "sealpaa/analysis/recursive.hpp"
+#include "sealpaa/multibit/input_profile.hpp"
+#include "sealpaa/util/kernel_override.hpp"
+
+namespace sealpaa::engine {
+
+/// How a batch operation rounds: kStrict replays the scalar recursion's
+/// call sequence per lane (bit-identical, scalar speed); kFast uses the
+/// vectorized 2x2 coefficient kernels (~1e-12 relative of strict).
+enum class BatchMode { kStrict, kFast };
+
+/// The SIMD tier the fast kernels will actually run at right now:
+/// min(what the CPU supports, the SEALPAA_FORCE_KERNEL cap).
+[[nodiscard]] util::KernelLevel active_batch_kernel() noexcept;
+
+/// Work accounting for the SoA path, reported through sealpaa::obs —
+/// the counters that prove evaluation ran lane-parallel.
+struct BatchStats {
+  std::uint64_t batches = 0;    // batch operations submitted
+  std::uint64_t lanes = 0;      // total lanes across those batches
+  std::uint64_t max_lanes = 0;  // widest single batch
+  /// Lane-stage advances performed (the SoA analogue of
+  /// CacheStats::stages_computed).
+  std::uint64_t lane_stages = 0;
+  /// Of which through the reassociated kFast kernels (the rest ran the
+  /// strict scalar-ordered path).
+  std::uint64_t fast_lane_stages = 0;
+
+  void merge(const BatchStats& other) noexcept {
+    batches += other.batches;
+    lanes += other.lanes;
+    max_lanes = max_lanes < other.max_lanes ? other.max_lanes : max_lanes;
+    lane_stages += other.lane_stages;
+    fast_lane_stages += other.fast_lane_stages;
+  }
+};
+
+/// Advances the carry states of many candidate chains together, one
+/// stage at a time, against a fixed profile and candidate palette.
+/// A chain is a sequence of candidate indices, least significant stage
+/// first, exactly as in ChainEvaluator.
+class ChainBatchEvaluator {
+ public:
+  /// Throws std::invalid_argument when `candidates` is empty or holds
+  /// more than 255 cells (lane choices are bytes, matching the prefix
+  /// keys of ChainEvaluator).
+  ChainBatchEvaluator(multibit::InputProfile profile,
+                      std::vector<adders::AdderCell> candidates);
+
+  [[nodiscard]] std::size_t width() const noexcept {
+    return profile_.width();
+  }
+  [[nodiscard]] std::size_t candidate_count() const noexcept {
+    return mkls_.size();
+  }
+  [[nodiscard]] const multibit::InputProfile& profile() const noexcept {
+    return profile_;
+  }
+  [[nodiscard]] const analysis::MklMatrices& mkl(std::size_t c) const {
+    return mkls_.at(c);
+  }
+
+  /// Structure-of-arrays carry states: lane l is the CarryState
+  /// {c0[l], c1[l]}.  Plain vectors so consumers can build, gather and
+  /// scatter lanes without going through the evaluator.
+  struct Lanes {
+    std::vector<double> c0;
+    std::vector<double> c1;
+
+    [[nodiscard]] std::size_t size() const noexcept { return c0.size(); }
+    [[nodiscard]] analysis::CarryState state(std::size_t l) const {
+      return {c0.at(l), c1.at(l)};
+    }
+    void set(std::size_t l, const analysis::CarryState& s) {
+      c0.at(l) = s.c0;
+      c1.at(l) = s.c1;
+    }
+  };
+
+  /// Fills `lanes` with `count` copies of the Equation 5 initial state.
+  void init_lanes(Lanes& lanes, std::size_t count) const;
+
+  /// Advances every lane through `stage`, lane l using candidate
+  /// choices[l], in place.  choices.size() must equal lanes.size().
+  void advance(std::size_t stage, std::span<const std::uint8_t> choices,
+               Lanes& lanes, BatchMode mode);
+
+  /// Gathered advance for frontier expansion: output lane l advances
+  /// input lane parents[l] through `stage` with candidate choices[l].
+  /// `out` is resized to choices.size(); `in` may be wider or narrower
+  /// than `out` and is not modified.
+  void advance_from(std::size_t stage, const Lanes& in,
+                    std::span<const std::uint32_t> parents,
+                    std::span<const std::uint8_t> choices, Lanes& out,
+                    BatchMode mode);
+
+  /// Equation 12 at the last stage: out[l] = P(Succ) of lane l's state
+  /// extended by candidate choices[l].  Raw dot product, no clamping —
+  /// the quantity DSE comparisons rank by.
+  void final_success(const Lanes& lanes,
+                     std::span<const std::uint8_t> choices,
+                     std::span<double> out, BatchMode mode);
+
+  /// Gathered form of final_success: lane l reads in.state(parents[l]).
+  void final_success_from(const Lanes& in,
+                          std::span<const std::uint32_t> parents,
+                          std::span<const std::uint8_t> choices,
+                          std::span<double> out, BatchMode mode);
+
+  /// Full analyses of complete chains (each chains[i].size() == width())
+  /// in one stage-major pass.  In kStrict mode element i is bit-identical
+  /// to RecursiveAnalyzer::analyze on the same cells (enforced by
+  /// tests/test_engine.cpp and bench_many_chain).
+  [[nodiscard]] std::vector<analysis::AnalysisResult> evaluate(
+      std::span<const std::span<const std::size_t>> chains, BatchMode mode);
+
+  /// Records one consumer-level batch operation of `lanes` lanes.
+  /// evaluate() calls this itself; consumers driving the stage API
+  /// directly (ChainEvaluator::evaluate_batch, score_extensions) call it
+  /// once per logical batch.
+  void note_batch(std::size_t lanes) noexcept;
+
+  [[nodiscard]] const BatchStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = BatchStats{}; }
+
+ private:
+  void check_stage(std::size_t stage) const;
+  void check_choices(std::span<const std::uint8_t> choices) const;
+  /// The six coefficients of (stage, candidate).
+  [[nodiscard]] const double* coeff(std::size_t stage) const noexcept {
+    return coeff_.data() + stage * mkls_.size() * 6;
+  }
+  void advance_in_place(std::size_t stage,
+                        std::span<const std::uint8_t> choices, Lanes& lanes,
+                        BatchMode mode);
+
+  multibit::InputProfile profile_;
+  std::vector<analysis::MklMatrices> mkls_;
+  analysis::CarryState base_;  // Equation 5 initial state
+  /// [stage][candidate][6]: t00, t01, t10, t11, u0, u1 (header comment).
+  std::vector<double> coeff_;
+  BatchStats stats_;
+};
+
+namespace detail {
+
+/// The runtime-dispatched kFast kernels (batch_x86.cpp): `t` is the
+/// stage's coefficient table, 6 doubles per candidate, and choices[l]
+/// indexes it.  advance_lanes_fast rewrites c0/c1 in place;
+/// final_lanes_fast writes u0*c0 + u1*c1 per lane into `out`.
+void advance_lanes_fast(const double* t, const std::uint8_t* choices,
+                        std::size_t n, double* c0, double* c1) noexcept;
+void final_lanes_fast(const double* t, const std::uint8_t* choices,
+                      std::size_t n, const double* c0, const double* c1,
+                      double* out) noexcept;
+
+}  // namespace detail
+
+}  // namespace sealpaa::engine

@@ -1,0 +1,264 @@
+// Runtime-dispatched AVX2/AVX-512 FMA kernels for the SoA batch
+// recursion's kFast mode, mirroring the sim/bitsliced_x86.cpp pattern:
+// portable fallbacks live in this file too, every entry point re-checks
+// the SEALPAA_FORCE_KERNEL cap (one relaxed atomic load), and non-x86
+// builds compile only the portable branch.
+//
+// Per stage each lane applies a 2x2 linear map whose coefficients are
+// gathered from the stage's candidate table by the lane's choice byte:
+//
+//   c0' = t00*c0 + t01*c1
+//   c1' = t10*c0 + t11*c1
+//
+// The vector kernels compute t0x*c0 with a multiply and fold t1x*c1 in
+// with one FMA, so each product rounds once and the sum rounds once —
+// the same shape as the portable expression, within FP-contraction
+// differences.  All kFast variants therefore agree with each other and
+// with kStrict to the documented ~1e-12 relative tolerance (pinned by
+// tests/test_engine.cpp across every dispatch level).
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "sealpaa/engine/batch_evaluator.hpp"
+
+namespace sealpaa::engine {
+
+namespace {
+
+void advance_lanes_portable(const double* t, const std::uint8_t* choices,
+                            std::size_t n, double* c0, double* c1) noexcept {
+  for (std::size_t l = 0; l < n; ++l) {
+    const double* tc = t + static_cast<std::size_t>(choices[l]) * 6;
+    const double next0 = tc[0] * c0[l] + tc[1] * c1[l];
+    const double next1 = tc[2] * c0[l] + tc[3] * c1[l];
+    c0[l] = next0;
+    c1[l] = next1;
+  }
+}
+
+void final_lanes_portable(const double* t, const std::uint8_t* choices,
+                          std::size_t n, const double* c0, const double* c1,
+                          double* out) noexcept {
+  for (std::size_t l = 0; l < n; ++l) {
+    const double* tc = t + static_cast<std::size_t>(choices[l]) * 6;
+    out[l] = tc[4] * c0[l] + tc[5] * c1[l];
+  }
+}
+
+}  // namespace
+
+}  // namespace sealpaa::engine
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+
+#include <immintrin.h>
+
+namespace sealpaa::engine {
+
+namespace {
+
+// GCC's plain _mm(256|512)_i32gather_pd intrinsics feed an uninitialized
+// "old value" register into the masked builtin and trip
+// -Wmaybe-uninitialized; the explicit-source masked forms with an
+// all-ones mask are the same instruction without the warning.
+[[gnu::target("avx2")]]
+inline __m256d gather4(const double* base, __m128i idx) noexcept {
+  return _mm256_mask_i32gather_pd(
+      _mm256_setzero_pd(), base, idx,
+      _mm256_castsi256_pd(_mm256_set1_epi64x(-1)), 8);
+}
+
+[[gnu::target("avx512f")]]
+inline __m512d gather8(const double* base, __m256i idx) noexcept {
+  return _mm512_mask_i32gather_pd(_mm512_setzero_pd(),
+                                  static_cast<__mmask8>(0xFF), idx, base, 8);
+}
+
+// 4 lanes per iteration: the four choice bytes widen to dword indices,
+// four gathers pull the stage coefficients, one mul + one FMA per output
+// row.  The tail (< 4 lanes) runs the portable loop.
+[[gnu::target("avx2,fma")]]
+void advance_lanes_avx2(const double* t, const std::uint8_t* choices,
+                        std::size_t n, double* c0, double* c1) noexcept {
+  const __m128i six = _mm_set1_epi32(6);
+  std::size_t l = 0;
+  for (; l + 4 <= n; l += 4) {
+    std::uint32_t packed;
+    std::memcpy(&packed, choices + l, sizeof(packed));
+    const __m128i idx = _mm_mullo_epi32(
+        _mm_cvtepu8_epi32(_mm_cvtsi32_si128(static_cast<int>(packed))), six);
+    const __m256d t00 = gather4(t + 0, idx);
+    const __m256d t01 = gather4(t + 1, idx);
+    const __m256d t10 = gather4(t + 2, idx);
+    const __m256d t11 = gather4(t + 3, idx);
+    const __m256d v0 = _mm256_loadu_pd(c0 + l);
+    const __m256d v1 = _mm256_loadu_pd(c1 + l);
+    _mm256_storeu_pd(c0 + l,
+                     _mm256_fmadd_pd(t01, v1, _mm256_mul_pd(t00, v0)));
+    _mm256_storeu_pd(c1 + l,
+                     _mm256_fmadd_pd(t11, v1, _mm256_mul_pd(t10, v0)));
+  }
+  advance_lanes_portable(t, choices + l, n - l, c0 + l, c1 + l);
+}
+
+[[gnu::target("avx2,fma")]]
+void final_lanes_avx2(const double* t, const std::uint8_t* choices,
+                      std::size_t n, const double* c0, const double* c1,
+                      double* out) noexcept {
+  const __m128i six = _mm_set1_epi32(6);
+  std::size_t l = 0;
+  for (; l + 4 <= n; l += 4) {
+    std::uint32_t packed;
+    std::memcpy(&packed, choices + l, sizeof(packed));
+    const __m128i idx = _mm_mullo_epi32(
+        _mm_cvtepu8_epi32(_mm_cvtsi32_si128(static_cast<int>(packed))), six);
+    const __m256d u0 = gather4(t + 4, idx);
+    const __m256d u1 = gather4(t + 5, idx);
+    const __m256d v0 = _mm256_loadu_pd(c0 + l);
+    const __m256d v1 = _mm256_loadu_pd(c1 + l);
+    _mm256_storeu_pd(out + l,
+                     _mm256_fmadd_pd(u1, v1, _mm256_mul_pd(u0, v0)));
+  }
+  final_lanes_portable(t, choices + l, n - l, c0 + l, c1 + l, out + l);
+}
+
+// 8 lanes per iteration; same structure, zmm registers.  avx512f implies
+// the avx2 forms used for the index arithmetic.
+[[gnu::target("avx512f,avx2,fma")]]
+void advance_lanes_avx512(const double* t, const std::uint8_t* choices,
+                          std::size_t n, double* c0, double* c1) noexcept {
+  const __m256i six = _mm256_set1_epi32(6);
+  std::size_t l = 0;
+  for (; l + 8 <= n; l += 8) {
+    std::uint64_t packed;
+    std::memcpy(&packed, choices + l, sizeof(packed));
+    const __m256i idx = _mm256_mullo_epi32(
+        _mm256_cvtepu8_epi32(
+            _mm_cvtsi64_si128(static_cast<long long>(packed))),
+        six);
+    const __m512d t00 = gather8(t + 0, idx);
+    const __m512d t01 = gather8(t + 1, idx);
+    const __m512d t10 = gather8(t + 2, idx);
+    const __m512d t11 = gather8(t + 3, idx);
+    const __m512d v0 = _mm512_loadu_pd(c0 + l);
+    const __m512d v1 = _mm512_loadu_pd(c1 + l);
+    _mm512_storeu_pd(c0 + l,
+                     _mm512_fmadd_pd(t01, v1, _mm512_mul_pd(t00, v0)));
+    _mm512_storeu_pd(c1 + l,
+                     _mm512_fmadd_pd(t11, v1, _mm512_mul_pd(t10, v0)));
+  }
+  advance_lanes_avx2(t, choices + l, n - l, c0 + l, c1 + l);
+}
+
+[[gnu::target("avx512f,avx2,fma")]]
+void final_lanes_avx512(const double* t, const std::uint8_t* choices,
+                        std::size_t n, const double* c0, const double* c1,
+                        double* out) noexcept {
+  const __m256i six = _mm256_set1_epi32(6);
+  std::size_t l = 0;
+  for (; l + 8 <= n; l += 8) {
+    std::uint64_t packed;
+    std::memcpy(&packed, choices + l, sizeof(packed));
+    const __m256i idx = _mm256_mullo_epi32(
+        _mm256_cvtepu8_epi32(
+            _mm_cvtsi64_si128(static_cast<long long>(packed))),
+        six);
+    const __m512d u0 = gather8(t + 4, idx);
+    const __m512d u1 = gather8(t + 5, idx);
+    const __m512d v0 = _mm512_loadu_pd(c0 + l);
+    const __m512d v1 = _mm512_loadu_pd(c1 + l);
+    _mm512_storeu_pd(out + l,
+                     _mm512_fmadd_pd(u1, v1, _mm512_mul_pd(u0, v0)));
+  }
+  final_lanes_avx2(t, choices + l, n - l, c0 + l, c1 + l, out + l);
+}
+
+util::KernelLevel cpu_kernel_cap() noexcept {
+  static const util::KernelLevel cap = [] {
+    if (__builtin_cpu_supports("avx512f") != 0) {
+      return util::KernelLevel::kAvx512;
+    }
+    if (__builtin_cpu_supports("avx2") != 0 &&
+        __builtin_cpu_supports("fma") != 0) {
+      return util::KernelLevel::kAvx2;
+    }
+    return util::KernelLevel::kScalar;
+  }();
+  return cap;
+}
+
+}  // namespace
+
+util::KernelLevel active_batch_kernel() noexcept {
+  const util::KernelLevel cap = cpu_kernel_cap();
+  const auto forced = util::forced_kernel();
+  if (forced && static_cast<int>(*forced) < static_cast<int>(cap)) {
+    return *forced;
+  }
+  return cap;
+}
+
+namespace detail {
+
+void advance_lanes_fast(const double* t, const std::uint8_t* choices,
+                        std::size_t n, double* c0, double* c1) noexcept {
+  switch (active_batch_kernel()) {
+    case util::KernelLevel::kAvx512:
+      advance_lanes_avx512(t, choices, n, c0, c1);
+      return;
+    case util::KernelLevel::kAvx2:
+      advance_lanes_avx2(t, choices, n, c0, c1);
+      return;
+    case util::KernelLevel::kScalar:
+      break;
+  }
+  advance_lanes_portable(t, choices, n, c0, c1);
+}
+
+void final_lanes_fast(const double* t, const std::uint8_t* choices,
+                      std::size_t n, const double* c0, const double* c1,
+                      double* out) noexcept {
+  switch (active_batch_kernel()) {
+    case util::KernelLevel::kAvx512:
+      final_lanes_avx512(t, choices, n, c0, c1, out);
+      return;
+    case util::KernelLevel::kAvx2:
+      final_lanes_avx2(t, choices, n, c0, c1, out);
+      return;
+    case util::KernelLevel::kScalar:
+      break;
+  }
+  final_lanes_portable(t, choices, n, c0, c1, out);
+}
+
+}  // namespace detail
+
+}  // namespace sealpaa::engine
+
+#else  // non-x86 or unsupported compiler: portable paths only.
+
+namespace sealpaa::engine {
+
+util::KernelLevel active_batch_kernel() noexcept {
+  return util::KernelLevel::kScalar;
+}
+
+namespace detail {
+
+void advance_lanes_fast(const double* t, const std::uint8_t* choices,
+                        std::size_t n, double* c0, double* c1) noexcept {
+  advance_lanes_portable(t, choices, n, c0, c1);
+}
+
+void final_lanes_fast(const double* t, const std::uint8_t* choices,
+                      std::size_t n, const double* c0, const double* c1,
+                      double* out) noexcept {
+  final_lanes_portable(t, choices, n, c0, c1, out);
+}
+
+}  // namespace detail
+
+}  // namespace sealpaa::engine
+
+#endif

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <utility>
 
 #include "sealpaa/prob/probability.hpp"
@@ -40,6 +41,7 @@ ChainEvaluator::ChainEvaluator(multibit::InputProfile profile,
     : profile_(std::move(profile)),
       candidates_(std::move(candidates)),
       base_{1.0 - profile_.p_cin(), profile_.p_cin()},
+      batch_(profile_, candidates_),
       capacity_(std::min(options.cache_capacity, kMaxCapacity)),
       key_stride_(profile_.width()),
       pmf_capacity_(options.pmf_cache_capacity),
@@ -275,6 +277,220 @@ analysis::AnalysisResult ChainEvaluator::evaluate(
       analysis::advance_stage(last, p_a, p_b, before_last);
   ++stats_.stages_computed;
   return result;
+}
+
+std::vector<analysis::AnalysisResult> ChainEvaluator::evaluate_batch(
+    std::span<const std::span<const std::size_t>> chains) {
+  const std::size_t n = width();
+  const std::size_t count = chains.size();
+  std::vector<analysis::AnalysisResult> results(count);
+  if (count == 0) return results;
+  if (n == 0) {
+    throw std::invalid_argument(
+        "ChainEvaluator::evaluate_batch: zero-width profile");
+  }
+  for (const std::span<const std::size_t> chain : chains) {
+    if (chain.size() != n) {
+      throw std::invalid_argument(
+          "ChainEvaluator::evaluate_batch: chain of " +
+          std::to_string(chain.size()) + " stages does not match width " +
+          std::to_string(n));
+    }
+    for (const std::size_t c : chain) check_choice(c);
+  }
+  stats_.chains_evaluated += count;
+  batch_.note_batch(count);
+
+  // Per-lane key bytes and the rolling prefix hashes of every depth —
+  // the same FNV/mix scheme carry_after uses, so batch-computed prefixes
+  // and sequentially computed ones share one cache namespace.
+  std::vector<char> keys(count * n);
+  std::vector<std::uint64_t> hashes(count * (n + 1));
+  for (std::size_t l = 0; l < count; ++l) {
+    char* key = keys.data() + l * n;
+    std::uint64_t* hs = hashes.data() + l * (n + 1);
+    std::uint64_t h = kFnvBasis;
+    hs[0] = mix(h);
+    for (std::size_t i = 0; i < n; ++i) {
+      key[i] = static_cast<char>(chains[l][i]);
+      h = (h ^ (chains[l][i] & 0xFFu)) * kFnvPrime;
+      hs[i + 1] = mix(h);
+    }
+  }
+
+  ChainBatchEvaluator::Lanes lanes;
+  batch_.init_lanes(lanes, count);
+  std::vector<std::uint32_t> pending;    // lanes advancing this stage
+  std::vector<std::uint8_t> pending_c;   // their choice bytes
+  std::vector<std::uint8_t> last(count); // final-stage choices
+  // Followers adopt a leader lane's freshly advanced state instead of
+  // recomputing the shared prefix; leaders are found by mixed hash with
+  // a key-bytes check, so a 64-bit collision degrades to duplicate work,
+  // never to a wrong adoption.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> followers;
+  std::unordered_map<std::uint64_t, std::uint32_t> leaders;
+
+  for (std::size_t d = 0; d + 1 < n; ++d) {
+    pending.clear();
+    pending_c.clear();
+    followers.clear();
+    leaders.clear();
+    for (std::size_t l = 0; l < count; ++l) {
+      const std::string_view key(keys.data() + l * n, d + 1);
+      const std::uint64_t hash = hashes[l * (n + 1) + d + 1];
+      if (capacity_ > 0) {
+        const std::uint32_t slot = find_slot(key, hash);
+        if (slot != kNil) {
+          ++stats_.hits;
+          touch(slot);
+          lanes.c0[l] = slots_[slot].carry.c0;
+          lanes.c1[l] = slots_[slot].carry.c1;
+          continue;
+        }
+        ++stats_.misses;
+        const auto [it, inserted] =
+            leaders.try_emplace(hash, static_cast<std::uint32_t>(l));
+        if (!inserted &&
+            std::string_view(keys.data() + it->second * n, d + 1) == key) {
+          followers.emplace_back(static_cast<std::uint32_t>(l), it->second);
+          continue;
+        }
+      }
+      pending.push_back(static_cast<std::uint32_t>(l));
+      pending_c.push_back(static_cast<std::uint8_t>(chains[l][d]));
+    }
+    if (!pending.empty()) {
+      batch_.advance_from(d, lanes, pending, pending_c, batch_scratch_,
+                          BatchMode::kStrict);
+      stats_.stages_computed += pending.size();
+      for (std::size_t j = 0; j < pending.size(); ++j) {
+        const std::uint32_t l = pending[j];
+        lanes.c0[l] = batch_scratch_.c0[j];
+        lanes.c1[l] = batch_scratch_.c1[j];
+        if (capacity_ > 0) {
+          insert_prefix(std::string_view(keys.data() + l * n, d + 1),
+                        hashes[l * (n + 1) + d + 1],
+                        {lanes.c0[l], lanes.c1[l]});
+        }
+      }
+    }
+    for (const auto& [follower, leader] : followers) {
+      lanes.c0[follower] = lanes.c0[leader];
+      lanes.c1[follower] = lanes.c1[leader];
+    }
+  }
+
+  // Final stage, all lanes together: Equation 12, then the last carry
+  // advance — the exact call sequence of evaluate() per lane.
+  std::vector<double> p_raw(count);
+  for (std::size_t l = 0; l < count; ++l) {
+    last[l] = static_cast<std::uint8_t>(chains[l][n - 1]);
+  }
+  batch_.final_success(lanes, last, p_raw, BatchMode::kStrict);
+  batch_.advance(n - 1, last, lanes, BatchMode::kStrict);
+  stats_.stages_computed += count;
+  for (std::size_t l = 0; l < count; ++l) {
+    results[l].p_success =
+        prob::require_probability(p_raw[l], "ChainEvaluator P(Succ)");
+    results[l].p_error = 1.0 - results[l].p_success;
+    results[l].final_carry = {lanes.c0[l], lanes.c1[l]};
+  }
+  return results;
+}
+
+std::vector<double> ChainEvaluator::score_extensions(
+    std::span<const std::vector<std::size_t>> parents,
+    std::span<const Extension> extensions) {
+  const std::size_t n = width();
+  const std::size_t depth = parents.empty() ? 0 : parents.front().size();
+  if (depth >= n) {
+    throw std::invalid_argument(
+        "ChainEvaluator::score_extensions: parent depth " +
+        std::to_string(depth) + " leaves no stage to extend (width " +
+        std::to_string(n) + ")");
+  }
+  for (const std::vector<std::size_t>& parent : parents) {
+    if (parent.size() != depth) {
+      throw std::invalid_argument(
+          "ChainEvaluator::score_extensions: parents must share one depth");
+    }
+  }
+  std::vector<double> out(extensions.size());
+  if (extensions.empty()) return out;
+
+  // Parent states go through carry_after: cache hits here are what keep
+  // round-to-round prefix reuse (and its accounting) identical to the
+  // per-extension path.  The raw FNV state is re-rolled per parent so
+  // each extension's key hash is one multiply away.
+  ChainBatchEvaluator::Lanes parent_lanes;
+  parent_lanes.c0.resize(parents.size());
+  parent_lanes.c1.resize(parents.size());
+  std::vector<std::uint64_t> parent_fnv(parents.size());
+  for (std::size_t p = 0; p < parents.size(); ++p) {
+    const analysis::CarryState carry = carry_after(parents[p]);
+    parent_lanes.c0[p] = carry.c0;
+    parent_lanes.c1[p] = carry.c1;
+    std::uint64_t h = kFnvBasis;
+    for (const std::size_t c : parents[p]) {
+      h = (h ^ (c & 0xFFu)) * kFnvPrime;
+    }
+    parent_fnv[p] = h;
+  }
+
+  std::vector<std::uint32_t> parent_idx(extensions.size());
+  std::vector<std::uint8_t> choices(extensions.size());
+  for (std::size_t e = 0; e < extensions.size(); ++e) {
+    if (extensions[e].parent >= parents.size()) {
+      throw std::out_of_range(
+          "ChainEvaluator::score_extensions: extension parent " +
+          std::to_string(extensions[e].parent) + " out of range (" +
+          std::to_string(parents.size()) + " parents)");
+    }
+    check_choice(extensions[e].choice);
+    parent_idx[e] = extensions[e].parent;
+    choices[e] = extensions[e].choice;
+  }
+  batch_.note_batch(extensions.size());
+
+  if (depth + 1 == n) {
+    // Last stage: Equation 12 per extension, nothing cached — exactly
+    // what final_success(parent, choice) computes after its parent probe.
+    batch_.final_success_from(parent_lanes, parent_idx, choices, out,
+                              BatchMode::kStrict);
+    return out;
+  }
+
+  batch_.advance_from(depth, parent_lanes, parent_idx, choices,
+                      batch_scratch_, BatchMode::kStrict);
+  stats_.stages_computed += extensions.size();
+  for (std::size_t e = 0; e < extensions.size(); ++e) {
+    out[e] = batch_scratch_.c0[e] + batch_scratch_.c1[e];
+    if (capacity_ == 0) continue;
+    // Cache the advanced state under parent-key + choice, mirroring the
+    // per-extension carry_after accounting: one probe (the miss that
+    // precedes an insert, or a hit when a shared evaluator already holds
+    // the key) per extension.
+    const std::vector<std::size_t>& parent = parents[extensions[e].parent];
+    key_scratch_.clear();
+    for (const std::size_t c : parent) {
+      key_scratch_.push_back(static_cast<char>(c));
+    }
+    key_scratch_.push_back(static_cast<char>(extensions[e].choice));
+    const std::uint64_t hash =
+        mix((parent_fnv[extensions[e].parent] ^ extensions[e].choice) *
+            kFnvPrime);
+    const std::string_view key(key_scratch_.data(), depth + 1);
+    const std::uint32_t slot = find_slot(key, hash);
+    if (slot != kNil) {
+      ++stats_.hits;
+      touch(slot);
+      continue;
+    }
+    ++stats_.misses;
+    insert_prefix(key, hash,
+                  {batch_scratch_.c0[e], batch_scratch_.c1[e]});
+  }
+  return out;
 }
 
 void ChainEvaluator::pmf_insert(

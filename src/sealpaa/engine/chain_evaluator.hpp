@@ -26,6 +26,7 @@
 #include "sealpaa/analysis/error_pmf.hpp"
 #include "sealpaa/analysis/mkl.hpp"
 #include "sealpaa/analysis/recursive.hpp"
+#include "sealpaa/engine/batch_evaluator.hpp"
 #include "sealpaa/multibit/input_profile.hpp"
 
 namespace sealpaa::engine {
@@ -109,6 +110,34 @@ class ChainEvaluator {
   [[nodiscard]] analysis::AnalysisResult evaluate(
       std::span<const std::size_t> choices);
 
+  /// Many full chains in one strict SoA pass: per stage, every lane
+  /// first probes the prefix cache at its next depth (so one lane's
+  /// freshly cached prefix serves every other lane, within the batch as
+  /// well as across calls), lanes sharing a not-yet-cached prefix are
+  /// deduplicated so each distinct prefix advances exactly once, and the
+  /// remaining lanes advance together through the ChainBatchEvaluator.
+  /// Element i is bit-identical to evaluate(chains[i]) — cache adoption
+  /// only changes how often stages are recomputed, never a value.
+  /// Accounted in stats() (probes/advances) and batch_stats() (lanes).
+  [[nodiscard]] std::vector<analysis::AnalysisResult> evaluate_batch(
+      std::span<const std::span<const std::size_t>> chains);
+
+  /// One frontier expansion of a beam/greedy DSE round: every extension
+  /// (parents[e.parent] + [e.choice]) scored in a single strict SoA
+  /// batch.  All parents must share one depth d; when d + 1 == width()
+  /// the scores are Equation-12 final success values (nothing cached,
+  /// like final_success), otherwise the advanced carry's success mass,
+  /// with each advanced state inserted into the prefix cache exactly as
+  /// the per-extension carry_after path would.  Scores are bit-identical
+  /// to the per-extension calls (same per-lane call sequence).
+  struct Extension {
+    std::uint32_t parent = 0;  // index into `parents`
+    std::uint8_t choice = 0;   // candidate index for the new stage
+  };
+  [[nodiscard]] std::vector<double> score_extensions(
+      std::span<const std::vector<std::size_t>> parents,
+      std::span<const Extension> extensions);
+
   /// Joint-carry error-PMF state after the stages of `choices`, served
   /// from the longest cached PMF prefix (its own LRU cache, accounted in
   /// pmf_stats()).  The returned state is shared with the cache — treat
@@ -127,6 +156,10 @@ class ChainEvaluator {
       std::span<const std::size_t> choices);
 
   [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  /// SoA batch accounting (evaluate_batch / score_extensions lanes).
+  [[nodiscard]] const BatchStats& batch_stats() const noexcept {
+    return batch_.stats();
+  }
   /// PMF prefix-cache accounting (stages_computed counts
   /// advance_error_pmf calls, chains_evaluated counts error_pmf calls).
   [[nodiscard]] const CacheStats& pmf_stats() const noexcept {
@@ -135,6 +168,7 @@ class ChainEvaluator {
   void reset_stats() noexcept {
     stats_ = CacheStats{};
     pmf_stats_ = CacheStats{};
+    batch_.reset_stats();
   }
 
   /// Cached prefix states currently held.
@@ -198,6 +232,11 @@ class ChainEvaluator {
   std::vector<adders::AdderCell> candidates_;
   std::vector<analysis::MklMatrices> mkls_;
   analysis::CarryState base_;  // Equation 5 initial state
+  /// The SoA core behind evaluate_batch/score_extensions.  Strict mode
+  /// only from here — cached states must stay bit-identical to the
+  /// scalar recursion no matter which path computed them.
+  ChainBatchEvaluator batch_;
+  ChainBatchEvaluator::Lanes batch_scratch_;
   std::size_t capacity_;
   std::size_t key_stride_;  // bytes reserved per slot in key_pool_
   std::vector<char> key_scratch_;

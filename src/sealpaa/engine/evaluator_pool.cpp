@@ -5,6 +5,19 @@
 
 namespace sealpaa::engine {
 
+namespace {
+
+void fold(CacheStats& into, const CacheStats& stats) {
+  into.hits += stats.hits;
+  into.misses += stats.misses;
+  into.insertions += stats.insertions;
+  into.evictions += stats.evictions;
+  into.stages_computed += stats.stages_computed;
+  into.chains_evaluated += stats.chains_evaluated;
+}
+
+}  // namespace
+
 EvaluatorPool::EvaluatorPool(std::vector<adders::AdderCell> palette,
                              EvaluatorPoolOptions options)
     : palette_(std::move(palette)), options_(options) {
@@ -70,13 +83,23 @@ std::optional<std::size_t> EvaluatorPool::candidate_index(
 CacheStats EvaluatorPool::aggregate_stats() const {
   CacheStats total = retired_;
   for (const Entry& entry : entries_) {
-    const CacheStats& stats = entry.evaluator->stats();
-    total.hits += stats.hits;
-    total.misses += stats.misses;
-    total.insertions += stats.insertions;
-    total.evictions += stats.evictions;
-    total.stages_computed += stats.stages_computed;
-    total.chains_evaluated += stats.chains_evaluated;
+    fold(total, entry.evaluator->stats());
+  }
+  return total;
+}
+
+CacheStats EvaluatorPool::aggregate_pmf_stats() const {
+  CacheStats total = retired_pmf_;
+  for (const Entry& entry : entries_) {
+    fold(total, entry.evaluator->pmf_stats());
+  }
+  return total;
+}
+
+BatchStats EvaluatorPool::aggregate_batch_stats() const {
+  BatchStats total = retired_batch_;
+  for (const Entry& entry : entries_) {
+    total.merge(entry.evaluator->batch_stats());
   }
   return total;
 }
@@ -88,13 +111,9 @@ void EvaluatorPool::clear() {
 }
 
 void EvaluatorPool::retire(const Entry& entry) {
-  const CacheStats& stats = entry.evaluator->stats();
-  retired_.hits += stats.hits;
-  retired_.misses += stats.misses;
-  retired_.insertions += stats.insertions;
-  retired_.evictions += stats.evictions;
-  retired_.stages_computed += stats.stages_computed;
-  retired_.chains_evaluated += stats.chains_evaluated;
+  fold(retired_, entry.evaluator->stats());
+  fold(retired_pmf_, entry.evaluator->pmf_stats());
+  retired_batch_.merge(entry.evaluator->batch_stats());
 }
 
 }  // namespace sealpaa::engine

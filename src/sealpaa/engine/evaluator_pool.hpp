@@ -75,6 +75,14 @@ class EvaluatorPool {
   /// evaluator still shared by an in-flight batch is not re-counted.)
   [[nodiscard]] CacheStats aggregate_stats() const;
 
+  /// Same aggregation over the PMF prefix caches.
+  [[nodiscard]] CacheStats aggregate_pmf_stats() const;
+
+  /// Same aggregation over the SoA batch counters (evaluate_batch /
+  /// score_extensions lanes) — the pool-level proof that service
+  /// batches ran lane-parallel.
+  [[nodiscard]] BatchStats aggregate_batch_stats() const;
+
   /// Drops every live evaluator (their stats move to the retired
   /// aggregate; lifetime counters are kept).
   void clear();
@@ -94,6 +102,8 @@ class EvaluatorPool {
   std::list<Entry> entries_;  // front = most recently used
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
   CacheStats retired_;
+  CacheStats retired_pmf_;
+  BatchStats retired_batch_;
   std::uint64_t created_ = 0;
   std::uint64_t evicted_ = 0;
   std::uint64_t pool_hits_ = 0;

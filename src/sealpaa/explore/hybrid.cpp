@@ -521,6 +521,15 @@ HybridDesign HybridOptimizer::beam(const multibit::InputProfile& profile,
   std::vector<Extension> expanded;
   std::vector<std::size_t> scratch;
   scratch.reserve(n);
+  // The err objective scores each round's whole frontier in one
+  // ChainEvaluator::score_extensions SoA batch: `pending` collects the
+  // constraint-surviving (parent, choice) pairs in the exact per-parent,
+  // per-candidate order of the historical loop, and `parent_choices`
+  // hands the evaluator the shared parent prefixes.  Scores are
+  // bit-identical to the per-extension carry_after / final_success
+  // calls, so the survivors (and the winner) cannot change.
+  std::vector<engine::ChainEvaluator::Extension> pending;
+  std::vector<std::vector<std::size_t>> parent_choices;
 
   bool have_best = false;
   double best_score = 0.0;
@@ -529,6 +538,14 @@ HybridDesign HybridOptimizer::beam(const multibit::InputProfile& profile,
   for (std::size_t i = 0; i < n; ++i) {
     expanded.clear();
     expanded.reserve(beam_set.size() * candidates.size());
+    if (!by_pmf) {
+      pending.clear();
+      parent_choices.clear();
+      parent_choices.reserve(beam_set.size());
+      for (const Partial& partial : beam_set) {
+        parent_choices.push_back(partial.choice);
+      }
+    }
     for (std::size_t parent = 0; parent < beam_set.size(); ++parent) {
       const Partial& partial = beam_set[parent];
       scratch.assign(partial.choice.begin(), partial.choice.end());
@@ -555,12 +572,19 @@ HybridDesign HybridOptimizer::beam(const multibit::InputProfile& profile,
           }
         }
         ++stats.candidates_evaluated;
+        if (!by_pmf) {
+          pending.push_back(engine::ChainEvaluator::Extension{
+              static_cast<std::uint32_t>(parent),
+              static_cast<std::uint8_t>(c)});
+          if (i + 1 < n) {
+            expanded.push_back(Extension{parent, c, 0.0, power, area});
+          }
+          continue;
+        }
         scratch.back() = c;
         if (i + 1 == n) {
-          const double score = by_pmf
-                                   ? pmf_metric(evaluator.error_pmf(scratch),
-                                                objective)
-                                   : evaluator.final_success(partial.choice, c);
+          const double score = pmf_metric(evaluator.error_pmf(scratch),
+                                          objective);
           if (!have_best || better(score, best_score)) {
             have_best = true;
             best_score = score;
@@ -570,6 +594,24 @@ HybridDesign HybridOptimizer::beam(const multibit::InputProfile& profile,
         } else {
           expanded.push_back(Extension{parent, c, prefix_score(scratch),
                                        power, area});
+        }
+      }
+    }
+    if (!by_pmf && !pending.empty()) {
+      const std::vector<double> scores =
+          evaluator.score_extensions(parent_choices, pending);
+      if (i + 1 == n) {
+        for (std::size_t e = 0; e < pending.size(); ++e) {
+          if (!have_best || better(scores[e], best_score)) {
+            have_best = true;
+            best_score = scores[e];
+            best_choice = parent_choices[pending[e].parent];
+            best_choice.push_back(pending[e].choice);
+          }
+        }
+      } else {
+        for (std::size_t e = 0; e < pending.size(); ++e) {
+          expanded[e].score = scores[e];
         }
       }
     }
@@ -612,6 +654,10 @@ HybridDesign HybridOptimizer::beam(const multibit::InputProfile& profile,
   stats.cache_hits = cache.hits;
   stats.cache_misses = cache.misses;
   stats.stages_computed = cache.stages_computed;
+  const engine::BatchStats& batch = evaluator.batch_stats();
+  stats.soa_batches = batch.batches;
+  stats.soa_lanes = batch.lanes;
+  stats.soa_max_lanes = batch.max_lanes;
   design.stats = stats;
   return design;
 }

@@ -64,6 +64,16 @@ struct SearchStats {
   /// would be ~candidates_evaluated * width; the ratio is the measured
   /// benefit of the incremental engine.
   std::uint64_t stages_computed = 0;
+  /// SoA batch accounting of the err-objective beam/greedy search, which
+  /// scores each frontier expansion through one
+  /// engine::ChainEvaluator::score_extensions call: batch operations
+  /// submitted, total lanes across them, and the widest single batch.
+  /// soa_max_lanes > 1 is the run-report proof that expansion ran
+  /// lane-parallel rather than extension-at-a-time.  Zero for the
+  /// exhaustive DFS and the PMF-ranked objectives.
+  std::uint64_t soa_batches = 0;
+  std::uint64_t soa_lanes = 0;
+  std::uint64_t soa_max_lanes = 0;
 };
 
 /// A fully evaluated hybrid design.
@@ -115,7 +125,11 @@ class HybridOptimizer {
   /// Extensions are scored through an engine::ChainEvaluator whose LRU
   /// prefix cache serves each surviving partial's carry state in O(1),
   /// so a stage costs one advance per expansion instead of a full
-  /// re-analysis of the prefix.
+  /// re-analysis of the prefix.  Each round's surviving-constraint
+  /// expansions go through one ChainEvaluator::score_extensions SoA
+  /// batch (bit-identical to the per-extension calls; see
+  /// SearchStats::soa_batches), so the whole beam_width x |candidates|
+  /// frontier advances in a single lane-parallel pass per stage.
   /// With `objective` kMed/kMse partial designs are ranked by the
   /// analytic metric of their prefix PMF instead of success mass, served
   /// from the evaluator's PMF prefix cache at the same cache-hit

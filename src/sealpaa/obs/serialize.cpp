@@ -109,6 +109,16 @@ Json to_json(const engine::CacheStats& stats) {
   return out;
 }
 
+Json to_json(const engine::BatchStats& stats) {
+  Json out = Json::object();
+  out.set("batches", Json(stats.batches));
+  out.set("lanes", Json(stats.lanes));
+  out.set("max_lanes", Json(stats.max_lanes));
+  out.set("lane_stages", Json(stats.lane_stages));
+  out.set("fast_lane_stages", Json(stats.fast_lane_stages));
+  return out;
+}
+
 Json to_json(const engine::Evaluation& evaluation) {
   Json out = Json::object();
   out.set("method", Json(std::string(engine::method_name(evaluation.method))));
@@ -158,6 +168,9 @@ Json to_json(const explore::SearchStats& stats) {
   out.set("cache_hits", Json(stats.cache_hits));
   out.set("cache_misses", Json(stats.cache_misses));
   out.set("stages_computed", Json(stats.stages_computed));
+  out.set("soa_batches", Json(stats.soa_batches));
+  out.set("soa_lanes", Json(stats.soa_lanes));
+  out.set("soa_max_lanes", Json(stats.soa_max_lanes));
   return out;
 }
 

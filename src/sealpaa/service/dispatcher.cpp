@@ -1,6 +1,7 @@
 #include "sealpaa/service/dispatcher.hpp"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
 #include <utility>
 
@@ -167,14 +168,73 @@ std::vector<OutgoingResponse> Dispatcher::run_batch(
     slot.micros = static_cast<std::uint64_t>(timer.elapsed_seconds() * 1e6);
   };
 
+  // A whole recursive group in one SoA pass: expired requests are
+  // filtered out first (the same "before evaluation started" check
+  // run_evaluate makes), the survivors' chains become the lanes of one
+  // strict-mode evaluate_batch call — bit-identical per lane to the
+  // per-request evaluate(), so responses stay byte-for-byte what the
+  // sequential loop produced.  Should the batch throw (one malformed
+  // chain poisons the whole lane pass), the group replays per slot so
+  // the error attaches to the request that caused it.
+  const auto run_group = [&slots, &run_evaluate](
+                             const std::vector<std::size_t>& indices,
+                             engine::ChainEvaluator* evaluator) {
+    std::vector<std::size_t> live;
+    live.reserve(indices.size());
+    for (const std::size_t index : indices) {
+      Slot& slot = slots[index];
+      const Request& request = *slot.request;
+      const auto deadline = slot.pending->arrival +
+                            std::chrono::milliseconds(request.timeout_ms);
+      if (request.timeout_ms == 0 || Clock::now() >= deadline) {
+        slot.response = make_error_response(
+            request.id, error_code::kTimeout,
+            "deadline of " + std::to_string(request.timeout_ms) +
+                " ms expired before evaluation started");
+        slot.error = true;
+        slot.done = true;
+        continue;
+      }
+      live.push_back(index);
+    }
+    if (live.empty()) return;
+    std::vector<std::span<const std::size_t>> chains;
+    chains.reserve(live.size());
+    for (const std::size_t index : live) {
+      chains.emplace_back(slots[index].choices);
+    }
+    const util::WallTimer timer;
+    try {
+      const std::vector<analysis::AnalysisResult> results =
+          evaluator->evaluate_batch(chains);
+      const std::uint64_t micros = static_cast<std::uint64_t>(
+          timer.elapsed_seconds() * 1e6 /
+          static_cast<double>(live.size()));
+      for (std::size_t j = 0; j < live.size(); ++j) {
+        Slot& slot = slots[live[j]];
+        engine::Evaluation evaluation;
+        evaluation.method = engine::Method::kRecursive;
+        evaluation.p_error = results[j].p_error;
+        evaluation.p_success = results[j].p_success;
+        evaluation.work_items = slot.request->width;
+        slot.response =
+            make_evaluation_response(slot.request->id, evaluation);
+        slot.done = true;
+        slot.micros = micros;
+      }
+    } catch (...) {
+      for (const std::size_t index : live) {
+        run_evaluate(slots[index], evaluator);
+      }
+    }
+  };
+
   util::with_pool(threads, [&](util::ThreadPool& pool) {
     for (auto& [key, group] : recursive_groups) {
       engine::ChainEvaluator* evaluator = group.evaluator.get();
       const std::vector<std::size_t>& indices = group.slot_indices;
-      pool.submit([&slots, &run_evaluate, evaluator, &indices] {
-        for (const std::size_t index : indices) {
-          run_evaluate(slots[index], evaluator);
-        }
+      pool.submit([&run_group, evaluator, &indices] {
+        run_group(indices, evaluator);
       });
     }
     for (const std::size_t index : other_jobs) {
@@ -260,6 +320,8 @@ obs::Json Dispatcher::stats_json() const {
   evaluators.set("evicted", obs::Json(evaluators_.evicted()));
   evaluators.set("pool_hits", obs::Json(evaluators_.pool_hits()));
   evaluators.set("prefix_cache", obs::to_json(evaluators_.aggregate_stats()));
+  evaluators.set("pmf_cache", obs::to_json(evaluators_.aggregate_pmf_stats()));
+  evaluators.set("batch", obs::to_json(evaluators_.aggregate_batch_stats()));
   out.set("evaluators", std::move(evaluators));
 
   obs::Json methods = obs::Json::object();

@@ -22,6 +22,7 @@
 #include <cstdint>
 
 #include "sealpaa/sim/bitsliced.hpp"
+#include "sealpaa/util/kernel_override.hpp"
 
 namespace sealpaa::sim {
 
@@ -375,8 +376,13 @@ bool cpu_has_zmm_kernels() noexcept {
 }  // namespace
 
 bool transpose64_accelerated() noexcept {
+  // CPU support is immutable and latched once; the SEALPAA_FORCE_KERNEL
+  // cap is consulted per call (one relaxed atomic load) so tests can
+  // flip dispatch levels mid-process.  The sim has exactly two tiers —
+  // portable and AVX-512 — so any cap below avx512 selects portable.
   static const bool supported = cpu_has_zmm_kernels();
-  return supported;
+  return supported &&
+         util::kernel_level_allowed(util::KernelLevel::kAvx512);
 }
 
 void transpose64_fast(std::array<std::uint64_t, 64>& m) noexcept {

@@ -1,0 +1,79 @@
+#include "sealpaa/util/kernel_override.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sealpaa::util {
+
+namespace {
+
+// Encoded override states.  The atomic holds the *effective* value so
+// forced_kernel() is one relaxed load on the hot path.
+constexpr int kUnparsed = -3;  // environment not read yet
+constexpr int kNone = -1;      // no cap (unset / unrecognized / cleared)
+
+std::atomic<int> g_forced{kUnparsed};
+
+int parse_environment() noexcept {
+  const char* value = std::getenv("SEALPAA_FORCE_KERNEL");
+  if (value == nullptr || value[0] == '\0') return kNone;
+  const std::string_view text(value);
+  if (text == "scalar") return static_cast<int>(KernelLevel::kScalar);
+  if (text == "avx2") return static_cast<int>(KernelLevel::kAvx2);
+  if (text == "avx512") return static_cast<int>(KernelLevel::kAvx512);
+  std::fprintf(stderr,
+               "sealpaa: ignoring unrecognized SEALPAA_FORCE_KERNEL=%s "
+               "(valid: scalar, avx2, avx512)\n",
+               value);
+  return kNone;
+}
+
+int effective() noexcept {
+  int state = g_forced.load(std::memory_order_relaxed);
+  if (state == kUnparsed) {
+    // Racing first readers parse the same environment and store the
+    // same value; compare_exchange keeps a concurrent set_forced_kernel
+    // from being overwritten by a stale environment parse.
+    const int parsed = parse_environment();
+    if (g_forced.compare_exchange_strong(state, parsed,
+                                         std::memory_order_relaxed)) {
+      state = parsed;
+    }
+  }
+  return state;
+}
+
+}  // namespace
+
+std::string_view kernel_level_name(KernelLevel level) noexcept {
+  switch (level) {
+    case KernelLevel::kScalar:
+      return "scalar";
+    case KernelLevel::kAvx2:
+      return "avx2";
+    case KernelLevel::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+std::optional<KernelLevel> forced_kernel() noexcept {
+  const int state = effective();
+  if (state < 0) return std::nullopt;
+  return static_cast<KernelLevel>(state);
+}
+
+void set_forced_kernel(std::optional<KernelLevel> level) noexcept {
+  // Clearing re-arms the environment parse, so a cleared programmatic
+  // override falls back to SEALPAA_FORCE_KERNEL rather than to "no cap".
+  g_forced.store(level ? static_cast<int>(*level) : kUnparsed,
+                 std::memory_order_relaxed);
+}
+
+bool kernel_level_allowed(KernelLevel level) noexcept {
+  const int state = effective();
+  return state < 0 || state >= static_cast<int>(level);
+}
+
+}  // namespace sealpaa::util

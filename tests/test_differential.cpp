@@ -18,12 +18,15 @@
 #include <cmath>
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "sealpaa/adders/builtin.hpp"
 #include "sealpaa/adders/cell.hpp"
+#include "sealpaa/analysis/recursive.hpp"
 #include "sealpaa/baseline/weighted_exhaustive.hpp"
+#include "sealpaa/engine/batch_evaluator.hpp"
 #include "sealpaa/engine/method.hpp"
 #include "sealpaa/multibit/chain.hpp"
 #include "sealpaa/multibit/input_profile.hpp"
@@ -465,6 +468,64 @@ TEST(Differential, HybridChainsOfRandomCellsAgree) {
     const auto ie = evaluate(chain, profile, Method::kInclusionExclusion);
     EXPECT_NEAR(recursive.p_error, ie.p_error, kTolerance)
         << chain.describe() << " width " << width;
+  }
+}
+
+TEST(Differential, BatchEvaluatorAgreesWithRecursionAtEveryKernelLevel) {
+  // The SoA many-chain kernel against the scalar recursion, at every
+  // forced dispatch tier: strict mode must be bit-identical regardless
+  // of the cap (it never touches the SIMD kernels), and the
+  // reassociated fast mode must stay within 1e-12 relative at each
+  // level.  Forcing is a cap, so walking avx2/avx512 is safe on any box.
+  sealpaa::prob::SplitMix64 seed_stream(0xd1ff'e2e4'7e57'0006ULL);
+  sealpaa::prob::Xoshiro256StarStar profile_rng(0xd1ff'e2e4'7e57'0007ULL);
+  sealpaa::prob::SplitMix64 chain_rng(0xd1ff'e2e4'7e57'0008ULL);
+  const std::size_t width = 12;
+  std::vector<AdderCell> palette;
+  for (int c = 0; c < 5; ++c) palette.push_back(random_cell(seed_stream, c));
+  const InputProfile profile =
+      InputProfile::random(width, profile_rng, 0.1, 0.9);
+  sealpaa::engine::ChainBatchEvaluator batch(profile, palette);
+
+  std::vector<std::vector<std::size_t>> chains(16);
+  std::vector<std::span<const std::size_t>> spans;
+  std::vector<sealpaa::analysis::AnalysisResult> oracle;
+  for (std::vector<std::size_t>& choice : chains) {
+    std::vector<AdderCell> stages;
+    for (std::size_t s = 0; s < width; ++s) {
+      choice.push_back(chain_rng.next() % palette.size());
+      stages.push_back(palette[choice.back()]);
+    }
+    spans.emplace_back(choice);
+    oracle.push_back(sealpaa::analysis::RecursiveAnalyzer::analyze(
+        AdderChain(stages), profile));
+  }
+
+  struct Guard {
+    ~Guard() { sealpaa::util::set_forced_kernel(std::nullopt); }
+  } guard;
+  for (const sealpaa::util::KernelLevel level :
+       {sealpaa::util::KernelLevel::kScalar,
+        sealpaa::util::KernelLevel::kAvx2,
+        sealpaa::util::KernelLevel::kAvx512}) {
+    sealpaa::util::set_forced_kernel(level);
+    const auto strict =
+        batch.evaluate(spans, sealpaa::engine::BatchMode::kStrict);
+    const auto fast =
+        batch.evaluate(spans, sealpaa::engine::BatchMode::kFast);
+    ASSERT_EQ(strict.size(), oracle.size());
+    for (std::size_t l = 0; l < oracle.size(); ++l) {
+      EXPECT_EQ(strict[l].p_error, oracle[l].p_error)
+          << sealpaa::util::kernel_level_name(level) << " lane " << l;
+      EXPECT_EQ(strict[l].p_success, oracle[l].p_success)
+          << sealpaa::util::kernel_level_name(level) << " lane " << l;
+      EXPECT_EQ(strict[l].final_carry.c0, oracle[l].final_carry.c0)
+          << sealpaa::util::kernel_level_name(level) << " lane " << l;
+      EXPECT_EQ(strict[l].final_carry.c1, oracle[l].final_carry.c1)
+          << sealpaa::util::kernel_level_name(level) << " lane " << l;
+      EXPECT_NEAR(fast[l].p_success, oracle[l].p_success, kTolerance)
+          << sealpaa::util::kernel_level_name(level) << " lane " << l;
+    }
   }
 }
 

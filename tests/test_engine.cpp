@@ -7,7 +7,12 @@
 // method registry's parse/dispatch behaviour.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cmath>
 #include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -15,24 +20,36 @@
 #include "sealpaa/adders/builtin.hpp"
 #include "sealpaa/adders/cell.hpp"
 #include "sealpaa/analysis/recursive.hpp"
+#include "sealpaa/engine/batch_evaluator.hpp"
 #include "sealpaa/engine/chain_evaluator.hpp"
 #include "sealpaa/engine/incremental.hpp"
 #include "sealpaa/engine/method.hpp"
 #include "sealpaa/multibit/chain.hpp"
 #include "sealpaa/multibit/input_profile.hpp"
 #include "sealpaa/prob/rng.hpp"
+#include "sealpaa/util/kernel_override.hpp"
 
 namespace {
 
 using sealpaa::adders::AdderCell;
 using sealpaa::analysis::AnalysisResult;
 using sealpaa::analysis::RecursiveAnalyzer;
+using sealpaa::engine::BatchMode;
+using sealpaa::engine::ChainBatchEvaluator;
 using sealpaa::engine::ChainEvaluator;
 using sealpaa::engine::ChainEvaluatorOptions;
 using sealpaa::engine::IncrementalAnalyzer;
 using sealpaa::engine::MklCache;
 using sealpaa::multibit::AdderChain;
 using sealpaa::multibit::InputProfile;
+using sealpaa::util::KernelLevel;
+
+/// Clears the process-wide kernel cap on scope exit so an assertion
+/// failure inside a forced-level loop cannot leak the cap into later
+/// tests.
+struct ForcedKernelGuard {
+  ~ForcedKernelGuard() { sealpaa::util::set_forced_kernel(std::nullopt); }
+};
 
 /// Random 8-row truth table; exact tables are rerolled so every case
 /// exercises a genuinely approximate cell.
@@ -367,6 +384,297 @@ TEST(ChainEvaluator, ValidatesArguments) {
 }
 
 // ---------------------------------------------------------------------------
+// ChainBatchEvaluator (the SoA many-chain kernel)
+
+TEST(ChainBatchEvaluator, StrictBitIdenticalToAnalyzeOver240RandomChains) {
+  // 20 configurations x 12 chains = 240 random chains; config*7 mod 29
+  // walks widths 4..32 without repeats (7 generates Z/29).
+  sealpaa::prob::SplitMix64 cell_rng(0xba7c'40c1'0000'0001ULL);
+  sealpaa::prob::Xoshiro256StarStar profile_rng(0xba7c'40c1'0000'0002ULL);
+  sealpaa::prob::SplitMix64 chain_rng(0xba7c'40c1'0000'0003ULL);
+  int total = 0;
+  for (int config = 0; config < 20; ++config) {
+    const std::size_t width = 4 + static_cast<std::size_t>(config * 7 % 29);
+    const std::size_t palette_size = 3 + static_cast<std::size_t>(config % 5);
+    std::vector<AdderCell> palette;
+    for (std::size_t c = 0; c < palette_size; ++c) {
+      palette.push_back(
+          random_cell(cell_rng, config * 100 + static_cast<int>(c)));
+    }
+    const InputProfile profile =
+        InputProfile::random(width, profile_rng, 0.05, 0.95);
+    ChainBatchEvaluator batch(profile, palette);
+
+    std::vector<std::vector<std::size_t>> chains(12);
+    std::vector<std::span<const std::size_t>> spans;
+    for (std::vector<std::size_t>& chain : chains) {
+      for (std::size_t s = 0; s < width; ++s) {
+        chain.push_back(chain_rng.next() % palette_size);
+      }
+      spans.emplace_back(chain);
+    }
+    const std::vector<AnalysisResult> results =
+        batch.evaluate(spans, BatchMode::kStrict);
+    ASSERT_EQ(results.size(), chains.size());
+    for (std::size_t l = 0; l < chains.size(); ++l) {
+      std::vector<AdderCell> stages;
+      for (const std::size_t c : chains[l]) stages.push_back(palette[c]);
+      const AnalysisResult want =
+          RecursiveAnalyzer::analyze(AdderChain(stages), profile);
+      expect_bit_identical(results[l], want,
+                           "config " + std::to_string(config) + " lane " +
+                               std::to_string(l) + " width " +
+                               std::to_string(width));
+      ++total;
+    }
+  }
+  EXPECT_GE(total, 200);
+}
+
+TEST(ChainBatchEvaluator, FastWithin1e12OfStrictAtEveryKernelLevel) {
+  // The reassociated kFast kernels must agree with the scalar-ordered
+  // strict path to ~1e-12 relative at every dispatch tier.  Forcing is a
+  // cap, so walking kScalar/kAvx2/kAvx512 is safe on any CPU: a level
+  // the box lacks simply runs the widest supported path below it.
+  sealpaa::prob::SplitMix64 cell_rng(0xba7c'40c1'0000'0011ULL);
+  sealpaa::prob::Xoshiro256StarStar profile_rng(0xba7c'40c1'0000'0012ULL);
+  sealpaa::prob::SplitMix64 chain_rng(0xba7c'40c1'0000'0013ULL);
+  const std::size_t width = 32;
+  const std::size_t palette_size = 6;
+  std::vector<AdderCell> palette;
+  for (std::size_t c = 0; c < palette_size; ++c) {
+    palette.push_back(random_cell(cell_rng, static_cast<int>(c)));
+  }
+  const InputProfile profile =
+      InputProfile::random(width, profile_rng, 0.05, 0.95);
+  ChainBatchEvaluator batch(profile, palette);
+
+  std::vector<std::vector<std::size_t>> chains(16);
+  std::vector<std::span<const std::size_t>> spans;
+  for (std::vector<std::size_t>& chain : chains) {
+    for (std::size_t s = 0; s < width; ++s) {
+      chain.push_back(chain_rng.next() % palette_size);
+    }
+    spans.emplace_back(chain);
+  }
+  const std::vector<AnalysisResult> strict =
+      batch.evaluate(spans, BatchMode::kStrict);
+
+  const ForcedKernelGuard guard;
+  for (const KernelLevel level :
+       {KernelLevel::kScalar, KernelLevel::kAvx2, KernelLevel::kAvx512}) {
+    sealpaa::util::set_forced_kernel(level);
+    const std::vector<AnalysisResult> fast =
+        batch.evaluate(spans, BatchMode::kFast);
+    ASSERT_EQ(fast.size(), strict.size());
+    for (std::size_t l = 0; l < strict.size(); ++l) {
+      const double scale =
+          std::abs(strict[l].p_success) > 1.0 ? std::abs(strict[l].p_success)
+                                              : 1.0;
+      EXPECT_LE(std::abs(fast[l].p_success - strict[l].p_success),
+                1e-12 * scale)
+          << "level "
+          << sealpaa::util::kernel_level_name(level) << " lane " << l;
+      EXPECT_LE(std::abs(fast[l].final_carry.c0 - strict[l].final_carry.c0),
+                1e-12)
+          << "level "
+          << sealpaa::util::kernel_level_name(level) << " lane " << l;
+      EXPECT_LE(std::abs(fast[l].final_carry.c1 - strict[l].final_carry.c1),
+                1e-12)
+          << "level "
+          << sealpaa::util::kernel_level_name(level) << " lane " << l;
+    }
+  }
+}
+
+TEST(ChainBatchEvaluator, StatsCountBatchesAndLaneStages) {
+  const AdderCell cell = sealpaa::adders::builtin_lpaas()[0];
+  const InputProfile profile = InputProfile::uniform(6, 0.5);
+  ChainBatchEvaluator batch(profile, {cell});
+  const std::vector<std::size_t> chain(6, 0);
+  const std::vector<std::span<const std::size_t>> spans{chain, chain, chain};
+  (void)batch.evaluate(spans, BatchMode::kStrict);
+  EXPECT_EQ(batch.stats().batches, 1u);
+  EXPECT_EQ(batch.stats().lanes, 3u);
+  EXPECT_EQ(batch.stats().max_lanes, 3u);
+  EXPECT_EQ(batch.stats().lane_stages, 3u * 6u);
+  EXPECT_EQ(batch.stats().fast_lane_stages, 0u);  // strict mode only
+  batch.reset_stats();
+  EXPECT_EQ(batch.stats().batches, 0u);
+}
+
+TEST(ChainBatchEvaluator, ValidatesArguments) {
+  const AdderCell cell = sealpaa::adders::builtin_lpaas()[0];
+  const InputProfile profile = InputProfile::uniform(4, 0.5);
+  EXPECT_THROW(ChainBatchEvaluator(profile, {}), std::invalid_argument);
+  ChainBatchEvaluator batch(profile, {cell});
+  const std::vector<std::size_t> short_chain{0, 0, 0};
+  const std::vector<std::span<const std::size_t>> spans{short_chain};
+  EXPECT_THROW((void)batch.evaluate(spans, BatchMode::kStrict),
+               std::invalid_argument);
+  const std::vector<std::size_t> bad_choice{0, 0, 0, 1};
+  const std::vector<std::span<const std::size_t>> bad{bad_choice};
+  EXPECT_THROW((void)batch.evaluate(bad, BatchMode::kStrict),
+               std::out_of_range);
+}
+
+// ---------------------------------------------------------------------------
+// ChainEvaluator batch entry points (SoA path behind the prefix cache)
+
+TEST(ChainEvaluator, EvaluateBatchBitIdenticalToPerChainEvaluate) {
+  // Chains share prefixes on purpose: the batch path must dedup and
+  // adopt cached states without changing a single bit of any result.
+  sealpaa::prob::SplitMix64 cell_rng(0xba7c'40c1'0000'0021ULL);
+  sealpaa::prob::Xoshiro256StarStar profile_rng(0xba7c'40c1'0000'0022ULL);
+  sealpaa::prob::SplitMix64 chain_rng(0xba7c'40c1'0000'0023ULL);
+  const std::size_t width = 12;
+  const std::size_t palette_size = 4;
+  std::vector<AdderCell> palette;
+  for (std::size_t c = 0; c < palette_size; ++c) {
+    palette.push_back(random_cell(cell_rng, static_cast<int>(c)));
+  }
+  const InputProfile profile =
+      InputProfile::random(width, profile_rng, 0.05, 0.95);
+
+  std::vector<std::size_t> base;
+  for (std::size_t s = 0; s < width; ++s) {
+    base.push_back(chain_rng.next() % palette_size);
+  }
+  std::vector<std::vector<std::size_t>> chains;
+  std::vector<std::span<const std::size_t>> spans;
+  for (int v = 0; v < 24; ++v) {
+    std::vector<std::size_t> chain = base;
+    // Mutate a suffix so early prefixes collide across lanes.
+    const std::size_t from = chain_rng.next() % width;
+    for (std::size_t s = from; s < width; ++s) {
+      chain[s] = chain_rng.next() % palette_size;
+    }
+    chains.push_back(std::move(chain));
+  }
+  for (const std::vector<std::size_t>& chain : chains) {
+    spans.emplace_back(chain);
+  }
+
+  ChainEvaluator batched(profile, palette);
+  ChainEvaluator sequential(profile, palette);
+  const std::vector<AnalysisResult> results = batched.evaluate_batch(spans);
+  ASSERT_EQ(results.size(), chains.size());
+  for (std::size_t l = 0; l < chains.size(); ++l) {
+    expect_bit_identical(results[l], sequential.evaluate(chains[l]),
+                         "lane " + std::to_string(l));
+  }
+  // The SoA counters are the proof the batch actually ran lane-parallel.
+  EXPECT_EQ(batched.batch_stats().batches, 1u);
+  EXPECT_EQ(batched.batch_stats().lanes, chains.size());
+  EXPECT_EQ(batched.batch_stats().max_lanes, chains.size());
+  // Shared prefixes mean the batch advanced strictly fewer lane-stages
+  // than 24 cache-less evaluations (24 x width) would have, and no more
+  // than the sequential evaluator with its own warm prefix cache.
+  EXPECT_LT(batched.stats().stages_computed, chains.size() * width);
+  EXPECT_LE(batched.stats().stages_computed,
+            sequential.stats().stages_computed);
+}
+
+TEST(ChainEvaluator, ScoreExtensionsBitIdenticalToPerExtensionPath) {
+  // Both the interior (carry advance, cached) and final (Equation 12,
+  // uncached) depths must reproduce the historical per-extension scores
+  // exactly — this is what keeps the beam DSE bit-identical to the naive
+  // recursion after the SoA rewiring.
+  sealpaa::prob::SplitMix64 cell_rng(0xba7c'40c1'0000'0031ULL);
+  sealpaa::prob::Xoshiro256StarStar profile_rng(0xba7c'40c1'0000'0032ULL);
+  sealpaa::prob::SplitMix64 chain_rng(0xba7c'40c1'0000'0033ULL);
+  const std::size_t width = 10;
+  const std::size_t palette_size = 5;
+  std::vector<AdderCell> palette;
+  for (std::size_t c = 0; c < palette_size; ++c) {
+    palette.push_back(random_cell(cell_rng, static_cast<int>(c)));
+  }
+  const InputProfile profile =
+      InputProfile::random(width, profile_rng, 0.05, 0.95);
+
+  for (const std::size_t depth : {std::size_t{4}, width - 1}) {
+    std::vector<std::vector<std::size_t>> parents(6);
+    for (std::vector<std::size_t>& parent : parents) {
+      for (std::size_t s = 0; s < depth; ++s) {
+        parent.push_back(chain_rng.next() % palette_size);
+      }
+    }
+    std::vector<ChainEvaluator::Extension> extensions;
+    for (std::size_t p = 0; p < parents.size(); ++p) {
+      for (std::size_t c = 0; c < palette_size; ++c) {
+        extensions.push_back(ChainEvaluator::Extension{
+            static_cast<std::uint32_t>(p), static_cast<std::uint8_t>(c)});
+      }
+    }
+
+    ChainEvaluator batched(profile, palette);
+    ChainEvaluator reference(profile, palette);
+    const std::vector<double> scores =
+        batched.score_extensions(parents, extensions);
+    ASSERT_EQ(scores.size(), extensions.size());
+    for (std::size_t e = 0; e < extensions.size(); ++e) {
+      const std::vector<std::size_t>& parent = parents[extensions[e].parent];
+      double want = 0.0;
+      if (depth + 1 == width) {
+        want = reference.final_success(parent, extensions[e].choice);
+      } else {
+        std::vector<std::size_t> extended = parent;
+        extended.push_back(extensions[e].choice);
+        const sealpaa::analysis::CarryState state =
+            reference.carry_after(extended);
+        want = state.c0 + state.c1;
+      }
+      EXPECT_EQ(scores[e], want)
+          << "depth " << depth << " extension " << e;
+    }
+  }
+}
+
+TEST(ChainEvaluator, ScoreExtensionsValidatesArguments) {
+  const AdderCell cell = sealpaa::adders::builtin_lpaas()[0];
+  const InputProfile profile = InputProfile::uniform(4, 0.5);
+  ChainEvaluator evaluator(profile, {cell});
+  const std::vector<std::vector<std::size_t>> full{{0, 0, 0, 0}};
+  const std::vector<ChainEvaluator::Extension> one{{0, 0}};
+  EXPECT_THROW((void)evaluator.score_extensions(full, one),
+               std::invalid_argument);
+  const std::vector<std::vector<std::size_t>> ragged{{0, 0}, {0}};
+  EXPECT_THROW((void)evaluator.score_extensions(ragged, one),
+               std::invalid_argument);
+  const std::vector<std::vector<std::size_t>> parents{{0, 0}};
+  const std::vector<ChainEvaluator::Extension> bad_parent{{7, 0}};
+  EXPECT_THROW((void)evaluator.score_extensions(parents, bad_parent),
+               std::out_of_range);
+  const std::vector<ChainEvaluator::Extension> bad_choice{{0, 9}};
+  EXPECT_THROW((void)evaluator.score_extensions(parents, bad_choice),
+               std::out_of_range);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel override (SEALPAA_FORCE_KERNEL / set_forced_kernel)
+
+TEST(KernelOverride, ProgrammaticCapShadowsEnvironmentAndReArms) {
+  const ForcedKernelGuard guard;
+  ASSERT_EQ(setenv("SEALPAA_FORCE_KERNEL", "avx2", 1), 0);
+  // nullopt re-arms the (cached) environment parse.
+  sealpaa::util::set_forced_kernel(std::nullopt);
+  EXPECT_EQ(sealpaa::util::forced_kernel(), KernelLevel::kAvx2);
+  EXPECT_TRUE(sealpaa::util::kernel_level_allowed(KernelLevel::kScalar));
+  EXPECT_TRUE(sealpaa::util::kernel_level_allowed(KernelLevel::kAvx2));
+  EXPECT_FALSE(sealpaa::util::kernel_level_allowed(KernelLevel::kAvx512));
+
+  sealpaa::util::set_forced_kernel(KernelLevel::kScalar);
+  EXPECT_EQ(sealpaa::util::forced_kernel(), KernelLevel::kScalar);
+  EXPECT_FALSE(sealpaa::util::kernel_level_allowed(KernelLevel::kAvx2));
+  EXPECT_EQ(sealpaa::engine::active_batch_kernel(), KernelLevel::kScalar);
+
+  ASSERT_EQ(unsetenv("SEALPAA_FORCE_KERNEL"), 0);
+  sealpaa::util::set_forced_kernel(std::nullopt);
+  EXPECT_EQ(sealpaa::util::forced_kernel(), std::nullopt);
+  EXPECT_TRUE(sealpaa::util::kernel_level_allowed(KernelLevel::kAvx512));
+}
+
+// ---------------------------------------------------------------------------
 // Method registry
 
 TEST(MethodRegistry, NamesRoundTripThroughParse) {
@@ -439,6 +747,61 @@ TEST(MethodRegistry, EvaluateValidatesWidthMismatch) {
   const InputProfile profile = InputProfile::uniform(6, 0.5);
   EXPECT_THROW((void)sealpaa::engine::evaluate(
                    chain, profile, sealpaa::engine::Method::kRecursive),
+               std::invalid_argument);
+}
+
+TEST(MethodRegistry, EvaluateBatchMatchesPerChainEvaluate) {
+  using sealpaa::engine::Method;
+  sealpaa::prob::SplitMix64 cell_rng(0xba7c'40c1'0000'0041ULL);
+  sealpaa::prob::Xoshiro256StarStar profile_rng(0xba7c'40c1'0000'0042ULL);
+  sealpaa::prob::SplitMix64 chain_rng(0xba7c'40c1'0000'0043ULL);
+  const std::size_t width = 9;
+  std::vector<AdderCell> palette;
+  for (int c = 0; c < 4; ++c) palette.push_back(random_cell(cell_rng, c));
+  const InputProfile profile =
+      InputProfile::random(width, profile_rng, 0.05, 0.95);
+
+  std::vector<AdderChain> chains;
+  for (int v = 0; v < 10; ++v) {
+    std::vector<AdderCell> stages;
+    for (std::size_t s = 0; s < width; ++s) {
+      stages.push_back(palette[chain_rng.next() % palette.size()]);
+    }
+    chains.emplace_back(stages);
+  }
+
+  // The batchable configuration (kRecursive, no trace, no op counter)
+  // routes through one strict ChainBatchEvaluator pass; element i must
+  // still be bit-for-bit what evaluate(chains[i]) returns.
+  const std::vector<sealpaa::engine::Evaluation> batch =
+      sealpaa::engine::evaluate_batch(chains, profile, Method::kRecursive);
+  ASSERT_EQ(batch.size(), chains.size());
+  for (std::size_t i = 0; i < chains.size(); ++i) {
+    const sealpaa::engine::Evaluation want =
+        sealpaa::engine::evaluate(chains[i], profile, Method::kRecursive);
+    EXPECT_EQ(batch[i].p_error, want.p_error) << "chain " << i;
+    EXPECT_EQ(batch[i].p_success, want.p_success) << "chain " << i;
+    EXPECT_EQ(batch[i].method, want.method) << "chain " << i;
+    EXPECT_EQ(batch[i].work_items, want.work_items) << "chain " << i;
+  }
+
+  // Non-batchable methods fall back to per-chain evaluation and must be
+  // indistinguishable from calling evaluate in a loop.
+  const std::vector<sealpaa::engine::Evaluation> ie =
+      sealpaa::engine::evaluate_batch(chains, profile,
+                                      Method::kInclusionExclusion);
+  for (std::size_t i = 0; i < chains.size(); ++i) {
+    const sealpaa::engine::Evaluation want = sealpaa::engine::evaluate(
+        chains[i], profile, Method::kInclusionExclusion);
+    EXPECT_EQ(ie[i].p_error, want.p_error) << "chain " << i;
+    EXPECT_EQ(ie[i].work_items, want.work_items) << "chain " << i;
+  }
+
+  // Width mismatches are rejected for the whole batch up front.
+  std::vector<AdderChain> ragged = chains;
+  ragged.push_back(AdderChain::homogeneous(palette[0], width - 1));
+  EXPECT_THROW((void)sealpaa::engine::evaluate_batch(ragged, profile,
+                                                     Method::kRecursive),
                std::invalid_argument);
 }
 
