@@ -1,0 +1,731 @@
+#include "sealpaa/explore/branch_bound.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "sealpaa/engine/chain_evaluator.hpp"
+#include "sealpaa/engine/incremental.hpp"
+#include "sealpaa/explore/detail.hpp"
+#include "sealpaa/util/parallel.hpp"
+
+namespace sealpaa::explore {
+
+namespace {
+
+// Relative slack widening the admissible bounds before a cutoff: the
+// carry mass and the residual-error sum are monotone in exact
+// arithmetic, but each is a different floating-point summation than the
+// leaf score it bounds, so a mathematically-tied completion could land
+// epsilon past the computed bound.  Pruning only beyond the slack keeps
+// every tie explored, which is what makes the (score, min index)
+// incumbent bit-identical to the exhaustive DFS.
+constexpr double kErrBoundSlack = 1e-12;
+constexpr double kPmfBoundSlack = 1e-9;
+
+constexpr std::uint64_t kSatMax = std::numeric_limits<std::uint64_t>::max();
+
+std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) noexcept {
+  return a > kSatMax - b ? kSatMax : a + b;
+}
+
+std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  return a > kSatMax / b ? kSatMax : a * b;
+}
+
+/// (score, historical index) incumbent order — "better score, or equal
+/// score and lower index", exactly the exhaustive DFS rule.  A total
+/// order, so folding candidates in any schedule yields the same winner.
+bool improves(bool found, double best_score, std::uint64_t best_index,
+              double score, std::uint64_t index, bool maximize) noexcept {
+  if (!found) return true;
+  if (score != best_score) {
+    return maximize ? score > best_score : score < best_score;
+  }
+  return index < best_index;
+}
+
+/// Admissible lower bound on the final MED/MSE from a depth-`depth`
+/// prefix PMF state: every future error contribution (stage deltas for
+/// i >= depth and the carry-out fold) is a multiple of 2^depth, so each
+/// unit of prefix mass at value e ends at values congruent to e
+/// (mod 2^depth) and contributes at least min(r, 2^depth - r)^q.
+double residual_bound(const analysis::ErrorPmfState& state, std::size_t depth,
+                      Objective objective) {
+  if (depth == 0) return 0.0;
+  // 2^62 still divides 2^d for d > 62, so clamping keeps the congruence
+  // (and the bound admissible) while staying representable.  In practice
+  // advance_error_pmf throws past 62 stages anyway.
+  if (depth > 62) depth = 62;
+  const std::int64_t mod = std::int64_t{1} << depth;
+  const bool mse = objective == Objective::kMse;
+  double bound = 0.0;
+  for (const analysis::ErrorPmf& segment : state.joint) {
+    for (const analysis::ErrorPmf::Entry& entry : segment.entries()) {
+      std::int64_t r = entry.value % mod;
+      if (r < 0) r += mod;
+      const double dist = static_cast<double>(std::min(r, mod - r));
+      bound += entry.probability * (mse ? dist * dist : dist);
+    }
+  }
+  return bound;
+}
+
+/// Immutable per-run context shared by every worker.
+struct Ctx {
+  Ctx(const multibit::InputProfile& profile_in,
+      std::span<const adders::AdderCell> candidates_in,
+      const DesignConstraints& constraints_in, Objective objective_in)
+      : profile(profile_in),
+        candidates(candidates_in),
+        constraints(constraints_in),
+        objective(objective_in) {}
+
+  const multibit::InputProfile& profile;
+  std::span<const adders::AdderCell> candidates;
+  const DesignConstraints& constraints;
+  Objective objective = Objective::kErrorRate;
+  bool maximize = true;  // err maximizes success; med/mse minimize
+  std::size_t n = 0;
+  std::size_t k = 0;
+  std::size_t split_depth = 0;
+  std::uint64_t units = 0;
+  bool track_power = false;
+  bool track_area = false;
+  std::vector<char> cell_usable;
+  std::vector<double> power_of;
+  std::vector<double> area_of;
+  /// Saturating k^i for the historical (stage-0 least significant)
+  /// design index; pow_k[i] for i in [0, n].
+  std::vector<std::uint64_t> pow_k;
+  /// Saturating k^(n - d): leaves below a depth-d node; [0, n].
+  std::vector<std::uint64_t> leaves_below;
+};
+
+Ctx make_ctx(const multibit::InputProfile& profile,
+             std::span<const adders::AdderCell> candidates,
+             const DesignConstraints& constraints, Objective objective) {
+  Ctx ctx{profile, candidates, constraints, objective};
+  ctx.maximize = objective == Objective::kErrorRate;
+  ctx.n = profile.width();
+  ctx.k = candidates.size();
+  ctx.track_power = constraints.max_power_nw.has_value();
+  ctx.track_area = constraints.max_area_ge.has_value();
+  ctx.cell_usable.reserve(ctx.k);
+  ctx.power_of.reserve(ctx.k);
+  ctx.area_of.reserve(ctx.k);
+  for (const adders::AdderCell& cell : candidates) {
+    const detail::CellCost cost = detail::cost_of(cell);
+    const bool ok = detail::usable(cost, constraints);
+    ctx.cell_usable.push_back(ok ? 1 : 0);
+    ctx.power_of.push_back(ok && cost.power ? *cost.power : 0.0);
+    ctx.area_of.push_back(ok && cost.area ? *cost.area : 0.0);
+  }
+  ctx.pow_k.resize(ctx.n + 1);
+  ctx.leaves_below.resize(ctx.n + 1);
+  ctx.pow_k[0] = 1;
+  for (std::size_t i = 0; i < ctx.n; ++i) {
+    ctx.pow_k[i + 1] = sat_mul(ctx.pow_k[i], ctx.k);
+  }
+  for (std::size_t d = 0; d <= ctx.n; ++d) {
+    ctx.leaves_below[d] = ctx.pow_k[ctx.n - d];
+  }
+  // Static unit split: the smallest depth giving at least 64 subtree
+  // units.  A function of (k, n) only — never of the thread count — so
+  // the unit list, and with it the single-threaded visit order and every
+  // checkpoint, is the same however many workers run.
+  std::size_t depth = 0;
+  std::uint64_t units = 1;
+  while (units < 64 && depth + 1 < ctx.n) {
+    units = sat_mul(units, ctx.k);
+    ++depth;
+  }
+  ctx.split_depth = depth;
+  ctx.units = units;
+  return ctx;
+}
+
+/// Additive merge of per-unit accounting (soa_max_lanes merges as max,
+/// nodes_pruned and candidates_rejected saturate).
+void merge_stats(SearchStats& into, const SearchStats& from) noexcept {
+  into.candidates_evaluated += from.candidates_evaluated;
+  into.candidates_rejected =
+      sat_add(into.candidates_rejected, from.candidates_rejected);
+  into.cache_hits += from.cache_hits;
+  into.cache_misses += from.cache_misses;
+  into.stages_computed += from.stages_computed;
+  into.soa_batches += from.soa_batches;
+  into.soa_lanes += from.soa_lanes;
+  into.soa_max_lanes = std::max(into.soa_max_lanes, from.soa_max_lanes);
+  into.nodes_expanded += from.nodes_expanded;
+  into.nodes_pruned = sat_add(into.nodes_pruned, from.nodes_pruned);
+  into.bound_cutoffs += from.bound_cutoffs;
+  into.steal_count += from.steal_count;
+}
+
+struct Incumbent {
+  bool found = false;
+  double score = 0.0;
+  std::uint64_t index = 0;
+  std::vector<std::size_t> choices;
+};
+
+/// Contiguous range of unit indices owned by one worker.
+struct UnitRange {
+  std::uint64_t next = 0;
+  std::uint64_t end = 0;
+};
+
+/// Mutable run state shared by the workers.  One mutex guards all of it:
+/// every access happens at unit granularity (claim / steal / publish /
+/// complete), which is orders of magnitude coarser than the per-node
+/// work, so contention is negligible.
+struct Shared {
+  std::mutex mutex;
+  Incumbent incumbent;
+  std::vector<char> unit_done;
+  std::vector<UnitRange> ranges;
+  std::uint64_t units_completed = 0;
+  std::uint64_t units_since_checkpoint = 0;
+  SearchStats stats;
+  bool suspended = false;
+  std::exception_ptr error;
+};
+
+BnbCheckpoint build_checkpoint_locked(const Ctx& ctx, const Shared& shared) {
+  BnbCheckpoint ckpt;
+  ckpt.objective = std::string(objective_name(ctx.objective));
+  ckpt.width = ctx.n;
+  ckpt.palette.reserve(ctx.k);
+  for (const adders::AdderCell& cell : ctx.candidates) {
+    ckpt.palette.push_back(engine::MklCache::key_of(cell));
+  }
+  ckpt.p_a = ctx.profile.all_p_a();
+  ckpt.p_b = ctx.profile.all_p_b();
+  ckpt.p_cin = ctx.profile.p_cin();
+  ckpt.max_power_nw = ctx.constraints.max_power_nw;
+  ckpt.max_area_ge = ctx.constraints.max_area_ge;
+  ckpt.split_depth = ctx.split_depth;
+  ckpt.total_units = ctx.units;
+  ckpt.incumbent_found = shared.incumbent.found;
+  ckpt.incumbent_choices = shared.incumbent.choices;
+  ckpt.incumbent_score = shared.incumbent.score;
+  ckpt.incumbent_index = shared.incumbent.index;
+  for (std::uint64_t u = 0; u < ctx.units; ++u) {
+    if (shared.unit_done[u]) ckpt.completed_units.push_back(u);
+  }
+  ckpt.stats = shared.stats;
+  return ckpt;
+}
+
+void validate_checkpoint(const Ctx& ctx, const BnbCheckpoint& ckpt) {
+  const auto fail = [](const char* what) {
+    throw std::invalid_argument(
+        std::string("BranchBoundOptimizer::resume: checkpoint mismatch: ") +
+        what);
+  };
+  if (ckpt.objective != objective_name(ctx.objective)) fail("objective");
+  if (ckpt.width != ctx.n) fail("width");
+  if (ckpt.palette.size() != ctx.k) fail("palette size");
+  for (std::size_t c = 0; c < ctx.k; ++c) {
+    if (ckpt.palette[c] != engine::MklCache::key_of(ctx.candidates[c])) {
+      fail("palette cell");
+    }
+  }
+  if (ckpt.p_a != ctx.profile.all_p_a() ||
+      ckpt.p_b != ctx.profile.all_p_b() ||
+      ckpt.p_cin != ctx.profile.p_cin()) {
+    fail("input profile");
+  }
+  if (ckpt.max_power_nw != ctx.constraints.max_power_nw ||
+      ckpt.max_area_ge != ctx.constraints.max_area_ge) {
+    fail("constraints");
+  }
+  if (ckpt.split_depth != ctx.split_depth ||
+      ckpt.total_units != ctx.units) {
+    fail("unit split");
+  }
+  if (ckpt.incumbent_found &&
+      ckpt.incumbent_choices.size() != ctx.n) {
+    fail("incumbent choices");
+  }
+  for (const std::size_t c : ckpt.incumbent_choices) {
+    if (c >= ctx.k) fail("incumbent choice index");
+  }
+  for (const std::uint64_t u : ckpt.completed_units) {
+    if (u >= ctx.units) fail("completed unit index");
+  }
+}
+
+/// One worker: owns a ChainEvaluator (not thread-safe) and drains units
+/// from its range, stealing when empty.
+class Worker {
+ public:
+  Worker(const Ctx& ctx, Shared& shared, const BnbOptions& options,
+         std::size_t id)
+      : ctx_(ctx),
+        shared_(shared),
+        options_(options),
+        id_(id),
+        eval_(ctx.profile,
+              std::vector<adders::AdderCell>(ctx.candidates.begin(),
+                                             ctx.candidates.end())),
+        parent_scratch_(1) {
+    choices_.reserve(ctx.n);
+  }
+
+  void run() {
+    for (;;) {
+      const std::optional<std::uint64_t> unit = claim();
+      if (!unit) return;
+      process_unit(*unit);
+    }
+  }
+
+ private:
+  /// Claims the next unit: own range first (ascending order — at one
+  /// worker this is a pure sequential sweep over all units), then steals
+  /// the upper half of the largest remaining victim range.
+  std::optional<std::uint64_t> claim() {
+    std::lock_guard<std::mutex> lock(shared_.mutex);
+    if (shared_.suspended) return std::nullopt;
+    for (;;) {
+      UnitRange& own = shared_.ranges[id_];
+      while (own.next < own.end) {
+        const std::uint64_t u = own.next++;
+        if (!shared_.unit_done[u]) return u;  // resume skips done units
+      }
+      std::size_t victim = shared_.ranges.size();
+      std::uint64_t best_remaining = 0;
+      for (std::size_t v = 0; v < shared_.ranges.size(); ++v) {
+        if (v == id_) continue;
+        const UnitRange& range = shared_.ranges[v];
+        const std::uint64_t remaining = range.end - range.next;
+        if (remaining > best_remaining) {
+          best_remaining = remaining;
+          victim = v;
+        }
+      }
+      if (victim == shared_.ranges.size()) return std::nullopt;  // drained
+      UnitRange& from = shared_.ranges[victim];
+      ++shared_.stats.steal_count;
+      if (best_remaining == 1) {
+        const std::uint64_t u = from.next++;
+        if (!shared_.unit_done[u]) return u;
+        continue;
+      }
+      // Victim keeps the lower (earlier) half it is already walking.
+      const std::uint64_t mid = from.next + (best_remaining + 1) / 2;
+      own.next = mid;
+      own.end = from.end;
+      from.end = mid;
+    }
+  }
+
+  void process_unit(std::uint64_t unit) {
+    unit_stats_ = SearchStats{};
+    {
+      std::lock_guard<std::mutex> lock(shared_.mutex);
+      refresh_incumbent_locked();
+    }
+    choices_.clear();
+    std::uint64_t rest = unit;
+    for (std::size_t i = 0; i < ctx_.split_depth; ++i) {
+      choices_.push_back(static_cast<std::size_t>(rest % ctx_.k));
+      rest /= ctx_.k;
+    }
+    // Constraint screen over the fixed prefix, left to right — the same
+    // running-sum order as the exhaustive odometer, so the rejected leaf
+    // set is bit-identical.
+    double power = 0.0;
+    double area = 0.0;
+    bool rejected = false;
+    for (std::size_t i = 0; i < ctx_.split_depth && !rejected; ++i) {
+      const std::size_t c = choices_[i];
+      if (!ctx_.cell_usable[c]) {
+        rejected = true;
+        break;
+      }
+      if (ctx_.track_power) {
+        power += ctx_.power_of[c];
+        if (power > *ctx_.constraints.max_power_nw) rejected = true;
+      }
+      if (!rejected && ctx_.track_area) {
+        area += ctx_.area_of[c];
+        if (area > *ctx_.constraints.max_area_ge) rejected = true;
+      }
+    }
+    if (rejected) {
+      unit_stats_.candidates_rejected =
+          sat_add(unit_stats_.candidates_rejected,
+                  ctx_.leaves_below[ctx_.split_depth]);
+    } else {
+      const engine::CacheStats cache_before = objective_cache_stats();
+      const engine::BatchStats batch_before = eval_.batch_stats();
+      dfs(unit, power, area);
+      const engine::CacheStats& cache_after = objective_cache_stats();
+      const engine::BatchStats& batch_after = eval_.batch_stats();
+      unit_stats_.cache_hits += cache_after.hits - cache_before.hits;
+      unit_stats_.cache_misses += cache_after.misses - cache_before.misses;
+      unit_stats_.stages_computed +=
+          cache_after.stages_computed - cache_before.stages_computed;
+      unit_stats_.soa_batches += batch_after.batches - batch_before.batches;
+      unit_stats_.soa_lanes += batch_after.lanes - batch_before.lanes;
+      unit_stats_.soa_max_lanes =
+          std::max(unit_stats_.soa_max_lanes, batch_after.max_lanes);
+    }
+    complete_unit(unit);
+  }
+
+  [[nodiscard]] const engine::CacheStats& objective_cache_stats() const {
+    return ctx_.maximize ? eval_.stats() : eval_.pmf_stats();
+  }
+
+  void refresh_incumbent_locked() {
+    inc_found_ = shared_.incumbent.found;
+    inc_score_ = shared_.incumbent.score;
+    inc_index_ = shared_.incumbent.index;
+  }
+
+  [[nodiscard]] bool prunable(double bound) const noexcept {
+    if (!inc_found_) return false;
+    if (ctx_.maximize) {
+      return bound * (1.0 + kErrBoundSlack) < inc_score_;
+    }
+    return bound * (1.0 - kPmfBoundSlack) > inc_score_;
+  }
+
+  void dfs(std::uint64_t prefix_index, double power, double area) {
+    const std::size_t d = choices_.size();
+    if (inc_found_) {
+      const double bound =
+          ctx_.maximize
+              ? eval_.carry_after(choices_).success_mass()
+              : residual_bound(*eval_.pmf_state_after(choices_), d,
+                               ctx_.objective);
+      if (prunable(bound)) {
+        ++unit_stats_.bound_cutoffs;
+        unit_stats_.nodes_pruned =
+            sat_add(unit_stats_.nodes_pruned, ctx_.leaves_below[d]);
+        return;
+      }
+    }
+    ++unit_stats_.nodes_expanded;
+    if (d + 1 == ctx_.n) {
+      score_leaves(prefix_index, power, area);
+      return;
+    }
+    for (std::size_t c = 0; c < ctx_.k; ++c) {
+      if (!ctx_.cell_usable[c]) {
+        unit_stats_.candidates_rejected = sat_add(
+            unit_stats_.candidates_rejected, ctx_.leaves_below[d + 1]);
+        continue;
+      }
+      double next_power = power;
+      double next_area = area;
+      if (ctx_.track_power) {
+        next_power += ctx_.power_of[c];
+        if (next_power > *ctx_.constraints.max_power_nw) {
+          unit_stats_.candidates_rejected = sat_add(
+              unit_stats_.candidates_rejected, ctx_.leaves_below[d + 1]);
+          continue;
+        }
+      }
+      if (ctx_.track_area) {
+        next_area += ctx_.area_of[c];
+        if (next_area > *ctx_.constraints.max_area_ge) {
+          unit_stats_.candidates_rejected = sat_add(
+              unit_stats_.candidates_rejected, ctx_.leaves_below[d + 1]);
+          continue;
+        }
+      }
+      choices_.push_back(c);
+      dfs(sat_add(prefix_index, sat_mul(c, ctx_.pow_k[d])), next_power,
+          next_area);
+      choices_.pop_back();
+    }
+  }
+
+  /// Scores all surviving extensions of the depth-(n-1) prefix.  The err
+  /// objective scores them in one score_extensions SoA batch (lane-
+  /// parallel, bit-identical to per-extension final_success); the PMF
+  /// objectives finalize each candidate's prefix PMF.
+  void score_leaves(std::uint64_t prefix_index, double power, double area) {
+    const std::size_t d = choices_.size();
+    pending_.clear();
+    pending_choice_.clear();
+    for (std::size_t c = 0; c < ctx_.k; ++c) {
+      if (!ctx_.cell_usable[c]) {
+        ++unit_stats_.candidates_rejected;
+        continue;
+      }
+      if (ctx_.track_power &&
+          power + ctx_.power_of[c] > *ctx_.constraints.max_power_nw) {
+        ++unit_stats_.candidates_rejected;
+        continue;
+      }
+      if (ctx_.track_area &&
+          area + ctx_.area_of[c] > *ctx_.constraints.max_area_ge) {
+        ++unit_stats_.candidates_rejected;
+        continue;
+      }
+      if (ctx_.maximize) {
+        pending_.push_back(engine::ChainEvaluator::Extension{
+            0, static_cast<std::uint8_t>(c)});
+        pending_choice_.push_back(c);
+      } else {
+        choices_.push_back(c);
+        const double metric =
+            detail::pmf_metric(eval_.error_pmf(choices_), ctx_.objective);
+        choices_.pop_back();
+        ++unit_stats_.candidates_evaluated;
+        consider(metric,
+                 sat_add(prefix_index, sat_mul(c, ctx_.pow_k[d])), c);
+      }
+    }
+    if (ctx_.maximize && !pending_.empty()) {
+      unit_stats_.candidates_evaluated += pending_.size();
+      parent_scratch_[0] = choices_;
+      const std::vector<double> scores =
+          eval_.score_extensions(parent_scratch_, pending_);
+      for (std::size_t e = 0; e < pending_.size(); ++e) {
+        consider(scores[e],
+                 sat_add(prefix_index,
+                         sat_mul(pending_choice_[e], ctx_.pow_k[d])),
+                 pending_choice_[e]);
+      }
+    }
+  }
+
+  void consider(double score, std::uint64_t index, std::size_t last_choice) {
+    if (!improves(inc_found_, inc_score_, inc_index_, score, index,
+                  ctx_.maximize)) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(shared_.mutex);
+    Incumbent& best = shared_.incumbent;
+    if (improves(best.found, best.score, best.index, score, index,
+                 ctx_.maximize)) {
+      best.found = true;
+      best.score = score;
+      best.index = index;
+      best.choices = choices_;
+      best.choices.push_back(last_choice);
+    }
+    refresh_incumbent_locked();
+  }
+
+  void complete_unit(std::uint64_t unit) {
+    std::lock_guard<std::mutex> lock(shared_.mutex);
+    shared_.unit_done[unit] = 1;
+    ++shared_.units_completed;
+    merge_stats(shared_.stats, unit_stats_);
+    if (options_.suspend_after_units != 0 && !shared_.suspended &&
+        shared_.units_completed >= options_.suspend_after_units) {
+      shared_.suspended = true;
+    }
+    if (options_.checkpoint_every_units != 0 && options_.checkpoint_sink &&
+        ++shared_.units_since_checkpoint >= options_.checkpoint_every_units) {
+      shared_.units_since_checkpoint = 0;
+      options_.checkpoint_sink(build_checkpoint_locked(ctx_, shared_));
+    }
+  }
+
+  const Ctx& ctx_;
+  Shared& shared_;
+  const BnbOptions& options_;
+  std::size_t id_;
+  engine::ChainEvaluator eval_;
+  // Live local view of the incumbent (score/index only) used for
+  // pruning; refreshed under the lock at unit starts and publishes.
+  bool inc_found_ = false;
+  double inc_score_ = 0.0;
+  std::uint64_t inc_index_ = 0;
+  SearchStats unit_stats_;
+  std::vector<std::size_t> choices_;
+  std::vector<std::vector<std::size_t>> parent_scratch_;
+  std::vector<engine::ChainEvaluator::Extension> pending_;
+  std::vector<std::size_t> pending_choice_;
+};
+
+/// Seeds the incumbent with the beam winner, re-scored through the same
+/// leaf-scoring arithmetic the tree uses so comparisons are bit-exact.
+void seed_incumbent(const Ctx& ctx, Shared& shared,
+                    const BnbOptions& options) {
+  if (options.seed_beam_width == 0 || ctx.n == 0) return;
+  HybridDesign seed;
+  try {
+    seed = HybridOptimizer::beam(ctx.profile, ctx.candidates,
+                                 ctx.constraints, options.seed_beam_width,
+                                 ctx.objective);
+  } catch (const std::runtime_error&) {
+    return;  // constraints eliminated every design; start unseeded
+  }
+  std::vector<std::size_t> choices;
+  choices.reserve(ctx.n);
+  for (const adders::AdderCell& cell : seed.stages) {
+    const std::uint16_t key = engine::MklCache::key_of(cell);
+    std::size_t found = ctx.k;
+    for (std::size_t c = 0; c < ctx.k; ++c) {
+      if (engine::MklCache::key_of(ctx.candidates[c]) == key) {
+        found = c;
+        break;
+      }
+    }
+    if (found == ctx.k) {
+      throw std::logic_error(
+          "BranchBoundOptimizer: beam seed cell not in the palette");
+    }
+    choices.push_back(found);
+  }
+  engine::ChainEvaluator eval(
+      ctx.profile, std::vector<adders::AdderCell>(ctx.candidates.begin(),
+                                                  ctx.candidates.end()));
+  double score = 0.0;
+  if (ctx.maximize) {
+    const std::span<const std::size_t> prefix(choices.data(),
+                                              choices.size() - 1);
+    score = eval.final_success(prefix, choices.back());
+  } else {
+    score = detail::pmf_metric(eval.error_pmf(choices), ctx.objective);
+  }
+  std::uint64_t index = 0;
+  for (std::size_t i = 0; i < ctx.n; ++i) {
+    index = sat_add(index, sat_mul(choices[i], ctx.pow_k[i]));
+  }
+  shared.incumbent.found = true;
+  shared.incumbent.score = score;
+  shared.incumbent.index = index;
+  shared.incumbent.choices = std::move(choices);
+}
+
+BnbResult run_search(const multibit::InputProfile& profile,
+                     std::span<const adders::AdderCell> candidates,
+                     const DesignConstraints& constraints,
+                     Objective objective, const BnbOptions& options,
+                     const BnbCheckpoint* from) {
+  detail::require_candidates(candidates);
+  if (candidates.size() > 255) {
+    throw std::invalid_argument(
+        "BranchBoundOptimizer: more than 255 candidate cells");
+  }
+  const Ctx ctx = make_ctx(profile, candidates, constraints, objective);
+  Shared shared;
+  shared.unit_done.assign(ctx.units, 0);
+  if (from != nullptr) {
+    validate_checkpoint(ctx, *from);
+    shared.incumbent.found = from->incumbent_found;
+    shared.incumbent.score = from->incumbent_score;
+    shared.incumbent.index = from->incumbent_index;
+    shared.incumbent.choices = from->incumbent_choices;
+    for (const std::uint64_t u : from->completed_units) {
+      if (!shared.unit_done[u]) {
+        shared.unit_done[u] = 1;
+        ++shared.units_completed;
+      }
+    }
+    shared.stats = from->stats;
+  } else {
+    seed_incumbent(ctx, shared, options);
+  }
+
+  util::with_pool(options.threads, [&](util::ThreadPool& pool) {
+    const bool inline_run =
+        pool.thread_count() == 1 || pool.on_worker_thread();
+    const std::uint64_t workers =
+        inline_run ? 1
+                   : std::min<std::uint64_t>(pool.thread_count(), ctx.units);
+    shared.ranges.resize(static_cast<std::size_t>(workers));
+    for (std::uint64_t w = 0; w < workers; ++w) {
+      shared.ranges[w].next = ctx.units * w / workers;
+      shared.ranges[w].end = ctx.units * (w + 1) / workers;
+    }
+    const auto worker_main = [&](std::size_t id) {
+      try {
+        Worker worker(ctx, shared, options, id);
+        worker.run();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(shared.mutex);
+        if (!shared.error) shared.error = std::current_exception();
+        shared.suspended = true;  // stop the other workers early
+      }
+    };
+    if (inline_run) {
+      worker_main(0);
+    } else {
+      for (std::uint64_t w = 0; w < workers; ++w) {
+        pool.submit([&worker_main, w] {
+          worker_main(static_cast<std::size_t>(w));
+        });
+      }
+      pool.wait();
+    }
+    return 0;
+  });
+
+  if (shared.error) std::rethrow_exception(shared.error);
+
+  BnbResult result;
+  result.complete = shared.units_completed == ctx.units;
+  result.has_incumbent = shared.incumbent.found;
+  if (result.has_incumbent) {
+    std::vector<adders::AdderCell> stages;
+    stages.reserve(ctx.n);
+    for (const std::size_t c : shared.incumbent.choices) {
+      stages.push_back(candidates[c]);
+    }
+    result.design = detail::finalize(std::move(stages), profile, objective);
+    result.design.stats = shared.stats;
+  } else {
+    result.design.objective = objective;
+    result.design.stats = shared.stats;
+  }
+  if (!result.complete) {
+    result.checkpoint = build_checkpoint_locked(ctx, shared);
+    if (options.checkpoint_sink) options.checkpoint_sink(result.checkpoint);
+  } else if (!result.has_incumbent) {
+    throw std::runtime_error(
+        "BranchBoundOptimizer: no design satisfies the constraints");
+  }
+  return result;
+}
+
+}  // namespace
+
+BnbResult BranchBoundOptimizer::optimize(
+    const multibit::InputProfile& profile,
+    std::span<const adders::AdderCell> candidates,
+    const DesignConstraints& constraints, Objective objective,
+    const BnbOptions& options) {
+  return run_search(profile, candidates, constraints, objective, options,
+                    nullptr);
+}
+
+BnbResult BranchBoundOptimizer::resume(
+    const multibit::InputProfile& profile,
+    std::span<const adders::AdderCell> candidates,
+    const BnbCheckpoint& checkpoint, const DesignConstraints& constraints,
+    Objective objective, const BnbOptions& options) {
+  return run_search(profile, candidates, constraints, objective, options,
+                    &checkpoint);
+}
+
+HybridDesign HybridOptimizer::branch_bound(
+    const multibit::InputProfile& profile,
+    std::span<const adders::AdderCell> candidates,
+    const DesignConstraints& constraints, Objective objective,
+    unsigned threads) {
+  BnbOptions options;
+  options.threads = threads;
+  return BranchBoundOptimizer::optimize(profile, candidates, constraints,
+                                        objective, options)
+      .design;
+}
+
+}  // namespace sealpaa::explore

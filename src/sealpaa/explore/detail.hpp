@@ -1,0 +1,46 @@
+// Internal helpers shared by the hybrid-chain optimizers (hybrid.cpp and
+// branch_bound.cpp).  Not part of the public explore API — subject to
+// change without notice; include only from explore/*.cpp.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sealpaa/adders/cell.hpp"
+#include "sealpaa/analysis/error_pmf.hpp"
+#include "sealpaa/explore/hybrid.hpp"
+#include "sealpaa/multibit/input_profile.hpp"
+
+namespace sealpaa::explore::detail {
+
+/// Finalized-prefix metric for the PMF-ranked objectives (kMed / kMse).
+[[nodiscard]] double pmf_metric(const analysis::ErrorPmf& pmf,
+                                Objective objective);
+
+struct CellCost {
+  std::optional<double> power;
+  std::optional<double> area;
+};
+
+/// Table 2 characteristics lookup; both fields nullopt for cells without
+/// a row.
+[[nodiscard]] CellCost cost_of(const adders::AdderCell& cell);
+
+/// A candidate is usable under `constraints` if every constrained
+/// dimension has data for it.
+[[nodiscard]] bool usable(const CellCost& cost,
+                          const DesignConstraints& constraints);
+
+/// Evaluates a complete stage assignment into a HybridDesign
+/// (p_error/p_success, the analytic MED/MSE/WCE when the PMF support
+/// guard allows, summed power/area).  stats is left default — the
+/// optimizer that produced the design fills it.
+[[nodiscard]] HybridDesign finalize(std::vector<adders::AdderCell> stages,
+                                    const multibit::InputProfile& profile,
+                                    Objective objective);
+
+/// Throws std::invalid_argument when the candidate palette is empty.
+void require_candidates(std::span<const adders::AdderCell> candidates);
+
+}  // namespace sealpaa::explore::detail

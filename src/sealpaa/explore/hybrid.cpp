@@ -8,22 +8,20 @@
 #include "sealpaa/engine/chain_evaluator.hpp"
 #include "sealpaa/engine/incremental.hpp"
 #include "sealpaa/engine/method.hpp"
+#include "sealpaa/explore/detail.hpp"
 #include "sealpaa/util/parallel.hpp"
 
 namespace sealpaa::explore {
 
-namespace {
+// Shared with branch_bound.cpp through explore/detail.hpp so every
+// optimizer finalizes designs and applies constraints through the exact
+// same code (bit-consistent scores and rejection decisions).
+namespace detail {
 
-/// Finalized-prefix metric for the PMF-ranked objectives.
 double pmf_metric(const analysis::ErrorPmf& pmf, Objective objective) {
   return objective == Objective::kMse ? pmf.mean_squared_error()
                                       : pmf.mean_error_distance();
 }
-
-struct CellCost {
-  std::optional<double> power;
-  std::optional<double> area;
-};
 
 CellCost cost_of(const adders::AdderCell& cell) {
   const adders::CellCharacteristics* row =
@@ -32,8 +30,6 @@ CellCost cost_of(const adders::AdderCell& cell) {
   return {row->power_nw, row->area_ge};
 }
 
-// A candidate is usable under `constraints` if every constrained
-// dimension has data for it.
 bool usable(const CellCost& cost, const DesignConstraints& constraints) {
   if (constraints.max_power_nw && !cost.power) return false;
   if (constraints.max_area_ge && !cost.area) return false;
@@ -94,6 +90,15 @@ void require_candidates(std::span<const adders::AdderCell> candidates) {
   }
 }
 
+}  // namespace detail
+
+namespace {
+using detail::CellCost;
+using detail::cost_of;
+using detail::finalize;
+using detail::pmf_metric;
+using detail::require_candidates;
+using detail::usable;
 }  // namespace
 
 std::string_view objective_name(Objective objective) {

@@ -74,6 +74,17 @@ struct SearchStats {
   std::uint64_t soa_batches = 0;
   std::uint64_t soa_lanes = 0;
   std::uint64_t soa_max_lanes = 0;
+  /// Branch-and-bound accounting (explore/branch_bound.hpp; zero for the
+  /// other optimizers).  nodes_expanded counts tree nodes whose children
+  /// were generated after surviving the admissible-bound test;
+  /// bound_cutoffs counts the prune events and nodes_pruned the leaves
+  /// those cutoffs skipped (saturating at UINT64_MAX for astronomically
+  /// large subtrees); steal_count counts successful work-steal
+  /// operations between workers (always 0 single-threaded).
+  std::uint64_t nodes_expanded = 0;
+  std::uint64_t nodes_pruned = 0;
+  std::uint64_t bound_cutoffs = 0;
+  std::uint64_t steal_count = 0;
 };
 
 /// A fully evaluated hybrid design.
@@ -120,8 +131,24 @@ class HybridOptimizer {
       std::uint64_t max_combinations = 50'000'000, unsigned threads = 0,
       Objective objective = Objective::kErrorRate);
 
+  /// Provably-optimal branch-and-bound over the same space — the
+  /// *quality* mode, replacing exhaustive() as the way to get the exact
+  /// optimum (same winner, bit-identical score, typically well over 10x
+  /// fewer nodes) and demoting beam()/greedy() to fast preview modes.
+  /// Convenience forwarder over explore::BranchBoundOptimizer::optimize
+  /// with default options (beam-seeded incumbent, no checkpointing);
+  /// use the optimizer directly for checkpoint/resume and suspension.
+  /// Defined in branch_bound.cpp.
+  [[nodiscard]] static HybridDesign branch_bound(
+      const multibit::InputProfile& profile,
+      std::span<const adders::AdderCell> candidates,
+      const DesignConstraints& constraints = {},
+      Objective objective = Objective::kErrorRate, unsigned threads = 0);
+
   /// Beam search keeping the `beam_width` best (carry-state, budget)
   /// partial designs per stage, scored by remaining success mass.
+  /// NOTE: beam and greedy are *fast preview* modes — they carry no
+  /// optimality guarantee; branch_bound() is the quality mode.
   /// Extensions are scored through an engine::ChainEvaluator whose LRU
   /// prefix cache serves each surviving partial's carry state in O(1),
   /// so a stage costs one advance per expansion instead of a full

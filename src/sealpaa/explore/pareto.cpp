@@ -52,37 +52,51 @@ std::vector<DesignPoint> pareto_front(std::vector<DesignPoint> points,
 std::vector<DesignPoint> homogeneous_sweep(
     const multibit::InputProfile& profile, unsigned threads,
     util::ShardTimings* timings) {
+  (void)threads;  // kept for API stability; the batch kernel is SoA-parallel
   const std::span<const adders::AdderCell> cells = adders::all_builtin_cells();
   const double n = static_cast<double>(profile.width());
-  // Candidates are analyzed concurrently; the ordered reduction appends
-  // the per-cell points in registry order, so the output is identical to
-  // a sequential sweep regardless of thread count.
-  return util::with_pool(threads, [&](util::ThreadPool& pool) {
-    return util::parallel_map_reduce(
-        pool, 0, cells.size(), 1, std::vector<DesignPoint>{},
-        [&](std::uint64_t index, std::uint64_t) {
-          const adders::AdderCell& cell =
-              cells[static_cast<std::size_t>(index)];
-          DesignPoint point;
-          point.name = cell.name();
-          point.p_error =
-              engine::evaluate(cell, profile, engine::Method::kRecursive)
-                  .p_error;
-          const adders::CellCharacteristics* row =
-              adders::find_characteristics(cell);
-          if (row != nullptr && row->power_nw && row->area_ge) {
-            point.power_nw = *row->power_nw * n;
-            point.area_ge = *row->area_ge * n;
-          } else {
-            point.has_cost = false;
-          }
-          return point;
-        },
-        [](std::vector<DesignPoint>& acc, DesignPoint&& point) {
-          acc.push_back(std::move(point));
-        },
-        timings);
-  });
+  util::WallTimer timer;
+  // One engine::evaluate_batch call over all homogeneous chains: the
+  // registry's distinct cells form one SoA palette and every chain
+  // advances lane-parallel in a single strict pass, replacing the old
+  // per-cell evaluate() fan-out.  Element i is bit-identical to
+  // evaluate(cells[i], profile, kRecursive), and the output keeps
+  // registry order by construction.
+  std::vector<multibit::AdderChain> chains;
+  chains.reserve(cells.size());
+  for (const adders::AdderCell& cell : cells) {
+    chains.emplace_back(
+        std::vector<adders::AdderCell>(profile.width(), cell));
+  }
+  const std::vector<engine::Evaluation> evaluations =
+      engine::evaluate_batch(chains, profile, engine::Method::kRecursive);
+  std::vector<DesignPoint> points;
+  points.reserve(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const adders::AdderCell& cell = cells[i];
+    DesignPoint point;
+    point.name = cell.name();
+    point.p_error = evaluations[i].p_error;
+    const adders::CellCharacteristics* row =
+        adders::find_characteristics(cell);
+    if (row != nullptr && row->power_nw && row->area_ge) {
+      point.power_nw = *row->power_nw * n;
+      point.area_ge = *row->area_ge * n;
+    } else {
+      point.has_cost = false;
+    }
+    points.push_back(std::move(point));
+  }
+  if (timings != nullptr) {
+    // The sweep is one batched pass, not a fork/join region: report a
+    // single shard covering the whole registry.
+    timings->threads = 1;
+    timings->wall_seconds = timer.elapsed_seconds();
+    timings->shards = {util::ShardTiming{
+        0, static_cast<std::uint64_t>(cells.size()),
+        timings->wall_seconds}};
+  }
+  return points;
 }
 
 }  // namespace sealpaa::explore

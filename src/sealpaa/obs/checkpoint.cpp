@@ -1,0 +1,231 @@
+#include "sealpaa/obs/checkpoint.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "sealpaa/obs/serialize.hpp"
+
+namespace sealpaa::obs {
+
+namespace {
+
+constexpr std::string_view kSchema = "sealpaa.bnb-checkpoint";
+constexpr std::uint64_t kVersion = 1;
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw std::invalid_argument("bnb checkpoint: " + what);
+}
+
+const Json& require(const Json& object, const char* key) {
+  const Json* value = object.find(key);
+  if (value == nullptr) malformed(std::string("missing key '") + key + "'");
+  return *value;
+}
+
+std::string score_bits_of(double score) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(
+                    std::bit_cast<std::uint64_t>(score)));
+  return std::string(buffer);
+}
+
+double score_from_bits(const std::string& bits) {
+  if (bits.size() != 16) malformed("score_bits must be 16 hex digits");
+  std::uint64_t value = 0;
+  for (const char c : bits) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') value |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F')
+      value |= static_cast<std::uint64_t>(c - 'A' + 10);
+    else malformed("score_bits must be 16 hex digits");
+  }
+  return std::bit_cast<double>(value);
+}
+
+Json doubles_to_json(const std::vector<double>& values) {
+  Json out = Json::array();
+  for (const double v : values) out.push_back(Json(v));
+  return out;
+}
+
+std::vector<double> doubles_from_json(const Json& array, const char* key) {
+  if (!array.is_array()) malformed(std::string(key) + " must be an array");
+  std::vector<double> out;
+  out.reserve(array.size());
+  for (std::size_t i = 0; i < array.size(); ++i) {
+    out.push_back(array.at(i).number());
+  }
+  return out;
+}
+
+explore::SearchStats stats_from_json(const Json& object) {
+  if (!object.is_object()) malformed("stats must be an object");
+  explore::SearchStats stats;
+  stats.candidates_evaluated =
+      require(object, "candidates_evaluated").unsigned_integer();
+  stats.candidates_rejected =
+      require(object, "candidates_rejected").unsigned_integer();
+  stats.cache_hits = require(object, "cache_hits").unsigned_integer();
+  stats.cache_misses = require(object, "cache_misses").unsigned_integer();
+  stats.stages_computed =
+      require(object, "stages_computed").unsigned_integer();
+  stats.soa_batches = require(object, "soa_batches").unsigned_integer();
+  stats.soa_lanes = require(object, "soa_lanes").unsigned_integer();
+  stats.soa_max_lanes = require(object, "soa_max_lanes").unsigned_integer();
+  stats.nodes_expanded = require(object, "nodes_expanded").unsigned_integer();
+  stats.nodes_pruned = require(object, "nodes_pruned").unsigned_integer();
+  stats.bound_cutoffs = require(object, "bound_cutoffs").unsigned_integer();
+  stats.steal_count = require(object, "steal_count").unsigned_integer();
+  return stats;
+}
+
+}  // namespace
+
+Json to_json(const explore::BnbCheckpoint& checkpoint) {
+  Json doc = Json::object();
+  doc.set("schema", Json(std::string(kSchema)));
+  doc.set("version", Json(kVersion));
+  doc.set("objective", Json(checkpoint.objective));
+  doc.set("width", Json(static_cast<std::uint64_t>(checkpoint.width)));
+  Json palette = Json::array();
+  for (const std::uint16_t key : checkpoint.palette) {
+    palette.push_back(Json(static_cast<std::uint64_t>(key)));
+  }
+  doc.set("palette", std::move(palette));
+  Json profile = Json::object();
+  profile.set("p_a", doubles_to_json(checkpoint.p_a));
+  profile.set("p_b", doubles_to_json(checkpoint.p_b));
+  profile.set("p_cin", Json(checkpoint.p_cin));
+  doc.set("profile", std::move(profile));
+  Json constraints = Json::object();
+  constraints.set("max_power_nw", checkpoint.max_power_nw
+                                      ? Json(*checkpoint.max_power_nw)
+                                      : Json());
+  constraints.set("max_area_ge", checkpoint.max_area_ge
+                                     ? Json(*checkpoint.max_area_ge)
+                                     : Json());
+  doc.set("constraints", std::move(constraints));
+  doc.set("split_depth",
+          Json(static_cast<std::uint64_t>(checkpoint.split_depth)));
+  doc.set("total_units", Json(checkpoint.total_units));
+  if (checkpoint.incumbent_found) {
+    Json incumbent = Json::object();
+    Json choices = Json::array();
+    for (const std::size_t c : checkpoint.incumbent_choices) {
+      choices.push_back(Json(static_cast<std::uint64_t>(c)));
+    }
+    incumbent.set("choices", std::move(choices));
+    incumbent.set("score", Json(checkpoint.incumbent_score));
+    incumbent.set("score_bits", Json(score_bits_of(checkpoint.incumbent_score)));
+    incumbent.set("index", Json(checkpoint.incumbent_index));
+    doc.set("incumbent", std::move(incumbent));
+  } else {
+    doc.set("incumbent", Json());
+  }
+  Json completed = Json::array();
+  for (const std::uint64_t u : checkpoint.completed_units) {
+    completed.push_back(Json(u));
+  }
+  doc.set("completed_units", std::move(completed));
+  doc.set("stats", to_json(checkpoint.stats));
+  return doc;
+}
+
+explore::BnbCheckpoint parse_bnb_checkpoint(const Json& doc) {
+  if (!doc.is_object()) malformed("document must be an object");
+  if (require(doc, "schema").string_value() != kSchema) {
+    malformed("wrong schema tag");
+  }
+  if (require(doc, "version").unsigned_integer() != kVersion) {
+    malformed("unsupported version");
+  }
+  explore::BnbCheckpoint ckpt;
+  ckpt.objective = require(doc, "objective").string_value();
+  ckpt.width =
+      static_cast<std::size_t>(require(doc, "width").unsigned_integer());
+  const Json& palette = require(doc, "palette");
+  if (!palette.is_array()) malformed("palette must be an array");
+  ckpt.palette.reserve(palette.size());
+  for (std::size_t i = 0; i < palette.size(); ++i) {
+    const std::uint64_t key = palette.at(i).unsigned_integer();
+    if (key > 0xffff) malformed("palette fingerprint out of range");
+    ckpt.palette.push_back(static_cast<std::uint16_t>(key));
+  }
+  const Json& profile = require(doc, "profile");
+  ckpt.p_a = doubles_from_json(require(profile, "p_a"), "p_a");
+  ckpt.p_b = doubles_from_json(require(profile, "p_b"), "p_b");
+  ckpt.p_cin = require(profile, "p_cin").number();
+  const Json& constraints = require(doc, "constraints");
+  const Json& power = require(constraints, "max_power_nw");
+  if (!power.is_null()) ckpt.max_power_nw = power.number();
+  const Json& area = require(constraints, "max_area_ge");
+  if (!area.is_null()) ckpt.max_area_ge = area.number();
+  ckpt.split_depth = static_cast<std::size_t>(
+      require(doc, "split_depth").unsigned_integer());
+  ckpt.total_units = require(doc, "total_units").unsigned_integer();
+  const Json& incumbent = require(doc, "incumbent");
+  if (!incumbent.is_null()) {
+    if (!incumbent.is_object()) malformed("incumbent must be an object");
+    ckpt.incumbent_found = true;
+    const Json& choices = require(incumbent, "choices");
+    if (!choices.is_array()) malformed("incumbent choices must be an array");
+    ckpt.incumbent_choices.reserve(choices.size());
+    for (std::size_t i = 0; i < choices.size(); ++i) {
+      ckpt.incumbent_choices.push_back(
+          static_cast<std::size_t>(choices.at(i).unsigned_integer()));
+    }
+    // score_bits is authoritative (exact IEEE-754 round trip); the
+    // "score" double is informational.
+    ckpt.incumbent_score =
+        score_from_bits(require(incumbent, "score_bits").string_value());
+    ckpt.incumbent_index = require(incumbent, "index").unsigned_integer();
+  }
+  const Json& completed = require(doc, "completed_units");
+  if (!completed.is_array()) malformed("completed_units must be an array");
+  ckpt.completed_units.reserve(completed.size());
+  for (std::size_t i = 0; i < completed.size(); ++i) {
+    ckpt.completed_units.push_back(completed.at(i).unsigned_integer());
+  }
+  ckpt.stats = stats_from_json(require(doc, "stats"));
+  return ckpt;
+}
+
+void write_bnb_checkpoint(const std::string& path,
+                          const explore::BnbCheckpoint& checkpoint) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("bnb checkpoint: cannot open " + tmp);
+    }
+    out << to_json(checkpoint).dump(2) << '\n';
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("bnb checkpoint: write failed for " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("bnb checkpoint: rename to " + path + " failed");
+  }
+}
+
+explore::BnbCheckpoint read_bnb_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("bnb checkpoint: cannot read " + path);
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return parse_bnb_checkpoint(Json::parse(text));
+}
+
+}  // namespace sealpaa::obs

@@ -1,0 +1,44 @@
+// JSON (de)serialization and atomic file I/O for branch-and-bound
+// checkpoints (explore::BnbCheckpoint).
+//
+// Lives in obs — explore sits below the JSON layer, so the optimizer
+// only produces/consumes the plain struct and this module owns the
+// durable representation.  The incumbent score is stored twice: as a
+// human-readable double and as the hex bit pattern of its IEEE-754
+// representation ("score_bits"), which is what parse reads back, so a
+// resume compares against *exactly* the score the suspended run held —
+// decimal round-tripping would perturb the strict (score, index)
+// incumbent order.
+//
+// Files are written atomically (temp file in the same directory, then
+// std::rename), so a checkpoint on disk is always either the previous
+// complete snapshot or the new one, never a torn write.
+#pragma once
+
+#include <string>
+
+#include "sealpaa/explore/branch_bound.hpp"
+#include "sealpaa/obs/json.hpp"
+
+namespace sealpaa::obs {
+
+/// Versioned document ({"schema": "sealpaa.bnb-checkpoint",
+/// "version": 1, ...}).
+[[nodiscard]] Json to_json(const explore::BnbCheckpoint& checkpoint);
+
+/// Inverse of to_json.  Throws std::invalid_argument on a wrong schema
+/// tag, an unsupported version or a structurally malformed document.
+[[nodiscard]] explore::BnbCheckpoint parse_bnb_checkpoint(const Json& doc);
+
+/// Serializes and atomically replaces `path` (write to `path` + ".tmp",
+/// then rename).  Throws std::runtime_error on I/O failure.
+void write_bnb_checkpoint(const std::string& path,
+                          const explore::BnbCheckpoint& checkpoint);
+
+/// Reads and parses a checkpoint file.  Throws std::runtime_error when
+/// the file cannot be read, std::invalid_argument when it does not
+/// parse as a checkpoint.
+[[nodiscard]] explore::BnbCheckpoint read_bnb_checkpoint(
+    const std::string& path);
+
+}  // namespace sealpaa::obs

@@ -171,6 +171,13 @@ Json to_json(const explore::SearchStats& stats) {
   out.set("soa_batches", Json(stats.soa_batches));
   out.set("soa_lanes", Json(stats.soa_lanes));
   out.set("soa_max_lanes", Json(stats.soa_max_lanes));
+  // Branch-and-bound accounting.  Emitted unconditionally — zero-valued
+  // counters appear explicitly so report consumers can rely on the key
+  // set being the full SearchStats regardless of which optimizer ran.
+  out.set("nodes_expanded", Json(stats.nodes_expanded));
+  out.set("nodes_pruned", Json(stats.nodes_pruned));
+  out.set("bound_cutoffs", Json(stats.bound_cutoffs));
+  out.set("steal_count", Json(stats.steal_count));
   return out;
 }
 

@@ -1,0 +1,286 @@
+// Branch-and-bound DSE: optimality vs the exhaustive reference,
+// determinism across thread counts, checkpoint serialization and the
+// kill/resume contract.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sealpaa/adders/builtin.hpp"
+#include "sealpaa/explore/branch_bound.hpp"
+#include "sealpaa/explore/hybrid.hpp"
+#include "sealpaa/obs/checkpoint.hpp"
+#include "sealpaa/obs/serialize.hpp"
+
+namespace {
+
+using sealpaa::adders::accurate;
+using sealpaa::adders::builtin_lpaas;
+using sealpaa::adders::lpaa;
+using sealpaa::explore::BnbCheckpoint;
+using sealpaa::explore::BnbOptions;
+using sealpaa::explore::BnbResult;
+using sealpaa::explore::BranchBoundOptimizer;
+using sealpaa::explore::DesignConstraints;
+using sealpaa::explore::HybridDesign;
+using sealpaa::explore::HybridOptimizer;
+using sealpaa::explore::Objective;
+using sealpaa::explore::SearchStats;
+using sealpaa::multibit::InputProfile;
+
+InputProfile varied_profile(std::size_t width) {
+  std::vector<double> p_a;
+  std::vector<double> p_b;
+  for (std::size_t i = 0; i < width; ++i) {
+    p_a.push_back(0.15 + 0.1 * static_cast<double>(i % 8));
+    p_b.push_back(0.85 - 0.09 * static_cast<double>(i % 8));
+  }
+  return InputProfile(p_a, p_b, 0.3);
+}
+
+BnbOptions threads_opt(unsigned threads) {
+  BnbOptions options;
+  options.threads = threads;
+  return options;
+}
+
+std::vector<std::string> stage_names(const HybridDesign& design) {
+  std::vector<std::string> names;
+  for (const auto& stage : design.stages) names.emplace_back(stage.name());
+  return names;
+}
+
+void expect_same_design(const HybridDesign& a, const HybridDesign& b) {
+  EXPECT_EQ(stage_names(a), stage_names(b));
+  EXPECT_EQ(a.p_error, b.p_error);  // bit-identical, not just close
+  EXPECT_EQ(a.p_success, b.p_success);
+  EXPECT_EQ(a.med, b.med);
+  EXPECT_EQ(a.mse, b.mse);
+}
+
+TEST(BranchBound, MatchesExhaustiveOptimumAllObjectives) {
+  const InputProfile profile = varied_profile(5);
+  for (const Objective objective :
+       {Objective::kErrorRate, Objective::kMed, Objective::kMse}) {
+    const HybridDesign exact = HybridOptimizer::exhaustive(
+        profile, builtin_lpaas(), {}, 50'000'000, 1, objective);
+    const BnbResult bnb = BranchBoundOptimizer::optimize(
+        profile, builtin_lpaas(), {}, objective, threads_opt(1));
+    ASSERT_TRUE(bnb.complete);
+    ASSERT_TRUE(bnb.has_incumbent);
+    expect_same_design(bnb.design, exact);
+  }
+}
+
+TEST(BranchBound, PrunesWellOverTenfoldVsExhaustive) {
+  // The admissible bound must actually prune: the quality mode's whole
+  // point is reaching the same optimum on far fewer nodes.  Width 8
+  // gives the carry-mass bound room to bite below the fixed unit-split
+  // depth (at tiny widths every node sits at the split depth and the
+  // search legitimately degenerates to enumeration).
+  const InputProfile profile = varied_profile(8);
+  const HybridDesign exact = HybridOptimizer::exhaustive(
+      profile, builtin_lpaas(), {}, 50'000'000, 1);
+  const BnbResult bnb = BranchBoundOptimizer::optimize(
+      profile, builtin_lpaas(), {}, Objective::kErrorRate, threads_opt(1));
+  expect_same_design(bnb.design, exact);
+  EXPECT_GT(bnb.design.stats.bound_cutoffs, 0u);
+  EXPECT_LE(bnb.design.stats.nodes_expanded +
+                bnb.design.stats.candidates_evaluated,
+            exact.stats.candidates_evaluated / 10);
+}
+
+TEST(BranchBound, HonorsPowerConstraintLikeExhaustive) {
+  const InputProfile profile = varied_profile(5);
+  std::vector<sealpaa::adders::AdderCell> candidates;
+  for (int i = 1; i <= 5; ++i) candidates.push_back(lpaa(i));
+  candidates.push_back(accurate());
+  DesignConstraints constraints;
+  constraints.max_power_nw = 5000.0;
+  const HybridDesign exact = HybridOptimizer::exhaustive(
+      profile, candidates, constraints, 50'000'000, 1);
+  const BnbResult bnb = BranchBoundOptimizer::optimize(
+      profile, candidates, constraints, Objective::kErrorRate,
+      threads_opt(1));
+  expect_same_design(bnb.design, exact);
+  EXPECT_GT(bnb.design.stats.candidates_rejected, 0u);
+}
+
+TEST(BranchBound, ThrowsWhenConstraintsEliminateEverything) {
+  const InputProfile profile = varied_profile(4);
+  // A palette without the zero-power wire adder, under a budget below
+  // any single stage: no design can satisfy it.
+  const std::vector<sealpaa::adders::AdderCell> candidates = {lpaa(1),
+                                                              lpaa(2)};
+  DesignConstraints constraints;
+  constraints.max_power_nw = 0.5;
+  EXPECT_THROW(
+      BranchBoundOptimizer::optimize(profile, candidates, constraints),
+      std::runtime_error);
+}
+
+TEST(BranchBound, RejectsEmptyPalette) {
+  const InputProfile profile = varied_profile(4);
+  EXPECT_THROW(BranchBoundOptimizer::optimize(profile, {}),
+               std::invalid_argument);
+}
+
+TEST(BranchBound, DesignIdenticalAcrossThreadCounts) {
+  const InputProfile profile = varied_profile(6);
+  for (const Objective objective : {Objective::kErrorRate, Objective::kMed}) {
+    const BnbResult one = BranchBoundOptimizer::optimize(
+        profile, builtin_lpaas(), {}, objective, threads_opt(1));
+    const BnbResult eight = BranchBoundOptimizer::optimize(
+        profile, builtin_lpaas(), {}, objective, threads_opt(8));
+    expect_same_design(one.design, eight.design);
+    EXPECT_EQ(one.design.stats.steal_count, 0u);
+  }
+}
+
+TEST(BranchBound, UnseededSearchFindsTheSameOptimum) {
+  const InputProfile profile = varied_profile(5);
+  const BnbResult seeded = BranchBoundOptimizer::optimize(
+      profile, builtin_lpaas(), {}, Objective::kErrorRate, threads_opt(1));
+  BnbOptions unseeded_options;
+  unseeded_options.threads = 1;
+  unseeded_options.seed_beam_width = 0;
+  const BnbResult unseeded = BranchBoundOptimizer::optimize(
+      profile, builtin_lpaas(), {}, Objective::kErrorRate, unseeded_options);
+  expect_same_design(seeded.design, unseeded.design);
+  // Seeding can only help: the seeded run never expands more nodes.
+  EXPECT_LE(seeded.design.stats.nodes_expanded,
+            unseeded.design.stats.nodes_expanded);
+}
+
+// The headline fixture: suspend ("kill") the search mid-run, persist the
+// checkpoint through the real JSON file path, resume in what models a
+// fresh process, and require the final incumbent AND the search-tree
+// accounting to equal the uninterrupted run exactly.  (Evaluator
+// cache-warmth counters are exempt by contract — a resumed process
+// starts its prefix caches cold.)
+TEST(BranchBound, KillAndResumeReproducesUninterruptedRun) {
+  const InputProfile profile = varied_profile(6);
+  const std::string path =
+      testing::TempDir() + "/sealpaa_bnb_resume_test.json";
+  BnbOptions suspend_options;
+  suspend_options.threads = 1;
+  suspend_options.suspend_after_units = 3;
+  suspend_options.checkpoint_every_units = 1;
+  suspend_options.checkpoint_sink =
+      [&path](const BnbCheckpoint& checkpoint) {
+        sealpaa::obs::write_bnb_checkpoint(path, checkpoint);
+      };
+  const BnbResult suspended = BranchBoundOptimizer::optimize(
+      profile, builtin_lpaas(), {}, Objective::kErrorRate, suspend_options);
+  ASSERT_FALSE(suspended.complete);
+  EXPECT_EQ(suspended.checkpoint.completed_units.size(), 3u);
+
+  const BnbCheckpoint restored = sealpaa::obs::read_bnb_checkpoint(path);
+  const BnbResult resumed = BranchBoundOptimizer::resume(
+      profile, builtin_lpaas(), restored, {}, Objective::kErrorRate,
+      threads_opt(1));
+  ASSERT_TRUE(resumed.complete);
+
+  const BnbResult uninterrupted = BranchBoundOptimizer::optimize(
+      profile, builtin_lpaas(), {}, Objective::kErrorRate, threads_opt(1));
+  expect_same_design(resumed.design, uninterrupted.design);
+  EXPECT_EQ(resumed.design.stats.nodes_expanded,
+            uninterrupted.design.stats.nodes_expanded);
+  EXPECT_EQ(resumed.design.stats.nodes_pruned,
+            uninterrupted.design.stats.nodes_pruned);
+  EXPECT_EQ(resumed.design.stats.bound_cutoffs,
+            uninterrupted.design.stats.bound_cutoffs);
+  EXPECT_EQ(resumed.design.stats.candidates_evaluated,
+            uninterrupted.design.stats.candidates_evaluated);
+  EXPECT_EQ(resumed.design.stats.candidates_rejected,
+            uninterrupted.design.stats.candidates_rejected);
+  std::remove(path.c_str());
+}
+
+TEST(BranchBound, CheckpointJsonRoundTripsExactly) {
+  const InputProfile profile = varied_profile(5);
+  BnbOptions options;
+  options.threads = 1;
+  options.suspend_after_units = 2;
+  const BnbResult suspended = BranchBoundOptimizer::optimize(
+      profile, builtin_lpaas(), {}, Objective::kMse, options);
+  ASSERT_FALSE(suspended.complete);
+  const BnbCheckpoint& original = suspended.checkpoint;
+  const BnbCheckpoint reparsed = sealpaa::obs::parse_bnb_checkpoint(
+      sealpaa::obs::Json::parse(sealpaa::obs::to_json(original).dump()));
+  EXPECT_EQ(reparsed.objective, original.objective);
+  EXPECT_EQ(reparsed.width, original.width);
+  EXPECT_EQ(reparsed.palette, original.palette);
+  EXPECT_EQ(reparsed.p_a, original.p_a);
+  EXPECT_EQ(reparsed.p_b, original.p_b);
+  EXPECT_EQ(reparsed.p_cin, original.p_cin);
+  EXPECT_EQ(reparsed.max_power_nw, original.max_power_nw);
+  EXPECT_EQ(reparsed.max_area_ge, original.max_area_ge);
+  EXPECT_EQ(reparsed.split_depth, original.split_depth);
+  EXPECT_EQ(reparsed.total_units, original.total_units);
+  EXPECT_EQ(reparsed.incumbent_found, original.incumbent_found);
+  EXPECT_EQ(reparsed.incumbent_choices, original.incumbent_choices);
+  EXPECT_EQ(reparsed.incumbent_score, original.incumbent_score);  // bit-exact
+  EXPECT_EQ(reparsed.incumbent_index, original.incumbent_index);
+  EXPECT_EQ(reparsed.completed_units, original.completed_units);
+  EXPECT_EQ(reparsed.stats.nodes_expanded, original.stats.nodes_expanded);
+  EXPECT_EQ(reparsed.stats.candidates_evaluated,
+            original.stats.candidates_evaluated);
+}
+
+TEST(BranchBound, ResumeRejectsMismatchedSearch) {
+  const InputProfile profile = varied_profile(5);
+  BnbOptions options;
+  options.threads = 1;
+  options.suspend_after_units = 1;
+  const BnbResult suspended = BranchBoundOptimizer::optimize(
+      profile, builtin_lpaas(), {}, Objective::kErrorRate, options);
+  ASSERT_FALSE(suspended.complete);
+  // Wrong objective.
+  EXPECT_THROW(BranchBoundOptimizer::resume(profile, builtin_lpaas(),
+                                            suspended.checkpoint, {},
+                                            Objective::kMed),
+               std::invalid_argument);
+  // Wrong palette.
+  std::vector<sealpaa::adders::AdderCell> other(builtin_lpaas().begin(),
+                                                builtin_lpaas().end());
+  other[0] = accurate();
+  EXPECT_THROW(BranchBoundOptimizer::resume(profile, other,
+                                            suspended.checkpoint),
+               std::invalid_argument);
+  // Wrong profile.
+  EXPECT_THROW(BranchBoundOptimizer::resume(varied_profile(4),
+                                            builtin_lpaas(),
+                                            suspended.checkpoint),
+               std::invalid_argument);
+}
+
+// Satellite regression: the SearchStats JSON projection must emit every
+// counter explicitly, including zero values, so report consumers can
+// rely on a stable key set across optimizers.
+TEST(BranchBound, SearchStatsJsonEmitsAllKeysIncludingZeros) {
+  const SearchStats zero;
+  const sealpaa::obs::Json json = sealpaa::obs::to_json(zero);
+  for (const char* key :
+       {"candidates_evaluated", "candidates_rejected", "cache_hits",
+        "cache_misses", "stages_computed", "soa_batches", "soa_lanes",
+        "soa_max_lanes", "nodes_expanded", "nodes_pruned", "bound_cutoffs",
+        "steal_count"}) {
+    const sealpaa::obs::Json* value = json.find(key);
+    ASSERT_NE(value, nullptr) << key;
+    EXPECT_EQ(value->unsigned_integer(), 0u) << key;
+  }
+}
+
+TEST(BranchBound, HybridOptimizerForwarderMatchesOptimize) {
+  const InputProfile profile = varied_profile(5);
+  const HybridDesign via_forwarder = HybridOptimizer::branch_bound(
+      profile, builtin_lpaas(), {}, Objective::kErrorRate, 1);
+  const BnbResult direct = BranchBoundOptimizer::optimize(
+      profile, builtin_lpaas(), {}, Objective::kErrorRate, threads_opt(1));
+  expect_same_design(via_forwarder, direct.design);
+}
+
+}  // namespace

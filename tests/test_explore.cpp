@@ -4,6 +4,7 @@
 
 #include "sealpaa/adders/builtin.hpp"
 #include "sealpaa/analysis/recursive.hpp"
+#include "sealpaa/engine/method.hpp"
 #include "sealpaa/explore/hybrid.hpp"
 #include "sealpaa/explore/pareto.hpp"
 #include "sealpaa/explore/robustness.hpp"
@@ -155,6 +156,24 @@ TEST(Pareto, HomogeneousSweepCoversAllCells) {
     if (point.name == "LPAA6" || point.name == "LPAA7") {
       EXPECT_FALSE(point.has_cost);
     }
+  }
+}
+
+TEST(Pareto, HomogeneousSweepMatchesPerCellEvaluate) {
+  // The sweep routes through one engine::evaluate_batch SoA pass; the
+  // batch contract is element-wise bit-identity with per-cell evaluate.
+  const InputProfile profile({0.1, 0.35, 0.6, 0.85, 0.4, 0.7},
+                             {0.9, 0.25, 0.55, 0.15, 0.8, 0.45}, 0.2);
+  const auto points = sealpaa::explore::homogeneous_sweep(profile);
+  const auto cells = sealpaa::adders::all_builtin_cells();
+  ASSERT_EQ(points.size(), cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(points[i].name, cells[i].name());
+    EXPECT_EQ(points[i].p_error,
+              sealpaa::engine::evaluate(cells[i], profile,
+                                        sealpaa::engine::Method::kRecursive)
+                  .p_error)
+        << cells[i].name();
   }
 }
 

@@ -50,9 +50,14 @@ int usage() {
       "           [--max-bits]\n"
       "  bounds   --cell --p         max cascadable width / approximable LSBs\n"
       "           --epsilon [--bits]\n"
-      "  hybrid   --bits [--profile] best per-stage cell mix (beam search)\n"
+      "  hybrid   --bits [--profile] best per-stage cell mix\n"
       "           [--budget-nw]        (--objective=err|med|mse ranks designs\n"
-      "           [--objective]        by P(Error) or by the analytic PMF)\n"
+      "           [--objective]        by P(Error) or by the analytic PMF;\n"
+      "           [--search]           --search=bnb|beam|greedy|exhaustive:\n"
+      "           [--checkpoint]       bnb is the provably-optimal quality\n"
+      "           [--checkpoint-every] mode, beam/greedy fast previews;\n"
+      "           [--suspend-after-units] --checkpoint=FILE persists bnb\n"
+      "           [--resume]           state, --resume continues from it)\n"
       "  gear     --n --r --p        GeAr exact error + correction stats\n"
       "           [--p-input]\n"
       "  blocks   --bits --blocks    exact block-adder error statistics\n"
@@ -317,7 +322,9 @@ int cmd_bounds(const util::CliArgs& args, obs::RunReport& report) {
 }
 
 int cmd_hybrid(const util::CliArgs& args, obs::RunReport& report) {
-  check_flags(args, {"bits", "profile", "budget-nw", "objective"});
+  check_flags(args, {"bits", "profile", "budget-nw", "objective", "search",
+                     "checkpoint", "checkpoint-every", "suspend-after-units",
+                     "resume"});
   const auto bits = static_cast<std::size_t>(args.get_uint("bits", 8));
   std::vector<double> p_bits;
   const std::string profile_csv = args.get("profile", "");
@@ -344,27 +351,101 @@ int cmd_hybrid(const util::CliArgs& args, obs::RunReport& report) {
   }
   const explore::Objective objective =
       explore::parse_objective(args.get("objective", "err"));
+  // --search=bnb is the quality mode (provably optimal, branch-and-bound
+  // with checkpoint/resume); beam (default) and greedy are fast previews;
+  // exhaustive is the reference enumeration for small widths.
+  const std::string search = args.get("search", "beam");
+  const std::string checkpoint_path = args.get("checkpoint", "");
+  if (search != "bnb") {
+    for (const char* flag :
+         {"checkpoint", "checkpoint-every", "suspend-after-units", "resume"}) {
+      if (args.has(flag)) {
+        throw std::invalid_argument(std::string("--") + flag +
+                                    " requires --search=bnb");
+      }
+    }
+  }
+  explore::HybridDesign design;
+  bool complete = true;
+  bool has_design = true;
   obs::ScopedTimer search_timer(report.counters(), "hybrid/search");
-  const auto design = explore::HybridOptimizer::beam(profile, candidates,
-                                                     constraints, 512,
-                                                     objective);
+  if (search == "bnb") {
+    explore::BnbOptions options;
+    options.threads = args.threads();
+    options.checkpoint_every_units = args.get_uint("checkpoint-every", 0);
+    options.suspend_after_units = args.get_uint("suspend-after-units", 0);
+    if (!checkpoint_path.empty()) {
+      options.checkpoint_sink = [&checkpoint_path](
+                                    const explore::BnbCheckpoint& ckpt) {
+        obs::write_bnb_checkpoint(checkpoint_path, ckpt);
+      };
+    }
+    explore::BnbResult result;
+    if (args.get_bool("resume", false)) {
+      if (checkpoint_path.empty()) {
+        throw std::invalid_argument("--resume requires --checkpoint=FILE");
+      }
+      const explore::BnbCheckpoint ckpt =
+          obs::read_bnb_checkpoint(checkpoint_path);
+      result = explore::BranchBoundOptimizer::resume(
+          profile, candidates, ckpt, constraints, objective, options);
+    } else {
+      result = explore::BranchBoundOptimizer::optimize(
+          profile, candidates, constraints, objective, options);
+    }
+    complete = result.complete;
+    has_design = result.has_incumbent;
+    design = std::move(result.design);
+  } else if (search == "beam") {
+    design = explore::HybridOptimizer::beam(profile, candidates, constraints,
+                                            512, objective);
+  } else if (search == "greedy") {
+    design = explore::HybridOptimizer::greedy(profile, candidates,
+                                              constraints, objective);
+  } else if (search == "exhaustive") {
+    design = explore::HybridOptimizer::exhaustive(profile, candidates,
+                                                  constraints, 50'000'000,
+                                                  args.threads(), objective);
+  } else {
+    throw std::invalid_argument(
+        "--search must be bnb, beam, greedy or exhaustive");
+  }
   search_timer.stop();
-  std::cout << "best hybrid (objective=" << explore::objective_name(objective)
-            << "): " << design.chain().describe() << "\n"
-            << "P(Error) = " << util::prob6(design.p_error) << "\n";
-  if (design.med) {
-    std::cout << "MED = " << util::fixed(*design.med, 6) << "\n";
+  if (!complete) {
+    std::cout << "search suspended after "
+              << design.stats.nodes_expanded << " expanded nodes";
+    if (!checkpoint_path.empty()) {
+      std::cout << "; checkpoint written to " << checkpoint_path
+                << " (resume with --resume)";
+    }
+    std::cout << "\n";
   }
-  if (design.mse) {
-    std::cout << "MSE = " << util::fixed(*design.mse, 6) << "\n";
+  if (has_design) {
+    std::cout << "best hybrid (objective="
+              << explore::objective_name(objective)
+              << ", search=" << search << "): "
+              << design.chain().describe() << "\n"
+              << "P(Error) = " << util::prob6(design.p_error) << "\n";
+    if (design.med) {
+      std::cout << "MED = " << util::fixed(*design.med, 6) << "\n";
+    }
+    if (design.mse) {
+      std::cout << "MSE = " << util::fixed(*design.mse, 6) << "\n";
+    }
+    if (design.wce) {
+      std::cout << "WCE = " << *design.wce << "\n";
+    }
+    if (design.power_nw) {
+      std::cout << "power = " << util::fixed(*design.power_nw, 0) << " nW\n";
+    }
   }
-  if (design.wce) {
-    std::cout << "WCE = " << *design.wce << "\n";
-  }
-  if (design.power_nw) {
-    std::cout << "power = " << util::fixed(*design.power_nw, 0) << " nW\n";
-  }
-  report.section("hybrid").set("design", obs::to_json(design));
+  obs::Json& section = report.section("hybrid");
+  section.set("search_mode", obs::Json(search));
+  section.set("complete", obs::Json(complete));
+  section.set("design", has_design ? obs::to_json(design) : obs::Json());
+  // Every SearchStats counter is reported explicitly — including the
+  // zero-valued ones — so report consumers see the same key set no
+  // matter which optimizer ran.
   report.counters().add("hybrid/candidates_evaluated",
                         design.stats.candidates_evaluated);
   report.counters().add("hybrid/candidates_rejected",
@@ -373,6 +454,13 @@ int cmd_hybrid(const util::CliArgs& args, obs::RunReport& report) {
   report.counters().add("hybrid/cache_misses", design.stats.cache_misses);
   report.counters().add("hybrid/stages_computed",
                         design.stats.stages_computed);
+  report.counters().add("hybrid/soa_batches", design.stats.soa_batches);
+  report.counters().add("hybrid/soa_lanes", design.stats.soa_lanes);
+  report.counters().add("hybrid/soa_max_lanes", design.stats.soa_max_lanes);
+  report.counters().add("hybrid/nodes_expanded", design.stats.nodes_expanded);
+  report.counters().add("hybrid/nodes_pruned", design.stats.nodes_pruned);
+  report.counters().add("hybrid/bound_cutoffs", design.stats.bound_cutoffs);
+  report.counters().add("hybrid/steal_count", design.stats.steal_count);
   return 0;
 }
 
