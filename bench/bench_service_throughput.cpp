@@ -176,7 +176,8 @@ int main(int argc, char** argv) {
 
     service::ServerOptions options;
     options.port = 0;  // ephemeral: parallel CI jobs must not collide
-    options.threads = static_cast<unsigned>(args.get_uint("threads", 0));
+    options.dispatcher.dispatch_threads =
+        static_cast<unsigned>(args.get_uint("threads", 1));
     // The pipelined mode fronts the whole workload on one connection.
     options.max_inflight_per_connection = n + 1;
     service::Server server(options);

@@ -15,6 +15,14 @@ and strict on the flags:
   ratios of two timings taken on the same machine in the same process,
   so they transfer across machines far better than raw seconds do;
   losing half of one is an architectural regression, not noise;
+* every latency-percentile metric (keys like ``analytic_pmf_p99_us`` —
+  ``_p<N>_us`` suffixed) is lower-is-better and must stay at or below
+  ``latency-factor`` (default 2x) of the reference, plus one microsecond
+  of grace so a value sitting exactly on a power-of-two histogram bucket
+  boundary may step one bucket without tripping the gate.  References
+  below ``latency-floor-us`` (default 1000) are not ratio-gated —
+  microsecond-scale percentiles are scheduler noise, not regressions —
+  but must still be present;
 * every other key the reference report carries must still be present in
   the current report.  Values outside the two gated classes are not
   compared (counts and raw timings are machine-dependent), but a bench
@@ -31,9 +39,12 @@ or any report fails to parse.
 
 import argparse
 import json
+import re
 import sys
 
 SCHEMA = "sealpaa.run-report"
+
+LATENCY_KEY = re.compile(r"_p\d+_us$")
 
 
 def load_report(path):
@@ -52,14 +63,15 @@ def iter_metrics(sections):
             continue
         for key, value in section.items():
             is_flag = isinstance(value, bool)
-            is_speedup = (not is_flag
-                          and isinstance(value, (int, float))
-                          and "speedup" in key)
-            if is_flag or is_speedup:
+            is_number = not is_flag and isinstance(value, (int, float))
+            is_latency = is_number and LATENCY_KEY.search(key) is not None
+            is_speedup = is_number and not is_latency and "speedup" in key
+            if is_flag or is_speedup or is_latency:
                 yield name, key, value
 
 
-def check_pair(reference_path, current_path, threshold):
+def check_pair(reference_path, current_path, threshold,
+               latency_factor=2.0, latency_floor_us=1000.0):
     reference = load_report(reference_path)
     current = load_report(current_path)
     current_sections = current.get("sections", {})
@@ -84,6 +96,28 @@ def check_pair(reference_path, current_path, threshold):
                          "ok" if ok else "FAIL"))
             if not ok:
                 failures.append(f"{metric} is no longer true")
+        elif LATENCY_KEY.search(key):
+            if not isinstance(cur_value, (int, float)) \
+                    or isinstance(cur_value, bool):
+                rows.append((metric, f"{ref_value:.0f}us", "missing", "FAIL"))
+                failures.append(f"{metric} missing from current run")
+                continue
+            if ref_value < latency_floor_us:
+                rows.append((metric, f"{ref_value:.0f}us",
+                             f"{cur_value:.0f}us", "ok (below floor)"))
+                continue
+            # +1us of grace: percentiles come from power-of-two histogram
+            # buckets, so a reference on a bucket's 2^k - 1 upper bound
+            # may legitimately step to the next bucket's 2^(k+1) - 1.
+            ceiling = latency_factor * ref_value + 1
+            ok = cur_value <= ceiling
+            rows.append((metric, f"{ref_value:.0f}us", f"{cur_value:.0f}us",
+                         "ok" if ok else f"FAIL (> {ceiling:.0f}us)"))
+            if not ok:
+                failures.append(
+                    f"{metric} rose to {cur_value:.0f}us, above "
+                    f"{latency_factor:.1f}x the reference "
+                    f"{ref_value:.0f}us")
         else:
             if not isinstance(cur_value, (int, float)) \
                     or isinstance(cur_value, bool):
@@ -140,6 +174,14 @@ def main(argv):
     parser.add_argument("--threshold", type=float, default=0.5,
                         help="minimum current/reference speedup ratio "
                              "(default: %(default)s)")
+    parser.add_argument("--latency-factor", type=float, default=2.0,
+                        help="maximum current/reference ratio for "
+                             "_p<N>_us latency percentiles "
+                             "(default: %(default)s)")
+    parser.add_argument("--latency-floor-us", type=float, default=1000.0,
+                        help="reference latencies below this many "
+                             "microseconds are presence-checked but not "
+                             "ratio-gated (default: %(default)s)")
     parser.add_argument("reports", nargs="+",
                         help="alternating reference/current report paths")
     args = parser.parse_args(argv)
@@ -148,12 +190,15 @@ def main(argv):
         parser.error("reports must come in REFERENCE CURRENT pairs")
     if not 0.0 < args.threshold <= 1.0:
         parser.error("--threshold must be in (0, 1]")
+    if args.latency_factor < 1.0:
+        parser.error("--latency-factor must be at least 1")
 
     failures = []
     for i in range(0, len(args.reports), 2):
         try:
             failures += check_pair(args.reports[i], args.reports[i + 1],
-                                   args.threshold)
+                                   args.threshold, args.latency_factor,
+                                   args.latency_floor_us)
         except (OSError, ValueError, json.JSONDecodeError) as error:
             failures.append(str(error))
             print(f"error: {error}", file=sys.stderr)

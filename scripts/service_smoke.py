@@ -5,8 +5,10 @@ Drives a real daemon over TCP — in CI, one built with AddressSanitizer —
 through every behavior the wire protocol promises (stdlib only, no pip):
 
 1. readiness: the daemon prints its bound port on stdout;
-2. pipelining: many requests down one connection come back in order,
-   each id echoed;
+2. pipelining: many requests down one connection each come back exactly
+   once, matched by id (responses to one connection may complete out of
+   order across dispatch shards; within one (width, p) profile order
+   stays FIFO, which is asserted too);
 3. robustness: malformed JSON, oversized frames, unknown methods/cells,
    width-limit violations and an expired deadline each produce the
    documented structured error, and the connection keeps serving;
@@ -20,12 +22,17 @@ through every behavior the wire protocol promises (stdlib only, no pip):
 7. block-analytic: block-adder requests (a "blocks" spec instead of a
    cell chain) return evaluations byte-identical to the CLI's, and a
    spec on any other method is rejected;
-8. graceful drain: SIGTERM answers everything already received, then
+8. out-of-order completion (multi-worker runs): a fast request sent
+   after a slow one on the same connection overtakes it when the two
+   land on different dispatch shards — responses matched by id, never
+   by arrival order;
+9. graceful drain: SIGTERM answers everything already received, then
    the process exits 0.
 
 Usage:
     service_smoke.py --daemon build/tools/sealpaad \\
-                     --cli build/tools/sealpaa_cli [--requests 1000]
+                     --cli build/tools/sealpaa_cli [--requests 1000] \\
+                     [--dispatch-threads 4]
 """
 
 import argparse
@@ -119,7 +126,8 @@ def evaluate_request(request_id, cell, width, p=0.5, method="recursive",
 
 
 def phase_pipelining(port, count):
-    print(f"-- pipelining: {count} requests, one connection")
+    print(f"-- pipelining: {count} requests, one connection, "
+          "responses matched by id")
     conn = Connection(port)
     cells = ["LPAA1", "LPAA3", "LPAA6", "LPAA7"]
     requests = []
@@ -131,21 +139,35 @@ def phase_pipelining(port, count):
                                              width=8 + 8 * (i % 2)))
     conn.send_frames("".join(json.dumps(r) + "\n" for r in requests))
 
-    in_order = True
+    # The wire contract promises exactly one response per request, NOT
+    # send order: pings are answered inline ahead of queued evaluations,
+    # and evaluations complete out of order across dispatch shards.
+    # Only same-profile requests — here, same width — stay FIFO.
+    seen = {}
     all_ok = True
-    for i in range(count):
+    envelopes_ok = True
+    by_width = {8: [], 16: []}
+    for _ in range(count):
         response = conn.read_response()
-        if not expect_envelope(response, i):
-            in_order = False
+        if response is None or response.get("schema") != SCHEMA \
+                or response.get("schema_version") != SCHEMA_VERSION:
+            envelopes_ok = False
             break
+        i = response.get("id")
+        seen[i] = seen.get(i, 0) + 1
         if response.get("ok") is not True:
             all_ok = False
-        if i % 10 == 9:
+        elif i % 10 == 9:
             all_ok = all_ok and response.get("pong") is True
         else:
             all_ok = all_ok and "evaluation" in response
-    check(in_order, "every id echoed back in send order")
+            by_width[8 + 8 * (i % 2)].append(i)
+    check(envelopes_ok, "every response carries a well-formed envelope")
+    check(seen == {i: 1 for i in range(count)},
+          "every id answered exactly once")
     check(all_ok, "every response ok with the expected payload")
+    check(all(ids == sorted(ids) for ids in by_width.values()),
+          "same-profile responses stay FIFO per width")
     conn.close()
 
 
@@ -341,6 +363,35 @@ def phase_block_analytic(port, cli):
     conn.close()
 
 
+def phase_out_of_order(port, dispatch_threads):
+    if dispatch_threads < 2:
+        print("-- out-of-order completion: skipped "
+              f"(needs >= 2 dispatch workers, have {dispatch_threads})")
+        return
+    print("-- out-of-order completion: fast request overtakes a slow one")
+    # Widths 16 and 24 land on different dispatch shards at 4 workers
+    # (Dispatcher::shard_of — asserted by tests/test_service.cpp), so a
+    # cheap recursive evaluation sent AFTER a multi-million-sample Monte
+    # Carlo run on the same connection must complete first.  Responses
+    # interleave across shards and are matched by id, never by arrival.
+    conn = Connection(port)
+    conn.send_frames(
+        json.dumps(evaluate_request("slow", "LPAA3", width=16,
+                                    method="monte-carlo",
+                                    samples=2097152)) + "\n"
+        + json.dumps(evaluate_request("fast", "LPAA6", width=24)) + "\n")
+    first = conn.read_response()
+    second = conn.read_response()
+    check(first is not None and first.get("id") == "fast"
+          and first.get("ok") is True,
+          "fast recursive response arrived first")
+    check(second is not None and second.get("id") == "slow"
+          and second.get("ok") is True
+          and "evaluation" in second,
+          "slow monte-carlo response completed afterwards, intact")
+    conn.close()
+
+
 def phase_sigterm_drain(daemon, port):
     print("-- SIGTERM: drain answers in-flight work, exit 0")
     conn = Connection(port)
@@ -381,10 +432,13 @@ def main(argv):
                         help="pipelined request count (default: %(default)s)")
     parser.add_argument("--connections", type=int, default=4,
                         help="concurrent connections (default: %(default)s)")
+    parser.add_argument("--dispatch-threads", type=int, default=4,
+                        help="daemon dispatch workers (default: %(default)s)")
     args = parser.parse_args(argv)
 
     daemon = subprocess.Popen(
-        [args.daemon, "--port=0"],
+        [args.daemon, "--port=0",
+         f"--dispatch-threads={args.dispatch_threads}"],
         stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
     try:
         ready = daemon.stdout.readline()
@@ -401,6 +455,7 @@ def main(argv):
         phase_cli_parity(port, args.cli)
         phase_analytic_pmf(port, args.cli)
         phase_block_analytic(port, args.cli)
+        phase_out_of_order(port, args.dispatch_threads)
         phase_sigterm_drain(daemon, port)
     finally:
         if daemon.poll() is None:

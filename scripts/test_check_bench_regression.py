@@ -31,6 +31,9 @@ REFERENCE = make_report({
         "configs_checked": 42,
         "label": "width sweep",
         "rows": [{"bits": 8}],
+        "analytic_pmf_p99_us": 16383,
+        "recursive_p50_us": 7,
+        "batch_size_p50": 31,
     },
     "meta": {"reps": 3},
 })
@@ -95,6 +98,51 @@ class CheckPairTest(unittest.TestCase):
             self.assertTrue(
                 any(f"bench.{key} missing" in f for f in failures),
                 f"dropping {key!r} must fail the gate: {failures}")
+
+    def test_latency_percentile_regression_fails(self):
+        current = copy.deepcopy(REFERENCE)
+        current["sections"]["bench"]["analytic_pmf_p99_us"] = 65535
+        failures = self._check(current)
+        self.assertTrue(any("analytic_pmf_p99_us rose" in f
+                            for f in failures), failures)
+
+    def test_latency_percentile_one_bucket_step_passes(self):
+        # Power-of-two histogram buckets: a reference sitting on the
+        # 2^k - 1 upper bound may step exactly one bucket at factor 2.
+        current = copy.deepcopy(REFERENCE)
+        current["sections"]["bench"]["analytic_pmf_p99_us"] = 32767
+        self.assertEqual(self._check(current), [])
+
+    def test_latency_percentile_improvement_passes(self):
+        current = copy.deepcopy(REFERENCE)
+        current["sections"]["bench"]["analytic_pmf_p99_us"] = 511
+        self.assertEqual(self._check(current), [])
+
+    def test_latency_below_floor_is_not_ratio_gated(self):
+        # 7us -> 500us is far beyond 2x but under the 1000us noise
+        # floor: microsecond percentiles are scheduler jitter.
+        current = copy.deepcopy(REFERENCE)
+        current["sections"]["bench"]["recursive_p50_us"] = 500
+        self.assertEqual(self._check(current), [])
+
+    def test_missing_latency_metric_fails(self):
+        for key in ("analytic_pmf_p99_us", "recursive_p50_us"):
+            current = copy.deepcopy(REFERENCE)
+            del current["sections"]["bench"][key]
+            failures = self._check(current)
+            self.assertTrue(any(f"bench.{key} missing" in f
+                                for f in failures), failures)
+
+    def test_unsuffixed_percentile_key_is_presence_only(self):
+        # batch_size_p50 carries no _us suffix: it is a batch-size
+        # count, not a latency, and must never be ratio-gated.
+        current = copy.deepcopy(REFERENCE)
+        current["sections"]["bench"]["batch_size_p50"] = 10_000
+        self.assertEqual(self._check(current), [])
+        del current["sections"]["bench"]["batch_size_p50"]
+        failures = self._check(current)
+        self.assertTrue(any("batch_size_p50 missing" in f
+                            for f in failures), failures)
 
     def test_missing_section_fails(self):
         current = copy.deepcopy(REFERENCE)

@@ -47,6 +47,17 @@ std::uint64_t Histogram::quantile_upper_bound(double quantile) const noexcept {
   return upper_edge(kBuckets - 1);
 }
 
+void Histogram::merge(const Histogram& other) noexcept {
+  if (other.count_ == 0) return;
+  for (std::size_t bucket = 0; bucket < kBuckets; ++bucket) {
+    buckets_[bucket] += other.buckets_[bucket];
+  }
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 void Histogram::clear() noexcept {
   buckets_.fill(0);
   count_ = 0;

@@ -42,6 +42,11 @@ class Histogram {
 
   void clear() noexcept;
 
+  /// Folds `other` into this histogram (bucket-wise addition; min/max/
+  /// sum/count combine exactly).  The service aggregates per-shard
+  /// histograms into the fleet-wide view with this.
+  void merge(const Histogram& other) noexcept;
+
   /// {"count", "sum", "min", "max", "mean", "p50", "p99", "buckets":
   ///  [{"le": <upper edge>, "count": n}, ...]} — only non-empty buckets
   /// are listed, so quiet methods serialize compactly.

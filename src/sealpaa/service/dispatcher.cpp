@@ -1,123 +1,376 @@
 #include "sealpaa/service/dispatcher.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <deque>
+#include <numeric>
 #include <span>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "sealpaa/adders/builtin.hpp"
 #include "sealpaa/multibit/chain.hpp"
 #include "sealpaa/multibit/input_profile.hpp"
 #include "sealpaa/obs/serialize.hpp"
-#include "sealpaa/util/parallel.hpp"
+#include "sealpaa/util/timer.hpp"
 
 namespace sealpaa::service {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 [[nodiscard]] std::vector<adders::AdderCell> builtin_palette() {
   const std::span<const adders::AdderCell> cells = adders::all_builtin_cells();
   return {cells.begin(), cells.end()};
 }
 
+struct MethodStats {
+  std::uint64_t count = 0;
+  std::uint64_t errors = 0;
+  obs::Histogram latency_us;
+};
+
+/// Accounting one worker publishes after each batch.  Guarded by
+/// Shard::stats_mutex, so stats requests read a coherent snapshot
+/// without ever touching the worker's live EvaluatorPool.
+struct ShardStats {
+  std::uint64_t batches = 0;
+  std::uint64_t cut_through_batches = 0;  // drained queue, window skipped
+  std::uint64_t coalesced_batches = 0;    // backlogged, window held open
+  obs::Histogram batch_sizes;
+  std::map<std::string, MethodStats> methods;
+  std::uint64_t pool_live = 0;
+  std::uint64_t pool_created = 0;
+  std::uint64_t pool_evicted = 0;
+  std::uint64_t pool_hits = 0;
+  engine::CacheStats prefix{};
+  engine::CacheStats pmf{};
+  engine::BatchStats batch{};
+};
+
+void fold(engine::CacheStats& into, const engine::CacheStats& from) noexcept {
+  into.hits += from.hits;
+  into.misses += from.misses;
+  into.insertions += from.insertions;
+  into.evictions += from.evictions;
+  into.stages_computed += from.stages_computed;
+  into.chains_evaluated += from.chains_evaluated;
+}
+
+void fold(engine::BatchStats& into, const engine::BatchStats& from) noexcept {
+  into.batches += from.batches;
+  into.lanes += from.lanes;
+  into.max_lanes = std::max(into.max_lanes, from.max_lanes);
+  into.lane_stages += from.lane_stages;
+  into.fast_lane_stages += from.fast_lane_stages;
+}
+
+[[nodiscard]] obs::Json methods_to_json(
+    const std::map<std::string, MethodStats>& methods) {
+  obs::Json out = obs::Json::object();
+  for (const auto& [name, stats] : methods) {
+    obs::Json entry = obs::Json::object();
+    entry.set("count", obs::Json(stats.count));
+    entry.set("errors", obs::Json(stats.errors));
+    entry.set("latency_us", stats.latency_us.to_json());
+    out.set(name, std::move(entry));
+  }
+  return out;
+}
+
+[[nodiscard]] obs::Json evaluators_to_json(const ShardStats& stats) {
+  obs::Json out = obs::Json::object();
+  out.set("live", obs::Json(stats.pool_live));
+  out.set("created", obs::Json(stats.pool_created));
+  out.set("evicted", obs::Json(stats.pool_evicted));
+  out.set("pool_hits", obs::Json(stats.pool_hits));
+  out.set("prefix_cache", obs::to_json(stats.prefix));
+  out.set("pmf_cache", obs::to_json(stats.pmf));
+  out.set("batch", obs::to_json(stats.batch));
+  return out;
+}
+
 }  // namespace
 
-Dispatcher::Dispatcher(DispatcherOptions options)
-    : options_(options), evaluators_(builtin_palette(), options.pool) {}
+/// One framed request after parsing: the origin, the validated request,
+/// and the chain resolved to palette indices.
+struct Dispatcher::ParsedItem {
+  PendingRequest pending;
+  Request request;
+  std::vector<std::size_t> choices;
+};
 
-std::vector<OutgoingResponse> Dispatcher::run_batch(
-    std::vector<PendingRequest> batch, unsigned threads) {
-  using Clock = std::chrono::steady_clock;
+/// One dispatch worker's world: its queue, its adaptive-window state and
+/// its own EvaluatorPool.  The pool is touched only by the owning worker
+/// (or by run_batch's per-shard threads, which never overlap a running
+/// worker), so evaluator state needs no locking.
+struct Dispatcher::Shard {
+  Shard(unsigned index_, std::vector<adders::AdderCell> palette,
+        const engine::EvaluatorPoolOptions& pool_options)
+      : index(index_), pool(std::move(palette), pool_options) {}
 
-  batches_ += 1;
-  batch_sizes_.record(batch.size());
-  requests_received_ += batch.size();
+  const unsigned index;
 
-  struct Slot {
-    const PendingRequest* pending = nullptr;
-    std::optional<Request> request;
-    std::vector<std::size_t> choices;  // palette indices (evaluate only)
-    obs::Json response;
-    bool done = false;   // response already built (parse error, stats, ping)
-    bool error = false;  // response is an error
-    std::uint64_t micros = 0;  // evaluation wall time (evaluate only)
-  };
-  std::vector<Slot> slots(batch.size());
+  std::mutex mutex;  // guards queue / draining / backlog / high_water
+  std::condition_variable cv;
+  std::deque<ParsedItem> queue;
+  bool draining = false;
+  /// Did the previous take leave requests behind?  Set under load,
+  /// cleared when the queue drains — the adaptive window only opens
+  /// while this is true.
+  bool backlog = false;
+  std::uint64_t high_water = 0;
 
-  // A group of recursive requests sharing one input profile — evaluated
-  // sequentially against one ChainEvaluator so every request after the
-  // first starts from a warm prefix cache.
-  struct RecursiveGroup {
-    std::shared_ptr<engine::ChainEvaluator> evaluator;
-    std::vector<std::size_t> slot_indices;
-  };
-  std::map<std::string, RecursiveGroup> recursive_groups;
-  std::vector<std::size_t> other_jobs;
-  std::vector<std::size_t> deferred;  // stats / ping, answered post-batch
+  engine::EvaluatorPool pool;
 
-  // Phase 1 (dispatch thread): parse and validate every frame, resolve
-  // cell names, and acquire each group's evaluator before any task runs
-  // (EvaluatorPool is single-threaded by contract).
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    Slot& slot = slots[i];
-    slot.pending = &batch[i];
-    ParseOutcome outcome = parse_request(batch[i].frame, options_.limits);
-    if (outcome.error) {
-      slot.response = make_error_response(outcome.id, outcome.error->code,
-                                          outcome.error->message);
-      slot.done = true;
-      slot.error = true;
-      continue;
+  std::mutex stats_mutex;
+  ShardStats stats;
+
+  std::thread worker;
+};
+
+Dispatcher::Dispatcher(DispatcherOptions options) : options_(options) {
+  if (options_.dispatch_threads == 0) options_.dispatch_threads = 1;
+  palette_ = builtin_palette();
+  palette_index_.reserve(palette_.size());
+  for (std::size_t i = 0; i < palette_.size(); ++i) {
+    palette_index_.emplace(palette_[i].name(), i);
+  }
+  shards_.reserve(options_.dispatch_threads);
+  for (unsigned shard = 0; shard < options_.dispatch_threads; ++shard) {
+    shards_.push_back(
+        std::make_unique<Shard>(shard, palette_, options_.pool));
+  }
+}
+
+Dispatcher::~Dispatcher() { stop(); }
+
+unsigned Dispatcher::shard_of(std::size_t width, double p,
+                              unsigned shards) noexcept {
+  if (shards <= 1) return 0;
+  // FNV-1a over the exact (width, p) bits — the same identity the
+  // EvaluatorPool keys on for uniform profiles, so one profile's
+  // evaluators can never be split across two workers.  The murmur3
+  // fmix64 finalizer avalanches the hash: plain FNV's low bits barely
+  // move for small-integer widths, collapsing every profile onto shard
+  // 0 at small worker counts.
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  const auto mix = [&hash](std::uint64_t value) {
+    for (unsigned byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (byte * 8)) & 0xffu;
+      hash *= 0x100000001b3ull;
     }
-    slot.request = std::move(outcome.request);
-    if (slot.request->kind != Request::Kind::kEvaluate) {
-      deferred.push_back(i);
-      continue;
+  };
+  mix(static_cast<std::uint64_t>(width));
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(p));
+  std::memcpy(&bits, &p, sizeof(bits));
+  mix(bits);
+  hash ^= hash >> 33;
+  hash *= 0xff51afd7ed558ccdull;
+  hash ^= hash >> 33;
+  hash *= 0xc4ceb9fe1a85ec53ull;
+  hash ^= hash >> 33;
+  return static_cast<unsigned>(hash % shards);
+}
+
+void Dispatcher::start(ResponseSink sink) {
+  if (started_) return;
+  sink_ = std::move(sink);
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      shard->draining = false;
+      shard->backlog = false;
     }
-    bool unknown_cell = false;
-    slot.choices.reserve(slot.request->chain.size());
-    for (const std::string& name : slot.request->chain) {
-      const auto index = evaluators_.candidate_index(name);
-      if (!index) {
-        slot.response = make_error_response(
-            slot.request->id, error_code::kUnknownCell,
-            "unknown cell '" + name + "' (try: sealpaa_cli cells)");
-        slot.done = true;
-        slot.error = true;
-        unknown_cell = true;
-        break;
+    shard->worker =
+        std::thread([this, shard = shard.get()] { worker_loop(*shard); });
+  }
+  started_ = true;
+}
+
+void Dispatcher::submit(PendingRequest request) {
+  requests_received_.fetch_add(1, std::memory_order_relaxed);
+  ParsedItem item;
+  switch (admit(std::move(request), sink_, &item)) {
+    case Admission::kResponded:
+      return;
+    case Admission::kControl:
+      // Answered inline: control requests never queue behind
+      // evaluations (a stats probe may race ahead of an in-flight
+      // batch — by design).
+      requests_ok_.fetch_add(1, std::memory_order_relaxed);
+      sink_(OutgoingResponse{item.pending.connection, item.pending.sequence,
+                             serialize_frame(control_response(item.request))});
+      return;
+    case Admission::kEvaluate:
+      route(std::move(item));
+      return;
+  }
+}
+
+void Dispatcher::drain() {
+  std::unique_lock<std::mutex> lock(lifecycle_mutex_);
+  drain_cv_.wait(lock, [this] {
+    return inflight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void Dispatcher::stop() {
+  if (!started_) return;
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      shard->draining = true;
+    }
+    shard->cv.notify_all();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  started_ = false;
+}
+
+Dispatcher::Admission Dispatcher::admit(PendingRequest pending,
+                                        const ResponseSink& sink,
+                                        ParsedItem* item) {
+  ParseOutcome outcome = parse_request(pending.frame, options_.limits);
+  if (outcome.error) {
+    requests_error_.fetch_add(1, std::memory_order_relaxed);
+    sink(OutgoingResponse{
+        pending.connection, pending.sequence,
+        serialize_frame(make_error_response(outcome.id, outcome.error->code,
+                                            outcome.error->message))});
+    return Admission::kResponded;
+  }
+  item->pending = std::move(pending);
+  item->request = std::move(*outcome.request);
+  item->choices.clear();
+  if (item->request.kind != Request::Kind::kEvaluate) {
+    return Admission::kControl;
+  }
+  item->choices.reserve(item->request.chain.size());
+  for (const std::string& name : item->request.chain) {
+    const auto found = palette_index_.find(name);
+    if (found == palette_index_.end()) {
+      requests_error_.fetch_add(1, std::memory_order_relaxed);
+      sink(OutgoingResponse{
+          item->pending.connection, item->pending.sequence,
+          serialize_frame(make_error_response(
+              item->request.id, error_code::kUnknownCell,
+              "unknown cell '" + name + "' (try: sealpaa_cli cells)"))});
+      return Admission::kResponded;
+    }
+    item->choices.push_back(found->second);
+  }
+  return Admission::kEvaluate;
+}
+
+void Dispatcher::route(ParsedItem item) {
+  Shard& shard = *shards_[shard_of(item.request.width, item.request.p,
+                                   static_cast<unsigned>(shards_.size()))];
+  inflight_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.queue.push_back(std::move(item));
+    shard.high_water = std::max(shard.high_water,
+                                static_cast<std::uint64_t>(shard.queue.size()));
+  }
+  shard.cv.notify_one();
+}
+
+void Dispatcher::worker_loop(Shard& shard) {
+  std::unique_lock<std::mutex> lock(shard.mutex);
+  for (;;) {
+    shard.cv.wait(lock, [&shard] {
+      return !shard.queue.empty() || shard.draining;
+    });
+    if (shard.queue.empty()) return;  // draining and nothing left to do
+    // Adaptive window: only a backlogged shard (the previous take left
+    // work behind) holds the window open for stragglers; an idle shard
+    // cuts through immediately so a lone request never pays the window.
+    bool waited = false;
+    if (shard.backlog && !shard.draining &&
+        options_.batch_window.count() > 0 &&
+        shard.queue.size() < options_.batch_max) {
+      waited = true;
+      const auto deadline = Clock::now() + options_.batch_window;
+      while (shard.queue.size() < options_.batch_max && !shard.draining &&
+             shard.cv.wait_until(lock, deadline) != std::cv_status::timeout) {
       }
-      slot.choices.push_back(*index);
     }
-    if (unknown_cell) continue;
-    if (slot.request->method == engine::Method::kRecursive) {
+    const std::size_t take = std::min(shard.queue.size(), options_.batch_max);
+    std::vector<ParsedItem> batch;
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(shard.queue.front()));
+      shard.queue.pop_front();
+    }
+    shard.backlog = !shard.queue.empty();
+    lock.unlock();
+    process_batch(shard, std::move(batch), sink_, waited);
+    {
+      std::lock_guard<std::mutex> guard(lifecycle_mutex_);
+      inflight_.fetch_sub(take, std::memory_order_acq_rel);
+    }
+    drain_cv_.notify_all();
+    lock.lock();
+  }
+}
+
+void Dispatcher::process_batch(Shard& shard, std::vector<ParsedItem> items,
+                               const ResponseSink& sink, bool waited) {
+  struct Slot {
+    obs::Json response;
+    bool error = false;
+    std::uint64_t micros = 0;
+  };
+  std::vector<Slot> slots(items.size());
+
+  // Group per profile so every request against one (width, p) runs
+  // against one pooled ChainEvaluator: recursive requests become the
+  // lanes of one strict SoA pass, analytic-pmf requests share the
+  // evaluator's PMF prefix cache.
+  struct Group {
+    std::shared_ptr<engine::ChainEvaluator> evaluator;
+    std::vector<std::size_t> recursive;
+    std::vector<std::size_t> analytic;
+  };
+  std::map<std::string, Group> groups;
+  std::vector<std::size_t> other_jobs;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const Request& request = items[i].request;
+    if (request.method == engine::Method::kRecursive ||
+        request.method == engine::Method::kAnalyticPmf) {
       // Group key: width plus the exact probability bits — the same
       // identity EvaluatorPool keys on for uniform profiles.
-      std::string key = std::to_string(slot.request->width);
+      std::string key = std::to_string(request.width);
       key.push_back(':');
-      key.append(reinterpret_cast<const char*>(&slot.request->p),
-                 sizeof(double));
-      RecursiveGroup& group = recursive_groups[key];
+      key.append(reinterpret_cast<const char*>(&request.p), sizeof(double));
+      Group& group = groups[key];
       if (!group.evaluator) {
-        group.evaluator = evaluators_.acquire(multibit::InputProfile::uniform(
-            slot.request->width, slot.request->p));
+        group.evaluator = shard.pool.acquire(
+            multibit::InputProfile::uniform(request.width, request.p));
       }
-      group.slot_indices.push_back(i);
+      (request.method == engine::Method::kRecursive ? group.recursive
+                                                    : group.analytic)
+          .push_back(i);
     } else {
       other_jobs.push_back(i);
     }
   }
 
-  // Phase 2: fan evaluation out.  Tasks write only their own slots and
-  // never throw — every failure becomes a structured error response.
-  const auto palette = std::span<const adders::AdderCell>(
-      evaluators_.palette());
-  const auto run_evaluate = [&palette](Slot& slot,
-                                       engine::ChainEvaluator* evaluator) {
-    const Request& request = *slot.request;
+  const auto palette = std::span<const adders::AdderCell>(shard.pool.palette());
+  const auto run_evaluate = [&](std::size_t index,
+                                engine::ChainEvaluator* evaluator) {
+    Slot& slot = slots[index];
+    const ParsedItem& item = items[index];
+    const Request& request = item.request;
     const util::WallTimer timer;
     const auto deadline =
-        slot.pending->arrival + std::chrono::milliseconds(request.timeout_ms);
+        item.pending.arrival + std::chrono::milliseconds(request.timeout_ms);
     try {
       if (request.timeout_ms == 0 || Clock::now() >= deadline) {
         slot.response = make_error_response(
@@ -125,19 +378,54 @@ std::vector<OutgoingResponse> Dispatcher::run_batch(
             "deadline of " + std::to_string(request.timeout_ms) +
                 " ms expired before evaluation started");
         slot.error = true;
-      } else if (evaluator != nullptr) {
+      } else if (evaluator != nullptr &&
+                 request.method == engine::Method::kRecursive) {
         const analysis::AnalysisResult result =
-            evaluator->evaluate(slot.choices);
+            evaluator->evaluate(item.choices);
         engine::Evaluation evaluation;
         evaluation.method = engine::Method::kRecursive;
         evaluation.p_error = result.p_error;
         evaluation.p_success = result.p_success;
         evaluation.work_items = request.width;
         slot.response = make_evaluation_response(request.id, evaluation);
+      } else if (evaluator != nullptr &&
+                 request.method == engine::Method::kAnalyticPmf) {
+        // The pooled analytic-pmf projection: ChainEvaluator::evaluate
+        // is bit-identical to RecursiveAnalyzer::analyze and error_pmf
+        // to propagate_error_pmf for a full-width chain, so this
+        // response is byte-for-byte what engine::evaluate serializes —
+        // the PMF prefix cache only changes how often stages recompute.
+        const analysis::AnalysisResult result =
+            evaluator->evaluate(item.choices);
+        engine::Evaluation evaluation;
+        evaluation.method = engine::Method::kAnalyticPmf;
+        evaluation.p_error = result.p_error;
+        evaluation.p_success = result.p_success;
+        evaluation.work_items = request.width;
+        const analysis::ErrorPmf pmf = evaluator->error_pmf(item.choices);
+        engine::DistributionStats stats;
+        stats.error_rate = pmf.error_rate();
+        stats.mean_error = pmf.mean_error();
+        stats.mean_error_distance = pmf.mean_error_distance();
+        stats.mean_squared_error = pmf.mean_squared_error();
+        stats.worst_case_error = pmf.worst_case_error();
+        stats.psnr_db = pmf.psnr_db(request.width);
+        evaluation.distribution = stats;
+        engine::PmfSummary summary;
+        summary.support = pmf.support_size();
+        summary.total_mass = pmf.total_mass();
+        summary.entropy_bits = pmf.entropy_bits();
+        if (!pmf.empty()) {
+          summary.min_value = pmf.min_value();
+          summary.max_value = pmf.max_value();
+        }
+        summary.top = pmf.top_mass_points(engine::EvaluateOptions{}.pmf_top_k);
+        evaluation.pmf = summary;
+        slot.response = make_evaluation_response(request.id, evaluation);
       } else {
         std::vector<adders::AdderCell> stages;
-        stages.reserve(slot.choices.size());
-        for (const std::size_t choice : slot.choices) {
+        stages.reserve(item.choices.size());
+        for (const std::size_t choice : item.choices) {
           stages.push_back(palette[choice]);
         }
         const multibit::AdderChain chain(std::move(stages));
@@ -148,23 +436,24 @@ std::vector<OutgoingResponse> Dispatcher::run_batch(
         options.seed = request.seed;
         options.kernel = request.kernel;
         options.blocks = request.blocks;
-        // Workers already run on the pool; nested parallel regions
-        // degrade to inline execution, so the result stays
-        // thread-count-independent.
+        // Evaluate inline: dispatch workers must not contend for the
+        // shared thread pool.  Monte Carlo results are thread-count-
+        // independent (disjoint jump streams), so responses stay
+        // byte-identical to any other worker count.
+        options.threads = 1;
         const engine::Evaluation evaluation =
             engine::evaluate(chain, profile, request.method, options);
         slot.response = make_evaluation_response(request.id, evaluation);
       }
     } catch (const std::invalid_argument& e) {
-      slot.response = make_error_response(request.id, error_code::kBadRequest,
-                                          e.what());
+      slot.response =
+          make_error_response(request.id, error_code::kBadRequest, e.what());
       slot.error = true;
     } catch (const std::exception& e) {
       slot.response =
           make_error_response(request.id, error_code::kInternal, e.what());
       slot.error = true;
     }
-    slot.done = true;
     slot.micros = static_cast<std::uint64_t>(timer.elapsed_seconds() * 1e6);
   };
 
@@ -172,19 +461,17 @@ std::vector<OutgoingResponse> Dispatcher::run_batch(
   // filtered out first (the same "before evaluation started" check
   // run_evaluate makes), the survivors' chains become the lanes of one
   // strict-mode evaluate_batch call — bit-identical per lane to the
-  // per-request evaluate(), so responses stay byte-for-byte what the
-  // sequential loop produced.  Should the batch throw (one malformed
+  // per-request evaluate().  Should the batch throw (one malformed
   // chain poisons the whole lane pass), the group replays per slot so
   // the error attaches to the request that caused it.
-  const auto run_group = [&slots, &run_evaluate](
-                             const std::vector<std::size_t>& indices,
+  const auto run_group = [&](const std::vector<std::size_t>& indices,
                              engine::ChainEvaluator* evaluator) {
     std::vector<std::size_t> live;
     live.reserve(indices.size());
     for (const std::size_t index : indices) {
       Slot& slot = slots[index];
-      const Request& request = *slot.request;
-      const auto deadline = slot.pending->arrival +
+      const Request& request = items[index].request;
+      const auto deadline = items[index].pending.arrival +
                             std::chrono::milliseconds(request.timeout_ms);
       if (request.timeout_ms == 0 || Clock::now() >= deadline) {
         slot.response = make_error_response(
@@ -192,7 +479,6 @@ std::vector<OutgoingResponse> Dispatcher::run_batch(
             "deadline of " + std::to_string(request.timeout_ms) +
                 " ms expired before evaluation started");
         slot.error = true;
-        slot.done = true;
         continue;
       }
       live.push_back(index);
@@ -201,139 +487,269 @@ std::vector<OutgoingResponse> Dispatcher::run_batch(
     std::vector<std::span<const std::size_t>> chains;
     chains.reserve(live.size());
     for (const std::size_t index : live) {
-      chains.emplace_back(slots[index].choices);
+      chains.emplace_back(items[index].choices);
     }
     const util::WallTimer timer;
     try {
       const std::vector<analysis::AnalysisResult> results =
           evaluator->evaluate_batch(chains);
       const std::uint64_t micros = static_cast<std::uint64_t>(
-          timer.elapsed_seconds() * 1e6 /
-          static_cast<double>(live.size()));
+          timer.elapsed_seconds() * 1e6 / static_cast<double>(live.size()));
       for (std::size_t j = 0; j < live.size(); ++j) {
         Slot& slot = slots[live[j]];
+        const Request& request = items[live[j]].request;
         engine::Evaluation evaluation;
         evaluation.method = engine::Method::kRecursive;
         evaluation.p_error = results[j].p_error;
         evaluation.p_success = results[j].p_success;
-        evaluation.work_items = slot.request->width;
-        slot.response =
-            make_evaluation_response(slot.request->id, evaluation);
-        slot.done = true;
+        evaluation.work_items = request.width;
+        slot.response = make_evaluation_response(request.id, evaluation);
         slot.micros = micros;
       }
     } catch (...) {
       for (const std::size_t index : live) {
-        run_evaluate(slots[index], evaluator);
+        run_evaluate(index, evaluator);
       }
     }
   };
 
-  util::with_pool(threads, [&](util::ThreadPool& pool) {
-    for (auto& [key, group] : recursive_groups) {
-      engine::ChainEvaluator* evaluator = group.evaluator.get();
-      const std::vector<std::size_t>& indices = group.slot_indices;
-      pool.submit([&run_group, evaluator, &indices] {
-        run_group(indices, evaluator);
-      });
-    }
-    for (const std::size_t index : other_jobs) {
-      pool.submit([&slots, &run_evaluate, index] {
-        run_evaluate(slots[index], nullptr);
-      });
-    }
-    pool.wait();
-    return 0;
-  });
-
-  // Phase 3 (dispatch thread): accounting, then the deferred stats/ping
-  // responses — so a stats request in this batch sees this batch's
-  // evaluations.
-  for (const Slot& slot : slots) {
-    if (!slot.done) continue;  // deferred
-    if (slot.error) {
-      requests_error_ += 1;
-    } else {
-      requests_ok_ += 1;
-    }
-    if (slot.request && slot.request->kind == Request::Kind::kEvaluate) {
-      MethodStats& stats =
-          methods_[std::string(engine::method_name(slot.request->method))];
-      stats.count += 1;
-      if (slot.error) stats.errors += 1;
-      stats.latency_us.record(slot.micros);
+  for (auto& [key, group] : groups) {
+    run_group(group.recursive, group.evaluator.get());
+    for (const std::size_t index : group.analytic) {
+      run_evaluate(index, group.evaluator.get());
     }
   }
-  for (const std::size_t index : deferred) {
-    Slot& slot = slots[index];
-    requests_ok_ += 1;
-    if (slot.request->kind == Request::Kind::kPing) {
-      slot.response = make_ping_response(slot.request->id);
-    } else {
-      obs::Json out = obs::Json::object();
-      out.set("schema", obs::Json(std::string(kWireSchema)));
-      out.set("schema_version", obs::Json(kWireSchemaVersion));
-      out.set("id", slot.request->id);
-      out.set("ok", obs::Json(true));
-      out.set("stats", stats_json());
-      slot.response = std::move(out);
-    }
-    slot.done = true;
+  for (const std::size_t index : other_jobs) {
+    run_evaluate(index, nullptr);
   }
 
-  // Phase 4: serialize and order.  Per-connection responses leave in
-  // request order regardless of which worker finished first.
+  // Emit in (connection, sequence) order within the batch — one shard's
+  // responses to one connection always leave FIFO; only responses from
+  // different shards interleave on the wire.
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&items](std::size_t a, std::size_t b) {
+              const PendingRequest& pa = items[a].pending;
+              const PendingRequest& pb = items[b].pending;
+              return pa.connection != pb.connection
+                         ? pa.connection < pb.connection
+                         : pa.sequence < pb.sequence;
+            });
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;
+  for (const std::size_t index : order) {
+    (slots[index].error ? errors : ok) += 1;
+    sink(OutgoingResponse{items[index].pending.connection,
+                          items[index].pending.sequence,
+                          serialize_frame(slots[index].response)});
+  }
+  requests_ok_.fetch_add(ok, std::memory_order_relaxed);
+  requests_error_.fetch_add(errors, std::memory_order_relaxed);
+
+  std::lock_guard<std::mutex> guard(shard.stats_mutex);
+  ShardStats& stats = shard.stats;
+  stats.batches += 1;
+  stats.batch_sizes.record(items.size());
+  (waited ? stats.coalesced_batches : stats.cut_through_batches) += 1;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    MethodStats& method = stats.methods[std::string(
+        engine::method_name(items[i].request.method))];
+    method.count += 1;
+    if (slots[i].error) method.errors += 1;
+    method.latency_us.record(slots[i].micros);
+  }
+  stats.pool_live = static_cast<std::uint64_t>(shard.pool.size());
+  stats.pool_created = shard.pool.created();
+  stats.pool_evicted = shard.pool.evicted();
+  stats.pool_hits = shard.pool.pool_hits();
+  stats.prefix = shard.pool.aggregate_stats();
+  stats.pmf = shard.pool.aggregate_pmf_stats();
+  stats.batch = shard.pool.aggregate_batch_stats();
+}
+
+std::vector<OutgoingResponse> Dispatcher::run_batch(
+    std::vector<PendingRequest> batch, unsigned worker_override) {
+  requests_received_.fetch_add(batch.size(), std::memory_order_relaxed);
+
+  std::mutex responses_mutex;
   std::vector<OutgoingResponse> responses;
-  responses.reserve(slots.size());
-  for (Slot& slot : slots) {
-    responses.push_back(OutgoingResponse{slot.pending->connection,
-                                         slot.pending->sequence,
-                                         serialize_frame(slot.response)});
+  responses.reserve(batch.size());
+  const ResponseSink collect = [&responses_mutex,
+                                &responses](OutgoingResponse response) {
+    std::lock_guard<std::mutex> lock(responses_mutex);
+    responses.push_back(std::move(response));
+  };
+
+  std::vector<std::vector<ParsedItem>> buckets(shards_.size());
+  std::vector<ParsedItem> control;
+  for (PendingRequest& pending : batch) {
+    ParsedItem item;
+    switch (admit(std::move(pending), collect, &item)) {
+      case Admission::kResponded:
+        break;
+      case Admission::kControl:
+        control.push_back(std::move(item));
+        break;
+      case Admission::kEvaluate: {
+        const unsigned shard =
+            shard_of(item.request.width, item.request.p,
+                     static_cast<unsigned>(shards_.size()));
+        buckets[shard].push_back(std::move(item));
+        break;
+      }
+    }
   }
+
+  // Process the non-empty shards in waves of at most `worker_override`
+  // concurrent threads (0 = the configured worker count) — the same
+  // shard-affine execution the live workers perform, minus the queues.
+  std::vector<std::size_t> busy;
+  for (std::size_t shard = 0; shard < buckets.size(); ++shard) {
+    if (!buckets[shard].empty()) busy.push_back(shard);
+  }
+  const unsigned cap = std::max(
+      1u, worker_override == 0 ? options_.dispatch_threads : worker_override);
+  for (std::size_t begin = 0; begin < busy.size(); begin += cap) {
+    const std::size_t end = std::min(busy.size(), begin + cap);
+    if (end - begin == 1) {
+      const std::size_t shard = busy[begin];
+      process_batch(*shards_[shard], std::move(buckets[shard]), collect,
+                    false);
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(end - begin);
+      for (std::size_t j = begin; j < end; ++j) {
+        const std::size_t shard = busy[j];
+        threads.emplace_back([this, shard, &buckets, &collect] {
+          process_batch(*shards_[shard], std::move(buckets[shard]), collect,
+                        false);
+        });
+      }
+      for (std::thread& thread : threads) thread.join();
+    }
+  }
+
+  // Control responses last, so a stats request sees its own batch.
+  for (ParsedItem& item : control) {
+    requests_ok_.fetch_add(1, std::memory_order_relaxed);
+    collect(OutgoingResponse{item.pending.connection, item.pending.sequence,
+                             serialize_frame(control_response(item.request))});
+  }
+
   std::sort(responses.begin(), responses.end(),
             [](const OutgoingResponse& a, const OutgoingResponse& b) {
-              return a.connection != b.connection
-                         ? a.connection < b.connection
-                         : a.sequence < b.sequence;
+              return a.connection != b.connection ? a.connection < b.connection
+                                                  : a.sequence < b.sequence;
             });
   return responses;
 }
 
+obs::Json Dispatcher::control_response(const Request& request) const {
+  if (request.kind == Request::Kind::kPing) {
+    return make_ping_response(request.id);
+  }
+  obs::Json out = obs::Json::object();
+  out.set("schema", obs::Json(std::string(kWireSchema)));
+  out.set("schema_version", obs::Json(kWireSchemaVersion));
+  out.set("id", request.id);
+  out.set("ok", obs::Json(true));
+  out.set("stats", stats_json());
+  return out;
+}
+
 obs::Json Dispatcher::stats_json() const {
+  std::uint64_t batches_total = 0;
+  std::uint64_t cut_through = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t queue_high_water = 0;
+  obs::Histogram batch_sizes;
+  std::map<std::string, MethodStats> methods;
+  ShardStats totals;
+  obs::Json shards = obs::Json::array();
+
+  for (const auto& shard : shards_) {
+    ShardStats snapshot;
+    {
+      std::lock_guard<std::mutex> guard(shard->stats_mutex);
+      snapshot = shard->stats;
+    }
+    std::uint64_t high_water = 0;
+    {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      high_water = shard->high_water;
+    }
+
+    batches_total += snapshot.batches;
+    cut_through += snapshot.cut_through_batches;
+    coalesced += snapshot.coalesced_batches;
+    queue_high_water = std::max(queue_high_water, high_water);
+    batch_sizes.merge(snapshot.batch_sizes);
+    for (const auto& [name, stats] : snapshot.methods) {
+      MethodStats& merged = methods[name];
+      merged.count += stats.count;
+      merged.errors += stats.errors;
+      merged.latency_us.merge(stats.latency_us);
+    }
+    totals.pool_live += snapshot.pool_live;
+    totals.pool_created += snapshot.pool_created;
+    totals.pool_evicted += snapshot.pool_evicted;
+    totals.pool_hits += snapshot.pool_hits;
+    fold(totals.prefix, snapshot.prefix);
+    fold(totals.pmf, snapshot.pmf);
+    fold(totals.batch, snapshot.batch);
+
+    obs::Json entry = obs::Json::object();
+    entry.set("index", obs::Json(static_cast<std::uint64_t>(shard->index)));
+    obs::Json entry_batches = obs::Json::object();
+    entry_batches.set("count", obs::Json(snapshot.batches));
+    entry_batches.set("size", snapshot.batch_sizes.to_json());
+    entry.set("batches", std::move(entry_batches));
+    entry.set("cut_through_batches", obs::Json(snapshot.cut_through_batches));
+    entry.set("coalesced_batches", obs::Json(snapshot.coalesced_batches));
+    entry.set("queue_high_water", obs::Json(high_water));
+    entry.set("evaluators", evaluators_to_json(snapshot));
+    entry.set("methods", methods_to_json(snapshot.methods));
+    shards.push_back(std::move(entry));
+  }
+
   obs::Json out = obs::Json::object();
 
   obs::Json requests = obs::Json::object();
-  requests.set("received", obs::Json(requests_received_));
-  requests.set("ok", obs::Json(requests_ok_));
-  requests.set("errors", obs::Json(requests_error_));
+  requests.set("received",
+               obs::Json(requests_received_.load(std::memory_order_relaxed)));
+  requests.set("ok", obs::Json(requests_ok_.load(std::memory_order_relaxed)));
+  requests.set("errors",
+               obs::Json(requests_error_.load(std::memory_order_relaxed)));
   out.set("requests", std::move(requests));
 
   obs::Json batches = obs::Json::object();
-  batches.set("count", obs::Json(batches_));
-  batches.set("size", batch_sizes_.to_json());
+  batches.set("count", obs::Json(batches_total));
+  batches.set("size", batch_sizes.to_json());
   out.set("batches", std::move(batches));
 
-  obs::Json evaluators = obs::Json::object();
-  evaluators.set("live", obs::Json(static_cast<std::uint64_t>(
-                             evaluators_.size())));
-  evaluators.set("created", obs::Json(evaluators_.created()));
-  evaluators.set("evicted", obs::Json(evaluators_.evicted()));
-  evaluators.set("pool_hits", obs::Json(evaluators_.pool_hits()));
-  evaluators.set("prefix_cache", obs::to_json(evaluators_.aggregate_stats()));
-  evaluators.set("pmf_cache", obs::to_json(evaluators_.aggregate_pmf_stats()));
-  evaluators.set("batch", obs::to_json(evaluators_.aggregate_batch_stats()));
-  out.set("evaluators", std::move(evaluators));
+  obs::Json dispatch = obs::Json::object();
+  dispatch.set("workers",
+               obs::Json(static_cast<std::uint64_t>(shards_.size())));
+  dispatch.set("batch_window_us",
+               obs::Json(static_cast<std::uint64_t>(
+                   options_.batch_window.count())));
+  dispatch.set("batch_max",
+               obs::Json(static_cast<std::uint64_t>(options_.batch_max)));
+  dispatch.set("cut_through_batches", obs::Json(cut_through));
+  dispatch.set("coalesced_batches", obs::Json(coalesced));
+  dispatch.set("queue_high_water", obs::Json(queue_high_water));
+  out.set("dispatch", std::move(dispatch));
 
-  obs::Json methods = obs::Json::object();
-  for (const auto& [name, stats] : methods_) {
-    obs::Json entry = obs::Json::object();
-    entry.set("count", obs::Json(stats.count));
-    entry.set("errors", obs::Json(stats.errors));
-    entry.set("latency_us", stats.latency_us.to_json());
-    methods.set(name, std::move(entry));
-  }
-  out.set("methods", std::move(methods));
+  out.set("evaluators", evaluators_to_json(totals));
+  out.set("methods", methods_to_json(methods));
+  out.set("shards", std::move(shards));
   return out;
+}
+
+std::uint64_t Dispatcher::requests_served() const noexcept {
+  return requests_ok_.load(std::memory_order_relaxed) +
+         requests_error_.load(std::memory_order_relaxed);
 }
 
 }  // namespace sealpaa::service

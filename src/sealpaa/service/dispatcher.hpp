@@ -1,26 +1,44 @@
-// Batch request dispatcher — the bridge between the transport layer and
-// engine::evaluate.
+// Sharded multi-worker request dispatcher — the bridge between the
+// transport layer and engine::evaluate.
 //
-// The server collects requests that arrive within one batching window
-// into a batch and hands it here.  The dispatcher parses every frame,
-// groups recursive-method requests by input profile so each group runs
-// against one engine::ChainEvaluator (the prefix cache stays hot across
-// requests — a design-sweep client's chains share long prefixes exactly
-// like beam-search expansions), fans the groups plus every non-recursive
-// request out onto the shared util::ThreadPool, and serializes one
-// response per request.  The EvaluatorPool persists across batches, so
-// the cache also stays warm between windows and across connections.
+// The dispatcher owns N dispatch workers (`DispatcherOptions::
+// dispatch_threads`), each with its own request queue and its own
+// engine::EvaluatorPool.  submit() parses a frame on the caller's
+// thread (cheap, bounded by the frame limit) and routes it to the shard
+// of its `(width, profile)` key, so every request against one profile
+// always lands on the same worker: evaluator state is never shared
+// across threads, and a design-sweep client's chains keep hitting one
+// hot prefix cache no matter how many workers run.  Control requests
+// (ping / stats) are answered inline by submit() — they never queue
+// behind evaluations.
+//
+// Each worker batches adaptively: when its previous drain left work
+// behind (the shard is backlogged) it holds the window open up to
+// `batch_window` so a pipelined burst coalesces into one batch — grouped
+// per profile onto one pooled ChainEvaluator, recursive groups running
+// as strict SoA lanes; when the queue drained (idle traffic) the window
+// shrinks to zero and a lone request cuts straight through.  Responses
+// are emitted through the sink as each shard batch completes, so
+// responses to one connection complete out of order across shards —
+// clients match them by request id.  Within one shard (hence one
+// profile) per-connection order is still FIFO.
 //
 // Robustness contract: a batch never throws.  Malformed frames, limit
 // violations, expired deadlines and engine rejections all become
-// structured error responses; per-connection response order always
-// matches request order.
+// structured error responses; every submitted request produces exactly
+// one response.
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sealpaa/engine/evaluator_pool.hpp"
@@ -33,6 +51,13 @@ namespace sealpaa::service {
 struct DispatcherOptions {
   WireLimits limits{};
   engine::EvaluatorPoolOptions pool{};
+  /// Dispatch workers; each owns one shard queue + one EvaluatorPool.
+  unsigned dispatch_threads = 1;
+  /// How long a backlogged shard holds its window open for stragglers.
+  /// An idle shard always cuts through immediately (window of zero).
+  std::chrono::microseconds batch_window{500};
+  /// Requests per shard batch beyond which the window closes early.
+  std::size_t batch_max = 256;
 };
 
 /// One framed request as the transport saw it, tagged with its origin so
@@ -53,43 +78,97 @@ struct OutgoingResponse {
 
 class Dispatcher {
  public:
+  /// Called with each finished response.  May be invoked from any
+  /// dispatch worker and from the submit() caller (parse errors and
+  /// control requests) — implementations synchronize themselves.
+  using ResponseSink = std::function<void(OutgoingResponse)>;
+
   explicit Dispatcher(DispatcherOptions options = {});
+  ~Dispatcher();
 
-  /// Processes one batch: parse, group, evaluate (on the shared pool
-  /// when `threads` is 0, on a dedicated pool otherwise), serialize.
-  /// Returns exactly one response per request, sorted by (connection,
-  /// sequence).  Never throws on request-level failures.  Not
-  /// thread-safe: call from one dispatch thread.
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  /// Spawns the dispatch workers and installs the response sink.  Must
+  /// be called before submit(); idempotent once started.
+  void start(ResponseSink sink);
+
+  /// Parses `request` and either answers it immediately through the
+  /// sink (parse errors, ping, stats) or enqueues it on its profile's
+  /// shard.  Thread-safe against the workers; call from one submitting
+  /// thread at a time (the server's IO thread).  Well-formed evaluation
+  /// requests may be submitted before start() — they queue and run once
+  /// the workers spawn — but anything answered through the sink
+  /// requires start() first.
+  void submit(PendingRequest request);
+
+  /// Blocks until every submitted request has been answered.
+  void drain();
+
+  /// Drains, then joins the workers.  start() may be called again
+  /// afterwards.  Called by the destructor.
+  void stop();
+
+  /// Synchronous convenience used by tests and the benches: processes
+  /// one batch through `worker_override` workers (0 = the configured
+  /// dispatch_threads), returning exactly one response per request,
+  /// sorted by (connection, sequence).  Stats responses are answered
+  /// after every evaluation in the batch, so a stats request sees its
+  /// own batch.  Never throws on request-level failures.  Must not be
+  /// mixed with a running start()ed dispatcher.
   [[nodiscard]] std::vector<OutgoingResponse> run_batch(
-      std::vector<PendingRequest> batch, unsigned threads = 0);
+      std::vector<PendingRequest> batch, unsigned worker_override = 0);
 
-  /// Lifetime service statistics: request/batch counters, evaluator-pool
-  /// and prefix-cache accounting, per-method latency histograms.  The
-  /// payload of a {"method": "stats"} response.
+  /// Lifetime service statistics: request/batch counters, adaptive-
+  /// window accounting, evaluator-pool and prefix-cache accounting and
+  /// per-method latency histograms — aggregated across shards, plus a
+  /// per-shard breakdown under "shards".  The payload of a
+  /// {"method": "stats"} response.  Thread-safe (reads the per-shard
+  /// snapshots workers publish after each batch).
   [[nodiscard]] obs::Json stats_json() const;
 
   [[nodiscard]] const WireLimits& limits() const noexcept {
     return options_.limits;
   }
-  [[nodiscard]] std::uint64_t requests_served() const noexcept {
-    return requests_ok_ + requests_error_;
-  }
+  [[nodiscard]] std::uint64_t requests_served() const noexcept;
+
+  /// Shard a `(width, p)` profile key routes to under `shards` workers.
+  /// Exposed so tests (and the smoke suite's fixtures) can pick keys
+  /// that provably land on different workers.
+  [[nodiscard]] static unsigned shard_of(std::size_t width, double p,
+                                         unsigned shards) noexcept;
 
  private:
-  struct MethodStats {
-    std::uint64_t count = 0;
-    std::uint64_t errors = 0;
-    obs::Histogram latency_us;
+  struct Shard;
+  struct ParsedItem;
+
+  /// What became of one frame inside admit().
+  enum class Admission {
+    kResponded,  // parse error / unknown cell — response already emitted
+    kControl,    // ping or stats, `item` holds the parsed request
+    kEvaluate,   // evaluation, `item` holds request + resolved choices
   };
 
+  [[nodiscard]] Admission admit(PendingRequest pending,
+                                const ResponseSink& sink, ParsedItem* item);
+  void route(ParsedItem item);
+  void process_batch(Shard& shard, std::vector<ParsedItem> items,
+                     const ResponseSink& sink, bool waited);
+  void worker_loop(Shard& shard);
+  [[nodiscard]] obs::Json control_response(const Request& request) const;
+
   DispatcherOptions options_;
-  engine::EvaluatorPool evaluators_;
-  std::uint64_t requests_received_ = 0;
-  std::uint64_t requests_ok_ = 0;
-  std::uint64_t requests_error_ = 0;
-  std::uint64_t batches_ = 0;
-  obs::Histogram batch_sizes_;
-  std::map<std::string, MethodStats> methods_;  // keyed by method name
+  std::vector<adders::AdderCell> palette_;
+  std::unordered_map<std::string, std::size_t> palette_index_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  ResponseSink sink_;
+  bool started_ = false;
+  std::atomic<std::uint64_t> requests_received_{0};
+  std::atomic<std::uint64_t> requests_ok_{0};
+  std::atomic<std::uint64_t> requests_error_{0};
+  std::atomic<std::uint64_t> inflight_{0};
+  mutable std::mutex lifecycle_mutex_;
+  std::condition_variable drain_cv_;
 };
 
 }  // namespace sealpaa::service

@@ -9,12 +9,10 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <condition_variable>
 #include <cstring>
 #include <map>
 #include <mutex>
 #include <stdexcept>
-#include <thread>
 #include <utility>
 #include <vector>
 
@@ -51,16 +49,6 @@ struct Connection {
   std::size_t out_offset = 0;
   bool in_open = true;  // input side not yet at EOF
   bool dead = false;    // fatal IO error; drop without flushing
-};
-
-/// State shared between the IO thread and the dispatch thread.
-struct Shared {
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::vector<PendingRequest> pending;
-  std::vector<OutgoingResponse> outgoing;
-  bool draining = false;
-  bool busy = false;  // dispatch thread is mid-batch
 };
 
 }  // namespace
@@ -136,7 +124,6 @@ int Server::serve() {
   if (!options_.pipe_mode && listen_fd_ < 0) start();
 
   const std::size_t max_frame = options_.dispatcher.limits.max_frame_bytes;
-  Shared shared;
   std::map<std::uint64_t, Connection> connections;
   std::uint64_t next_connection_id = 2;  // 0 and 1 are the poll sentinels
 
@@ -148,64 +135,40 @@ int Server::serve() {
         id, Connection(id, STDIN_FILENO, STDOUT_FILENO, false, max_frame));
   }
 
-  // The dispatch thread: sleep until a request arrives, hold the batch
-  // window open for stragglers (so prefix-cache groups form), run the
-  // batch, publish the responses, wake the IO thread.
-  std::thread dispatch([this, &shared] {
-    std::unique_lock<std::mutex> lock(shared.mutex);
-    for (;;) {
-      shared.cv.wait(lock,
-                     [&] { return !shared.pending.empty() || shared.draining; });
-      if (shared.pending.empty()) return;  // draining and nothing left
-
-      const auto deadline =
-          std::chrono::steady_clock::now() + options_.batch_window;
-      while (shared.pending.size() < options_.batch_max && !shared.draining) {
-        if (shared.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
-          break;
+  // Finished responses land here from the dispatch workers (and from
+  // submit() itself for parse errors and control requests); the wake
+  // byte pulls the IO thread out of poll() to flush them.
+  std::mutex outgoing_mutex;
+  std::vector<OutgoingResponse> outgoing;
+  dispatcher_.start(
+      [this, &outgoing_mutex, &outgoing](OutgoingResponse response) {
+        {
+          const std::lock_guard<std::mutex> lock(outgoing_mutex);
+          outgoing.push_back(std::move(response));
         }
-      }
-      std::vector<PendingRequest> batch = std::move(shared.pending);
-      shared.pending.clear();
-      shared.busy = true;
-      lock.unlock();
-
-      std::vector<OutgoingResponse> responses =
-          dispatcher_.run_batch(std::move(batch), options_.threads);
-
-      lock.lock();
-      shared.busy = false;
-      for (OutgoingResponse& response : responses) {
-        shared.outgoing.push_back(std::move(response));
-      }
-      const char byte = 'r';
-      [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
-    }
-  });
+        const char byte = 'r';
+        [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+      });
 
   bool draining = false;
   int exit_code = 0;
   std::vector<pollfd> fds;
   std::vector<std::uint64_t> owners;  // 0 = wake pipe, 1 = listener
-  std::vector<PendingRequest> new_pending;
   std::vector<OutgoingResponse> completed;
 
   for (;;) {
     if (stop_requested_.load(std::memory_order_relaxed) && !draining) {
       draining = true;
-      {
-        const std::lock_guard<std::mutex> lock(shared.mutex);
-        shared.draining = true;
-      }
-      shared.cv.notify_all();
     }
 
     // Exit once every accepted request has been answered and flushed.
+    // Per-connection inflight counts cover everything handed to the
+    // dispatcher: a request is inflight until its response reached the
+    // connection's output buffer.
     bool queues_empty = false;
     {
-      const std::lock_guard<std::mutex> lock(shared.mutex);
-      queues_empty =
-          shared.pending.empty() && shared.outgoing.empty() && !shared.busy;
+      const std::lock_guard<std::mutex> lock(outgoing_mutex);
+      queues_empty = outgoing.empty();
     }
     bool connections_idle = true;
     for (const auto& [id, connection] : connections) {
@@ -264,7 +227,6 @@ int Server::serve() {
       break;
     }
 
-    new_pending.clear();
     for (std::size_t i = 0; i < fds.size(); ++i) {
       const short revents = fds[i].revents;
       if (revents == 0) continue;
@@ -318,10 +280,10 @@ int Server::serve() {
         }
         const auto now = std::chrono::steady_clock::now();
         while (auto frame = connection.splitter.next()) {
-          new_pending.push_back(PendingRequest{connection.id,
-                                               connection.next_sequence++,
-                                               std::move(*frame), now});
           connection.inflight += 1;
+          dispatcher_.submit(PendingRequest{connection.id,
+                                            connection.next_sequence++,
+                                            std::move(*frame), now});
         }
       }
 
@@ -352,20 +314,10 @@ int Server::serve() {
       }
     }
 
-    if (!new_pending.empty()) {
-      {
-        const std::lock_guard<std::mutex> lock(shared.mutex);
-        for (PendingRequest& request : new_pending) {
-          shared.pending.push_back(std::move(request));
-        }
-      }
-      shared.cv.notify_all();
-    }
-
     completed.clear();
     {
-      const std::lock_guard<std::mutex> lock(shared.mutex);
-      completed.swap(shared.outgoing);
+      const std::lock_guard<std::mutex> lock(outgoing_mutex);
+      completed.swap(outgoing);
     }
     for (OutgoingResponse& response : completed) {
       const auto it = connections.find(response.connection);
@@ -389,13 +341,9 @@ int Server::serve() {
     }
   }
 
-  {
-    const std::lock_guard<std::mutex> lock(shared.mutex);
-    shared.draining = true;
-    shared.pending.clear();  // only reachable with pending empty or fatal
-  }
-  shared.cv.notify_all();
-  dispatch.join();
+  // Joins the dispatch workers after they drain their queues; responses
+  // for requests whose connection already died are discarded with them.
+  dispatcher_.stop();
 
   for (auto& [id, connection] : connections) {
     if (connection.tcp) ::close(connection.fd_in);

@@ -1,14 +1,17 @@
 // Long-running batch analysis server (`sealpaad`).
 //
-// Two threads share the work:
+// The IO thread (serve()) runs a poll() loop over the TCP listener — or
+// stdin/stdout in pipe mode — reading bytes, splitting frames and
+// flushing response bytes.  Each frame is handed straight to the
+// sharded Dispatcher, whose dispatch workers (`DispatcherOptions::
+// dispatch_threads`) parse-route it to its profile's shard, batch
+// adaptively and evaluate; finished responses come back through the
+// dispatcher's sink and a wake pipe.  The IO thread never evaluates
+// anything, so a slow analysis cannot stall accepts or reads.
 //
-//  * the IO thread (serve()) runs a poll() loop over the TCP listener —
-//    or stdin/stdout in pipe mode — reading bytes, splitting frames and
-//    flushing response bytes.  It never parses JSON or evaluates
-//    anything, so a slow analysis cannot stall accepts or reads;
-//  * the dispatch thread collects the frames that arrive within one
-//    batching window into a batch and runs it through the Dispatcher
-//    (which fans evaluation out onto the worker pool).
+// Responses complete out of order per connection across shards (clients
+// match them by request id); within one (connection, profile) pair they
+// stay FIFO.
 //
 // Robustness behaviors, all exercised by tests/test_service.cpp and the
 // CI smoke job:
@@ -41,15 +44,6 @@ struct ServerOptions {
   std::uint16_t port = 7413;
   /// Serve one session over stdin/stdout instead of TCP.
   bool pipe_mode = false;
-  /// Worker threads per batch (0 = the shared util::ThreadPool).
-  unsigned threads = 0;
-  /// How long the dispatch thread waits after the first request of a
-  /// batch for more to arrive.  Larger windows batch better (hotter
-  /// prefix cache, fewer wakeups), smaller windows respond sooner —
-  /// see DESIGN.md.
-  std::chrono::microseconds batch_window{500};
-  /// Requests per batch beyond which the window closes early.
-  std::size_t batch_max = 256;
   /// Connection cap; the listener is not polled while at the cap.
   std::size_t max_connections = 64;
   /// Per-connection outstanding-request cap; reads pause beyond it.

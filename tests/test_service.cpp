@@ -7,6 +7,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
+#include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -97,6 +100,47 @@ TEST(FrameSplitter, OversizedSplitAcrossReadsStillOneRejection) {
   ASSERT_EQ(frames.size(), 2u);
   EXPECT_TRUE(frames[0].oversized);
   EXPECT_EQ(frames[1].text, "{\"y\":2}");
+}
+
+TEST(FrameSplitter, PathologicalChunkingRecoversEveryFrame) {
+  // Frames of wildly varying size — including empties, CRLFs and one
+  // oversized line mid-stream — fed in chunks whose sizes cycle through
+  // a pattern deliberately misaligned with the frame boundaries.
+  std::string wire;
+  std::vector<std::string> expected;
+  for (int i = 0; i < 100; ++i) {
+    std::string frame = "{\"id\":" + std::to_string(i) + ",\"pad\":\"" +
+                        std::string(static_cast<std::size_t>(i % 13), 'x') +
+                        "\"}";
+    wire += frame;
+    wire += i % 3 == 0 ? "\r\n" : "\n";
+    if (i % 7 == 0) wire += "\n";    // empty line
+    if (i % 11 == 0) wire += "\r\n";  // CR-only line
+    expected.push_back(std::move(frame));
+  }
+  wire += std::string(600, 'z') + "\n";  // oversized, flagged not fatal
+
+  FrameSplitter splitter(512);
+  std::vector<FrameSplitter::Frame> frames;
+  const std::size_t chunk_sizes[] = {1, 7, 2, 31, 3, 1, 64, 5};
+  std::size_t offset = 0;
+  std::size_t cycle = 0;
+  while (offset < wire.size()) {
+    const std::size_t n =
+        std::min(chunk_sizes[cycle++ % 8], wire.size() - offset);
+    splitter.feed(std::string_view(wire).substr(offset, n));
+    offset += n;
+    for (auto frame = splitter.next(); frame; frame = splitter.next()) {
+      frames.push_back(std::move(*frame));
+    }
+  }
+  ASSERT_EQ(frames.size(), expected.size() + 1);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(frames[i].text, expected[i]);
+    EXPECT_FALSE(frames[i].oversized);
+  }
+  EXPECT_TRUE(frames.back().oversized);
+  EXPECT_EQ(splitter.buffered(), 0u);
 }
 
 TEST(FrameSplitter, FinishFlushesTrailingLineWithoutNewline) {
@@ -366,14 +410,145 @@ TEST(Dispatcher, DeterministicAcrossThreadCounts) {
   EXPECT_EQ(run(1), run(4));
 }
 
+TEST(Dispatcher, ShardOfSpreadsProfilesAndIsStable) {
+  EXPECT_EQ(Dispatcher::shard_of(16, 0.5, 1), 0u);
+  EXPECT_EQ(Dispatcher::shard_of(16, 0.5, 4), Dispatcher::shard_of(16, 0.5, 4));
+  // The smoke suite's out-of-order phase relies on these two profiles
+  // living on different workers at --dispatch-threads=4.
+  EXPECT_NE(Dispatcher::shard_of(16, 0.5, 4), Dispatcher::shard_of(24, 0.5, 4));
+  std::set<unsigned> seen;
+  for (std::size_t width = 4; width <= 64; width += 4) {
+    seen.insert(Dispatcher::shard_of(width, 0.5, 4));
+  }
+  EXPECT_GE(seen.size(), 3u) << "profiles collapsed onto too few shards";
+}
+
+/// Runs `frames` through a started dispatcher with `workers` dispatch
+/// workers and returns the response frames in submission order.
+[[nodiscard]] std::vector<std::string> run_live(
+    unsigned workers, const std::vector<std::string>& frames) {
+  DispatcherOptions options;
+  options.dispatch_threads = workers;
+  Dispatcher dispatcher(options);
+  std::mutex mutex;
+  std::map<std::uint64_t, std::string> by_sequence;
+  dispatcher.start([&mutex, &by_sequence](OutgoingResponse response) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    by_sequence[response.sequence] = std::move(response.frame);
+  });
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    dispatcher.submit(pending(1, i, frames[i]));
+  }
+  dispatcher.drain();
+  dispatcher.stop();
+  std::vector<std::string> out;
+  out.reserve(by_sequence.size());
+  for (auto& [sequence, frame] : by_sequence) {
+    out.push_back(std::move(frame));
+  }
+  return out;
+}
+
+TEST(Dispatcher, WorkerCountDoesNotChangeResponseBytes) {
+  // Every method class across several profiles: however requests shard,
+  // batch and interleave, each response must be byte-identical.
+  std::vector<std::string> frames;
+  const char* cells[] = {"LPAA1", "LPAA2", "LPAA3", "LPAA6"};
+  for (int i = 0; i < 12; ++i) {
+    const std::string width = std::to_string(6 + 2 * (i % 3));
+    const std::string cell = cells[i % 4];
+    frames.push_back(R"({"id":)" + std::to_string(frames.size()) +
+                     R"(,"method":"recursive","width":)" + width +
+                     R"(,"chain":")" + cell + "\"}");
+    frames.push_back(R"({"id":)" + std::to_string(frames.size()) +
+                     R"(,"method":"analytic-pmf","width":)" + width +
+                     R"(,"chain":")" + cell + "\"}");
+  }
+  frames.push_back(R"({"id":100,"method":"monte-carlo","width":8,)"
+                   R"("chain":"LPAA3","params":{"samples":65536}})");
+  frames.push_back(R"({"id":101,"method":"block-analytic","width":16,)"
+                   R"("blocks":"aca:4","params":{"p":0.42}})");
+  frames.push_back(R"({"id":102,"method":"nope"})");  // structured error
+  const std::vector<std::string> one = run_live(1, frames);
+  EXPECT_EQ(one, run_live(8, frames));
+  ASSERT_EQ(one.size(), frames.size());
+}
+
+TEST(Dispatcher, IdleShardCutsThroughTheWindow) {
+  DispatcherOptions options;
+  options.dispatch_threads = 1;
+  options.batch_window = std::chrono::microseconds(2'000'000);
+  Dispatcher dispatcher(options);
+  std::mutex mutex;
+  std::vector<std::string> responses;
+  dispatcher.start([&mutex, &responses](OutgoingResponse response) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    responses.push_back(std::move(response.frame));
+  });
+  const auto begin = std::chrono::steady_clock::now();
+  dispatcher.submit(pending(
+      1, 0, R"({"id":1,"method":"recursive","width":8,"chain":"LPAA3"})"));
+  dispatcher.drain();
+  const auto elapsed = std::chrono::steady_clock::now() - begin;
+  // An idle shard must answer immediately, not after the 2 s window.
+  EXPECT_LT(elapsed, std::chrono::seconds(1));
+  dispatcher.stop();
+  ASSERT_EQ(responses.size(), 1u);
+  const Json stats = dispatcher.stats_json();
+  EXPECT_EQ(stats.find("dispatch")
+                ->find("cut_through_batches")
+                ->unsigned_integer(),
+            1u);
+  EXPECT_EQ(
+      stats.find("dispatch")->find("coalesced_batches")->unsigned_integer(),
+      0u);
+}
+
+TEST(Dispatcher, BackloggedShardHoldsTheWindowOpen) {
+  DispatcherOptions options;
+  options.dispatch_threads = 1;
+  options.batch_max = 8;
+  options.batch_window = std::chrono::microseconds(1000);
+  Dispatcher dispatcher(options);
+  // Queue the whole burst before the workers spawn: the first take hits
+  // batch_max and leaves a backlog, so the remainder batch must hold
+  // the adaptive window open — deterministically, with no race against
+  // a worker fast enough to keep the queue drained.
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    dispatcher.submit(pending(
+        1, i,
+        R"({"id":)" + std::to_string(i) +
+            R"(,"method":"recursive","width":8,"chain":"LPAA3"})"));
+  }
+  std::mutex mutex;
+  std::size_t answered = 0;
+  dispatcher.start([&mutex, &answered](OutgoingResponse) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    ++answered;
+  });
+  dispatcher.drain();
+  dispatcher.stop();
+  EXPECT_EQ(answered, 12u);
+  const Json stats = dispatcher.stats_json();
+  const std::uint64_t batches =
+      stats.find("batches")->find("count")->unsigned_integer();
+  const std::uint64_t coalesced =
+      stats.find("dispatch")->find("coalesced_batches")->unsigned_integer();
+  EXPECT_GE(batches, 2u);
+  EXPECT_EQ(stats.find("batches")->find("size")->find("max")
+                ->unsigned_integer(),
+            8u);
+  EXPECT_GE(coalesced, 1u);
+}
+
 // ---------------------------------------------------------------------------
 // Server end to end
 
 [[nodiscard]] ServerOptions fast_server_options() {
   ServerOptions options;
   options.port = 0;  // ephemeral
-  options.threads = 2;
-  options.batch_window = std::chrono::microseconds(200);
+  options.dispatcher.dispatch_threads = 2;
+  options.dispatcher.batch_window = std::chrono::microseconds(200);
   return options;
 }
 
@@ -460,6 +635,38 @@ TEST(Server, TwoConcurrentClientsGetTheirOwnAnswers) {
   server.request_stop();
   io.join();
   EXPECT_EQ(server.dispatcher().requests_served(), 40u);
+}
+
+TEST(Server, ResponsesMultiplexOutOfOrderAcrossShards) {
+  ServerOptions options;
+  options.port = 0;
+  options.dispatcher.dispatch_threads = 4;
+  Server server(options);
+  const std::uint16_t port = server.start();
+  std::thread io([&server] { EXPECT_EQ(server.serve(), 0); });
+
+  // Width 16 and width 24 live on different workers at 4 shards
+  // (pinned by Dispatcher.ShardOfSpreadsProfilesAndIsStable), so the
+  // fast recursive answer overtakes the slow Monte Carlo one on the
+  // same connection and the client must match responses by id.
+  Client client;
+  client.connect("127.0.0.1", port);
+  client.send_frame(
+      R"({"id":"slow","method":"monte-carlo","width":16,"chain":"LPAA3",)"
+      R"("params":{"samples":1048576}})");
+  client.send_frame(
+      R"({"id":"fast","method":"recursive","width":24,"chain":"LPAA6"})");
+  const auto first = client.read_frame();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_NE(first->find("\"id\":\"fast\""), std::string::npos) << *first;
+  const auto second = client.read_frame();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_NE(second->find("\"id\":\"slow\""), std::string::npos) << *second;
+  client.close();
+
+  server.request_stop();
+  io.join();
+  EXPECT_EQ(server.dispatcher().requests_served(), 2u);
 }
 
 TEST(Server, EofDrainsLikeShutdownWrite) {
